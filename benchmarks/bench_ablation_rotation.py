@@ -1,0 +1,82 @@
+"""Ablation: the rotation-avoidance design space (§IV's three tricks).
+
+Beyond Table III's single on/off row, this sweeps the *amount* of each
+rotation optimisation:
+
+* generation bits G ∈ 0..6 — rotation rarity vs head-table width;
+* head-split factor M ∈ 1..32 — rotation cycles vs rotation logic.
+
+Expected shape: rotation overhead falls geometrically with G and
+linearly with M, with diminishing returns once it is below ~1 % (the
+paper stops at "1-2%"), while the head table's BRAM cost grows with G.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.estimator.sweep import ParameterSweep
+from repro.hw.stats import FSMState
+from repro.workloads.corpus import sample
+
+
+def _rotation_fraction(row):
+    return row.stats.fraction(FSMState.ROTATING_HASH)
+
+
+def test_generation_bits_sweep(benchmark, sample_bytes):
+    data = sample("wiki", sample_bytes)
+    report = run_once(
+        benchmark,
+        lambda: ParameterSweep(
+            "gen_bits", [0, 1, 2, 3, 4, 5, 6]
+        ).run(data, workload="wiki"),
+    )
+    lines = ["ABLATION — GENERATION BITS (4KB dict, 15-bit hash)",
+             f"{'G':>3s} {'MB/s':>7s} {'rotation%':>10s} {'BRAM36':>7s}"]
+    fractions = []
+    for row in report.rows:
+        frac = _rotation_fraction(row)
+        fractions.append(frac)
+        lines.append(
+            f"{row.params.gen_bits:>3d} {row.throughput_mbps:>7.1f} "
+            f"{100 * frac:>9.2f}% {row.bram36:>7d}"
+        )
+    save_exhibit("ablation_gen_bits", "\n".join(lines))
+
+    # Rotation share decreases monotonically with G...
+    for earlier, later in zip(fractions, fractions[1:]):
+        assert later <= earlier + 1e-9
+    # ...reaching the paper's "1-2%" regime by the default G=4.
+    assert fractions[4] < 0.02
+    # BRAM grows (weakly) with entry width.
+    assert report.rows[-1].bram36 >= report.rows[0].bram36
+
+
+def test_head_split_sweep(benchmark, sample_bytes):
+    data = sample("wiki", sample_bytes)
+    # Make rotation expensive (G=0) so M's effect is visible.
+    from repro.hw.params import HardwareParams
+
+    base = HardwareParams(gen_bits=0)
+    report = run_once(
+        benchmark,
+        lambda: ParameterSweep(
+            "head_split", [1, 2, 4, 8, 16, 32], base=base
+        ).run(data, workload="wiki"),
+    )
+    lines = ["ABLATION — HEAD-TABLE SPLIT FACTOR (G=0 so rotation "
+             "dominates)",
+             f"{'M':>3s} {'MB/s':>7s} {'rotation%':>10s}"]
+    speeds = []
+    for row in report.rows:
+        speeds.append(row.throughput_mbps)
+        lines.append(
+            f"{row.params.head_split:>3d} {row.throughput_mbps:>7.1f} "
+            f"{100 * _rotation_fraction(row):>9.2f}%"
+        )
+    save_exhibit("ablation_head_split", "\n".join(lines))
+
+    # Speed improves monotonically with the split factor.
+    for earlier, later in zip(speeds, speeds[1:]):
+        assert later >= earlier
+    # "The rotation happens in parallel and requires M times less
+    # cycles": M=32 vs M=1 must be a big win at G=0.
+    assert speeds[-1] > 1.5 * speeds[0]

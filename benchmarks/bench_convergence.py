@@ -1,0 +1,44 @@
+"""Methodology bench: sample-size convergence of the reported metrics.
+
+EXPERIMENTS.md reproduces the paper's 100 MB exhibits from 256 KiB
+samples, on the claim that ratio and cycles/byte converge far below
+100 MB for these stationary sources. This bench *is* that claim: it
+sweeps the sample size and asserts the two headline metrics move by
+under 3 % across the final doubling.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.params import HardwareParams
+from repro.workloads.wiki import wiki_text
+from repro.workloads.x2e import x2e_can_log
+
+SIZES_KB = (32, 64, 128, 256, 512)
+
+
+def test_metric_convergence(benchmark):
+    def build():
+        results = {}
+        for name, gen in (("wiki", wiki_text), ("x2e", x2e_can_log)):
+            rows = []
+            for kb in SIZES_KB:
+                data = gen(kb * 1024, seed=2012)
+                run = HardwareCompressor(HardwareParams()).run(data)
+                rows.append((kb, run.ratio, run.stats.cycles_per_byte))
+            results[name] = rows
+        return results
+
+    results = run_once(benchmark, build)
+    lines = ["METHODOLOGY — SAMPLE-SIZE CONVERGENCE (paper-speed config)"]
+    for name, rows in results.items():
+        lines.append(f"  {name}:")
+        for kb, ratio, cpb in rows:
+            lines.append(
+                f"    {kb:>4d} KiB  ratio {ratio:.4f}  cpb {cpb:.4f}"
+            )
+    save_exhibit("methodology_convergence", "\n".join(lines))
+
+    for name, rows in results.items():
+        (_, r256, c256), (_, r512, c512) = rows[-2], rows[-1]
+        assert abs(r512 - r256) / r512 < 0.03, name
+        assert abs(c512 - c256) / c512 < 0.03, name

@@ -1,0 +1,44 @@
+"""Extension bench: hardware decompression on the same memory fabric.
+
+The paper's related work ([10]) uses fast hardware LZSS decompression
+for FPGA self-reconfiguration. Expected shape: decompression beats
+compression by a wide margin (no search), approaching the output-port
+bandwidth bound of 4 B/cycle on redundant data.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.decompressor_model import HardwareDecompressor
+from repro.hw.params import HardwareParams
+from repro.workloads.corpus import sample
+
+
+def test_decompression_speed(benchmark, sample_bytes):
+    def build():
+        rows = []
+        params = HardwareParams()
+        for name in ("wiki", "x2e", "zeros"):
+            data = sample(name, sample_bytes)
+            comp = HardwareCompressor(params).run(data)
+            dec = HardwareDecompressor(params).run(comp.lzss.tokens)
+            rows.append((name, comp, dec))
+        return rows
+
+    rows = run_once(benchmark, build)
+    lines = [
+        "EXTENSION — HARDWARE DECOMPRESSION (same BRAM fabric, 100 MHz)",
+        f"{'set':<6s} {'compress':>10s} {'decompress':>11s} "
+        f"{'factor':>7s} {'dec cpb':>8s}",
+    ]
+    for name, comp, dec in rows:
+        lines.append(
+            f"{name:<6s} {comp.throughput_mbps:>8.1f}MB {dec.throughput_mbps:>9.1f}MB "
+            f"{dec.throughput_mbps / comp.throughput_mbps:>6.1f}x "
+            f"{dec.cycles_per_byte:>8.3f}"
+        )
+    save_exhibit("extension_decompressor", "\n".join(lines))
+
+    for name, comp, dec in rows:
+        assert dec.throughput_mbps > comp.throughput_mbps, name
+        # Output bandwidth bound: never below 1 cycle per bus beat.
+        assert dec.cycles_per_byte >= 0.25 - 1e-9, name

@@ -1,0 +1,28 @@
+"""Fig. 2 — compressed size of the Wiki fragment vs dictionary size.
+
+Paper shape: bigger dictionaries compress better, and the improvement is
+more significant for larger hash sizes (curves per hash ∈ {9,11,13,15},
+dictionary 1K-16K).
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.figures import fig2_compressed_size
+
+
+def test_fig2(benchmark, sample_bytes):
+    fig = run_once(
+        benchmark,
+        lambda: fig2_compressed_size(sample_bytes=sample_bytes),
+    )
+    save_exhibit("fig2_compressed_size", fig.render())
+
+    series = fig.series()
+    # Monotone improvement with dictionary size for every hash size.
+    for name, sizes in series.items():
+        for earlier, later in zip(sizes, sizes[1:]):
+            assert later <= earlier * 1.002, name
+    # Larger hash sizes gain more from bigger dictionaries.
+    gains = {
+        name: 1 - values[-1] / values[0] for name, values in series.items()
+    }
+    assert gains["hash=15"] > gains["hash=9"]

@@ -1,0 +1,27 @@
+"""Fig. 3 — compression speed (MB/s) vs dictionary size per hash size.
+
+Paper shape: speed decreases slightly with dictionary size and
+increases with hash size; ~49 MB/s at (15-bit, 4 KB).
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.figures import fig3_speed
+
+
+def test_fig3(benchmark, sample_bytes):
+    fig = run_once(
+        benchmark, lambda: fig3_speed(sample_bytes=sample_bytes)
+    )
+    save_exhibit("fig3_speed", fig.render())
+
+    series = fig.series()
+    # Bigger dictionary -> slightly slower (every hash size).
+    for name, speeds in series.items():
+        assert speeds[-1] < speeds[0], name
+    # Bigger hash -> faster at every dictionary size.
+    for i in range(len(series["hash=9"])):
+        assert series["hash=15"][i] > series["hash=9"][i]
+    # Headline point near the paper's 49 MB/s.
+    windows = fig.windows()
+    at_4k = series["hash=15"][windows.index(4096)]
+    assert 25 < at_4k < 60

@@ -1,0 +1,34 @@
+"""Fig. 4 — compressed size and speed for min/max compression levels.
+
+Paper shape: the max level ("amount of matching attempts before giving
+up") improves compression by ~20 % at ~82 % performance decrease; curves
+for 9- and 15-bit hashes across 1K-16K dictionaries.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.figures import fig4_levels
+
+
+def test_fig4(benchmark, sample_bytes):
+    fig = run_once(
+        benchmark, lambda: fig4_levels(sample_bytes=sample_bytes)
+    )
+    save_exhibit("fig4_levels", fig.render())
+
+    for bits in (9, 15):
+        mins = {p.window_size: p for p in fig.curve(bits, "min")}
+        maxs = {p.window_size: p for p in fig.curve(bits, "max")}
+        for window in mins:
+            assert maxs[window].compressed_bytes <= (
+                mins[window].compressed_bytes
+            )
+            assert maxs[window].throughput_mbps < (
+                mins[window].throughput_mbps
+            )
+    # Extreme points: meaningful size gain at a large speed cost.
+    best = min(p.compressed_bytes for p in fig.points)
+    worst = max(p.compressed_bytes for p in fig.points)
+    assert 1 - best / worst > 0.10
+    fastest = max(p.throughput_mbps for p in fig.points)
+    slowest = min(p.throughput_mbps for p in fig.points)
+    assert 1 - slowest / fastest > 0.6

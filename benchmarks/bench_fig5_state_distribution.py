@@ -1,0 +1,29 @@
+"""Fig. 5 — time spent on different operations (16 KB dict, 15-bit hash).
+
+Paper slices: finding match 68.5 %, updating hash 11.6 %, producing
+output 11.0 %, waiting for data 8.4 %, rotating hash 0.3 %, fetching
+data 0.2 %.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.figures import fig5_state_distribution
+
+
+def test_fig5(benchmark, sample_bytes):
+    fig = run_once(
+        benchmark,
+        lambda: fig5_state_distribution(sample_bytes=sample_bytes),
+    )
+    save_exhibit("fig5_state_distribution", fig.render())
+
+    f = fig.fractions
+    assert abs(sum(f.values()) - 1.0) < 1e-9
+    # Comparison dominates, as in the paper.
+    assert f["Finding match"] == max(f.values())
+    assert 0.5 < f["Finding match"] < 0.85
+    # Update/output in the ~10 % band; waiting below them; rotation and
+    # fetch negligible.
+    assert 0.03 < f["Updating hash table"] < 0.25
+    assert 0.03 < f["Producing output"] < 0.25
+    assert f["Rotating hash"] < 0.02
+    assert f["Fetching data"] < 0.02

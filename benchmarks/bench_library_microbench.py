@@ -1,0 +1,68 @@
+"""Library micro-benchmarks: host-Python throughput of the hot paths.
+
+These are genuine repeated-measurement benchmarks (unlike the exhibit
+regenerations, which run once): they track the performance of the
+estimation tool itself so regressions in the Python implementation are
+visible. Sizes are kept small for tight measurement loops.
+"""
+
+import pytest
+
+from repro.checksums.adler32 import adler32
+from repro.checksums.crc32 import crc32
+from repro.deflate.block_writer import deflate_tokens
+from repro.deflate.inflate import inflate
+from repro.deflate.zlib_container import compress
+from repro.hw.cycle_model import CycleModel
+from repro.hw.params import HardwareParams
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.hashchain import HashSpec, hash_all
+from repro.workloads.wiki import wiki_text
+
+SIZE = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def data():
+    return wiki_text(SIZE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tokens(data):
+    return compress_tokens(data).tokens
+
+
+def test_hash_all_throughput(benchmark, data):
+    spec = HashSpec(15)
+    benchmark(hash_all, data, spec)
+
+
+def test_lzss_compress_throughput(benchmark, data):
+    benchmark(compress_tokens, data)
+
+
+def test_fixed_block_encode_throughput(benchmark, tokens):
+    benchmark(deflate_tokens, tokens)
+
+
+def test_inflate_throughput(benchmark, data):
+    body = deflate_tokens(compress_tokens(data).tokens)
+    benchmark(inflate, body)
+
+
+def test_end_to_end_zlib_compress(benchmark, data):
+    benchmark(compress, data)
+
+
+def test_cycle_model_throughput(benchmark, data):
+    trace = compress_tokens(data).trace
+    model = CycleModel(HardwareParams())
+    benchmark(model.run, trace)
+
+
+def test_adler32_throughput(benchmark, data):
+    benchmark(adler32, data)
+
+
+def test_crc32_throughput(benchmark, data):
+    benchmark(crc32, data)

@@ -1,0 +1,19 @@
+"""Table II — FPGA utilisation across (hash, dictionary) configurations.
+
+Paper point: LUT/register counts are "insignificant and almost the same"
+across configurations; only block RAM scales with the tables.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.tables import table2_utilization
+
+
+def test_table2(benchmark):
+    table = run_once(benchmark, table2_utilization)
+    save_exhibit("table2_utilization", table.render())
+
+    assert table.lut_spread() < 0.3
+    for row in table.rows:
+        assert row.luts / table.device_luts < 0.10
+    brams = [row.bram36 for row in table.rows]
+    assert brams == sorted(brams, reverse=True)

@@ -1,0 +1,42 @@
+"""Table III — compression speed without individual optimisations.
+
+Paper values (Wiki, MB/s):
+
+    configuration                         4KB     16KB
+    A) original (15-bit, 32-bit data)    49.0     46.2
+    B) 8-bit data bus as in [11]         30.3     25.9
+    C) disabled hash prefetching         45.2     45.0
+    D) reduced generation bits to 0       ~36     33.8
+    all 3 optimizations disabled         10.2     21.2
+
+Shape criteria: wide buses worth 63-78 %, prefetch a few percent,
+generation bits dominant at small windows, overall factor 2.2-4.8x with
+the small window hurt more.
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.analysis.tables import TABLE3_CONFIGS, table3_optimizations
+
+
+def test_table3(benchmark, sample_bytes):
+    table = run_once(
+        benchmark,
+        lambda: table3_optimizations(sample_bytes=sample_bytes),
+    )
+    save_exhibit("table3_optimizations", table.render())
+
+    names = list(TABLE3_CONFIGS)
+    original, narrow, no_prefetch, gen0, disabled = names
+    for window in (4096, 16384):
+        a = table.speed(original, window)
+        assert table.speed(narrow, window) < a
+        assert table.speed(no_prefetch, window) < a
+        assert table.speed(gen0, window) < a
+        factor = a / table.speed(disabled, window)
+        assert 1.8 < factor < 8.0, (window, factor)
+    # Generation bits matter more at the small window; the overall
+    # optimisation factor is larger there too.
+    assert (
+        table.speed(original, 4096) / table.speed(disabled, 4096)
+        > table.speed(original, 16384) / table.speed(disabled, 16384)
+    )

@@ -1,0 +1,32 @@
+"""Extension bench: one configuration across the full workload corpus.
+
+The paper evaluates Wiki and X2E; a logging-system integrator's payload
+mix is wider. This exhibit shows how data-dependent the design point is
+— ratio, speed and the Fig. 5-style profile per workload — which is the
+flip side of the systolic array's data-independence (see
+``bench_alt_architectures``).
+"""
+
+from benchmarks.conftest import run_once, save_exhibit
+from repro.estimator.workload_report import compare_workloads
+
+
+def test_workload_matrix(benchmark, sample_bytes):
+    comparison = run_once(
+        benchmark,
+        lambda: compare_workloads(sample_bytes=sample_bytes),
+    )
+    save_exhibit("extension_workload_matrix", comparison.format_table())
+
+    rows = comparison.rows
+    # Sanity ordering across the compressibility spectrum.
+    assert rows["zeros"].ratio > rows["telemetry"].ratio > (
+        rows["random"].ratio
+    )
+    assert rows["random"].ratio < 1.05
+    # Speed is strongly data-dependent (FSM design's hallmark).
+    assert comparison.speed_spread() > 1.5
+    # All workloads stay in the design's sane operating envelope:
+    # bounded below by the 4 B/cycle fill port, above by deep-chain text.
+    for name, row in rows.items():
+        assert 0.25 <= row.cycles_per_byte < 6.0, name

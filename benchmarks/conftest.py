@@ -1,0 +1,43 @@
+"""Benchmark harness helpers.
+
+Each benchmark module regenerates one paper exhibit (table or figure),
+asserts its qualitative shape and writes the rendered text to
+``benchmarks/results/``. Model runs are deterministic, so every exhibit
+is measured with a single round (``run_once``); the timing numbers show
+the cost of the estimation itself, the *content* is the reproduction.
+
+``REPRO_BENCH_KB`` scales the workload sample (default 256 KiB — the
+paper uses a 100 MB fragment; trends converge far below that, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_sample_bytes() -> int:
+    """Benchmark sample size (KiB via REPRO_BENCH_KB, default 256)."""
+    return int(os.environ.get("REPRO_BENCH_KB", 256)) * 1024
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic exhibit generator exactly once, timed."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def save_exhibit(name: str, text: str) -> None:
+    """Persist the rendered exhibit for EXPERIMENTS.md and inspection."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def sample_bytes() -> int:
+    return bench_sample_bytes()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Embedded CAN logger with real-time compression — the paper's motivating
+application (§I: "Compressing the logged stream in real time would relax
+the size and bandwidth requirements for the underlying storage media").
+
+Simulates a logging session on the ML-507 board model: CAN traffic
+arrives in bursts, each burst is DMA'd through the hardware compressor,
+and the example reports the storage/bandwidth the compressor saves and
+how much real time the 100 MHz core needs versus the stream rate — the
+real-time feasibility check an integrator would do.
+"""
+
+from repro.deflate.zlib_container import decompress
+from repro.hw import HardwareCompressor, HardwareParams
+from repro.testbench.dma import DMAEngine
+from repro.workloads.x2e import x2e_can_log
+
+#: A typical high-load CAN FD channel produces a few Mbit/s of log data.
+STREAM_MBPS = 2.0
+BURST_BYTES = 256 * 1024
+BURSTS = 8
+
+
+def main() -> None:
+    params = HardwareParams()  # 4 KB dictionary, 15-bit hash
+    compressor = HardwareCompressor(params)
+    dma = DMAEngine()
+
+    total_in = 0
+    total_out = 0
+    busy_s = 0.0
+    print(f"logger configuration: {params.describe()}")
+    print(f"{'burst':>5s} {'bytes':>9s} {'out':>8s} {'ratio':>6s} "
+          f"{'HW time':>9s} {'arrival':>9s}")
+    for burst in range(BURSTS):
+        data = x2e_can_log(BURST_BYTES, seed=1000 + burst)
+        result = compressor.run(data, keep_output=True)
+        # Verify losslessness before committing to storage.
+        assert decompress(result.output) == data
+
+        hw_time = (
+            dma.setup_time_s(len(data)) + result.compression_time_s
+        )
+        arrival_time = len(data) / (STREAM_MBPS * 1e6)
+        total_in += len(data)
+        total_out += result.compressed_size
+        busy_s += hw_time
+        print(f"{burst:>5d} {len(data):>9d} {result.compressed_size:>8d} "
+              f"{result.ratio:>6.2f} {1e3 * hw_time:>7.2f}ms "
+              f"{1e3 * arrival_time:>7.1f}ms")
+
+    session_s = total_in / (STREAM_MBPS * 1e6)
+    print(f"\nsession: {total_in} bytes logged, {total_out} stored "
+          f"({100 * (1 - total_out / total_in):.0f}% storage saved)")
+    print(f"compressor busy {busy_s:.3f}s of {session_s:.3f}s "
+          f"({100 * busy_s / session_s:.1f}% duty cycle) — headroom of "
+          f"{total_in / 1e6 / busy_s:.0f} MB/s against a "
+          f"{STREAM_MBPS:.0f} MB/s stream")
+    print("the on-chip CPU stays free for higher-level tasks (§I)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the estimation tool (§V, tool [17]).
+
+Answers the question the paper's tool was published for: *given my data
+sample and an FPGA budget, which configuration should I synthesise?*
+
+The script sweeps dictionary and hash sizes on a user-representative
+sample, prints the trade-off grid (speed / ratio / block RAM), then
+picks the best-ratio configuration that satisfies a speed floor and a
+BRAM budget.
+"""
+
+from repro.estimator.sweep import grid_sweep
+from repro.hw.bram import XC5VFX70T
+from repro.workloads.wiki import wiki_text
+
+#: Integrator's constraints.
+MIN_SPEED_MBPS = 30.0
+MAX_BRAM36 = 20  # of the device's 148
+
+WINDOWS = (1024, 2048, 4096, 8192, 16384)
+HASH_BITS = (9, 11, 13, 15)
+
+
+def main() -> None:
+    sample = wiki_text(256 * 1024, seed=2012)
+    print(f"exploring {len(WINDOWS) * len(HASH_BITS)} configurations on a "
+          f"{len(sample) // 1024} KiB sample...\n")
+    reports = grid_sweep(sample, WINDOWS, HASH_BITS)
+
+    print(f"{'config':<24s} {'MB/s':>6s} {'ratio':>6s} {'BRAM36':>7s} "
+          f"{'fits?':>6s}")
+    candidates = []
+    for report in reports:
+        for row in report.rows:
+            ok = (
+                row.throughput_mbps >= MIN_SPEED_MBPS
+                and row.bram36 <= MAX_BRAM36
+            )
+            label = (
+                f"{row.params.window_size // 1024}KB dict / "
+                f"{row.params.hash_bits}-bit hash"
+            )
+            print(f"{label:<24s} {row.throughput_mbps:>6.1f} "
+                  f"{row.ratio:>6.3f} {row.bram36:>7d} "
+                  f"{'yes' if ok else '-':>6s}")
+            if ok:
+                candidates.append(row)
+
+    if not candidates:
+        print("\nno configuration satisfies the constraints; "
+              "relax the speed floor or the BRAM budget")
+        return
+    best = max(candidates, key=lambda row: row.ratio)
+    print(f"\nselected: {best.params.describe()}")
+    print(f"  speed {best.throughput_mbps:.1f} MB/s, "
+          f"ratio {best.ratio:.3f}, {best.bram36} of "
+          f"{XC5VFX70T['bram36']} BRAM blocks "
+          f"({100 * best.bram36 / XC5VFX70T['bram36']:.1f}%)")
+    print("  cycle breakdown:")
+    for state, fraction in best.state_fractions().items():
+        if fraction > 0:
+            print(f"    {state:<22s} {100 * fraction:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

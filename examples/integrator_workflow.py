@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The integrator workflow, end to end.
+
+A team wants to drop the paper's compressor into their logger. The
+workflow the estimation tooling supports:
+
+1. **analyze** the payload — what kind of data is this?
+2. **recommend** a configuration under the project's constraints;
+3. **diff** the recommendation against the paper's default to see
+   exactly where the cycles and BRAM go;
+4. **verify** the datapath on representative data before committing.
+"""
+
+from repro.estimator.diff import diff_configurations
+from repro.estimator.recommend import Constraints, recommend
+from repro.hw.params import HardwareParams
+from repro.verification import run_soak
+from repro.workloads.logs import json_telemetry
+from repro.workloads.stats import profile_workload
+
+
+def main() -> None:
+    payload = json_telemetry(256 * 1024, seed=31)
+
+    print("=== 1. analyze the payload ===")
+    profile = profile_workload(payload)
+    print(profile.format())
+
+    print("\n=== 2. recommend under constraints ===")
+    constraints = Constraints(min_throughput_mbps=40.0, max_bram36=12)
+    rec = recommend(payload, constraints=constraints, objective="ratio")
+    print(rec.format())
+    assert rec.found
+
+    print("\n=== 3. diff against the paper default ===")
+    diff = diff_configurations(
+        HardwareParams(), rec.best.params, payload
+    )
+    print(diff.format())
+
+    print("\n=== 4. soak-verify the datapath ===")
+    report = run_soak(
+        total_bytes=512 * 1024,
+        segment_bytes=64 * 1024,
+        params=rec.best.params,
+        sim_check_every=4,
+    )
+    print(report.format())
+    print("\nconfiguration signed off:", rec.best.params.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Crash-safe compressed logging with streaming flushes.
+
+Extends the paper's logging scenario with the property embedded
+integrators actually need: if power is lost mid-stream, everything up to
+the last sync flush must be recoverable. The example writes a compressed
+log with a flush per "transaction", simulates a crash by truncating the
+stream at a random point, and recovers the decodable prefix.
+"""
+
+import random
+
+from repro.deflate.stream import ZLibStreamCompressor, decompress_prefix
+from repro.workloads.x2e import x2e_can_log
+
+TRANSACTIONS = 12
+TRANSACTION_BYTES = 8 * 1024
+
+
+def main() -> None:
+    rng = random.Random(7)
+    stream = ZLibStreamCompressor(window_size=4096)
+    log = bytearray()
+    plain = bytearray()
+    boundaries = []  # (compressed offset, plain offset) at each flush
+
+    for index in range(TRANSACTIONS):
+        record = x2e_can_log(TRANSACTION_BYTES, seed=500 + index)
+        plain += record
+        log += stream.compress(record)
+        log += stream.flush_sync()
+        boundaries.append((len(log), len(plain)))
+    log += stream.finish()
+
+    print(f"wrote {TRANSACTIONS} transactions: {len(plain)} bytes plain, "
+          f"{len(log)} bytes compressed "
+          f"(ratio {len(plain) / len(log):.2f})")
+
+    # --- simulate a crash: the tail of the log never hits the disk.
+    cut = rng.randrange(boundaries[2][0], len(log))
+    damaged = bytes(log[:cut])
+    recovered = decompress_prefix(damaged)
+
+    # Recovery is exact up to the last flush before the cut.
+    safe_plain = max(
+        plain_off for comp_off, plain_off in boundaries if comp_off <= cut
+    )
+    assert recovered[:safe_plain] == bytes(plain[:safe_plain])
+    complete = sum(1 for c, _ in boundaries if c <= cut)
+    print(f"crash at compressed byte {cut}: recovered {len(recovered)} "
+          f"bytes — all {complete} flushed transactions intact")
+
+    # And the undamaged log decodes fully.
+    assert decompress_prefix(bytes(log)) == bytes(plain)
+    print("undamaged log decodes fully; nothing lost at flush boundaries")
+
+
+if __name__ == "__main__":
+    main()

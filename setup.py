@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml [build-system] table is intentionally omitted so that
+``pip install -e .`` works in offline environments whose setuptools
+predates PEP 660 editable wheels (pip then uses the legacy
+``setup.py develop`` path, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — reproduction of the IPDPSW 2012 FPGA LZSS compressor paper.
+
+A production-quality Python library implementing:
+
+* the ZLib-variant LZSS algorithm + fixed-table Deflate Huffman coding
+  (the paper's datapath, producing ZLib-compatible streams);
+* a cycle-accurate model of the paper's Virtex-5 hardware architecture
+  (dual-port block RAMs, 32-bit compare buses, hash prefetch,
+  generation-bit rotation avoidance);
+* the design-space **estimation tool** the paper publishes: parameter
+  sweeps reporting block-RAM usage, compression ratio and cycle counts;
+* workload generators standing in for the paper's Wikipedia and
+  automotive-CAN data sets;
+* a software-baseline cost model (ZLib on the FPGA's 400 MHz PowerPC)
+  used for the paper's speedup comparison.
+
+Quickstart::
+
+    from repro import zlib_compress, zlib_decompress
+    stream = zlib_compress(b"snowy snow" * 100)
+    assert zlib_decompress(stream) == b"snowy snow" * 100
+
+    import zlib                      # CPython's inflater accepts it too
+    assert zlib.decompress(stream) == b"snowy snow" * 100
+"""
+
+from repro.deflate import (
+    BlockStrategy,
+    gzip_compress,
+    gzip_decompress,
+    zlib_compress,
+    zlib_decompress,
+)
+from repro.errors import ReproError
+from repro.lzss import (
+    LZSSCompressor,
+    Literal,
+    Match,
+    MatchPolicy,
+    TokenArray,
+    compress_tokens,
+    decompress_tokens,
+    policy_for_level,
+)
+from repro.lzss.hashchain import HashSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockStrategy",
+    "HashSpec",
+    "LZSSCompressor",
+    "Literal",
+    "Match",
+    "MatchPolicy",
+    "ReproError",
+    "TokenArray",
+    "compress_tokens",
+    "decompress_tokens",
+    "gzip_compress",
+    "gzip_decompress",
+    "policy_for_level",
+    "zlib_compress",
+    "zlib_decompress",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Figures 2-5 of the paper, as data series + ASCII rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.estimator.report import SweepReport
+from repro.estimator.sweep import grid_sweep, run_configuration
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.lzss.policy import HW_MAX_POLICY, HW_SPEED_POLICY
+from repro.workloads.corpus import sample
+
+#: The axes the paper sweeps in Figs. 2-4.
+FIG_WINDOWS = (1024, 2048, 4096, 8192, 16384)
+FIG_HASH_BITS = (9, 11, 13, 15)
+
+
+def _ascii_series(
+    title: str,
+    x_labels: List[str],
+    series: Dict[str, List[float]],
+    unit: str,
+    width: int = 40,
+) -> str:
+    """Simple multi-series text chart (one row per point)."""
+    lines = [title]
+    all_values = [v for values in series.values() for v in values]
+    top = max(all_values) if all_values else 1.0
+    for name, values in series.items():
+        lines.append(f"  series {name}:")
+        for label, value in zip(x_labels, values):
+            bar = "#" * max(1, round(width * value / top)) if top else ""
+            lines.append(f"    {label:>6s} {value:>10.1f} {unit} {bar}")
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureGrid:
+    """Figs. 2/3 data: one window sweep per hash size."""
+
+    metric: str
+    unit: str
+    title: str
+    reports: List[SweepReport] = field(default_factory=list)
+
+    def series(self) -> Dict[str, List[float]]:
+        return {
+            report.workload: report.series(self.metric)
+            for report in self.reports
+        }
+
+    def windows(self) -> List[int]:
+        return self.reports[0].axis_values() if self.reports else []
+
+    def render(self) -> str:
+        labels = [f"{w // 1024}K" for w in self.windows()]
+        return _ascii_series(self.title, labels, self.series(), self.unit)
+
+    def to_csv(self) -> str:
+        """Figure data as CSV (window column + one column per series)."""
+        series = self.series()
+        header = ["window_bytes"] + list(series)
+        lines = [",".join(header)]
+        for index, window in enumerate(self.windows()):
+            row = [str(window)] + [
+                f"{series[name][index]:.6g}" for name in series
+            ]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+
+def fig2_compressed_size(
+    sample_bytes: Optional[int] = None,
+    windows: Tuple[int, ...] = FIG_WINDOWS,
+    hash_bits: Tuple[int, ...] = FIG_HASH_BITS,
+) -> FigureGrid:
+    """Fig. 2: compressed size vs dictionary size, per hash size."""
+    data = sample("wiki", sample_bytes)
+    reports = grid_sweep(data, windows, hash_bits, policy=HW_SPEED_POLICY)
+    return FigureGrid(
+        metric="compressed_bytes",
+        unit="B",
+        title="FIG 2 — COMPRESSED SIZE OF THE WIKI FRAGMENT",
+        reports=reports,
+    )
+
+
+def fig3_speed(
+    sample_bytes: Optional[int] = None,
+    windows: Tuple[int, ...] = FIG_WINDOWS[1:],  # paper plots 2K-16K
+    hash_bits: Tuple[int, ...] = FIG_HASH_BITS,
+) -> FigureGrid:
+    """Fig. 3: compression speed vs dictionary size, per hash size."""
+    data = sample("wiki", sample_bytes)
+    reports = grid_sweep(data, windows, hash_bits, policy=HW_SPEED_POLICY)
+    return FigureGrid(
+        metric="throughput_mbps",
+        unit="MB/s",
+        title="FIG 3 — COMPRESSION SPEED (MB/s) FOR THE WIKI FRAGMENT",
+        reports=reports,
+    )
+
+
+@dataclass
+class Fig4Point:
+    """One (hash, level, window) point of Fig. 4."""
+
+    hash_bits: int
+    level: str
+    window_size: int
+    compressed_bytes: int
+    throughput_mbps: float
+
+
+@dataclass
+class Fig4:
+    """Fig. 4: size and speed for min/max levels and 2 hash sizes."""
+
+    points: List[Fig4Point] = field(default_factory=list)
+    input_bytes: int = 0
+
+    def curve(self, hash_bits: int, level: str) -> List[Fig4Point]:
+        return [
+            p for p in self.points
+            if p.hash_bits == hash_bits and p.level == level
+        ]
+
+    def render(self) -> str:
+        lines = [
+            "FIG 4 — SIZE AND SPEED FOR MIN/MAX LEVELS "
+            f"(input {self.input_bytes} B)",
+            f"{'hash':>5s} {'level':>5s} {'dict':>6s} {'size':>10s} "
+            f"{'speed':>10s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.hash_bits:>5d} {p.level:>5s} "
+                f"{p.window_size // 1024:>5d}K {p.compressed_bytes:>10d} "
+                f"{p.throughput_mbps:>8.1f} MB/s"
+            )
+        return "\n".join(lines)
+
+
+def fig4_levels(
+    sample_bytes: Optional[int] = None,
+    windows: Tuple[int, ...] = FIG_WINDOWS,
+    hash_bits: Tuple[int, ...] = (9, 15),
+) -> Fig4:
+    """Fig. 4: min/max compression level trade-off."""
+    data = sample("wiki", sample_bytes)
+    fig = Fig4(input_bytes=len(data))
+    for bits in hash_bits:
+        for level, policy in (("min", HW_SPEED_POLICY),
+                              ("max", HW_MAX_POLICY)):
+            for window in windows:
+                params = HardwareParams(
+                    window_size=window, hash_bits=bits, policy=policy
+                )
+                row = run_configuration(params, data)
+                fig.points.append(
+                    Fig4Point(
+                        hash_bits=bits,
+                        level=level,
+                        window_size=window,
+                        compressed_bytes=row.compressed_bytes,
+                        throughput_mbps=row.throughput_mbps,
+                    )
+                )
+    return fig
+
+
+@dataclass
+class Fig5:
+    """Fig. 5: time spent in each FSM state."""
+
+    fractions: Dict[str, float] = field(default_factory=dict)
+    params: Optional[HardwareParams] = None
+
+    def render(self) -> str:
+        lines = ["FIG 5 — TIME SPENT ON DIFFERENT OPERATIONS"]
+        if self.params is not None:
+            lines.append(f"  ({self.params.describe()})")
+        for name, frac in sorted(
+            self.fractions.items(), key=lambda kv: -kv[1]
+        ):
+            bar = "#" * max(1, round(50 * frac))
+            lines.append(f"  {name:<22s} {100 * frac:5.1f}% {bar}")
+        return "\n".join(lines)
+
+
+def fig5_state_distribution(
+    sample_bytes: Optional[int] = None,
+    params: Optional[HardwareParams] = None,
+) -> Fig5:
+    """Fig. 5: state-time pie for the 16 KB dictionary, 15-bit hash."""
+    data = sample("wiki", sample_bytes)
+    if params is None:
+        params = HardwareParams(window_size=16384, hash_bits=15)
+    row = run_configuration(params, data)
+    return Fig5(
+        fractions={
+            state.value: row.stats.fraction(state) for state in FSMState
+        },
+        params=params,
+    )

@@ -1,0 +1,166 @@
+"""Tables I-III of the paper, as structured data + text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.estimator.sweep import run_configuration
+from repro.hw.params import HardwareParams, preset
+from repro.hw.resources import estimate_resources
+from repro.testbench.runner import (
+    PerformanceRow,
+    format_table,
+    run_performance_comparison,
+)
+from repro.workloads.corpus import sample
+
+
+@dataclass
+class Table1:
+    """Table I: performance evaluation (SW vs HW, Wiki/X2E)."""
+
+    rows: List[PerformanceRow]
+
+    def render(self) -> str:
+        return "TABLE I — PERFORMANCE EVALUATION\n" + format_table(self.rows)
+
+    def speedups(self) -> List[float]:
+        return [row.speedup for row in self.rows]
+
+    def ratios(self) -> List[float]:
+        return [row.ratio for row in self.rows]
+
+
+def table1_performance(sample_bytes: Optional[int] = None) -> Table1:
+    """Regenerate Table I."""
+    return Table1(rows=run_performance_comparison(sample_bytes))
+
+
+@dataclass
+class UtilizationRow:
+    """One row of Table II."""
+
+    hash_bits: int
+    window_size: int
+    luts: int
+    registers: int
+    bram36: int
+
+    def format(self) -> str:
+        return (
+            f"{self.hash_bits:>4d} bits {self.window_size // 1024:>4d}KB "
+            f"{self.luts:>8d} {self.registers:>10d} {self.bram36:>6d}"
+        )
+
+
+@dataclass
+class Table2:
+    """Table II: FPGA utilisation across configurations."""
+
+    rows: List[UtilizationRow]
+    device_luts: int
+    device_registers: int
+
+    def render(self) -> str:
+        lines = [
+            "TABLE II — FPGA UTILIZATION",
+            f"{'hash':>9s} {'dict':>6s} {'LUTs':>8s} {'Registers':>10s} "
+            f"{'BRAM36':>6s}",
+        ]
+        lines += [row.format() for row in self.rows]
+        lines.append(
+            f"Available in XC5VFX70T: {self.device_luts} LUTs, "
+            f"{self.device_registers} registers"
+        )
+        return "\n".join(lines)
+
+    def lut_spread(self) -> float:
+        """Relative LUT variation across rows (the paper's point: tiny)."""
+        luts = [row.luts for row in self.rows]
+        return (max(luts) - min(luts)) / max(luts)
+
+
+def table2_utilization(
+    configs: Optional[List[HardwareParams]] = None,
+) -> Table2:
+    """Regenerate Table II (paper rows: 15b/16KB, 13b/8KB, 9b/4KB)."""
+    from repro.hw.bram import XC5VFX70T
+
+    if configs is None:
+        configs = [preset("table2-a"), preset("table2-b"), preset("table2-c")]
+    rows = []
+    for params in configs:
+        report = estimate_resources(params)
+        rows.append(
+            UtilizationRow(
+                hash_bits=params.hash_bits,
+                window_size=params.window_size,
+                luts=report.luts,
+                registers=report.registers,
+                bram36=report.bram36_total,
+            )
+        )
+    return Table2(
+        rows=rows,
+        device_luts=XC5VFX70T["luts"],
+        device_registers=XC5VFX70T["registers"],
+    )
+
+
+@dataclass
+class Table3:
+    """Table III: speed without individual optimisations."""
+
+    speeds: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    window_sizes: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            "TABLE III — COMPRESSION SPEED WITHOUT OPTIMIZATIONS (Wiki)",
+            f"{'configuration':<38s}"
+            + "".join(f"{w // 1024:>9d}KB" for w in self.window_sizes),
+        ]
+        for name, by_window in self.speeds.items():
+            lines.append(
+                f"{name:<38s}"
+                + "".join(
+                    f"{by_window[w]:>9.1f}  "[:11] for w in self.window_sizes
+                )
+            )
+        return "\n".join(lines)
+
+    def speed(self, config: str, window: int) -> float:
+        return self.speeds[config][window]
+
+
+#: Table III's configurations as parameter overrides on the original.
+TABLE3_CONFIGS: Dict[str, Dict] = {
+    "A) original (15-bit hash; 32-bit data)": {},
+    "B) 8-bit data bus as in [11]": {"data_bus_bytes": 1},
+    "C) disabled hash prefetching": {"hash_prefetch": False},
+    "D) reduced generation bits to 0": {"gen_bits": 0},
+    "disabled all 3 optimizations over [11]": {
+        "data_bus_bytes": 1,
+        "hash_prefetch": False,
+        "gen_bits": 0,
+        "head_split": 1,
+        "relative_next": False,
+    },
+}
+
+
+def table3_optimizations(
+    sample_bytes: Optional[int] = None,
+    window_sizes: tuple = (4096, 16384),
+) -> Table3:
+    """Regenerate Table III on the Wiki workload."""
+    data = sample("wiki", sample_bytes)
+    table = Table3(window_sizes=list(window_sizes))
+    for name, overrides in TABLE3_CONFIGS.items():
+        table.speeds[name] = {}
+        for window in window_sizes:
+            params = HardwareParams(window_size=window, **overrides)
+            row = run_configuration(params, data, label=name)
+            table.speeds[name][window] = row.throughput_mbps
+    return table

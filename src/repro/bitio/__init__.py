@@ -1,0 +1,24 @@
+"""Bit-level I/O primitives.
+
+Deflate (RFC 1951) packs bits LSB-first within each byte: the first bit
+written goes into the least-significant bit of the first output byte.
+Huffman *codes*, however, are packed starting from the most-significant
+bit of the code — :meth:`BitWriter.write_huffman_code` handles the
+reversal.
+
+The hardware described in the paper exchanges data as 32-bit words whose
+byte order (LSB-first / MSB-first) is selectable; :mod:`repro.bitio.wordio`
+models that interface.
+"""
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.bitio.wordio import WordPacker, WordUnpacker, ByteOrder
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "WordPacker",
+    "WordUnpacker",
+    "ByteOrder",
+]

@@ -1,0 +1,92 @@
+"""LSB-first bit reader used to parse Deflate streams."""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte string.
+
+    The reader keeps a small integer bit buffer refilled from the input a
+    byte at a time, matching the classic inflate inner loop. It tracks its
+    position so callers can detect trailing garbage or resume at a byte
+    boundary (needed for Deflate *stored* blocks).
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0          # next byte index to load into the bit buffer
+        self._bitbuf = 0
+        self._bitcount = 0
+
+    @property
+    def bits_consumed(self) -> int:
+        """Total number of bits consumed from the input so far."""
+        return self._pos * 8 - self._bitcount
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no unread bits remain."""
+        return self._bitcount == 0 and self._pos >= len(self._data)
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits, LSB first. Raises at end of input."""
+        if nbits < 0:
+            raise BitstreamError(f"negative bit count: {nbits}")
+        while self._bitcount < nbits:
+            if self._pos >= len(self._data):
+                raise BitstreamError("unexpected end of bitstream")
+            self._bitbuf |= self._data[self._pos] << self._bitcount
+            self._pos += 1
+            self._bitcount += 8
+        value = self._bitbuf & ((1 << nbits) - 1)
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+        return value
+
+    def peek_bits(self, nbits: int) -> int:
+        """Return up to ``nbits`` upcoming bits without consuming them.
+
+        Unlike :meth:`read_bits`, running off the end of the input pads
+        with zero bits — this is how table-driven inflate decoders peek a
+        full window near the end of the stream.
+        """
+        while self._bitcount < nbits and self._pos < len(self._data):
+            self._bitbuf |= self._data[self._pos] << self._bitcount
+            self._pos += 1
+            self._bitcount += 8
+        return self._bitbuf & ((1 << nbits) - 1)
+
+    def skip_bits(self, nbits: int) -> None:
+        """Consume ``nbits`` bits previously seen via :meth:`peek_bits`."""
+        if nbits > self._bitcount:
+            raise BitstreamError("skip past end of bitstream")
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        discard = self._bitcount % 8
+        self._bitbuf >>= discard
+        self._bitcount -= discard
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes; requires byte alignment."""
+        if self._bitcount % 8:
+            raise BitstreamError(
+                "read_bytes requires byte alignment "
+                f"({self._bitcount % 8} bits pending)"
+            )
+        out = bytearray()
+        while self._bitcount and count:
+            out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+            count -= 1
+        if count:
+            if self._pos + count > len(self._data):
+                raise BitstreamError("unexpected end of bitstream")
+            out.extend(self._data[self._pos:self._pos + count])
+            self._pos += count
+        return bytes(out)

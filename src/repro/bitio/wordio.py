@@ -1,0 +1,115 @@
+"""32-bit word stream packing, modelling the hardware stream interfaces.
+
+The paper's compressor "consumes 32-bit words (LSBF/MSBF format can be
+selected) and produces ... a stream of packed 32-bit words" (§IV). These
+helpers convert between byte streams and 32-bit word streams in either
+byte order, and are used by the hardware fill model and the pipelined
+Huffman encoder model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List
+
+from repro.errors import ConfigError
+
+
+class ByteOrder(enum.Enum):
+    """Byte order of a 32-bit stream word.
+
+    ``LSBF``: the first byte of the stream occupies bits [7:0] of the word.
+    ``MSBF``: the first byte of the stream occupies bits [31:24].
+    """
+
+    LSBF = "lsbf"
+    MSBF = "msbf"
+
+
+WORD_BYTES = 4
+
+
+class WordPacker:
+    """Packs a byte stream into 32-bit words.
+
+    The final word, if partial, is zero-padded in the unused byte lanes;
+    :attr:`valid_bytes_last` records how many lanes of the last word carry
+    data (the hardware signals this out-of-band on its handshake bus).
+    """
+
+    def __init__(self, order: ByteOrder = ByteOrder.LSBF) -> None:
+        if not isinstance(order, ByteOrder):
+            raise ConfigError(f"invalid byte order: {order!r}")
+        self.order = order
+        self._pending = bytearray()
+        self._words: List[int] = []
+        self.valid_bytes_last = 0
+
+    def push(self, data: bytes) -> None:
+        """Append bytes to the stream."""
+        self._pending.extend(data)
+        while len(self._pending) >= WORD_BYTES:
+            chunk = bytes(self._pending[:WORD_BYTES])
+            del self._pending[:WORD_BYTES]
+            self._words.append(self._pack_word(chunk))
+
+    def finish(self) -> List[int]:
+        """Flush any partial word and return the full word list."""
+        if self._pending:
+            self.valid_bytes_last = len(self._pending)
+            chunk = bytes(self._pending) + b"\x00" * (
+                WORD_BYTES - len(self._pending)
+            )
+            self._pending.clear()
+            self._words.append(self._pack_word(chunk))
+        elif self._words:
+            self.valid_bytes_last = WORD_BYTES
+        return list(self._words)
+
+    def _pack_word(self, chunk: bytes) -> int:
+        if self.order is ByteOrder.LSBF:
+            return int.from_bytes(chunk, "little")
+        return int.from_bytes(chunk, "big")
+
+
+class WordUnpacker:
+    """Unpacks a 32-bit word stream back into bytes."""
+
+    def __init__(self, order: ByteOrder = ByteOrder.LSBF) -> None:
+        if not isinstance(order, ByteOrder):
+            raise ConfigError(f"invalid byte order: {order!r}")
+        self.order = order
+
+    def unpack(self, words: Iterable[int], total_bytes: int) -> bytes:
+        """Convert ``words`` into exactly ``total_bytes`` bytes.
+
+        ``total_bytes`` trims the padding lanes of a final partial word.
+        """
+        out = bytearray()
+        for word in words:
+            if not 0 <= word < (1 << 32):
+                raise ConfigError(f"word out of 32-bit range: {word:#x}")
+            if self.order is ByteOrder.LSBF:
+                out.extend(word.to_bytes(WORD_BYTES, "little"))
+            else:
+                out.extend(word.to_bytes(WORD_BYTES, "big"))
+        if total_bytes > len(out):
+            raise ConfigError(
+                f"requested {total_bytes} bytes from a "
+                f"{len(out)}-byte word stream"
+            )
+        return bytes(out[:total_bytes])
+
+
+def pack_words(data: bytes, order: ByteOrder = ByteOrder.LSBF) -> List[int]:
+    """One-shot helper: pack ``data`` into 32-bit words."""
+    packer = WordPacker(order)
+    packer.push(data)
+    return packer.finish()
+
+
+def unpack_words(
+    words: Iterable[int], total_bytes: int, order: ByteOrder = ByteOrder.LSBF
+) -> bytes:
+    """One-shot helper: unpack 32-bit ``words`` into ``total_bytes`` bytes."""
+    return WordUnpacker(order).unpack(words, total_bytes)

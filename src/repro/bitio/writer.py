@@ -1,0 +1,120 @@
+"""LSB-first bit writer used to emit Deflate streams.
+
+The writer accumulates bits into an integer *bit buffer* and flushes full
+bytes into a :class:`bytearray`. This mirrors how both ZLib and the
+paper's pipelined Huffman encoder assemble their output words: new bits
+are appended above the existing ones, and whole bytes leave from the
+bottom.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits LSB-first and yields a growing byte string.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_bits(0b1, 1)
+    >>> w.write_bits(0b01, 2)   # stream so far (LSB first): 1, 1, 0
+    >>> w.align_to_byte()
+    >>> bytes(w.getvalue())
+    b'\\x03'
+    """
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._bitbuf = 0
+        self._bitcount = 0
+
+    def __len__(self) -> int:
+        """Number of *complete* bytes emitted so far."""
+        return len(self._out)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written (including unflushed ones)."""
+        return len(self._out) * 8 + self._bitcount
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, LSB first.
+
+        ``nbits`` may be 0 (a no-op). ``value`` must fit in ``nbits`` bits;
+        a value with stray high bits would silently corrupt the stream, so
+        it is rejected.
+        """
+        if nbits < 0:
+            raise BitstreamError(f"negative bit count: {nbits}")
+        if value < 0 or value >> nbits:
+            raise BitstreamError(
+                f"value {value:#x} does not fit in {nbits} bits"
+            )
+        self._bitbuf |= value << self._bitcount
+        self._bitcount += nbits
+        while self._bitcount >= 8:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+
+    def write_huffman_code(self, code: int, nbits: int) -> None:
+        """Append a Huffman code of ``nbits`` bits.
+
+        Deflate stores Huffman codes most-significant-bit first while
+        everything else is LSB-first, so the code's bits are reversed
+        before being written.
+        """
+        self.write_bits(_reverse_bits(code, nbits), nbits)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._bitcount:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf = 0
+            self._bitcount = 0
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes; the stream must be byte-aligned."""
+        if self._bitcount:
+            raise BitstreamError(
+                "write_bytes requires byte alignment "
+                f"({self._bitcount} bits pending)"
+            )
+        self._out.extend(data)
+
+    def getvalue(self) -> bytes:
+        """Return the complete bytes emitted so far (excludes partial byte)."""
+        return bytes(self._out)
+
+    def take_bytes(self) -> bytes:
+        """Return *and remove* the completed bytes, keeping pending bits.
+
+        Used by streaming encoders to drain finalised output while a
+        partial byte is still accumulating.
+        """
+        out = bytes(self._out)
+        self._out.clear()
+        return out
+
+    def flush(self) -> bytes:
+        """Byte-align and return the final stream."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+
+def _reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of ``value``."""
+    result = 0
+    for _ in range(nbits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def reverse_bits(value: int, nbits: int) -> int:
+    """Public bit-reversal helper (used by Huffman table builders)."""
+    if value < 0 or (nbits and value >> nbits):
+        raise BitstreamError(f"value {value:#x} does not fit in {nbits} bits")
+    return _reverse_bits(value, nbits)

@@ -1,0 +1,15 @@
+"""Checksum implementations used by the stream containers.
+
+* :func:`adler32` — RFC 1950 (ZLib framing) checksum, vectorised with
+  NumPy block sums.
+* :func:`crc32` — IEEE 802.3 CRC-32 (gzip framing), table-driven with a
+  NumPy slice-by-one inner loop.
+
+Both are written from scratch (no use of :mod:`zlib`/:mod:`binascii`) and
+are validated against the standard library in the test suite.
+"""
+
+from repro.checksums.adler32 import Adler32, adler32
+from repro.checksums.crc32 import CRC32, crc32
+
+__all__ = ["Adler32", "adler32", "CRC32", "crc32"]

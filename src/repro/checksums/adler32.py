@@ -1,0 +1,73 @@
+"""Adler-32 checksum (RFC 1950 §8.2), vectorised.
+
+Adler-32 maintains two 16-bit accumulators modulo 65521:
+
+    a = 1 + d1 + d2 + ... + dn            (mod 65521)
+    b = n + n*d1 + (n-1)*d2 + ... + dn    (mod 65521, starting from b=0)
+
+The scalar recurrence ``b += a`` per byte is equivalent to the closed
+form above, which NumPy evaluates per block: for a block of length ``n``
+with prior state ``(a0, b0)``,
+
+    a1 = a0 + sum(d)
+    b1 = b0 + n*a0 + sum((n - i) * d[i] for i in range(n))
+
+Blocks are kept small enough that the int64 weighted sum cannot
+overflow (n * 255 * n < 2**63 for n up to ~190 million; we use 1 MiB
+blocks which is comfortably safe and cache-friendly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MOD = 65521
+_BLOCK = 1 << 20
+
+
+def adler32(data: bytes, value: int = 1) -> int:
+    """Return the Adler-32 checksum of ``data``.
+
+    ``value`` is the running checksum from a previous call (1 for a fresh
+    stream), enabling incremental use exactly like ``zlib.adler32``:
+
+    >>> hex(adler32(b"Wikipedia"))
+    '0x11e60398'
+    >>> adler32(b"pedia", adler32(b"Wiki")) == adler32(b"Wikipedia")
+    True
+    """
+    a = value & 0xFFFF
+    b = (value >> 16) & 0xFFFF
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    for start in range(0, len(buf), _BLOCK):
+        block = buf[start:start + _BLOCK].astype(np.int64)
+        n = len(block)
+        total = int(block.sum())
+        # Weighted sum: d[0] counted n times, d[1] n-1 times, ... d[n-1] once.
+        weighted = int((block * np.arange(n, 0, -1, dtype=np.int64)).sum())
+        b = (b + n * a + weighted) % _MOD
+        a = (a + total) % _MOD
+    return (b << 16) | a
+
+
+class Adler32:
+    """Incremental Adler-32 accumulator with a file-like ``update`` API."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._value = 1
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Adler32":
+        """Fold ``data`` into the running checksum; returns self."""
+        self._value = adler32(data, self._value)
+        return self
+
+    @property
+    def value(self) -> int:
+        """Current 32-bit checksum value."""
+        return self._value
+
+    def digest(self) -> bytes:
+        """Checksum as the 4 big-endian bytes ZLib framing appends."""
+        return self._value.to_bytes(4, "big")

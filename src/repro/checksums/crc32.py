@@ -1,0 +1,60 @@
+"""CRC-32 (IEEE 802.3, polynomial 0xEDB88320 reflected), table-driven.
+
+Used by the gzip container extension. The byte loop applies the classic
+table lookup; NumPy cannot fully vectorise a CRC (each step depends on
+the previous state), but the 256-entry table is built vectorised and the
+loop works on a pre-converted ``memoryview`` for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> np.ndarray:
+    crc = np.arange(256, dtype=np.uint32)
+    for _ in range(8):
+        crc = np.where(crc & 1, (crc >> 1) ^ _POLY, crc >> 1).astype(np.uint32)
+    return crc
+
+
+_TABLE = _build_table()
+_TABLE_LIST = [int(x) for x in _TABLE]  # plain ints: faster scalar indexing
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """Return the CRC-32 of ``data``, continuing from ``value``.
+
+    Compatible with ``zlib.crc32`` (same initial value convention: pass
+    the previous return value to continue a stream).
+    """
+    crc = (value ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    table = _TABLE_LIST
+    for byte in memoryview(data):
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+class CRC32:
+    """Incremental CRC-32 accumulator."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._value = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "CRC32":
+        """Fold ``data`` into the running CRC; returns self."""
+        self._value = crc32(data, self._value)
+        return self
+
+    @property
+    def value(self) -> int:
+        """Current 32-bit CRC value."""
+        return self._value
+
+    def digest_le(self) -> bytes:
+        """CRC as the 4 little-endian bytes gzip framing appends."""
+        return self._value.to_bytes(4, "little")

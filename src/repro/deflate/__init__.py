@@ -1,0 +1,64 @@
+"""Deflate (RFC 1951) encoding and decoding, plus stream containers.
+
+The encoder path is the paper's: LZSS tokens feed a fixed-table Huffman
+block writer, making the output "compatible with the ZLib library". A
+dynamic-Huffman writer and a stored-block writer complete the spec
+(and let the estimator price the fixed-table penalty the paper accepts
+for speed). :mod:`repro.deflate.inflate` is a full from-scratch decoder
+for all three block types, and :mod:`repro.deflate.zlib_container` /
+:mod:`repro.deflate.gzip_container` provide RFC 1950 / RFC 1952 framing.
+"""
+
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    deflate_tokens,
+    write_fixed_block,
+    write_stored_block,
+)
+from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.inflate import inflate
+from repro.deflate.zlib_container import (
+    ZLibCompressor,
+    compress as zlib_compress,
+    decompress as zlib_decompress,
+)
+from repro.deflate.gzip_container import (
+    compress as gzip_compress,
+    decompress as gzip_decompress,
+)
+from repro.deflate.stream import (
+    ZLibStreamCompressor,
+    compress_chunks,
+    decompress_prefix,
+)
+from repro.deflate.splitter import (
+    deflate_adaptive,
+    zlib_compress_adaptive,
+)
+from repro.deflate.preset_dict import (
+    compress_with_dict,
+    decompress_with_dict,
+    train_dictionary,
+)
+
+__all__ = [
+    "ZLibStreamCompressor",
+    "compress_chunks",
+    "decompress_prefix",
+    "deflate_adaptive",
+    "zlib_compress_adaptive",
+    "compress_with_dict",
+    "decompress_with_dict",
+    "train_dictionary",
+    "BlockStrategy",
+    "deflate_tokens",
+    "write_fixed_block",
+    "write_stored_block",
+    "write_dynamic_block",
+    "inflate",
+    "ZLibCompressor",
+    "zlib_compress",
+    "zlib_decompress",
+    "gzip_compress",
+    "gzip_decompress",
+]

@@ -1,0 +1,145 @@
+"""Deflate block emission from LZSS token streams.
+
+:func:`write_fixed_block` is the software twin of the paper's pipelined
+fixed-table Huffman encoder: literal and length/distance symbols are
+coded with the static RFC 1951 tables, so no table transmission or
+construction is needed — the property that lets the hardware encoder run
+with "no additional clock cycles or memories" (§IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Union
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.constants import (
+    END_OF_BLOCK,
+    distance_symbol,
+    length_symbol,
+)
+from repro.errors import DeflateError
+from repro.huffman.fixed import fixed_dist_encoder, fixed_litlen_encoder
+from repro.lzss.tokens import Literal, Match, Token, TokenArray
+
+
+class BlockStrategy(enum.Enum):
+    """How token streams are entropy-coded into Deflate blocks."""
+
+    FIXED = "fixed"      # the paper's hardware path
+    DYNAMIC = "dynamic"  # per-block optimal tables (extension)
+    STORED = "stored"    # no compression
+
+
+def write_block_header(writer: BitWriter, btype: int, final: bool) -> None:
+    """Emit the 3-bit BFINAL/BTYPE block header."""
+    writer.write_bits(1 if final else 0, 1)
+    writer.write_bits(btype, 2)
+
+
+def write_fixed_block(
+    writer: BitWriter,
+    tokens: Union[TokenArray, Iterable[Token]],
+    final: bool = True,
+) -> None:
+    """Encode ``tokens`` as one fixed-Huffman block (BTYPE=01)."""
+    litlen = fixed_litlen_encoder()
+    dist = fixed_dist_encoder()
+    write_block_header(writer, 0b01, final)
+    _write_symbols(writer, tokens, litlen, dist)
+    litlen.encode(writer, END_OF_BLOCK)
+
+
+def _write_symbols(writer, tokens, litlen, dist) -> None:
+    if isinstance(tokens, TokenArray):
+        for length, value in zip(tokens.lengths, tokens.values):
+            if length == 0:
+                litlen.encode(writer, value)
+            else:
+                _write_match(writer, length, value, litlen, dist)
+        return
+    for token in tokens:
+        if isinstance(token, Literal):
+            litlen.encode(writer, token.value)
+        elif isinstance(token, Match):
+            _write_match(writer, token.length, token.distance, litlen, dist)
+        else:
+            raise DeflateError(f"not a token: {token!r}")
+
+
+def _write_match(writer, length, distance, litlen, dist) -> None:
+    symbol, extra_bits, extra_value = length_symbol(length)
+    litlen.encode(writer, symbol)
+    if extra_bits:
+        writer.write_bits(extra_value, extra_bits)
+    symbol, extra_bits, extra_value = distance_symbol(distance)
+    dist.encode(writer, symbol)
+    if extra_bits:
+        writer.write_bits(extra_value, extra_bits)
+
+
+def write_stored_block(
+    writer: BitWriter, data: bytes, final: bool = True
+) -> None:
+    """Emit ``data`` as stored (BTYPE=00) blocks, splitting past 65535 B."""
+    max_len = 0xFFFF
+    chunks = [data[i:i + max_len] for i in range(0, len(data), max_len)]
+    if not chunks:
+        chunks = [b""]
+    for index, chunk in enumerate(chunks):
+        last = final and index == len(chunks) - 1
+        write_block_header(writer, 0b00, last)
+        writer.align_to_byte()
+        writer.write_bits(len(chunk), 16)
+        writer.write_bits(len(chunk) ^ 0xFFFF, 16)
+        writer.align_to_byte()
+        writer.write_bytes(bytes(chunk))
+
+
+def deflate_tokens(
+    tokens: Union[TokenArray, Iterable[Token]],
+    strategy: BlockStrategy = BlockStrategy.FIXED,
+) -> bytes:
+    """Encode a whole token stream as a single final Deflate block."""
+    from repro.deflate.dynamic import write_dynamic_block
+
+    writer = BitWriter()
+    if strategy is BlockStrategy.FIXED:
+        write_fixed_block(writer, tokens, final=True)
+    elif strategy is BlockStrategy.DYNAMIC:
+        write_dynamic_block(writer, tokens, final=True)
+    elif strategy is BlockStrategy.STORED:
+        from repro.lzss.decompressor import decompress_tokens
+
+        write_stored_block(writer, decompress_tokens(tokens), final=True)
+    else:
+        raise DeflateError(f"unknown strategy: {strategy!r}")
+    return writer.flush()
+
+
+def fixed_block_cost_bits(tokens: Union[TokenArray, Iterable[Token]]) -> int:
+    """Exact bit cost of a fixed block for ``tokens`` without encoding.
+
+    Used by the estimator to price output sizes cheaply (the cost of
+    each symbol is static).
+    """
+    litlen = fixed_litlen_encoder()
+    dist = fixed_dist_encoder()
+    bits = 3  # header
+    if isinstance(tokens, TokenArray):
+        items = zip(tokens.lengths, tokens.values)
+    else:
+        items = (
+            (0, t.value) if isinstance(t, Literal) else (t.length, t.distance)
+            for t in tokens
+        )
+    for length, value in items:
+        if length == 0:
+            bits += litlen.cost_bits(value)
+        else:
+            symbol, extra_bits, _ = length_symbol(length)
+            bits += litlen.cost_bits(symbol) + extra_bits
+            symbol, extra_bits, _ = distance_symbol(value)
+            bits += dist.cost_bits(symbol) + extra_bits
+    bits += litlen.cost_bits(END_OF_BLOCK)
+    return bits

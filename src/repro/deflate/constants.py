@@ -1,0 +1,123 @@
+"""Deflate symbol alphabets (RFC 1951 §3.2.5).
+
+Length/distance values are split into a Huffman-coded *symbol* plus a
+fixed number of verbatim *extra bits*. The tables below are generated
+from the spec's ranges and exposed both as per-symbol base/extra arrays
+and as direct value→symbol lookup arrays (O(1) in the encoder hot path —
+the same trick zlib's ``_length_code``/``_dist_code`` tables use).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Tuple
+
+from repro.errors import DeflateError
+
+END_OF_BLOCK = 256
+MAX_LITLEN_SYMBOLS = 288
+MAX_DIST_SYMBOLS = 30
+MAX_CODE_BITS = 15
+
+#: (base_length, extra_bits) for length symbols 257..285.
+LENGTH_TABLE: List[Tuple[int, int]] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+]
+
+#: (base_distance, extra_bits) for distance symbols 0..29.
+DISTANCE_TABLE: List[Tuple[int, int]] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+]
+
+#: Order in which code-length-alphabet lengths appear in a dynamic block
+#: header (RFC 1951 §3.2.7).
+CODE_LENGTH_ORDER = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+]
+
+
+def _build_length_lookup() -> array:
+    """length (3..258) -> litlen symbol, as symbol - 257 in a byte array."""
+    lookup = array("B", [0] * 259)
+    for symbol_offset, (base, extra) in enumerate(LENGTH_TABLE):
+        span = 1 << extra
+        for length in range(base, min(base + span, 259)):
+            lookup[length] = symbol_offset
+    # Length 258 must map to symbol 285 (offset 28), not to 284's range.
+    lookup[258] = len(LENGTH_TABLE) - 1
+    return lookup
+
+
+def _build_distance_lookup() -> array:
+    """distance (1..32768) -> distance symbol."""
+    lookup = array("B", [0] * 32769)
+    for symbol, (base, extra) in enumerate(DISTANCE_TABLE):
+        span = 1 << extra
+        for dist in range(base, min(base + span, 32769)):
+            lookup[dist] = symbol
+    return lookup
+
+
+_LENGTH_LOOKUP = _build_length_lookup()
+_DISTANCE_LOOKUP = _build_distance_lookup()
+
+
+def length_symbol(length: int) -> Tuple[int, int, int]:
+    """Map a match length to ``(symbol, extra_bits, extra_value)``."""
+    if not 3 <= length <= 258:
+        raise DeflateError(f"match length {length} outside [3, 258]")
+    offset = _LENGTH_LOOKUP[length]
+    base, extra = LENGTH_TABLE[offset]
+    return 257 + offset, extra, length - base
+
+
+def distance_symbol(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to ``(symbol, extra_bits, extra_value)``."""
+    if not 1 <= distance <= 32768:
+        raise DeflateError(f"distance {distance} outside [1, 32768]")
+    symbol = _DISTANCE_LOOKUP[distance]
+    base, extra = DISTANCE_TABLE[symbol]
+    return symbol, extra, distance - base
+
+
+def length_from_symbol(symbol: int, extra_value: int) -> int:
+    """Inverse of :func:`length_symbol` (decoder side)."""
+    if not 257 <= symbol <= 285:
+        raise DeflateError(f"invalid length symbol {symbol}")
+    base, extra = LENGTH_TABLE[symbol - 257]
+    if extra_value >> extra:
+        raise DeflateError(
+            f"extra value {extra_value} too large for symbol {symbol}"
+        )
+    return base + extra_value
+
+
+def distance_from_symbol(symbol: int, extra_value: int) -> int:
+    """Inverse of :func:`distance_symbol` (decoder side)."""
+    if not 0 <= symbol <= 29:
+        raise DeflateError(f"invalid distance symbol {symbol}")
+    base, extra = DISTANCE_TABLE[symbol]
+    if extra_value >> extra:
+        raise DeflateError(
+            f"extra value {extra_value} too large for symbol {symbol}"
+        )
+    return base + extra_value

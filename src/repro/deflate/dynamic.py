@@ -1,0 +1,164 @@
+"""Dynamic-Huffman Deflate blocks (RFC 1951 §3.2.7).
+
+The paper's hardware deliberately uses the fixed tables; this module is
+the extension that quantifies what that choice costs. A dynamic block
+transmits per-block optimal code lengths, themselves run-length coded
+(symbols 16/17/18) and Huffman coded with the 19-symbol code-length
+alphabet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.constants import (
+    CODE_LENGTH_ORDER,
+    END_OF_BLOCK,
+    MAX_CODE_BITS,
+    MAX_DIST_SYMBOLS,
+    MAX_LITLEN_SYMBOLS,
+    distance_symbol,
+    length_symbol,
+)
+from repro.deflate.block_writer import write_block_header, _write_symbols
+from repro.errors import DeflateError
+from repro.huffman.canonical import build_code_lengths
+from repro.huffman.encoder import HuffmanEncoder
+from repro.huffman.histogram import SymbolHistogram
+from repro.lzss.tokens import Literal, TokenArray
+
+
+def _token_histograms(tokens) -> Tuple[SymbolHistogram, SymbolHistogram]:
+    litlen = SymbolHistogram(MAX_LITLEN_SYMBOLS)
+    dist = SymbolHistogram(MAX_DIST_SYMBOLS)
+    if isinstance(tokens, TokenArray):
+        items = zip(tokens.lengths, tokens.values)
+    else:
+        items = (
+            (0, t.value) if isinstance(t, Literal) else (t.length, t.distance)
+            for t in tokens
+        )
+    for length, value in items:
+        if length == 0:
+            litlen.add(value)
+        else:
+            litlen.add(length_symbol(length)[0])
+            dist.add(distance_symbol(value)[0])
+    litlen.add(END_OF_BLOCK)
+    return litlen, dist
+
+
+def rle_code_lengths(lengths: List[int]) -> List[Tuple[int, int]]:
+    """Run-length code a length sequence per §3.2.7.
+
+    Returns ``(symbol, extra_value)`` pairs where symbols 0-15 are
+    literal lengths (extra ignored), 16 repeats the previous length 3-6
+    times, 17 repeats zero 3-10 times, 18 repeats zero 11-138 times.
+    """
+    out: List[Tuple[int, int]] = []
+    i = 0
+    n = len(lengths)
+    while i < n:
+        value = lengths[i]
+        j = i
+        while j < n and lengths[j] == value:
+            j += 1
+        run = j - i
+        if value == 0:
+            while run >= 11:
+                take = min(run, 138)
+                out.append((18, take - 11))
+                run -= take
+            if run >= 3:
+                out.append((17, run - 3))
+                run = 0
+            out.extend((0, 0) for _ in range(run))
+        else:
+            # The first occurrence must be sent literally; repeats of it
+            # may then use symbol 16.
+            out.append((value, 0))
+            run -= 1
+            while run >= 3:
+                take = min(run, 6)
+                out.append((16, take - 3))
+                run -= take
+            out.extend((value, 0) for _ in range(run))
+        i = j
+    return out
+
+
+def write_dynamic_block(
+    writer: BitWriter,
+    tokens,
+    final: bool = True,
+) -> None:
+    """Encode ``tokens`` as one dynamic-Huffman block (BTYPE=10)."""
+    litlen_hist, dist_hist = _token_histograms(tokens)
+    litlen_lengths = build_code_lengths(litlen_hist.counts, MAX_CODE_BITS)
+    dist_lengths = build_code_lengths(dist_hist.counts, MAX_CODE_BITS)
+
+    # HLIT/HDIST: trailing zero lengths may be trimmed, with minimums.
+    hlit = MAX_LITLEN_SYMBOLS
+    while hlit > 257 and litlen_lengths[hlit - 1] == 0:
+        hlit -= 1
+    hdist = MAX_DIST_SYMBOLS
+    while hdist > 1 and dist_lengths[hdist - 1] == 0:
+        hdist -= 1
+    # Degenerate but legal: no distance codes at all. Deflate still
+    # transmits one (possibly zero-length) entry; inflate treats a single
+    # zero entry as "no distance codes".
+    if dist_hist.total == 0:
+        dist_lengths = [0] * MAX_DIST_SYMBOLS
+        hdist = 1
+
+    combined = litlen_lengths[:hlit] + dist_lengths[:hdist]
+    rle = rle_code_lengths(combined)
+
+    cl_hist = SymbolHistogram(19)
+    for symbol, _ in rle:
+        cl_hist.add(symbol)
+    cl_lengths = build_code_lengths(cl_hist.counts, 7)
+    hclen = 19
+    while hclen > 4 and cl_lengths[CODE_LENGTH_ORDER[hclen - 1]] == 0:
+        hclen -= 1
+
+    write_block_header(writer, 0b10, final)
+    writer.write_bits(hlit - 257, 5)
+    writer.write_bits(hdist - 1, 5)
+    writer.write_bits(hclen - 4, 4)
+    for index in range(hclen):
+        writer.write_bits(cl_lengths[CODE_LENGTH_ORDER[index]], 3)
+
+    cl_encoder = HuffmanEncoder(cl_lengths)
+    for symbol, extra in rle:
+        cl_encoder.encode(writer, symbol)
+        if symbol == 16:
+            writer.write_bits(extra, 2)
+        elif symbol == 17:
+            writer.write_bits(extra, 3)
+        elif symbol == 18:
+            writer.write_bits(extra, 7)
+
+    litlen_encoder = HuffmanEncoder(litlen_lengths)
+    if any(dist_lengths):
+        dist_encoder = HuffmanEncoder(dist_lengths)
+    else:
+        dist_encoder = None
+    _write_symbols(writer, tokens, litlen_encoder, _DistGuard(dist_encoder))
+    litlen_encoder.encode(writer, END_OF_BLOCK)
+
+
+class _DistGuard:
+    """Raises a clear error if a distance is coded with no dist table."""
+
+    def __init__(self, encoder) -> None:
+        self._encoder = encoder
+
+    def encode(self, writer, symbol) -> None:
+        if self._encoder is None:
+            raise DeflateError(
+                "token stream contains matches but the distance "
+                "histogram was empty"
+            )
+        self._encoder.encode(writer, symbol)

@@ -1,0 +1,191 @@
+"""Full Deflate decoder (RFC 1951): stored, fixed and dynamic blocks.
+
+Independent of CPython's :mod:`zlib`; the test suite cross-validates it
+in both directions (our inflate on zlib's output, zlib's inflate on
+ours). The decoder enforces the structural rules a hardware decompressor
+would: LEN/NLEN complement check, complete Huffman code sets (with the
+single-code exceptions the spec allows), and in-range back-references.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bitio.reader import BitReader
+from repro.deflate.constants import (
+    CODE_LENGTH_ORDER,
+    END_OF_BLOCK,
+    distance_from_symbol,
+    length_from_symbol,
+    DISTANCE_TABLE,
+    LENGTH_TABLE,
+)
+from repro.errors import DeflateError
+from repro.huffman.decoder import HuffmanDecoder
+from repro.huffman.fixed import FIXED_DIST_LENGTHS, FIXED_LITLEN_LENGTHS
+
+_FIXED_LITLEN_DECODER: Optional[HuffmanDecoder] = None
+_FIXED_DIST_DECODER: Optional[HuffmanDecoder] = None
+
+
+def _fixed_decoders():
+    global _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
+    if _FIXED_LITLEN_DECODER is None:
+        _FIXED_LITLEN_DECODER = HuffmanDecoder(FIXED_LITLEN_LENGTHS)
+        _FIXED_DIST_DECODER = HuffmanDecoder(FIXED_DIST_LENGTHS)
+    return _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
+
+
+def inflate(data: bytes, max_output: Optional[int] = None) -> bytes:
+    """Decode a complete Deflate stream to bytes.
+
+    ``max_output`` guards against decompression bombs in callers that
+    feed untrusted input; ``None`` means unlimited.
+    """
+    reader = BitReader(data)
+    out = bytearray()
+    while True:
+        final = reader.read_bits(1)
+        btype = reader.read_bits(2)
+        if btype == 0b00:
+            _inflate_stored(reader, out)
+        elif btype == 0b01:
+            litlen, dist = _fixed_decoders()
+            _inflate_compressed(reader, out, litlen, dist, max_output)
+        elif btype == 0b10:
+            litlen, dist = _read_dynamic_tables(reader)
+            _inflate_compressed(reader, out, litlen, dist, max_output)
+        else:
+            raise DeflateError("reserved block type 11")
+        if max_output is not None and len(out) > max_output:
+            raise DeflateError(
+                f"output exceeds max_output={max_output} bytes"
+            )
+        if final:
+            return bytes(out)
+
+
+def inflate_with_tail(data: bytes) -> tuple:
+    """Like :func:`inflate` but also return the consumed byte count.
+
+    Containers need this to locate their trailing checksum.
+    """
+    reader = BitReader(data)
+    out = bytearray()
+    while True:
+        final = reader.read_bits(1)
+        btype = reader.read_bits(2)
+        if btype == 0b00:
+            _inflate_stored(reader, out)
+        elif btype == 0b01:
+            litlen, dist = _fixed_decoders()
+            _inflate_compressed(reader, out, litlen, dist, None)
+        elif btype == 0b10:
+            litlen, dist = _read_dynamic_tables(reader)
+            _inflate_compressed(reader, out, litlen, dist, None)
+        else:
+            raise DeflateError("reserved block type 11")
+        if final:
+            consumed = (reader.bits_consumed + 7) // 8
+            return bytes(out), consumed
+
+
+def _inflate_stored(reader: BitReader, out: bytearray) -> None:
+    reader.align_to_byte()
+    length = reader.read_bits(16)
+    nlen = reader.read_bits(16)
+    if length ^ nlen != 0xFFFF:
+        raise DeflateError(
+            f"stored block LEN/NLEN mismatch: {length:#06x}/{nlen:#06x}"
+        )
+    out.extend(reader.read_bytes(length))
+
+
+def _read_dynamic_tables(reader: BitReader):
+    hlit = reader.read_bits(5) + 257
+    hdist = reader.read_bits(5) + 1
+    hclen = reader.read_bits(4) + 4
+    if hlit > 286:
+        raise DeflateError(f"HLIT {hlit} exceeds 286")
+    if hdist > 30:
+        raise DeflateError(f"HDIST {hdist} exceeds 30")
+    cl_lengths = [0] * 19
+    for index in range(hclen):
+        cl_lengths[CODE_LENGTH_ORDER[index]] = reader.read_bits(3)
+    cl_decoder = HuffmanDecoder(cl_lengths, max_bits=7)
+
+    lengths = []
+    while len(lengths) < hlit + hdist:
+        symbol = cl_decoder.decode(reader)
+        if symbol < 16:
+            lengths.append(symbol)
+        elif symbol == 16:
+            if not lengths:
+                raise DeflateError("repeat code with no previous length")
+            repeat = reader.read_bits(2) + 3
+            lengths.extend([lengths[-1]] * repeat)
+        elif symbol == 17:
+            repeat = reader.read_bits(3) + 3
+            lengths.extend([0] * repeat)
+        else:  # 18
+            repeat = reader.read_bits(7) + 11
+            lengths.extend([0] * repeat)
+    if len(lengths) != hlit + hdist:
+        raise DeflateError("code length run overflows HLIT+HDIST")
+
+    litlen_lengths = lengths[:hlit]
+    dist_lengths = lengths[hlit:]
+    if litlen_lengths[END_OF_BLOCK] == 0:
+        raise DeflateError("end-of-block symbol has no code")
+    litlen = HuffmanDecoder(litlen_lengths)
+    if any(dist_lengths):
+        # A single distance code may legally be incomplete (one code of
+        # one bit); used for e.g. whole-file RLE streams.
+        dist = HuffmanDecoder(dist_lengths, allow_incomplete=True)
+    else:
+        dist = None
+    return litlen, dist
+
+
+def _inflate_compressed(
+    reader: BitReader,
+    out: bytearray,
+    litlen: HuffmanDecoder,
+    dist: Optional[HuffmanDecoder],
+    max_output: Optional[int],
+) -> None:
+    while True:
+        symbol = litlen.decode(reader)
+        if symbol < 256:
+            out.append(symbol)
+        elif symbol == END_OF_BLOCK:
+            return
+        else:
+            if symbol > 285:
+                raise DeflateError(f"invalid length symbol {symbol}")
+            extra = LENGTH_TABLE[symbol - 257][1]
+            length = length_from_symbol(symbol, reader.read_bits(extra))
+            if dist is None:
+                raise DeflateError(
+                    "length/distance pair in a block with no distance codes"
+                )
+            dsymbol = dist.decode(reader)
+            if dsymbol > 29:
+                raise DeflateError(f"invalid distance symbol {dsymbol}")
+            dextra = DISTANCE_TABLE[dsymbol][1]
+            distance = distance_from_symbol(dsymbol, reader.read_bits(dextra))
+            start = len(out) - distance
+            if start < 0:
+                raise DeflateError(
+                    f"back-reference distance {distance} precedes output "
+                    f"start ({len(out)} bytes emitted)"
+                )
+            if distance >= length:
+                out.extend(out[start:start + length])
+            else:
+                for i in range(length):
+                    out.append(out[start + i])
+        if max_output is not None and len(out) > max_output:
+            raise DeflateError(
+                f"output exceeds max_output={max_output} bytes"
+            )

@@ -1,0 +1,196 @@
+"""Preset-dictionary compression (RFC 1950 FDICT).
+
+Embedded loggers often compress *small independent records* (one CAN
+burst, one telemetry batch) where the sliding window never warms up. The
+ZLib spec's answer is a preset dictionary: compressor and decompressor
+agree on a shared byte string that primes the window, and the stream
+header carries its Adler-32 (DICTID) so a mismatch is detected up front.
+
+This module implements both directions, interoperable with CPython's
+``zlib.compressobj(zdict=...)`` / ``decompressobj(zdict=...)`` (tested),
+plus a helper that builds a dictionary from sample records by frequency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.checksums.adler32 import adler32
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.zlib_container import make_header
+from repro.errors import ConfigError, ZLibContainerError
+from repro.lzss.compressor import LZSSCompressor
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import MatchPolicy
+from repro.lzss.tokens import TokenArray
+
+_CM_DEFLATE = 8
+_FDICT_BIT = 0x20
+
+
+def _make_fdict_header(window_size: int, dictionary: bytes) -> bytes:
+    """CMF/FLG with FDICT set, followed by the 4-byte DICTID."""
+    base = make_header(window_size)
+    cmf = base[0]
+    flg = _FDICT_BIT
+    rem = (cmf * 256 + flg) % 31
+    if rem:
+        flg += 31 - rem
+    return bytes([cmf, flg]) + adler32(dictionary).to_bytes(4, "big")
+
+
+def compress_with_dict(
+    data: bytes,
+    dictionary: bytes,
+    window_size: int = 4096,
+    hash_spec: Optional[HashSpec] = None,
+    policy: Optional[MatchPolicy] = None,
+) -> bytes:
+    """Compress ``data`` with ``dictionary`` priming the window.
+
+    The output is a standard FDICT ZLib stream:
+    ``zlib.decompressobj(zdict=dictionary)`` accepts it.
+    """
+    if not dictionary:
+        raise ConfigError("dictionary must be non-empty (use compress())")
+    max_dict = window_size - 262
+    if len(dictionary) > max_dict:
+        # Only the last window's worth can ever be referenced.
+        dictionary = dictionary[-max_dict:]
+
+    # Prime by compressing dictionary+data and keeping only the tokens
+    # that start inside `data` (matches may reach back into the
+    # dictionary; the decompressor's window is pre-loaded with it).
+    compressor = LZSSCompressor(window_size, hash_spec, policy)
+    base = len(dictionary)
+    combined = dictionary + data
+    result = compressor.compress(combined)
+    tokens = TokenArray()
+    pos = 0
+    for length, value in zip(result.tokens.lengths, result.tokens.values):
+        step = length if length else 1
+        if pos >= base:
+            tokens.lengths.append(length)
+            tokens.values.append(value)
+        elif pos + step > base:
+            # Token straddling the boundary: re-emit its data-part as
+            # literals (it cannot be safely truncated into a match).
+            for q in range(base, pos + step):
+                tokens.append_literal(combined[q])
+        pos += step
+
+    body = deflate_tokens(tokens, BlockStrategy.FIXED)
+    return (
+        _make_fdict_header(window_size, dictionary)
+        + body
+        + adler32(data).to_bytes(4, "big")
+    )
+
+
+def decompress_with_dict(
+    stream: bytes,
+    dictionary: bytes,
+    max_output: Optional[int] = None,
+) -> bytes:
+    """Decode an FDICT ZLib stream produced with ``dictionary``."""
+    if len(stream) < 6:
+        raise ZLibContainerError("stream shorter than an FDICT header")
+    cmf, flg = stream[0], stream[1]
+    if cmf & 0x0F != _CM_DEFLATE:
+        raise ZLibContainerError(
+            f"unsupported compression method {cmf & 0xF}"
+        )
+    if (cmf * 256 + flg) % 31:
+        raise ZLibContainerError("FCHECK failure in CMF/FLG")
+    if not flg & _FDICT_BIT:
+        raise ZLibContainerError(
+            "stream has no FDICT flag; use plain decompress()"
+        )
+    dictid = int.from_bytes(stream[2:6], "big")
+    window_size = 1 << ((cmf >> 4) + 8)
+    max_dict = window_size - 262
+    effective = dictionary[-max_dict:] if len(dictionary) > max_dict \
+        else dictionary
+    if adler32(effective) != dictid and adler32(dictionary) != dictid:
+        raise ZLibContainerError(
+            f"DICTID {dictid:#010x} does not match the supplied dictionary"
+        )
+
+    # Decode with the dictionary pre-loaded, then strip it.
+    payload, consumed = _inflate_primed(stream[6:], effective)
+    if max_output is not None and len(payload) > max_output:
+        raise ZLibContainerError(
+            f"output exceeds max_output={max_output} bytes"
+        )
+    trailer = stream[6 + consumed:6 + consumed + 4]
+    if len(trailer) < 4:
+        raise ZLibContainerError("stream truncated before Adler-32 trailer")
+    expected = int.from_bytes(trailer, "big")
+    if adler32(payload) != expected:
+        raise ZLibContainerError("Adler-32 mismatch")
+    return payload
+
+
+def _inflate_primed(body: bytes, dictionary: bytes):
+    """Inflate with the output buffer primed by ``dictionary``."""
+    from repro.bitio.reader import BitReader
+    from repro.deflate.inflate import (
+        _fixed_decoders,
+        _inflate_compressed,
+        _inflate_stored,
+        _read_dynamic_tables,
+    )
+
+    reader = BitReader(body)
+    out = bytearray(dictionary)
+    while True:
+        final = reader.read_bits(1)
+        btype = reader.read_bits(2)
+        if btype == 0b00:
+            _inflate_stored(reader, out)
+        elif btype == 0b01:
+            litlen, dist = _fixed_decoders()
+            _inflate_compressed(reader, out, litlen, dist, None)
+        elif btype == 0b10:
+            litlen, dist = _read_dynamic_tables(reader)
+            _inflate_compressed(reader, out, litlen, dist, None)
+        else:
+            raise ZLibContainerError("reserved block type in FDICT stream")
+        if final:
+            consumed = (reader.bits_consumed + 7) // 8
+            return bytes(out[len(dictionary):]), consumed
+
+
+def train_dictionary(
+    samples: Iterable[bytes],
+    size: int = 2048,
+    ngram: int = 8,
+) -> bytes:
+    """Build a preset dictionary from sample records.
+
+    Greedy frequency heuristic: the most common ``ngram``-grams across
+    the samples are concatenated (most frequent *last*, since shorter
+    back-reference distances are cheaper in Deflate). Good enough to
+    demonstrate the mechanism; production systems use suffix-automaton
+    trainers (e.g. zstd's cover algorithm).
+    """
+    if size <= 0:
+        raise ConfigError(f"size must be positive: {size}")
+    counts: Counter = Counter()
+    for sample in samples:
+        for i in range(0, max(0, len(sample) - ngram + 1), 2):
+            counts[bytes(sample[i:i + ngram])] += 1
+    picked = []
+    used = 0
+    seen = set()
+    for gram, count in counts.most_common():
+        if count < 2 or used >= size:
+            break
+        if gram in seen:
+            continue
+        seen.add(gram)
+        picked.append(gram)
+        used += len(gram)
+    picked.reverse()  # most frequent nearest the end (cheapest distances)
+    return b"".join(picked)[-size:]

@@ -1,0 +1,154 @@
+"""Per-block entropy-coding strategy selection.
+
+The paper's hardware commits to the fixed tables for speed; ZLib's
+software encoder instead prices each block under all three codings and
+emits the cheapest. This module implements that opportunistic choice so
+the estimator can quantify exactly what the hardware's commitment costs
+on a given workload (the "can be also compensated by increasing LZSS
+compression level" discussion of §IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    fixed_block_cost_bits,
+    write_fixed_block,
+    write_stored_block,
+)
+from repro.deflate.dynamic import write_dynamic_block
+from repro.errors import ConfigError
+from repro.lzss.tokens import TokenArray
+
+
+@dataclass
+class BlockChoice:
+    """One block's evaluated coding options."""
+
+    strategy: BlockStrategy
+    fixed_bits: int
+    dynamic_bits: int
+    stored_bits: int
+
+    @property
+    def chosen_bits(self) -> int:
+        return {
+            BlockStrategy.FIXED: self.fixed_bits,
+            BlockStrategy.DYNAMIC: self.dynamic_bits,
+            BlockStrategy.STORED: self.stored_bits,
+        }[self.strategy]
+
+
+def _dynamic_cost_bits(tokens: TokenArray) -> int:
+    """Exact dynamic-block cost, measured by encoding into a scratch
+    writer (table transmission included)."""
+    writer = BitWriter()
+    write_dynamic_block(writer, tokens, final=False)
+    return writer.bit_length
+
+
+def evaluate_block(
+    tokens: TokenArray, uncompressed_size: int
+) -> BlockChoice:
+    """Price one block under all three codings and pick the cheapest."""
+    fixed_bits = fixed_block_cost_bits(tokens)
+    dynamic_bits = _dynamic_cost_bits(tokens) if len(tokens) else fixed_bits
+    # Stored: header + alignment (worst case 7 bits) + LEN/NLEN + bytes.
+    stored_bits = 3 + 7 + 32 + 8 * uncompressed_size
+    best = min(
+        (fixed_bits, BlockStrategy.FIXED),
+        (dynamic_bits, BlockStrategy.DYNAMIC),
+        (stored_bits, BlockStrategy.STORED),
+        key=lambda pair: pair[0],
+    )
+    return BlockChoice(
+        strategy=best[1],
+        fixed_bits=fixed_bits,
+        dynamic_bits=dynamic_bits,
+        stored_bits=stored_bits,
+    )
+
+
+def _slice_tokens(tokens: TokenArray, start: int, stop: int) -> TokenArray:
+    out = TokenArray()
+    out.lengths = tokens.lengths[start:stop]
+    out.values = tokens.values[start:stop]
+    return out
+
+
+@dataclass
+class SplitResult:
+    """Outcome of an adaptive-strategy encoding."""
+
+    body: bytes
+    choices: List[BlockChoice]
+
+    def strategy_counts(self) -> dict:
+        counts: dict = {}
+        for choice in self.choices:
+            counts[choice.strategy] = counts.get(choice.strategy, 0) + 1
+        return counts
+
+
+def deflate_adaptive(
+    tokens: TokenArray,
+    original: bytes,
+    tokens_per_block: int = 16384,
+) -> SplitResult:
+    """Encode a token stream with per-block best-strategy choice.
+
+    ``original`` supplies the raw bytes for stored blocks. Blocks are
+    cut every ``tokens_per_block`` tokens (ZLib cuts on symbol-buffer
+    fill, which is the same mechanism).
+    """
+    if tokens_per_block < 1:
+        raise ConfigError(
+            f"tokens_per_block must be >= 1: {tokens_per_block}"
+        )
+    writer = BitWriter()
+    choices: List[BlockChoice] = []
+    n = len(tokens)
+    block_starts = list(range(0, n, tokens_per_block)) or [0]
+    consumed = 0
+    for index, start in enumerate(block_starts):
+        stop = min(start + tokens_per_block, n)
+        block = _slice_tokens(tokens, start, stop)
+        raw_len = block.uncompressed_size()
+        final = index == len(block_starts) - 1
+        choice = evaluate_block(block, raw_len)
+        choices.append(choice)
+        if choice.strategy is BlockStrategy.FIXED:
+            write_fixed_block(writer, block, final=final)
+        elif choice.strategy is BlockStrategy.DYNAMIC:
+            write_dynamic_block(writer, block, final=final)
+        else:
+            write_stored_block(
+                writer, original[consumed:consumed + raw_len], final=final
+            )
+        consumed += raw_len
+    return SplitResult(body=writer.flush(), choices=choices)
+
+
+def zlib_compress_adaptive(
+    data: bytes,
+    window_size: int = 4096,
+    hash_spec=None,
+    policy=None,
+    tokens_per_block: int = 16384,
+) -> bytes:
+    """Full ZLib stream with per-block strategy choice."""
+    from repro.checksums.adler32 import adler32
+    from repro.deflate.zlib_container import make_header
+    from repro.lzss.compressor import LZSSCompressor
+
+    result = LZSSCompressor(window_size, hash_spec, policy).compress(data)
+    split = deflate_adaptive(result.tokens, data, tokens_per_block)
+    return (
+        make_header(window_size)
+        + split.body
+        + adler32(data).to_bytes(4, "big")
+    )

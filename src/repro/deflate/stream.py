@@ -1,0 +1,223 @@
+"""Streaming (chunked) compression with flush semantics.
+
+The paper's compressor processes an unbounded stream "on-the-fly without
+separate buffering and compressing stages" (§IV). This module gives the
+software library the same capability: a :class:`ZLibStreamCompressor`
+accepts input in arbitrary chunks, emits Deflate blocks incrementally,
+and supports ZLib's ``Z_SYNC_FLUSH`` convention (an empty stored block
+that byte-aligns the stream) so a log reader can decode everything
+written so far — the property embedded loggers need for crash-safe logs.
+
+Matches continue *across* chunk boundaries: the compressor keeps the
+sliding window's worth of history, so chunked output is only marginally
+larger than one-shot output (block framing + flush markers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bitio.writer import BitWriter
+from repro.checksums.adler32 import Adler32
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    write_block_header,
+    write_fixed_block,
+    write_stored_block,
+)
+from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.zlib_container import make_header
+from repro.errors import ConfigError
+from repro.lzss.compressor import LZSSCompressor
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import MatchPolicy
+from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
+
+
+class ZLibStreamCompressor:
+    """Incremental ZLib-compatible compressor.
+
+    Usage::
+
+        stream = ZLibStreamCompressor()
+        out = stream.compress(chunk1)
+        out += stream.flush_sync()     # decodable prefix boundary
+        out += stream.compress(chunk2)
+        out += stream.finish()
+
+    The concatenated output is a valid ZLib stream decoding to
+    ``chunk1 + chunk2``.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        hash_spec: Optional[HashSpec] = None,
+        policy: Optional[MatchPolicy] = None,
+        strategy: BlockStrategy = BlockStrategy.FIXED,
+    ) -> None:
+        if strategy is BlockStrategy.STORED:
+            raise ConfigError(
+                "use write_stored_block directly for stored streams"
+            )
+        self.window_size = window_size
+        self.strategy = strategy
+        self._lzss = LZSSCompressor(window_size, hash_spec, policy)
+        self._writer = BitWriter()
+        self._adler = Adler32()
+        # History kept so matches can reach back across chunk borders.
+        self._history = b""
+        self._finished = False
+        self._started = False
+        self._total_in = 0
+
+    def _header_once(self) -> None:
+        if not self._started:
+            self._writer.write_bytes(make_header(self.window_size))
+            self._started = True
+
+    def compress(self, chunk: bytes) -> bytes:
+        """Compress one chunk; returns whatever output became final."""
+        if self._finished:
+            raise ConfigError("stream already finished")
+        self._header_once()
+        chunk = bytes(chunk)
+        if not chunk:
+            return self._drain()
+        self._adler.update(chunk)
+        self._total_in += len(chunk)
+
+        # Re-run the matcher over history + chunk, then keep only the
+        # tokens that start inside the new chunk. Token boundaries from
+        # the previous run are preserved because the previous chunk was
+        # emitted to the stream already; the history serves only as
+        # match source material (the dictionary ring's contents).
+        base = len(self._history)
+        data = self._history + chunk
+        result = self._lzss.compress(data)
+        tokens = TokenArray()
+        pos = 0
+        for length, value in zip(
+            result.tokens.lengths, result.tokens.values
+        ):
+            step = length if length else 1
+            if pos >= base:
+                tokens.lengths.append(length)
+                tokens.values.append(value)
+            elif pos + step > base:
+                # A match straddling the boundary: re-emit the part in
+                # the new chunk as literals (boundary tokens cannot be
+                # split into valid shorter matches safely).
+                for q in range(max(pos, base), pos + step):
+                    tokens.append_literal(data[q])
+            pos += step
+        self._emit_block(tokens, final=False)
+        keep = self.window_size + MIN_LOOKAHEAD
+        self._history = data[-keep:]
+        return self._drain()
+
+    def flush_sync(self) -> bytes:
+        """ZLib Z_SYNC_FLUSH: byte-align with an empty stored block.
+
+        Everything emitted so far becomes independently decodable (up
+        to this point) by any inflater fed the bytes so far plus this
+        marker.
+        """
+        if self._finished:
+            raise ConfigError("stream already finished")
+        self._header_once()
+        write_block_header(self._writer, 0b00, final=False)
+        self._writer.align_to_byte()
+        self._writer.write_bits(0, 16)
+        self._writer.write_bits(0xFFFF, 16)
+        return self._drain()
+
+    def finish(self) -> bytes:
+        """Terminate the stream: final block + Adler-32 trailer."""
+        if self._finished:
+            raise ConfigError("stream already finished")
+        self._header_once()
+        self._finished = True
+        # An empty final block closes the Deflate layer.
+        self._emit_block(TokenArray(), final=True)
+        self._writer.align_to_byte()
+        self._writer.write_bytes(self._adler.digest())
+        return self._drain()
+
+    @property
+    def total_in(self) -> int:
+        """Bytes consumed so far."""
+        return self._total_in
+
+    def _emit_block(self, tokens: TokenArray, final: bool) -> None:
+        if self.strategy is BlockStrategy.FIXED or len(tokens) == 0:
+            write_fixed_block(self._writer, tokens, final=final)
+        else:
+            write_dynamic_block(self._writer, tokens, final=final)
+
+    def _drain(self) -> bytes:
+        return self._writer.take_bytes()
+
+
+def decompress_prefix(data: bytes) -> bytes:
+    """Decode as much of a (possibly truncated) ZLib stream as possible.
+
+    This is the crash-recovery read path for sync-flushed logs: decode
+    block by block and return everything up to the last *complete*
+    block, instead of raising on the truncated tail. A stream cut at a
+    :meth:`ZLibStreamCompressor.flush_sync` boundary therefore yields
+    exactly the data written before the flush.
+    """
+    from repro.bitio.reader import BitReader
+    from repro.deflate.inflate import (
+        _fixed_decoders,
+        _inflate_compressed,
+        _inflate_stored,
+        _read_dynamic_tables,
+    )
+    from repro.deflate.zlib_container import parse_header
+    from repro.errors import FormatError
+
+    parse_header(data)
+    reader = BitReader(data[2:])
+    out = bytearray()
+    good = 0
+    try:
+        while True:
+            final = reader.read_bits(1)
+            btype = reader.read_bits(2)
+            if btype == 0b00:
+                _inflate_stored(reader, out)
+            elif btype == 0b01:
+                litlen, dist = _fixed_decoders()
+                _inflate_compressed(reader, out, litlen, dist, None)
+            elif btype == 0b10:
+                litlen, dist = _read_dynamic_tables(reader)
+                _inflate_compressed(reader, out, litlen, dist, None)
+            else:
+                break
+            good = len(out)
+            if final:
+                break
+    except FormatError:
+        pass
+    return bytes(out[:good])
+
+
+def compress_chunks(
+    chunks,
+    window_size: int = 4096,
+    strategy: BlockStrategy = BlockStrategy.FIXED,
+    sync_every_chunk: bool = False,
+) -> bytes:
+    """One-shot helper: compress an iterable of chunks incrementally."""
+    stream = ZLibStreamCompressor(
+        window_size=window_size, strategy=strategy
+    )
+    out = bytearray()
+    for chunk in chunks:
+        out += stream.compress(chunk)
+        if sync_every_chunk:
+            out += stream.flush_sync()
+    out += stream.finish()
+    return bytes(out)

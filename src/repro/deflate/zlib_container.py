@@ -1,0 +1,144 @@
+"""ZLib (RFC 1950) stream framing and the end-to-end compressor facade.
+
+:func:`compress` is the software equivalent of the paper's complete
+datapath — LZSS core feeding the fixed-table Huffman coder, wrapped in
+the ZLib container so that any standard inflater accepts the output
+("To make the compressed stream compatible with the ZLib library...",
+§I). The test suite feeds our streams to CPython's ``zlib.decompress``
+as the external oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checksums.adler32 import adler32
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.inflate import inflate_with_tail
+from repro.errors import ZLibContainerError
+from repro.lzss.compressor import CompressResult, LZSSCompressor
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import MatchPolicy
+
+_CM_DEFLATE = 8
+
+
+def make_header(window_size: int) -> bytes:
+    """Build the 2-byte CMF/FLG header for a given window size.
+
+    CINFO is ``log2(window) - 8``; windows below 256 are advertised as
+    256. FCHECK makes ``CMF*256 + FLG`` a multiple of 31 (RFC 1950 §2.2).
+    """
+    cinfo = max(window_size.bit_length() - 1, 8) - 8
+    if cinfo > 7:
+        raise ZLibContainerError(
+            f"window size {window_size} exceeds the 32 KB ZLib maximum"
+        )
+    cmf = (cinfo << 4) | _CM_DEFLATE
+    flg = 0  # FLEVEL=0 (fastest — accurate for this design), FDICT=0
+    rem = (cmf * 256 + flg) % 31
+    if rem:
+        flg += 31 - rem
+    return bytes([cmf, flg])
+
+
+def parse_header(data: bytes) -> int:
+    """Validate the CMF/FLG header; return the advertised window size."""
+    if len(data) < 2:
+        raise ZLibContainerError("stream shorter than the 2-byte header")
+    cmf, flg = data[0], data[1]
+    if cmf & 0x0F != _CM_DEFLATE:
+        raise ZLibContainerError(f"unsupported compression method {cmf & 0xF}")
+    if (cmf * 256 + flg) % 31:
+        raise ZLibContainerError("FCHECK failure in CMF/FLG")
+    if flg & 0x20:
+        raise ZLibContainerError("FDICT preset dictionaries not supported")
+    return 1 << ((cmf >> 4) + 8)
+
+
+@dataclass
+class ZLibResult:
+    """Full output of one container-level compression."""
+
+    data: bytes
+    lzss: CompressResult
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.data)
+
+    @property
+    def ratio(self) -> float:
+        """Uncompressed/compressed size (the paper's Table I metric)."""
+        if not self.data:
+            return 0.0
+        return self.lzss.input_size / len(self.data)
+
+
+class ZLibCompressor:
+    """LZSS + Huffman + ZLib framing with the paper's parameter set."""
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        hash_spec: Optional[HashSpec] = None,
+        policy: Optional[MatchPolicy] = None,
+        strategy: BlockStrategy = BlockStrategy.FIXED,
+    ) -> None:
+        self._lzss = LZSSCompressor(window_size, hash_spec, policy)
+        self.strategy = strategy
+        self.window_size = window_size
+
+    def compress(self, data: bytes) -> ZLibResult:
+        """Compress ``data`` into a complete ZLib stream."""
+        result = self._lzss.compress(data)
+        body = deflate_tokens(result.tokens, self.strategy)
+        stream = (
+            make_header(self.window_size)
+            + body
+            + adler32(data).to_bytes(4, "big")
+        )
+        return ZLibResult(data=stream, lzss=result)
+
+
+def compress(
+    data: bytes,
+    window_size: int = 4096,
+    hash_spec: Optional[HashSpec] = None,
+    policy: Optional[MatchPolicy] = None,
+    strategy: BlockStrategy = BlockStrategy.FIXED,
+) -> bytes:
+    """One-shot ZLib-compatible compression (paper datapath defaults).
+
+    >>> import zlib
+    >>> stream = compress(b"snowy snow" * 100)
+    >>> zlib.decompress(stream) == b"snowy snow" * 100
+    True
+    >>> decompress(stream) == b"snowy snow" * 100
+    True
+    """
+    return ZLibCompressor(window_size, hash_spec, policy, strategy).compress(
+        data
+    ).data
+
+
+def decompress(data: bytes, max_output: Optional[int] = None) -> bytes:
+    """Decode a ZLib stream with our own inflate; verifies Adler-32."""
+    parse_header(data)
+    payload, consumed = inflate_with_tail(data[2:])
+    if max_output is not None and len(payload) > max_output:
+        raise ZLibContainerError(
+            f"output exceeds max_output={max_output} bytes"
+        )
+    trailer = data[2 + consumed:2 + consumed + 4]
+    if len(trailer) < 4:
+        raise ZLibContainerError("stream truncated before Adler-32 trailer")
+    expected = int.from_bytes(trailer, "big")
+    actual = adler32(payload)
+    if actual != expected:
+        raise ZLibContainerError(
+            f"Adler-32 mismatch: stream says {expected:#010x}, "
+            f"payload gives {actual:#010x}"
+        )
+    return payload

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Sub-hierarchies distinguish
+format-level problems (corrupt or non-conforming streams) from
+configuration problems (invalid hardware parameters).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class FormatError(ReproError, ValueError):
+    """A bitstream or container did not conform to its specification."""
+
+
+class BitstreamError(FormatError):
+    """Low-level bit I/O failure (e.g. reading past the end of input)."""
+
+
+class HuffmanError(FormatError):
+    """Invalid Huffman code description or undecodable symbol."""
+
+
+class DeflateError(FormatError):
+    """Malformed Deflate block structure."""
+
+
+class ZLibContainerError(FormatError):
+    """Malformed ZLib (RFC 1950) framing: bad header or checksum."""
+
+
+class GzipContainerError(FormatError):
+    """Malformed gzip (RFC 1952) framing: bad magic, flags or checksum."""
+
+
+class LZSSError(FormatError):
+    """Invalid LZSS token stream (e.g. a copy reaching before the start)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The hardware simulation reached an inconsistent internal state."""

@@ -1,0 +1,37 @@
+"""The design-space estimation tool (§V, reference [17]).
+
+"To simplify design space exploration we have developed a software
+estimator tool. The tool consists of a flexible cycle-accurate C++
+model and a C# front-end. The C++ model accepts various design
+parameters (e.g. window size), compresses reference data blocks and
+produces various cycle-accurate statistics. The C# front-end allows
+constructing series of parameter sets (e.g. iterating an arbitrary
+parameter over a given range), iteratively runs the C++ model and
+visualizes the obtained results."
+
+Mapping: the "C++ model" is :class:`~repro.hw.compressor.HardwareCompressor`;
+the "C# front-end" is this package — :class:`ParameterSweep` constructs
+series by iterating any :class:`~repro.hw.params.HardwareParams` field
+over a range, :mod:`repro.estimator.report` renders the results, and
+:mod:`repro.estimator.cli` is the interactive entry point
+(``lzss-estimator``).
+"""
+
+from repro.estimator.presets import ESTIMATION_PRESETS, estimation_preset
+from repro.estimator.report import EstimationRow, SweepReport
+from repro.estimator.sweep import ParameterSweep, grid_sweep, run_configuration
+from repro.estimator.pareto import pareto_front, to_csv
+from repro.estimator.workload_report import compare_workloads
+
+__all__ = [
+    "ESTIMATION_PRESETS",
+    "estimation_preset",
+    "EstimationRow",
+    "SweepReport",
+    "ParameterSweep",
+    "grid_sweep",
+    "run_configuration",
+    "pareto_front",
+    "to_csv",
+    "compare_workloads",
+]

@@ -1,0 +1,391 @@
+"""Command-line front-end for the estimation tool.
+
+Subcommands::
+
+    lzss-estimator run --preset speed --workload wiki --size-kb 256
+    lzss-estimator run --file input.bin --window 8192 --hash-bits 13
+    lzss-estimator sweep --axis window_size --values 1024,2048,4096
+    lzss-estimator resources --preset max-ratio
+    lzss-estimator verify --total-mb 4
+    lzss-estimator presets
+
+Every subcommand prints plain-text reports (the role of the paper's C#
+visualiser, minus the GUI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.estimator.presets import ESTIMATION_PRESETS, estimation_preset
+from repro.estimator.sweep import ParameterSweep, run_configuration
+from repro.hw.params import HardwareParams
+from repro.hw.resources import estimate_resources
+from repro.workloads.corpus import WORKLOADS, sample
+
+
+def _load_data(args: argparse.Namespace) -> bytes:
+    if args.file:
+        with open(args.file, "rb") as handle:
+            return handle.read()
+    return sample(args.workload, args.size_kb * 1024)
+
+
+def _build_params(args: argparse.Namespace) -> HardwareParams:
+    if args.preset:
+        params = estimation_preset(args.preset)
+    else:
+        params = HardwareParams()
+    overrides = {}
+    if args.window is not None:
+        overrides["window_size"] = args.window
+    if args.hash_bits is not None:
+        overrides["hash_bits"] = args.hash_bits
+    if args.gen_bits is not None:
+        overrides["gen_bits"] = args.gen_bits
+    if overrides:
+        params = params.with_overrides(**overrides)
+    return params
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--file", help="compress this file instead of a "
+                        "generated workload")
+    parser.add_argument("--workload", default="wiki",
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--size-kb", type=int, default=256,
+                        help="generated workload size in KiB")
+    parser.add_argument("--preset", choices=sorted(ESTIMATION_PRESETS))
+    parser.add_argument("--window", type=int, help="dictionary size bytes")
+    parser.add_argument("--hash-bits", type=int)
+    parser.add_argument("--gen-bits", type=int)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    data = _load_data(args)
+    params = _build_params(args)
+    row = run_configuration(params, data)
+    print(f"configuration : {params.describe()}")
+    print(f"input         : {row.input_bytes} bytes")
+    print(f"compressed    : {row.compressed_bytes} bytes "
+          f"(ratio {row.ratio:.3f})")
+    print(row.stats.format_table())
+    print(f"BRAM blocks   : {row.bram36} x 36Kb")
+    print(f"LUT estimate  : {row.luts}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    data = _load_data(args)
+    values = [_parse_value(v) for v in args.values.split(",")]
+    sweep = ParameterSweep(args.axis, values, base=_build_params(args))
+    report = sweep.run(data, workload=args.workload)
+    print(report.format_table(
+        header=f"sweep of {args.axis} on {len(data)} bytes of "
+        f"{args.workload}"
+    ))
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    params = _build_params(args)
+    print(estimate_resources(params).format_table())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.hw.alt_architectures import compare_architectures
+
+    data = _load_data(args)
+    comparison = compare_architectures(_build_params(args), data)
+    print(comparison.format_table())
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.estimator.pareto import pareto_front, to_csv
+    from repro.estimator.sweep import grid_sweep
+
+    data = _load_data(args)
+    windows = [1024, 2048, 4096, 8192, 16384]
+    hash_bits = [9, 11, 13, 15]
+    rows = [
+        row
+        for report in grid_sweep(data, windows, hash_bits)
+        for row in report.rows
+    ]
+    front = pareto_front(rows)
+    print(f"{len(front)} non-dominated of {len(rows)} configurations "
+          "(speed / ratio / BRAM):")
+    for row in front:
+        print(f"  {row.format()}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(rows))
+        print(f"full sweep written to {args.csv}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.estimator.diff import diff_configurations
+
+    data = _load_data(args)
+    base = _build_params(args)
+    overrides = {}
+    for item in args.set:
+        key, _, raw = item.partition("=")
+        if not raw:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        overrides[key] = _parse_value(raw)
+    other = base.with_overrides(**overrides)
+    print(diff_configurations(base, other, data).format())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.workloads.stats import profile_workload
+
+    data = _load_data(args)
+    params = _build_params(args)
+    profile = profile_workload(
+        data, window_size=params.window_size,
+        hash_spec=params.hash_spec,
+    )
+    print(profile.format())
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.deflate.zlib_container import compress as zc
+
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    params = _build_params(args)
+    stream = zc(
+        data, window_size=params.window_size,
+        hash_spec=params.hash_spec, policy=params.policy,
+    )
+    output = args.output or args.input + ".lzz"
+    with open(output, "wb") as handle:
+        handle.write(stream)
+    ratio = len(data) / len(stream) if stream else 0.0
+    print(f"{args.input}: {len(data)} -> {len(stream)} bytes "
+          f"(ratio {ratio:.3f}) -> {output}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.deflate.zlib_container import decompress as zd
+
+    with open(args.input, "rb") as handle:
+        stream = handle.read()
+    data = zd(stream)
+    output = args.output or (
+        args.input[:-4] if args.input.endswith(".lzz")
+        else args.input + ".out"
+    )
+    with open(output, "wb") as handle:
+        handle.write(data)
+    print(f"{args.input}: {len(stream)} -> {len(data)} bytes -> {output}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.estimator.recommend import Constraints, recommend
+
+    data = _load_data(args)
+    rec = recommend(
+        data,
+        constraints=Constraints(
+            min_throughput_mbps=args.min_speed,
+            max_bram36=args.max_bram,
+            min_ratio=args.min_ratio,
+        ),
+        objective=args.objective,
+    )
+    print(rec.format())
+    return 0 if rec.found else 1
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import full_reproduction
+
+    report = full_reproduction(sample_bytes=args.size_kb * 1024)
+    print(report.render())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.estimator.workload_report import compare_workloads
+
+    comparison = compare_workloads(
+        params=_build_params(args),
+        sample_bytes=args.size_kb * 1024,
+    )
+    print(comparison.format_table())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verification import run_soak
+
+    report = run_soak(
+        total_bytes=args.total_mb * 1024 * 1024,
+        segment_bytes=args.segment_kb * 1024,
+        params=_build_params(args),
+    )
+    print(report.format())
+    print("all cross-checks passed")
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    for name, params in sorted(ESTIMATION_PRESETS.items()):
+        print(f"{name:<14s} {params.describe()}")
+    return 0
+
+
+def _parse_value(text: str):
+    lowered = text.strip().lower()
+    if lowered in ("true", "on", "yes"):
+        return True
+    if lowered in ("false", "off", "no"):
+        return False
+    return int(lowered)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lzss-estimator",
+        description="Design-space estimation tool for the FPGA LZSS "
+        "compressor (IPDPSW 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="estimate one configuration")
+    _add_common(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep one parameter")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--axis", required=True,
+                              choices=sorted(ParameterSweep.SWEEPABLE))
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated values")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    res_parser = sub.add_parser("resources", help="FPGA utilisation only")
+    _add_common(res_parser)
+    res_parser.set_defaults(func=_cmd_resources)
+
+    diff_parser = sub.add_parser(
+        "diff",
+        help="itemise the cycle/size/BRAM effect of changing one or "
+        "more parameters",
+    )
+    _add_common(diff_parser)
+    diff_parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override applied to the second configuration "
+        "(repeatable), e.g. --set data_bus_bytes=1",
+    )
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="statistical profile of a data sample (entropy, trigram "
+        "diversity, match distribution)",
+    )
+    _add_common(analyze_parser)
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
+    compress_parser = sub.add_parser(
+        "compress", help="compress a file into a ZLib stream (.lzz)"
+    )
+    compress_parser.add_argument("input")
+    compress_parser.add_argument("-o", "--output")
+    compress_parser.add_argument("--preset",
+                                 choices=sorted(ESTIMATION_PRESETS))
+    compress_parser.add_argument("--window", type=int)
+    compress_parser.add_argument("--hash-bits", type=int)
+    compress_parser.add_argument("--gen-bits", type=int)
+    compress_parser.set_defaults(func=_cmd_compress)
+
+    decompress_parser = sub.add_parser(
+        "decompress", help="decompress a .lzz / ZLib stream file"
+    )
+    decompress_parser.add_argument("input")
+    decompress_parser.add_argument("-o", "--output")
+    decompress_parser.set_defaults(func=_cmd_decompress)
+
+    recommend_parser = sub.add_parser(
+        "recommend",
+        help="find the best configuration for your data under "
+        "speed/BRAM/ratio constraints (§VI)",
+    )
+    _add_common(recommend_parser)
+    recommend_parser.add_argument("--min-speed", type=float, default=0.0,
+                                  help="minimum MB/s")
+    recommend_parser.add_argument("--max-bram", type=int, default=None,
+                                  help="BRAM36 budget")
+    recommend_parser.add_argument("--min-ratio", type=float, default=0.0)
+    recommend_parser.add_argument(
+        "--objective", default="ratio",
+        choices=["ratio", "throughput_mbps", "bram36"],
+    )
+    recommend_parser.set_defaults(func=_cmd_recommend)
+
+    paper_parser = sub.add_parser(
+        "paper",
+        help="regenerate every table and figure of the paper's "
+        "evaluation in one report",
+    )
+    _add_common(paper_parser)
+    paper_parser.set_defaults(func=_cmd_paper)
+
+    workloads_parser = sub.add_parser(
+        "workloads",
+        help="run one configuration across the whole workload corpus",
+    )
+    _add_common(workloads_parser)
+    workloads_parser.set_defaults(func=_cmd_workloads)
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="compare the FSM design against systolic/CAM matchers",
+    )
+    _add_common(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    pareto_parser = sub.add_parser(
+        "pareto",
+        help="sweep the design space and print the Pareto front",
+    )
+    _add_common(pareto_parser)
+    pareto_parser.add_argument("--csv", help="also export all rows as CSV")
+    pareto_parser.set_defaults(func=_cmd_pareto)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="soak-verify the datapath against the zlib reference "
+        "(the paper's 1 TB validation, scaled)",
+    )
+    _add_common(verify_parser)
+    verify_parser.add_argument("--total-mb", type=int, default=4)
+    verify_parser.add_argument("--segment-kb", type=int, default=64)
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    presets_parser = sub.add_parser("presets", help="list presets")
+    presets_parser.set_defaults(func=_cmd_presets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Configuration diff: where do the cycles go when a knob changes?
+
+The trade-off figures report totals; a designer iterating on one knob
+wants the *delta decomposition*: which FSM states gained or lost cycles,
+and what happened to output size and block RAM. ``diff_configurations``
+runs both configurations on the same data and itemises the change —
+effectively one Table III cell with its full explanation attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.estimator.sweep import run_configuration
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+
+
+@dataclass
+class ConfigDiff:
+    """Itemised difference between two configurations on one input."""
+
+    base: HardwareParams
+    other: HardwareParams
+    input_bytes: int
+    speed_base: float
+    speed_other: float
+    size_base: int
+    size_other: int
+    bram_base: int
+    bram_other: int
+    state_delta_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speed_change(self) -> float:
+        """Relative throughput change (positive = other is faster)."""
+        if self.speed_base == 0:
+            return 0.0
+        return self.speed_other / self.speed_base - 1
+
+    @property
+    def size_change(self) -> float:
+        """Relative output-size change (negative = other is smaller)."""
+        if self.size_base == 0:
+            return 0.0
+        return self.size_other / self.size_base - 1
+
+    def dominant_state(self) -> str:
+        """The FSM state contributing most to the cycle delta."""
+        if not self.state_delta_cycles:
+            return ""
+        return max(
+            self.state_delta_cycles,
+            key=lambda name: abs(self.state_delta_cycles[name]),
+        )
+
+    def changed_fields(self) -> Dict[str, tuple]:
+        """Parameter fields that differ: name -> (base, other)."""
+        out = {}
+        for name in (
+            "window_size", "hash_bits", "gen_bits", "head_split",
+            "data_bus_bytes", "hash_prefetch", "hash_cache",
+            "relative_next", "lookahead_size", "policy",
+        ):
+            a, b = getattr(self.base, name), getattr(self.other, name)
+            if a != b:
+                out[name] = (a, b)
+        return out
+
+    def format(self) -> str:
+        lines = [
+            f"base : {self.base.describe()}",
+            f"other: {self.other.describe()}",
+            "changed: " + ", ".join(
+                f"{name} {a}->{b}"
+                for name, (a, b) in self.changed_fields().items()
+            ) if self.changed_fields() else "changed: (nothing)",
+            f"speed: {self.speed_base:.1f} -> {self.speed_other:.1f} MB/s "
+            f"({100 * self.speed_change:+.1f}%)",
+            f"size : {self.size_base} -> {self.size_other} B "
+            f"({100 * self.size_change:+.1f}%)",
+            f"BRAM : {self.bram_base} -> {self.bram_other} blocks",
+            "cycle delta by state:",
+        ]
+        for name, delta in sorted(
+            self.state_delta_cycles.items(), key=lambda kv: -abs(kv[1])
+        ):
+            if delta:
+                lines.append(f"  {name:<22s} {delta:+d}")
+        return "\n".join(lines)
+
+
+def diff_configurations(
+    base: HardwareParams,
+    other: HardwareParams,
+    data: bytes,
+) -> ConfigDiff:
+    """Run both configurations on ``data`` and itemise the difference."""
+    row_a = run_configuration(base, data)
+    row_b = run_configuration(other, data)
+    deltas = {
+        state.value: (
+            row_b.stats.cycles[state] - row_a.stats.cycles[state]
+        )
+        for state in FSMState
+    }
+    return ConfigDiff(
+        base=base,
+        other=other,
+        input_bytes=len(data),
+        speed_base=row_a.throughput_mbps,
+        speed_other=row_b.throughput_mbps,
+        size_base=row_a.compressed_bytes,
+        size_other=row_b.compressed_bytes,
+        bram_base=row_a.bram36,
+        bram_other=row_b.bram36,
+        state_delta_cycles=deltas,
+    )

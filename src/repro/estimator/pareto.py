@@ -1,0 +1,77 @@
+"""Pareto-front analysis and CSV export for estimation results.
+
+The paper's front-end "visualizes the obtained results"; an integrator's
+first question is always *which configurations are not dominated* in the
+(speed, ratio, block-RAM) space. This module computes that front and
+exports sweep results for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from repro.estimator.report import EstimationRow
+from repro.errors import ConfigError
+
+#: Metrics where *larger* is better; everything else is minimised.
+_MAXIMIZE = {"ratio", "throughput_mbps"}
+
+
+def _score(row: EstimationRow, metric: str) -> float:
+    value = float(getattr(row, metric))
+    return value if metric in _MAXIMIZE else -value
+
+
+def dominates(
+    a: EstimationRow, b: EstimationRow, metrics: Sequence[str]
+) -> bool:
+    """True if ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere."""
+    at_least_as_good = all(
+        _score(a, m) >= _score(b, m) for m in metrics
+    )
+    strictly_better = any(_score(a, m) > _score(b, m) for m in metrics)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    rows: Iterable[EstimationRow],
+    metrics: Sequence[str] = ("throughput_mbps", "ratio", "bram36"),
+) -> List[EstimationRow]:
+    """Non-dominated subset of ``rows`` under ``metrics``."""
+    rows = list(rows)
+    if not metrics:
+        raise ConfigError("at least one metric is required")
+    front = [
+        row for row in rows
+        if not any(
+            dominates(other, row, metrics)
+            for other in rows if other is not row
+        )
+    ]
+    return sorted(front, key=lambda r: -r.throughput_mbps)
+
+
+def to_csv(rows: Iterable[EstimationRow]) -> str:
+    """Serialise estimation rows as CSV (one line per configuration)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "label", "window_size", "hash_bits", "gen_bits", "head_split",
+        "data_bus_bytes", "hash_prefetch", "input_bytes",
+        "compressed_bytes", "ratio", "throughput_mbps",
+        "cycles_per_byte", "bram36", "luts", "registers",
+    ])
+    for row in rows:
+        p = row.params
+        writer.writerow([
+            row.label or p.describe(), p.window_size, p.hash_bits,
+            p.gen_bits, p.resolved_head_split, p.data_bus_bytes,
+            p.hash_prefetch, row.input_bytes, row.compressed_bytes,
+            f"{row.ratio:.4f}", f"{row.throughput_mbps:.2f}",
+            f"{row.cycles_per_byte:.3f}", row.bram36, row.luts,
+            row.registers,
+        ])
+    return buffer.getvalue()

@@ -1,0 +1,45 @@
+"""Named estimation presets ("compresses a given file using several
+presets and produces reports regarding the block RAM amount, compression
+ratio and clock cycle usage", §IV)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.lzss.policy import HW_MAX_POLICY
+
+#: The presets the interactive tool offers. Each trades block RAM,
+#: ratio and speed differently, spanning the paper's explored space.
+ESTIMATION_PRESETS: Dict[str, HardwareParams] = {
+    # Table I's configuration: fastest feasible-ratio design point.
+    "speed": HardwareParams(window_size=4096, hash_bits=15),
+    # Minimal block RAM footprint.
+    "min-bram": HardwareParams(window_size=1024, hash_bits=9, gen_bits=2),
+    # Balanced middle of Fig. 2/3.
+    "balanced": HardwareParams(window_size=8192, hash_bits=13),
+    # Best ratio the greedy hardware reaches (Fig. 4's "max" curve).
+    "max-ratio": HardwareParams(
+        window_size=16384, hash_bits=15, policy=HW_MAX_POLICY
+    ),
+    # The related-work [11] baseline for ablation comparisons.
+    "baseline-2007": HardwareParams(
+        data_bus_bytes=1,
+        hash_prefetch=False,
+        gen_bits=0,
+        head_split=1,
+        relative_next=False,
+    ),
+}
+
+
+def estimation_preset(name: str) -> HardwareParams:
+    """Look up a preset by name."""
+    try:
+        return ESTIMATION_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown estimation preset {name!r}; "
+            f"available: {sorted(ESTIMATION_PRESETS)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Constraint-driven configuration recommendation (§VI).
+
+"An estimation tool available online allows performing design space
+exploration and finding optimal parameters based on real data samples."
+
+:func:`recommend` is that sentence as an API: given a data sample and
+the integrator's constraints (minimum throughput, block-RAM budget,
+minimum ratio), it sweeps the standard design grid, filters to feasible
+configurations, and returns the best one under a chosen objective along
+with the runner-up Pareto alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.estimator.pareto import pareto_front
+from repro.estimator.report import EstimationRow
+from repro.estimator.sweep import grid_sweep
+from repro.hw.params import HardwareParams
+from repro.lzss.policy import HW_MAX_POLICY, HW_SPEED_POLICY
+
+_DEFAULT_WINDOWS = (1024, 2048, 4096, 8192, 16384)
+_DEFAULT_HASH_BITS = (9, 11, 13, 15)
+_OBJECTIVES = {"ratio", "throughput_mbps", "bram36"}
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """The integrator's requirements."""
+
+    min_throughput_mbps: float = 0.0
+    max_bram36: Optional[int] = None
+    min_ratio: float = 0.0
+
+    def satisfied_by(self, row: EstimationRow) -> bool:
+        if row.throughput_mbps < self.min_throughput_mbps:
+            return False
+        if self.max_bram36 is not None and row.bram36 > self.max_bram36:
+            return False
+        if row.ratio < self.min_ratio:
+            return False
+        return True
+
+
+@dataclass
+class Recommendation:
+    """The chosen configuration plus its feasible alternatives."""
+
+    best: Optional[EstimationRow]
+    alternatives: List[EstimationRow] = field(default_factory=list)
+    evaluated: int = 0
+    feasible: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def format(self) -> str:
+        if not self.found:
+            return (
+                f"no feasible configuration among {self.evaluated} "
+                "evaluated; relax the constraints"
+            )
+        lines = [
+            f"recommended: {self.best.params.describe()}",
+            f"  speed {self.best.throughput_mbps:.1f} MB/s, "
+            f"ratio {self.best.ratio:.3f}, "
+            f"{self.best.bram36} BRAM36",
+            f"  ({self.feasible} of {self.evaluated} configurations "
+            "feasible)",
+        ]
+        if self.alternatives:
+            lines.append("  Pareto alternatives:")
+            for row in self.alternatives:
+                lines.append(
+                    f"    {row.params.describe()}: "
+                    f"{row.throughput_mbps:.1f} MB/s, "
+                    f"ratio {row.ratio:.3f}, {row.bram36} BRAM36"
+                )
+        return "\n".join(lines)
+
+
+def recommend(
+    data: bytes,
+    constraints: Constraints = Constraints(),
+    objective: str = "ratio",
+    windows: Sequence[int] = _DEFAULT_WINDOWS,
+    hash_bits: Sequence[int] = _DEFAULT_HASH_BITS,
+    base: Optional[HardwareParams] = None,
+    include_max_level: bool = True,
+) -> Recommendation:
+    """Search the design grid for the best feasible configuration.
+
+    ``objective`` is maximised (``ratio``, ``throughput_mbps``) or
+    minimised (``bram36``) over the feasible set. ``include_max_level``
+    additionally explores the high-effort matching policy (Fig. 4's
+    "max" curve) for ratio-driven searches.
+    """
+    if objective not in _OBJECTIVES:
+        raise ConfigError(
+            f"objective must be one of {sorted(_OBJECTIVES)}: {objective}"
+        )
+    rows: List[EstimationRow] = []
+    policies = [HW_SPEED_POLICY]
+    if include_max_level:
+        policies.append(HW_MAX_POLICY)
+    for policy in policies:
+        for report in grid_sweep(
+            data, windows, hash_bits, base=base, policy=policy
+        ):
+            rows.extend(report.rows)
+
+    feasible = [row for row in rows if constraints.satisfied_by(row)]
+    if not feasible:
+        return Recommendation(
+            best=None, evaluated=len(rows), feasible=0
+        )
+    sign = -1 if objective == "bram36" else 1
+    best = max(feasible, key=lambda row: sign * float(getattr(row, objective)))
+    alternatives = [
+        row for row in pareto_front(feasible) if row is not best
+    ][:4]
+    return Recommendation(
+        best=best,
+        alternatives=alternatives,
+        evaluated=len(rows),
+        feasible=len(feasible),
+    )

@@ -1,0 +1,87 @@
+"""Estimation result records and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.params import HardwareParams
+from repro.hw.stats import CycleStats, FSMState
+
+
+@dataclass
+class EstimationRow:
+    """One configuration's complete estimation outcome."""
+
+    params: HardwareParams
+    input_bytes: int
+    compressed_bytes: int
+    stats: CycleStats
+    bram36: int
+    luts: int
+    registers: int
+    label: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.input_bytes / self.compressed_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.stats.throughput_mbps
+
+    @property
+    def cycles_per_byte(self) -> float:
+        return self.stats.cycles_per_byte
+
+    def state_fractions(self) -> Dict[str, float]:
+        return {
+            state.value: self.stats.fraction(state) for state in FSMState
+        }
+
+    def format(self) -> str:
+        label = self.label or self.params.describe()
+        return (
+            f"{label:<44s} {self.throughput_mbps:>7.1f} MB/s "
+            f"{self.ratio:>6.3f} {self.cycles_per_byte:>6.2f} cpb "
+            f"{self.bram36:>4d} BRAM {self.luts:>6d} LUT"
+        )
+
+
+@dataclass
+class SweepReport:
+    """A series of estimation rows (one swept axis)."""
+
+    axis: str
+    rows: List[EstimationRow] = field(default_factory=list)
+    workload: str = ""
+
+    def axis_values(self) -> List:
+        return [getattr(row.params, self.axis) for row in self.rows]
+
+    def series(self, metric: str) -> List[float]:
+        """Extract one metric across the sweep.
+
+        ``metric`` is any numeric :class:`EstimationRow` property name
+        (``ratio``, ``throughput_mbps``, ``cycles_per_byte``,
+        ``compressed_bytes``, ``bram36``, ``luts``).
+        """
+        return [float(getattr(row, metric)) for row in self.rows]
+
+    def best(self, metric: str, maximize: bool = True) -> EstimationRow:
+        """Row optimising the given metric."""
+        key = lambda row: float(getattr(row, metric))  # noqa: E731
+        return max(self.rows, key=key) if maximize else min(self.rows, key=key)
+
+    def format_table(self, header: Optional[str] = None) -> str:
+        lines = []
+        if header:
+            lines.append(header)
+        lines.append(
+            f"{'configuration':<44s} {'speed':>12s} {'ratio':>6s} "
+            f"{'cycles':>10s} {'BRAM':>8s} {'LUTs':>10s}"
+        )
+        lines.extend(row.format() for row in self.rows)
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Parameter sweeps: "constructing series of parameter sets (e.g.
+iterating an arbitrary parameter over a given range)" (§V)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.estimator.report import EstimationRow, SweepReport
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.params import HardwareParams
+from repro.hw.resources import estimate_resources
+from repro.lzss.policy import MatchPolicy
+
+
+def run_configuration(
+    params: HardwareParams, data: bytes, label: str = ""
+) -> EstimationRow:
+    """Run the full estimation (cycles + size + resources) once."""
+    result = HardwareCompressor(params).run(data)
+    resources = estimate_resources(params)
+    return EstimationRow(
+        params=params,
+        input_bytes=len(data),
+        compressed_bytes=result.compressed_size,
+        stats=result.stats,
+        bram36=resources.bram36_total,
+        luts=resources.luts,
+        registers=resources.registers,
+        label=label,
+    )
+
+
+class ParameterSweep:
+    """Iterates one :class:`HardwareParams` field over a value range."""
+
+    #: Fields the front-end lets users sweep (everything numeric/bool).
+    SWEEPABLE = {
+        "window_size",
+        "hash_bits",
+        "gen_bits",
+        "head_split",
+        "data_bus_bytes",
+        "hash_prefetch",
+        "hash_cache",
+        "relative_next",
+        "lookahead_size",
+    }
+
+    def __init__(
+        self,
+        axis: str,
+        values: Sequence,
+        base: Optional[HardwareParams] = None,
+        policy: Optional[MatchPolicy] = None,
+    ) -> None:
+        if axis not in self.SWEEPABLE:
+            raise ConfigError(
+                f"cannot sweep {axis!r}; sweepable fields: "
+                f"{sorted(self.SWEEPABLE)}"
+            )
+        if not values:
+            raise ConfigError("sweep needs at least one value")
+        self.axis = axis
+        self.values = list(values)
+        self.base = base or HardwareParams()
+        if policy is not None:
+            self.base = self.base.with_overrides(policy=policy)
+
+    def configurations(self) -> Iterable[HardwareParams]:
+        for value in self.values:
+            yield self.base.with_overrides(**{self.axis: value})
+
+    def run(self, data: bytes, workload: str = "") -> SweepReport:
+        """Execute the sweep on ``data``."""
+        report = SweepReport(axis=self.axis, workload=workload)
+        for params in self.configurations():
+            label = f"{self.axis}={getattr(params, self.axis)}"
+            report.rows.append(run_configuration(params, data, label))
+        return report
+
+
+def grid_sweep(
+    data: bytes,
+    window_sizes: Sequence[int],
+    hash_bits: Sequence[int],
+    base: Optional[HardwareParams] = None,
+    policy: Optional[MatchPolicy] = None,
+) -> List[SweepReport]:
+    """The paper's figure grids: one window sweep per hash size.
+
+    Returns one :class:`SweepReport` per hash size, each sweeping the
+    window over ``window_sizes`` — exactly the series layout of
+    Figs. 2 and 3.
+    """
+    reports = []
+    base = base or HardwareParams()
+    if policy is not None:
+        base = base.with_overrides(policy=policy)
+    for bits in hash_bits:
+        sweep = ParameterSweep(
+            "window_size",
+            window_sizes,
+            base=base.with_overrides(hash_bits=bits),
+        )
+        report = sweep.run(data, workload=f"hash={bits}")
+        reports.append(report)
+    return reports

@@ -1,0 +1,80 @@
+"""Cross-workload estimation report.
+
+The paper evaluates two data sets; an integrator wants the same view
+over *their* payload mix. This report runs one configuration across the
+whole workload corpus and summarises ratio/speed/cycle-profile per
+workload — the "how data-dependent is this design point?" question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.estimator.sweep import run_configuration
+from repro.estimator.report import EstimationRow
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.workloads.corpus import WORKLOADS, sample
+
+
+@dataclass
+class WorkloadComparison:
+    """One configuration across many workloads."""
+
+    params: HardwareParams
+    rows: Dict[str, EstimationRow] = field(default_factory=dict)
+
+    def ratio_spread(self) -> float:
+        """max/min compression ratio across workloads."""
+        ratios = [row.ratio for row in self.rows.values() if row.ratio > 0]
+        if not ratios:
+            return 0.0
+        return max(ratios) / min(ratios)
+
+    def speed_spread(self) -> float:
+        """max/min throughput across workloads.
+
+        The paper's design is data-dependent (unlike a systolic array);
+        this quantifies by how much.
+        """
+        speeds = [row.throughput_mbps for row in self.rows.values()]
+        if not speeds or min(speeds) == 0:
+            return 0.0
+        return max(speeds) / min(speeds)
+
+    def format_table(self) -> str:
+        lines = [
+            f"configuration: {self.params.describe()}",
+            f"{'workload':<11s} {'ratio':>7s} {'MB/s':>7s} {'cpb':>6s} "
+            f"{'find%':>6s} {'lit-ish%':>8s}",
+        ]
+        for name, row in sorted(self.rows.items()):
+            find = row.stats.fraction(FSMState.FINDING_MATCH)
+            out = row.stats.fraction(FSMState.PRODUCING_OUTPUT)
+            lines.append(
+                f"{name:<11s} {row.ratio:>7.3f} "
+                f"{row.throughput_mbps:>7.1f} "
+                f"{row.cycles_per_byte:>6.2f} {100 * find:>5.1f}% "
+                f"{100 * out:>7.1f}%"
+            )
+        lines.append(
+            f"spread: ratio {self.ratio_spread():.2f}x, "
+            f"speed {self.speed_spread():.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def compare_workloads(
+    params: Optional[HardwareParams] = None,
+    workloads: Optional[Sequence[str]] = None,
+    sample_bytes: Optional[int] = None,
+) -> WorkloadComparison:
+    """Run ``params`` over the named (default: all) workloads."""
+    params = params or HardwareParams()
+    names: List[str] = list(workloads) if workloads else sorted(WORKLOADS)
+    comparison = WorkloadComparison(params=params)
+    for name in names:
+        data = sample(name, sample_bytes)
+        comparison.rows[name] = run_configuration(params, data, label=name)
+    return comparison

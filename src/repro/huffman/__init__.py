@@ -1,0 +1,44 @@
+"""Huffman coding substrate.
+
+Provides everything the Deflate layer needs:
+
+* canonical code assignment from code lengths (:func:`canonical_codes`),
+* optimal length-limited code construction from symbol frequencies
+  (:func:`build_code_lengths`, package-merge),
+* the *fixed* Deflate tables from RFC 1951 §3.2.6 (:mod:`repro.huffman.fixed`),
+* a bit-level encoder (:class:`HuffmanEncoder`) and a table-driven
+  decoder (:class:`HuffmanDecoder`).
+
+The paper's hardware uses only the fixed tables ("no additional clock
+cycles or memories are required to build it"); the dynamic-table path is
+the extension the paper declined, implemented here so the estimator can
+quantify the fixed-table penalty.
+"""
+
+from repro.huffman.canonical import (
+    build_code_lengths,
+    canonical_codes,
+    validate_code_lengths,
+)
+from repro.huffman.encoder import HuffmanEncoder
+from repro.huffman.decoder import HuffmanDecoder
+from repro.huffman.fixed import (
+    FIXED_DIST_LENGTHS,
+    FIXED_LITLEN_LENGTHS,
+    fixed_dist_encoder,
+    fixed_litlen_encoder,
+)
+from repro.huffman.histogram import SymbolHistogram
+
+__all__ = [
+    "build_code_lengths",
+    "canonical_codes",
+    "validate_code_lengths",
+    "HuffmanEncoder",
+    "HuffmanDecoder",
+    "FIXED_DIST_LENGTHS",
+    "FIXED_LITLEN_LENGTHS",
+    "fixed_dist_encoder",
+    "fixed_litlen_encoder",
+    "SymbolHistogram",
+]

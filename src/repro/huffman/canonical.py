@@ -1,0 +1,147 @@
+"""Canonical Huffman code construction.
+
+Two independent pieces:
+
+* :func:`canonical_codes` — RFC 1951 §3.2.2's algorithm: given code
+  *lengths*, assign the unique canonical *codes* (shorter codes first,
+  ties in symbol order).
+* :func:`build_code_lengths` — given symbol *frequencies* and a maximum
+  code length, compute optimal lengths with the **package-merge**
+  algorithm (Larmore & Hirschberg), which produces an optimal
+  length-limited prefix code. ZLib uses Huffman-tree-plus-rebalancing;
+  package-merge is strictly optimal and simpler to verify, and its output
+  always satisfies the Kraft equality used by the validator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import HuffmanError
+
+
+def canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Assign canonical codes to symbols given their code lengths.
+
+    ``lengths[s]`` is the code length of symbol ``s`` (0 = symbol unused).
+    Returns ``codes`` with ``codes[s]`` holding the code value in its
+    natural MSB-first reading; unused symbols get code 0.
+    """
+    if not lengths:
+        return []
+    max_len = max(lengths)
+    if max_len == 0:
+        return [0] * len(lengths)
+    bl_count = [0] * (max_len + 1)
+    for length in lengths:
+        if length < 0:
+            raise HuffmanError(f"negative code length: {length}")
+        bl_count[length] += 1
+    bl_count[0] = 0
+    next_code = [0] * (max_len + 1)
+    code = 0
+    for bits in range(1, max_len + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+    codes = [0] * len(lengths)
+    for symbol, length in enumerate(lengths):
+        if length:
+            codes[symbol] = next_code[length]
+            if next_code[length] >> length:
+                raise HuffmanError(
+                    f"over-subscribed code lengths at symbol {symbol}"
+                )
+            next_code[length] += 1
+    return codes
+
+
+def validate_code_lengths(
+    lengths: Sequence[int], max_bits: int, allow_incomplete: bool = False
+) -> None:
+    """Check Kraft's inequality and the length bound.
+
+    A *complete* code satisfies ``sum(2**-l) == 1`` over used symbols.
+    Decoders for Deflate must reject over-subscribed sets; incomplete
+    sets are legal only in the special single-distance-code case, which
+    callers opt into via ``allow_incomplete``.
+    """
+    kraft = 0
+    used = 0
+    for symbol, length in enumerate(lengths):
+        if length == 0:
+            continue
+        if not 1 <= length <= max_bits:
+            raise HuffmanError(
+                f"symbol {symbol}: code length {length} outside [1, {max_bits}]"
+            )
+        kraft += 1 << (max_bits - length)
+        used += 1
+    full = 1 << max_bits
+    if kraft > full:
+        raise HuffmanError("over-subscribed code length set")
+    if kraft < full and used > 1 and not allow_incomplete:
+        raise HuffmanError("incomplete code length set")
+
+
+def build_code_lengths(
+    freqs: Sequence[int], max_bits: int
+) -> List[int]:
+    """Optimal length-limited code lengths via package-merge.
+
+    ``freqs[s]`` is the occurrence count of symbol ``s``. Returns a list
+    of code lengths (0 for zero-frequency symbols). Requires
+    ``2**max_bits >= number of used symbols``.
+    """
+    symbols = [s for s, f in enumerate(freqs) if f > 0]
+    n = len(symbols)
+    if n == 0:
+        return [0] * len(freqs)
+    if n == 1:
+        # Deflate requires at least a 1-bit code even for a single symbol.
+        lengths = [0] * len(freqs)
+        lengths[symbols[0]] = 1
+        return lengths
+    if n > (1 << max_bits):
+        raise HuffmanError(
+            f"{n} symbols cannot be coded within {max_bits} bits"
+        )
+
+    # Package-merge. Items are (weight, {symbol: count}) where the dict
+    # tracks how many times each original leaf participates; a leaf chosen
+    # in k merge levels ends up with code length k.
+    leaves = sorted((freqs[s], s) for s in symbols)
+
+    def leaf_items() -> List[tuple]:
+        return [(w, {s: 1}) for w, s in leaves]
+
+    packages: List[tuple] = []
+    for _ in range(max_bits):
+        merged = leaf_items() + packages
+        merged.sort(key=lambda item: item[0])
+        packages = []
+        for i in range(0, len(merged) - 1, 2):
+            w1, c1 = merged[i]
+            w2, c2 = merged[i + 1]
+            counts = dict(c1)
+            for s, k in c2.items():
+                counts[s] = counts.get(s, 0) + k
+            packages.append((w1 + w2, counts))
+
+    # Take the 2n-2 cheapest items from the final merge level.
+    lengths = [0] * len(freqs)
+    for _, counts in packages[: n - 1]:
+        for s, k in counts.items():
+            lengths[s] += k
+    for length in (lengths[s] for s in symbols):
+        if not 1 <= length <= max_bits:
+            raise HuffmanError("package-merge produced invalid lengths")
+    validate_code_lengths(lengths, max_bits)
+    return lengths
+
+
+def code_table(lengths: Sequence[int]) -> Dict[int, tuple]:
+    """Convenience: symbol -> (code, length) for all used symbols."""
+    codes = canonical_codes(lengths)
+    return {
+        s: (codes[s], lengths[s]) for s in range(len(lengths)) if lengths[s]
+    }

@@ -1,0 +1,60 @@
+"""Table-driven Huffman decoder.
+
+Builds a single flat lookup table indexed by ``max_len`` peeked bits
+(bit-reversed, because Deflate streams codes MSB-first inside an
+LSB-first bit stream). Each entry stores ``(symbol, code_length)``; the
+decoder peeks, looks up, then skips exactly ``code_length`` bits. This is
+the one-level variant of zlib's inflate tables — simpler, and fast enough
+in Python because table construction is amortised per block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import reverse_bits
+from repro.errors import HuffmanError
+from repro.huffman.canonical import canonical_codes, validate_code_lengths
+
+
+class HuffmanDecoder:
+    """Decodes one alphabet described by canonical code lengths."""
+
+    def __init__(
+        self,
+        lengths: Sequence[int],
+        max_bits: int = 15,
+        allow_incomplete: bool = False,
+    ) -> None:
+        validate_code_lengths(lengths, max_bits, allow_incomplete)
+        self.lengths = list(lengths)
+        used = [length for length in self.lengths if length]
+        if not used:
+            raise HuffmanError("no symbols in code")
+        self.max_len = max(used)
+        codes = canonical_codes(self.lengths)
+        size = 1 << self.max_len
+        table: List[Tuple[int, int]] = [(-1, 0)] * size
+        for symbol, length in enumerate(self.lengths):
+            if not length:
+                continue
+            # The code occupies the low `length` bits once reversed; all
+            # possible suffixes in the remaining peeked bits map to it.
+            prefix = reverse_bits(codes[symbol], length)
+            step = 1 << length
+            for index in range(prefix, size, step):
+                table[index] = (symbol, length)
+        self._table = table
+        self._mask = size - 1
+
+    def decode(self, reader: BitReader) -> int:
+        """Read one symbol from ``reader``."""
+        window = reader.peek_bits(self.max_len)
+        symbol, length = self._table[window & self._mask]
+        if symbol < 0:
+            raise HuffmanError(
+                f"undecodable bit pattern {window:0{self.max_len}b}"
+            )
+        reader.skip_bits(length)
+        return symbol

@@ -1,0 +1,49 @@
+"""Huffman symbol encoder.
+
+Wraps a code-length table into per-symbol ``(code, nbits)`` pairs and
+writes them through a :class:`~repro.bitio.BitWriter`. The encoder also
+reports the *cost* of a symbol in bits without writing it, which the
+estimator uses to price alternative table choices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bitio.writer import BitWriter
+from repro.errors import HuffmanError
+from repro.huffman.canonical import canonical_codes
+
+
+class HuffmanEncoder:
+    """Encodes symbols of one alphabet with a canonical Huffman code."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        self.codes = canonical_codes(self.lengths)
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of symbols in the alphabet (used or not)."""
+        return len(self.lengths)
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        """Write ``symbol``'s code to ``writer``."""
+        nbits = self._length_of(symbol)
+        writer.write_huffman_code(self.codes[symbol], nbits)
+
+    def cost_bits(self, symbol: int) -> int:
+        """Number of bits ``symbol`` would occupy."""
+        return self._length_of(symbol)
+
+    def _length_of(self, symbol: int) -> int:
+        try:
+            nbits = self.lengths[symbol]
+        except IndexError:
+            raise HuffmanError(
+                f"symbol {symbol} outside alphabet of "
+                f"{len(self.lengths)} symbols"
+            ) from None
+        if nbits == 0:
+            raise HuffmanError(f"symbol {symbol} has no code assigned")
+        return nbits

@@ -1,0 +1,47 @@
+"""The fixed Deflate Huffman tables (RFC 1951 §3.2.6).
+
+These are the tables the paper's hardware encoder bakes into logic: "As
+the table is fixed, no additional clock cycles or memories are required
+to build it" (§IV). Literal/length symbols 0..287 use lengths
+8/9/7/8 by range; all 30 distance symbols use 5-bit codes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.huffman.encoder import HuffmanEncoder
+
+
+def _fixed_litlen_lengths() -> List[int]:
+    lengths = [8] * 144 + [9] * 112 + [7] * 24 + [8] * 8
+    assert len(lengths) == 288
+    return lengths
+
+
+FIXED_LITLEN_LENGTHS: List[int] = _fixed_litlen_lengths()
+
+#: 32 entries, not 30: RFC 1951 assigns 5-bit codes to the whole 32-code
+#: space; symbols 30-31 "will never actually occur in the compressed
+#: data" but participate in the canonical code assignment, making the
+#: code complete. The decoder rejects them if they appear.
+FIXED_DIST_LENGTHS: List[int] = [5] * 32
+
+_LITLEN_ENCODER: HuffmanEncoder | None = None
+_DIST_ENCODER: HuffmanEncoder | None = None
+
+
+def fixed_litlen_encoder() -> HuffmanEncoder:
+    """Shared encoder for the fixed literal/length alphabet."""
+    global _LITLEN_ENCODER
+    if _LITLEN_ENCODER is None:
+        _LITLEN_ENCODER = HuffmanEncoder(FIXED_LITLEN_LENGTHS)
+    return _LITLEN_ENCODER
+
+
+def fixed_dist_encoder() -> HuffmanEncoder:
+    """Shared encoder for the fixed distance alphabet."""
+    global _DIST_ENCODER
+    if _DIST_ENCODER is None:
+        _DIST_ENCODER = HuffmanEncoder(FIXED_DIST_LENGTHS)
+    return _DIST_ENCODER

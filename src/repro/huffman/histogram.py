@@ -1,0 +1,48 @@
+"""Symbol frequency collection for dynamic Huffman table construction."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class SymbolHistogram:
+    """Counts symbol occurrences over a fixed alphabet."""
+
+    def __init__(self, alphabet_size: int) -> None:
+        self.counts: List[int] = [0] * alphabet_size
+
+    def add(self, symbol: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``symbol``."""
+        self.counts[symbol] += count
+
+    def add_all(self, symbols: Sequence[int]) -> None:
+        """Record one occurrence of each symbol in ``symbols``."""
+        for symbol in symbols:
+            self.counts[symbol] += 1
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded occurrences."""
+        return sum(self.counts)
+
+    def used_symbols(self) -> List[int]:
+        """Symbols with a non-zero count, ascending."""
+        return [s for s, c in enumerate(self.counts) if c]
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the empirical distribution, in bits/symbol.
+
+        Used by the estimator to report how close the fixed table comes
+        to the per-block optimum.
+        """
+        import math
+
+        total = self.total
+        if total == 0:
+            return 0.0
+        acc = 0.0
+        for count in self.counts:
+            if count:
+                p = count / total
+                acc -= p * math.log2(p)
+        return acc

@@ -1,0 +1,33 @@
+"""Cycle-accurate model of the paper's Virtex-5 LZSS compressor (§IV).
+
+This package is the Python re-implementation of the paper's estimation
+tool: given a :class:`HardwareParams` configuration and input data, it
+reports exactly what the paper's C++ model reported — block-RAM usage,
+compression ratio, per-FSM-state clock-cycle statistics and the derived
+throughput at the hardware clock rate.
+
+Two independent cycle engines are provided:
+
+* :class:`~repro.hw.cycle_model.CycleModel` — analytic accounting over
+  the match trace (fast; used by all benchmarks);
+* :class:`~repro.hw.fsm_sim.FSMSimulator` — an explicit per-cycle FSM
+  walk with modelled memories and background fill (slow; used in tests
+  to cross-validate the analytic engine).
+"""
+
+from repro.hw.params import HardwareParams, PRESETS, preset
+from repro.hw.stats import CycleStats, FSMState
+from repro.hw.compressor import HardwareCompressor, HardwareRunResult
+from repro.hw.resources import ResourceEstimator, ResourceReport
+
+__all__ = [
+    "HardwareParams",
+    "PRESETS",
+    "preset",
+    "CycleStats",
+    "FSMState",
+    "HardwareCompressor",
+    "HardwareRunResult",
+    "ResourceEstimator",
+    "ResourceReport",
+]

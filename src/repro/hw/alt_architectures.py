@@ -1,0 +1,196 @@
+"""Alternative hardware matcher architectures (§II related work).
+
+The paper positions its FSM+BRAM design against two classic families:
+
+* **Systolic arrays** ([8] Chen & Wei, [9] Jung & Burleson): a linear
+  array of processing elements holds the dictionary; input bytes march
+  through the array and each PE compares its dictionary byte against
+  the passing stream. Throughput is a steady ~1 byte/cycle regardless
+  of data, but the PE count scales with the *window size* (one PE per
+  dictionary byte in the canonical design), which is why such designs
+  ship with small windows.
+
+* **Content-addressable memories** ([7] Rauschert et al.): every window
+  position is compared against the lookahead head *in parallel* every
+  cycle; a match of length L completes in ~L cycles independent of how
+  many candidates exist. Speed is data-dependent like the paper's
+  design but without chain-walk costs; the price is the CAM itself —
+  storage with per-bit comparators, an order of magnitude more area per
+  bit than block RAM.
+
+Both models consume the same token stream/trace as the main design (the
+*search result* is held fixed; what differs is what the search costs),
+giving the estimator an apples-to-apples architecture comparison: MB/s
+against resource cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.lzss.trace import MatchTrace
+
+#: Area cost of one CAM bit relative to one BRAM bit (comparator +
+#: match-line per bit; conservative ASIC/FPGA literature ratio).
+CAM_AREA_FACTOR = 10.0
+
+#: LUTs per systolic PE: byte register + comparator + match-length
+#: counter slice + forwarding mux.
+LUTS_PER_PE = 18
+
+
+@dataclass
+class SystolicReport:
+    """Cycle/resource estimate for a systolic-array matcher."""
+
+    window_size: int
+    input_bytes: int
+    cycles: int
+    pe_count: int
+    luts: int
+    clock_mhz: float
+
+    @property
+    def cycles_per_byte(self) -> float:
+        if self.input_bytes == 0:
+            return 0.0
+        return self.cycles / self.input_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        cpb = self.cycles_per_byte
+        return self.clock_mhz / cpb if cpb else 0.0
+
+
+class SystolicArrayModel:
+    """Cycle model of a [8]/[9]-style systolic LZ matcher.
+
+    The canonical array sustains one input byte per cycle: each byte is
+    broadcast/shifted past the window PEs, and both match selection and
+    command emission are pipelined behind the array. Cost model:
+    ``input_bytes + pipeline_flush`` cycles with one PE per window byte
+    — deliberately data-independent, which is the architecture's
+    defining property (and its appeal for worst-case-bound systems).
+    """
+
+    def __init__(self, params: HardwareParams | None = None) -> None:
+        self.params = params or HardwareParams()
+
+    def run(self, trace: MatchTrace) -> SystolicReport:
+        """Price the systolic design for the same input."""
+        p = self.params
+        pipeline_depth = p.window_size.bit_length() + 4  # match select tree
+        cycles = trace.input_size + pipeline_depth
+        return SystolicReport(
+            window_size=p.window_size,
+            input_bytes=trace.input_size,
+            cycles=cycles,
+            pe_count=p.window_size,
+            luts=LUTS_PER_PE * p.window_size,
+            clock_mhz=p.clock_mhz,
+        )
+
+
+@dataclass
+class CAMReport:
+    """Cycle/resource estimate for a CAM-based matcher."""
+
+    window_size: int
+    input_bytes: int
+    cycles: int
+    cam_bits: int
+    bram_bit_equivalent: float
+    clock_mhz: float
+
+    @property
+    def cycles_per_byte(self) -> float:
+        if self.input_bytes == 0:
+            return 0.0
+        return self.cycles / self.input_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        cpb = self.cycles_per_byte
+        return self.clock_mhz / cpb if cpb else 0.0
+
+
+class CAMMatcherModel:
+    """Cycle model of a [7]-style CAM gzip matcher.
+
+    Per token: one CAM lookup cycle resolves *all* candidates at once,
+    then the match extends one byte per cycle (every extension step is
+    another parallel compare over the surviving candidate set), then
+    one output cycle. Literals cost lookup + output. No chain walks, no
+    hash tables, no rotation — the costs the paper's design pays are
+    exchanged for CAM area.
+    """
+
+    def __init__(self, params: HardwareParams | None = None) -> None:
+        self.params = params or HardwareParams()
+
+    def run(self, trace: MatchTrace) -> CAMReport:
+        """Price the CAM design on the same token stream."""
+        p = self.params
+        cycles = 0
+        for kind, length in zip(trace.kinds, trace.lengths):
+            if kind:
+                cycles += 1 + length + 1  # lookup + extend + emit
+            else:
+                cycles += 2               # lookup miss + emit
+        cam_bits = p.window_size * 8
+        return CAMReport(
+            window_size=p.window_size,
+            input_bytes=trace.input_size,
+            cycles=cycles,
+            cam_bits=cam_bits,
+            bram_bit_equivalent=cam_bits * CAM_AREA_FACTOR,
+            clock_mhz=p.clock_mhz,
+        )
+
+
+@dataclass
+class ArchitectureComparison:
+    """Side-by-side of the three matcher architectures on one input."""
+
+    fsm_mbps: float
+    fsm_bram36: int
+    fsm_luts: int
+    systolic: SystolicReport
+    cam: CAMReport
+
+    def format_table(self) -> str:
+        lines = [
+            "ARCHITECTURE COMPARISON (same input, same window)",
+            f"{'architecture':<22s} {'MB/s':>7s} {'area proxy':>24s}",
+            f"{'FSM + BRAM (paper)':<22s} {self.fsm_mbps:>7.1f} "
+            f"{self.fsm_bram36:>5d} BRAM36 + {self.fsm_luts} LUTs",
+            f"{'systolic array [8,9]':<22s} "
+            f"{self.systolic.throughput_mbps:>7.1f} "
+            f"{self.systolic.pe_count:>5d} PEs ≈ {self.systolic.luts} LUTs",
+            f"{'CAM-based [7]':<22s} {self.cam.throughput_mbps:>7.1f} "
+            f"{self.cam.cam_bits:>5d} CAM bits ≈ "
+            f"{self.cam.bram_bit_equivalent / 1024:.0f} Kb BRAM-equiv",
+        ]
+        return "\n".join(lines)
+
+
+def compare_architectures(
+    params: HardwareParams, data: bytes
+) -> ArchitectureComparison:
+    """Run all three matcher architectures on ``data``."""
+    from repro.hw.compressor import HardwareCompressor
+    from repro.hw.resources import estimate_resources
+
+    if params.data_bus_bytes not in (1, 4):
+        raise ConfigError("comparison needs a 1- or 4-byte bus")
+    result = HardwareCompressor(params).run(data)
+    resources = estimate_resources(params)
+    return ArchitectureComparison(
+        fsm_mbps=result.throughput_mbps,
+        fsm_bram36=resources.bram36_total,
+        fsm_luts=resources.luts,
+        systolic=SystolicArrayModel(params).run(result.lzss.trace),
+        cam=CAMMatcherModel(params).run(result.lzss.trace),
+    )

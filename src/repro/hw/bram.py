@@ -1,0 +1,92 @@
+"""Virtex-5 block RAM primitive model.
+
+Virtex-5 BRAMs are 36 Kbit true-dual-port blocks, each splittable into
+two independent 18 Kbit halves. Both sizes support the classic aspect
+ratios (depth × width): 36 Kb from 32K×1 to 1K×36, 18 Kb from 16K×1 to
+512×36. A logical memory of ``entries × width_bits`` is mapped onto a
+grid of primitives by choosing the ratio minimising the primitive count
+(what XST's block-RAM packer does for simple dual-port memories).
+
+Counts are expressed in 18 Kb *units* (one 36 Kb block = 2 units) so
+that two small memories can honestly share one physical block, and
+reported as 36 Kb block equivalents at the top level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+#: (depth, width) configurations of a 36 Kb primitive.
+ASPECT_RATIOS_36K: List[Tuple[int, int]] = [
+    (32768, 1), (16384, 2), (8192, 4), (4096, 9), (2048, 18), (1024, 36),
+]
+
+#: (depth, width) configurations of an 18 Kb primitive.
+ASPECT_RATIOS_18K: List[Tuple[int, int]] = [
+    (16384, 1), (8192, 2), (4096, 4), (2048, 9), (1024, 18), (512, 36),
+]
+
+
+def _primitive_count(
+    entries: int, width_bits: int, ratios: List[Tuple[int, int]]
+) -> int:
+    """Fewest primitives covering an ``entries × width_bits`` memory."""
+    best = None
+    for depth, width in ratios:
+        count = math.ceil(width_bits / width) * math.ceil(entries / depth)
+        if best is None or count < best:
+            best = count
+    assert best is not None
+    return best
+
+
+def bram18_units(entries: int, width_bits: int) -> int:
+    """Memory cost in 18 Kb units (a 36 Kb block counts as 2 units)."""
+    if entries <= 0 or width_bits <= 0:
+        raise ConfigError(
+            f"invalid memory geometry: {entries} x {width_bits}"
+        )
+    with_18k = _primitive_count(entries, width_bits, ASPECT_RATIOS_18K)
+    with_36k = 2 * _primitive_count(entries, width_bits, ASPECT_RATIOS_36K)
+    return min(with_18k, with_36k)
+
+
+def bram36_count(entries: int, width_bits: int) -> int:
+    """Memory cost in whole 36 Kb blocks (for split-factor derivation)."""
+    return math.ceil(bram18_units(entries, width_bits) / 2)
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """One logical memory and its BRAM cost."""
+
+    name: str
+    entries: int
+    width_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.width_bits
+
+    @property
+    def bram18(self) -> int:
+        return bram18_units(self.entries, self.width_bits)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.entries} x {self.width_bits}b "
+            f"= {self.total_bits / 1024:.1f} Kb -> {self.bram18} x 18Kb"
+        )
+
+
+#: XC5VFX70T device limits (Virtex-5 FXT, the paper's ML-507 part).
+XC5VFX70T = {
+    "luts": 44800,
+    "registers": 44800,
+    "bram36": 148,
+    "dsp48": 128,
+}

@@ -1,0 +1,135 @@
+"""Hardware compressor facade: one call = one estimation-tool run.
+
+Combines the functional LZSS core (which decides the *token stream* —
+identical to what the RTL would emit, §III/§IV), the analytic cycle
+model (which prices it in clock cycles) and the Deflate writer (which
+gives the exact ZLib-compatible output size). This mirrors the paper's
+C++ model: "compresses reference data blocks and produces various
+cycle-accurate statistics".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.zlib_container import make_header
+from repro.checksums.adler32 import adler32
+from repro.hw.cycle_model import CycleModel
+from repro.hw.params import HardwareParams
+from repro.hw.stats import CycleStats
+from repro.lzss.compressor import CompressResult, LZSSCompressor
+
+
+@dataclass
+class HardwareRunResult:
+    """Everything one hardware-model run reports."""
+
+    params: HardwareParams
+    lzss: CompressResult
+    stats: CycleStats
+    compressed_size: int
+    output: bytes | None = None
+
+    @property
+    def input_size(self) -> int:
+        return self.lzss.input_size
+
+    @property
+    def ratio(self) -> float:
+        """Uncompressed/compressed ratio (Table I's metric)."""
+        if self.compressed_size == 0:
+            return 0.0
+        return self.input_size / self.compressed_size
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Modelled throughput at the configured hardware clock."""
+        return self.stats.throughput_mbps
+
+    @property
+    def compression_time_s(self) -> float:
+        """Modelled wall time for this input at the hardware clock."""
+        return self.stats.total_cycles / (self.params.clock_mhz * 1e6)
+
+
+class HardwareCompressor:
+    """The paper's compressor under one parameter set."""
+
+    def __init__(self, params: HardwareParams | None = None) -> None:
+        self.params = params or HardwareParams()
+        self._lzss = LZSSCompressor(
+            window_size=self.params.window_size,
+            hash_spec=self.params.hash_spec,
+            policy=self.params.policy,
+        )
+        self._cycle_model = CycleModel(self.params)
+
+    def run(self, data: bytes, keep_output: bool = False) -> HardwareRunResult:
+        """Compress ``data`` and report size + cycle statistics.
+
+        ``keep_output=True`` additionally materialises the complete
+        ZLib stream (header + fixed-Huffman Deflate body + Adler-32);
+        by default only its exact size is computed.
+        """
+        lzss_result = self._lzss.compress(data)
+        stats = self._cycle_model.run(lzss_result.trace)
+        body = deflate_tokens(lzss_result.tokens, BlockStrategy.FIXED)
+        size = len(make_header(self.params.window_size)) + len(body) + 4
+        output = None
+        if keep_output:
+            output = (
+                make_header(self.params.window_size)
+                + body
+                + adler32(data).to_bytes(4, "big")
+            )
+        return HardwareRunResult(
+            params=self.params,
+            lzss=lzss_result,
+            stats=stats,
+            compressed_size=size,
+            output=output,
+        )
+
+    def run_many(self, segments) -> "SessionResult":
+        """Compress a sequence of independent segments (a logger session).
+
+        Each segment is a separate compression (fresh dictionary, own
+        ZLib stream, as a burst-oriented logger would store them);
+        cycle statistics are merged across the session.
+        """
+        session = SessionResult(params=self.params,
+                                stats=CycleStats(
+                                    clock_mhz=self.params.clock_mhz))
+        for segment in segments:
+            result = self.run(segment)
+            session.runs.append(result)
+            session.stats.merge(result.stats)
+            session.input_bytes += result.input_size
+            session.compressed_bytes += result.compressed_size
+        return session
+
+
+@dataclass
+class SessionResult:
+    """Merged outcome of a multi-segment compression session."""
+
+    params: HardwareParams
+    stats: CycleStats
+    runs: list = field(default_factory=list)
+    input_bytes: int = 0
+    compressed_bytes: int = 0
+
+    @property
+    def ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.input_bytes / self.compressed_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.stats.throughput_mbps
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.runs)

@@ -1,0 +1,145 @@
+"""Analytic cycle accounting for the hardware FSM (§IV state walk).
+
+The model consumes the greedy parser's :class:`~repro.lzss.trace.MatchTrace`
+(one row per emitted token) and charges cycles per the paper's state
+flow:
+
+* **WAITING_FOR_DATA** — 1 cycle per token, *skipped* when the previous
+  token was a literal and hash prefetching is enabled ("requiring only 2
+  non-matching cycles instead of 3");
+* **FINDING_MATCH** — 1 match-preparation cycle (head read + next
+  routed + insert) plus the comparator cycles recorded in the trace
+  (``1 + ceil((examined-1)/4)`` per candidate on the 32-bit buses, or
+  ``examined`` on the [11]-style 8-bit bus), plus 1 extra cycle per
+  search when the hash cache is disabled (the hash must be computed in
+  the main FSM);
+* **PRODUCING_OUTPUT** — 1 cycle per token (the fixed-table Huffman
+  encoder is pipelined and never stalls, §IV);
+* **UPDATING_HASH** — 1 cycle per inserted byte of a short match;
+* **ROTATING_HASH** — ``head_entries / M`` cycles every rotation period,
+  plus, for the absolute-address baseline, ``D`` next-table fixup
+  cycles every ``D`` bytes;
+* **FETCHING_DATA** — stalls of the 262-byte lookahead threshold against
+  the background fill, tracked with an explicit occupancy walk (the fill
+  port delivers ``data_bus_bytes`` per cycle).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.hw.stats import CycleStats, FSMState
+from repro.lzss.tokens import MIN_LOOKAHEAD
+from repro.lzss.trace import MatchTrace
+
+
+class CycleModel:
+    """Analytic cycle-count engine for one hardware configuration."""
+
+    def __init__(self, params: HardwareParams) -> None:
+        if params.data_bus_bytes not in (1, 4):
+            raise ConfigError(
+                "the cycle model supports 1- and 4-byte data buses "
+                f"(the paper's two design points): {params.data_bus_bytes}"
+            )
+        self.params = params
+
+    def run(self, trace: MatchTrace) -> CycleStats:
+        """Charge the whole trace and return per-state cycle totals."""
+        p = self.params
+        stats = CycleStats(clock_mhz=p.clock_mhz)
+        stats.input_bytes = trace.input_size
+
+        wide_bus = p.data_bus_bytes == 4
+        compare_col = (
+            trace.compare_cycles_w4 if wide_bus else trace.compare_cycles_w1
+        )
+        prefetch = p.hash_prefetch
+        cache_penalty = 0 if p.hash_cache else 1
+        fill_rate = p.data_bus_bytes  # bytes per cycle into the lookahead
+
+        rotation_period = p.rotation_period_bytes
+        rotation_cycles = p.head_rotation_cycles
+        next_rotation_at = rotation_period
+        # The [11] baseline rotates the next table too: D fixup cycles
+        # every D bytes (absolute addresses all shift together).
+        next_table_period = p.window_size
+        next_table_at = next_table_period if not p.relative_next else None
+
+        total_bytes = trace.input_size
+        lookahead_cap = p.lookahead_size
+
+        consumed = 0        # input bytes consumed by the FSM
+        delivered = 0       # input bytes delivered into the lookahead
+        cycles_so_far = 0   # running total, drives the background fill
+
+        # Initial fill: the FSM waits until MIN_LOOKAHEAD bytes (or the
+        # whole input, if shorter) are present.
+        startup_target = min(MIN_LOOKAHEAD, total_bytes)
+        startup_cycles = -(-startup_target // fill_rate) if total_bytes else 0
+        stats.add(FSMState.FETCHING_DATA, startup_cycles)
+        cycles_so_far += startup_cycles
+        delivered = min(total_bytes, cycles_so_far * fill_rate)
+
+        kinds = trace.kinds
+        lengths = trace.lengths
+        inserted = trace.inserted
+
+        prev_kind = 1  # stream start behaves like "after a match": wait
+        for i in range(len(kinds)):
+            token_cycles = 0
+
+            # WAIT state.
+            if not (prefetch and prev_kind == 0):
+                stats.add(FSMState.WAITING_FOR_DATA, 1)
+                token_cycles += 1
+
+            # Lookahead occupancy check (FETCH stall).
+            needed = min(MIN_LOOKAHEAD, total_bytes - consumed)
+            occupancy = delivered - consumed
+            if occupancy < needed:
+                stall = -(-(needed - occupancy) // fill_rate)
+                stats.add(FSMState.FETCHING_DATA, stall)
+                token_cycles += stall
+                delivered = min(
+                    total_bytes, (cycles_so_far + token_cycles) * fill_rate
+                )
+
+            # FINDING_MATCH: preparation + comparator + optional hash calc.
+            finding = 1 + compare_col[i] + cache_penalty
+            stats.add(FSMState.FINDING_MATCH, finding)
+            token_cycles += finding
+
+            # PRODUCING_OUTPUT (prefetch runs in parallel here).
+            stats.add(FSMState.PRODUCING_OUTPUT, 1)
+            token_cycles += 1
+
+            # UPDATING_HASH.
+            if inserted[i]:
+                stats.add(FSMState.UPDATING_HASH, inserted[i])
+                token_cycles += inserted[i]
+
+            consumed += lengths[i]
+            cycles_so_far += token_cycles
+
+            # ROTATING_HASH: head table on its generation-stretched
+            # period, next table (baseline only) every D bytes.
+            while consumed >= next_rotation_at:
+                stats.add(FSMState.ROTATING_HASH, rotation_cycles)
+                cycles_so_far += rotation_cycles
+                next_rotation_at += rotation_period
+            if next_table_at is not None:
+                while consumed >= next_table_at:
+                    stats.add(FSMState.ROTATING_HASH, p.window_size)
+                    cycles_so_far += p.window_size
+                    next_table_at += next_table_period
+
+            delivered = min(total_bytes, cycles_so_far * fill_rate)
+            prev_kind = kinds[i]
+
+        return stats
+
+
+def analyze(params: HardwareParams, trace: MatchTrace) -> CycleStats:
+    """One-shot convenience wrapper."""
+    return CycleModel(params).run(trace)

@@ -1,0 +1,111 @@
+"""What would a *dynamic*-table hardware Huffman encoder cost? (§IV's
+declined trade-off, quantified.)
+
+"The cost for the high performance is less efficient compression
+compared to the dynamic huffman coders, however, it can be also
+compensated by increasing LZSS compression level."
+
+A dynamic-table hardware encoder needs, per block:
+
+* a histogram pass over the block's symbols (dual-port counting BRAM:
+  1 symbol/cycle — overlappable with LZSS output, so *free* in cycles
+  but costs a BRAM and forces block buffering);
+* a code-construction pass (sorting + package-merge style length
+  assignment in hardware; modelled as ``K_BUILD * alphabet`` cycles);
+* the block's tokens must be *buffered* (they cannot be emitted before
+  the tables exist), so the pipeline stalls for the build time at every
+  block boundary and needs a token-buffer memory sized to the block.
+
+This module prices that design on the same trace so the estimator can
+report cycles, extra BRAM and ratio side by side with the fixed-table
+design — turning §IV's qualitative sentence into numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.constants import MAX_DIST_SYMBOLS, MAX_LITLEN_SYMBOLS
+from repro.hw.bram import bram18_units
+from repro.hw.cycle_model import CycleModel
+from repro.hw.params import HardwareParams
+from repro.lzss.compressor import CompressResult
+
+#: Hardware code-construction cost per alphabet symbol (sort network +
+#: length assignment iterations), a conservative literature figure.
+K_BUILD = 6
+
+
+@dataclass
+class DynamicEncoderReport:
+    """Fixed vs dynamic hardware encoder comparison on one input."""
+
+    fixed_bytes: int
+    dynamic_bytes: int
+    fixed_cycles: int
+    dynamic_cycles: int
+    extra_bram18: int
+    input_bytes: int
+    clock_mhz: float
+
+    @property
+    def ratio_gain(self) -> float:
+        """Relative output-size reduction from dynamic tables."""
+        if self.fixed_bytes == 0:
+            return 0.0
+        return 1 - self.dynamic_bytes / self.fixed_bytes
+
+    @property
+    def speed_loss(self) -> float:
+        """Relative throughput cost of the dynamic design."""
+        if self.dynamic_cycles == 0:
+            return 0.0
+        return 1 - self.fixed_cycles / self.dynamic_cycles
+
+    @property
+    def fixed_mbps(self) -> float:
+        return self.clock_mhz * self.input_bytes / self.fixed_cycles if (
+            self.fixed_cycles
+        ) else 0.0
+
+    @property
+    def dynamic_mbps(self) -> float:
+        return self.clock_mhz * self.input_bytes / self.dynamic_cycles if (
+            self.dynamic_cycles
+        ) else 0.0
+
+
+def compare_dynamic_encoder(
+    params: HardwareParams,
+    lzss: CompressResult,
+    tokens_per_block: int = 16384,
+) -> DynamicEncoderReport:
+    """Price the dynamic-table alternative against the fixed design."""
+    base_stats = CycleModel(params).run(lzss.trace)
+    fixed_body = deflate_tokens(lzss.tokens, BlockStrategy.FIXED)
+    dynamic_body = deflate_tokens(lzss.tokens, BlockStrategy.DYNAMIC)
+
+    blocks = max(1, -(-len(lzss.tokens) // tokens_per_block))
+    build_cycles_per_block = K_BUILD * (
+        MAX_LITLEN_SYMBOLS + MAX_DIST_SYMBOLS
+    )
+    dynamic_cycles = base_stats.total_cycles + blocks * (
+        build_cycles_per_block
+    )
+
+    # Extra memories: histogram counters (alphabet x 16-bit) and the
+    # token buffer for one block (tokens_per_block x ~24-bit commands).
+    extra_bram = bram18_units(
+        MAX_LITLEN_SYMBOLS + MAX_DIST_SYMBOLS, 16
+    ) + bram18_units(max(tokens_per_block, 512), 24)
+
+    return DynamicEncoderReport(
+        fixed_bytes=len(fixed_body),
+        dynamic_bytes=len(dynamic_body),
+        fixed_cycles=base_stats.total_cycles,
+        dynamic_cycles=dynamic_cycles,
+        extra_bram18=extra_bram,
+        input_bytes=lzss.input_size,
+        clock_mhz=params.clock_mhz,
+    )

@@ -1,0 +1,67 @@
+"""Background filling logic model (§IV).
+
+"both ring buffers reside in dual-port block RAMs and are filled in the
+background requiring no extra clock cycles of the main FSM. If the hash
+caching was enabled, hash values for every offset of the source stream
+are computed during background filling and stored in a separate memory."
+
+:class:`FillModel` captures the *bandwidth* contract the analytic cycle
+model and the FSM simulator both rely on: the fill port delivers one
+``data_bus_bytes``-wide beat per cycle into the lookahead ring (bounded
+by its capacity) and trails the dictionary ring by at most
+``MIN_LOOKAHEAD`` bytes past the consumption point so that no reachable
+candidate is ever overwritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import HardwareParams
+from repro.lzss.tokens import MIN_LOOKAHEAD
+
+
+@dataclass
+class FillState:
+    """Progress of the background fill at some cycle count."""
+
+    delivered: int      # bytes written into the lookahead ring
+    dict_filled: int    # bytes written into the dictionary ring
+    occupancy: int      # unconsumed bytes available to the FSM
+
+
+class FillModel:
+    """Analytic background-fill progress tracker."""
+
+    def __init__(self, params: HardwareParams, total_bytes: int) -> None:
+        self.rate = params.data_bus_bytes
+        self.capacity = params.lookahead_size
+        self.total = total_bytes
+
+    def state_at(self, cycles: int, consumed: int) -> FillState:
+        """Fill progress after ``cycles`` with ``consumed`` bytes taken."""
+        delivered = min(self.total, cycles * self.rate,
+                        consumed + self.capacity)
+        dict_filled = min(delivered, consumed + MIN_LOOKAHEAD)
+        return FillState(
+            delivered=delivered,
+            dict_filled=dict_filled,
+            occupancy=delivered - consumed,
+        )
+
+    def cycles_until(self, target_bytes: int) -> int:
+        """Cycles needed for the fill port to deliver ``target_bytes``."""
+        target = min(target_bytes, self.total)
+        return -(-target // self.rate)
+
+    def stall_cycles(self, cycles: int, consumed: int) -> int:
+        """FSM stall needed before ``MIN_LOOKAHEAD`` bytes are available.
+
+        Zero when enough data is buffered, or when the stream has fewer
+        bytes left than the threshold (end-of-stream flush).
+        """
+        needed = min(MIN_LOOKAHEAD, self.total - consumed)
+        occupancy = self.state_at(cycles, consumed).occupancy
+        if occupancy >= needed:
+            return 0
+        return -(-(needed - occupancy) // self.rate)

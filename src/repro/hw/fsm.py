@@ -1,0 +1,77 @@
+"""Main FSM state graph (§IV's "typical state flow").
+
+This module is the single written-down source of the state machine both
+cycle engines implement; :func:`transition_table` returns the graph so
+tests can assert the engines and the documentation cannot drift apart.
+
+States
+------
+
+WAIT
+    Wait for >= 262 lookahead bytes and the front hash value. Typically
+    1 cycle (fill runs in background); skipped entirely on a prefetch
+    hit after a literal.
+PREPARE
+    Head-table read routed from the hash; head/next updated for the
+    current position in the same cycle. 1 cycle (plus 1 when the hash
+    cache is disabled and the hash must be computed here).
+MATCH
+    Chain walk; the next table is read in parallel so the comparator is
+    the bottleneck: ``1 + ceil((examined-1)/4)`` cycles per candidate on
+    the 32-bit buses.
+OUTPUT
+    Emit the D/L command; 1 cycle unless the sink stalls (the pipelined
+    fixed-table Huffman encoder never does). The prefetch FSM computes
+    hash(pos+1) in parallel.
+UPDATE
+    For a short match (length <= max_insert_length), insert every
+    remaining byte into head/next: 1 cycle per byte.
+ROTATE
+    Every ``D * (2**G - 1)`` input bytes, scan the head table's M
+    sub-memories in parallel: ``2**H / M`` cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+
+class MainFSM(enum.Enum):
+    """The six states of the main controller."""
+
+    WAIT = "wait"
+    PREPARE = "prepare"
+    MATCH = "match"
+    OUTPUT = "output"
+    UPDATE = "update"
+    ROTATE = "rotate"
+
+
+def transition_table() -> Dict[MainFSM, Tuple[MainFSM, ...]]:
+    """Legal successor states for each state."""
+    return {
+        MainFSM.WAIT: (MainFSM.PREPARE,),
+        MainFSM.PREPARE: (MainFSM.MATCH, MainFSM.OUTPUT),
+        MainFSM.MATCH: (MainFSM.OUTPUT,),
+        MainFSM.OUTPUT: (
+            MainFSM.UPDATE,
+            MainFSM.ROTATE,
+            MainFSM.WAIT,
+            # Prefetch hit: straight back to PREPARE, skipping WAIT.
+            MainFSM.PREPARE,
+        ),
+        MainFSM.UPDATE: (MainFSM.ROTATE, MainFSM.WAIT, MainFSM.PREPARE),
+        MainFSM.ROTATE: (MainFSM.WAIT, MainFSM.PREPARE),
+    }
+
+
+#: Which Fig. 5 bucket each FSM state's cycles land in.
+FIG5_BUCKETS = {
+    MainFSM.WAIT: "Waiting for data",
+    MainFSM.PREPARE: "Finding match",
+    MainFSM.MATCH: "Finding match",
+    MainFSM.OUTPUT: "Producing output",
+    MainFSM.UPDATE: "Updating hash table",
+    MainFSM.ROTATE: "Rotating hash",
+}

@@ -1,0 +1,256 @@
+"""Explicit FSM simulation through the modelled memories.
+
+Unlike :class:`~repro.hw.cycle_model.CycleModel` (which prices a trace
+produced by the fast functional matcher), this simulator *re-derives*
+every decision by walking the §IV state machine against the behavioural
+memory models of :mod:`repro.hw.memories`:
+
+* candidates come from the head table's truncated generation-bit
+  arithmetic and the relative next table — not from ideal absolute
+  tables;
+* string comparison reads bytes out of the lookahead and dictionary
+  ring buffers, so window aliasing would corrupt output immediately;
+* the background fill (with its 262-byte dictionary write-ahead margin)
+  and the rotation schedule run exactly as the RTL would.
+
+Its contract, enforced by the test suite: **identical token stream** to
+:class:`~repro.lzss.compressor.LZSSCompressor` and **identical cycle
+statistics** to the analytic model. This is the design-equivalence
+argument of the paper (rotation avoidance does not change behaviour)
+made executable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.hw.memories import build_memories
+from repro.hw.params import HardwareParams
+from repro.hw.stats import CycleStats, FSMState
+from repro.lzss.tokens import MAX_MATCH, MIN_LOOKAHEAD, MIN_MATCH, TokenArray
+
+
+class FSMSimulator:
+    """Per-token FSM walk over behavioural memories."""
+
+    def __init__(self, params: HardwareParams) -> None:
+        if params.data_bus_bytes not in (1, 4):
+            raise ConfigError(
+                "the FSM simulator supports 1- and 4-byte data buses: "
+                f"{params.data_bus_bytes}"
+            )
+        self.params = params
+
+    def simulate(self, data: bytes) -> Tuple[TokenArray, CycleStats]:
+        """Run the FSM over ``data``; returns tokens and cycle stats."""
+        p = self.params
+        mems = build_memories(p)
+        lookahead = mems["lookahead"]
+        dictionary = mems["dictionary"]
+        hash_cache = mems["hash_cache"]
+        head = mems["head"]
+        nxt = mems["next"]
+        spec = p.hash_spec
+
+        tokens = TokenArray()
+        stats = CycleStats(clock_mhz=p.clock_mhz)
+        n = len(data)
+        stats.input_bytes = n
+        if n == 0:
+            return tokens, stats
+
+        pol = p.policy
+        max_dist = p.window_size - MIN_LOOKAHEAD
+        hash_limit = n - MIN_MATCH
+        fill_rate = p.data_bus_bytes
+        cache_penalty = 0 if p.hash_cache else 1
+        rotation_period = p.rotation_period_bytes
+        rotation_cycles = p.head_rotation_cycles
+        next_rotation_at = rotation_period
+        # The [11]-style baseline also rotates the (absolute) next
+        # table: D fixup cycles every D bytes. Our behavioural next
+        # table is relative, so only the cycles are charged.
+        next_table_at = p.window_size if not p.relative_next else None
+        wide_bus = p.data_bus_bytes == 4
+
+        delivered = 0      # bytes written into the lookahead ring
+        dict_filled = 0    # bytes written into the dictionary ring
+        consumed = 0       # bytes the FSM has advanced past
+        cycles_so_far = 0
+
+        def advance_fill() -> None:
+            """Background fill: lookahead first, dictionary 262 B behind.
+
+            The dictionary write-ahead is capped at
+            ``consumed + MIN_LOOKAHEAD`` so a background write can never
+            clobber a candidate the matcher may still reach — this is
+            the architectural reason ZLib's MAX_DIST margin exists.
+            """
+            nonlocal delivered, dict_filled
+            target = min(n, cycles_so_far * fill_rate,
+                         consumed + p.lookahead_size)
+            while delivered < target:
+                lookahead.write_byte(delivered, data[delivered])
+                if delivered >= MIN_MATCH - 1 and p.hash_cache:
+                    hpos = delivered - (MIN_MATCH - 1)
+                    hash_cache.store(
+                        hpos,
+                        spec.hash3(data[hpos], data[hpos + 1],
+                                   data[hpos + 2]),
+                    )
+                delivered += 1
+            dict_target = min(delivered, consumed + MIN_LOOKAHEAD)
+            while dict_filled < dict_target:
+                dictionary.write_byte(dict_filled, data[dict_filled])
+                dict_filled += 1
+
+        def compare(cand: int, pos: int, limit: int) -> int:
+            """Prefix length via ring-buffer reads (the comparator)."""
+            k = 0
+            while k < limit and (
+                dictionary.read_byte(cand + k) == lookahead.read_byte(pos + k)
+            ):
+                k += 1
+            return k
+
+        # Initial fill until MIN_LOOKAHEAD (or whole input) is present.
+        startup_target = min(MIN_LOOKAHEAD, n)
+        startup_cycles = -(-startup_target // fill_rate)
+        stats.add(FSMState.FETCHING_DATA, startup_cycles)
+        cycles_so_far += startup_cycles
+        advance_fill()
+
+        pos = 0
+        prev_was_literal = False
+        while pos < n:
+            token_cycles = 0
+
+            # WAIT: skipped when the prefetched hash is useful.
+            if not (p.hash_prefetch and prev_was_literal):
+                stats.add(FSMState.WAITING_FOR_DATA, 1)
+                token_cycles += 1
+
+            # FETCH stall against the background fill.
+            needed = min(MIN_LOOKAHEAD, n - consumed)
+            occupancy = delivered - consumed
+            if occupancy < needed:
+                stall = -(-(needed - occupancy) // fill_rate)
+                stats.add(FSMState.FETCHING_DATA, stall)
+                token_cycles += stall
+                cycles_so_far += token_cycles
+                token_cycles = 0
+                advance_fill()
+
+            if pos > hash_limit:
+                # Flush tail: literals without a search.
+                stats.add(FSMState.FINDING_MATCH, 1 + cache_penalty)
+                stats.add(FSMState.PRODUCING_OUTPUT, 1)
+                token_cycles += 2 + cache_penalty
+                tokens.append_literal(data[pos])
+                pos += 1
+                consumed = pos
+                cycles_so_far += token_cycles
+                while consumed >= next_rotation_at:
+                    head.rotate(consumed)
+                    stats.add(FSMState.ROTATING_HASH, rotation_cycles)
+                    cycles_so_far += rotation_cycles
+                    next_rotation_at += rotation_period
+                if next_table_at is not None:
+                    while consumed >= next_table_at:
+                        stats.add(FSMState.ROTATING_HASH, p.window_size)
+                        cycles_so_far += p.window_size
+                        next_table_at += p.window_size
+                advance_fill()
+                prev_was_literal = True
+                continue
+
+            # PREPARE: hash cache read, head lookup, head/next insert.
+            if p.hash_cache:
+                h = hash_cache.load(pos)
+            else:
+                h = spec.hash3(data[pos], data[pos + 1], data[pos + 2])
+            first_cand = head.lookup(h, pos)
+            head.insert(h, pos)
+            nxt.link(pos, first_cand)
+
+            # MATCH: walk the chain through the ring buffers.
+            finding = 1 + cache_penalty  # the preparation cycle(s)
+            limit = min(MAX_MATCH, n - pos)
+            best_len = MIN_MATCH - 1
+            best_dist = 0
+            chain = pol.max_chain
+            cand = first_cand
+            min_pos = pos - max_dist
+            while cand >= min_pos and cand >= 0 and chain > 0:
+                chain -= 1
+                k = compare(cand, pos, limit)
+                examined = k + 1 if k < limit else k
+                if wide_bus:
+                    finding += 1 + (examined + 2) // 4
+                else:
+                    finding += examined
+                if k > best_len:
+                    best_len = k
+                    best_dist = pos - cand
+                    if k >= pol.nice_length or k >= limit:
+                        break
+                    if k >= pol.good_length:
+                        chain >>= 2
+                cand = nxt.follow(cand)
+            stats.add(FSMState.FINDING_MATCH, finding)
+            token_cycles += finding
+
+            # OUTPUT (prefetch of the next hash runs in parallel).
+            stats.add(FSMState.PRODUCING_OUTPUT, 1)
+            token_cycles += 1
+
+            if best_len >= MIN_MATCH:
+                tokens.append_match(best_len, best_dist)
+                if best_len <= pol.max_insert_length:
+                    stop = min(pos + best_len, hash_limit + 1)
+                    inserted = 0
+                    for q in range(pos + 1, stop):
+                        if p.hash_cache:
+                            hq = hash_cache.load(q)
+                        else:
+                            hq = spec.hash3(
+                                data[q], data[q + 1], data[q + 2]
+                            )
+                        prev_head = head.lookup(hq, q)
+                        head.insert(hq, q)
+                        nxt.link(q, prev_head)
+                        inserted += 1
+                    if inserted:
+                        stats.add(FSMState.UPDATING_HASH, inserted)
+                        token_cycles += inserted
+                pos += best_len
+                prev_was_literal = False
+            else:
+                tokens.append_literal(data[pos])
+                pos += 1
+                prev_was_literal = True
+
+            consumed = pos
+            cycles_so_far += token_cycles
+
+            # ROTATE on schedule (the relative next table never
+            # rotates; the absolute-address baseline charges fixups).
+            while consumed >= next_rotation_at:
+                head.rotate(consumed)
+                stats.add(FSMState.ROTATING_HASH, rotation_cycles)
+                cycles_so_far += rotation_cycles
+                next_rotation_at += rotation_period
+            if next_table_at is not None:
+                while consumed >= next_table_at:
+                    stats.add(FSMState.ROTATING_HASH, p.window_size)
+                    cycles_so_far += p.window_size
+                    next_table_at += p.window_size
+
+            advance_fill()
+
+        if consumed != n:
+            raise SimulationError(
+                f"FSM ended at {consumed} of {n} bytes"
+            )
+        return tokens, stats

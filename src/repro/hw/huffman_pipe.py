@@ -1,0 +1,133 @@
+"""Pipelined fixed-table Huffman encoder model (§IV).
+
+"The output interface of the LZSS compressor is connected to a
+fixed-table pipelined Huffman encoder that produces a ZLib-compatible
+stream. As the table is fixed, no additional clock cycles or memories
+are required to build it and the encoder does not introduce any delays
+to the stream produced by the LZSS compressor."
+
+The model consumes one D/L command per cycle, translates it through the
+static tables into at most 31 bits (worst case: 8-bit length code +
+5 extra bits + 5-bit distance code + 13 extra bits), packs bits into
+32-bit words and emits them. Because every command fits within one
+output word of bits, a one-command-per-cycle pipeline never back-
+pressures the LZSS core — :meth:`PipelinedHuffmanEncoder.encode_stream`
+verifies that invariant while producing the bit-exact Deflate body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.constants import (
+    END_OF_BLOCK,
+    distance_symbol,
+    length_symbol,
+)
+from repro.huffman.fixed import fixed_dist_encoder, fixed_litlen_encoder
+from repro.lzss.tokens import Literal, Match, Token, TokenArray
+
+#: Maximum bits one command can contribute (length 8+5, distance 5+13).
+MAX_BITS_PER_COMMAND = 31
+
+
+@dataclass
+class HuffmanPipeReport:
+    """Outcome of a pipelined encoding run."""
+
+    body: bytes            # the Deflate fixed-block body (with header/EOB)
+    commands: int          # D/L commands consumed
+    cycles: int            # pipeline cycles taken
+    max_bits_in_flight: int
+    stall_cycles: int      # cycles the LZSS core would have been stalled
+
+    @property
+    def zero_stall(self) -> bool:
+        """The §IV claim: the encoder introduces no delays."""
+        return self.stall_cycles == 0
+
+
+class PipelinedHuffmanEncoder:
+    """One-command-per-cycle fixed-table encoder."""
+
+    def __init__(self) -> None:
+        self._litlen = fixed_litlen_encoder()
+        self._dist = fixed_dist_encoder()
+
+    def command_bits(self, token: Union[Token, Tuple[int, int]]) -> int:
+        """Bit cost of one command under the fixed tables."""
+        if isinstance(token, Literal):
+            length, value = 0, token.value
+        elif isinstance(token, Match):
+            length, value = token.length, token.distance
+        else:
+            length, value = token
+        if length == 0:
+            return self._litlen.cost_bits(value)
+        lsym, lextra, _ = length_symbol(length)
+        dsym, dextra, _ = distance_symbol(value)
+        return (
+            self._litlen.cost_bits(lsym) + lextra
+            + self._dist.cost_bits(dsym) + dextra
+        )
+
+    def encode_stream(
+        self, tokens: Union[TokenArray, Iterable[Token]]
+    ) -> HuffmanPipeReport:
+        """Encode a whole token stream, tracking pipeline occupancy.
+
+        The bit accumulator plays the role of the output packing stage:
+        each cycle accepts one command's bits and drains up to 32 bits
+        as a completed word. A stall would occur only if a command could
+        contribute more bits than one output word — which the fixed
+        tables make impossible (asserted per command).
+        """
+        writer = BitWriter()
+        writer.write_bits(1, 1)      # BFINAL
+        writer.write_bits(0b01, 2)   # BTYPE = fixed
+        cycles = 0
+        commands = 0
+        stall = 0
+        max_in_flight = 0
+        pending_bits = 3
+
+        items: Iterable[Tuple[int, int]]
+        if isinstance(tokens, TokenArray):
+            items = zip(tokens.lengths, tokens.values)
+        else:
+            items = (
+                (0, t.value) if isinstance(t, Literal)
+                else (t.length, t.distance)
+                for t in tokens
+            )
+        for length, value in items:
+            bits = self.command_bits((length, value))
+            if bits > MAX_BITS_PER_COMMAND:
+                stall += 1  # cannot happen with the fixed tables
+            pending_bits += bits
+            max_in_flight = max(max_in_flight, pending_bits)
+            pending_bits = max(0, pending_bits - 32)  # word drained
+            if length == 0:
+                self._litlen.encode(writer, value)
+            else:
+                lsym, lextra, lval = length_symbol(length)
+                self._litlen.encode(writer, lsym)
+                if lextra:
+                    writer.write_bits(lval, lextra)
+                dsym, dextra, dval = distance_symbol(value)
+                self._dist.encode(writer, dsym)
+                if dextra:
+                    writer.write_bits(dval, dextra)
+            cycles += 1
+            commands += 1
+        self._litlen.encode(writer, END_OF_BLOCK)
+        cycles += 1
+        return HuffmanPipeReport(
+            body=writer.flush(),
+            commands=commands,
+            cycles=cycles,
+            max_bits_in_flight=max_in_flight,
+            stall_cycles=stall,
+        )

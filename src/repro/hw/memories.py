@@ -1,0 +1,227 @@
+"""Behavioural models of the compressor's five dual-port memories (§IV).
+
+These classes serve two purposes:
+
+* they define each memory's *geometry* (entries × width) for the
+  resource estimator;
+* they implement the *semantics* the RTL would have — most importantly
+  the head table's truncated, generation-bit position arithmetic, whose
+  equivalence to ideal absolute positions is a key design claim of the
+  paper (the whole rotation-avoidance scheme rests on it). The FSM
+  simulator uses these models, and property tests compare them against
+  the ideal structures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.hw.bram import MemoryGeometry
+from repro.hw.params import HardwareParams
+
+
+class RingBuffer:
+    """Byte ring buffer with a wide read port (lookahead / dictionary).
+
+    The paper stores both as 32-bit-wide rings in dual-port BRAMs: one
+    port streams data in (background fill), the other serves the
+    comparator with up to 4 bytes per cycle.
+    """
+
+    def __init__(self, name: str, size_bytes: int, bus_bytes: int) -> None:
+        self.name = name
+        self.size = size_bytes
+        self.bus_bytes = bus_bytes
+        self._data = bytearray(size_bytes)
+        self._mask = size_bytes - 1
+
+    def geometry(self) -> MemoryGeometry:
+        return MemoryGeometry(
+            self.name, self.size // self.bus_bytes, 8 * self.bus_bytes
+        )
+
+    def write_byte(self, pos: int, value: int) -> None:
+        """Store one byte at absolute stream position ``pos``."""
+        self._data[pos & self._mask] = value
+
+    def read_byte(self, pos: int) -> int:
+        """Read the byte at absolute stream position ``pos``."""
+        return self._data[pos & self._mask]
+
+    def read_word(self, pos: int) -> bytes:
+        """Read one bus-width beat starting at ``pos`` (may wrap)."""
+        index = pos & self._mask
+        end = index + self.bus_bytes
+        if end <= self.size:
+            return bytes(self._data[index:end])
+        return bytes(self._data[index:]) + bytes(self._data[:end - self.size])
+
+
+class HashCache:
+    """Precomputed hash values for lookahead offsets (§IV).
+
+    "hash values for every offset of the source stream are computed
+    during background filling and stored in a separate memory."
+    """
+
+    def __init__(self, params: HardwareParams) -> None:
+        self.size = params.lookahead_size
+        self.hash_bits = params.hash_bits
+        self._values: List[int] = [0] * self.size
+        self._mask = self.size - 1
+
+    def geometry(self) -> MemoryGeometry:
+        return MemoryGeometry("hash cache", self.size, self.hash_bits)
+
+    def store(self, pos: int, value: int) -> None:
+        self._values[pos & self._mask] = value
+
+    def load(self, pos: int) -> int:
+        return self._values[pos & self._mask]
+
+
+class HeadTable:
+    """Head table with generation bits and M-way splitting (§IV).
+
+    Entries hold positions truncated to ``log2(D) + G`` bits ("as if the
+    dictionary was 2^k times bigger"). :meth:`lookup` reconstructs the
+    absolute candidate position from the current position; entries whose
+    implied distance exceeds the real dictionary are reported invalid.
+    :meth:`rotate` performs the periodic invalidation scan; the split
+    factor M only affects its cycle cost, tracked by the caller.
+    """
+
+    INVALID = -1
+
+    def __init__(self, params: HardwareParams) -> None:
+        from repro.lzss.tokens import MIN_LOOKAHEAD
+
+        self.entries = params.head_entries
+        self.entry_bits = params.head_entry_bits
+        self.split = params.resolved_head_split
+        self.window = params.window_size
+        # Rotation drops entries beyond ZLib's MAX_DIST — the matcher
+        # can never follow them anyway, and the MIN_LOOKAHEAD slack is
+        # exactly what keeps truncated ages strictly below the modulus
+        # between rotations (age < R + MAX_DIST + MAX_MATCH < D*2^G).
+        self.usable_dist = params.window_size - MIN_LOOKAHEAD
+        # Stored positions live modulo D * 2**G. With G=0 the arithmetic
+        # needs headroom beyond the window (ZLib gets it from its
+        # fixed-width 16-bit Pos type); model that as one implicit bit.
+        if params.gen_bits == 0:
+            self.position_modulus = 2 * params.window_size
+        else:
+            self.position_modulus = 1 << self.entry_bits
+        self._table: List[int] = [self.INVALID] * self.entries
+        self._stale_before = 0  # oldest absolute position still valid
+
+    def geometry(self) -> MemoryGeometry:
+        # +1 bit: a valid flag (the RTL encodes invalid as a reserved
+        # pattern; we count it explicitly to be conservative).
+        return MemoryGeometry("head table", self.entries, self.entry_bits + 1)
+
+    def insert(self, h: int, pos: int) -> None:
+        """Record ``pos`` as the most recent string with hash ``h``."""
+        self._table[h] = pos % self.position_modulus
+
+    def lookup(self, h: int, current_pos: int) -> int:
+        """Absolute position of the chain head, or -1 if none/stale.
+
+        ``current_pos`` anchors the truncated arithmetic: the stored
+        value is interpreted as the unique position within the last
+        ``D * 2**G`` bytes. Entries older than that were invalidated by
+        rotation; entries older than the *window* but not yet rotated
+        out are detected here by the distance check ("The real
+        dictionary size is still used to detect whether a record points
+        outside the dictionary").
+        """
+        stored = self._table[h]
+        if stored == self.INVALID:
+            return -1
+        delta = (current_pos - stored) % self.position_modulus
+        candidate = current_pos - delta
+        if candidate < self._stale_before:
+            # Rotation should have cleared this; reaching here means the
+            # rotation schedule was violated.
+            raise SimulationError(
+                f"head entry for hash {h:#x} survived past rotation"
+            )
+        return candidate
+
+    def rotate(self, current_pos: int) -> int:
+        """Invalidate entries pointing outside the usable dictionary.
+
+        Returns the number of entries scanned (== entries; the split
+        factor parallelises the scan so the *cycle* cost is
+        ``entries / M``, charged by the caller).
+        """
+        horizon = current_pos - self.usable_dist
+        for h in range(self.entries):
+            stored = self._table[h]
+            if stored == self.INVALID:
+                continue
+            delta = (current_pos - stored) % self.position_modulus
+            if current_pos - delta < horizon:
+                self._table[h] = self.INVALID
+        self._stale_before = max(self._stale_before, horizon)
+        return self.entries
+
+    @property
+    def rotation_cycles(self) -> int:
+        """Cycles one rotation occupies the FSM for."""
+        return self.entries // self.split
+
+
+class NextTable:
+    """Next table with relative addressing (§IV).
+
+    "The next table contains relative addresses. This requires 1 extra
+    adder, to compute the absolute address, but eliminates the need to
+    rotate the next table." An offset of 0 (impossible for a real
+    predecessor) encodes *no predecessor*; offsets that would not fit in
+    ``log2(D)`` bits are clamped to 0 as well, which is safe because the
+    matcher never follows distances beyond MAX_DIST < D.
+    """
+
+    def __init__(self, params: HardwareParams) -> None:
+        self.entries = params.window_size
+        self.entry_bits = params.next_entry_bits
+        self._mask = self.entries - 1
+        self._table: List[int] = [0] * self.entries
+
+    def geometry(self) -> MemoryGeometry:
+        return MemoryGeometry("next table", self.entries, self.entry_bits)
+
+    def link(self, pos: int, predecessor: int) -> None:
+        """Store the chain link from ``pos`` back to ``predecessor``."""
+        if predecessor < 0:
+            self._table[pos & self._mask] = 0
+            return
+        offset = pos - predecessor
+        if 0 < offset < self.entries:
+            self._table[pos & self._mask] = offset
+        else:
+            self._table[pos & self._mask] = 0
+
+    def follow(self, pos: int) -> int:
+        """Absolute predecessor position of ``pos``, or -1 if none."""
+        offset = self._table[pos & self._mask]
+        if offset == 0:
+            return -1
+        return pos - offset
+
+
+def build_memories(params: HardwareParams) -> dict:
+    """Instantiate all five memories for one configuration."""
+    return {
+        "lookahead": RingBuffer(
+            "lookahead buffer", params.lookahead_size, params.data_bus_bytes
+        ),
+        "dictionary": RingBuffer(
+            "dictionary", params.window_size, params.data_bus_bytes
+        ),
+        "hash_cache": HashCache(params),
+        "head": HeadTable(params),
+        "next": NextTable(params),
+    }

@@ -1,0 +1,202 @@
+"""Hardware configuration (the paper's compile-time generics + run-time
+parameters).
+
+"Dictionary size, hash bit count, exact hash function, generation bit
+count, and the head table division factor can be customized during
+compile-time. Run-time parameters (e.g. matching iteration limit), can
+also be changed." (§IV)
+
+:class:`HardwareParams` carries all of them plus the three optimisation
+switches Table III ablates:
+
+* ``data_bus_bytes`` — 4 for the paper's wide buses, 1 for the 8-bit
+  bus of the [11] baseline;
+* ``hash_prefetch`` — the side-FSM that turns the 3-cycle literal path
+  into 2 cycles;
+* ``gen_bits`` / ``head_split`` / ``relative_next`` — the three rotation
+  optimisations (row D reduces ``gen_bits`` to 0; the [11] baseline
+  additionally uses absolute next-table addresses and no splitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import HW_MAX_POLICY, HW_SPEED_POLICY, MatchPolicy
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Complete configuration of the hardware compressor."""
+
+    window_size: int = 4096
+    hash_bits: int = 15
+    gen_bits: int = 4
+    head_split: int = 0  # 0 = auto: one sub-memory per BRAM primitive
+    data_bus_bytes: int = 4
+    hash_prefetch: bool = True
+    hash_cache: bool = True
+    relative_next: bool = True
+    lookahead_size: int = 512
+    clock_mhz: float = 100.0
+    policy: MatchPolicy = field(default_factory=lambda: HW_SPEED_POLICY)
+
+    def __post_init__(self) -> None:
+        if self.window_size & (self.window_size - 1):
+            raise ConfigError(
+                f"window_size must be a power of two: {self.window_size}"
+            )
+        if not 1024 <= self.window_size <= 32768:
+            raise ConfigError(
+                "window_size must be in [1024, 32768] "
+                f"(the paper explores 1K-16K): {self.window_size}"
+            )
+        if not 6 <= self.hash_bits <= 20:
+            raise ConfigError(f"hash_bits must be in [6, 20]: {self.hash_bits}")
+        if not 0 <= self.gen_bits <= 8:
+            raise ConfigError(f"gen_bits must be in [0, 8]: {self.gen_bits}")
+        if self.head_split < 0 or (
+            self.head_split and self.head_split & (self.head_split - 1)
+        ):
+            raise ConfigError(
+                "head_split must be 0 (auto) or a power of two: "
+                f"{self.head_split}"
+            )
+        if self.head_split > (1 << self.hash_bits):
+            raise ConfigError(
+                f"head_split {self.head_split} exceeds head entries"
+            )
+        if self.data_bus_bytes not in (1, 2, 4):
+            raise ConfigError(
+                f"data_bus_bytes must be 1, 2 or 4: {self.data_bus_bytes}"
+            )
+        if self.lookahead_size & (self.lookahead_size - 1):
+            raise ConfigError(
+                f"lookahead_size must be a power of two: {self.lookahead_size}"
+            )
+        if not 512 <= self.lookahead_size <= 4096:
+            raise ConfigError(
+                "lookahead_size must be in [512, 4096] (must hold at "
+                f"least MIN_LOOKAHEAD=262 bytes): {self.lookahead_size}"
+            )
+        if self.clock_mhz <= 0:
+            raise ConfigError(f"clock_mhz must be positive: {self.clock_mhz}")
+        if self.policy.lazy:
+            raise ConfigError(
+                "the hardware FSM is greedy-only; lazy policies apply "
+                "to the software baseline"
+            )
+
+    @property
+    def hash_spec(self) -> HashSpec:
+        """Hash function derived from the configured bit count."""
+        return HashSpec(self.hash_bits)
+
+    @property
+    def head_entries(self) -> int:
+        """Number of head-table entries (2**hash_bits)."""
+        return 1 << self.hash_bits
+
+    @property
+    def head_entry_bits(self) -> int:
+        """Head-table entry width: ``log2(D) + G`` bits (§V, Fig. 3 text)."""
+        return (self.window_size.bit_length() - 1) + self.gen_bits
+
+    @property
+    def next_entry_bits(self) -> int:
+        """Next-table entry width (relative offsets: ``log2(D)`` bits)."""
+        return self.window_size.bit_length() - 1
+
+    @property
+    def resolved_head_split(self) -> int:
+        """Effective sub-memory count M.
+
+        The paper splits the head table so that "each [sub-memory has]
+        the size of a single block RAM inside the FPGA"; with
+        ``head_split == 0`` we derive M from the BRAM geometry, otherwise
+        the explicit value is used (Table III-style ablations set 1).
+        """
+        if self.head_split:
+            return self.head_split
+        from repro.hw.bram import bram36_count
+
+        blocks = bram36_count(self.head_entries, self.head_entry_bits)
+        # Round up to a power of two so the entry space divides evenly.
+        split = 1
+        while split < blocks:
+            split <<= 1
+        return min(split, self.head_entries)
+
+    @property
+    def rotation_period_bytes(self) -> int:
+        """Input bytes between head-table rotations.
+
+        With G generation bits an entry's stored position covers a
+        ``D * 2**G`` range; rotating every ``D * (2**G - 1)`` bytes
+        guarantees no surviving entry's age can alias (each rotation
+        drops entries older than the dictionary). G=0 degenerates to
+        ZLib's every-D-bytes rotation — and matches the paper's "if k is
+        1, rotation happens every D bytes".
+        """
+        if self.gen_bits == 0:
+            return self.window_size
+        return self.window_size * ((1 << self.gen_bits) - 1)
+
+    @property
+    def head_rotation_cycles(self) -> int:
+        """Cycles per head rotation: entries scanned / split factor."""
+        return self.head_entries // self.resolved_head_split
+
+    def with_overrides(self, **kwargs) -> "HardwareParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short human-readable configuration summary."""
+        return (
+            f"{self.window_size // 1024}KB dict, {self.hash_bits}-bit hash, "
+            f"G={self.gen_bits}, M={self.head_split}, "
+            f"bus={8 * self.data_bus_bytes}b, "
+            f"prefetch={'on' if self.hash_prefetch else 'off'}, "
+            f"chain<={self.policy.max_chain}"
+        )
+
+
+def _baseline_rigler() -> HardwareParams:
+    """The [11]-style baseline: byte bus, no prefetch, naive rotation."""
+    return HardwareParams(
+        data_bus_bytes=1,
+        hash_prefetch=False,
+        gen_bits=0,
+        head_split=1,
+        relative_next=False,
+    )
+
+
+#: Named configurations used throughout the benchmarks. ``paper-speed``
+#: is Table I's hardware config ("parameters optimized for speed (4KB
+#: dictionary, 15-bit hash)").
+PRESETS: Dict[str, HardwareParams] = {
+    "paper-speed": HardwareParams(),
+    "paper-ratio": HardwareParams(
+        window_size=16384, hash_bits=15, policy=HW_MAX_POLICY
+    ),
+    "small": HardwareParams(window_size=1024, hash_bits=9),
+    "baseline-rigler": _baseline_rigler(),
+    "table2-a": HardwareParams(window_size=16384, hash_bits=15),
+    "table2-b": HardwareParams(window_size=8192, hash_bits=13),
+    "table2-c": HardwareParams(window_size=4096, hash_bits=9),
+}
+
+
+def preset(name: str) -> HardwareParams:
+    """Look up a named preset configuration."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

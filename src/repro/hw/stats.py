@@ -1,0 +1,111 @@
+"""Per-FSM-state cycle statistics (the paper's Fig. 5 breakdown).
+
+The paper buckets main-FSM time into six categories; :class:`FSMState`
+reproduces them exactly so the Fig. 5 bench can print the same pie:
+
+* ``FINDING_MATCH`` — match preparation (head/next reads) plus the
+  comparator cycles (68.5 % in the paper's 16 KB/15-bit run);
+* ``PRODUCING_OUTPUT`` — one cycle per emitted D/L command, with the
+  hash prefetch running in parallel (11.0 %);
+* ``UPDATING_HASH`` — one cycle per inserted byte of a short match
+  (11.6 %);
+* ``WAITING_FOR_DATA`` — head-table-read wait when the prefetched hash
+  is not useful, i.e. after a match skipped several bytes (8.4 %);
+* ``ROTATING_HASH`` — head/next table rotation (0.3 %);
+* ``FETCHING_DATA`` — lookahead underrun stalls against the background
+  fill (0.2 %).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class FSMState(enum.Enum):
+    """Fig. 5's six time buckets."""
+
+    FINDING_MATCH = "Finding match"
+    PRODUCING_OUTPUT = "Producing output"
+    UPDATING_HASH = "Updating hash table"
+    WAITING_FOR_DATA = "Waiting for data"
+    ROTATING_HASH = "Rotating hash"
+    FETCHING_DATA = "Fetching data"
+
+
+@dataclass
+class CycleStats:
+    """Cycle totals per FSM state plus derived throughput metrics."""
+
+    cycles: Dict[FSMState, int] = field(
+        default_factory=lambda: {state: 0 for state in FSMState}
+    )
+    input_bytes: int = 0
+    clock_mhz: float = 100.0
+
+    def add(self, state: FSMState, count: int = 1) -> None:
+        """Charge ``count`` cycles to ``state``."""
+        self.cycles[state] += count
+
+    @property
+    def total_cycles(self) -> int:
+        """All main-FSM cycles for the run."""
+        return sum(self.cycles.values())
+
+    @property
+    def cycles_per_byte(self) -> float:
+        """Average cycles per input byte (the paper reports ~2)."""
+        if self.input_bytes == 0:
+            return 0.0
+        return self.total_cycles / self.input_bytes
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Modelled throughput in MB/s at the configured clock.
+
+        MB/s = clock(MHz) * 1e6 cycles/s / (cycles/byte) / 1e6 B/MB
+             = clock_mhz / cycles_per_byte.
+        """
+        cpb = self.cycles_per_byte
+        if cpb == 0:
+            return 0.0
+        return self.clock_mhz / cpb
+
+    def fraction(self, state: FSMState) -> float:
+        """Fraction of total cycles spent in ``state`` (Fig. 5 slices)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.cycles[state] / total
+
+    def breakdown(self) -> Dict[str, float]:
+        """State-name → fraction mapping sorted by descending share."""
+        items = sorted(
+            ((state.value, self.fraction(state)) for state in FSMState),
+            key=lambda pair: -pair[1],
+        )
+        return dict(items)
+
+    def merge(self, other: "CycleStats") -> "CycleStats":
+        """Accumulate another run's stats into this one (same clock)."""
+        for state in FSMState:
+            self.cycles[state] += other.cycles[state]
+        self.input_bytes += other.input_bytes
+        return self
+
+    def format_table(self) -> str:
+        """Readable multi-line summary used by reports and the CLI."""
+        lines = [
+            f"input bytes        : {self.input_bytes}",
+            f"total cycles       : {self.total_cycles}",
+            f"cycles/byte        : {self.cycles_per_byte:.3f}",
+            f"throughput         : {self.throughput_mbps:.1f} MB/s "
+            f"@ {self.clock_mhz:.0f} MHz",
+        ]
+        for state in FSMState:
+            lines.append(
+                f"  {state.value:<20s}: {self.cycles[state]:>12d} "
+                f"({100 * self.fraction(state):5.1f}%)"
+            )
+        return "\n".join(lines)

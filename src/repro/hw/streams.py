@@ -1,0 +1,83 @@
+"""Handshake stream interfaces (§IV).
+
+"The LZSS compressor uses handshake interfaces for both input and output
+streams. ... The use of stream interfaces allows connecting to
+high-performance interfaces (e.g. LocalLink) and compressing real-time
+streaming data on-the-fly without separate buffering and compressing
+stages."
+
+These classes model a valid/ready (LocalLink-style) handshake at
+cycle granularity: producers offer a beat, consumers accept it, and
+either side can stall. They are used by the pipelined Huffman encoder
+model and the board testbench to measure back-pressure effects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Beat:
+    """One transfer beat: a data word plus framing flags."""
+
+    data: int
+    last: bool = False
+    valid_bytes: int = 4  # byte lanes carrying data in the final beat
+
+
+class StreamQueue:
+    """A bounded FIFO linking a producer and a consumer.
+
+    ``capacity`` models the skid buffer depth between pipeline stages;
+    a full queue back-pressures the producer (its ``push`` returns
+    False), an empty one stalls the consumer.
+    """
+
+    def __init__(self, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._fifo: Deque[Beat] = deque()
+        self.pushed_beats = 0
+        self.stall_cycles = 0
+
+    def can_push(self) -> bool:
+        return len(self._fifo) < self.capacity
+
+    def push(self, beat: Beat) -> bool:
+        """Offer a beat; returns False (and counts a stall) when full."""
+        if not self.can_push():
+            self.stall_cycles += 1
+            return False
+        self._fifo.append(beat)
+        self.pushed_beats += 1
+        return True
+
+    def can_pop(self) -> bool:
+        return bool(self._fifo)
+
+    def pop(self) -> Optional[Beat]:
+        """Take a beat, or None when empty."""
+        if not self._fifo:
+            return None
+        return self._fifo.popleft()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+
+def drive_words(words: Iterable[int], valid_bytes_last: int = 4) -> Iterator[Beat]:
+    """Wrap a 32-bit word sequence as a framed beat stream."""
+    items = list(words)
+    for index, word in enumerate(items):
+        last = index == len(items) - 1
+        yield Beat(
+            data=word,
+            last=last,
+            valid_bytes=valid_bytes_last if last else 4,
+        )

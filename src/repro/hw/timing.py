@@ -1,0 +1,68 @@
+"""Clock-frequency (Fmax) model.
+
+The paper runs the compressor at 100 MHz and notes that "post-route
+analysis reported a maximum clock frequency of 133.477 MHz" for the
+speed configuration. This model estimates how the achievable clock
+moves with the configuration so the estimator can report throughput at
+the *achievable* clock, not just the nominal one:
+
+* the comparator's byte-compare + priority-encode chain deepens with
+  the bus width;
+* address adders/comparators deepen with ``log2(D) + G`` and the hash
+  width;
+* BRAM clock-to-out is a fixed term.
+
+Delays are picked so the paper's configuration lands at its reported
+133 MHz; scaling terms use generic Virtex-5 logic-level figures. As
+with the LUT model, this is a calibrated estimate, documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import HardwareParams
+
+#: Fixed path: BRAM clock-to-out + routing + FF setup (ns).
+_T_FIXED_NS = 2.8
+#: Per logic level (LUT + local route) on Virtex-5 (ns).
+_T_LEVEL_NS = 0.5
+
+
+def _logic_levels(params: HardwareParams) -> float:
+    """Depth of the critical path in logic levels."""
+    compare_levels = 2 + params.data_bus_bytes.bit_length()
+    window_bits = params.window_size.bit_length() - 1
+    address_levels = (window_bits + params.gen_bits) / 6  # carry chains
+    hash_levels = params.hash_bits / 8
+    return compare_levels + address_levels + hash_levels
+
+
+@dataclass
+class TimingReport:
+    """Achievable clock estimate for one configuration."""
+
+    params: HardwareParams
+    fmax_mhz: float
+
+    @property
+    def meets_nominal(self) -> bool:
+        """Whether the design closes timing at its nominal clock."""
+        return self.fmax_mhz >= self.params.clock_mhz
+
+    @property
+    def headroom(self) -> float:
+        """Fmax / nominal clock."""
+        return self.fmax_mhz / self.params.clock_mhz
+
+    def throughput_at_fmax(self, cycles_per_byte: float) -> float:
+        """MB/s if the design were clocked at its Fmax."""
+        if cycles_per_byte == 0:
+            return 0.0
+        return self.fmax_mhz / cycles_per_byte
+
+
+def estimate_fmax(params: HardwareParams) -> TimingReport:
+    """Estimate the post-route maximum clock for a configuration."""
+    period_ns = _T_FIXED_NS + _T_LEVEL_NS * _logic_levels(params)
+    return TimingReport(params=params, fmax_mhz=1000.0 / period_ns)

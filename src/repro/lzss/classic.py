@@ -1,0 +1,246 @@
+"""Classic LZ77 and original LZSS — the paper's algorithmic ancestry.
+
+§II traces the design back through LZSS [4] to LZ77 [5]. These reference
+implementations serve as *baseline algorithms* for comparison benches:
+
+* :class:`LZ77Codec` — Ziv & Lempel 1977: a fixed-rate stream of
+  ``(distance, length, next_literal)`` triples. Every step emits a
+  triple even when no match exists (distance=length=0), which is the
+  inefficiency LZSS fixed.
+* :class:`ClassicLZSSCodec` — Storer & Szymanski 1982 as popularised by
+  Okumura's LZSS.C: a 1-bit flag selects literal vs (distance, length)
+  pair; matches shorter than the break-even length are sent literally.
+
+Both use the same hash-chain search as the main compressor (search
+quality is held constant so benches isolate the *format* difference),
+and both are bit-exact round-trip codecs with their own serialised
+formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.errors import ConfigError, LZSSError
+from repro.lzss.hashchain import ChainTables, HashSpec, hash_all
+from repro.lzss.matcher import longest_match
+from repro.lzss.policy import MatchPolicy
+from repro.lzss.tokens import MIN_LOOKAHEAD, MIN_MATCH
+
+
+def _check_window(window_size: int) -> None:
+    if window_size & (window_size - 1) or not 256 <= window_size <= 32768:
+        raise ConfigError(
+            "window_size must be a power of two in [256, 32768]: "
+            f"{window_size}"
+        )
+
+
+class _SearchMixin:
+    """Shared hash-chain search over the classic codecs."""
+
+    window_size: int
+    hash_spec: HashSpec
+    policy: MatchPolicy
+
+    def _find_matches(self, data: bytes):
+        """Yield (pos, best_len, best_dist) for every search position.
+
+        The caller decides how to consume/advance; this generator is
+        primed with ``.send(new_pos)`` after each decision.
+        """
+        n = len(data)
+        hashes = hash_all(data, self.hash_spec)
+        tables = ChainTables(self.hash_spec, self.window_size)
+        head, prev = tables.head, tables.prev
+        wmask = tables.window_mask
+        max_dist = self.window_size - MIN_LOOKAHEAD
+        hash_limit = n - MIN_MATCH
+        pol = self.policy
+
+        def search(pos: int) -> Tuple[int, int]:
+            if pos > hash_limit:
+                return 0, 0
+            h = hashes[pos]
+            first = head[h]
+            prev[pos & wmask] = first
+            head[h] = pos
+            limit = min(self.max_length, n - pos)
+            best_len, best_dist, _, _, _ = longest_match(
+                data, pos, first, prev, wmask, max_dist, limit,
+                pol.max_chain, pol.good_length,
+                min(pol.nice_length, limit) if limit >= MIN_MATCH else 1,
+                )
+            if best_len < MIN_MATCH:
+                return 0, 0
+            return best_len, best_dist
+
+        return search, hashes, head, prev, wmask, hash_limit
+
+
+@dataclass
+class LZ77Triple:
+    """One (distance, length, literal) step of classic LZ77."""
+
+    distance: int
+    length: int
+    literal: Optional[int]  # None only for the final step of the stream
+
+
+class LZ77Codec(_SearchMixin):
+    """Ziv-Lempel 1977 triple codec.
+
+    Serialisation per step: distance (``log2 W`` bits), length
+    (``length_bits`` bits), literal (8 bits). The final step may lack a
+    literal when a match ends exactly at the stream end; a 1-bit marker
+    before the literal field records its presence.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        length_bits: int = 8,
+        hash_spec: Optional[HashSpec] = None,
+        policy: Optional[MatchPolicy] = None,
+    ) -> None:
+        _check_window(window_size)
+        if not 2 <= length_bits <= 8:
+            raise ConfigError(f"length_bits must be 2..8: {length_bits}")
+        self.window_size = window_size
+        self.length_bits = length_bits
+        self.max_length = MIN_MATCH - 1 + (1 << length_bits) - 1
+        self.hash_spec = hash_spec or HashSpec()
+        self.policy = policy or MatchPolicy()
+        self._dist_bits = window_size.bit_length() - 1
+
+    def tokenize(self, data: bytes) -> List[LZ77Triple]:
+        """Produce the triple stream."""
+        search, *_ = self._find_matches(data)
+        triples: List[LZ77Triple] = []
+        n = len(data)
+        pos = 0
+        while pos < n:
+            length, dist = search(pos)
+            if length:
+                end = pos + length
+                literal = data[end] if end < n else None
+                triples.append(LZ77Triple(dist, length, literal))
+                pos = end + (1 if literal is not None else 0)
+            else:
+                triples.append(LZ77Triple(0, 0, data[pos]))
+                pos += 1
+        return triples
+
+    def compress(self, data: bytes) -> bytes:
+        """Serialise ``data`` as an LZ77 triple stream."""
+        writer = BitWriter()
+        writer.write_bits(len(data), 32)
+        for triple in self.tokenize(data):
+            writer.write_bits(triple.distance, self._dist_bits)
+            length_code = (
+                triple.length - (MIN_MATCH - 1) if triple.length else 0
+            )
+            writer.write_bits(length_code, self.length_bits)
+            if triple.literal is None:
+                writer.write_bits(0, 1)
+            else:
+                writer.write_bits(1, 1)
+                writer.write_bits(triple.literal, 8)
+        return writer.flush()
+
+    def decompress(self, blob: bytes) -> bytes:
+        """Inverse of :meth:`compress`."""
+        reader = BitReader(blob)
+        total = reader.read_bits(32)
+        out = bytearray()
+        while len(out) < total:
+            dist = reader.read_bits(self._dist_bits)
+            length_code = reader.read_bits(self.length_bits)
+            length = length_code + (MIN_MATCH - 1) if length_code else 0
+            if length:
+                start = len(out) - dist
+                if start < 0 or dist == 0:
+                    raise LZSSError(
+                        f"invalid LZ77 back-reference at byte {len(out)}"
+                    )
+                for i in range(length):
+                    out.append(out[start + i])
+            if reader.read_bits(1):
+                out.append(reader.read_bits(8))
+        if len(out) != total:
+            raise LZSSError(
+                f"LZ77 stream decoded {len(out)} of {total} bytes"
+            )
+        return bytes(out)
+
+
+class ClassicLZSSCodec(_SearchMixin):
+    """Storer-Szymanski LZSS with 1-bit flags (Okumura-style format).
+
+    Serialisation: flag bit 1 → 8-bit literal; flag bit 0 →
+    distance (``log2 W`` bits) + length-minus-min (``length_bits``).
+    """
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        length_bits: int = 4,
+        hash_spec: Optional[HashSpec] = None,
+        policy: Optional[MatchPolicy] = None,
+    ) -> None:
+        _check_window(window_size)
+        if not 2 <= length_bits <= 8:
+            raise ConfigError(f"length_bits must be 2..8: {length_bits}")
+        self.window_size = window_size
+        self.length_bits = length_bits
+        self.max_length = MIN_MATCH + (1 << length_bits) - 1
+        self.hash_spec = hash_spec or HashSpec()
+        self.policy = policy or MatchPolicy()
+        self._dist_bits = window_size.bit_length() - 1
+        #: Minimum profitable match: a pair costs 1+dist+len bits vs
+        #: 9 bits per literal.
+        pair_bits = 1 + self._dist_bits + self.length_bits
+        self.break_even = max(MIN_MATCH, -(-pair_bits // 9))
+
+    def compress(self, data: bytes) -> bytes:
+        """Serialise ``data`` as a flag-bit LZSS stream."""
+        search, *_ = self._find_matches(data)
+        writer = BitWriter()
+        writer.write_bits(len(data), 32)
+        n = len(data)
+        pos = 0
+        while pos < n:
+            length, dist = search(pos)
+            if length >= self.break_even:
+                writer.write_bits(0, 1)
+                writer.write_bits(dist, self._dist_bits)
+                writer.write_bits(length - MIN_MATCH, self.length_bits)
+                pos += length
+            else:
+                writer.write_bits(1, 1)
+                writer.write_bits(data[pos], 8)
+                pos += 1
+        return writer.flush()
+
+    def decompress(self, blob: bytes) -> bytes:
+        """Inverse of :meth:`compress`."""
+        reader = BitReader(blob)
+        total = reader.read_bits(32)
+        out = bytearray()
+        while len(out) < total:
+            if reader.read_bits(1):
+                out.append(reader.read_bits(8))
+            else:
+                dist = reader.read_bits(self._dist_bits)
+                length = reader.read_bits(self.length_bits) + MIN_MATCH
+                start = len(out) - dist
+                if start < 0 or dist == 0:
+                    raise LZSSError(
+                        f"invalid LZSS back-reference at byte {len(out)}"
+                    )
+                for i in range(length):
+                    out.append(out[start + i])
+        return bytes(out)

@@ -1,0 +1,269 @@
+"""LZSS compression: greedy (deflate_fast) and lazy (deflate_slow) parsing.
+
+The greedy parser is the algorithm the paper's hardware FSM executes: at
+each step it searches the chain for the lookahead front, emits either a
+copy command or a literal, optionally inserts every byte of a short
+match into the hash table, and advances. The lazy parser is ZLib's
+deflate_slow, used by the software baseline at levels 4-9 and by the
+"what if" estimator comparisons.
+
+Both parsers record a :class:`~repro.lzss.trace.MatchTrace`. For the
+greedy parser the trace has exactly one row per emitted token, which is
+what the hardware cycle model consumes; for the lazy parser rows are per
+*search* (lazy evaluation searches at every input position), which is
+what the software cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.lzss.hashchain import ChainTables, HashSpec, hash_all
+from repro.lzss.matcher import longest_match
+from repro.lzss.policy import MatchPolicy
+from repro.lzss.tokens import (
+    MAX_MATCH,
+    MIN_LOOKAHEAD,
+    MIN_MATCH,
+    TokenArray,
+)
+from repro.lzss.trace import MatchTrace
+
+#: ZLib's TOO_FAR: minimum-length matches farther back than this are not
+#: worth a length/distance pair under lazy evaluation.
+TOO_FAR = 4096
+
+
+@dataclass
+class CompressResult:
+    """Output of one LZSS compression pass."""
+
+    tokens: TokenArray
+    trace: MatchTrace
+    window_size: int
+    policy: MatchPolicy
+    hash_spec: HashSpec
+    input_size: int = 0
+
+    @property
+    def token_count(self) -> int:
+        return len(self.tokens)
+
+
+class LZSSCompressor:
+    """Configurable LZSS token-stream producer.
+
+    Parameters
+    ----------
+    window_size:
+        Dictionary (sliding window) size in bytes; power of two between
+        256 and 32768 (Deflate's distance limit).
+    hash_spec:
+        Hash function configuration (bit count / shift).
+    policy:
+        Match search policy (chain limits, greedy/lazy, insert limit).
+    """
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        hash_spec: Optional[HashSpec] = None,
+        policy: Optional[MatchPolicy] = None,
+    ) -> None:
+        if window_size & (window_size - 1) or not 256 <= window_size <= 32768:
+            raise ConfigError(
+                "window_size must be a power of two in [256, 32768]: "
+                f"{window_size}"
+            )
+        self.window_size = window_size
+        self.hash_spec = hash_spec or HashSpec()
+        self.policy = policy or MatchPolicy()
+        # ZLib's MAX_DIST: never match farther back than this, which also
+        # makes chain-table aliasing unreachable (see ChainTables).
+        self.max_dist = window_size - MIN_LOOKAHEAD
+        if self.max_dist < 1:
+            raise ConfigError(
+                f"window_size {window_size} leaves no usable distance "
+                f"(MIN_LOOKAHEAD={MIN_LOOKAHEAD})"
+            )
+
+    def compress(self, data: bytes) -> CompressResult:
+        """Produce the token stream and search trace for ``data``."""
+        data = bytes(data)
+        if self.policy.lazy:
+            tokens, trace = self._compress_lazy(data)
+        else:
+            tokens, trace = self._compress_greedy(data)
+        trace.input_size = len(data)
+        return CompressResult(
+            tokens=tokens,
+            trace=trace,
+            window_size=self.window_size,
+            policy=self.policy,
+            hash_spec=self.hash_spec,
+            input_size=len(data),
+        )
+
+    # ------------------------------------------------------------------
+    # greedy (deflate_fast / the paper's hardware FSM)
+    # ------------------------------------------------------------------
+
+    def _compress_greedy(self, data: bytes):
+        tokens = TokenArray()
+        trace = MatchTrace()
+        n = len(data)
+        if n == 0:
+            return tokens, trace
+        pol = self.policy
+        hashes = hash_all(data, self.hash_spec)
+        tables = ChainTables(self.hash_spec, self.window_size)
+        head = tables.head
+        prev = tables.prev
+        wmask = tables.window_mask
+        max_dist = self.max_dist
+        hash_limit = n - MIN_MATCH  # last position with a defined hash
+
+        pos = 0
+        while pos < n:
+            if pos > hash_limit:
+                # Tail shorter than MIN_MATCH: literals, no search.
+                tokens.append_literal(data[pos])
+                trace.record(0, 1, 0, 0, 0, 0)
+                pos += 1
+                continue
+            h = hashes[pos]
+            first_cand = head[h]
+            # PREPARE state: the head/next tables are updated for `pos`
+            # in the same cycle the first candidate address is fetched.
+            prev[pos & wmask] = first_cand
+            head[h] = pos
+
+            limit = min(MAX_MATCH, n - pos)
+            best_len, best_dist, iters, c4, c1 = longest_match(
+                data,
+                pos,
+                first_cand,
+                prev,
+                wmask,
+                max_dist,
+                limit,
+                pol.max_chain,
+                pol.good_length,
+                pol.nice_length,
+            )
+            if best_len >= MIN_MATCH:
+                tokens.append_match(best_len, best_dist)
+                inserted = 0
+                if best_len <= pol.max_insert_length:
+                    # UPDATE state: insert every remaining byte of the
+                    # match, one cycle each (§IV).
+                    stop = min(pos + best_len, hash_limit + 1)
+                    for q in range(pos + 1, stop):
+                        hq = hashes[q]
+                        prev[q & wmask] = head[hq]
+                        head[hq] = q
+                        inserted += 1
+                trace.record(1, best_len, iters, c4, c1, inserted)
+                pos += best_len
+            else:
+                tokens.append_literal(data[pos])
+                trace.record(0, 1, iters, c4, c1, 0)
+                pos += 1
+        return tokens, trace
+
+    # ------------------------------------------------------------------
+    # lazy (deflate_slow, software levels 4-9)
+    # ------------------------------------------------------------------
+
+    def _compress_lazy(self, data: bytes):
+        tokens = TokenArray()
+        trace = MatchTrace()
+        n = len(data)
+        if n == 0:
+            return tokens, trace
+        pol = self.policy
+        hashes = hash_all(data, self.hash_spec)
+        tables = ChainTables(self.hash_spec, self.window_size)
+        head = tables.head
+        prev = tables.prev
+        wmask = tables.window_mask
+        max_dist = self.max_dist
+        hash_limit = n - MIN_MATCH
+
+        pos = 0
+        prev_len = MIN_MATCH - 1
+        prev_dist = 0
+        have_prev = False  # a byte at pos-1 awaits a decision
+        while pos < n:
+            cur_len = MIN_MATCH - 1
+            cur_dist = 0
+            if pos <= hash_limit:
+                h = hashes[pos]
+                first_cand = head[h]
+                prev[pos & wmask] = first_cand
+                head[h] = pos
+                if prev_len < pol.max_lazy:
+                    limit = min(MAX_MATCH, n - pos)
+                    chain = pol.max_chain
+                    if prev_len >= pol.good_length:
+                        # ZLib: a good previous match shrinks this
+                        # position's budget up front.
+                        chain >>= 2
+                    cur_len, cur_dist, iters, c4, c1 = longest_match(
+                        data,
+                        pos,
+                        first_cand,
+                        prev,
+                        wmask,
+                        max_dist,
+                        limit,
+                        chain,
+                        pol.good_length,
+                        pol.nice_length,
+                    )
+                    trace.record(
+                        1 if cur_len >= MIN_MATCH else 0,
+                        max(cur_len, 1),
+                        iters,
+                        c4,
+                        c1,
+                        0,
+                    )
+                    if cur_len == MIN_MATCH and cur_dist > TOO_FAR:
+                        cur_len = MIN_MATCH - 1
+
+            if have_prev and prev_len >= MIN_MATCH and prev_len >= cur_len:
+                # The match starting at pos-1 wins: emit it, then insert
+                # the remaining bytes it covers.
+                tokens.append_match(prev_len, prev_dist)
+                stop = min(pos - 1 + prev_len, hash_limit + 1)
+                for q in range(pos + 1, stop):
+                    hq = hashes[q]
+                    prev[q & wmask] = head[hq]
+                    head[hq] = q
+                pos = pos - 1 + prev_len
+                have_prev = False
+                prev_len = MIN_MATCH - 1
+                prev_dist = 0
+            else:
+                if have_prev:
+                    tokens.append_literal(data[pos - 1])
+                have_prev = True
+                prev_len = cur_len
+                prev_dist = cur_dist
+                pos += 1
+        if have_prev:
+            tokens.append_literal(data[n - 1])
+        return tokens, trace
+
+
+def compress_tokens(
+    data: bytes,
+    window_size: int = 4096,
+    hash_spec: Optional[HashSpec] = None,
+    policy: Optional[MatchPolicy] = None,
+) -> CompressResult:
+    """One-shot convenience wrapper around :class:`LZSSCompressor`."""
+    return LZSSCompressor(window_size, hash_spec, policy).compress(data)

@@ -1,0 +1,51 @@
+"""LZSS token stream decompression.
+
+The decompressor mirrors §III's command semantics: literals append one
+byte; a copy command re-reads ``length`` bytes starting ``distance``
+bytes back, byte-by-byte so overlapping copies (``distance < length``,
+the run-length case) replicate correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import LZSSError
+from repro.lzss.tokens import Literal, Match, Token, TokenArray
+
+
+def decompress_tokens(tokens: Iterable[Token]) -> bytes:
+    """Reconstruct the original bytes from a token stream."""
+    out = bytearray()
+    if isinstance(tokens, TokenArray):
+        # Fast path over the columnar storage.
+        for length, value in zip(tokens.lengths, tokens.values):
+            if length == 0:
+                out.append(value)
+            else:
+                _copy(out, length, value)
+        return bytes(out)
+    for token in tokens:
+        if isinstance(token, Literal):
+            out.append(token.value)
+        elif isinstance(token, Match):
+            _copy(out, token.length, token.distance)
+        else:
+            raise LZSSError(f"not a token: {token!r}")
+    return bytes(out)
+
+
+def _copy(out: bytearray, length: int, distance: int) -> None:
+    start = len(out) - distance
+    if start < 0:
+        raise LZSSError(
+            f"copy of distance {distance} reaches before the start "
+            f"(only {len(out)} bytes emitted)"
+        )
+    if distance >= length:
+        out.extend(out[start:start + length])
+    else:
+        # Overlapping copy: replicate byte-by-byte, as both the Deflate
+        # spec and the hardware decompressor do.
+        for i in range(length):
+            out.append(out[start + i])

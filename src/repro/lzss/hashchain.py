@@ -1,0 +1,120 @@
+"""Rolling hash and head/next chain tables (ZLib structure, §IV).
+
+The hash function is ZLib's shift-XOR over the first ``MIN_MATCH`` (3)
+bytes of a string::
+
+    h = 0
+    for byte in s[:3]:
+        h = ((h << shift) ^ byte) & (2**hash_bits - 1)
+
+with ``shift = ceil(hash_bits / 3)`` so all three bytes influence the
+result. The paper parameterises "hash bit count" and "exact hash
+function" as compile-time generics; :class:`HashSpec` carries both.
+
+:func:`hash_all` computes the hash for *every* position of a buffer in
+one vectorised NumPy pass — this is precisely the paper's *hash cache*:
+"hash values for every offset of the source stream are computed during
+background filling and stored in a separate memory."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.lzss.tokens import MIN_MATCH
+
+
+@dataclass(frozen=True)
+class HashSpec:
+    """Hash function parameters (compile-time generics in the paper)."""
+
+    hash_bits: int = 15
+
+    def __post_init__(self) -> None:
+        if not 6 <= self.hash_bits <= 20:
+            raise ConfigError(
+                f"hash_bits must be in [6, 20]: {self.hash_bits}"
+            )
+
+    @property
+    def shift(self) -> int:
+        """Per-byte shift so 3 bytes cover all ``hash_bits`` bits."""
+        return (self.hash_bits + MIN_MATCH - 1) // MIN_MATCH
+
+    @property
+    def table_size(self) -> int:
+        """Number of head-table entries (2**hash_bits)."""
+        return 1 << self.hash_bits
+
+    @property
+    def mask(self) -> int:
+        return self.table_size - 1
+
+    def hash3(self, b0: int, b1: int, b2: int) -> int:
+        """Hash of one 3-byte string (scalar reference implementation).
+
+        >>> spec = HashSpec(15)
+        >>> 0 <= spec.hash3(115, 110, 111) <= spec.mask
+        True
+        >>> spec.hash3(1, 2, 3) == spec.hash3(1, 2, 3)
+        True
+        """
+        s, m = self.shift, self.mask
+        h = b0 & m
+        h = ((h << s) ^ b1) & m
+        h = ((h << s) ^ b2) & m
+        return h
+
+
+def hash_all(data: bytes, spec: HashSpec) -> List[int]:
+    """Hash of every position ``p`` with ``p + 2 < len(data)``.
+
+    Returns a plain Python list (fast scalar indexing in the match loop).
+    Vectorised: three shifted views of the byte buffer are combined with
+    the shift-XOR recurrence in whole-array operations.
+    """
+    n = len(data)
+    if n < MIN_MATCH:
+        return []
+    buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    s = np.uint32(spec.shift)
+    m = np.uint32(spec.mask)
+    h = buf[:-2] & m
+    h = ((h << s) ^ buf[1:-1]) & m
+    h = ((h << s) ^ buf[2:]) & m
+    return h.tolist()
+
+
+class ChainTables:
+    """Head/next tables over absolute positions.
+
+    ``head[h]`` is the most recent position whose 3-byte hash is ``h``
+    (-1 if none). ``prev[p & window_mask]`` is the previous position in
+    ``p``'s chain. Entries older than the window alias by construction,
+    but the matcher never follows a candidate farther than
+    ``window - MIN_LOOKAHEAD`` back (ZLib's MAX_DIST), which makes
+    aliasing unreachable — the same argument that lets the paper's
+    hardware bound the head-table entry width to ``log2(D) + G`` bits.
+    """
+
+    __slots__ = ("head", "prev", "window_mask")
+
+    def __init__(self, spec: HashSpec, window_size: int) -> None:
+        if window_size & (window_size - 1):
+            raise ConfigError(
+                f"window size must be a power of two: {window_size}"
+            )
+        self.head: List[int] = [-1] * spec.table_size
+        self.prev: List[int] = [-1] * window_size
+        self.window_mask = window_size - 1
+
+    def insert(self, pos: int, h: int) -> int:
+        """Insert ``pos`` at the front of chain ``h``; return old head."""
+        old = self.head[h]
+        self.prev[pos & self.window_mask] = old
+        self.head[h] = pos
+        return old

@@ -1,0 +1,100 @@
+"""The paper's raw LZSS command bit format (§III).
+
+"On the bit level, every command has 2 fields: D (log2 N bits) and L
+(8 bits). If D is 0, the command is output byte and L contains the byte.
+Otherwise, D contains the copying distance and L contains the copying
+length minus 3."
+
+This is the internal D/L pair stream that sits between the LZSS core and
+the Huffman coder in the hardware. It is a complete self-contained
+format on its own (and the paper's estimator reports its size as the
+pre-Huffman stream size), so we implement encode and decode, LSB-first.
+
+With D occupying ``log2 N`` bits, distances 1..N-1 are expressible (the
+value 0 flags a literal); ZLib's MAX_DIST guarantees the compressor
+never produces distance N or larger anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.errors import ConfigError, LZSSError
+from repro.lzss.tokens import Literal, Match, Token, TokenArray, MIN_MATCH
+
+
+def _dist_bits(window_size: int) -> int:
+    if window_size & (window_size - 1) or window_size < 2:
+        raise ConfigError(
+            f"window size must be a power of two >= 2: {window_size}"
+        )
+    return window_size.bit_length() - 1
+
+
+def command_size_bits(window_size: int) -> int:
+    """Size of one D/L command in bits for the given dictionary size."""
+    return _dist_bits(window_size) + 8
+
+
+def encode_raw(tokens: Iterable[Token], window_size: int) -> bytes:
+    """Encode a token stream as the paper's raw D/L pairs.
+
+    The stream is terminated implicitly by its byte length; callers must
+    also convey the command count or original size out of band (the
+    hardware does this on its handshake interface). We additionally
+    accept a trailing partial byte of zero padding on decode.
+    """
+    dbits = _dist_bits(window_size)
+    writer = BitWriter()
+    if isinstance(tokens, TokenArray):
+        pairs = zip(tokens.lengths, tokens.values)
+        for length, value in pairs:
+            if length == 0:
+                writer.write_bits(0, dbits)
+                writer.write_bits(value, 8)
+            else:
+                _check_match(length, value, window_size)
+                writer.write_bits(value, dbits)
+                writer.write_bits(length - MIN_MATCH, 8)
+        return writer.flush()
+    for token in tokens:
+        if isinstance(token, Literal):
+            writer.write_bits(0, dbits)
+            writer.write_bits(token.value, 8)
+        elif isinstance(token, Match):
+            _check_match(token.length, token.distance, window_size)
+            writer.write_bits(token.distance, dbits)
+            writer.write_bits(token.length - MIN_MATCH, 8)
+        else:
+            raise LZSSError(f"not a token: {token!r}")
+    return writer.flush()
+
+
+def decode_raw(
+    data: bytes, window_size: int, command_count: int
+) -> List[Token]:
+    """Decode ``command_count`` D/L pairs back into tokens."""
+    dbits = _dist_bits(window_size)
+    reader = BitReader(data)
+    tokens: List[Token] = []
+    for _ in range(command_count):
+        d = reader.read_bits(dbits)
+        l = reader.read_bits(8)
+        if d == 0:
+            tokens.append(Literal(l))
+        else:
+            tokens.append(Match(l + MIN_MATCH, d))
+    return tokens
+
+
+def _check_match(length: int, distance: int, window_size: int) -> None:
+    if not MIN_MATCH <= length <= MIN_MATCH + 255:
+        raise LZSSError(
+            f"match length {length} not encodable in 8 bits (L = len - 3)"
+        )
+    if not 1 <= distance <= window_size - 1:
+        raise LZSSError(
+            f"distance {distance} not encodable in log2({window_size}) bits"
+        )

@@ -1,0 +1,95 @@
+"""Per-token match-search trace.
+
+One compression pass records, per emitted token, exactly the quantities
+every cost model needs (DESIGN.md §4.1/§4.2). Columns are parallel
+``array`` instances to stay compact on multi-megabyte inputs:
+
+* ``kinds[i]`` — 0 literal, 1 match;
+* ``lengths[i]`` — match length (1 for literals, i.e. bytes consumed);
+* ``chain_iters[i]`` — number of candidates examined by the search;
+* ``compare_cycles_w4[i]`` — Σ over candidates of ``1 + ceil((examined-1)/4)``
+  (the paper's §IV formula): hardware comparison cycles on the 32-bit buses;
+* ``compare_cycles_w1[i]`` — Σ of ``examined``: cycles on the 8-bit bus
+  of the [11] baseline (also the software model's byte-compare count);
+* ``inserted[i]`` — hash-table insertions performed for this token
+  *beyond* the head-of-token insertion (the FSM's UPDATE state cycles).
+
+``examined`` for a candidate is the number of bytes the comparator reads
+before deciding: the matched prefix plus the mismatching byte (no +1 when
+the compare ran into the length cap).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+
+class MatchTrace:
+    """Columnar per-token search cost record."""
+
+    __slots__ = (
+        "kinds",
+        "lengths",
+        "chain_iters",
+        "compare_cycles_w4",
+        "compare_cycles_w1",
+        "inserted",
+        "input_size",
+    )
+
+    def __init__(self) -> None:
+        self.kinds = bytearray()
+        self.lengths = array("i")
+        self.chain_iters = array("i")
+        self.compare_cycles_w4 = array("i")
+        self.compare_cycles_w1 = array("i")
+        self.inserted = array("i")
+        self.input_size = 0
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def record(
+        self,
+        kind: int,
+        length: int,
+        chain_iters: int,
+        cycles_w4: int,
+        cycles_w1: int,
+        inserted: int,
+    ) -> None:
+        """Append one token's search costs (hot path, unvalidated)."""
+        self.kinds.append(kind)
+        self.lengths.append(length)
+        self.chain_iters.append(chain_iters)
+        self.compare_cycles_w4.append(cycles_w4)
+        self.compare_cycles_w1.append(cycles_w1)
+        self.inserted.append(inserted)
+
+    # -- aggregate views used by tests and reports ---------------------
+
+    def total_chain_iters(self) -> int:
+        """Total candidates examined across the stream."""
+        return sum(self.chain_iters)
+
+    def total_compare_cycles(self, bus_bytes: int = 4) -> int:
+        """Total comparator cycles for the given bus width (4 or 1)."""
+        if bus_bytes == 4:
+            return sum(self.compare_cycles_w4)
+        if bus_bytes == 1:
+            return sum(self.compare_cycles_w1)
+        raise ValueError(f"unsupported bus width: {bus_bytes}")
+
+    def total_inserted(self) -> int:
+        """Total UPDATE-state hash insertions."""
+        return sum(self.inserted)
+
+    def literal_fraction(self) -> float:
+        """Fraction of tokens that are literals.
+
+        The paper reports 30-85 % of matching operations end in a
+        literal, depending on data (§IV).
+        """
+        if not self.kinds:
+            return 0.0
+        return self.kinds.count(0) / len(self.kinds)

@@ -1,0 +1,19 @@
+"""Software baseline model: ZLib on the FPGA's embedded PowerPC (§V).
+
+Table I compares the hardware against "a software implementation (ZLib
+running on the PowerPC processor inside the XC5VFX70T FPGA)" clocked at
+400 MHz. We reproduce that baseline as an operation-count cost model: the
+same greedy match search is performed (ZLib level-1 parameters), and its
+trace is priced with per-operation cycle costs of a scalar in-order
+embedded core with small caches.
+"""
+
+from repro.swmodel.cpu import CPUModel, PPC440_400MHZ
+from repro.swmodel.zlib_cost import SoftwareBaseline, SoftwareRunResult
+
+__all__ = [
+    "CPUModel",
+    "PPC440_400MHZ",
+    "SoftwareBaseline",
+    "SoftwareRunResult",
+]

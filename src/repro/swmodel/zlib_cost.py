@@ -1,0 +1,120 @@
+"""ZLib software cycle accounting driven by the shared match trace.
+
+The baseline runs the *same algorithm* as the hardware (greedy hash-chain
+LZSS + fixed-table Huffman) with ZLib's level-1 parameters — exactly what
+the paper's testbench ran on the PowerPC. One compression pass produces
+the token stream (for the ratio and output size) and the search trace
+(for the cycle pricing); :class:`SoftwareBaseline` turns both into MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.lzss.compressor import CompressResult, LZSSCompressor
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import MatchPolicy, policy_for_level
+from repro.swmodel.cpu import CPUModel, PPC440_400MHZ
+
+
+@dataclass
+class SoftwareRunResult:
+    """Modelled software compression outcome."""
+
+    cpu: CPUModel
+    lzss: CompressResult
+    compressed_size: int
+    total_cycles: float
+
+    @property
+    def input_size(self) -> int:
+        return self.lzss.input_size
+
+    @property
+    def cycles_per_byte(self) -> float:
+        if self.input_size == 0:
+            return 0.0
+        return self.total_cycles / self.input_size
+
+    @property
+    def throughput_mbps(self) -> float:
+        cpb = self.cycles_per_byte
+        if cpb == 0:
+            return 0.0
+        return self.cpu.clock_mhz / cpb
+
+    @property
+    def ratio(self) -> float:
+        if self.compressed_size == 0:
+            return 0.0
+        return self.input_size / self.compressed_size
+
+    @property
+    def compression_time_s(self) -> float:
+        return self.total_cycles / (self.cpu.clock_mhz * 1e6)
+
+
+class SoftwareBaseline:
+    """ZLib-on-PowerPC model with selectable level and window."""
+
+    def __init__(
+        self,
+        window_size: int = 4096,
+        hash_bits: int = 15,
+        level: int = 1,
+        cpu: CPUModel = PPC440_400MHZ,
+        policy: Optional[MatchPolicy] = None,
+    ) -> None:
+        self.cpu = cpu
+        self.window_size = window_size
+        self.hash_bits = hash_bits
+        self.policy = policy or policy_for_level(level)
+        self._compressor = LZSSCompressor(
+            window_size=window_size,
+            hash_spec=HashSpec(hash_bits),
+            policy=self.policy,
+        )
+
+    def run(self, data: bytes) -> SoftwareRunResult:
+        """Compress ``data`` and price the work on the modelled CPU."""
+        lzss = self._compressor.compress(data)
+        size = 2 + len(deflate_tokens(lzss.tokens, BlockStrategy.FIXED)) + 4
+        trace = lzss.trace
+        cpu = self.cpu
+
+        n = len(data)
+        tokens = len(lzss.tokens)
+        literals = lzss.tokens.literal_count()
+        matches = tokens - literals
+        chain_steps = trace.total_chain_iters()
+        compared_bytes = trace.total_compare_cycles(bus_bytes=1)
+        # Software inserts the head-of-search position for every search
+        # plus the trace's recorded in-match insertions.
+        inserts = len(trace) + trace.total_inserted()
+
+        # Table working set: head table (2 bytes/entry in zlib) + prev
+        # table (2 bytes/position over the window) + the window itself.
+        working_set = (
+            (1 << self.hash_bits) * 2 + self.window_size * 2
+            + 2 * self.window_size
+        )
+        miss_rate = cpu.table_miss_rate(working_set)
+        miss_cost = miss_rate * cpu.miss_penalty
+
+        cycles = 0.0
+        cycles += n * cpu.cycles_per_byte_stream
+        cycles += inserts * (cpu.cycles_hash_insert + miss_cost)
+        cycles += chain_steps * (cpu.cycles_chain_step + miss_cost)
+        cycles += compared_bytes * cpu.cycles_compare_byte
+        cycles += literals * cpu.cycles_token_literal
+        cycles += matches * cpu.cycles_token_match
+        cycles += size * cpu.cycles_output_byte
+
+        return SoftwareRunResult(
+            cpu=cpu,
+            lzss=lzss,
+            compressed_size=size,
+            total_cycles=cycles,
+        )

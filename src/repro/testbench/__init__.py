@@ -1,0 +1,31 @@
+"""ML-507 board testbench model (§V).
+
+"Our test system is the ML-507 development board based on a Virtex-5
+FPGA. We have developed a testbench that receives a data block from the
+PC over Ethernet, stores it in the DDR2 memory, compresses it and sends
+the result back. The compression time includes the DMA setup times, but
+excludes Ethernet transmission time."
+
+This package models that measurement setup: a DDR2-backed buffer, a
+LocalLink DMA engine with explicit setup costs, the Ethernet host link
+(modelled but excluded from the timed region, as in the paper), the
+400 MHz PowerPC running the software baseline, and the 100 MHz hardware
+compressor. :func:`run_performance_comparison` regenerates Table I.
+"""
+
+from repro.testbench.dma import DMAEngine, DMATransfer
+from repro.testbench.ethernet import EthernetLink
+from repro.testbench.board import ML507Board
+from repro.testbench.runner import (
+    PerformanceRow,
+    run_performance_comparison,
+)
+
+__all__ = [
+    "DMAEngine",
+    "DMATransfer",
+    "EthernetLink",
+    "ML507Board",
+    "PerformanceRow",
+    "run_performance_comparison",
+]

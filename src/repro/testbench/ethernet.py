@@ -1,0 +1,55 @@
+"""Ethernet host link model.
+
+The ML-507's tri-mode MAC moves test data between the PC and DDR2. The
+paper *excludes* this time from the measured compression speed; the
+model exists so the end-to-end examples can report realistic session
+times and so tests can assert the exclusion actually matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EthernetTiming:
+    """Transfer timing for one direction."""
+
+    payload_bytes: int
+    wire_s: float
+
+    @property
+    def effective_mbps(self) -> float:
+        if self.wire_s == 0:
+            return 0.0
+        return self.payload_bytes / 1e6 / self.wire_s
+
+
+class EthernetLink:
+    """Gigabit link with protocol overhead."""
+
+    def __init__(
+        self,
+        link_mbit: float = 1000.0,
+        efficiency: float = 0.75,  # TCP/IP + lwIP stack on the PPC
+    ) -> None:
+        if not 0 < efficiency <= 1:
+            raise ConfigError(f"efficiency must be in (0, 1]: {efficiency}")
+        if link_mbit <= 0:
+            raise ConfigError(f"link_mbit must be positive: {link_mbit}")
+        self.link_mbit = link_mbit
+        self.efficiency = efficiency
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Usable payload bandwidth in MB/s."""
+        return self.link_mbit / 8 * self.efficiency
+
+    def transfer(self, payload_bytes: int) -> EthernetTiming:
+        """Time to move ``payload_bytes`` over the link."""
+        return EthernetTiming(
+            payload_bytes=payload_bytes,
+            wire_s=payload_bytes / 1e6 / self.goodput_mbps,
+        )

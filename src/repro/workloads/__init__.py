@@ -1,0 +1,29 @@
+"""Workload generators standing in for the paper's data sets.
+
+The paper evaluates on (a) a fragment of a Wikipedia text snapshot from
+the Large Text Compression Benchmark ("Wiki") and (b) sample data from
+an automotive CAN logger ("X2E"). Neither is distributable or reachable
+offline, so we generate deterministic synthetic equivalents that exercise
+the same code paths with comparable statistics (redundancy level, match
+length distribution, literal fraction) — the substitution is documented
+in DESIGN.md.
+
+* :func:`wiki_text` — Zipf-vocabulary English-like prose with wiki
+  markup artefacts;
+* :func:`x2e_can_log` — periodic CAN frame records with counters,
+  timestamps and slowly varying signals;
+* :mod:`repro.workloads.synthetic` — corner-case inputs for tests;
+* :func:`corpus.sample` — cached, named access used by all benchmarks.
+"""
+
+from repro.workloads.wiki import wiki_text
+from repro.workloads.x2e import x2e_can_log
+from repro.workloads.corpus import sample, sample_size_bytes, WORKLOADS
+
+__all__ = [
+    "wiki_text",
+    "x2e_can_log",
+    "sample",
+    "sample_size_bytes",
+    "WORKLOADS",
+]

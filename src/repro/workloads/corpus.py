@@ -1,0 +1,61 @@
+"""Named, cached access to the benchmark workloads.
+
+All benchmarks pull their input through :func:`sample` so that (a) the
+expensive generators run once per process and (b) the sample size scales
+uniformly via the ``REPRO_SAMPLE_KB`` environment variable. The paper
+runs its estimator on a 100 MB Wikipedia fragment; trends converge well
+below that, and pure-Python simulation wants smaller defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads import synthetic
+from repro.workloads.wiki import wiki_text
+from repro.workloads.x2e import x2e_can_log
+
+#: Default benchmark sample size (KiB), override with REPRO_SAMPLE_KB.
+DEFAULT_SAMPLE_KB = 512
+
+WORKLOADS: Dict[str, Callable[[int], bytes]] = {
+    "wiki": lambda n: wiki_text(n, seed=2012),
+    "x2e": lambda n: x2e_can_log(n, seed=2012),
+    "zeros": synthetic.zeros,
+    "random": lambda n: synthetic.incompressible(n, seed=7),
+    "mixed": lambda n: synthetic.mixed(n, seed=7),
+    "syslog": lambda n: _logs().syslog_text(n, seed=2012),
+    "telemetry": lambda n: _logs().json_telemetry(n, seed=2012),
+}
+
+
+def _logs():
+    from repro.workloads import logs
+
+    return logs
+
+_cache: Dict[Tuple[str, int], bytes] = {}
+
+
+def sample_size_bytes() -> int:
+    """Benchmark sample size honouring ``REPRO_SAMPLE_KB``."""
+    kb = int(os.environ.get("REPRO_SAMPLE_KB", DEFAULT_SAMPLE_KB))
+    if kb <= 0:
+        raise ConfigError(f"REPRO_SAMPLE_KB must be positive: {kb}")
+    return kb * 1024
+
+
+def sample(name: str, size_bytes: int | None = None) -> bytes:
+    """Return (and cache) the named workload at the given size."""
+    if name not in WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        )
+    if size_bytes is None:
+        size_bytes = sample_size_bytes()
+    key = (name, size_bytes)
+    if key not in _cache:
+        _cache[key] = WORKLOADS[name](size_bytes)
+    return _cache[key]

@@ -1,0 +1,108 @@
+"""Additional embedded-logging payload generators.
+
+The paper's motivation is generic "high-bandwidth, typically redundant"
+logging streams; CAN traffic is one instance. These generators cover two
+other payloads integrators actually ship through such loggers:
+
+* :func:`syslog_text` — timestamped line-oriented device logs (highly
+  templated text, long-range repetition of message formats);
+* :func:`json_telemetry` — newline-delimited JSON sensor telemetry
+  (heavy key repetition, slowly varying numeric fields).
+
+Both are deterministic per seed and tuned to realistic redundancy
+levels rather than maximum compressibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_FACILITIES = ["kern", "daemon", "auth", "local0", "local1", "cron"]
+_SEVERITIES = ["info", "warn", "err", "debug", "notice"]
+_PROCS = [
+    "gateway", "canlogd", "ifmon", "storaged", "ota-agent", "watchdog",
+    "sensor-hub", "diagsvc",
+]
+_TEMPLATES = [
+    "link {dev} state changed to {state}",
+    "frame buffer {buf} high-water mark {pct}%",
+    "flushed {n} records to volume {vol} in {ms}ms",
+    "retrying upload of segment {seg} (attempt {n})",
+    "clock sync offset {us}us from source {src}",
+    "dropped {n} frames on channel {ch}: queue full",
+    "health check ok: cpu {pct}% mem {mb}MB uptime {s}s",
+    "configuration key {key} updated",
+]
+_DEVS = ["can0", "can1", "eth0", "flexray0", "lin2"]
+_STATES = ["up", "down", "degraded"]
+_KEYS = ["log.rotate_mb", "net.mtu", "trigger.mask", "storage.quota"]
+
+
+def syslog_text(size_bytes: int, seed: int = 2012) -> bytes:
+    """Generate ``size_bytes`` of device syslog lines."""
+    rng = random.Random(seed)
+    out: List[str] = []
+    written = 0
+    ts = rng.randrange(10**6)
+    while written < size_bytes:
+        ts += rng.randrange(1, 900)
+        template = rng.choice(_TEMPLATES)
+        line = (
+            f"<{rng.randrange(8, 192)}>1 2012.{ts:010d} device-07 "
+            f"{rng.choice(_PROCS)}[{rng.randrange(100, 4000)}] "
+            f"{rng.choice(_FACILITIES)}.{rng.choice(_SEVERITIES)} "
+            + template.format(
+                dev=rng.choice(_DEVS),
+                state=rng.choice(_STATES),
+                buf=rng.randrange(8),
+                pct=rng.randrange(101),
+                n=rng.randrange(1, 500),
+                vol=rng.randrange(4),
+                ms=rng.randrange(1, 2000),
+                seg=rng.randrange(10**5),
+                us=rng.randrange(-500, 500),
+                src=rng.choice(("gps", "ptp", "rtc")),
+                ch=rng.randrange(8),
+                mb=rng.randrange(64, 2048),
+                s=ts // 1000,
+                key=rng.choice(_KEYS),
+            )
+            + "\n"
+        )
+        out.append(line)
+        written += len(line)
+    return "".join(out).encode("ascii")[:size_bytes]
+
+
+_SENSORS = [
+    ("coolant_temp_c", 70.0, 0.4),
+    ("oil_pressure_kpa", 350.0, 3.0),
+    ("battery_v", 13.8, 0.05),
+    ("wheel_speed_fl", 23.0, 0.8),
+    ("wheel_speed_fr", 23.0, 0.8),
+    ("yaw_rate_dps", 0.0, 0.5),
+    ("throttle_pct", 18.0, 2.0),
+]
+
+
+def json_telemetry(size_bytes: int, seed: int = 2012) -> bytes:
+    """Generate ``size_bytes`` of newline-delimited JSON telemetry."""
+    rng = random.Random(seed)
+    values = {name: base for name, base, _ in _SENSORS}
+    out: List[str] = []
+    written = 0
+    ts = 1_330_000_000_000
+    seq = 0
+    while written < size_bytes:
+        ts += rng.randrange(95, 106)
+        seq += 1
+        fields = [f'"ts":{ts}', f'"seq":{seq}', '"src":"vehicle-07"']
+        for name, base, jitter in _SENSORS:
+            values[name] += rng.uniform(-jitter, jitter)
+            values[name] += (base - values[name]) * 0.02  # mean reversion
+            fields.append(f'"{name}":{values[name]:.2f}')
+        line = "{" + ",".join(fields) + "}\n"
+        out.append(line)
+        written += len(line)
+    return "".join(out).encode("ascii")[:size_bytes]

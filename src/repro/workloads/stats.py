@@ -1,0 +1,117 @@
+"""Statistical characterisation of byte streams.
+
+The estimator reports *what* a configuration achieves on a sample; this
+module explains *why* — the properties of the data that drive every
+trend in the paper's figures:
+
+* byte entropy (the Huffman-stage bound),
+* distinct-trigram count (hash-chain collision pressure),
+* match coverage and length distribution under a reference search
+  (dictionary-size sensitivity),
+* literal fraction (the prefetch mechanism's opportunity, §IV's
+  "30-85 % of the matching operations").
+
+Used by ``lzss-estimator analyze`` and the workload tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.hashchain import HashSpec
+
+
+@dataclass
+class WorkloadProfile:
+    """Measured characteristics of one byte stream."""
+
+    size: int
+    byte_entropy_bits: float
+    distinct_trigrams: int
+    trigram_capacity: int          # min(size-2, 2**24)
+    literal_fraction: float
+    match_coverage: float          # fraction of bytes covered by matches
+    mean_match_length: float
+    match_length_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trigram_diversity(self) -> float:
+        """Distinct trigrams / possible positions — collision pressure
+        on the 3-byte hash is the inverse of this."""
+        if self.trigram_capacity == 0:
+            return 0.0
+        return self.distinct_trigrams / self.trigram_capacity
+
+    def format(self) -> str:
+        lines = [
+            f"size               : {self.size} bytes",
+            f"byte entropy       : {self.byte_entropy_bits:.3f} bits "
+            "(8.0 = incompressible by Huffman alone)",
+            f"distinct trigrams  : {self.distinct_trigrams} "
+            f"({100 * self.trigram_diversity:.1f}% of positions)",
+            f"literal fraction   : {100 * self.literal_fraction:.1f}% "
+            "(paper expects 30-85%)",
+            f"match coverage     : {100 * self.match_coverage:.1f}% "
+            "of bytes",
+            f"mean match length  : {self.mean_match_length:.1f}",
+        ]
+        if self.match_length_histogram:
+            lines.append("match length histogram:")
+            for bucket, count in self.match_length_histogram.items():
+                lines.append(f"  {bucket:>8s}: {count}")
+        return "\n".join(lines)
+
+
+_LENGTH_BUCKETS = [(3, 4), (5, 8), (9, 16), (17, 32), (33, 64),
+                   (65, 128), (129, 258)]
+
+
+def profile_workload(
+    data: bytes,
+    window_size: int = 4096,
+    hash_spec: Optional[HashSpec] = None,
+) -> WorkloadProfile:
+    """Measure the compression-relevant statistics of ``data``."""
+    n = len(data)
+    if n == 0:
+        return WorkloadProfile(
+            size=0, byte_entropy_bits=0.0, distinct_trigrams=0,
+            trigram_capacity=0, literal_fraction=0.0,
+            match_coverage=0.0, mean_match_length=0.0,
+        )
+
+    counts = Counter(data)
+    entropy = -sum(
+        (c / n) * math.log2(c / n) for c in counts.values()
+    )
+
+    trigrams = len({data[i:i + 3] for i in range(n - 2)}) if n >= 3 else 0
+    capacity = min(max(n - 2, 0), 1 << 24)
+
+    result = compress_tokens(data, window_size=window_size,
+                             hash_spec=hash_spec)
+    lengths: List[int] = [
+        length for length in result.tokens.lengths if length
+    ]
+    matched_bytes = sum(lengths)
+    histogram: Dict[str, int] = {}
+    for low, high in _LENGTH_BUCKETS:
+        label = f"{low}-{high}"
+        histogram[label] = sum(1 for m in lengths if low <= m <= high)
+
+    return WorkloadProfile(
+        size=n,
+        byte_entropy_bits=entropy,
+        distinct_trigrams=trigrams,
+        trigram_capacity=capacity,
+        literal_fraction=result.trace.literal_fraction(),
+        match_coverage=matched_bytes / n,
+        mean_match_length=(
+            matched_bytes / len(lengths) if lengths else 0.0
+        ),
+        match_length_histogram=histogram,
+    )

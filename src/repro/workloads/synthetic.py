@@ -1,0 +1,57 @@
+"""Synthetic corner-case inputs for tests and ablations."""
+
+from __future__ import annotations
+
+import random
+
+
+def zeros(size_bytes: int) -> bytes:
+    """All-zero input: maximal redundancy, longest possible matches."""
+    return b"\x00" * size_bytes
+
+
+def incompressible(size_bytes: int, seed: int = 0) -> bytes:
+    """Uniform random bytes: the paper's worst case ("the compressed
+    block will actually be bigger than the uncompressed one")."""
+    rng = random.Random(seed)
+    return rng.randbytes(size_bytes)
+
+
+def repeated(pattern: bytes, size_bytes: int) -> bytes:
+    """A repeating pattern (exercises overlapped copies)."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    reps = -(-size_bytes // len(pattern))
+    return (pattern * reps)[:size_bytes]
+
+
+def ramp(size_bytes: int) -> bytes:
+    """0,1,...,255,0,1,... — periodic with period 256."""
+    return bytes(i & 0xFF for i in range(size_bytes))
+
+
+def mixed(size_bytes: int, seed: int = 0) -> bytes:
+    """Alternating compressible and incompressible chunks."""
+    rng = random.Random(seed)
+    out = bytearray()
+    toggle = True
+    while len(out) < size_bytes:
+        chunk = rng.randrange(200, 2000)
+        if toggle:
+            out += repeated(b"sensor frame 0x%02x " % rng.randrange(256),
+                            chunk)
+        else:
+            out += rng.randbytes(chunk)
+        toggle = not toggle
+    return bytes(out[:size_bytes])
+
+
+def almost_constant(size_bytes: int, seed: int = 0, flip_rate: float = 0.01)\
+        -> bytes:
+    """Constant byte with sparse random flips (long matches, rare breaks)."""
+    rng = random.Random(seed)
+    data = bytearray(b"\x55" * size_bytes)
+    flips = int(size_bytes * flip_rate)
+    for _ in range(flips):
+        data[rng.randrange(size_bytes)] = rng.randrange(256)
+    return bytes(data)

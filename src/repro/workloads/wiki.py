@@ -1,0 +1,166 @@
+"""Wikipedia-like text generator (the paper's "Wiki" data set).
+
+The Large Text Compression Benchmark's enwik snapshots are English
+prose with MediaWiki markup. For the compression statistics that drive
+the paper's figures, what matters is:
+
+* a Zipf-distributed word vocabulary (high reuse of short common words
+  keeps the hash chains busy and the match lengths moderate);
+* sentence/paragraph/markup structure providing longer-range repeats
+  ("[[", "]]", "== ... ==", common phrases);
+* ~30-60 % of match attempts ending in literals (§IV's stated range).
+
+The generator is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_VOCAB_SIZE = 6000
+_LETTERS = "etaoinshrdlcumwfgypbvkjxqz"
+_LETTER_WEIGHTS = [12, 9, 8, 8, 7, 7, 6, 6, 6, 4, 4, 3, 3, 3, 2, 2, 2, 2,
+                   2, 1.5, 1, 0.8, 0.2, 0.1, 0.1, 0.1]
+
+_COMMON = [
+    "the", "of", "and", "in", "to", "a", "is", "was", "for", "as", "on",
+    "with", "by", "that", "it", "from", "at", "his", "an", "were", "are",
+    "which", "this", "also", "be", "has", "had", "its", "or", "first",
+    "their", "one", "after", "new", "who", "but", "not", "they", "have",
+]
+
+_PHRASES = [
+    "in the united states",
+    "according to the",
+    "as well as",
+    "one of the most",
+    "at the end of",
+    "references external links",
+    "the population was",
+    "is located in",
+    "was born in",
+    "is known for",
+]
+
+
+#: Distinct successor letters per letter in generated words. English
+#: letter bigrams are strongly constrained (~8 likely successors per
+#: letter); this keeps the distinct-trigram count low, which is what
+#: loads the 3-byte hash chains the way real text does.
+_LETTER_SUCCESSORS = 10
+
+
+def _make_vocab(rng: random.Random) -> List[str]:
+    """Common English words followed by generated lower-frequency ones.
+
+    Generated words follow a letter-bigram Markov chain so that their
+    trigram statistics (and hence hash-collision rates) resemble
+    natural language rather than uniform letter soup.
+    """
+    vocab = list(_COMMON)
+    cum_letters = list(_LETTER_WEIGHTS)
+    for i in range(1, len(cum_letters)):
+        cum_letters[i] += cum_letters[i - 1]
+    letter_chain = {
+        letter: rng.choices(
+            _LETTERS, cum_weights=cum_letters, k=_LETTER_SUCCESSORS
+        )
+        for letter in _LETTERS
+    }
+    succ_cum = _zipf_cum_weights(_LETTER_SUCCESSORS)
+    seen = set(vocab)
+    while len(vocab) < _VOCAB_SIZE:
+        length = rng.choice((3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 9, 10, 11))
+        letters = [rng.choices(_LETTERS, cum_weights=cum_letters)[0]]
+        while len(letters) < length:
+            letters.append(
+                rng.choices(letter_chain[letters[-1]],
+                            cum_weights=succ_cum)[0]
+            )
+        word = "".join(letters)
+        if word not in seen:
+            seen.add(word)
+            vocab.append(word)
+    return vocab
+
+
+def _zipf_cum_weights(n: int) -> List[float]:
+    """Cumulative Zipf(s=1.05) weights for ranks 1..n."""
+    total = 0.0
+    cum = []
+    for rank in range(1, n + 1):
+        total += 1.0 / rank ** 1.05
+        cum.append(total)
+    return cum
+
+
+#: Successor-set size of the word Markov chain. Natural language has
+#: strongly limited word-to-word transitions; this knob sets the local
+#: predictability (and therefore the LZSS match-length distribution and
+#: compression ratio). Calibrated so the paper-speed configuration
+#: (4 KB dictionary, 15-bit hash) lands near the paper's 1.68 ratio.
+_SUCCESSORS = 128
+
+
+def _make_chain(rng: random.Random, vocab: List[str]) -> List[List[int]]:
+    """Per-word successor lists: a sparse first-order word Markov chain."""
+    cum = _zipf_cum_weights(len(vocab))
+    indices = list(range(len(vocab)))
+    chain = []
+    for _ in vocab:
+        succ = rng.choices(indices, cum_weights=cum, k=_SUCCESSORS)
+        chain.append(succ)
+    return chain
+
+
+def wiki_text(size_bytes: int, seed: int = 2012) -> bytes:
+    """Generate ``size_bytes`` of Wikipedia-like text, deterministically."""
+    rng = random.Random(seed)
+    vocab = _make_vocab(rng)
+    chain = _make_chain(rng, vocab)
+    cum = _zipf_cum_weights(len(vocab))
+
+    out: List[str] = []
+    written = 0
+    sentence_words = 0
+    paragraph_sentences = 0
+    article_paragraphs = 0
+    word = 0  # current chain state
+
+    def emit(text: str) -> None:
+        nonlocal written
+        out.append(text)
+        written += len(text)
+
+    emit("== Overview ==\n\n")
+    while written < size_bytes:
+        # Occasionally emit markup or a stock phrase.
+        roll = rng.random()
+        if roll < 0.02:
+            emit("[[" + rng.choices(vocab, cum_weights=cum)[0] + "]] ")
+        elif roll < 0.045:
+            emit(rng.choice(_PHRASES) + " ")
+            sentence_words += 4
+        else:
+            # Uniform choice within the successor set: the set itself is
+            # Zipf-weighted, which already skews the stationary
+            # distribution toward common words.
+            word = chain[word][rng.randrange(_SUCCESSORS)]
+            emit(vocab[word])
+            sentence_words += 1
+            if sentence_words >= rng.randint(8, 22):
+                emit(". ")
+                sentence_words = 0
+                paragraph_sentences += 1
+                if paragraph_sentences >= rng.randint(3, 7):
+                    emit("\n\n")
+                    paragraph_sentences = 0
+                    article_paragraphs += 1
+                    if article_paragraphs >= rng.randint(4, 9):
+                        title = rng.choices(vocab, cum_weights=cum)[0]
+                        emit(f"== {title.capitalize()} ==\n\n")
+                        article_paragraphs = 0
+            else:
+                emit(" ")
+    return "".join(out).encode("ascii")[:size_bytes]

@@ -1,0 +1,142 @@
+"""Paper-figure regeneration tests — trend claims of §V."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig2_compressed_size,
+    fig3_speed,
+    fig4_levels,
+    fig5_state_distribution,
+)
+
+SAMPLE = 96 * 1024
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig2_compressed_size(
+            sample_bytes=SAMPLE, hash_bits=(9, 15)
+        )
+
+    def test_size_decreases_with_dictionary(self, fig):
+        # "increasing the dictionary size improves the compression
+        # ratio".
+        for report in fig.reports:
+            sizes = report.series("compressed_bytes")
+            assert sizes[-1] < sizes[0], report.workload
+
+    def test_improvement_larger_for_larger_hash(self, fig):
+        # "the improvement is more significant for larger hash sizes".
+        series = fig.series()
+        gain9 = 1 - series["hash=9"][-1] / series["hash=9"][0]
+        gain15 = 1 - series["hash=15"][-1] / series["hash=15"][0]
+        assert gain15 > gain9
+
+    def test_render(self, fig):
+        assert "FIG 2" in fig.render()
+
+    def test_csv_export(self, fig):
+        import csv
+        import io
+
+        records = list(csv.DictReader(io.StringIO(fig.to_csv())))
+        assert len(records) == len(fig.windows())
+        for record in records:
+            assert int(record["window_bytes"]) in fig.windows()
+            assert float(record["hash=9"]) > 0
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig3_speed(sample_bytes=SAMPLE, hash_bits=(9, 15))
+
+    def test_speed_decreases_with_dictionary(self, fig):
+        # "Increasing the dictionary size slightly slows down the
+        # compression."
+        for report in fig.reports:
+            speeds = report.series("throughput_mbps")
+            assert speeds[-1] < speeds[0], report.workload
+
+    def test_larger_hash_is_faster(self, fig):
+        # "This can be compensated by increasing the hash size."
+        series = fig.series()
+        for i in range(len(series["hash=9"])):
+            assert series["hash=15"][i] > series["hash=9"][i]
+
+    def test_headline_speed_at_paper_config(self, fig):
+        # ~49 MB/s at (15-bit, 4 KB); accept the reproduction band.
+        series = fig.series()["hash=15"]
+        windows = fig.windows()
+        at_4k = series[windows.index(4096)]
+        assert 25 < at_4k < 60
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig4_levels(
+            sample_bytes=SAMPLE, windows=(1024, 4096, 16384)
+        )
+
+    def test_max_level_compresses_better(self, fig):
+        for bits in (9, 15):
+            for window in (1024, 4096, 16384):
+                min_pt = next(
+                    p for p in fig.curve(bits, "min")
+                    if p.window_size == window
+                )
+                max_pt = next(
+                    p for p in fig.curve(bits, "max")
+                    if p.window_size == window
+                )
+                assert max_pt.compressed_bytes <= min_pt.compressed_bytes
+
+    def test_max_level_much_slower(self, fig):
+        # "improve the compression by 20% at a cost of 82% performance
+        # decrease" — the extreme points of the figure.
+        min_fast = max(
+            p.throughput_mbps for p in fig.curve(15, "min")
+        )
+        max_slow = min(
+            p.throughput_mbps for p in fig.curve(15, "max")
+        )
+        decrease = 1 - max_slow / min_fast
+        assert decrease > 0.6
+
+    def test_best_size_gain_meaningful(self, fig):
+        worst = max(p.compressed_bytes for p in fig.points)
+        best = min(p.compressed_bytes for p in fig.points)
+        assert 1 - best / worst > 0.10
+
+    def test_render(self, fig):
+        assert "FIG 4" in fig.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig5_state_distribution(sample_bytes=SAMPLE)
+
+    def test_fractions_sum_to_one(self, fig):
+        assert sum(fig.fractions.values()) == pytest.approx(1.0)
+
+    def test_finding_match_dominates(self, fig):
+        # Paper: 68.5%. Accept the reproduction band.
+        assert 0.5 < fig.fractions["Finding match"] < 0.85
+        assert fig.fractions["Finding match"] == max(fig.fractions.values())
+
+    def test_update_and_output_mid_range(self, fig):
+        # Paper: 11.6% and 11.0%.
+        assert 0.03 < fig.fractions["Updating hash table"] < 0.25
+        assert 0.03 < fig.fractions["Producing output"] < 0.25
+
+    def test_rotation_negligible(self, fig):
+        # Paper: 0.3%.
+        assert fig.fractions["Rotating hash"] < 0.02
+
+    def test_render(self, fig):
+        text = fig.render()
+        assert "FIG 5" in text
+        assert "Finding match" in text

@@ -1,0 +1,30 @@
+"""Full-reproduction summary tests."""
+
+from repro.analysis.summary import full_reproduction
+
+
+class TestFullReproduction:
+    def test_all_seven_exhibits(self):
+        report = full_reproduction(sample_bytes=48 * 1024)
+        assert set(report.exhibits) == {
+            "Table I", "Table II", "Table III",
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+        }
+        for name, text in report.exhibits.items():
+            assert text.strip(), name
+
+    def test_render_contains_everything(self):
+        report = full_reproduction(sample_bytes=48 * 1024)
+        text = report.render()
+        assert "IPDPSW 2012" in text
+        assert "TABLE I" in text
+        assert "FIG 5" in text
+        assert "generated in" in text
+
+    def test_cli_paper_subcommand(self, capsys):
+        from repro.estimator.cli import main
+
+        assert main(["paper", "--size-kb", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE III" in out
+        assert "FIG 2" in out

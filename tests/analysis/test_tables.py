@@ -1,0 +1,120 @@
+"""Paper-table regeneration tests — the qualitative claims of §V."""
+
+import pytest
+
+from repro.analysis.tables import (
+    TABLE3_CONFIGS,
+    table1_performance,
+    table2_utilization,
+    table3_optimizations,
+)
+
+SAMPLE = 96 * 1024
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table1_performance(sample_bytes=SAMPLE)
+
+    def test_speedup_claim(self, table):
+        # "15-20x performance increase compared to the optimized
+        # software implementation"; we accept a loose band around it.
+        assert all(8 < s < 30 for s in table.speedups())
+
+    def test_ratio_claim(self, table):
+        assert all(1.4 < r < 2.0 for r in table.ratios())
+
+    def test_render_contains_rows(self, table):
+        text = table.render()
+        assert "TABLE I" in text
+        assert "Wiki 50MB" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table2_utilization()
+
+    def test_three_paper_rows(self, table):
+        configs = [(r.hash_bits, r.window_size) for r in table.rows]
+        assert configs == [(15, 16384), (13, 8192), (9, 4096)]
+
+    def test_lut_nearly_constant(self, table):
+        # The paper's point: utilisation "remains insignificant and
+        # almost the same ... for all reasonable dictionary sizes".
+        assert table.lut_spread() < 0.3
+
+    def test_utilisation_insignificant(self, table):
+        for row in table.rows:
+            assert row.luts / table.device_luts < 0.10
+
+    def test_bram_ordering_follows_table_size(self, table):
+        brams = [row.bram36 for row in table.rows]
+        assert brams == sorted(brams, reverse=True)
+
+    def test_render(self, table):
+        text = table.render()
+        assert "XC5VFX70T" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table3_optimizations(sample_bytes=SAMPLE)
+
+    def all_names(self):
+        return list(TABLE3_CONFIGS)
+
+    def test_wide_bus_gain_in_paper_band(self, table):
+        # "Using wide data buses provides a 63-78% performance increase".
+        names = self.all_names()
+        for window in (4096, 16384):
+            original = table.speed(names[0], window)
+            narrow = table.speed(names[1], window)
+            gain = original / narrow - 1
+            assert 0.3 < gain < 1.2, (window, gain)
+
+    def test_prefetch_costs_some_speed(self, table):
+        names = self.all_names()
+        for window in (4096, 16384):
+            assert table.speed(names[2], window) < table.speed(
+                names[0], window
+            )
+
+    def test_gen_bits_hurt_small_windows_more(self, table):
+        # "This most efficient optimization for small window sizes is
+        # the introduction of generation bits".
+        names = self.all_names()
+        loss_small = 1 - table.speed(names[3], 4096) / table.speed(
+            names[0], 4096
+        )
+        loss_large = 1 - table.speed(names[3], 16384) / table.speed(
+            names[0], 16384
+        )
+        assert loss_small > loss_large
+
+    def test_all_disabled_slowdown_band(self, table):
+        # "The overall performance increase due to the described
+        # optimizations is 2.2x-4.8x depending on the window size."
+        names = self.all_names()
+        for window, band in ((4096, (2.0, 8.0)), (16384, (1.8, 5.0))):
+            factor = table.speed(names[0], window) / table.speed(
+                names[-1], window
+            )
+            assert band[0] < factor < band[1], (window, factor)
+
+    def test_small_window_loses_more_overall(self, table):
+        names = self.all_names()
+        factor_small = table.speed(names[0], 4096) / table.speed(
+            names[-1], 4096
+        )
+        factor_large = table.speed(names[0], 16384) / table.speed(
+            names[-1], 16384
+        )
+        assert factor_small > factor_large
+
+    def test_render(self, table):
+        text = table.render()
+        assert "TABLE III" in text
+        assert "8-bit data bus" in text

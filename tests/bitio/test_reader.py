@@ -1,0 +1,103 @@
+"""Unit tests for the LSB-first bit reader."""
+
+import pytest
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.errors import BitstreamError
+
+
+class TestReadBits:
+    def test_reads_lsb_first(self):
+        r = BitReader(b"\x03")
+        assert r.read_bits(1) == 1
+        assert r.read_bits(1) == 1
+        assert r.read_bits(1) == 0
+
+    def test_multibyte_read(self):
+        r = BitReader(b"\x34\x12")
+        assert r.read_bits(16) == 0x1234
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(BitstreamError):
+            r.read_bits(1)
+
+    def test_zero_width_read(self):
+        assert BitReader(b"").read_bits(0) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitReader(b"\x00").read_bits(-2)
+
+    def test_bits_consumed_tracking(self):
+        r = BitReader(b"\xff\xff")
+        r.read_bits(3)
+        assert r.bits_consumed == 3
+        r.read_bits(9)
+        assert r.bits_consumed == 12
+
+    def test_exhausted_flag(self):
+        r = BitReader(b"\x01")
+        assert not r.exhausted
+        r.read_bits(8)
+        assert r.exhausted
+
+
+class TestPeekSkip:
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xa5")
+        assert r.peek_bits(4) == 0x5
+        assert r.peek_bits(4) == 0x5
+        assert r.read_bits(8) == 0xA5
+
+    def test_peek_pads_past_end_with_zeros(self):
+        r = BitReader(b"\x01")
+        assert r.peek_bits(16) == 0x0001
+
+    def test_skip_consumes_peeked_bits(self):
+        r = BitReader(b"\xa5")
+        r.peek_bits(8)
+        r.skip_bits(4)
+        assert r.read_bits(4) == 0xA
+
+    def test_skip_beyond_buffer_raises(self):
+        r = BitReader(b"\x00")
+        r.peek_bits(8)
+        with pytest.raises(BitstreamError):
+            r.skip_bits(9)
+
+
+class TestByteOps:
+    def test_align_discards_partial_byte(self):
+        r = BitReader(b"\xff\xab")
+        r.read_bits(3)
+        r.align_to_byte()
+        assert r.read_bytes(1) == b"\xab"
+
+    def test_read_bytes_requires_alignment(self):
+        r = BitReader(b"\xff\xff")
+        r.read_bits(1)
+        with pytest.raises(BitstreamError):
+            r.read_bytes(1)
+
+    def test_read_bytes_from_bitbuffer_and_stream(self):
+        r = BitReader(b"abcd")
+        r.peek_bits(16)  # pulls 2 bytes into the bit buffer
+        assert r.read_bytes(3) == b"abc"
+
+    def test_read_bytes_past_end_raises(self):
+        with pytest.raises(BitstreamError):
+            BitReader(b"ab").read_bytes(3)
+
+
+class TestWriterReaderRoundtrip:
+    def test_mixed_width_roundtrip(self):
+        fields = [(0b1, 1), (0x2A, 6), (0x1FFF, 13), (0, 2), (0xFF, 8)]
+        w = BitWriter()
+        for value, nbits in fields:
+            w.write_bits(value, nbits)
+        r = BitReader(w.flush())
+        for value, nbits in fields:
+            assert r.read_bits(nbits) == value

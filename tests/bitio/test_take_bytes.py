@@ -1,0 +1,34 @@
+"""Streaming drain API of the bit writer."""
+
+from repro.bitio.writer import BitWriter
+
+
+class TestTakeBytes:
+    def test_drains_completed_bytes_only(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        w.write_bits(0b101, 3)  # partial byte stays pending
+        assert w.take_bytes() == b"\xab"
+        assert w.take_bytes() == b""
+        w.write_bits(0b10101, 5)  # completes the byte
+        assert w.take_bytes() == bytes([0b10101101])
+
+    def test_flush_after_drain_contains_remainder(self):
+        w = BitWriter()
+        w.write_bits(0xFFFF, 16)
+        w.write_bits(1, 1)
+        drained = w.take_bytes()
+        assert drained == b"\xff\xff"
+        assert w.flush() == b"\x01"
+
+    def test_interleaved_drains_reconstruct_stream(self):
+        fields = [(0x3, 2), (0x1F, 5), (0xAA, 8), (0, 1), (0x7FFF, 15)]
+        whole = BitWriter()
+        chunked = BitWriter()
+        pieces = []
+        for value, nbits in fields:
+            whole.write_bits(value, nbits)
+            chunked.write_bits(value, nbits)
+            pieces.append(chunked.take_bytes())
+        pieces.append(chunked.flush())
+        assert b"".join(pieces) == whole.flush()

@@ -1,0 +1,70 @@
+"""Unit tests for 32-bit word stream packing."""
+
+import pytest
+
+from repro.bitio.wordio import (
+    ByteOrder,
+    WordPacker,
+    WordUnpacker,
+    pack_words,
+    unpack_words,
+)
+from repro.errors import ConfigError
+
+
+class TestPacking:
+    def test_lsbf_word_layout(self):
+        assert pack_words(b"\x01\x02\x03\x04") == [0x04030201]
+
+    def test_msbf_word_layout(self):
+        assert pack_words(b"\x01\x02\x03\x04", ByteOrder.MSBF) == [0x01020304]
+
+    def test_partial_final_word_zero_padded(self):
+        packer = WordPacker()
+        packer.push(b"\xaa\xbb")
+        words = packer.finish()
+        assert words == [0x0000BBAA]
+        assert packer.valid_bytes_last == 2
+
+    def test_incremental_pushes_equal_one_shot(self):
+        data = bytes(range(23))
+        packer = WordPacker()
+        for i in range(0, len(data), 3):
+            packer.push(data[i:i + 3])
+        assert packer.finish() == pack_words(data)
+
+    def test_empty_stream(self):
+        packer = WordPacker()
+        assert packer.finish() == []
+        assert packer.valid_bytes_last == 0
+
+    def test_full_final_word_reports_four_lanes(self):
+        packer = WordPacker()
+        packer.push(b"abcd")
+        packer.finish()
+        assert packer.valid_bytes_last == 4
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigError):
+            WordPacker("little")  # type: ignore[arg-type]
+
+
+class TestUnpacking:
+    @pytest.mark.parametrize("order", [ByteOrder.LSBF, ByteOrder.MSBF])
+    def test_roundtrip_all_lengths(self, order):
+        for n in range(0, 17):
+            data = bytes((i * 37) & 0xFF for i in range(n))
+            words = pack_words(data, order)
+            assert unpack_words(words, n, order) == data
+
+    def test_word_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            unpack_words([1 << 32], 4)
+
+    def test_requesting_too_many_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            unpack_words([0], 5)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigError):
+            WordUnpacker("big")  # type: ignore[arg-type]

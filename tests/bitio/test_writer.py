@@ -1,0 +1,99 @@
+"""Unit tests for the LSB-first bit writer."""
+
+import pytest
+
+from repro.bitio.writer import BitWriter, reverse_bits
+from repro.errors import BitstreamError
+
+
+class TestWriteBits:
+    def test_empty_writer_produces_nothing(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit_sets_lsb(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        assert w.flush() == b"\x01"
+
+    def test_bits_accumulate_lsb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1, 1)
+        w.write_bits(0b01, 2)  # stream: 1, 1, 0
+        assert w.flush() == b"\x03"
+
+    def test_full_byte_flushes_immediately(self):
+        w = BitWriter()
+        w.write_bits(0xA5, 8)
+        assert w.getvalue() == b"\xa5"
+
+    def test_multibyte_value_spans_bytes(self):
+        w = BitWriter()
+        w.write_bits(0x1234, 16)
+        assert w.flush() == b"\x34\x12"
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+    def test_value_too_large_rejected(self):
+        w = BitWriter()
+        with pytest.raises(BitstreamError):
+            w.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(-1, 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(0, -1)
+
+    def test_bit_length_tracks_pending_bits(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.bit_length == 3
+        w.write_bits(0b11111, 5)
+        assert w.bit_length == 8
+        assert len(w) == 1
+
+
+class TestAlignment:
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        w.align_to_byte()
+        assert w.getvalue() == b"\x01"
+
+    def test_align_on_boundary_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0xFF, 8)
+        w.align_to_byte()
+        assert w.getvalue() == b"\xff"
+
+    def test_write_bytes_requires_alignment(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        with pytest.raises(BitstreamError):
+            w.write_bytes(b"x")
+
+    def test_write_bytes_appends_raw(self):
+        w = BitWriter()
+        w.write_bytes(b"abc")
+        assert w.getvalue() == b"abc"
+
+
+class TestHuffmanCodes:
+    def test_code_bits_are_reversed(self):
+        # Code 0b110 (3 bits) must enter the stream MSB-first: 1,1,0.
+        w = BitWriter()
+        w.write_huffman_code(0b110, 3)
+        assert w.flush() == b"\x03"  # bits 1,1,0 LSB-first = 0b011
+
+    def test_roundtrip_with_reverse(self):
+        for code, nbits in [(0b1011, 4), (0, 1), (0x1FF, 9)]:
+            assert reverse_bits(reverse_bits(code, nbits), nbits) == code
+
+    def test_reverse_bits_rejects_overflow(self):
+        with pytest.raises(BitstreamError):
+            reverse_bits(8, 3)

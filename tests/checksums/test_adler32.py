@@ -1,0 +1,67 @@
+"""Adler-32 tests, validated against CPython's zlib as the oracle."""
+
+import zlib
+
+import pytest
+
+from repro.checksums.adler32 import Adler32, adler32
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"Wikipedia",
+            b"\x00" * 1000,
+            b"\xff" * 5000,
+            bytes(range(256)) * 40,
+        ],
+    )
+    def test_matches_zlib(self, data):
+        assert adler32(data) == zlib.adler32(data)
+
+    def test_matches_zlib_on_corpus(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            assert adler32(data) == zlib.adler32(data), name
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes(range(256)) * 123
+        value = 1
+        for i in range(0, len(data), 997):
+            value = adler32(data[i:i + 997], value)
+        assert value == adler32(data)
+
+    def test_crosses_block_boundary(self):
+        # Exercise the internal 1 MiB blocking.
+        data = b"x" * (3 * (1 << 20) + 17)
+        assert adler32(data) == zlib.adler32(data)
+
+
+class TestAccumulator:
+    def test_initial_value_is_one(self):
+        assert Adler32().value == 1
+
+    def test_update_chains(self):
+        acc = Adler32()
+        assert acc.update(b"ab").update(b"cd").value == adler32(b"abcd")
+
+    def test_constructor_data(self):
+        assert Adler32(b"hello").value == adler32(b"hello")
+
+    def test_digest_is_big_endian(self):
+        acc = Adler32(b"hello")
+        assert acc.digest() == acc.value.to_bytes(4, "big")
+
+
+class TestModularArithmetic:
+    def test_values_stay_32bit(self):
+        value = adler32(b"\xff" * 100000)
+        assert 0 <= value < (1 << 32)
+
+    def test_high_half_is_b_low_half_is_a(self):
+        data = b"abc"
+        value = adler32(data)
+        a = (1 + sum(data)) % 65521
+        assert value & 0xFFFF == a

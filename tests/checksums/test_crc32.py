@@ -1,0 +1,49 @@
+"""CRC-32 tests, validated against CPython's zlib as the oracle."""
+
+import zlib
+
+import pytest
+
+from repro.checksums.crc32 import CRC32, crc32
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"123456789",     # classic check value 0xCBF43926
+            b"\x00" * 100,
+            bytes(range(256)),
+        ],
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_check_value(self):
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib_on_corpus(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            assert crc32(data) == zlib.crc32(data), name
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes((i * 11) & 0xFF for i in range(10000))
+        value = 0
+        for i in range(0, len(data), 313):
+            value = crc32(data[i:i + 313], value)
+        assert value == crc32(data)
+
+
+class TestAccumulator:
+    def test_initial_value_zero(self):
+        assert CRC32().value == 0
+
+    def test_update_chains(self):
+        acc = CRC32()
+        assert acc.update(b"12345").update(b"6789").value == 0xCBF43926
+
+    def test_digest_le_matches_gzip_layout(self):
+        acc = CRC32(b"123456789")
+        assert acc.digest_le() == (0xCBF43926).to_bytes(4, "little")

@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic inputs and configurations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hw.params import HardwareParams
+from repro.workloads.synthetic import incompressible, mixed, zeros
+from repro.workloads.wiki import wiki_text
+from repro.workloads.x2e import x2e_can_log
+
+
+@pytest.fixture(scope="session")
+def wiki_small() -> bytes:
+    """32 KiB of Wikipedia-like text."""
+    return wiki_text(32 * 1024, seed=99)
+
+
+@pytest.fixture(scope="session")
+def x2e_small() -> bytes:
+    """32 KiB of CAN logger records."""
+    return x2e_can_log(32 * 1024, seed=99)
+
+
+@pytest.fixture(scope="session")
+def corpus_variety(wiki_small, x2e_small) -> dict:
+    """Named small inputs spanning the compressibility spectrum."""
+    rng = random.Random(4)
+    return {
+        "wiki": wiki_small,
+        "x2e": x2e_small,
+        "zeros": zeros(6000),
+        "random": incompressible(6000, seed=1),
+        "mixed": mixed(9000, seed=2),
+        "short": b"snowy snow",
+        "single": b"Q",
+        "empty": b"",
+        "two": b"ab",
+        "run258": b"r" * 300,
+        "alternating": b"ab" * 500,
+        "binaryish": bytes(rng.randrange(4) for _ in range(4000)),
+    }
+
+
+@pytest.fixture(scope="session")
+def default_params() -> HardwareParams:
+    """The paper-speed configuration (Table I's hardware)."""
+    return HardwareParams()
+
+
+@pytest.fixture(scope="session")
+def param_variety() -> list:
+    """A spread of valid hardware configurations."""
+    return [
+        HardwareParams(),
+        HardwareParams(window_size=1024, hash_bits=9, gen_bits=2),
+        HardwareParams(window_size=16384, hash_bits=15),
+        HardwareParams(data_bus_bytes=1, hash_prefetch=False),
+        HardwareParams(gen_bits=0, head_split=1, relative_next=False),
+        HardwareParams(hash_cache=False),
+    ]

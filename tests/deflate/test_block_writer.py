@@ -1,0 +1,106 @@
+"""Fixed/stored block writer tests (zlib's inflate as oracle)."""
+
+import zlib
+
+import pytest
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    deflate_tokens,
+    fixed_block_cost_bits,
+    write_fixed_block,
+    write_stored_block,
+)
+from repro.errors import DeflateError
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.tokens import Literal, TokenArray
+
+
+def inflate_oracle(body: bytes) -> bytes:
+    """Raw-deflate decode via zlib (wbits=-15)."""
+    return zlib.decompress(body, wbits=-15)
+
+
+class TestFixedBlocks:
+    def test_empty_block(self):
+        body = deflate_tokens(TokenArray())
+        assert inflate_oracle(body) == b""
+
+    def test_literals_only(self):
+        arr = TokenArray()
+        for c in b"hello":
+            arr.append_literal(c)
+        assert inflate_oracle(deflate_tokens(arr)) == b"hello"
+
+    def test_matches(self):
+        arr = TokenArray()
+        for c in b"abc":
+            arr.append_literal(c)
+        arr.append_match(6, 3)
+        assert inflate_oracle(deflate_tokens(arr)) == b"abcabcabc"
+
+    def test_real_stream(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        assert inflate_oracle(deflate_tokens(result.tokens)) == wiki_small
+
+    def test_iterable_tokens_equivalent(self):
+        arr = TokenArray()
+        arr.append_literal(7)
+        arr.append_match(3, 1)
+        assert deflate_tokens(arr) == deflate_tokens(list(arr))
+
+    def test_non_final_block_chains(self):
+        w = BitWriter()
+        arr = TokenArray()
+        arr.append_literal(ord("A"))
+        write_fixed_block(w, arr, final=False)
+        arr2 = TokenArray()
+        arr2.append_literal(ord("B"))
+        write_fixed_block(w, arr2, final=True)
+        assert inflate_oracle(w.flush()) == b"AB"
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(DeflateError):
+            deflate_tokens([3.14])  # type: ignore[list-item]
+
+
+class TestCostModel:
+    def test_cost_matches_actual_bits(self, x2e_small):
+        result = compress_tokens(x2e_small)
+        bits = fixed_block_cost_bits(result.tokens)
+        body = deflate_tokens(result.tokens)
+        # Body is the cost rounded up to bytes.
+        assert len(body) == (bits + 7) // 8
+
+    def test_cost_of_empty(self):
+        # header (3) + EOB (7).
+        assert fixed_block_cost_bits(TokenArray()) == 10
+
+    def test_literal_cost_ranges(self):
+        cheap = fixed_block_cost_bits([Literal(0)])
+        dear = fixed_block_cost_bits([Literal(200)])
+        assert dear == cheap + 1  # 9-bit vs 8-bit literal
+
+
+class TestStoredBlocks:
+    def test_empty_stored(self):
+        w = BitWriter()
+        write_stored_block(w, b"")
+        assert inflate_oracle(w.flush()) == b""
+
+    def test_small_payload(self):
+        w = BitWriter()
+        write_stored_block(w, b"raw bytes \x00\xff")
+        assert inflate_oracle(w.flush()) == b"raw bytes \x00\xff"
+
+    def test_payload_over_65535_splits(self):
+        data = bytes((i * 31) & 0xFF for i in range(70000))
+        w = BitWriter()
+        write_stored_block(w, data)
+        assert inflate_oracle(w.flush()) == data
+
+    def test_stored_strategy_via_tokens(self):
+        result = compress_tokens(b"stored strategy check" * 10)
+        body = deflate_tokens(result.tokens, BlockStrategy.STORED)
+        assert inflate_oracle(body) == b"stored strategy check" * 10

@@ -1,0 +1,95 @@
+"""Deflate length/distance alphabet tests."""
+
+import pytest
+
+from repro.deflate.constants import (
+    DISTANCE_TABLE,
+    LENGTH_TABLE,
+    distance_from_symbol,
+    distance_symbol,
+    length_from_symbol,
+    length_symbol,
+)
+from repro.errors import DeflateError
+
+
+class TestLengthMapping:
+    def test_exhaustive_roundtrip(self):
+        for length in range(3, 259):
+            symbol, extra_bits, extra_value = length_symbol(length)
+            assert 257 <= symbol <= 285
+            assert 0 <= extra_value < (1 << extra_bits or 1)
+            assert length_from_symbol(symbol, extra_value) == length
+
+    def test_known_anchors(self):
+        assert length_symbol(3) == (257, 0, 0)
+        assert length_symbol(10) == (264, 0, 0)
+        assert length_symbol(11) == (265, 1, 0)
+        assert length_symbol(12) == (265, 1, 1)
+        assert length_symbol(258) == (285, 0, 0)
+
+    def test_length_258_not_in_284s_range(self):
+        # 258 must use the dedicated 0-extra symbol 285, not 284+extra.
+        symbol, extra_bits, _ = length_symbol(258)
+        assert (symbol, extra_bits) == (285, 0)
+
+    @pytest.mark.parametrize("length", [2, 259, 0])
+    def test_out_of_range_rejected(self, length):
+        with pytest.raises(DeflateError):
+            length_symbol(length)
+
+    def test_decoder_rejects_bad_symbol(self):
+        with pytest.raises(DeflateError):
+            length_from_symbol(256, 0)
+        with pytest.raises(DeflateError):
+            length_from_symbol(286, 0)
+
+    def test_decoder_rejects_oversized_extra(self):
+        with pytest.raises(DeflateError):
+            length_from_symbol(265, 2)
+
+
+class TestDistanceMapping:
+    def test_exhaustive_roundtrip(self):
+        for distance in range(1, 32769):
+            symbol, extra_bits, extra_value = distance_symbol(distance)
+            assert 0 <= symbol <= 29
+            assert distance_from_symbol(symbol, extra_value) == distance
+
+    def test_known_anchors(self):
+        assert distance_symbol(1) == (0, 0, 0)
+        assert distance_symbol(4) == (3, 0, 0)
+        assert distance_symbol(5) == (4, 1, 0)
+        assert distance_symbol(32768) == (29, 13, 8191)
+
+    @pytest.mark.parametrize("distance", [0, 32769])
+    def test_out_of_range_rejected(self, distance):
+        with pytest.raises(DeflateError):
+            distance_symbol(distance)
+
+    def test_decoder_rejects_bad_symbol(self):
+        with pytest.raises(DeflateError):
+            distance_from_symbol(30, 0)
+
+    def test_decoder_rejects_oversized_extra(self):
+        with pytest.raises(DeflateError):
+            distance_from_symbol(4, 2)
+
+
+class TestTables:
+    def test_length_table_covers_3_to_258(self):
+        covered = set()
+        for base, extra in LENGTH_TABLE:
+            covered.update(range(base, base + (1 << extra)))
+        assert set(range(3, 259)) <= covered
+
+    def test_distance_table_covers_1_to_32768(self):
+        covered = set()
+        for base, extra in DISTANCE_TABLE:
+            covered.update(range(base, base + (1 << extra)))
+        assert covered == set(range(1, 32769))
+
+    def test_distance_bases_strictly_increase(self):
+        bases = [base for base, _ in DISTANCE_TABLE]
+        assert bases == sorted(bases)
+        assert len(set(bases)) == len(bases)

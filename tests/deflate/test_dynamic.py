@@ -1,0 +1,111 @@
+"""Dynamic-Huffman block tests (zlib's inflate as oracle)."""
+
+import zlib
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.dynamic import rle_code_lengths, write_dynamic_block
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.tokens import TokenArray
+
+
+def inflate_oracle(body: bytes) -> bytes:
+    return zlib.decompress(body, wbits=-15)
+
+
+class TestRLE:
+    def test_empty(self):
+        assert rle_code_lengths([]) == []
+
+    def test_plain_values(self):
+        assert rle_code_lengths([1, 2, 3]) == [(1, 0), (2, 0), (3, 0)]
+
+    def test_short_zero_runs_stay_literal(self):
+        assert rle_code_lengths([0, 0]) == [(0, 0), (0, 0)]
+
+    def test_zero_run_uses_17(self):
+        assert rle_code_lengths([0] * 5) == [(17, 2)]
+
+    def test_long_zero_run_uses_18(self):
+        assert rle_code_lengths([0] * 138) == [(18, 127)]
+
+    def test_very_long_zero_run_splits(self):
+        out = rle_code_lengths([0] * 140)
+        assert out[0] == (18, 127)
+        assert sum(_run_len(sym, extra) for sym, extra in out) == 140
+
+    def test_value_repeat_uses_16(self):
+        assert rle_code_lengths([5, 5, 5, 5]) == [(5, 0), (16, 0)]
+
+    def test_short_value_run_stays_literal(self):
+        assert rle_code_lengths([7, 7, 7]) == [(7, 0), (7, 0), (7, 0)]
+
+    def test_reconstruction_identity(self):
+        for lengths in (
+            [0] * 20 + [8] * 10 + [0, 9, 9, 9, 9, 9, 9, 9] + [0] * 150,
+            [3, 3, 3, 3, 3, 3, 3, 0, 0, 0, 0, 2],
+            [15] + [0] * 137 + [1],
+        ):
+            out = rle_code_lengths(lengths)
+            rebuilt = []
+            for sym, extra in out:
+                if sym < 16:
+                    rebuilt.append(sym)
+                elif sym == 16:
+                    rebuilt.extend([rebuilt[-1]] * (extra + 3))
+                elif sym == 17:
+                    rebuilt.extend([0] * (extra + 3))
+                else:
+                    rebuilt.extend([0] * (extra + 11))
+            assert rebuilt == lengths
+
+
+def _run_len(sym, extra):
+    if sym < 16:
+        return 1
+    if sym == 16:
+        return extra + 3
+    if sym == 17:
+        return extra + 3
+    return extra + 11
+
+
+class TestDynamicBlocks:
+    def test_literals_only(self):
+        arr = TokenArray()
+        for c in b"dynamic block with literals only":
+            arr.append_literal(c)
+        w = BitWriter()
+        write_dynamic_block(w, arr)
+        assert inflate_oracle(w.flush()) == (
+            b"dynamic block with literals only"
+        )
+
+    def test_with_matches(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        body = deflate_tokens(result.tokens, BlockStrategy.DYNAMIC)
+        assert inflate_oracle(body) == wiki_small
+
+    def test_empty_token_stream(self):
+        body = deflate_tokens(TokenArray(), BlockStrategy.DYNAMIC)
+        assert inflate_oracle(body) == b""
+
+    def test_single_symbol_stream(self):
+        arr = TokenArray()
+        arr.append_literal(0x55)
+        body = deflate_tokens(arr, BlockStrategy.DYNAMIC)
+        assert inflate_oracle(body) == b"\x55"
+
+    def test_corpus(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            result = compress_tokens(data)
+            body = deflate_tokens(result.tokens, BlockStrategy.DYNAMIC)
+            assert inflate_oracle(body) == data, name
+
+    def test_dynamic_beats_fixed_on_skewed_data(self):
+        # Binary-ish data is where fixed tables lose the most.
+        data = bytes([1, 2, 3, 4] * 1000)
+        result = compress_tokens(data)
+        fixed = deflate_tokens(result.tokens, BlockStrategy.FIXED)
+        dynamic = deflate_tokens(result.tokens, BlockStrategy.DYNAMIC)
+        assert len(dynamic) < len(fixed)

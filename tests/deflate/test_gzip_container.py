@@ -1,0 +1,136 @@
+"""gzip container framing tests."""
+
+import gzip as stdgzip
+import zlib
+
+import pytest
+
+from repro.deflate.gzip_container import compress, decompress
+from repro.errors import GzipContainerError
+
+
+class TestCompress:
+    def test_stdlib_accepts_our_streams(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            assert stdgzip.decompress(compress(data)) == data, name
+
+    def test_own_decompress(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            assert decompress(compress(data)) == data, name
+
+    def test_we_accept_stdlib_streams(self, wiki_small):
+        assert decompress(stdgzip.compress(wiki_small, 6)) == wiki_small
+
+    def test_deterministic_output(self):
+        # MTIME fixed at 0: identical input -> identical bytes.
+        assert compress(b"repeatable") == compress(b"repeatable")
+
+    def test_header_fields(self):
+        stream = compress(b"x")
+        assert stream[:2] == b"\x1f\x8b"
+        assert stream[2] == 8
+        assert stream[4:8] == b"\x00\x00\x00\x00"  # MTIME
+
+
+class TestHeaderVariants:
+    def test_fname_skipped(self):
+        # gzip.compress with a filename via GzipFile.
+        import io
+
+        buf = io.BytesIO()
+        with stdgzip.GzipFile("some_name.txt", "wb", fileobj=buf) as fh:
+            fh.write(b"named payload")
+        assert decompress(buf.getvalue()) == b"named payload"
+
+    def test_fextra_skipped(self):
+        # Hand-build a header with FEXTRA.
+        body = zlib.compressobj(6, zlib.DEFLATED, -15)
+        deflated = body.compress(b"extra!") + body.flush()
+        header = (
+            b"\x1f\x8b\x08\x04" + b"\x00" * 4 + b"\x00\xff"
+            + (4).to_bytes(2, "little") + b"ABCD"
+        )
+        trailer = (
+            zlib.crc32(b"extra!").to_bytes(4, "little")
+            + (6).to_bytes(4, "little")
+        )
+        assert decompress(header + deflated + trailer) == b"extra!"
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(GzipContainerError):
+            decompress(b"\x1f\x8c" + b"\x00" * 20)
+
+    def test_short_input(self):
+        with pytest.raises(GzipContainerError):
+            decompress(b"\x1f\x8b\x08")
+
+    def test_bad_method(self):
+        with pytest.raises(GzipContainerError):
+            decompress(b"\x1f\x8b\x07" + b"\x00" * 10)
+
+    def test_corrupt_crc(self):
+        stream = bytearray(compress(b"check me"))
+        stream[-5] ^= 0x01  # flip a CRC bit
+        with pytest.raises(GzipContainerError):
+            decompress(bytes(stream))
+
+    def test_corrupt_isize(self):
+        stream = bytearray(compress(b"check me"))
+        stream[-1] ^= 0x01
+        with pytest.raises(GzipContainerError):
+            decompress(bytes(stream))
+
+    def test_truncated_trailer(self):
+        stream = compress(b"hello")
+        with pytest.raises(GzipContainerError):
+            decompress(stream[:-4])
+
+    def test_unterminated_name(self):
+        header = b"\x1f\x8b\x08\x08" + b"\x00" * 6 + b"noterm"
+        with pytest.raises(GzipContainerError):
+            decompress(header)
+
+
+class TestMultiMember:
+    def test_concatenated_members(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        stream = compress(b"first ") + compress(b"second ") + compress(
+            b"third"
+        )
+        assert decompress_multi(stream) == b"first second third"
+        # The stdlib agrees about concatenation semantics.
+        assert stdgzip.decompress(stream) == b"first second third"
+
+    def test_single_member(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        assert decompress_multi(compress(b"solo")) == b"solo"
+
+    def test_mixed_producers(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        stream = compress(b"ours ") + stdgzip.compress(b"theirs")
+        assert decompress_multi(stream) == b"ours theirs"
+
+    def test_empty_input_rejected(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        with pytest.raises(GzipContainerError):
+            decompress_multi(b"")
+
+    def test_trailing_garbage_rejected(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        with pytest.raises(GzipContainerError):
+            decompress_multi(compress(b"ok") + b"garbage")
+
+    def test_corrupt_second_member_detected(self):
+        from repro.deflate.gzip_container import decompress_multi
+
+        stream = bytearray(compress(b"one") + compress(b"two"))
+        stream[-3] ^= 0xFF  # clobber second member's ISIZE
+        with pytest.raises(GzipContainerError):
+            decompress_multi(bytes(stream))

@@ -1,0 +1,126 @@
+"""Inflate decoder tests: zlib's *compressor* is the oracle input."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.inflate import inflate, inflate_with_tail
+from repro.errors import DeflateError, HuffmanError
+from repro.lzss.compressor import compress_tokens
+
+
+def zlib_raw(data, level=6):
+    """Raw deflate body produced by zlib."""
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return compressor.compress(data) + compressor.flush()
+
+
+class TestDecodesZlibOutput:
+    @pytest.mark.parametrize("level", [0, 1, 6, 9])
+    def test_levels(self, wiki_small, level):
+        assert inflate(zlib_raw(wiki_small, level)) == wiki_small
+
+    def test_corpus_all_levels(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            for level in (0, 1, 9):
+                assert inflate(zlib_raw(data, level)) == data, (name, level)
+
+    def test_stored_blocks_from_zlib(self):
+        data = b"stored please" * 100
+        assert inflate(zlib_raw(data, 0)) == data
+
+    def test_own_fixed_output(self, x2e_small):
+        result = compress_tokens(x2e_small)
+        assert inflate(deflate_tokens(result.tokens)) == x2e_small
+
+    def test_own_dynamic_output(self, x2e_small):
+        result = compress_tokens(x2e_small)
+        body = deflate_tokens(result.tokens, BlockStrategy.DYNAMIC)
+        assert inflate(body) == x2e_small
+
+
+class TestTailTracking:
+    def test_consumed_bytes_allow_trailer_location(self):
+        body = zlib_raw(b"abc")
+        payload, consumed = inflate_with_tail(body + b"TRAILER")
+        assert payload == b"abc"
+        assert body[consumed:] == b"" or consumed <= len(body)
+        # Parsing again with the trailer must yield the same payload.
+        assert inflate_with_tail(body)[0] == b"abc"
+
+
+class TestMalformedStreams:
+    def test_reserved_block_type(self):
+        # BFINAL=1, BTYPE=11.
+        with pytest.raises(DeflateError):
+            inflate(bytes([0b111]))
+
+    def test_stored_len_nlen_mismatch(self):
+        # BTYPE=00, LEN=1, NLEN=0 (not complement).
+        stream = bytes([0b001, 0x01, 0x00, 0x00, 0x00, 0xAA])
+        with pytest.raises(DeflateError):
+            inflate(stream)
+
+    def test_truncated_stream(self):
+        body = zlib_raw(b"hello world" * 50)
+        with pytest.raises(Exception):
+            inflate(body[: len(body) // 2])
+
+    def test_empty_input(self):
+        with pytest.raises(Exception):
+            inflate(b"")
+
+    def test_max_output_guard(self):
+        body = zlib_raw(b"\x00" * 100000, 9)
+        with pytest.raises(DeflateError):
+            inflate(body, max_output=1000)
+
+    def test_distance_before_start(self):
+        # Hand-craft a fixed block: match length 3, distance 1 with no
+        # prior output.
+        from repro.bitio.writer import BitWriter
+        from repro.huffman.fixed import (
+            fixed_dist_encoder,
+            fixed_litlen_encoder,
+        )
+
+        w = BitWriter()
+        w.write_bits(1, 1)
+        w.write_bits(0b01, 2)
+        fixed_litlen_encoder().encode(w, 257)  # length 3
+        fixed_dist_encoder().encode(w, 0)      # distance 1
+        fixed_litlen_encoder().encode(w, 256)
+        with pytest.raises(DeflateError):
+            inflate(w.flush())
+
+    def test_invalid_distance_symbol(self):
+        from repro.bitio.writer import BitWriter
+        from repro.huffman.fixed import (
+            fixed_dist_encoder,
+            fixed_litlen_encoder,
+        )
+
+        w = BitWriter()
+        w.write_bits(1, 1)
+        w.write_bits(0b01, 2)
+        fixed_litlen_encoder().encode(w, ord("a"))
+        fixed_litlen_encoder().encode(w, 257)
+        fixed_dist_encoder().encode(w, 30)  # reserved distance code
+        fixed_litlen_encoder().encode(w, 256)
+        with pytest.raises(DeflateError):
+            inflate(w.flush())
+
+    def test_dynamic_header_hlit_overflow(self):
+        from repro.bitio.writer import BitWriter
+
+        w = BitWriter()
+        w.write_bits(1, 1)
+        w.write_bits(0b10, 2)
+        w.write_bits(30, 5)  # HLIT = 287 > 286
+        w.write_bits(0, 5)
+        w.write_bits(0, 4)
+        for _ in range(4):
+            w.write_bits(0, 3)
+        with pytest.raises((DeflateError, HuffmanError)):
+            inflate(w.flush())

@@ -1,0 +1,110 @@
+"""Preset-dictionary (FDICT) tests against the zlib oracle."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.preset_dict import (
+    compress_with_dict,
+    decompress_with_dict,
+    train_dictionary,
+)
+from repro.errors import ConfigError, ZLibContainerError
+
+
+DICT = b"timestamp=| id=0x| dlc=8 payload=| channel=can0 state=ok "
+
+
+class TestInterop:
+    def test_zlib_accepts_our_fdict_streams(self):
+        data = b"timestamp=123 id=0x1a0 dlc=8 payload=aabbccdd state=ok"
+        stream = compress_with_dict(data, DICT)
+        decomp = zlib.decompressobj(zdict=DICT)
+        assert decomp.decompress(stream) == data
+
+    def test_we_accept_zlib_fdict_streams(self):
+        data = b"timestamp=456 id=0x2b0 dlc=8 payload=00112233 state=ok"
+        comp = zlib.compressobj(6, zlib.DEFLATED, 15, zdict=DICT)
+        stream = comp.compress(data) + comp.flush()
+        assert decompress_with_dict(stream, DICT) == data
+
+    def test_own_roundtrip(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            if not data:
+                continue
+            stream = compress_with_dict(data, DICT)
+            assert decompress_with_dict(stream, DICT) == data, name
+
+    def test_dictionary_actually_helps_small_records(self):
+        from repro.deflate.zlib_container import compress
+
+        record = b"timestamp=999 id=0x1a0 dlc=8 payload=deadbeef state=ok"
+        plain = len(compress(record))
+        primed = len(compress_with_dict(record, DICT))
+        assert primed < plain
+
+    def test_long_dictionary_trimmed_to_window(self):
+        big_dict = bytes(range(256)) * 64  # 16 KB > 4 KB window budget
+        data = bytes(range(256)) * 2
+        stream = compress_with_dict(data, big_dict, window_size=4096)
+        assert decompress_with_dict(stream, big_dict) == data
+
+
+class TestValidation:
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ConfigError):
+            compress_with_dict(b"data", b"")
+
+    def test_wrong_dictionary_rejected(self):
+        stream = compress_with_dict(b"payload", DICT)
+        with pytest.raises(ZLibContainerError):
+            decompress_with_dict(stream, b"a completely different dict")
+
+    def test_non_fdict_stream_rejected(self):
+        from repro.deflate.zlib_container import compress
+
+        with pytest.raises(ZLibContainerError):
+            decompress_with_dict(compress(b"plain"), DICT)
+
+    def test_corrupt_payload_detected(self):
+        stream = bytearray(compress_with_dict(b"payload data", DICT))
+        stream[-1] ^= 0xFF
+        with pytest.raises(ZLibContainerError):
+            decompress_with_dict(bytes(stream), DICT)
+
+    def test_truncated_stream_detected(self):
+        stream = compress_with_dict(b"payload data", DICT)
+        with pytest.raises(Exception):
+            decompress_with_dict(stream[:8], DICT)
+
+
+class TestTraining:
+    def test_trained_dict_beats_no_dict(self):
+        # Realistic deployment: the dictionary is trained on earlier
+        # records of the *same* logger (same message set), then applied
+        # to fresh records from it.
+        from repro.workloads.logs import syslog_text
+        from repro.deflate.zlib_container import compress
+
+        log = syslog_text(20000, seed=4)
+        samples = [log[i:i + 500] for i in range(0, 10000, 500)]
+        trained = train_dictionary(samples, size=2048)
+        assert trained
+        record = log[15000:15500]  # unseen during training
+        plain = len(compress(record))
+        primed = len(compress_with_dict(record, trained))
+        assert primed < plain
+
+    def test_size_bound_respected(self):
+        trained = train_dictionary([b"abcdefgh" * 100], size=64)
+        assert 0 < len(trained) <= 64
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ConfigError):
+            train_dictionary([b"x"], size=0)
+
+    def test_no_repeats_gives_empty_dict(self):
+        import random
+
+        samples = [random.Random(i).randbytes(100) for i in range(3)]
+        assert train_dictionary(samples, ngram=16) == b""

@@ -1,0 +1,86 @@
+"""Adaptive block-strategy selection tests."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.deflate.splitter import (
+    deflate_adaptive,
+    evaluate_block,
+    zlib_compress_adaptive,
+)
+from repro.errors import ConfigError
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.tokens import TokenArray
+from repro.workloads.synthetic import incompressible
+
+
+class TestEvaluateBlock:
+    def test_empty_block_prefers_fixed(self):
+        choice = evaluate_block(TokenArray(), 0)
+        assert choice.strategy == BlockStrategy.FIXED
+
+    def test_random_data_prefers_stored(self):
+        data = incompressible(4000, seed=3)
+        tokens = compress_tokens(data).tokens
+        choice = evaluate_block(tokens, len(data))
+        assert choice.strategy == BlockStrategy.STORED
+        assert choice.stored_bits < choice.fixed_bits
+
+    def test_skewed_data_prefers_dynamic(self):
+        data = bytes([3, 7] * 3000)
+        tokens = compress_tokens(data).tokens
+        choice = evaluate_block(tokens, len(data))
+        assert choice.strategy == BlockStrategy.DYNAMIC
+
+    def test_chosen_bits_is_minimum(self, wiki_small):
+        tokens = compress_tokens(wiki_small).tokens
+        choice = evaluate_block(tokens, len(wiki_small))
+        assert choice.chosen_bits == min(
+            choice.fixed_bits, choice.dynamic_bits, choice.stored_bits
+        )
+
+
+class TestAdaptiveEncoding:
+    def test_roundtrip(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            stream = zlib_compress_adaptive(data)
+            assert zlib.decompress(stream) == data, name
+
+    def test_never_worse_than_fixed(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            result = compress_tokens(data)
+            fixed = deflate_tokens(result.tokens, BlockStrategy.FIXED)
+            adaptive = deflate_adaptive(result.tokens, data)
+            # Multi-block framing costs a few bytes; allow tiny slack.
+            assert len(adaptive.body) <= len(fixed) + 16, name
+
+    def test_mixed_data_uses_multiple_strategies(self):
+        from repro.workloads.synthetic import mixed
+
+        data = mixed(60000, seed=9)
+        result = compress_tokens(data)
+        split = deflate_adaptive(result.tokens, data,
+                                 tokens_per_block=2048)
+        assert zlib.decompress(
+            split.body, wbits=-15
+        ) == data
+        assert len(split.strategy_counts()) >= 2
+
+    def test_block_size_validated(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        with pytest.raises(ConfigError):
+            deflate_adaptive(result.tokens, wiki_small,
+                             tokens_per_block=0)
+
+    def test_empty_input(self):
+        stream = zlib_compress_adaptive(b"")
+        assert zlib.decompress(stream) == b""
+
+    def test_choices_recorded_per_block(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        split = deflate_adaptive(result.tokens, wiki_small,
+                                 tokens_per_block=1000)
+        expected_blocks = -(-len(result.tokens) // 1000)
+        assert len(split.choices) == expected_blocks

@@ -1,0 +1,115 @@
+"""Streaming compressor tests."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.stream import (
+    ZLibStreamCompressor,
+    compress_chunks,
+    decompress_prefix,
+)
+from repro.deflate.zlib_container import decompress
+from repro.errors import ConfigError
+
+
+def chunked(data, size):
+    return [data[i:i + size] for i in range(0, len(data), size)]
+
+
+class TestChunkedRoundtrip:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 4096, 100000])
+    def test_matches_input(self, wiki_small, chunk_size):
+        stream = compress_chunks(chunked(wiki_small, chunk_size))
+        assert zlib.decompress(stream) == wiki_small
+        assert decompress(stream) == wiki_small
+
+    def test_corpus(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            stream = compress_chunks(chunked(data, 333))
+            assert zlib.decompress(stream) == data, name
+
+    def test_empty_stream(self):
+        stream = compress_chunks([])
+        assert zlib.decompress(stream) == b""
+
+    def test_empty_chunks_ignored(self):
+        stream = compress_chunks([b"", b"abc", b"", b"def", b""])
+        assert zlib.decompress(stream) == b"abcdef"
+
+    def test_dynamic_strategy(self, x2e_small):
+        stream = compress_chunks(
+            chunked(x2e_small, 5000), strategy=BlockStrategy.DYNAMIC
+        )
+        assert zlib.decompress(stream) == x2e_small
+
+    def test_matches_cross_chunk_boundaries(self):
+        # The second chunk is an exact copy of the (incompressible)
+        # first chunk. Only cross-chunk history lets the second chunk
+        # compress into back-references; without it the output would be
+        # ~2x the chunk size.
+        chunk = incompressible_chunk = __import__(
+            "random"
+        ).Random(3).randbytes(1500)
+        stream = compress_chunks([chunk, incompressible_chunk])
+        assert zlib.decompress(stream) == chunk + chunk
+        assert len(stream) < 1.35 * len(chunk)
+
+    def test_stored_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            ZLibStreamCompressor(strategy=BlockStrategy.STORED)
+
+
+class TestFlushSemantics:
+    def test_sync_flush_keeps_stream_valid(self, wiki_small):
+        stream = ZLibStreamCompressor()
+        out = stream.compress(wiki_small[:8192])
+        out += stream.flush_sync()
+        out += stream.compress(wiki_small[8192:])
+        out += stream.finish()
+        assert zlib.decompress(out) == wiki_small
+
+    def test_sync_flush_makes_prefix_decodable(self):
+        first = b"log entries before the crash " * 50
+        stream = ZLibStreamCompressor()
+        out = stream.compress(first)
+        out += stream.flush_sync()
+        # Crash: the rest never gets written.
+        header_and_prefix = out
+        recovered = decompress_prefix(header_and_prefix)
+        assert recovered == first
+
+    def test_truncated_tail_is_dropped_not_fatal(self, wiki_small):
+        stream = ZLibStreamCompressor()
+        out = stream.compress(wiki_small[:4096])
+        out += stream.flush_sync()
+        out += stream.compress(wiki_small[4096:8192])
+        # Cut mid-way through the second block.
+        cut = out[: len(out) - 3]
+        recovered = decompress_prefix(cut)
+        assert recovered[:4096] == wiki_small[:4096]
+
+    def test_finish_twice_rejected(self):
+        stream = ZLibStreamCompressor()
+        stream.finish()
+        with pytest.raises(ConfigError):
+            stream.finish()
+
+    def test_compress_after_finish_rejected(self):
+        stream = ZLibStreamCompressor()
+        stream.finish()
+        with pytest.raises(ConfigError):
+            stream.compress(b"late")
+
+    def test_total_in_tracks_bytes(self):
+        stream = ZLibStreamCompressor()
+        stream.compress(b"abc")
+        stream.compress(b"defg")
+        assert stream.total_in == 7
+
+    def test_sync_every_chunk_helper(self, x2e_small):
+        stream = compress_chunks(
+            chunked(x2e_small, 2048), sync_every_chunk=True
+        )
+        assert zlib.decompress(stream) == x2e_small

@@ -1,0 +1,110 @@
+"""ZLib container framing tests."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.zlib_container import (
+    ZLibCompressor,
+    compress,
+    decompress,
+    make_header,
+    parse_header,
+)
+from repro.errors import ZLibContainerError
+
+
+class TestHeader:
+    @pytest.mark.parametrize(
+        "window,cinfo",
+        [(256, 0), (1024, 2), (4096, 4), (32768, 7)],
+    )
+    def test_cinfo_encodes_window(self, window, cinfo):
+        header = make_header(window)
+        assert header[0] >> 4 == cinfo
+        assert header[0] & 0x0F == 8
+
+    def test_fcheck_valid(self):
+        for window in (1024, 4096, 32768):
+            header = make_header(window)
+            assert (header[0] * 256 + header[1]) % 31 == 0
+
+    def test_window_too_large_rejected(self):
+        with pytest.raises(ZLibContainerError):
+            make_header(65536)
+
+    def test_parse_roundtrip(self):
+        assert parse_header(make_header(4096)) == 4096
+
+    def test_parse_rejects_bad_method(self):
+        with pytest.raises(ZLibContainerError):
+            parse_header(bytes([0x79, 0x00]))
+
+    def test_parse_rejects_bad_fcheck(self):
+        with pytest.raises(ZLibContainerError):
+            parse_header(bytes([0x78, 0x02]))
+
+    def test_parse_rejects_fdict(self):
+        cmf = 0x78
+        flg = 0x20
+        rem = (cmf * 256 + flg) % 31
+        if rem:
+            flg += 31 - rem
+        with pytest.raises(ZLibContainerError):
+            parse_header(bytes([cmf, flg]))
+
+    def test_parse_rejects_short_input(self):
+        with pytest.raises(ZLibContainerError):
+            parse_header(b"\x78")
+
+
+class TestCompress:
+    def test_zlib_accepts_our_streams(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            stream = compress(data)
+            assert zlib.decompress(stream) == data, name
+
+    def test_own_decompress(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            assert decompress(compress(data)) == data, name
+
+    def test_we_accept_zlib_streams(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            for level in (1, 6):
+                assert decompress(zlib.compress(data, level)) == data, name
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [BlockStrategy.FIXED, BlockStrategy.DYNAMIC, BlockStrategy.STORED],
+    )
+    def test_strategies(self, wiki_small, strategy):
+        stream = compress(wiki_small, strategy=strategy)
+        assert zlib.decompress(stream) == wiki_small
+        assert decompress(stream) == wiki_small
+
+    def test_result_metadata(self, wiki_small):
+        result = ZLibCompressor(window_size=4096).compress(wiki_small)
+        assert result.compressed_size == len(result.data)
+        assert result.ratio == pytest.approx(
+            len(wiki_small) / len(result.data)
+        )
+        assert result.lzss.input_size == len(wiki_small)
+
+
+class TestDecompressErrors:
+    def test_corrupt_adler_rejected(self, wiki_small):
+        stream = bytearray(compress(wiki_small))
+        stream[-1] ^= 0xFF
+        with pytest.raises(ZLibContainerError):
+            decompress(bytes(stream))
+
+    def test_truncated_trailer_rejected(self):
+        stream = compress(b"hello")
+        with pytest.raises(ZLibContainerError):
+            decompress(stream[:-2])
+
+    def test_max_output_guard(self):
+        stream = compress(b"\x00" * 50000)
+        with pytest.raises(Exception):
+            decompress(stream, max_output=100)

@@ -1,0 +1,65 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.estimator.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "wiki"
+        assert args.size_kb == 256
+
+
+class TestCommands:
+    def test_presets_lists_all(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "speed" in out
+        assert "max-ratio" in out
+
+    def test_run_on_generated_workload(self, capsys):
+        assert main(["run", "--workload", "zeros", "--size-kb", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert "throughput" in out
+
+    def test_run_with_overrides(self, capsys):
+        code = main([
+            "run", "--workload", "zeros", "--size-kb", "8",
+            "--window", "8192", "--hash-bits", "11", "--gen-bits", "2",
+        ])
+        assert code == 0
+        assert "8KB dict, 11-bit hash" in capsys.readouterr().out
+
+    def test_run_on_file(self, tmp_path, capsys):
+        target = tmp_path / "input.bin"
+        target.write_bytes(b"file input " * 500)
+        assert main(["run", "--file", str(target)]) == 0
+        assert "compressed" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--workload", "zeros", "--size-kb", "8",
+            "--axis", "window_size", "--values", "1024,4096",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window_size=1024" in out
+        assert "window_size=4096" in out
+
+    def test_sweep_boolean_values(self, capsys):
+        code = main([
+            "sweep", "--workload", "zeros", "--size-kb", "8",
+            "--axis", "hash_prefetch", "--values", "on,off",
+        ])
+        assert code == 0
+
+    def test_resources(self, capsys):
+        assert main(["resources", "--preset", "speed"]) == 0
+        assert "BRAM" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Tests for the compare/pareto/verify CLI subcommands."""
+
+from repro.estimator.cli import main
+
+
+class TestCompare:
+    def test_compare_prints_architectures(self, capsys):
+        code = main([
+            "compare", "--workload", "zeros", "--size-kb", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "systolic" in out
+        assert "CAM" in out
+        assert "FSM" in out
+
+
+class TestPareto:
+    def test_pareto_front_printed(self, capsys):
+        code = main([
+            "pareto", "--workload", "zeros", "--size-kb", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "non-dominated" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "sweep.csv"
+        code = main([
+            "pareto", "--workload", "zeros", "--size-kb", "8",
+            "--csv", str(target),
+        ])
+        assert code == 0
+        content = target.read_text()
+        assert content.startswith("label,")
+        assert len(content.splitlines()) == 21  # 5 windows x 4 hashes + 1
+
+
+class TestVerify:
+    def test_verify_small_soak(self, capsys):
+        code = main([
+            "verify", "--total-mb", "1", "--segment-kb", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all cross-checks passed" in out

@@ -1,0 +1,84 @@
+"""Configuration diff tests."""
+
+import pytest
+
+from repro.estimator.diff import diff_configurations
+from repro.hw.params import HardwareParams
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.workloads.wiki import wiki_text
+
+    return wiki_text(48 * 1024, seed=88)
+
+
+class TestDiff:
+    def test_identity_diff_is_zero(self, data):
+        p = HardwareParams()
+        diff = diff_configurations(p, p, data)
+        assert diff.speed_change == 0.0
+        assert diff.size_change == 0.0
+        assert all(v == 0 for v in diff.state_delta_cycles.values())
+        assert diff.changed_fields() == {}
+
+    def test_bus_change_shows_in_finding_state(self, data):
+        diff = diff_configurations(
+            HardwareParams(),
+            HardwareParams(data_bus_bytes=1),
+            data,
+        )
+        assert diff.speed_change < 0
+        assert diff.dominant_state() == "Finding match"
+        assert diff.state_delta_cycles["Finding match"] > 0
+        assert diff.changed_fields() == {"data_bus_bytes": (4, 1)}
+
+    def test_prefetch_change_shows_in_waiting_state(self, data):
+        diff = diff_configurations(
+            HardwareParams(),
+            HardwareParams(hash_prefetch=False),
+            data,
+        )
+        assert diff.dominant_state() == "Waiting for data"
+
+    def test_gen_bits_change_shows_in_rotation(self, data):
+        diff = diff_configurations(
+            HardwareParams(),
+            HardwareParams(gen_bits=0),
+            data,
+        )
+        assert diff.dominant_state() == "Rotating hash"
+
+    def test_window_change_affects_size_and_bram(self, data):
+        diff = diff_configurations(
+            HardwareParams(window_size=1024),
+            HardwareParams(window_size=16384),
+            data,
+        )
+        assert diff.size_change < 0       # bigger window compresses better
+        assert diff.bram_other > diff.bram_base
+
+    def test_format(self, data):
+        diff = diff_configurations(
+            HardwareParams(),
+            HardwareParams(data_bus_bytes=1),
+            data,
+        )
+        text = diff.format()
+        assert "speed:" in text
+        assert "cycle delta" in text
+        assert "data_bus_bytes 4->1" in text
+
+
+class TestCLI:
+    def test_diff_subcommand(self, capsys):
+        from repro.estimator.cli import main
+
+        code = main([
+            "diff", "--workload", "zeros", "--size-kb", "16",
+            "--set", "hash_prefetch=off",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hash_prefetch" in out
+        assert "cycle delta" in out

@@ -1,0 +1,72 @@
+"""Parallel sweep driver tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimator.parallel import (
+    grid_sweep_parallel,
+    run_configurations_parallel,
+    sweep_parallel,
+)
+from repro.estimator.sweep import ParameterSweep, grid_sweep
+from repro.hw.params import HardwareParams
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.workloads.wiki import wiki_text
+
+    return wiki_text(32 * 1024, seed=55)
+
+
+def rows_equal(a, b):
+    return (
+        a.compressed_bytes == b.compressed_bytes
+        and a.stats.total_cycles == b.stats.total_cycles
+        and a.bram36 == b.bram36
+        and a.label == b.label
+    )
+
+
+class TestParallelEqualsSerial:
+    def test_sweep_results_identical(self, data):
+        serial = ParameterSweep("hash_bits", [9, 13, 15]).run(data)
+        parallel = sweep_parallel("hash_bits", [9, 13, 15], data,
+                                  workers=2)
+        assert len(serial.rows) == len(parallel.rows)
+        for a, b in zip(serial.rows, parallel.rows):
+            assert rows_equal(a, b)
+
+    def test_grid_results_identical(self, data):
+        serial = grid_sweep(data, [1024, 4096], [9, 15])
+        parallel = grid_sweep_parallel(
+            data, [1024, 4096], [9, 15], workers=2
+        )
+        assert len(serial) == len(parallel)
+        for s_report, p_report in zip(serial, parallel):
+            assert s_report.workload == p_report.workload
+            for a, b in zip(s_report.rows, p_report.rows):
+                assert rows_equal(a, b)
+
+    def test_workers_one_short_circuits(self, data):
+        rows = run_configurations_parallel(
+            [HardwareParams()], data, workers=1
+        )
+        assert len(rows) == 1
+        assert rows[0].input_bytes == len(data)
+
+
+class TestValidation:
+    def test_label_count_mismatch(self, data):
+        with pytest.raises(ConfigError):
+            run_configurations_parallel(
+                [HardwareParams()], data, labels=["a", "b"]
+            )
+
+    def test_empty_configuration_list(self, data):
+        assert run_configurations_parallel([], data) == []
+
+    def test_order_preserved(self, data):
+        values = [16384, 1024, 4096]
+        report = sweep_parallel("window_size", values, data, workers=2)
+        assert report.axis_values() == values

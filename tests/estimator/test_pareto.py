@@ -1,0 +1,86 @@
+"""Pareto-front and CSV export tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimator.pareto import dominates, pareto_front, to_csv
+from repro.estimator.sweep import ParameterSweep
+
+
+@pytest.fixture(scope="module")
+def rows(request):
+    from repro.workloads.wiki import wiki_text
+
+    data = wiki_text(48 * 1024, seed=33)
+    sweep = ParameterSweep(
+        "window_size", [1024, 2048, 4096, 8192, 16384]
+    )
+    return ParameterSweep(
+        "hash_bits", [9, 15]
+    ).run(data).rows + sweep.run(data).rows
+
+
+class TestDominance:
+    def test_row_never_dominates_itself(self, rows):
+        metrics = ("throughput_mbps", "ratio")
+        for row in rows:
+            assert not dominates(row, row, metrics)
+
+    def test_antisymmetric(self, rows):
+        metrics = ("throughput_mbps", "ratio", "bram36")
+        for a in rows:
+            for b in rows:
+                if dominates(a, b, metrics):
+                    assert not dominates(b, a, metrics)
+
+
+class TestParetoFront:
+    def test_front_nonempty_and_subset(self, rows):
+        front = pareto_front(rows)
+        assert front
+        assert all(row in rows for row in front)
+
+    def test_no_front_member_dominated(self, rows):
+        metrics = ("throughput_mbps", "ratio", "bram36")
+        front = pareto_front(rows, metrics)
+        for member in front:
+            assert not any(
+                dominates(other, member, metrics) for other in rows
+            )
+
+    def test_every_non_member_dominated(self, rows):
+        metrics = ("throughput_mbps", "ratio", "bram36")
+        front = pareto_front(rows, metrics)
+        for row in rows:
+            if row not in front:
+                assert any(
+                    dominates(member, row, metrics) for member in front
+                )
+
+    def test_single_metric_front_is_the_best_rows(self, rows):
+        front = pareto_front(rows, ("throughput_mbps",))
+        best = max(row.throughput_mbps for row in rows)
+        assert all(
+            row.throughput_mbps == pytest.approx(best) for row in front
+        )
+
+    def test_empty_metrics_rejected(self, rows):
+        with pytest.raises(ConfigError):
+            pareto_front(rows, ())
+
+
+class TestCSV:
+    def test_header_and_rows(self, rows):
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("label,window_size,hash_bits")
+        assert len(lines) == len(rows) + 1
+
+    def test_numeric_fields_parse(self, rows):
+        import csv
+        import io
+
+        records = list(csv.DictReader(io.StringIO(to_csv(rows))))
+        for record in records:
+            assert float(record["ratio"]) > 0
+            assert int(record["bram36"]) > 0

@@ -1,0 +1,100 @@
+"""Configuration recommendation tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimator.recommend import Constraints, recommend
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.workloads.wiki import wiki_text
+
+    return wiki_text(48 * 1024, seed=44)
+
+
+SMALL_GRID = dict(windows=(1024, 4096, 16384), hash_bits=(9, 15))
+
+
+class TestRecommend:
+    def test_unconstrained_prefers_best_ratio(self, data):
+        rec = recommend(data, objective="ratio", **SMALL_GRID)
+        assert rec.found
+        # Best ratio comes from the biggest window + max level.
+        assert rec.best.params.window_size == 16384
+        assert rec.best.params.policy.max_chain > 100
+
+    def test_speed_floor_excludes_max_level(self, data):
+        rec = recommend(
+            data,
+            constraints=Constraints(min_throughput_mbps=25.0),
+            objective="ratio",
+            **SMALL_GRID,
+        )
+        assert rec.found
+        assert rec.best.throughput_mbps >= 25.0
+        assert rec.best.params.policy.max_chain < 100
+
+    def test_bram_budget_respected(self, data):
+        rec = recommend(
+            data,
+            constraints=Constraints(max_bram36=5),
+            objective="throughput_mbps",
+            **SMALL_GRID,
+        )
+        assert rec.found
+        assert rec.best.bram36 <= 5
+
+    def test_minimal_bram_objective(self, data):
+        rec = recommend(data, objective="bram36", **SMALL_GRID)
+        assert rec.found
+        assert rec.best.bram36 == min(
+            row.bram36 for row in [rec.best] + rec.alternatives
+        )
+
+    def test_impossible_constraints(self, data):
+        rec = recommend(
+            data,
+            constraints=Constraints(min_throughput_mbps=1000.0),
+            **SMALL_GRID,
+        )
+        assert not rec.found
+        assert rec.feasible == 0
+        assert "no feasible" in rec.format()
+
+    def test_alternatives_are_feasible_and_pareto(self, data):
+        constraints = Constraints(min_throughput_mbps=20.0)
+        rec = recommend(data, constraints=constraints, **SMALL_GRID)
+        for row in rec.alternatives:
+            assert constraints.satisfied_by(row)
+
+    def test_bad_objective_rejected(self, data):
+        with pytest.raises(ConfigError):
+            recommend(data, objective="luts")
+
+    def test_format_mentions_key_numbers(self, data):
+        rec = recommend(data, **SMALL_GRID)
+        text = rec.format()
+        assert "recommended" in text
+        assert "MB/s" in text
+
+
+class TestCLI:
+    def test_recommend_subcommand(self, capsys):
+        from repro.estimator.cli import main
+
+        code = main([
+            "recommend", "--workload", "zeros", "--size-kb", "8",
+            "--min-speed", "10", "--objective", "throughput_mbps",
+        ])
+        assert code == 0
+        assert "recommended" in capsys.readouterr().out
+
+    def test_recommend_infeasible_exit_code(self, capsys):
+        from repro.estimator.cli import main
+
+        code = main([
+            "recommend", "--workload", "zeros", "--size-kb", "8",
+            "--min-speed", "10000",
+        ])
+        assert code == 1

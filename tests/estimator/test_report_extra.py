@@ -1,0 +1,42 @@
+"""Additional report API coverage."""
+
+import pytest
+
+from repro.estimator.sweep import ParameterSweep
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.workloads.x2e import x2e_can_log
+
+    data = x2e_can_log(24 * 1024, seed=17)
+    return ParameterSweep("hash_bits", [9, 13, 15]).run(
+        data, workload="x2e"
+    )
+
+
+class TestSweepReportAPI:
+    def test_best_minimize(self, report):
+        cheapest = report.best("bram36", maximize=False)
+        assert cheapest.bram36 == min(report.series("bram36"))
+
+    def test_best_maximize_default(self, report):
+        fastest = report.best("throughput_mbps")
+        assert fastest.throughput_mbps == max(
+            report.series("throughput_mbps")
+        )
+
+    def test_series_metrics(self, report):
+        for metric in ("ratio", "throughput_mbps", "cycles_per_byte",
+                       "compressed_bytes", "bram36", "luts"):
+            values = report.series(metric)
+            assert len(values) == 3
+            assert all(v >= 0 for v in values)
+
+    def test_workload_recorded(self, report):
+        assert report.workload == "x2e"
+
+    def test_row_format_is_one_line(self, report):
+        for row in report.rows:
+            assert "\n" not in row.format()
+            assert "MB/s" in row.format()

@@ -1,0 +1,91 @@
+"""Parameter sweep and report tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimator.presets import ESTIMATION_PRESETS, estimation_preset
+from repro.estimator.sweep import ParameterSweep, grid_sweep, run_configuration
+from repro.hw.params import HardwareParams
+from repro.lzss.policy import HW_MAX_POLICY
+
+
+class TestRunConfiguration:
+    def test_row_fields(self, wiki_small):
+        row = run_configuration(HardwareParams(), wiki_small, label="x")
+        assert row.input_bytes == len(wiki_small)
+        assert row.compressed_bytes > 0
+        assert row.ratio > 1.0
+        assert row.throughput_mbps > 0
+        assert row.bram36 > 0
+        assert row.label == "x"
+
+    def test_state_fractions_sum_to_one(self, wiki_small):
+        row = run_configuration(HardwareParams(), wiki_small)
+        assert sum(row.state_fractions().values()) == pytest.approx(1.0)
+
+
+class TestParameterSweep:
+    def test_axis_values_applied(self, wiki_small):
+        sweep = ParameterSweep("window_size", [1024, 4096])
+        report = sweep.run(wiki_small)
+        assert report.axis_values() == [1024, 4096]
+        assert len(report.rows) == 2
+
+    def test_unsweepable_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            ParameterSweep("clock_mhz", [100])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            ParameterSweep("window_size", [])
+
+    def test_policy_override(self, wiki_small):
+        sweep = ParameterSweep(
+            "window_size", [4096], policy=HW_MAX_POLICY
+        )
+        report = sweep.run(wiki_small)
+        assert report.rows[0].params.policy == HW_MAX_POLICY
+
+    def test_series_extraction(self, wiki_small):
+        report = ParameterSweep("hash_bits", [9, 15]).run(wiki_small)
+        ratios = report.series("ratio")
+        assert len(ratios) == 2
+        assert all(r > 1 for r in ratios)
+
+    def test_best_row(self, wiki_small):
+        report = ParameterSweep("hash_bits", [9, 15]).run(wiki_small)
+        fastest = report.best("throughput_mbps")
+        assert fastest.throughput_mbps == max(
+            report.series("throughput_mbps")
+        )
+
+    def test_format_table(self, wiki_small):
+        report = ParameterSweep("gen_bits", [0, 4]).run(wiki_small)
+        text = report.format_table(header="hdr")
+        assert "hdr" in text
+        assert "gen_bits=0" in text
+
+
+class TestGridSweep:
+    def test_one_report_per_hash_size(self, wiki_small):
+        reports = grid_sweep(
+            wiki_small, [1024, 4096], [9, 15]
+        )
+        assert len(reports) == 2
+        assert reports[0].workload == "hash=9"
+        assert all(len(r.rows) == 2 for r in reports)
+
+
+class TestPresets:
+    def test_all_presets_resolve(self):
+        for name in ESTIMATION_PRESETS:
+            assert estimation_preset(name).window_size >= 1024
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            estimation_preset("bogus")
+
+    def test_speed_preset_is_table1_config(self):
+        p = estimation_preset("speed")
+        assert p.window_size == 4096
+        assert p.hash_bits == 15

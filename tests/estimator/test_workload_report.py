@@ -1,0 +1,50 @@
+"""Cross-workload comparison report tests."""
+
+import pytest
+
+from repro.estimator.workload_report import compare_workloads
+from repro.hw.params import HardwareParams
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_workloads(
+        workloads=("wiki", "x2e", "zeros", "random"),
+        sample_bytes=48 * 1024,
+    )
+
+
+class TestComparison:
+    def test_rows_per_workload(self, comparison):
+        assert set(comparison.rows) == {"wiki", "x2e", "zeros", "random"}
+
+    def test_zeros_compress_best(self, comparison):
+        assert comparison.rows["zeros"].ratio > (
+            comparison.rows["wiki"].ratio
+        )
+        assert comparison.rows["random"].ratio < 1.05
+
+    def test_speed_is_data_dependent(self, comparison):
+        # The FSM design's hallmark (and contrast with systolic arrays).
+        assert comparison.speed_spread() > 1.2
+
+    def test_format_table(self, comparison):
+        text = comparison.format_table()
+        assert "wiki" in text
+        assert "spread" in text
+
+    def test_custom_params(self):
+        comparison = compare_workloads(
+            params=HardwareParams(window_size=1024, hash_bits=9),
+            workloads=("zeros",),
+            sample_bytes=16 * 1024,
+        )
+        assert comparison.rows["zeros"].params.window_size == 1024
+
+    def test_cli_subcommand(self, capsys):
+        from repro.estimator.cli import main
+
+        assert main(["workloads", "--size-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "syslog" in out
+        assert "telemetry" in out

@@ -1,0 +1,138 @@
+"""Tests for canonical code assignment and package-merge lengths."""
+
+import heapq
+
+import pytest
+
+from repro.errors import HuffmanError
+from repro.huffman.canonical import (
+    build_code_lengths,
+    canonical_codes,
+    code_table,
+    validate_code_lengths,
+)
+
+
+def reference_huffman_lengths(freqs):
+    """Plain heapq Huffman (no length limit) for cross-checking."""
+    heap = [(f, i, ()) for i, f in enumerate(freqs) if f > 0]
+    if len(heap) <= 1:
+        return None
+    counter = len(freqs)
+    heap = [(f, i, [i]) for f, i, _ in heap]
+    heapq.heapify(heap)
+    lengths = [0] * len(freqs)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for s in s1 + s2:
+            lengths[s] += 1
+        counter += 1
+        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
+    return lengths
+
+
+class TestCanonicalCodes:
+    def test_rfc1951_example(self):
+        # RFC 1951 §3.2.2's worked example.
+        lengths = [3, 3, 3, 3, 3, 2, 4, 4]
+        codes = canonical_codes(lengths)
+        assert codes == [0b010, 0b011, 0b100, 0b101, 0b110, 0b00,
+                         0b1110, 0b1111]
+
+    def test_empty(self):
+        assert canonical_codes([]) == []
+
+    def test_all_unused(self):
+        assert canonical_codes([0, 0, 0]) == [0, 0, 0]
+
+    def test_shorter_codes_numerically_precede(self):
+        codes = canonical_codes([2, 1, 2])
+        # 1-bit code is 0; 2-bit codes follow from (0+1)<<1 = 2.
+        assert codes[1] == 0
+        assert codes[0] == 0b10 and codes[2] == 0b11
+
+    def test_oversubscribed_rejected(self):
+        with pytest.raises(HuffmanError):
+            canonical_codes([1, 1, 1])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(HuffmanError):
+            canonical_codes([-1, 2])
+
+    def test_codes_are_prefix_free(self):
+        lengths = [4, 4, 4, 4, 3, 3, 3, 2, 5, 5]
+        table = code_table(lengths)
+        entries = [
+            format(code, f"0{n}b") for code, n in table.values()
+        ]
+        for a in entries:
+            for b in entries:
+                if a != b:
+                    assert not b.startswith(a)
+
+
+class TestValidate:
+    def test_complete_code_accepted(self):
+        validate_code_lengths([1, 1], 15)
+
+    def test_incomplete_rejected_by_default(self):
+        with pytest.raises(HuffmanError):
+            validate_code_lengths([1, 2], 15)
+
+    def test_incomplete_allowed_when_requested(self):
+        validate_code_lengths([1, 2], 15, allow_incomplete=True)
+
+    def test_single_symbol_incomplete_is_fine(self):
+        validate_code_lengths([1], 15)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(HuffmanError):
+            validate_code_lengths([16, 1], 15)
+
+
+class TestPackageMerge:
+    def test_two_symbols(self):
+        assert build_code_lengths([5, 3], 15) == [1, 1]
+
+    def test_single_symbol_gets_one_bit(self):
+        assert build_code_lengths([0, 7, 0], 15) == [0, 1, 0]
+
+    def test_empty(self):
+        assert build_code_lengths([0, 0], 15) == [0, 0]
+
+    def test_matches_unconstrained_huffman_cost(self):
+        freqs = [40, 30, 10, 8, 6, 4, 1, 1]
+        lengths = build_code_lengths(freqs, 15)
+        ref = reference_huffman_lengths(freqs)
+        cost = sum(f * n for f, n in zip(freqs, lengths))
+        ref_cost = sum(f * n for f, n in zip(freqs, ref))
+        assert cost == ref_cost
+
+    def test_respects_length_limit(self):
+        # Fibonacci-like frequencies force deep unconstrained trees.
+        freqs = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144]
+        for limit in (4, 5, 7):
+            lengths = build_code_lengths(freqs, limit)
+            assert max(lengths) <= limit
+            validate_code_lengths(lengths, limit)
+
+    def test_limit_too_tight_rejected(self):
+        with pytest.raises(HuffmanError):
+            build_code_lengths([1] * 5, 2)
+
+    def test_exact_fit_uses_all_codes(self):
+        lengths = build_code_lengths([1] * 4, 2)
+        assert lengths == [2, 2, 2, 2]
+
+    def test_kraft_equality_always_holds(self):
+        freqs = [97, 1, 1, 1, 5, 22, 3, 0, 0, 11]
+        lengths = build_code_lengths(freqs, 15)
+        kraft = sum(2 ** -n for n in lengths if n)
+        assert kraft == pytest.approx(1.0)
+
+    def test_more_frequent_never_longer(self):
+        freqs = [100, 50, 20, 10, 5, 2, 1]
+        lengths = build_code_lengths(freqs, 15)
+        for i in range(len(freqs) - 1):
+            assert lengths[i] <= lengths[i + 1]

@@ -1,0 +1,88 @@
+"""Encoder/decoder pair tests."""
+
+import random
+
+import pytest
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.errors import HuffmanError
+from repro.huffman.canonical import build_code_lengths
+from repro.huffman.decoder import HuffmanDecoder
+from repro.huffman.encoder import HuffmanEncoder
+
+
+class TestEncoder:
+    def test_cost_bits_matches_lengths(self):
+        enc = HuffmanEncoder([2, 2, 2, 2])
+        assert [enc.cost_bits(s) for s in range(4)] == [2, 2, 2, 2]
+
+    def test_unknown_symbol_rejected(self):
+        enc = HuffmanEncoder([1, 1])
+        with pytest.raises(HuffmanError):
+            enc.encode(BitWriter(), 2)
+
+    def test_unused_symbol_rejected(self):
+        enc = HuffmanEncoder([1, 1, 0])
+        with pytest.raises(HuffmanError):
+            enc.encode(BitWriter(), 2)
+
+    def test_alphabet_size(self):
+        assert HuffmanEncoder([1, 1, 0]).alphabet_size == 3
+
+
+class TestDecoder:
+    def test_roundtrip_uniform_code(self):
+        lengths = [3] * 8
+        enc = HuffmanEncoder(lengths)
+        dec = HuffmanDecoder(lengths)
+        symbols = [3, 1, 7, 0, 0, 5, 2]
+        w = BitWriter()
+        for s in symbols:
+            enc.encode(w, s)
+        r = BitReader(w.flush())
+        assert [dec.decode(r) for _ in symbols] == symbols
+
+    def test_roundtrip_skewed_code(self):
+        freqs = [100, 40, 20, 10, 5, 2, 1, 1]
+        lengths = build_code_lengths(freqs, 15)
+        enc = HuffmanEncoder(lengths)
+        dec = HuffmanDecoder(lengths)
+        rng = random.Random(7)
+        symbols = rng.choices(range(8), weights=freqs, k=500)
+        w = BitWriter()
+        for s in symbols:
+            enc.encode(w, s)
+        r = BitReader(w.flush())
+        assert [dec.decode(r) for _ in symbols] == symbols
+
+    def test_oversubscribed_lengths_rejected(self):
+        with pytest.raises(HuffmanError):
+            HuffmanDecoder([1, 1, 1])
+
+    def test_incomplete_rejected_unless_allowed(self):
+        with pytest.raises(HuffmanError):
+            HuffmanDecoder([2, 2, 2])
+        HuffmanDecoder([2, 2, 2], allow_incomplete=True)
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(HuffmanError):
+            HuffmanDecoder([0, 0])
+
+    def test_undecodable_pattern_raises(self):
+        dec = HuffmanDecoder([2, 2, 2], allow_incomplete=True)
+        # Codes assigned: 00, 01, 10; pattern 11 is unassigned.
+        r = BitReader(b"\x03")  # bits 1,1 -> reversed peek hits 11
+        with pytest.raises(HuffmanError):
+            dec.decode(r)
+
+    def test_single_symbol_code(self):
+        dec = HuffmanDecoder([0, 1, 0], allow_incomplete=True)
+        enc = HuffmanEncoder([0, 1, 0])
+        w = BitWriter()
+        enc.encode(w, 1)
+        assert dec.decode(BitReader(w.flush())) == 1
+
+    def test_max_len_is_longest_used_code(self):
+        dec = HuffmanDecoder([1, 2, 3, 3])
+        assert dec.max_len == 3

@@ -1,0 +1,59 @@
+"""Tests for the fixed Deflate tables (RFC 1951 §3.2.6)."""
+
+from repro.bitio.writer import BitWriter
+from repro.huffman.fixed import (
+    FIXED_DIST_LENGTHS,
+    FIXED_LITLEN_LENGTHS,
+    fixed_dist_encoder,
+    fixed_litlen_encoder,
+)
+
+
+class TestLitLenTable:
+    def test_alphabet_size(self):
+        assert len(FIXED_LITLEN_LENGTHS) == 288
+
+    def test_range_lengths(self):
+        assert all(n == 8 for n in FIXED_LITLEN_LENGTHS[0:144])
+        assert all(n == 9 for n in FIXED_LITLEN_LENGTHS[144:256])
+        assert all(n == 7 for n in FIXED_LITLEN_LENGTHS[256:280])
+        assert all(n == 8 for n in FIXED_LITLEN_LENGTHS[280:288])
+
+    def test_rfc_code_values(self):
+        enc = fixed_litlen_encoder()
+        # RFC 1951: literal 0 -> 00110000, 144 -> 110010000,
+        # 256 -> 0000000, 280 -> 11000000.
+        assert enc.codes[0] == 0b00110000
+        assert enc.codes[143] == 0b10111111
+        assert enc.codes[144] == 0b110010000
+        assert enc.codes[255] == 0b111111111
+        assert enc.codes[256] == 0b0000000
+        assert enc.codes[279] == 0b0010111
+        assert enc.codes[280] == 0b11000000
+        assert enc.codes[287] == 0b11000111
+
+    def test_kraft_complete(self):
+        assert sum(2 ** -n for n in FIXED_LITLEN_LENGTHS) == 1.0
+
+
+class TestDistTable:
+    def test_thirty_two_five_bit_codes(self):
+        assert FIXED_DIST_LENGTHS == [5] * 32
+
+    def test_codes_are_sequential(self):
+        enc = fixed_dist_encoder()
+        assert enc.codes == list(range(32))
+
+    def test_kraft_complete(self):
+        assert sum(2 ** -n for n in FIXED_DIST_LENGTHS) == 1.0
+
+
+class TestSharedEncoders:
+    def test_encoders_are_cached(self):
+        assert fixed_litlen_encoder() is fixed_litlen_encoder()
+        assert fixed_dist_encoder() is fixed_dist_encoder()
+
+    def test_end_of_block_is_seven_bit_zero(self):
+        w = BitWriter()
+        fixed_litlen_encoder().encode(w, 256)
+        assert w.flush() == b"\x00"

@@ -1,0 +1,52 @@
+"""Symbol histogram tests."""
+
+import math
+
+from repro.huffman.histogram import SymbolHistogram
+
+
+class TestCounting:
+    def test_starts_empty(self):
+        h = SymbolHistogram(4)
+        assert h.counts == [0, 0, 0, 0]
+        assert h.total == 0
+
+    def test_add_with_count(self):
+        h = SymbolHistogram(3)
+        h.add(1, 5)
+        h.add(1)
+        assert h.counts == [0, 6, 0]
+
+    def test_add_all(self):
+        h = SymbolHistogram(4)
+        h.add_all([0, 1, 1, 3, 3, 3])
+        assert h.counts == [1, 2, 0, 3]
+        assert h.total == 6
+
+    def test_used_symbols(self):
+        h = SymbolHistogram(5)
+        h.add_all([4, 0, 4])
+        assert h.used_symbols() == [0, 4]
+
+
+class TestEntropy:
+    def test_empty_entropy_is_zero(self):
+        assert SymbolHistogram(8).entropy_bits() == 0.0
+
+    def test_single_symbol_entropy_is_zero(self):
+        h = SymbolHistogram(8)
+        h.add(3, 100)
+        assert h.entropy_bits() == 0.0
+
+    def test_uniform_entropy(self):
+        h = SymbolHistogram(8)
+        for s in range(8):
+            h.add(s, 10)
+        assert h.entropy_bits() == 3.0
+
+    def test_biased_entropy(self):
+        h = SymbolHistogram(2)
+        h.add(0, 3)
+        h.add(1, 1)
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert abs(h.entropy_bits() - expected) < 1e-12

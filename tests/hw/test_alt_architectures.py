@@ -1,0 +1,98 @@
+"""Alternative matcher architecture model tests."""
+
+import pytest
+
+from repro.hw.alt_architectures import (
+    CAMMatcherModel,
+    SystolicArrayModel,
+    compare_architectures,
+)
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.params import HardwareParams
+
+
+@pytest.fixture(scope="module")
+def wiki_trace(request):
+    from repro.workloads.wiki import wiki_text
+
+    data = wiki_text(48 * 1024, seed=21)
+    result = HardwareCompressor(HardwareParams()).run(data)
+    return data, result
+
+
+class TestSystolic:
+    def test_steady_one_byte_per_cycle(self, wiki_trace):
+        _, result = wiki_trace
+        report = SystolicArrayModel().run(result.lzss.trace)
+        assert 1.0 <= report.cycles_per_byte < 1.6
+
+    def test_pe_count_equals_window(self):
+        params = HardwareParams(window_size=2048)
+        report = SystolicArrayModel(params).run(
+            HardwareCompressor(params).run(b"x" * 5000).lzss.trace
+        )
+        assert report.pe_count == 2048
+
+    def test_area_scales_with_window(self, wiki_trace):
+        _, result = wiki_trace
+        small = SystolicArrayModel(
+            HardwareParams(window_size=1024)
+        ).run(result.lzss.trace)
+        large = SystolicArrayModel(
+            HardwareParams(window_size=16384)
+        ).run(result.lzss.trace)
+        assert large.luts == 16 * small.luts
+
+    def test_data_independent_throughput(self):
+        from repro.workloads.synthetic import incompressible, zeros
+
+        params = HardwareParams()
+        model = SystolicArrayModel(params)
+        t_random = HardwareCompressor(params).run(
+            incompressible(20000, 1)
+        ).lzss.trace
+        t_zeros = HardwareCompressor(params).run(zeros(20000)).lzss.trace
+        random_cpb = model.run(t_random).cycles_per_byte
+        zeros_cpb = model.run(t_zeros).cycles_per_byte
+        # Nearly identical: the hallmark of systolic designs.
+        assert abs(random_cpb - zeros_cpb) < 0.15
+
+
+class TestCAM:
+    def test_no_chain_walk_cost(self, wiki_trace):
+        _, result = wiki_trace
+        report = CAMMatcherModel().run(result.lzss.trace)
+        # Lookup+emit per token plus one cycle per matched byte.
+        expected = sum(
+            (2 + length) if kind else 2
+            for kind, length in zip(
+                result.lzss.trace.kinds, result.lzss.trace.lengths
+            )
+        )
+        assert report.cycles == expected
+
+    def test_cam_area_penalty(self, wiki_trace):
+        _, result = wiki_trace
+        report = CAMMatcherModel().run(result.lzss.trace)
+        assert report.bram_bit_equivalent > report.cam_bits
+
+
+class TestComparison:
+    def test_three_way_comparison(self, wiki_trace):
+        data, _ = wiki_trace
+        cmp = compare_architectures(HardwareParams(), data)
+        assert cmp.fsm_mbps > 0
+        assert cmp.systolic.throughput_mbps > 0
+        assert cmp.cam.throughput_mbps > 0
+        text = cmp.format_table()
+        assert "systolic" in text
+        assert "CAM" in text
+
+    def test_fsm_design_needs_least_logic_at_big_windows(self, wiki_trace):
+        # The paper's BRAM-based design scales to 16 KB windows where a
+        # systolic array would need 16 K PEs.
+        data, _ = wiki_trace
+        cmp = compare_architectures(
+            HardwareParams(window_size=16384), data
+        )
+        assert cmp.systolic.luts > 10 * cmp.fsm_luts

@@ -1,0 +1,73 @@
+"""Virtex-5 BRAM packing model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.bram import (
+    MemoryGeometry,
+    XC5VFX70T,
+    bram18_units,
+    bram36_count,
+)
+
+
+class TestPacking:
+    def test_tiny_memory_fits_one_18k_unit(self):
+        assert bram18_units(512, 8) == 1
+
+    def test_exact_36k_memory(self):
+        # 1K x 36 is exactly one 36Kb block = 2 units.
+        assert bram18_units(1024, 36) == 2
+
+    def test_head_table_paper_config(self):
+        # 2^15 entries x 16 bits = 512 Kb -> 16 x 36Kb blocks.
+        assert bram36_count(32768, 16) == 16
+
+    def test_dictionary_4kb_as_32bit(self):
+        # 1024 x 32 fits a single 36Kb block (1K x 36 aspect).
+        assert bram36_count(1024, 32) == 1
+
+    def test_wide_memory_splits_by_width(self):
+        # 512 x 72 cannot fit one 36Kb in simple dual port ratios.
+        assert bram18_units(512, 72) == 2
+
+    def test_deep_narrow_memory(self):
+        # 32K x 1 exactly fills one 36Kb block.
+        assert bram18_units(32768, 1) == 2
+        assert bram36_count(32768, 1) == 1
+
+    def test_monotonic_in_entries(self):
+        last = 0
+        for entries in (512, 1024, 4096, 16384, 65536):
+            units = bram18_units(entries, 18)
+            assert units >= last
+            last = units
+
+    def test_monotonic_in_width(self):
+        last = 0
+        for width in (1, 4, 9, 18, 36, 72):
+            units = bram18_units(4096, width)
+            assert units >= last
+            last = units
+
+    @pytest.mark.parametrize("entries,width", [(0, 8), (8, 0), (-1, 3)])
+    def test_invalid_geometry_rejected(self, entries, width):
+        with pytest.raises(ConfigError):
+            bram18_units(entries, width)
+
+
+class TestGeometry:
+    def test_total_bits(self):
+        geom = MemoryGeometry("m", 1024, 18)
+        assert geom.total_bits == 1024 * 18
+
+    def test_describe_contains_name_and_units(self):
+        text = MemoryGeometry("head table", 32768, 16).describe()
+        assert "head table" in text
+        assert "18Kb" in text
+
+
+class TestDevice:
+    def test_xc5vfx70t_limits(self):
+        assert XC5VFX70T["luts"] == 44800
+        assert XC5VFX70T["bram36"] == 148

@@ -1,0 +1,70 @@
+"""HardwareCompressor facade tests."""
+
+import zlib
+
+import pytest
+
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.params import HardwareParams
+
+
+class TestRun:
+    def test_reports_exact_output_size(self, wiki_small):
+        hc = HardwareCompressor(HardwareParams())
+        result = hc.run(wiki_small, keep_output=True)
+        assert result.compressed_size == len(result.output)
+
+    def test_output_is_zlib_compatible(self, x2e_small):
+        result = HardwareCompressor().run(x2e_small, keep_output=True)
+        assert zlib.decompress(result.output) == x2e_small
+
+    def test_output_omitted_by_default(self, wiki_small):
+        result = HardwareCompressor().run(wiki_small)
+        assert result.output is None
+        assert result.compressed_size > 0
+
+    def test_ratio_definition(self, wiki_small):
+        result = HardwareCompressor().run(wiki_small)
+        assert result.ratio == pytest.approx(
+            len(wiki_small) / result.compressed_size
+        )
+
+    def test_compression_time_matches_cycles(self, wiki_small):
+        result = HardwareCompressor().run(wiki_small)
+        expected = result.stats.total_cycles / 100e6
+        assert result.compression_time_s == pytest.approx(expected)
+
+    def test_empty_input(self):
+        result = HardwareCompressor().run(b"", keep_output=True)
+        assert result.input_size == 0
+        assert zlib.decompress(result.output) == b""
+
+    def test_window_advertised_in_header(self):
+        params = HardwareParams(window_size=8192)
+        result = HardwareCompressor(params).run(b"abc", keep_output=True)
+        cinfo = result.output[0] >> 4
+        assert 1 << (cinfo + 8) == 8192
+
+
+class TestSessions:
+    def test_run_many_merges_stats(self, wiki_small, x2e_small):
+        hc = HardwareCompressor()
+        session = hc.run_many([wiki_small, x2e_small])
+        assert session.segment_count == 2
+        assert session.input_bytes == len(wiki_small) + len(x2e_small)
+        individual = sum(
+            hc.run(seg).stats.total_cycles
+            for seg in (wiki_small, x2e_small)
+        )
+        assert session.stats.total_cycles == individual
+
+    def test_session_ratio_is_aggregate(self, wiki_small):
+        hc = HardwareCompressor()
+        session = hc.run_many([wiki_small, wiki_small])
+        single = hc.run(wiki_small)
+        assert session.ratio == pytest.approx(single.ratio, rel=0.001)
+
+    def test_empty_session(self):
+        session = HardwareCompressor().run_many([])
+        assert session.segment_count == 0
+        assert session.ratio == 0.0

@@ -1,0 +1,167 @@
+"""Analytic cycle model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cycle_model import CycleModel, analyze
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.trace import MatchTrace
+
+
+def run(data, params=None):
+    params = params or HardwareParams()
+    result = compress_tokens(
+        data, params.window_size, params.hash_spec, params.policy
+    )
+    return analyze(params, result.trace), result
+
+
+class TestBasics:
+    def test_empty_input(self):
+        stats = CycleModel(HardwareParams()).run(MatchTrace())
+        assert stats.total_cycles == 0
+        assert stats.throughput_mbps == 0.0
+
+    def test_bus2_rejected(self):
+        with pytest.raises(ConfigError):
+            CycleModel(HardwareParams(data_bus_bytes=2))
+
+    def test_output_cycles_equal_token_count(self, wiki_small):
+        stats, result = run(wiki_small)
+        assert stats.cycles[FSMState.PRODUCING_OUTPUT] == len(result.tokens)
+
+    def test_update_cycles_equal_inserted(self, wiki_small):
+        stats, result = run(wiki_small)
+        assert stats.cycles[FSMState.UPDATING_HASH] == (
+            result.trace.total_inserted()
+        )
+
+    def test_finding_cycles_include_preparation(self, wiki_small):
+        stats, result = run(wiki_small)
+        expected = len(result.tokens) + result.trace.total_compare_cycles(4)
+        assert stats.cycles[FSMState.FINDING_MATCH] == expected
+
+    def test_input_bytes_recorded(self, x2e_small):
+        stats, _ = run(x2e_small)
+        assert stats.input_bytes == len(x2e_small)
+
+
+class TestWaitAndPrefetch:
+    def test_prefetch_saves_wait_after_literals(self, wiki_small):
+        on = HardwareParams(hash_prefetch=True)
+        off = HardwareParams(hash_prefetch=False)
+        stats_on, result = run(wiki_small, on)
+        stats_off, _ = run(wiki_small, off)
+        literals = result.tokens.literal_count()
+        # Each literal (except a literal as the very last token) lets
+        # the following token skip its WAIT cycle.
+        saved = (
+            stats_off.cycles[FSMState.WAITING_FOR_DATA]
+            - stats_on.cycles[FSMState.WAITING_FOR_DATA]
+        )
+        assert 0 < saved <= literals
+
+    def test_wait_off_equals_token_count(self, wiki_small):
+        stats, result = run(wiki_small, HardwareParams(hash_prefetch=False))
+        assert stats.cycles[FSMState.WAITING_FOR_DATA] == len(result.tokens)
+
+
+class TestBusWidth:
+    def test_narrow_bus_costs_more(self, wiki_small):
+        wide, _ = run(wiki_small, HardwareParams())
+        narrow, _ = run(wiki_small, HardwareParams(data_bus_bytes=1))
+        assert narrow.total_cycles > wide.total_cycles
+        # The paper: wide buses buy 63-78 % more speed; loosely bracket.
+        gain = narrow.total_cycles / wide.total_cycles
+        assert 1.2 < gain < 3.0
+
+
+class TestRotation:
+    def test_gen_bits_reduce_rotation_cycles(self, wiki_small):
+        few, _ = run(wiki_small, HardwareParams(gen_bits=0))
+        many, _ = run(wiki_small, HardwareParams(gen_bits=4))
+        assert few.cycles[FSMState.ROTATING_HASH] > (
+            many.cycles[FSMState.ROTATING_HASH]
+        )
+
+    def test_split_reduces_rotation_cycles(self, wiki_small):
+        split1, _ = run(
+            wiki_small, HardwareParams(gen_bits=0, head_split=1)
+        )
+        split8, _ = run(
+            wiki_small, HardwareParams(gen_bits=0, head_split=8)
+        )
+        assert split1.cycles[FSMState.ROTATING_HASH] == pytest.approx(
+            8 * split8.cycles[FSMState.ROTATING_HASH], rel=0.01
+        )
+
+    def test_absolute_next_adds_rotation(self, wiki_small):
+        relative, _ = run(wiki_small, HardwareParams(gen_bits=0))
+        absolute, _ = run(
+            wiki_small,
+            HardwareParams(gen_bits=0, relative_next=False),
+        )
+        extra = (
+            absolute.cycles[FSMState.ROTATING_HASH]
+            - relative.cycles[FSMState.ROTATING_HASH]
+        )
+        # D fixup cycles per D bytes: one cycle per input byte.
+        expected = (len(wiki_small) // 4096) * 4096
+        assert extra == expected
+
+    def test_no_rotation_for_short_input(self):
+        stats, _ = run(b"too short to rotate" * 10)
+        assert stats.cycles[FSMState.ROTATING_HASH] == 0
+
+
+class TestFetching:
+    def test_startup_fill_charged(self):
+        stats, _ = run(b"q" * 1000)
+        # 262 bytes at 4 B/cycle = 66 cycles minimum.
+        assert stats.cycles[FSMState.FETCHING_DATA] >= 66
+
+    def test_narrow_bus_fills_slower(self):
+        wide, _ = run(b"q" * 5000, HardwareParams())
+        narrow, _ = run(b"q" * 5000, HardwareParams(data_bus_bytes=1))
+        assert narrow.cycles[FSMState.FETCHING_DATA] > (
+            wide.cycles[FSMState.FETCHING_DATA]
+        )
+
+    def test_tiny_input_no_min_lookahead_deadlock(self):
+        stats, result = run(b"ab")
+        assert stats.input_bytes == 2
+        assert result.tokens.uncompressed_size() == 2
+
+
+class TestHashCache:
+    def test_disabling_cache_costs_per_search(self, wiki_small):
+        cached, result = run(wiki_small, HardwareParams())
+        uncached, _ = run(wiki_small, HardwareParams(hash_cache=False))
+        delta = (
+            uncached.cycles[FSMState.FINDING_MATCH]
+            - cached.cycles[FSMState.FINDING_MATCH]
+        )
+        assert delta == len(result.tokens)
+
+
+class TestThroughput:
+    def test_cycles_per_byte_near_two(self, wiki_small):
+        # The paper's headline: "an average performance of 2 clock
+        # cycles per byte" for the speed configuration.
+        stats, _ = run(wiki_small)
+        assert 1.2 < stats.cycles_per_byte < 4.0
+
+    def test_throughput_formula(self, wiki_small):
+        stats, _ = run(wiki_small)
+        assert stats.throughput_mbps == pytest.approx(
+            100.0 / stats.cycles_per_byte
+        )
+
+    def test_clock_scales_throughput(self, x2e_small):
+        base, _ = run(x2e_small)
+        fast, _ = run(x2e_small, HardwareParams(clock_mhz=200.0))
+        assert fast.throughput_mbps == pytest.approx(
+            2 * base.throughput_mbps
+        )

@@ -1,0 +1,49 @@
+"""Dynamic-table hardware encoder cost model tests."""
+
+import pytest
+
+from repro.hw.dynamic_cost import compare_dynamic_encoder
+from repro.hw.params import HardwareParams
+from repro.lzss.compressor import compress_tokens
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    from repro.workloads.wiki import wiki_text
+
+    data = wiki_text(64 * 1024, seed=13)
+    params = HardwareParams()
+    lzss = compress_tokens(
+        data, params.window_size, params.hash_spec, params.policy
+    )
+    return compare_dynamic_encoder(params, lzss)
+
+
+class TestTradeoff:
+    def test_dynamic_compresses_better(self, report):
+        assert report.dynamic_bytes < report.fixed_bytes
+        assert report.ratio_gain > 0
+
+    def test_dynamic_costs_cycles(self, report):
+        assert report.dynamic_cycles > report.fixed_cycles
+        assert 0 < report.speed_loss < 0.5
+
+    def test_dynamic_costs_bram(self, report):
+        assert report.extra_bram18 >= 2
+
+    def test_throughputs_consistent(self, report):
+        assert report.fixed_mbps > report.dynamic_mbps > 0
+
+    def test_more_blocks_cost_more_build_cycles(self):
+        from repro.workloads.wiki import wiki_text
+
+        data = wiki_text(64 * 1024, seed=13)
+        params = HardwareParams()
+        lzss = compress_tokens(
+            data, params.window_size, params.hash_spec, params.policy
+        )
+        few = compare_dynamic_encoder(params, lzss,
+                                      tokens_per_block=32768)
+        many = compare_dynamic_encoder(params, lzss,
+                                       tokens_per_block=1024)
+        assert many.dynamic_cycles > few.dynamic_cycles

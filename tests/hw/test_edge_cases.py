@@ -1,0 +1,55 @@
+"""Assorted hardware-layer edge cases."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.alt_architectures import compare_architectures
+from repro.hw.params import HardwareParams
+from repro.hw.resources import estimate_resources
+
+
+class TestResourceLimits:
+    def test_huge_hash_table_does_not_fit_the_device(self):
+        # 2^20 entries x ~19 bits blows the XC5VFX70T's 148 BRAMs —
+        # fits_device must say so rather than silently passing.
+        params = HardwareParams(hash_bits=20)
+        report = estimate_resources(params)
+        assert report.bram36_total > 148
+        assert not report.fits_device()
+
+    def test_paper_space_always_fits(self):
+        for window in (1024, 4096, 16384, 32768):
+            for bits in (9, 11, 13, 15):
+                report = estimate_resources(
+                    HardwareParams(window_size=window, hash_bits=bits)
+                )
+                assert report.fits_device(), (window, bits)
+
+
+class TestComparisonGuards:
+    def test_two_byte_bus_rejected(self, wiki_small):
+        with pytest.raises(ConfigError):
+            compare_architectures(
+                HardwareParams(data_bus_bytes=2), wiki_small[:4096]
+            )
+
+
+class TestBusTwoResourcesOnly:
+    def test_resource_estimation_accepts_bus_two(self):
+        # The resource model covers the full parameter space even where
+        # the cycle engines only implement the paper's two bus widths.
+        report = estimate_resources(HardwareParams(data_bus_bytes=2))
+        assert report.luts > 0
+
+
+class TestTinyInputs:
+    @pytest.mark.parametrize("data", [b"", b"a", b"ab", b"abc", b"abcd"])
+    def test_hardware_compressor_handles_tiny_inputs(self, data):
+        import zlib
+
+        from repro.hw.compressor import HardwareCompressor
+
+        result = HardwareCompressor().run(data, keep_output=True)
+        assert zlib.decompress(result.output) == data
+        if data:
+            assert result.stats.total_cycles > 0

@@ -1,0 +1,89 @@
+"""Fill model, prefetch FSM and state-graph tests."""
+
+from repro.hw.fill import FillModel
+from repro.hw.fsm import FIG5_BUCKETS, MainFSM, transition_table
+from repro.hw.params import HardwareParams
+from repro.hw.prefetch import HashPrefetcher
+from repro.lzss.tokens import MIN_LOOKAHEAD
+
+
+class TestFillModel:
+    def test_delivery_rate(self):
+        fill = FillModel(HardwareParams(), total_bytes=10000)
+        assert fill.state_at(cycles=10, consumed=0).delivered == 40
+
+    def test_capped_by_total(self):
+        fill = FillModel(HardwareParams(), total_bytes=100)
+        assert fill.state_at(cycles=1000, consumed=0).delivered == 100
+
+    def test_capped_by_lookahead_capacity(self):
+        fill = FillModel(HardwareParams(), total_bytes=100000)
+        state = fill.state_at(cycles=1000, consumed=0)
+        assert state.delivered == 512
+
+    def test_dictionary_trails_by_min_lookahead(self):
+        fill = FillModel(HardwareParams(lookahead_size=1024),
+                         total_bytes=100000)
+        state = fill.state_at(cycles=1000, consumed=100)
+        assert state.dict_filled == 100 + MIN_LOOKAHEAD
+
+    def test_stall_when_underfilled(self):
+        fill = FillModel(HardwareParams(), total_bytes=100000)
+        # After 10 cycles only 40 bytes present: need (262-40)/4 cycles.
+        assert fill.stall_cycles(cycles=10, consumed=0) == 56
+
+    def test_no_stall_near_stream_end(self):
+        fill = FillModel(HardwareParams(), total_bytes=100)
+        assert fill.stall_cycles(cycles=25, consumed=0) == 0
+
+    def test_cycles_until(self):
+        fill = FillModel(HardwareParams(), total_bytes=1000)
+        assert fill.cycles_until(262) == 66
+        assert fill.cycles_until(5000) == 250  # capped at total
+
+
+class TestPrefetcher:
+    def test_hit_on_literal_advance(self):
+        pf = HashPrefetcher()
+        pf.arm(100)
+        assert pf.consume(101)
+        assert pf.stats.hits == 1
+
+    def test_miss_on_match_skip(self):
+        pf = HashPrefetcher()
+        pf.arm(100)
+        assert not pf.consume(108)
+        assert pf.stats.misses == 1
+
+    def test_disabled_never_hits(self):
+        pf = HashPrefetcher(enabled=False)
+        pf.arm(100)
+        assert not pf.consume(101)
+        assert pf.stats.total == 0
+
+    def test_hit_rate_and_savings(self):
+        pf = HashPrefetcher()
+        for pos, nxt in [(0, 1), (1, 2), (2, 10), (10, 11)]:
+            pf.arm(pos)
+            pf.consume(nxt)
+        assert pf.stats.hits == 3
+        assert pf.stats.hit_rate == 0.75
+        assert pf.stats.cycles_saved == 3
+
+
+class TestStateGraph:
+    def test_every_state_has_successors(self):
+        table = transition_table()
+        assert set(table) == set(MainFSM)
+        for successors in table.values():
+            assert successors
+
+    def test_prefetch_shortcut_present(self):
+        # OUTPUT -> PREPARE (skipping WAIT) is the prefetch fast path.
+        assert MainFSM.PREPARE in transition_table()[MainFSM.OUTPUT]
+
+    def test_fig5_buckets_cover_all_states(self):
+        assert set(FIG5_BUCKETS) == set(MainFSM)
+
+    def test_wait_only_leads_to_prepare(self):
+        assert transition_table()[MainFSM.WAIT] == (MainFSM.PREPARE,)

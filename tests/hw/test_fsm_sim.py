@@ -1,0 +1,85 @@
+"""FSM simulator cross-validation: the core design-equivalence tests.
+
+The simulator derives every decision from the behavioural memories
+(truncated head table, relative next table, ring buffers, background
+fill). Its token stream must equal the functional compressor's and its
+cycle statistics must equal the analytic model's — for every
+configuration and data shape.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cycle_model import CycleModel
+from repro.hw.fsm_sim import FSMSimulator
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.lzss.compressor import LZSSCompressor
+from repro.lzss.decompressor import decompress_tokens
+
+
+def assert_equivalent(data, params):
+    comp = LZSSCompressor(params.window_size, params.hash_spec,
+                          params.policy)
+    ref = comp.compress(data)
+    ref_stats = CycleModel(params).run(ref.trace)
+    sim_tokens, sim_stats = FSMSimulator(params).simulate(data)
+    assert list(sim_tokens.lengths) == list(ref.tokens.lengths)
+    assert list(sim_tokens.values) == list(ref.tokens.values)
+    for state in FSMState:
+        assert sim_stats.cycles[state] == ref_stats.cycles[state], (
+            state, params.describe()
+        )
+    return sim_tokens
+
+
+class TestEquivalence:
+    def test_corpus_default_params(self, corpus_variety,
+                                   default_params):
+        for name, data in corpus_variety.items():
+            tokens = assert_equivalent(data, default_params)
+            assert decompress_tokens(tokens) == data, name
+
+    def test_param_variety_on_wiki(self, wiki_small, param_variety):
+        for params in param_variety:
+            if params.data_bus_bytes not in (1, 4):
+                continue
+            assert_equivalent(wiki_small[:16384], params)
+
+    def test_small_window_forces_rotations(self, x2e_small):
+        # 1 KB window and low gen bits: several rotations within 32 KB.
+        params = HardwareParams(window_size=1024, hash_bits=9, gen_bits=1)
+        assert_equivalent(x2e_small, params)
+
+    def test_gen0_rotation_every_window(self, wiki_small):
+        params = HardwareParams(window_size=1024, hash_bits=9, gen_bits=0)
+        assert_equivalent(wiki_small[:8192], params)
+
+    def test_no_hash_cache(self, wiki_small):
+        params = HardwareParams(hash_cache=False)
+        assert_equivalent(wiki_small[:8192], params)
+
+    def test_narrow_bus_no_prefetch(self, x2e_small):
+        params = HardwareParams(data_bus_bytes=1, hash_prefetch=False)
+        assert_equivalent(x2e_small[:8192], params)
+
+
+class TestConstruction:
+    def test_bus2_rejected(self):
+        with pytest.raises(ConfigError):
+            FSMSimulator(HardwareParams(data_bus_bytes=2))
+
+    def test_empty_input(self, default_params):
+        tokens, stats = FSMSimulator(default_params).simulate(b"")
+        assert len(tokens) == 0
+        assert stats.total_cycles == 0
+
+
+class TestLongRun:
+    def test_window_wraparound_many_times(self):
+        # 1 KB window over 24 KB of repetitive data: the dictionary ring
+        # wraps ~24 times; any aliasing bug corrupts tokens.
+        data = (b"sensor-frame:" + bytes(range(64))) * 312
+        params = HardwareParams(window_size=1024, hash_bits=11, gen_bits=2)
+        tokens = assert_equivalent(data, params)
+        assert decompress_tokens(tokens) == data

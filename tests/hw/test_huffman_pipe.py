@@ -1,0 +1,63 @@
+"""Pipelined Huffman encoder model tests — the §IV zero-stall claim."""
+
+import zlib
+
+from repro.hw.huffman_pipe import (
+    MAX_BITS_PER_COMMAND,
+    PipelinedHuffmanEncoder,
+)
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.tokens import Literal, Match, TokenArray
+
+
+class TestCommandBits:
+    def test_literal_costs(self):
+        enc = PipelinedHuffmanEncoder()
+        assert enc.command_bits(Literal(0)) == 8
+        assert enc.command_bits(Literal(200)) == 9
+
+    def test_match_worst_case_is_31_bits(self):
+        enc = PipelinedHuffmanEncoder()
+        worst = 0
+        for length in (3, 10, 11, 130, 257, 258):
+            for distance in (1, 4, 5, 1024, 24577, 32768):
+                worst = max(
+                    worst, enc.command_bits(Match(length, distance))
+                )
+        assert worst == MAX_BITS_PER_COMMAND
+
+    def test_tuple_form_accepted(self):
+        enc = PipelinedHuffmanEncoder()
+        assert enc.command_bits((0, 65)) == enc.command_bits(Literal(65))
+
+
+class TestPipeline:
+    def test_zero_stall_on_real_stream(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        report = PipelinedHuffmanEncoder().encode_stream(result.tokens)
+        assert report.zero_stall
+        assert report.commands == len(result.tokens)
+        assert report.cycles == len(result.tokens) + 1  # + end-of-block
+
+    def test_body_is_bit_exact_deflate(self, x2e_small):
+        result = compress_tokens(x2e_small)
+        report = PipelinedHuffmanEncoder().encode_stream(result.tokens)
+        assert zlib.decompress(report.body, wbits=-15) == x2e_small
+
+    def test_body_matches_block_writer(self, wiki_small):
+        from repro.deflate.block_writer import deflate_tokens
+
+        result = compress_tokens(wiki_small)
+        report = PipelinedHuffmanEncoder().encode_stream(result.tokens)
+        assert report.body == deflate_tokens(result.tokens)
+
+    def test_empty_stream(self):
+        report = PipelinedHuffmanEncoder().encode_stream(TokenArray())
+        assert zlib.decompress(report.body, wbits=-15) == b""
+        assert report.commands == 0
+
+    def test_bits_in_flight_bounded(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        report = PipelinedHuffmanEncoder().encode_stream(result.tokens)
+        # One word of backlog plus one worst-case command.
+        assert report.max_bits_in_flight <= 32 + MAX_BITS_PER_COMMAND

@@ -1,0 +1,228 @@
+"""Behavioural memory model tests — especially the head table's
+generation-bit arithmetic, the paper's key rotation-avoidance claim."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.memories import (
+    HashCache,
+    HeadTable,
+    NextTable,
+    RingBuffer,
+    build_memories,
+)
+from repro.hw.params import HardwareParams
+
+
+class TestRingBuffer:
+    def test_write_read_roundtrip(self):
+        ring = RingBuffer("r", 16, 4)
+        for pos, value in [(0, 1), (5, 2), (15, 3)]:
+            ring.write_byte(pos, value)
+            assert ring.read_byte(pos) == value
+
+    def test_positions_alias_mod_size(self):
+        ring = RingBuffer("r", 16, 4)
+        ring.write_byte(3, 7)
+        assert ring.read_byte(19) == 7
+        ring.write_byte(19, 9)
+        assert ring.read_byte(3) == 9
+
+    def test_read_word_contiguous(self):
+        ring = RingBuffer("r", 16, 4)
+        for i, v in enumerate(b"abcdefgh"):
+            ring.write_byte(i, v)
+        assert ring.read_word(2) == b"cdef"
+
+    def test_read_word_wraps(self):
+        ring = RingBuffer("r", 8, 4)
+        for i in range(8):
+            ring.write_byte(i, i)
+        assert ring.read_word(6) == bytes([6, 7, 0, 1])
+
+    def test_geometry_uses_bus_width(self):
+        geom = RingBuffer("r", 512, 4).geometry()
+        assert geom.entries == 128
+        assert geom.width_bits == 32
+
+
+class TestHashCache:
+    def test_store_load(self):
+        cache = HashCache(HardwareParams())
+        cache.store(100, 0x1234)
+        assert cache.load(100) == 0x1234
+
+    def test_ring_aliasing(self):
+        params = HardwareParams(lookahead_size=512)
+        cache = HashCache(params)
+        cache.store(1, 7)
+        assert cache.load(513) == 7
+
+    def test_geometry(self):
+        geom = HashCache(HardwareParams(hash_bits=13)).geometry()
+        assert geom.entries == 512
+        assert geom.width_bits == 13
+
+
+class TestHeadTable:
+    def make(self, **kw):
+        defaults = dict(window_size=1024, hash_bits=9, gen_bits=2)
+        defaults.update(kw)
+        return HeadTable(HardwareParams(**defaults))
+
+    def test_empty_lookup(self):
+        head = self.make()
+        assert head.lookup(0, 500) == -1
+
+    def test_insert_then_lookup_reconstructs_absolute(self):
+        head = self.make()
+        head.insert(5, 1000)
+        assert head.lookup(5, 1200) == 1000
+
+    def test_truncated_storage_still_reconstructs(self):
+        head = self.make()  # modulus = 1024 << 2 = 4096
+        # Rotate on schedule while inserting far positions.
+        pos = 100000
+        head._stale_before = pos - 1024  # as a rotation would have set
+        head.insert(7, pos)
+        assert head.lookup(7, pos + 700) == pos
+
+    def test_rotation_invalidates_stale_entries(self):
+        head = self.make()
+        head.insert(3, 100)
+        head.insert(4, 1900)
+        head.rotate(2000)  # horizon = 2000 - 1024 = 976
+        assert head.lookup(3, 2000) == -1   # 100 < horizon: dropped
+        assert head.lookup(4, 2000) == 1900
+
+    def test_lookup_detects_schedule_violation(self):
+        head = self.make()
+        head.insert(1, 10)
+        head.rotate(3000)  # drops nothing? 10 < 3000-1024 -> dropped
+        assert head.lookup(1, 3000) == -1
+        # Now fake a survivor below the stale horizon.
+        head._table[2] = 10 % head.position_modulus
+        with pytest.raises(SimulationError):
+            head.lookup(2, 3010)
+
+    def test_rotation_cycles_use_split(self):
+        params = HardwareParams(hash_bits=12, head_split=4)
+        head = HeadTable(params)
+        assert head.rotation_cycles == 4096 // 4
+
+    def test_gen0_gets_implicit_headroom(self):
+        # With G=0 the behavioural table models ZLib's wider Pos type:
+        # the position modulus must exceed the window or truncation
+        # aliases within a single rotation period.
+        params = HardwareParams(
+            window_size=1024, hash_bits=9, gen_bits=0, head_split=1,
+            relative_next=False,
+        )
+        head = HeadTable(params)
+        assert head.position_modulus == 2048
+
+    def test_rotation_horizon_is_usable_distance(self):
+        head = self.make()
+        assert head.usable_dist == 1024 - 262
+        head.insert(1, 500)
+        # Age 800 > usable 762: rotation drops it even though it is
+        # still inside the nominal window.
+        head.rotate(1300)
+        assert head.lookup(1, 1300) == -1
+
+    def test_boundary_age_never_aliases(self):
+        # The exact failure the FSM simulator originally caught: an
+        # entry aging to the modulus must never come back as a nearby
+        # candidate.
+        params = HardwareParams(window_size=1024, hash_bits=9, gen_bits=1)
+        head = HeadTable(params)
+        period = params.rotation_period_bytes
+        head.insert(7, 1024)
+        pos = 1024
+        next_rotation = ((pos // period) + 1) * period
+        # March forward through several rotation periods.
+        while pos < 1024 + 3 * head.position_modulus:
+            pos += 37
+            while pos >= next_rotation:
+                head.rotate(next_rotation)
+                next_rotation += period
+            got = head.lookup(7, pos)
+            assert got in (-1, 1024)
+
+    def test_matches_ideal_absolute_table_with_scheduled_rotation(self):
+        """The paper's equivalence claim, executed.
+
+        Under the rotation schedule, the truncated head table must
+        return exactly the same candidate as an ideal dict from hash to
+        absolute position, for every lookup within the window.
+        """
+        import random
+
+        rng = random.Random(5)
+        params = HardwareParams(window_size=1024, hash_bits=9, gen_bits=2)
+        head = HeadTable(params)
+        ideal = {}
+        period = params.rotation_period_bytes
+        next_rotation = period
+        usable = head.usable_dist
+        for pos in range(0, 20000, 3):
+            h = rng.randrange(512)
+            got = head.lookup(h, pos)
+            want = ideal.get(h, -1)
+            # The ideal table never forgets; within the usable distance
+            # the hardware must agree exactly, beyond it the entry may
+            # have been rotated away (-1) but must never be *wrong*.
+            if want != -1 and pos - want <= usable:
+                assert got == want, (pos, h)
+            elif got != -1:
+                assert got == want
+            head.insert(h, pos)
+            ideal[h] = pos
+            while pos >= next_rotation:
+                head.rotate(pos)
+                next_rotation += period
+
+
+class TestNextTable:
+    def make(self):
+        return NextTable(HardwareParams(window_size=1024))
+
+    def test_no_predecessor(self):
+        nxt = self.make()
+        nxt.link(50, -1)
+        assert nxt.follow(50) == -1
+
+    def test_relative_link_roundtrip(self):
+        nxt = self.make()
+        nxt.link(500, 123)
+        assert nxt.follow(500) == 123
+
+    def test_out_of_range_offset_clamped(self):
+        nxt = self.make()
+        nxt.link(5000, 100)  # offset 4900 >= 1024: unrepresentable
+        assert nxt.follow(5000) == -1
+
+    def test_entries_alias_mod_window(self):
+        nxt = self.make()
+        nxt.link(10, 4)
+        nxt.link(10 + 1024, 1030)
+        # The slot was overwritten by the newer position.
+        assert nxt.follow(10 + 1024) == 1030
+
+    def test_geometry_width_is_log2_window(self):
+        geom = self.make().geometry()
+        assert geom.entries == 1024
+        assert geom.width_bits == 10
+
+
+class TestBuildMemories:
+    def test_all_five_memories(self):
+        mems = build_memories(HardwareParams())
+        assert set(mems) == {
+            "lookahead", "dictionary", "hash_cache", "head", "next"
+        }
+
+    def test_geometries_reflect_params(self):
+        mems = build_memories(HardwareParams(window_size=8192))
+        assert mems["dictionary"].geometry().entries == 8192 // 4
+        assert mems["next"].geometry().entries == 8192

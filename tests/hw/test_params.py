@@ -1,0 +1,117 @@
+"""HardwareParams validation and derived-quantity tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.params import PRESETS, HardwareParams, preset
+from repro.lzss.policy import policy_for_level
+
+
+class TestValidation:
+    def test_defaults_are_paper_speed_config(self):
+        p = HardwareParams()
+        assert p.window_size == 4096
+        assert p.hash_bits == 15
+        assert p.data_bus_bytes == 4
+        assert p.hash_prefetch
+
+    @pytest.mark.parametrize("window", [3000, 512, 65536])
+    def test_bad_window_rejected(self, window):
+        with pytest.raises(ConfigError):
+            HardwareParams(window_size=window)
+
+    @pytest.mark.parametrize("bits", [5, 21])
+    def test_bad_hash_bits_rejected(self, bits):
+        with pytest.raises(ConfigError):
+            HardwareParams(hash_bits=bits)
+
+    def test_bad_gen_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareParams(gen_bits=9)
+
+    @pytest.mark.parametrize("split", [3, -1])
+    def test_bad_split_rejected(self, split):
+        with pytest.raises(ConfigError):
+            HardwareParams(head_split=split)
+
+    def test_bad_bus_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareParams(data_bus_bytes=3)
+
+    def test_lookahead_bounds(self):
+        with pytest.raises(ConfigError):
+            HardwareParams(lookahead_size=256)
+        with pytest.raises(ConfigError):
+            HardwareParams(lookahead_size=8192)
+
+    def test_lazy_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareParams(policy=policy_for_level(9))
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareParams(clock_mhz=0)
+
+
+class TestDerived:
+    def test_head_entry_bits_formula(self):
+        # Paper §V: head table needs 2^H * (log2 D + G) bits.
+        p = HardwareParams(window_size=4096, gen_bits=4)
+        assert p.head_entry_bits == 12 + 4
+
+    def test_next_entry_bits(self):
+        assert HardwareParams(window_size=8192).next_entry_bits == 13
+
+    def test_rotation_period_gen0_is_window(self):
+        p = HardwareParams(gen_bits=0, head_split=1, relative_next=False)
+        assert p.rotation_period_bytes == 4096
+
+    def test_rotation_period_scales_with_gen_bits(self):
+        # "if k is 1, rotation happens every D bytes".
+        p1 = HardwareParams(gen_bits=1)
+        assert p1.rotation_period_bytes == 4096
+        p4 = HardwareParams(gen_bits=4)
+        assert p4.rotation_period_bytes == 4096 * 15
+
+    def test_auto_split_is_power_of_two(self):
+        for window in (1024, 4096, 16384):
+            for bits in (9, 13, 15):
+                p = HardwareParams(window_size=window, hash_bits=bits)
+                split = p.resolved_head_split
+                assert split >= 1
+                assert split & (split - 1) == 0
+                assert p.head_entries % split == 0
+
+    def test_explicit_split_respected(self):
+        assert HardwareParams(head_split=2).resolved_head_split == 2
+
+    def test_rotation_cycles_divided_by_split(self):
+        p = HardwareParams(head_split=8)
+        assert p.head_rotation_cycles == p.head_entries // 8
+
+    def test_with_overrides(self):
+        p = HardwareParams().with_overrides(window_size=8192)
+        assert p.window_size == 8192
+        assert p.hash_bits == 15
+
+    def test_describe_mentions_key_fields(self):
+        text = HardwareParams().describe()
+        assert "4KB" in text and "15-bit" in text
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name in PRESETS:
+            assert preset(name) is PRESETS[name]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            preset("nope")
+
+    def test_baseline_disables_all_optimizations(self):
+        p = preset("baseline-rigler")
+        assert p.data_bus_bytes == 1
+        assert not p.hash_prefetch
+        assert p.gen_bits == 0
+        assert p.resolved_head_split == 1
+        assert not p.relative_next

@@ -1,0 +1,71 @@
+"""Resource estimator tests (Table II's invariants)."""
+
+from repro.hw.params import HardwareParams, preset
+from repro.hw.resources import ResourceEstimator, estimate_resources
+
+
+class TestBRAMCounts:
+    def test_five_memories_reported(self):
+        report = estimate_resources(HardwareParams())
+        assert len(report.memories) == 5
+        names = {mem.name for mem in report.memories}
+        assert "head table" in names
+        assert "dictionary" in names
+
+    def test_bram_grows_with_hash_bits(self):
+        small = estimate_resources(HardwareParams(hash_bits=9))
+        large = estimate_resources(HardwareParams(hash_bits=15))
+        assert large.bram36_total > small.bram36_total
+
+    def test_bram_grows_with_window(self):
+        small = estimate_resources(HardwareParams(window_size=1024))
+        large = estimate_resources(HardwareParams(window_size=16384))
+        assert large.bram36_total > small.bram36_total
+
+    def test_head_table_dominates_large_hash(self):
+        report = estimate_resources(HardwareParams(hash_bits=15))
+        per = report.per_memory()
+        assert per["head table"] >= max(
+            units for name, units in per.items() if name != "head table"
+        )
+
+    def test_paper_configs_fit_device(self):
+        for name in ("table2-a", "table2-b", "table2-c", "paper-speed"):
+            assert estimate_resources(preset(name)).fits_device(), name
+
+    def test_bram36_is_half_of_units_rounded_up(self):
+        report = estimate_resources(HardwareParams())
+        assert report.bram36_total == -(-report.bram18_total // 2)
+
+
+class TestAreaModel:
+    def test_lut_count_nearly_constant(self):
+        # The paper's own claim: utilisation "remains insignificant and
+        # almost the same for all reasonable dictionary and hash sizes".
+        reports = [
+            estimate_resources(HardwareParams(window_size=w, hash_bits=h))
+            for w, h in [(16384, 15), (8192, 13), (4096, 9)]
+        ]
+        luts = [report.luts for report in reports]
+        assert (max(luts) - min(luts)) / max(luts) < 0.3
+
+    def test_lut_percent_small(self):
+        report = estimate_resources(HardwareParams())
+        assert report.lut_percent < 10.0
+
+    def test_narrow_bus_uses_fewer_comparator_luts(self):
+        wide = estimate_resources(HardwareParams())
+        narrow = estimate_resources(HardwareParams(data_bus_bytes=1))
+        assert narrow.luts < wide.luts
+
+    def test_registers_proportional_to_luts(self):
+        report = estimate_resources(HardwareParams())
+        assert 0.5 < report.registers / report.luts < 1.0
+
+    def test_format_table_mentions_configuration(self):
+        text = estimate_resources(HardwareParams()).format_table()
+        assert "LUTs" in text and "BRAM" in text
+
+    def test_estimator_object_api(self):
+        est = ResourceEstimator(HardwareParams())
+        assert est.estimate().luts == est.estimate_luts()

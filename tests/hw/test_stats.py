@@ -1,0 +1,61 @@
+"""CycleStats tests."""
+
+import pytest
+
+from repro.hw.stats import CycleStats, FSMState
+
+
+class TestAccumulation:
+    def test_starts_zero(self):
+        stats = CycleStats()
+        assert stats.total_cycles == 0
+        assert stats.cycles_per_byte == 0.0
+        assert stats.fraction(FSMState.FINDING_MATCH) == 0.0
+
+    def test_add(self):
+        stats = CycleStats()
+        stats.add(FSMState.FINDING_MATCH, 10)
+        stats.add(FSMState.PRODUCING_OUTPUT)
+        assert stats.total_cycles == 11
+
+    def test_fractions_sum_to_one(self):
+        stats = CycleStats()
+        for i, state in enumerate(FSMState):
+            stats.add(state, i + 1)
+        total = sum(stats.fraction(state) for state in FSMState)
+        assert total == pytest.approx(1.0)
+
+    def test_breakdown_sorted_descending(self):
+        stats = CycleStats()
+        stats.add(FSMState.UPDATING_HASH, 5)
+        stats.add(FSMState.FINDING_MATCH, 50)
+        values = list(stats.breakdown().values())
+        assert values == sorted(values, reverse=True)
+
+    def test_merge(self):
+        a = CycleStats()
+        a.add(FSMState.FINDING_MATCH, 3)
+        a.input_bytes = 10
+        b = CycleStats()
+        b.add(FSMState.FINDING_MATCH, 7)
+        b.input_bytes = 5
+        a.merge(b)
+        assert a.cycles[FSMState.FINDING_MATCH] == 10
+        assert a.input_bytes == 15
+
+
+class TestThroughput:
+    def test_mbps_formula(self):
+        stats = CycleStats(clock_mhz=100.0)
+        stats.add(FSMState.FINDING_MATCH, 2000)
+        stats.input_bytes = 1000
+        assert stats.cycles_per_byte == 2.0
+        assert stats.throughput_mbps == 50.0
+
+    def test_format_table_contains_all_states(self):
+        stats = CycleStats()
+        stats.input_bytes = 1
+        stats.add(FSMState.ROTATING_HASH, 1)
+        text = stats.format_table()
+        for state in FSMState:
+            assert state.value in text

@@ -1,0 +1,48 @@
+"""Handshake stream model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.streams import Beat, StreamQueue, drive_words
+
+
+class TestStreamQueue:
+    def test_push_pop_fifo_order(self):
+        q = StreamQueue(capacity=4)
+        for i in range(3):
+            assert q.push(Beat(data=i))
+        assert q.pop().data == 0
+        assert q.pop().data == 1
+
+    def test_backpressure_counts_stalls(self):
+        q = StreamQueue(capacity=1)
+        assert q.push(Beat(data=1))
+        assert not q.push(Beat(data=2))
+        assert q.stall_cycles == 1
+        q.pop()
+        assert q.push(Beat(data=2))
+
+    def test_pop_empty_returns_none(self):
+        assert StreamQueue().pop() is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(SimulationError):
+            StreamQueue(capacity=0)
+
+    def test_len_and_counters(self):
+        q = StreamQueue(capacity=8)
+        for i in range(5):
+            q.push(Beat(data=i))
+        assert len(q) == 5
+        assert q.pushed_beats == 5
+
+
+class TestDriveWords:
+    def test_framing_flags(self):
+        beats = list(drive_words([1, 2, 3], valid_bytes_last=2))
+        assert [b.last for b in beats] == [False, False, True]
+        assert beats[-1].valid_bytes == 2
+        assert beats[0].valid_bytes == 4
+
+    def test_empty_stream(self):
+        assert list(drive_words([])) == []

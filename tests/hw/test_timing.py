@@ -1,0 +1,51 @@
+"""Fmax timing model tests."""
+
+import pytest
+
+from repro.hw.params import HardwareParams
+from repro.hw.timing import estimate_fmax
+
+
+class TestFmax:
+    def test_paper_config_near_reported_value(self):
+        # "post-route analysis reported a maximum clock frequency of
+        # 133.477 MHz" for the speed configuration.
+        report = estimate_fmax(HardwareParams())
+        assert 120 < report.fmax_mhz < 145
+
+    def test_meets_nominal_100mhz(self):
+        report = estimate_fmax(HardwareParams())
+        assert report.meets_nominal
+        assert report.headroom > 1.0
+
+    def test_narrow_bus_clocks_faster(self):
+        wide = estimate_fmax(HardwareParams())
+        narrow = estimate_fmax(HardwareParams(data_bus_bytes=1))
+        assert narrow.fmax_mhz > wide.fmax_mhz
+
+    def test_wider_addresses_clock_slower(self):
+        small = estimate_fmax(
+            HardwareParams(window_size=1024, hash_bits=9, gen_bits=0,
+                           head_split=1, relative_next=False)
+        )
+        large = estimate_fmax(
+            HardwareParams(window_size=32768, hash_bits=15, gen_bits=8)
+        )
+        assert large.fmax_mhz < small.fmax_mhz
+
+    def test_throughput_at_fmax(self):
+        report = estimate_fmax(HardwareParams())
+        assert report.throughput_at_fmax(2.0) == pytest.approx(
+            report.fmax_mhz / 2.0
+        )
+        assert report.throughput_at_fmax(0.0) == 0.0
+
+    def test_all_explored_configs_close_100mhz(self):
+        # Every configuration in the paper's figures must meet timing
+        # at the 100 MHz system clock.
+        for window in (1024, 4096, 16384):
+            for bits in (9, 15):
+                report = estimate_fmax(
+                    HardwareParams(window_size=window, hash_bits=bits)
+                )
+                assert report.meets_nominal, (window, bits)

@@ -1,0 +1,87 @@
+"""Exhaustive configuration-grid equivalence sweep.
+
+Runs the FSM simulator against the analytic model (tokens + per-state
+cycles) over the full cartesian grid of architectural knobs on a small
+input — the heavyweight companion to the randomized property tests.
+"""
+
+import itertools
+
+import pytest
+
+from repro.hw.cycle_model import CycleModel
+from repro.hw.fsm_sim import FSMSimulator
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.lzss.compressor import LZSSCompressor
+from repro.lzss.decompressor import decompress_tokens
+
+GRID = list(itertools.product(
+    (1024, 4096),          # window_size
+    (9, 15),               # hash_bits
+    (0, 2, 4),             # gen_bits
+    (1, 4),                # data_bus_bytes
+    (True, False),         # hash_prefetch
+))
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.workloads.x2e import x2e_can_log
+
+    return x2e_can_log(12 * 1024, seed=66)
+
+
+@pytest.mark.parametrize(
+    "window,bits,gen,bus,prefetch",
+    GRID,
+    ids=[f"w{w}h{h}g{g}b{b}p{int(p)}" for w, h, g, b, p in GRID],
+)
+def test_grid_point(data, window, bits, gen, bus, prefetch):
+    params = HardwareParams(
+        window_size=window,
+        hash_bits=bits,
+        gen_bits=gen,
+        data_bus_bytes=bus,
+        hash_prefetch=prefetch,
+    )
+    ref = LZSSCompressor(
+        params.window_size, params.hash_spec, params.policy
+    ).compress(data)
+    model_stats = CycleModel(params).run(ref.trace)
+    sim_tokens, sim_stats = FSMSimulator(params).simulate(data)
+
+    assert list(sim_tokens.lengths) == list(ref.tokens.lengths)
+    assert list(sim_tokens.values) == list(ref.tokens.values)
+    assert decompress_tokens(sim_tokens) == data
+    for state in FSMState:
+        assert sim_stats.cycles[state] == model_stats.cycles[state], state
+
+
+@pytest.mark.parametrize("lookahead", [512, 1024, 2048, 4096])
+def test_lookahead_sizes(data, lookahead):
+    params = HardwareParams(lookahead_size=lookahead)
+    ref = LZSSCompressor(
+        params.window_size, params.hash_spec, params.policy
+    ).compress(data)
+    model_stats = CycleModel(params).run(ref.trace)
+    sim_tokens, sim_stats = FSMSimulator(params).simulate(data)
+    assert list(sim_tokens.lengths) == list(ref.tokens.lengths)
+    for state in FSMState:
+        assert sim_stats.cycles[state] == model_stats.cycles[state], state
+
+
+@pytest.mark.parametrize("relative_next", [True, False])
+def test_next_table_addressing_modes(data, relative_next):
+    params = HardwareParams(
+        window_size=1024, hash_bits=9, gen_bits=0, head_split=1,
+        relative_next=relative_next,
+    )
+    ref = LZSSCompressor(
+        params.window_size, params.hash_spec, params.policy
+    ).compress(data)
+    model_stats = CycleModel(params).run(ref.trace)
+    sim_tokens, sim_stats = FSMSimulator(params).simulate(data)
+    assert list(sim_tokens.lengths) == list(ref.tokens.lengths)
+    for state in FSMState:
+        assert sim_stats.cycles[state] == model_stats.cycles[state], state

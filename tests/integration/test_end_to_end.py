@@ -1,0 +1,93 @@
+"""End-to-end integration across all subsystems."""
+
+import zlib
+
+import pytest
+
+from repro.deflate.zlib_container import decompress
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.fsm_sim import FSMSimulator
+from repro.hw.huffman_pipe import PipelinedHuffmanEncoder
+from repro.hw.params import HardwareParams
+from repro.lzss.raw_format import decode_raw, encode_raw
+from repro.lzss.decompressor import decompress_tokens
+from repro.swmodel.zlib_cost import SoftwareBaseline
+from repro.testbench.board import ML507Board
+from repro.workloads.wiki import wiki_text
+from repro.workloads.x2e import x2e_can_log
+
+
+class TestFullDatapath:
+    """Input -> LZSS FSM -> raw D/L -> Huffman pipe -> ZLib container,
+    verified at every interface boundary."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return wiki_text(24 * 1024, seed=42)
+
+    @pytest.fixture(scope="class")
+    def params(self):
+        return HardwareParams()
+
+    def test_every_interface_boundary(self, data, params):
+        # Stage 1: the simulated hardware FSM produces tokens.
+        tokens, stats = FSMSimulator(params).simulate(data)
+        assert decompress_tokens(tokens) == data
+
+        # Stage 2: the raw D/L command stream between LZSS and Huffman.
+        raw = encode_raw(tokens, params.window_size)
+        assert decode_raw(raw, params.window_size, len(tokens)) == list(
+            tokens
+        )
+
+        # Stage 3: the pipelined Huffman encoder, zero stalls.
+        report = PipelinedHuffmanEncoder().encode_stream(tokens)
+        assert report.zero_stall
+        assert zlib.decompress(report.body, wbits=-15) == data
+
+        # Stage 4: the facade's container output matches, end to end.
+        result = HardwareCompressor(params).run(data, keep_output=True)
+        assert zlib.decompress(result.output) == data
+        assert decompress(result.output) == data
+
+        # Cycle accounting agrees between the engines.
+        assert stats.total_cycles == result.stats.total_cycles
+
+    def test_hw_and_sw_emit_identical_streams(self, data):
+        # The paper: "parameters, input and output streams were equal".
+        params = HardwareParams()
+        hw = HardwareCompressor(params).run(data, keep_output=True)
+        sw = SoftwareBaseline(
+            window_size=params.window_size,
+            hash_bits=params.hash_bits,
+            policy=params.policy,
+        ).run(data)
+        assert sw.compressed_size == hw.compressed_size
+
+
+class TestBoardSession:
+    def test_full_session_hw_vs_sw(self):
+        data = x2e_can_log(48 * 1024, seed=11)
+        board = ML507Board()
+        hw_run, hw_result = board.run_hardware(data)
+        sw_run, sw_result = board.run_software(data)
+        # Same algorithm, same parameters: same compressed size.
+        assert hw_result.compressed_size == sw_result.compressed_size
+        # The hardware wins big on the timed region.
+        assert hw_run.speed_mbps > 5 * sw_run.speed_mbps
+        # Ethernet dominates neither timed region (it is excluded).
+        assert hw_run.session_s > hw_run.compression_s
+
+
+class TestCrossWorkloadConsistency:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_wiki_seeds_compress_consistently(self, seed):
+        data = wiki_text(32 * 1024, seed=seed)
+        result = HardwareCompressor().run(data)
+        assert 1.3 < result.ratio < 2.2
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_x2e_seeds_compress_consistently(self, seed):
+        data = x2e_can_log(32 * 1024, seed=seed)
+        result = HardwareCompressor().run(data)
+        assert 1.3 < result.ratio < 2.2

@@ -1,0 +1,42 @@
+"""Smoke-run every example script as an integration test.
+
+Each example asserts its own invariants internally (round trips,
+recovery guarantees); these tests prove they run clean from a fresh
+process with only the installed package.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must report what they did"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "can_logger_pipeline",
+        "design_space_exploration",
+        "zlib_interop",
+        "streaming_crash_safe_log",
+        "seekable_archive",
+    } <= names

@@ -1,0 +1,113 @@
+"""The paper's headline claims, asserted as a single checklist.
+
+Each test quotes the claim it checks. These are the 'shape' criteria of
+DESIGN.md §3 — qualitative orderings and loose bands, not exact numbers
+(our substrate is a model and synthetic data, not the authors' board).
+"""
+
+import pytest
+
+from repro.hw.compressor import HardwareCompressor
+from repro.hw.params import HardwareParams
+from repro.hw.resources import estimate_resources
+from repro.hw.stats import FSMState
+from repro.swmodel.zlib_cost import SoftwareBaseline
+from repro.workloads.wiki import wiki_text
+
+SAMPLE = 128 * 1024
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return wiki_text(SAMPLE, seed=2012)
+
+
+@pytest.fixture(scope="module")
+def speed_run(wiki):
+    return HardwareCompressor(HardwareParams()).run(wiki)
+
+
+class TestAbstractClaims:
+    def test_up_to_50_mbps(self, speed_run):
+        """'capable of processing up to 50 MB/s on a Virtex-5' — our
+        model lands in the tens of MB/s at 100 MHz."""
+        assert 20 < speed_run.throughput_mbps < 70
+
+    def test_about_two_cycles_per_byte(self, speed_run):
+        """'an average performance of 2 clock cycles per byte'."""
+        assert 1.3 < speed_run.stats.cycles_per_byte < 4.0
+
+    def test_zlib_compatible(self, wiki):
+        """'compatible with the ZLib library'."""
+        import zlib
+
+        result = HardwareCompressor().run(wiki, keep_output=True)
+        assert zlib.decompress(result.output) == wiki
+
+
+class TestSection5Claims:
+    def test_speedup_15_to_20x(self, wiki, speed_run):
+        """'15-20x performance increase' over ZLib on the PowerPC."""
+        sw = SoftwareBaseline().run(wiki)
+        speedup = speed_run.throughput_mbps / sw.throughput_mbps
+        assert 10 < speedup < 25
+
+    def test_ratio_about_1_7(self, speed_run):
+        """Table I: compression ratio 1.68-1.70 on Wiki."""
+        assert 1.5 < speed_run.ratio < 1.9
+
+    def test_utilisation_insignificant(self):
+        """Table II: 'FPGA utilization ... remains insignificant'."""
+        report = estimate_resources(HardwareParams())
+        assert report.lut_percent < 10
+
+    def test_rotation_overhead_1_to_2_percent(self, speed_run):
+        """'3 improvements that reduce the clock cycle overhead
+        [of rotation] to 1-2%'."""
+        assert speed_run.stats.fraction(FSMState.ROTATING_HASH) < 0.03
+
+    def test_literal_fraction_30_to_85_percent(self, wiki):
+        """'30-85% of the matching operations will be unsuccessful' —
+        data dependent; our synthetic Wiki sits at the low end."""
+        result = HardwareCompressor().run(wiki)
+        assert 0.1 < result.lzss.trace.literal_fraction() < 0.85
+
+    def test_overall_optimization_factor(self, wiki):
+        """'The overall performance increase due to the described
+        optimizations is 2.2x-4.8x depending on the window size.'"""
+        for window, band in ((4096, (2.0, 8.0)), (16384, (1.8, 5.0))):
+            optimized = HardwareCompressor(
+                HardwareParams(window_size=window)
+            ).run(wiki)
+            baseline = HardwareCompressor(
+                HardwareParams(
+                    window_size=window,
+                    data_bus_bytes=1,
+                    hash_prefetch=False,
+                    gen_bits=0,
+                    head_split=1,
+                    relative_next=False,
+                )
+            ).run(wiki)
+            factor = (
+                optimized.throughput_mbps / baseline.throughput_mbps
+            )
+            assert band[0] < factor < band[1], (window, factor)
+
+    def test_wide_bus_63_to_78_percent(self, wiki, speed_run):
+        """'Using wide data buses provides a 63-78% performance
+        increase'."""
+        narrow = HardwareCompressor(
+            HardwareParams(data_bus_bytes=1)
+        ).run(wiki)
+        gain = speed_run.throughput_mbps / narrow.throughput_mbps - 1
+        assert 0.3 < gain < 1.2
+
+    def test_prefetch_adds_some_percent(self, wiki, speed_run):
+        """'hash prefetching increases the performance by additional
+        8%' — ours lands lower because the synthetic Wiki has a lower
+        literal fraction, but the direction must hold."""
+        off = HardwareCompressor(
+            HardwareParams(hash_prefetch=False)
+        ).run(wiki)
+        assert speed_run.throughput_mbps > off.throughput_mbps

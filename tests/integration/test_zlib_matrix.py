@@ -1,0 +1,87 @@
+"""Broad interoperability matrix against CPython's zlib.
+
+Our inflate must accept anything zlib's deflate can emit — every level,
+every window size, every strategy — and zlib must accept anything we
+emit at any window size. This is the widest practical sweep of the
+format space available offline.
+"""
+
+import zlib
+
+import pytest
+
+from repro.deflate.zlib_container import compress, decompress
+
+
+@pytest.fixture(scope="module")
+def payloads(wiki_small, x2e_small):
+    from repro.workloads.synthetic import mixed, ramp
+
+    return {
+        "wiki": wiki_small[:16384],
+        "x2e": x2e_small[:16384],
+        "ramp": ramp(8192),
+        "mixed": mixed(12000, seed=6),
+    }
+
+
+class TestWeDecodeZlib:
+    @pytest.mark.parametrize("level", range(0, 10))
+    def test_all_levels(self, payloads, level):
+        for name, data in payloads.items():
+            stream = zlib.compress(data, level)
+            assert decompress(stream) == data, (name, level)
+
+    @pytest.mark.parametrize("wbits", range(9, 16))
+    def test_all_window_sizes(self, payloads, wbits):
+        for name, data in payloads.items():
+            comp = zlib.compressobj(6, zlib.DEFLATED, wbits)
+            stream = comp.compress(data) + comp.flush()
+            assert decompress(stream) == data, (name, wbits)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            zlib.Z_DEFAULT_STRATEGY,
+            zlib.Z_FILTERED,
+            zlib.Z_HUFFMAN_ONLY,
+            zlib.Z_RLE,
+            zlib.Z_FIXED,
+        ],
+    )
+    def test_all_strategies(self, payloads, strategy):
+        for name, data in payloads.items():
+            comp = zlib.compressobj(6, zlib.DEFLATED, 15, 8, strategy)
+            stream = comp.compress(data) + comp.flush()
+            assert decompress(stream) == data, (name, strategy)
+
+    def test_multi_flush_streams(self, payloads):
+        # Streams with sync-flush markers mid-way.
+        for name, data in payloads.items():
+            comp = zlib.compressobj(6)
+            stream = comp.compress(data[: len(data) // 2])
+            stream += comp.flush(zlib.Z_SYNC_FLUSH)
+            stream += comp.compress(data[len(data) // 2:])
+            stream += comp.flush()
+            assert decompress(stream) == data, name
+
+
+class TestZlibDecodesUs:
+    @pytest.mark.parametrize(
+        "window", [1024, 2048, 4096, 8192, 16384, 32768]
+    )
+    def test_all_windows(self, payloads, window):
+        for name, data in payloads.items():
+            stream = compress(data, window_size=window)
+            assert zlib.decompress(stream) == data, (name, window)
+
+    def test_decompressobj_streaming_consumption(self, payloads):
+        # zlib's streaming decompressor fed one byte at a time.
+        data = payloads["wiki"]
+        stream = compress(data)
+        decomp = zlib.decompressobj()
+        out = bytearray()
+        for i in range(len(stream)):
+            out += decomp.decompress(stream[i:i + 1])
+        out += decomp.flush()
+        assert bytes(out) == data

@@ -1,0 +1,170 @@
+"""LZSS compressor tests: greedy and lazy parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lzss.compressor import LZSSCompressor, compress_tokens
+from repro.lzss.decompressor import decompress_tokens
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import MatchPolicy, policy_for_level
+from repro.lzss.tokens import Literal, Match
+
+
+def roundtrip(data, **kwargs):
+    result = compress_tokens(data, **kwargs)
+    assert decompress_tokens(result.tokens) == data
+    return result
+
+
+class TestConstruction:
+    def test_window_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            LZSSCompressor(window_size=3000)
+
+    @pytest.mark.parametrize("window", [128, 65536])
+    def test_window_bounds(self, window):
+        with pytest.raises(ConfigError):
+            LZSSCompressor(window_size=window)
+
+    def test_max_dist_is_window_minus_min_lookahead(self):
+        comp = LZSSCompressor(window_size=4096)
+        assert comp.max_dist == 4096 - 262
+
+
+class TestGreedyBasics:
+    def test_empty_input(self):
+        result = compress_tokens(b"")
+        assert len(result.tokens) == 0
+        assert result.input_size == 0
+
+    def test_short_input_all_literals(self):
+        result = roundtrip(b"ab")
+        assert list(result.tokens) == [Literal(ord("a")), Literal(ord("b"))]
+
+    def test_paper_example_snowy_snow(self):
+        # §III: "compressing a string 'snowy snow' will result in 7
+        # commands: 6 describing each byte of 'snowy ' and 1 command
+        # copying 4 bytes ('snow') from distance 6."
+        result = roundtrip(b"snowy snow")
+        tokens = list(result.tokens)
+        assert len(tokens) == 7
+        assert tokens[:6] == [Literal(c) for c in b"snowy "]
+        assert tokens[6] == Match(4, 6)
+
+    def test_no_self_match(self):
+        # A position must never match itself (distance 0).
+        result = roundtrip(b"abcabcabc")
+        for token in result.tokens:
+            if isinstance(token, Match):
+                assert token.distance >= 1
+
+    def test_run_produces_overlapping_match(self):
+        result = roundtrip(b"a" * 100)
+        tokens = list(result.tokens)
+        assert tokens[0] == Literal(ord("a"))
+        assert isinstance(tokens[1], Match)
+        assert tokens[1].distance == 1
+
+    def test_match_length_capped_at_258(self):
+        result = roundtrip(b"x" * 1000)
+        assert max(
+            t.length for t in result.tokens if isinstance(t, Match)
+        ) == 258
+
+    def test_distance_never_exceeds_max_dist(self, wiki_small):
+        for window in (1024, 4096):
+            result = roundtrip(wiki_small, window_size=window)
+            comp_max = window - 262
+            for token in result.tokens:
+                if isinstance(token, Match):
+                    assert token.distance <= comp_max
+
+    def test_incompressible_is_all_literals(self, corpus_variety):
+        result = roundtrip(corpus_variety["random"])
+        # A few accidental 3-byte matches can occur; mostly literals.
+        assert result.tokens.literal_count() > 0.9 * len(result.tokens)
+
+    def test_tail_shorter_than_min_match(self):
+        result = roundtrip(b"abcabcab")  # 2-byte tail
+        assert decompress_tokens(result.tokens) == b"abcabcab"
+
+
+class TestRoundtripCorpus:
+    def test_all_corpus_entries(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            result = compress_tokens(data)
+            assert decompress_tokens(result.tokens) == data, name
+
+    @pytest.mark.parametrize("window", [1024, 2048, 8192, 32768])
+    def test_windows(self, wiki_small, window):
+        roundtrip(wiki_small, window_size=window)
+
+    @pytest.mark.parametrize("bits", [9, 11, 15])
+    def test_hash_sizes(self, x2e_small, bits):
+        roundtrip(x2e_small, hash_spec=HashSpec(bits))
+
+    @pytest.mark.parametrize("level", list(range(1, 10)))
+    def test_all_levels(self, wiki_small, level):
+        roundtrip(wiki_small, policy=policy_for_level(level))
+
+
+class TestLazyParsing:
+    def test_lazy_beats_or_ties_greedy(self, wiki_small):
+        greedy = compress_tokens(wiki_small, policy=policy_for_level(1))
+        lazy = compress_tokens(wiki_small, policy=policy_for_level(9))
+        # Level 9's lazy parse must not produce more tokens worth of
+        # output; compare approximate token cost.
+        from repro.deflate.block_writer import fixed_block_cost_bits
+
+        assert fixed_block_cost_bits(lazy.tokens) <= fixed_block_cost_bits(
+            greedy.tokens
+        )
+
+    def test_lazy_roundtrip_corner_cases(self, corpus_variety):
+        policy = policy_for_level(6)
+        for name, data in corpus_variety.items():
+            result = compress_tokens(data, policy=policy)
+            assert decompress_tokens(result.tokens) == data, name
+
+    def test_lazy_defers_to_longer_match(self):
+        # "ab" at 0; "abc" later: lazy evaluation should emit a literal
+        # then the longer match rather than the short immediate one.
+        data = b"ab_bcd_abcd"
+        result = compress_tokens(
+            data,
+            policy=MatchPolicy(
+                max_chain=32, good_length=32, nice_length=258,
+                lazy=True, max_lazy=258, max_insert_length=258,
+            ),
+        )
+        assert decompress_tokens(result.tokens) == data
+
+
+class TestTraceConsistency:
+    def test_greedy_trace_aligned_with_tokens(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        assert len(result.trace) == len(result.tokens)
+        # Trace lengths reconstruct the input size.
+        assert sum(result.trace.lengths) == len(wiki_small)
+
+    def test_trace_kinds_match_tokens(self, x2e_small):
+        result = compress_tokens(x2e_small)
+        for i in range(len(result.tokens)):
+            is_match = result.tokens.lengths[i] > 0
+            assert bool(result.trace.kinds[i]) == is_match
+
+    def test_literal_fraction_in_paper_range(self, wiki_small):
+        # §IV: "30-85% of the matching operations will be unsuccessful".
+        frac = compress_tokens(wiki_small).trace.literal_fraction()
+        assert 0.05 <= frac <= 0.9
+
+    def test_inserted_bounded_by_policy(self, wiki_small):
+        result = compress_tokens(wiki_small)
+        limit = result.policy.max_insert_length
+        for i, inserted in enumerate(result.trace.inserted):
+            length = result.trace.lengths[i]
+            if result.trace.kinds[i]:
+                if length > limit:
+                    assert inserted == 0
+                else:
+                    assert inserted <= length - 1

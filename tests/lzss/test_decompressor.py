@@ -1,0 +1,54 @@
+"""Decompressor unit tests."""
+
+import pytest
+
+from repro.errors import LZSSError
+from repro.lzss.decompressor import decompress_tokens
+from repro.lzss.tokens import Literal, Match, TokenArray
+
+
+class TestBasics:
+    def test_empty(self):
+        assert decompress_tokens([]) == b""
+
+    def test_literals(self):
+        assert decompress_tokens([Literal(65), Literal(66)]) == b"AB"
+
+    def test_simple_copy(self):
+        tokens = [Literal(c) for c in b"abc"] + [Match(3, 3)]
+        assert decompress_tokens(tokens) == b"abcabc"
+
+    def test_overlapping_copy_replicates(self):
+        tokens = [Literal(ord("x")), Match(5, 1)]
+        assert decompress_tokens(tokens) == b"xxxxxx"
+
+    def test_partial_overlap(self):
+        tokens = [Literal(ord("a")), Literal(ord("b")), Match(5, 2)]
+        assert decompress_tokens(tokens) == b"abababa"
+
+    def test_token_array_fast_path(self):
+        arr = TokenArray()
+        for c in b"abc":
+            arr.append_literal(c)
+        arr.append_match(3, 3)
+        assert decompress_tokens(arr) == b"abcabc"
+
+    def test_iterable_and_array_agree(self):
+        arr = TokenArray()
+        arr.append_literal(1)
+        arr.append_match(4, 1)
+        assert decompress_tokens(arr) == decompress_tokens(list(arr))
+
+
+class TestErrors:
+    def test_copy_before_start_rejected(self):
+        with pytest.raises(LZSSError):
+            decompress_tokens([Literal(0), Match(3, 5)])
+
+    def test_copy_from_empty_output_rejected(self):
+        with pytest.raises(LZSSError):
+            decompress_tokens([Match(3, 1)])
+
+    def test_non_token_rejected(self):
+        with pytest.raises(LZSSError):
+            decompress_tokens([b"junk"])  # type: ignore[list-item]

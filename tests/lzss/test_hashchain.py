@@ -1,0 +1,79 @@
+"""Hash function and chain table tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lzss.hashchain import ChainTables, HashSpec, hash_all
+
+
+class TestHashSpec:
+    def test_default_is_15_bits(self):
+        spec = HashSpec()
+        assert spec.hash_bits == 15
+        assert spec.table_size == 32768
+        assert spec.shift == 5
+
+    @pytest.mark.parametrize("bits,shift", [(9, 3), (12, 4), (15, 5)])
+    def test_shift_covers_three_bytes(self, bits, shift):
+        assert HashSpec(bits).shift == shift
+
+    @pytest.mark.parametrize("bits", [5, 21])
+    def test_out_of_range_rejected(self, bits):
+        with pytest.raises(ConfigError):
+            HashSpec(bits)
+
+    def test_hash3_within_mask(self):
+        spec = HashSpec(9)
+        for triple in [(0, 0, 0), (255, 255, 255), (1, 2, 3)]:
+            assert 0 <= spec.hash3(*triple) <= spec.mask
+
+    def test_hash3_depends_on_all_bytes(self):
+        spec = HashSpec(15)
+        base = spec.hash3(10, 20, 30)
+        assert spec.hash3(11, 20, 30) != base
+        assert spec.hash3(10, 21, 30) != base
+        assert spec.hash3(10, 20, 31) != base
+
+
+class TestHashAll:
+    def test_matches_scalar_reference(self):
+        spec = HashSpec(13)
+        data = bytes((i * 7 + 3) & 0xFF for i in range(500))
+        vector = hash_all(data, spec)
+        assert len(vector) == len(data) - 2
+        for pos in range(0, len(vector), 37):
+            assert vector[pos] == spec.hash3(
+                data[pos], data[pos + 1], data[pos + 2]
+            )
+
+    def test_short_inputs(self):
+        spec = HashSpec(9)
+        assert hash_all(b"", spec) == []
+        assert hash_all(b"ab", spec) == []
+        assert len(hash_all(b"abc", spec)) == 1
+
+    def test_equal_strings_hash_equal(self):
+        spec = HashSpec(15)
+        vector = hash_all(b"abcXXabc", spec)
+        assert vector[0] == vector[5]
+
+
+class TestChainTables:
+    def test_insert_returns_previous_head(self):
+        tables = ChainTables(HashSpec(9), 1024)
+        assert tables.insert(10, 5) == -1
+        assert tables.insert(50, 5) == 10
+        assert tables.head[5] == 50
+
+    def test_prev_links_form_chain(self):
+        tables = ChainTables(HashSpec(9), 1024)
+        for pos in (1, 8, 20):
+            tables.insert(pos, 3)
+        assert tables.head[3] == 20
+        assert tables.prev[20] == 8
+        assert tables.prev[8] == 1
+        assert tables.prev[1] == -1
+
+    def test_window_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            ChainTables(HashSpec(9), 1000)

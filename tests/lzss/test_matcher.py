@@ -1,0 +1,133 @@
+"""Longest-match search unit tests."""
+
+from repro.lzss.matcher import longest_match, match_length
+
+
+class TestMatchLength:
+    def test_no_match(self):
+        assert match_length(b"ax", 0, 1, 1) == 0
+
+    def test_full_limit(self):
+        data = b"abcabc"
+        assert match_length(data, 0, 3, 3) == 3
+
+    def test_stops_at_mismatch(self):
+        data = b"abcdXabcdY"
+        assert match_length(data, 0, 5, 5) == 4
+
+    def test_overlapping_self_copy(self):
+        data = b"aaaaaaaaaa"
+        # cand=0, pos=1: classic RLE overlap compares fine on the buffer.
+        assert match_length(data, 0, 1, 9) == 9
+
+    def test_long_match_crosses_chunks(self):
+        data = b"x" * 100 + b"q" + b"x" * 100
+        # Compare positions 0 and 101: both runs of 'x', 100 long.
+        assert match_length(data, 0, 101, 100) == 100
+
+    def test_mismatch_inside_chunk(self):
+        a = b"abcdefgh" * 4
+        b = b"abcdefgh" * 3 + b"abcdefgZ"
+        data = a + b
+        assert match_length(data, 0, 32, 32) == 31
+
+
+def run_search(data, pos, chain_positions, window=4096, **kwargs):
+    """Helper: build prev links for explicit candidate ordering."""
+    prev = [-1] * window
+    first = chain_positions[0] if chain_positions else -1
+    for here, nxt in zip(chain_positions, chain_positions[1:] + [-1]):
+        prev[here & (window - 1)] = nxt
+    defaults = dict(
+        max_dist=window - 262,
+        limit=min(258, len(data) - pos),
+        max_chain=8,
+        good_length=8,
+        nice_length=258,
+    )
+    defaults.update(kwargs)
+    return longest_match(
+        data, pos, first, prev, window - 1, **defaults
+    )
+
+
+class TestLongestMatch:
+    def test_empty_chain(self):
+        best_len, best_dist, iters, c4, c1 = run_search(b"abcdef", 3, [])
+        assert (best_len, best_dist, iters) == (2, 0, 0)
+        assert c4 == c1 == 0
+
+    def test_single_candidate(self):
+        data = b"abcdabcd"
+        best_len, best_dist, iters, _, _ = run_search(data, 4, [0])
+        assert (best_len, best_dist, iters) == (4, 4, 1)
+
+    def test_prefers_longer_later_candidate(self):
+        data = b"abcX" + b"abcdE" + b"abcd"
+        # Candidates: pos 4 (len 4 'abcd'), pos 0 (len 3 'abc').
+        best_len, best_dist, iters, _, _ = run_search(data, 9, [4, 0])
+        assert best_len == 4
+        assert best_dist == 5
+
+    def test_keeps_closer_on_tie(self):
+        data = b"abc_abc_abc"
+        best_len, best_dist, _, _, _ = run_search(data, 8, [4, 0])
+        # Both candidates give len 3; the first (closest) wins.
+        assert (best_len, best_dist) == (3, 4)
+
+    def test_chain_limit_respected(self):
+        # No candidate fully matches, so only the chain budget stops
+        # the walk.
+        data = b"abcW" + b"abcX" + b"abcY" + b"abcZ" + b"abcQ"
+        _, _, iters, _, _ = run_search(data, 16, [12, 8, 4, 0],
+                                       max_chain=2)
+        assert iters == 2
+
+    def test_nice_length_stops_early(self):
+        data = b"abcdefgh" + b"abcdefgh" + b"abcdefgh"
+        _, _, iters, _, _ = run_search(data, 16, [8, 0], nice_length=4)
+        assert iters == 1
+
+    def test_max_dist_excludes_far_candidates(self):
+        data = b"abcd" + b"x" * 5000 + b"abcd"
+        pos = len(data) - 4
+        best_len, _, iters, _, _ = run_search(data, pos, [0], window=4096)
+        assert iters == 0  # candidate at distance > max_dist never visited
+        assert best_len == 2
+
+    def test_compare_cycles_formula(self):
+        # A single candidate matching 49 bytes then mismatching examines
+        # 50 bytes: the paper's example costs 14 cycles on 32-bit buses.
+        data = b"y" * 49 + b"A" + b"y" * 49 + b"B" + b"y" * 10
+        best_len, _, iters, c4, c1 = run_search(data, 50, [0], limit=60)
+        assert best_len == 49
+        assert iters == 1
+        assert c1 == 50
+        assert c4 == 14
+
+    def test_hash_collision_candidate_costs_one_cycle(self):
+        data = b"zzz" + b"abc"
+        _, _, _, c4, c1 = run_search(data, 3, [0], limit=3)
+        assert c4 == 1  # one byte examined, one cycle
+        assert c1 == 1
+
+    def test_good_length_quarters_budget(self):
+        # After a match >= good_length, the remaining chain is >>= 2.
+        data = b"abcdQabcdRabcdSabcdT"
+        positions = [10, 5, 0]
+        _, _, iters, _, _ = run_search(
+            data, 15, positions, max_chain=8, good_length=4,
+            nice_length=258,
+        )
+        # Candidate at 10 matches 4 >= good: budget 7 >> 2 = 1, so only
+        # one more of the remaining two candidates is visited.
+        assert iters == 2
+
+    def test_without_good_length_all_candidates_visited(self):
+        data = b"abcdQabcdRabcdSabcdT"
+        positions = [10, 5, 0]
+        _, _, iters, _, _ = run_search(
+            data, 15, positions, max_chain=8, good_length=258,
+            nice_length=258,
+        )
+        assert iters == 3

@@ -1,0 +1,81 @@
+"""Match policy tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lzss.policy import (
+    HW_MAX_POLICY,
+    HW_SPEED_POLICY,
+    MatchPolicy,
+    ZLIB_LEVELS,
+    policy_for_level,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MatchPolicy()
+
+    def test_zero_chain_rejected(self):
+        with pytest.raises(ConfigError):
+            MatchPolicy(max_chain=0)
+
+    def test_nice_length_bounds(self):
+        with pytest.raises(ConfigError):
+            MatchPolicy(nice_length=2)
+        with pytest.raises(ConfigError):
+            MatchPolicy(nice_length=259)
+
+    def test_good_length_minimum(self):
+        with pytest.raises(ConfigError):
+            MatchPolicy(good_length=2)
+
+    def test_lazy_requires_max_lazy(self):
+        with pytest.raises(ConfigError):
+            MatchPolicy(lazy=True, max_lazy=0)
+
+    def test_negative_insert_rejected(self):
+        with pytest.raises(ConfigError):
+            MatchPolicy(max_insert_length=-1)
+
+
+class TestLevels:
+    def test_nine_levels(self):
+        assert sorted(ZLIB_LEVELS) == list(range(1, 10))
+
+    def test_levels_1_to_3_are_greedy(self):
+        for level in (1, 2, 3):
+            assert not policy_for_level(level).lazy
+
+    def test_levels_4_to_9_are_lazy(self):
+        for level in range(4, 10):
+            assert policy_for_level(level).lazy
+
+    def test_level_1_is_zlib_fast_config(self):
+        policy = policy_for_level(1)
+        assert policy.max_chain == 4
+        assert policy.nice_length == 8
+        assert policy.max_insert_length == 4
+
+    def test_level_9_is_exhaustive(self):
+        policy = policy_for_level(9)
+        assert policy.max_chain == 4096
+        assert policy.nice_length == 258
+
+    @pytest.mark.parametrize("level", [0, 10, -1])
+    def test_invalid_level_rejected(self, level):
+        with pytest.raises(ConfigError):
+            policy_for_level(level)
+
+
+class TestHardwarePolicies:
+    def test_speed_policy_is_greedy(self):
+        assert not HW_SPEED_POLICY.lazy
+
+    def test_speed_policy_inserts_short_matches_only(self):
+        # Fig. 5: "inserting every byte of a short match (up to 4 bytes)".
+        assert HW_SPEED_POLICY.max_insert_length == 4
+
+    def test_max_policy_searches_deeper(self):
+        assert HW_MAX_POLICY.max_chain > 10 * HW_SPEED_POLICY.max_chain
+        assert not HW_MAX_POLICY.lazy

@@ -1,0 +1,70 @@
+"""Tests for the paper's raw D/L command bit format (§III)."""
+
+import pytest
+
+from repro.errors import ConfigError, LZSSError
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.raw_format import (
+    command_size_bits,
+    decode_raw,
+    encode_raw,
+)
+from repro.lzss.tokens import Literal, Match
+
+
+class TestCommandSize:
+    def test_4kb_window_commands_are_20_bits(self):
+        # log2(4096) + 8 = 12 + 8.
+        assert command_size_bits(4096) == 20
+
+    @pytest.mark.parametrize("window,bits", [(1024, 18), (32768, 23)])
+    def test_scaling(self, window, bits):
+        assert command_size_bits(window) == bits
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            command_size_bits(3000)
+
+
+class TestEncodeDecode:
+    def test_literal_has_zero_distance_field(self):
+        data = encode_raw([Literal(0x41)], 1024)
+        tokens = decode_raw(data, 1024, 1)
+        assert tokens == [Literal(0x41)]
+
+    def test_match_stores_length_minus_three(self):
+        tokens_in = [Literal(1), Match(3, 5), Match(258, 1023)]
+        data = encode_raw(tokens_in, 1024)
+        assert decode_raw(data, 1024, 3) == tokens_in
+
+    def test_roundtrip_real_stream(self, wiki_small):
+        result = compress_tokens(wiki_small, window_size=4096)
+        encoded = encode_raw(result.tokens, 4096)
+        decoded = decode_raw(encoded, 4096, len(result.tokens))
+        assert decoded == list(result.tokens)
+
+    def test_token_array_and_list_encode_identically(self):
+        result = compress_tokens(b"snowy snow" * 20)
+        assert encode_raw(result.tokens, 4096) == encode_raw(
+            list(result.tokens), 4096
+        )
+
+    def test_size_matches_formula(self):
+        result = compress_tokens(b"hello world, hello world" * 10)
+        encoded = encode_raw(result.tokens, 4096)
+        expected_bits = len(result.tokens) * command_size_bits(4096)
+        assert len(encoded) == (expected_bits + 7) // 8
+
+
+class TestEncodeErrors:
+    def test_distance_equal_to_window_rejected(self):
+        with pytest.raises(LZSSError):
+            encode_raw([Match(3, 1024)], 1024)
+
+    def test_length_above_258_unencodable(self):
+        # Match() itself rejects > 258; craft via a fake object.
+        class Fake:
+            pass
+
+        with pytest.raises(LZSSError):
+            encode_raw([Fake()], 1024)  # type: ignore[list-item]

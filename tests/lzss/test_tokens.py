@@ -1,0 +1,97 @@
+"""Token type and TokenArray tests."""
+
+import pytest
+
+from repro.errors import LZSSError
+from repro.lzss.tokens import (
+    Literal,
+    Match,
+    TokenArray,
+    MAX_MATCH,
+    MIN_LOOKAHEAD,
+    MIN_MATCH,
+)
+
+
+class TestLiteral:
+    def test_valid_range(self):
+        assert Literal(0).value == 0
+        assert Literal(255).value == 255
+
+    @pytest.mark.parametrize("value", [-1, 256, 1000])
+    def test_out_of_range_rejected(self, value):
+        with pytest.raises(LZSSError):
+            Literal(value)
+
+    def test_equality_and_hash(self):
+        assert Literal(7) == Literal(7)
+        assert Literal(7) != Literal(8)
+        assert hash(Literal(7)) == hash(Literal(7))
+
+    def test_not_equal_to_match(self):
+        assert Literal(3) != Match(3, 1)
+
+
+class TestMatch:
+    def test_length_bounds(self):
+        assert Match(MIN_MATCH, 1).length == 3
+        assert Match(MAX_MATCH, 1).length == 258
+
+    @pytest.mark.parametrize("length", [0, 1, 2, 259])
+    def test_bad_length_rejected(self, length):
+        with pytest.raises(LZSSError):
+            Match(length, 1)
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(LZSSError):
+            Match(3, 0)
+
+    def test_equality(self):
+        assert Match(4, 2) == Match(4, 2)
+        assert Match(4, 2) != Match(4, 3)
+
+
+class TestConstants:
+    def test_min_lookahead_is_262(self):
+        # The paper: "waits until the lookahead buffer contains at
+        # least 262 bytes".
+        assert MIN_LOOKAHEAD == 262
+
+
+class TestTokenArray:
+    def test_append_and_iterate(self):
+        arr = TokenArray()
+        arr.append_literal(65)
+        arr.append_match(5, 3)
+        tokens = list(arr)
+        assert tokens == [Literal(65), Match(5, 3)]
+
+    def test_indexing(self):
+        arr = TokenArray()
+        arr.append_match(10, 100)
+        assert arr[0] == Match(10, 100)
+
+    def test_append_token_objects(self):
+        arr = TokenArray()
+        arr.append_token(Literal(1))
+        arr.append_token(Match(3, 1))
+        assert len(arr) == 2
+
+    def test_append_non_token_rejected(self):
+        with pytest.raises(LZSSError):
+            TokenArray().append_token("literal")  # type: ignore[arg-type]
+
+    def test_uncompressed_size(self):
+        arr = TokenArray()
+        arr.append_literal(0)
+        arr.append_match(7, 2)
+        arr.append_literal(1)
+        assert arr.uncompressed_size() == 9
+
+    def test_counts(self):
+        arr = TokenArray()
+        for _ in range(3):
+            arr.append_literal(0)
+        arr.append_match(4, 1)
+        assert arr.literal_count() == 3
+        assert arr.match_count() == 1

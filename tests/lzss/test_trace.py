@@ -1,0 +1,42 @@
+"""MatchTrace record tests."""
+
+import pytest
+
+from repro.lzss.trace import MatchTrace
+
+
+def make_trace(rows):
+    trace = MatchTrace()
+    for row in rows:
+        trace.record(*row)
+    return trace
+
+
+class TestRecording:
+    def test_empty(self):
+        trace = MatchTrace()
+        assert len(trace) == 0
+        assert trace.literal_fraction() == 0.0
+
+    def test_columns_aligned(self):
+        trace = make_trace([(0, 1, 2, 3, 4, 0), (1, 7, 1, 2, 8, 6)])
+        assert len(trace) == 2
+        assert list(trace.lengths) == [1, 7]
+        assert list(trace.chain_iters) == [2, 1]
+
+    def test_totals(self):
+        trace = make_trace([(0, 1, 2, 3, 9, 0), (1, 5, 4, 6, 12, 4)])
+        assert trace.total_chain_iters() == 6
+        assert trace.total_compare_cycles(4) == 9
+        assert trace.total_compare_cycles(1) == 21
+        assert trace.total_inserted() == 4
+
+    def test_unsupported_bus_width(self):
+        with pytest.raises(ValueError):
+            make_trace([(0, 1, 0, 0, 0, 0)]).total_compare_cycles(2)
+
+    def test_literal_fraction(self):
+        trace = make_trace(
+            [(0, 1, 0, 0, 0, 0)] * 3 + [(1, 5, 1, 2, 5, 0)]
+        )
+        assert trace.literal_fraction() == 0.75

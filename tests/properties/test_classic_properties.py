@@ -1,0 +1,66 @@
+"""Property-based round trips for the classic codecs and raw format."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lzss.classic import ClassicLZSSCodec, LZ77Codec
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.raw_format import decode_raw, encode_raw
+
+relaxed = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+payloads = st.one_of(
+    st.binary(max_size=3000),
+    st.text(alphabet="abc ", max_size=3000).map(str.encode),
+)
+
+
+class TestClassicRoundtrips:
+    @given(data=payloads)
+    @relaxed
+    def test_lz77(self, data):
+        codec = LZ77Codec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(data=payloads)
+    @relaxed
+    def test_classic_lzss(self, data):
+        codec = ClassicLZSSCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(
+        data=payloads,
+        window=st.sampled_from([1024, 4096]),
+        bits=st.sampled_from([3, 4, 6]),
+    )
+    @relaxed
+    def test_classic_lzss_parameterised(self, data, window, bits):
+        codec = ClassicLZSSCodec(window_size=window, length_bits=bits)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(data=payloads)
+    @relaxed
+    def test_lz77_triples_reconstruct(self, data):
+        codec = LZ77Codec()
+        out = bytearray()
+        for t in codec.tokenize(data):
+            if t.length:
+                start = len(out) - t.distance
+                for i in range(t.length):
+                    out.append(out[start + i])
+            if t.literal is not None:
+                out.append(t.literal)
+        assert bytes(out) == data
+
+
+class TestRawFormatProperties:
+    @given(data=payloads, window=st.sampled_from([1024, 4096, 32768]))
+    @relaxed
+    def test_raw_dl_roundtrip(self, data, window):
+        result = compress_tokens(data, window_size=window)
+        blob = encode_raw(result.tokens, window)
+        decoded = decode_raw(blob, window, len(result.tokens))
+        assert decoded == list(result.tokens)

@@ -1,0 +1,91 @@
+"""Property-based tests for the streaming and seekable containers."""
+
+import zlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.deflate.seekable import blocks_touched, create, read_range
+from repro.deflate.stream import ZLibStreamCompressor, decompress_prefix
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+payload = st.one_of(
+    st.binary(max_size=6000),
+    st.text(alphabet="abcdef \n", max_size=6000).map(str.encode),
+)
+
+
+class TestStreamingProperties:
+    @given(data=payload, cuts=st.lists(st.integers(0, 6000), max_size=6))
+    @relaxed
+    def test_any_chunking_decodes_identically(self, data, cuts):
+        bounds = sorted({c for c in cuts if c < len(data)})
+        chunks = []
+        prev = 0
+        for bound in bounds:
+            chunks.append(data[prev:bound])
+            prev = bound
+        chunks.append(data[prev:])
+        stream = ZLibStreamCompressor()
+        out = bytearray()
+        for chunk in chunks:
+            out += stream.compress(chunk)
+        out += stream.finish()
+        assert zlib.decompress(bytes(out)) == data
+
+    @given(
+        data=payload,
+        flush_after=st.integers(0, 6000),
+    )
+    @relaxed
+    def test_prefix_recovery_at_any_flush_point(self, data, flush_after):
+        cut = min(flush_after, len(data))
+        stream = ZLibStreamCompressor()
+        out = bytearray()
+        out += stream.compress(data[:cut])
+        out += stream.flush_sync()
+        marker = len(out)
+        out += stream.compress(data[cut:])
+        out += stream.finish()
+        # Truncating exactly at the flush recovers the first part.
+        recovered = decompress_prefix(bytes(out[:marker]))
+        assert recovered == data[:cut]
+        # The full stream still decodes completely.
+        assert zlib.decompress(bytes(out)) == data
+
+
+class TestSeekableProperties:
+    @given(
+        data=st.binary(min_size=1, max_size=20000),
+        start=st.integers(0, 25000),
+        length=st.integers(0, 25000),
+        block_kb=st.sampled_from([1, 2, 4]),
+    )
+    @relaxed
+    def test_range_reads_equal_slices(self, data, start, length, block_kb):
+        blob = create(data, block_size=block_kb * 1024)
+        got = read_range(blob, start, length)
+        assert got == data[start:start + length]
+
+    @given(
+        size=st.integers(4096, 20000),
+        fill=st.integers(0, 255),
+        start=st.integers(0, 15000),
+        length=st.integers(1, 4096),
+    )
+    @relaxed
+    def test_blocks_touched_is_minimal(self, size, fill, start, length):
+        data = bytes([fill]) * size
+        block = 2048
+        blob = create(data, block_size=block)
+        touched = blocks_touched(blob, start, length)
+        if start >= len(data):
+            assert touched == 0
+            return
+        end = min(start + length, len(data))
+        expected = (end - 1) // block - start // block + 1
+        assert touched == expected

@@ -1,0 +1,86 @@
+"""Property-based invariants of the cycle engines."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hw.cycle_model import CycleModel
+from repro.hw.fsm_sim import FSMSimulator
+from repro.hw.params import HardwareParams
+from repro.hw.stats import FSMState
+from repro.lzss.compressor import LZSSCompressor
+
+payloads = st.one_of(
+    st.binary(max_size=3000),
+    st.text(alphabet="abcde ", max_size=3000).map(str.encode),
+)
+
+params_strategy = st.builds(
+    HardwareParams,
+    window_size=st.sampled_from([1024, 4096]),
+    hash_bits=st.sampled_from([9, 12, 15]),
+    gen_bits=st.integers(0, 4),
+    data_bus_bytes=st.sampled_from([1, 4]),
+    hash_prefetch=st.booleans(),
+    hash_cache=st.booleans(),
+    relative_next=st.booleans(),
+)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSimulatorEquivalence:
+    @given(data=payloads, params=params_strategy)
+    @relaxed
+    def test_sim_matches_analytic_model(self, data, params):
+        comp = LZSSCompressor(
+            params.window_size, params.hash_spec, params.policy
+        )
+        ref = comp.compress(data)
+        model_stats = CycleModel(params).run(ref.trace)
+        sim_tokens, sim_stats = FSMSimulator(params).simulate(data)
+        assert list(sim_tokens.lengths) == list(ref.tokens.lengths)
+        assert list(sim_tokens.values) == list(ref.tokens.values)
+        for state in FSMState:
+            assert sim_stats.cycles[state] == model_stats.cycles[state]
+
+
+class TestCycleInvariants:
+    @given(data=payloads, params=params_strategy)
+    @relaxed
+    def test_cycles_bounded_below_by_output_tokens(self, data, params):
+        comp = LZSSCompressor(
+            params.window_size, params.hash_spec, params.policy
+        )
+        ref = comp.compress(data)
+        stats = CycleModel(params).run(ref.trace)
+        assert stats.cycles[FSMState.PRODUCING_OUTPUT] == len(ref.tokens)
+        if data:
+            # At minimum: output + some finding work per token.
+            assert stats.total_cycles >= 2 * len(ref.tokens)
+
+    @given(data=payloads)
+    @relaxed
+    def test_disabling_prefetch_never_speeds_up(self, data):
+        base = HardwareParams()
+        comp = LZSSCompressor(base.window_size, base.hash_spec, base.policy)
+        ref = comp.compress(data)
+        with_pf = CycleModel(base).run(ref.trace)
+        without = CycleModel(
+            base.with_overrides(hash_prefetch=False)
+        ).run(ref.trace)
+        assert without.total_cycles >= with_pf.total_cycles
+
+    @given(data=payloads)
+    @relaxed
+    def test_narrow_bus_never_speeds_up(self, data):
+        base = HardwareParams()
+        comp = LZSSCompressor(base.window_size, base.hash_spec, base.policy)
+        ref = comp.compress(data)
+        wide = CycleModel(base).run(ref.trace)
+        narrow = CycleModel(
+            base.with_overrides(data_bus_bytes=1)
+        ).run(ref.trace)
+        assert narrow.total_cycles >= wide.total_cycles

@@ -1,0 +1,100 @@
+"""Property-based tests for Huffman code construction and coding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bitio.reader import BitReader
+from repro.bitio.writer import BitWriter
+from repro.huffman.canonical import (
+    build_code_lengths,
+    canonical_codes,
+    validate_code_lengths,
+)
+from repro.huffman.decoder import HuffmanDecoder
+from repro.huffman.encoder import HuffmanEncoder
+
+frequency_lists = st.lists(
+    st.integers(0, 10000), min_size=2, max_size=64
+).filter(lambda freqs: sum(1 for f in freqs if f) >= 2)
+
+
+class TestPackageMergeProperties:
+    @given(freqs=frequency_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_lengths_valid_and_complete(self, freqs):
+        lengths = build_code_lengths(freqs, 15)
+        validate_code_lengths(lengths, 15)
+        # Kraft equality for an optimal code.
+        assert sum(1 << (15 - n) for n in lengths if n) == 1 << 15
+
+    @given(freqs=frequency_lists, limit=st.integers(6, 15))
+    @settings(max_examples=100, deadline=None)
+    def test_limit_respected(self, freqs, limit):
+        used = sum(1 for f in freqs if f)
+        if used > (1 << limit):
+            return
+        lengths = build_code_lengths(freqs, limit)
+        assert max(lengths) <= limit
+
+    @given(freqs=frequency_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_frequency_gets_no_code(self, freqs):
+        lengths = build_code_lengths(freqs, 15)
+        for f, n in zip(freqs, lengths):
+            assert (f == 0) == (n == 0)
+
+    @given(freqs=frequency_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_frequency_length_relation(self, freqs):
+        lengths = build_code_lengths(freqs, 15)
+        pairs = [(f, n) for f, n in zip(freqs, lengths) if f]
+        for f1, n1 in pairs:
+            for f2, n2 in pairs:
+                if f1 > f2:
+                    assert n1 <= n2
+
+
+class TestCodingProperties:
+    @given(
+        freqs=frequency_lists,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, freqs, data):
+        lengths = build_code_lengths(freqs, 15)
+        used = [s for s, n in enumerate(lengths) if n]
+        symbols = data.draw(
+            st.lists(st.sampled_from(used), max_size=200)
+        )
+        enc = HuffmanEncoder(lengths)
+        dec = HuffmanDecoder(lengths)
+        w = BitWriter()
+        for s in symbols:
+            enc.encode(w, s)
+        r = BitReader(w.flush())
+        assert [dec.decode(r) for _ in symbols] == symbols
+
+    @given(freqs=frequency_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_codes_prefix_free(self, freqs):
+        lengths = build_code_lengths(freqs, 15)
+        codes = canonical_codes(lengths)
+        used = [
+            format(codes[s], f"0{lengths[s]}b")
+            for s in range(len(lengths)) if lengths[s]
+        ]
+        for i, a in enumerate(used):
+            for j, b in enumerate(used):
+                if i != j:
+                    assert not b.startswith(a)
+
+    @given(freqs=frequency_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_total_cost_beats_or_ties_fixed_width(self, freqs):
+        import math
+
+        lengths = build_code_lengths(freqs, 15)
+        used = sum(1 for f in freqs if f)
+        fixed_width = math.ceil(math.log2(used)) if used > 1 else 1
+        optimal = sum(f * n for f, n in zip(freqs, lengths))
+        fixed = sum(f for f in freqs if f) * fixed_width
+        assert optimal <= fixed

@@ -1,0 +1,92 @@
+"""Property-based equivalence of truncated hardware memories vs ideal
+structures — the paper's rotation-avoidance correctness argument."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.memories import HeadTable, NextTable
+from repro.hw.params import HardwareParams
+
+
+@st.composite
+def insertion_schedules(draw):
+    """Random (hash, gap) insert sequences with configuration."""
+    window = draw(st.sampled_from([1024, 2048]))
+    gen_bits = draw(st.integers(1, 4))
+    hash_bits = draw(st.sampled_from([6, 9]))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << hash_bits) - 1),  # hash value
+                st.integers(1, 300),                    # position gap
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    return window, gen_bits, hash_bits, steps
+
+
+class TestHeadTableEquivalence:
+    @given(schedule=insertion_schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_lookup_matches_ideal_dict(self, schedule):
+        window, gen_bits, hash_bits, steps = schedule
+        params = HardwareParams(
+            window_size=window, gen_bits=gen_bits, hash_bits=hash_bits
+        )
+        head = HeadTable(params)
+        ideal = {}
+        period = params.rotation_period_bytes
+        next_rotation = period
+        usable = head.usable_dist
+        pos = 0
+        for h, gap in steps:
+            pos += gap
+            while pos >= next_rotation:
+                head.rotate(next_rotation)
+                next_rotation += period
+            got = head.lookup(h, pos)
+            want = ideal.get(h, -1)
+            if want != -1 and pos - want <= usable:
+                # Within reach: the truncated table must agree exactly.
+                assert got == want
+            else:
+                # Beyond reach: it may have been rotated away, but a
+                # non-(-1) answer must still be the true position, never
+                # an aliased fabrication.
+                assert got in (-1, want)
+            head.insert(h, pos)
+            ideal[h] = pos
+
+
+class TestNextTableEquivalence:
+    @given(
+        gaps=st.lists(st.integers(1, 200), min_size=2, max_size=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chain_links_match_ideal(self, gaps):
+        params = HardwareParams(window_size=1024)
+        nxt = NextTable(params)
+        positions = []
+        pos = 0
+        for gap in gaps:
+            pos += gap
+            predecessor = positions[-1] if positions else -1
+            nxt.link(pos, predecessor)
+            positions.append(pos)
+        # Follow each link; within the window it must be exact.
+        for later, earlier in zip(positions[1:], positions):
+            got = nxt.follow(later)
+            # Only the most recent writer of a slot is guaranteed; skip
+            # aliased slots (another position overwrote this one).
+            overwritten = any(
+                p != later and (p & 1023) == (later & 1023)
+                and p > later
+                for p in positions
+            )
+            if overwritten:
+                continue
+            if later - earlier < 1024:
+                assert got == earlier
+            else:
+                assert got == -1

@@ -1,0 +1,58 @@
+"""Property-based FDICT tests: any dictionary, any payload, both
+inflaters (ours and zlib's) must agree."""
+
+import zlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.deflate.preset_dict import (
+    compress_with_dict,
+    decompress_with_dict,
+)
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+payload = st.one_of(
+    st.binary(max_size=2000),
+    st.text(alphabet="abcdef ", max_size=2000).map(str.encode),
+)
+dictionary = st.one_of(
+    st.binary(min_size=1, max_size=1000),
+    st.text(alphabet="abcdef ", min_size=1, max_size=1000).map(
+        str.encode
+    ),
+)
+
+
+class TestFDICTProperties:
+    @given(data=payload, zdict=dictionary)
+    @relaxed
+    def test_own_roundtrip(self, data, zdict):
+        stream = compress_with_dict(data, zdict)
+        assert decompress_with_dict(stream, zdict) == data
+
+    @given(data=payload, zdict=dictionary)
+    @relaxed
+    def test_zlib_decodes_our_streams(self, data, zdict):
+        stream = compress_with_dict(data, zdict)
+        decomp = zlib.decompressobj(zdict=zdict)
+        assert decomp.decompress(stream) + decomp.flush() == data
+
+    @given(data=payload, zdict=dictionary)
+    @relaxed
+    def test_we_decode_zlib_streams(self, data, zdict):
+        comp = zlib.compressobj(6, zlib.DEFLATED, 15, zdict=zdict)
+        stream = comp.compress(data) + comp.flush()
+        assert decompress_with_dict(stream, zdict) == data
+
+    @given(data=payload, zdict=dictionary)
+    @relaxed
+    def test_dictionary_never_hurts_vs_raw(self, data, zdict):
+        # The primed stream must decode to exactly `data` (never leak
+        # dictionary bytes) regardless of overlap between the two.
+        stream = compress_with_dict(zdict + data, zdict)
+        assert decompress_with_dict(stream, zdict) == zdict + data

@@ -1,0 +1,97 @@
+"""Property-based round-trip tests over the whole compression stack."""
+
+import zlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.gzip_container import (
+    compress as gzip_compress,
+    decompress as gzip_decompress,
+)
+from repro.deflate.zlib_container import compress, decompress
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.decompressor import decompress_tokens
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import policy_for_level
+
+#: Byte-string strategies spanning the compressibility spectrum.
+payloads = st.one_of(
+    st.binary(max_size=4096),
+    # Highly repetitive: a short alphabet amplifies match activity.
+    st.text(alphabet="abcd \n", max_size=4096).map(str.encode),
+    # Runs with separators.
+    st.lists(
+        st.tuples(st.integers(0, 255), st.integers(1, 400)),
+        max_size=24,
+    ).map(lambda runs: b"".join(bytes([v]) * n for v, n in runs)),
+)
+
+relaxed = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLZSSRoundtrip:
+    @given(data=payloads)
+    @relaxed
+    def test_tokens_reconstruct_input(self, data):
+        result = compress_tokens(data)
+        assert decompress_tokens(result.tokens) == data
+
+    @given(data=payloads, level=st.integers(1, 9))
+    @relaxed
+    def test_all_levels_roundtrip(self, data, level):
+        result = compress_tokens(data, policy=policy_for_level(level))
+        assert decompress_tokens(result.tokens) == data
+
+    @given(
+        data=payloads,
+        window=st.sampled_from([1024, 4096, 32768]),
+        bits=st.sampled_from([9, 13, 15]),
+    )
+    @relaxed
+    def test_any_window_hash_combination(self, data, window, bits):
+        result = compress_tokens(
+            data, window_size=window, hash_spec=HashSpec(bits)
+        )
+        assert decompress_tokens(result.tokens) == data
+
+    @given(data=payloads)
+    @relaxed
+    def test_trace_lengths_cover_input(self, data):
+        result = compress_tokens(data)
+        assert sum(result.trace.lengths) == len(data)
+
+
+class TestContainerRoundtrip:
+    @given(data=payloads)
+    @relaxed
+    def test_zlib_oracle_accepts_output(self, data):
+        assert zlib.decompress(compress(data)) == data
+
+    @given(data=payloads)
+    @relaxed
+    def test_own_inflate_roundtrip(self, data):
+        assert decompress(compress(data)) == data
+
+    @given(
+        data=payloads,
+        strategy=st.sampled_from(list(BlockStrategy)),
+    )
+    @relaxed
+    def test_every_block_strategy(self, data, strategy):
+        stream = compress(data, strategy=strategy)
+        assert zlib.decompress(stream) == data
+
+    @given(data=payloads, level=st.integers(0, 9))
+    @relaxed
+    def test_we_decode_zlib_output(self, data, level):
+        assert decompress(zlib.compress(data, level)) == data
+
+    @given(data=payloads)
+    @relaxed
+    def test_gzip_roundtrip(self, data):
+        assert gzip_decompress(gzip_compress(data)) == data

@@ -1,0 +1,71 @@
+"""CPU cost model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.swmodel.cpu import CPUModel, PPC440_400MHZ
+
+
+class TestPPC440:
+    def test_clock_is_400mhz(self):
+        # The paper: "The clock frequency of the PowerPC was 400 MHz".
+        assert PPC440_400MHZ.clock_mhz == 400.0
+
+    def test_dcache_is_32kb(self):
+        assert PPC440_400MHZ.dcache_bytes == 32 * 1024
+
+    def test_costs_positive(self):
+        cpu = PPC440_400MHZ
+        for field in (
+            "miss_penalty",
+            "cycles_per_byte_stream",
+            "cycles_hash_insert",
+            "cycles_chain_step",
+            "cycles_compare_byte",
+            "cycles_token_literal",
+            "cycles_token_match",
+            "cycles_output_byte",
+        ):
+            assert getattr(cpu, field) > 0, field
+
+
+class TestMissRate:
+    def test_fits_in_cache_never_misses(self):
+        assert PPC440_400MHZ.table_miss_rate(16 * 1024) == 0.0
+        assert PPC440_400MHZ.table_miss_rate(32 * 1024) == 0.0
+
+    def test_large_working_set_misses(self):
+        rate = PPC440_400MHZ.table_miss_rate(128 * 1024)
+        assert rate == pytest.approx(0.75)
+
+    def test_monotonic_in_working_set(self):
+        rates = [
+            PPC440_400MHZ.table_miss_rate(s)
+            for s in (16384, 65536, 262144, 1 << 20)
+        ]
+        assert rates == sorted(rates)
+
+    def test_rate_below_one(self):
+        assert PPC440_400MHZ.table_miss_rate(1 << 30) < 1.0
+
+
+class TestValidation:
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            CPUModel(
+                name="x", clock_mhz=0, dcache_bytes=1024, miss_penalty=1,
+                cycles_per_byte_stream=1, cycles_hash_insert=1,
+                cycles_chain_step=1, cycles_compare_byte=1,
+                cycles_token_literal=1, cycles_token_match=1,
+                cycles_output_byte=1,
+            )
+
+    def test_zero_cache_rejected(self):
+        with pytest.raises(ConfigError):
+            CPUModel(
+                name="x", clock_mhz=1, dcache_bytes=0, miss_penalty=1,
+                cycles_per_byte_stream=1, cycles_hash_insert=1,
+                cycles_chain_step=1, cycles_compare_byte=1,
+                cycles_token_literal=1, cycles_token_match=1,
+                cycles_output_byte=1,
+            )

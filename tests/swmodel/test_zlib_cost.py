@@ -1,0 +1,62 @@
+"""Software baseline model tests."""
+
+import zlib
+
+import pytest
+
+from repro.swmodel.zlib_cost import SoftwareBaseline
+
+
+class TestModelOutputs:
+    def test_speed_in_paper_regime(self, wiki_small):
+        # The paper's measured ZLib-on-PPC440 baseline is a few MB/s.
+        result = SoftwareBaseline().run(wiki_small)
+        assert 0.5 < result.throughput_mbps < 10.0
+
+    def test_ratio_close_to_real_zlib(self, wiki_small):
+        result = SoftwareBaseline(level=1).run(wiki_small)
+        real = len(wiki_small) / len(zlib.compress(wiki_small, 1))
+        # Same algorithm family; fixed tables and a 4 KB window cost a
+        # bit of ratio relative to zlib's 32 KB + dynamic tables.
+        assert result.ratio == pytest.approx(real, rel=0.35)
+
+    def test_cycles_scale_linearly(self, wiki_small):
+        sw = SoftwareBaseline()
+        half = sw.run(wiki_small[: len(wiki_small) // 2])
+        full = sw.run(wiki_small)
+        assert full.total_cycles == pytest.approx(
+            2 * half.total_cycles, rel=0.15
+        )
+
+    def test_higher_level_slower_but_smaller(self, wiki_small):
+        fast = SoftwareBaseline(level=1).run(wiki_small)
+        best = SoftwareBaseline(level=9, window_size=32768).run(wiki_small)
+        assert best.total_cycles > fast.total_cycles
+        assert best.compressed_size < fast.compressed_size
+
+    def test_compression_time(self, x2e_small):
+        result = SoftwareBaseline().run(x2e_small)
+        assert result.compression_time_s == pytest.approx(
+            result.total_cycles / 400e6
+        )
+
+    def test_empty_input(self):
+        result = SoftwareBaseline().run(b"")
+        assert result.cycles_per_byte == 0.0
+        assert result.throughput_mbps == 0.0
+
+    def test_bigger_tables_cost_more_per_byte(self, wiki_small):
+        small = SoftwareBaseline(window_size=1024, hash_bits=9)
+        large = SoftwareBaseline(window_size=32768, hash_bits=15)
+        # More cache misses per access on the larger working set.
+        assert (
+            large.run(wiki_small).cycles_per_byte
+            > small.run(wiki_small).cycles_per_byte * 0.8
+        )
+
+    def test_output_is_valid_stream_size(self, wiki_small):
+        from repro.deflate.zlib_container import compress
+
+        result = SoftwareBaseline().run(wiki_small)
+        actual = compress(wiki_small, window_size=4096)
+        assert result.compressed_size == len(actual)

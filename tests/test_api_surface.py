@@ -1,0 +1,124 @@
+"""Public API surface and error-hierarchy tests.
+
+These lock the package's importable contract: everything README and the
+examples rely on must exist under the documented names, and every
+library error must be catchable as :class:`repro.errors.ReproError`.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_functions(self):
+        data = b"api surface check " * 20
+        stream = repro.zlib_compress(data)
+        assert repro.zlib_decompress(stream) == data
+        g = repro.gzip_compress(data)
+        assert repro.gzip_decompress(g) == data
+
+    def test_version_is_semver_ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.bitio",
+            "repro.checksums",
+            "repro.huffman",
+            "repro.lzss",
+            "repro.lzss.classic",
+            "repro.deflate",
+            "repro.deflate.stream",
+            "repro.deflate.splitter",
+            "repro.deflate.seekable",
+            "repro.hw",
+            "repro.hw.alt_architectures",
+            "repro.hw.decompressor_model",
+            "repro.hw.dynamic_cost",
+            "repro.hw.timing",
+            "repro.swmodel",
+            "repro.workloads",
+            "repro.workloads.logs",
+            "repro.estimator",
+            "repro.estimator.parallel",
+            "repro.testbench",
+            "repro.testbench.cpu_load",
+            "repro.analysis",
+            "repro.analysis.summary",
+            "repro.verification",
+        ],
+    )
+    def test_module_imports(self, module):
+        importlib.import_module(module)
+
+    def test_every_public_module_has_docstring(self):
+        import pathlib
+
+        src = pathlib.Path(repro.__file__).parent
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src.parent)
+            module = ".".join(rel.with_suffix("").parts)
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            mod = importlib.import_module(module)
+            assert mod.__doc__ and mod.__doc__.strip(), module
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.FormatError,
+            errors.BitstreamError,
+            errors.HuffmanError,
+            errors.DeflateError,
+            errors.ZLibContainerError,
+            errors.GzipContainerError,
+            errors.LZSSError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_where_sensible(self):
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.FormatError, ValueError)
+
+    def test_format_errors_group(self):
+        for exc in (
+            errors.BitstreamError,
+            errors.HuffmanError,
+            errors.DeflateError,
+            errors.ZLibContainerError,
+            errors.GzipContainerError,
+            errors.LZSSError,
+        ):
+            assert issubclass(exc, errors.FormatError)
+
+    def test_one_except_clause_catches_everything(self):
+        caught = []
+        for trigger in (
+            lambda: repro.zlib_decompress(b"junk"),
+            lambda: repro.MatchPolicy(max_chain=0),
+            lambda: repro.HashSpec(99),
+        ):
+            try:
+                trigger()
+            except errors.ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert len(caught) == 3

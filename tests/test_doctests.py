@@ -1,0 +1,25 @@
+"""Run every doctest embedded in the package's docstrings."""
+
+import doctest
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    package_dir = pathlib.Path(repro.__file__).parent
+    names = ["repro"]
+    for info in pkgutil.walk_packages([str(package_dir)], prefix="repro."):
+        names.append(info.name)
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {name}"

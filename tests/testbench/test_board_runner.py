@@ -1,0 +1,86 @@
+"""ML-507 board model and Table I runner tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.testbench.board import DDR2_BYTES, ML507Board
+from repro.testbench.runner import (
+    format_table,
+    run_performance_comparison,
+)
+
+
+class TestBoard:
+    def test_hardware_run_includes_dma_setup(self, wiki_small):
+        board = ML507Board()
+        timed, result = board.run_hardware(wiki_small)
+        pure = result.compression_time_s
+        assert timed.compression_s > pure
+
+    def test_software_run_slower_than_hardware(self, wiki_small):
+        board = ML507Board()
+        hw, _ = board.run_hardware(wiki_small)
+        sw, _ = board.run_software(wiki_small)
+        assert sw.compression_s > hw.compression_s
+
+    def test_session_includes_ethernet(self, wiki_small):
+        board = ML507Board()
+        timed, _ = board.run_hardware(wiki_small)
+        assert timed.session_s > timed.compression_s
+
+    def test_extrapolation_preserves_speed(self, wiki_small):
+        board = ML507Board()
+        small, _ = board.run_hardware(wiki_small)
+        big, _ = board.run_hardware(wiki_small, modeled_bytes=50_000_000)
+        # Setup amortises: the big run is at least as fast per byte.
+        assert big.speed_mbps >= small.speed_mbps * 0.98
+
+    def test_capacity_guard(self, wiki_small):
+        board = ML507Board()
+        with pytest.raises(ConfigError):
+            board.run_hardware(wiki_small, modeled_bytes=DDR2_BYTES + 1)
+
+    def test_ratio_consistent(self, x2e_small):
+        board = ML507Board()
+        timed, result = board.run_hardware(x2e_small)
+        assert timed.ratio == pytest.approx(result.ratio, rel=0.01)
+
+
+class TestTable1Runner:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_performance_comparison(sample_bytes=96 * 1024)
+
+    def test_four_rows(self, rows):
+        assert len(rows) == 4
+        labels = [row.data_sample for row in rows]
+        assert labels == ["Wiki 50MB", "Wiki 10MB", "X2e 50MB", "X2e 10MB"]
+
+    def test_speedups_in_paper_band(self, rows):
+        # The paper: "15-20x performance increase".
+        for row in rows:
+            assert 8 < row.speedup < 30, row.data_sample
+
+    def test_ratios_in_paper_band(self, rows):
+        # The paper: 1.68-1.70.
+        for row in rows:
+            assert 1.4 < row.ratio < 2.0, row.data_sample
+
+    def test_sizes_nearly_identical(self, rows):
+        # DMA setup factored out: 10 MB and 50 MB rows agree closely.
+        wiki50, wiki10 = rows[0], rows[1]
+        assert wiki50.hw_mbps == pytest.approx(wiki10.hw_mbps, rel=0.02)
+
+    def test_format_table(self, rows):
+        text = format_table(rows)
+        assert "Wiki 50MB" in text
+        assert "Speedup" in text
+
+    def test_custom_hw_params(self):
+        rows = run_performance_comparison(
+            sample_bytes=64 * 1024,
+            hw_params=HardwareParams(window_size=1024, hash_bits=9),
+            workloads=("zeros",),
+        )
+        assert len(rows) == 2

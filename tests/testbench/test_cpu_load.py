@@ -1,0 +1,68 @@
+"""CPU offload model tests (§V's parallelism claim)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testbench.cpu_load import CPULoadModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CPULoadModel()
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.workloads.x2e import x2e_can_log
+
+    return x2e_can_log(64 * 1024, seed=9)
+
+
+class TestPaths:
+    def test_hardware_path_frees_the_cpu(self, model, data):
+        # The paper's claim: with DMA + fabric compression the CPU is
+        # available for high-level tasks.
+        sw = model.software_path(data, stream_mbps=2.0)
+        hw = model.hardware_path(data, stream_mbps=2.0)
+        assert hw.cpu_busy_fraction < 0.01
+        assert sw.cpu_busy_fraction > 50 * hw.cpu_busy_fraction
+
+    def test_software_path_saturates_early(self, model, data):
+        # A few MB/s of stream already exceeds the PowerPC baseline.
+        report = model.software_path(data, stream_mbps=5.0)
+        assert not report.feasible
+
+    def test_hardware_path_sustains_tens_of_mbps(self, model, data):
+        report = model.hardware_path(data, stream_mbps=30.0)
+        assert report.feasible
+        assert report.compressor_busy_fraction < 1.0
+
+    def test_hardware_engine_overruns_past_its_throughput(self, model,
+                                                          data):
+        limits = model.max_stream_mbps(data)
+        report = model.hardware_path(
+            data, stream_mbps=limits["hardware"] * 1.2
+        )
+        assert not report.feasible
+
+    def test_cpu_load_scales_linearly_with_rate(self, model, data):
+        low = model.hardware_path(data, stream_mbps=2.0)
+        high = model.hardware_path(data, stream_mbps=8.0)
+        assert high.cpu_busy_fraction == pytest.approx(
+            4 * low.cpu_busy_fraction, rel=0.01
+        )
+
+    def test_max_rates_reflect_table1(self, model, data):
+        limits = model.max_stream_mbps(data)
+        assert 8 < limits["hardware"] / limits["software"] < 30
+
+    def test_format(self, model, data):
+        text = model.hardware_path(data, stream_mbps=2.0).format()
+        assert "hardware" in text
+        assert "ok" in text
+
+
+class TestValidation:
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigError):
+            CPULoadModel(chunk_bytes=0)

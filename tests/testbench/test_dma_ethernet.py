@@ -1,0 +1,68 @@
+"""DMA and Ethernet model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testbench.dma import DMAEngine
+from repro.testbench.ethernet import EthernetLink
+
+
+class TestDMA:
+    def test_setup_time_has_constant_part(self):
+        dma = DMAEngine(setup_us=100, per_descriptor_us=0)
+        assert dma.setup_time_s(1) == pytest.approx(100e-6)
+
+    def test_descriptor_count_scales_setup(self):
+        dma = DMAEngine(setup_us=0, per_descriptor_us=2,
+                        descriptor_bytes=1000)
+        assert dma.setup_time_s(2500) == pytest.approx(3 * 2e-6)
+
+    def test_empty_payload_costs_base_setup(self):
+        dma = DMAEngine(setup_us=50, per_descriptor_us=2)
+        assert dma.setup_time_s(0) == pytest.approx(50e-6)
+
+    def test_streaming_limited_by_consumer(self):
+        dma = DMAEngine(bandwidth_mbps=400)
+        transfer = dma.transfer(10_000_000, consumer_mbps=40)
+        assert transfer.streaming_s == pytest.approx(0.25)
+
+    def test_streaming_limited_by_dma_ceiling(self):
+        dma = DMAEngine(bandwidth_mbps=100)
+        transfer = dma.transfer(10_000_000, consumer_mbps=1e9)
+        assert transfer.streaming_s == pytest.approx(0.1)
+
+    def test_setup_amortised_at_large_sizes(self):
+        # The paper's 10 vs 50 MB rationale: effective MB/s converge.
+        dma = DMAEngine()
+        eff10 = dma.transfer(10_000_000, 40).effective_mbps
+        eff50 = dma.transfer(50_000_000, 40).effective_mbps
+        assert abs(eff50 - eff10) / eff50 < 0.01
+        assert eff10 < 40  # setup always costs something
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            DMAEngine(descriptor_bytes=0)
+        with pytest.raises(ConfigError):
+            DMAEngine(bandwidth_mbps=0)
+
+
+class TestEthernet:
+    def test_goodput_below_line_rate(self):
+        link = EthernetLink(link_mbit=1000, efficiency=0.75)
+        assert link.goodput_mbps == pytest.approx(93.75)
+
+    def test_transfer_time(self):
+        link = EthernetLink(link_mbit=800, efficiency=1.0)
+        timing = link.transfer(100_000_000)
+        assert timing.wire_s == pytest.approx(1.0)
+        assert timing.effective_mbps == pytest.approx(100.0)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            EthernetLink(efficiency=0)
+        with pytest.raises(ConfigError):
+            EthernetLink(efficiency=1.5)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            EthernetLink(link_mbit=-1)

@@ -1,0 +1,90 @@
+"""Workload statistical profile tests."""
+
+import pytest
+
+from repro.workloads.stats import profile_workload
+
+
+class TestProfile:
+    def test_empty(self):
+        profile = profile_workload(b"")
+        assert profile.size == 0
+        assert profile.byte_entropy_bits == 0.0
+
+    def test_constant_data(self):
+        profile = profile_workload(b"\x42" * 5000)
+        assert profile.byte_entropy_bits == 0.0
+        assert profile.distinct_trigrams == 1
+        assert profile.match_coverage > 0.99
+        assert profile.mean_match_length > 200
+
+    def test_random_data(self):
+        from repro.workloads.synthetic import incompressible
+
+        profile = profile_workload(incompressible(8000, seed=8))
+        assert profile.byte_entropy_bits > 7.8
+        assert profile.match_coverage < 0.1
+        assert profile.literal_fraction > 0.9
+        assert profile.trigram_diversity > 0.95
+
+    def test_text_sits_between(self, wiki_small):
+        profile = profile_workload(wiki_small)
+        assert 3.5 < profile.byte_entropy_bits < 5.5
+        assert 0.05 < profile.literal_fraction < 0.6
+        assert 0.3 < profile.match_coverage < 0.95
+        assert profile.trigram_diversity < 0.5
+
+    def test_histogram_buckets_cover_all_matches(self, x2e_small):
+        profile = profile_workload(x2e_small)
+        from repro.lzss.compressor import compress_tokens
+
+        matches = compress_tokens(x2e_small).tokens.match_count()
+        assert sum(profile.match_length_histogram.values()) == matches
+
+    def test_format(self, wiki_small):
+        text = profile_workload(wiki_small).format()
+        assert "entropy" in text
+        assert "trigrams" in text
+        assert "match length histogram" in text
+
+
+class TestCLI:
+    def test_analyze_subcommand(self, capsys):
+        from repro.estimator.cli import main
+
+        assert main(["analyze", "--workload", "x2e",
+                     "--size-kb", "16"]) == 0
+        assert "entropy" in capsys.readouterr().out
+
+    def test_compress_decompress_files(self, tmp_path, capsys):
+        from repro.estimator.cli import main
+
+        source = tmp_path / "input.log"
+        payload = b"file-level cli check " * 400
+        source.write_bytes(payload)
+        assert main(["compress", str(source)]) == 0
+        packed = tmp_path / "input.log.lzz"
+        assert packed.exists()
+        assert packed.stat().st_size < len(payload)
+
+        # zlib itself can open the file.
+        import zlib
+
+        assert zlib.decompress(packed.read_bytes()) == payload
+
+        restored = tmp_path / "restored.log"
+        assert main([
+            "decompress", str(packed), "-o", str(restored)
+        ]) == 0
+        assert restored.read_bytes() == payload
+
+    def test_decompress_default_name(self, tmp_path):
+        from repro.estimator.cli import main
+
+        source = tmp_path / "data.bin"
+        source.write_bytes(b"x" * 1000)
+        main(["compress", str(source)])
+        packed = tmp_path / "data.bin.lzz"
+        source.unlink()
+        assert main(["decompress", str(packed)]) == 0
+        assert (tmp_path / "data.bin").read_bytes() == b"x" * 1000

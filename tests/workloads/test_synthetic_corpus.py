@@ -1,0 +1,64 @@
+"""Synthetic generators and corpus registry tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import synthetic
+from repro.workloads.corpus import WORKLOADS, sample, sample_size_bytes
+
+
+class TestSynthetic:
+    def test_zeros(self):
+        assert synthetic.zeros(10) == b"\x00" * 10
+
+    def test_incompressible_deterministic(self):
+        assert synthetic.incompressible(100, 1) == synthetic.incompressible(
+            100, 1
+        )
+
+    def test_repeated_pattern(self):
+        assert synthetic.repeated(b"ab", 5) == b"ababa"
+
+    def test_repeated_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic.repeated(b"", 5)
+
+    def test_ramp_period(self):
+        data = synthetic.ramp(600)
+        assert data[0] == 0
+        assert data[255] == 255
+        assert data[256] == 0
+
+    def test_mixed_sizes(self):
+        assert len(synthetic.mixed(12345, seed=1)) == 12345
+
+    def test_almost_constant_mostly_constant(self):
+        data = synthetic.almost_constant(10000, seed=1, flip_rate=0.01)
+        assert data.count(0x55) > 9500
+
+
+class TestCorpus:
+    def test_known_workloads(self):
+        assert {"wiki", "x2e", "zeros", "random", "mixed"} <= set(WORKLOADS)
+
+    def test_sample_cached(self):
+        a = sample("zeros", 1000)
+        b = sample("zeros", 1000)
+        assert a is b
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            sample("nope", 10)
+
+    def test_sample_size_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLE_KB", "64")
+        assert sample_size_bytes() == 64 * 1024
+
+    def test_sample_size_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLE_KB", "0")
+        with pytest.raises(ConfigError):
+            sample_size_bytes()
+
+    def test_default_size_used_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLE_KB", raising=False)
+        assert sample_size_bytes() == 512 * 1024

@@ -1,0 +1,60 @@
+"""Wiki workload generator tests."""
+
+from repro.workloads.wiki import wiki_text
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        assert wiki_text(10000, seed=3) == wiki_text(10000, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert wiki_text(10000, seed=3) != wiki_text(10000, seed=4)
+
+    def test_exact_size(self):
+        for size in (1, 100, 4096, 100001):
+            assert len(wiki_text(size, seed=1)) == size
+
+    def test_prefix_property(self):
+        # Same seed, larger request: shares the generated prefix.
+        small = wiki_text(5000, seed=9)
+        large = wiki_text(20000, seed=9)
+        assert large[:5000] == small
+
+
+class TestTextCharacter:
+    def test_ascii_only(self):
+        data = wiki_text(50000, seed=2)
+        assert all(b < 128 for b in data)
+
+    def test_contains_markup(self):
+        data = wiki_text(200000, seed=2)
+        assert b"[[" in data
+        assert b"==" in data
+
+    def test_word_structure(self):
+        data = wiki_text(50000, seed=2)
+        words = data.split()
+        assert len(words) > 5000
+        # Space-delimited prose, not binary soup.
+        assert data.count(b" ") > len(data) // 12
+
+    def test_compression_ratio_in_target_band(self):
+        """The calibration contract: ~1.6-1.8 at the paper-speed config."""
+        from repro.hw.compressor import HardwareCompressor
+
+        data = wiki_text(256 * 1024, seed=2012)
+        result = HardwareCompressor().run(data)
+        assert 1.5 < result.ratio < 1.9
+
+    def test_redundancy_grows_with_window(self):
+        from repro.lzss.compressor import compress_tokens
+        from repro.deflate.block_writer import fixed_block_cost_bits
+
+        data = wiki_text(128 * 1024, seed=5)
+        small = fixed_block_cost_bits(
+            compress_tokens(data, window_size=1024).tokens
+        )
+        large = fixed_block_cost_bits(
+            compress_tokens(data, window_size=16384).tokens
+        )
+        assert large < small
