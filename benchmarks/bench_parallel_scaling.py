@@ -1,0 +1,154 @@
+"""Throughput scaling of the sharded parallel engine vs worker count.
+
+Runs the same wiki input through :class:`repro.parallel.ShardedCompressor`
+at 1/2/4/8 workers, verifies every output against CPython's zlib, and
+records MB/s per worker count to ``benchmarks/results/``. The speedup
+assertion is gated on the CPUs actually schedulable in this environment:
+on an N-core box worker counts beyond N cannot scale, so only the
+counts the hardware can honour are required to beat the serial path.
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick
+
+or in full (8 MiB input, workers 1/2/4/8) without ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import zlib
+from typing import List, Optional, Tuple
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_scaling(
+    size_bytes: int,
+    worker_counts: List[int],
+    shard_size: int,
+    repeats: int = 1,
+) -> List[Tuple[int, float, int]]:
+    """Compress a wiki sample at each worker count.
+
+    Returns ``(workers, best_mbps, compressed_size)`` rows; every output
+    is required to round-trip through zlib and to be bit-identical to
+    the serial output (sharding is deterministic).
+    """
+    from repro.parallel import ShardedCompressor
+    from repro.workloads.wiki import wiki_text
+
+    data = wiki_text(size_bytes, seed=77)
+    rows: List[Tuple[int, float, int]] = []
+    reference: Optional[bytes] = None
+    for workers in worker_counts:
+        engine = ShardedCompressor(workers=workers, shard_size=shard_size)
+        best = 0.0
+        stream = b""
+        for _ in range(repeats):
+            start = time.perf_counter()
+            stream = engine.compress(data).data
+            elapsed = time.perf_counter() - start
+            best = max(best, len(data) / elapsed / 1e6)
+        if zlib.decompress(stream) != data:
+            raise AssertionError(f"round-trip failed at workers={workers}")
+        if reference is None:
+            reference = stream
+        elif stream != reference:
+            raise AssertionError(
+                f"workers={workers} output differs from serial output"
+            )
+        rows.append((workers, best, len(stream)))
+    return rows
+
+
+def render(rows: List[Tuple[int, float, int]], size_bytes: int) -> str:
+    serial = rows[0][1]
+    lines = [
+        f"parallel scaling on {size_bytes} bytes of wiki text "
+        f"({available_cpus()} CPUs available)",
+        f"{'workers':>8s} {'MB/s':>8s} {'speedup':>8s} {'output B':>10s}",
+    ]
+    for workers, mbps, size in rows:
+        lines.append(
+            f"{workers:>8d} {mbps:>8.2f} {mbps / serial:>7.2f}x {size:>10d}"
+        )
+    return "\n".join(lines)
+
+
+def check_scaling(rows: List[Tuple[int, float, int]]) -> None:
+    """Require parallel speedup where the hardware can deliver it."""
+    cpus = available_cpus()
+    serial = rows[0][1]
+    for workers, mbps, _ in rows[1:]:
+        if workers == 4 and cpus >= 4:
+            assert mbps >= 2.0 * serial, (
+                f"4 workers gave {mbps / serial:.2f}x over serial "
+                f"(expected >= 2x on {cpus} CPUs)"
+            )
+        elif workers <= cpus:
+            assert mbps >= 1.2 * serial, (
+                f"{workers} workers gave {mbps / serial:.2f}x over serial "
+                f"(expected >= 1.2x on {cpus} CPUs)"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 512 KiB input, workers 1/2, small shards",
+    )
+    parser.add_argument("--size-mb", type=float, default=8.0,
+                        help="wiki input size in MiB (full mode)")
+    parser.add_argument("--shard-kb", type=int, default=1024)
+    parser.add_argument("--workers", default="1,2,4,8",
+                        help="comma-separated worker counts")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        size = 512 * 1024
+        worker_counts = [1, 2]
+        shard = 64 * 1024
+    else:
+        size = int(args.size_mb * 1024 * 1024)
+        worker_counts = [int(v) for v in args.workers.split(",")]
+        shard = args.shard_kb * 1024
+
+    rows = measure_scaling(size, worker_counts, shard)
+    text = render(rows, size)
+    from benchmarks.conftest import save_exhibit
+
+    save_exhibit("parallel_scaling", text)
+    check_scaling(rows)
+    print("all outputs verified against zlib; scaling checks passed")
+    return 0
+
+
+def test_parallel_scaling_smoke(benchmark, sample_bytes):
+    """pytest-benchmark entry: quick scaling sweep on the bench sample."""
+    from benchmarks.conftest import run_once, save_exhibit
+
+    rows = run_once(
+        benchmark,
+        lambda: measure_scaling(
+            sample_bytes, [1, 2], shard_size=64 * 1024
+        ),
+    )
+    save_exhibit("parallel_scaling", render(rows, sample_bytes))
+    check_scaling(rows)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(
+        __file__))))
+    sys.exit(main())

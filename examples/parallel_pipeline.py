@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sharded parallel compression producing a single ZLib stream.
+
+The pigz-style scaling axis: cut the input into shards, compress them
+concurrently in worker processes, stitch the fragments with sync-flush
+joins and a combined Adler-32. The result is one stream CPython's
+``zlib.decompress`` accepts unchanged — no custom container, no index.
+
+Demonstrates the three front-ends:
+
+1. :func:`repro.parallel.compress_parallel` — one-shot;
+2. the carried-window trade (per-shard isolation vs. ratio);
+3. :class:`repro.parallel.ParallelDeflateWriter` — streaming with
+   bounded in-flight shards (backpressure), as a log shipper would use.
+"""
+
+import io
+import zlib
+
+from repro.parallel import (
+    ParallelDeflateWriter,
+    ShardedCompressor,
+    compress_parallel,
+)
+from repro.workloads.wiki import wiki_text
+
+INPUT_BYTES = 512 * 1024
+SHARD_SIZE = 64 * 1024
+WORKERS = 2
+
+
+def main() -> None:
+    data = wiki_text(INPUT_BYTES, seed=42)
+
+    # --- one-shot parallel compression -> single ZLib stream.
+    engine = ShardedCompressor(workers=WORKERS, shard_size=SHARD_SIZE)
+    result = engine.compress(data)
+    assert zlib.decompress(result.data) == data
+    stats = result.stats
+    print(f"one-shot : {len(data)} -> {len(result.data)} bytes "
+          f"(ratio {result.ratio:.3f}) in {stats.wall_s:.2f} s "
+          f"= {stats.throughput_mbps:.2f} MB/s "
+          f"across {stats.shard_count} shards on {WORKERS} workers")
+
+    # --- the isolation/ratio trade: carry the dictionary window.
+    carried = compress_parallel(
+        data, workers=WORKERS, shard_size=SHARD_SIZE, carry_window=True
+    )
+    assert zlib.decompress(carried) == data
+    saved = len(result.data) - len(carried)
+    print(f"carried  : {len(carried)} bytes with carried windows "
+          f"({saved} bytes smaller; shards still compress in parallel "
+          f"because the window is plaintext already in hand)")
+
+    # --- streaming writer with backpressure (bounded memory).
+    sink = io.BytesIO()
+    with ParallelDeflateWriter(
+        sink, workers=WORKERS, shard_size=SHARD_SIZE, max_inflight=3
+    ) as writer:
+        for start in range(0, len(data), 10_000):  # arbitrary chunking
+            writer.write(data[start:start + 10_000])
+    blob = sink.getvalue()
+    assert zlib.decompress(blob) == data
+    assert blob == result.data  # same bytes, bounded memory
+    print(f"streaming: {writer.stats.shard_count} shards through a "
+          f"peak queue depth of {writer.stats.peak_inflight} "
+          f"(bound 3) -> identical {len(blob)}-byte stream")
+
+
+if __name__ == "__main__":
+    main()

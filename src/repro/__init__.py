@@ -9,6 +9,8 @@ A production-quality Python library implementing:
   generation-bit rotation avoidance);
 * the design-space **estimation tool** the paper publishes: parameter
   sweeps reporting block-RAM usage, compression ratio and cycle counts;
+* a pigz-style sharded parallel engine stitching concurrently
+  compressed shards into single ZLib streams (:mod:`repro.parallel`);
 * workload generators standing in for the paper's Wikipedia and
   automotive-CAN data sets;
 * a software-baseline cost model (ZLib on the FPGA's 400 MHz PowerPC)
@@ -43,12 +45,15 @@ from repro.lzss import (
     policy_for_level,
 )
 from repro.lzss.hashchain import HashSpec
+from repro.parallel import ParallelDeflateWriter, compress_parallel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlockStrategy",
     "HashSpec",
+    "ParallelDeflateWriter",
+    "compress_parallel",
     "LZSSCompressor",
     "Literal",
     "Match",

@@ -50,6 +50,40 @@ def adler32(data: bytes, value: int = 1) -> int:
     return (b << 16) | a
 
 
+def adler32_combine(adler1: int, adler2: int, len2: int) -> int:
+    """Combine two Adler-32 checksums of concatenated sequences.
+
+    Given ``adler1 = adler32(seq1)`` and ``adler2 = adler32(seq2)`` with
+    ``len2 = len(seq2)``, returns ``adler32(seq1 + seq2)`` without
+    touching the data — the primitive that lets independently compressed
+    shards be stitched into one ZLib stream (mirroring zlib's own
+    ``adler32_combine``).
+
+    The derivation follows from the closed forms: ``a2 = 1 + S2`` and
+    ``b2 = len2 + W2`` where ``S2``/``W2`` are seq2's plain and weighted
+    byte sums, while appending seq2 to a stream in state ``(a1, b1)``
+    yields ``a = a1 + S2`` and ``b = b1 + len2*a1 + W2``. Substituting:
+
+        a = a1 + a2 - 1                     (mod 65521)
+        b = b1 + b2 + len2*(a1 - 1)         (mod 65521)
+
+    >>> left, right = b"shard one|", b"shard two"
+    >>> combined = adler32_combine(adler32(left), adler32(right), len(right))
+    >>> combined == adler32(left + right)
+    True
+    """
+    if len2 < 0:
+        raise ValueError(f"len2 must be non-negative: {len2}")
+    rem = len2 % _MOD
+    a1 = adler1 & 0xFFFF
+    b1 = (adler1 >> 16) & 0xFFFF
+    a2 = adler2 & 0xFFFF
+    b2 = (adler2 >> 16) & 0xFFFF
+    a = (a1 + a2 - 1) % _MOD
+    b = (b1 + b2 + rem * (a1 - 1)) % _MOD
+    return (b << 16) | a
+
+
 class Adler32:
     """Incremental Adler-32 accumulator with a file-like ``update`` API."""
 

@@ -34,6 +34,38 @@ from repro.lzss.policy import MatchPolicy
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
 
 
+def tokenize_chunk(
+    lzss: LZSSCompressor, history: bytes, chunk: bytes
+) -> TokenArray:
+    """Tokenise ``chunk`` with ``history`` as match source material.
+
+    Re-runs the matcher over ``history + chunk`` and keeps only the
+    tokens that start inside the new chunk. Token boundaries from any
+    previous run over the history are irrelevant because the history was
+    already emitted; it serves purely as the dictionary ring's contents.
+    A match straddling the boundary is re-emitted as literals (boundary
+    tokens cannot be split into valid shorter matches safely).
+
+    Shared by :class:`ZLibStreamCompressor` (chunked streaming) and
+    :mod:`repro.parallel` (carried-window shard compression).
+    """
+    base = len(history)
+    data = history + chunk
+    result = lzss.compress(data)
+    tokens = TokenArray()
+    pos = 0
+    for length, value in zip(result.tokens.lengths, result.tokens.values):
+        step = length if length else 1
+        if pos >= base:
+            tokens.lengths.append(length)
+            tokens.values.append(value)
+        elif pos + step > base:
+            for q in range(max(pos, base), pos + step):
+                tokens.append_literal(data[q])
+        pos += step
+    return tokens
+
+
 class ZLibStreamCompressor:
     """Incremental ZLib-compatible compressor.
 
@@ -70,6 +102,13 @@ class ZLibStreamCompressor:
         self._finished = False
         self._started = False
         self._total_in = 0
+        # Bytes compressed since the last sync point (or stream start).
+        # flush_sync() is a no-op while this is zero: the previous
+        # marker already byte-aligned the stream, so another empty
+        # stored block would add 5 bytes of pure overhead — the
+        # empty-final-shard case a sharded writer hits whenever the
+        # input ends exactly on a shard boundary.
+        self._since_sync = 0
 
     def _header_once(self) -> None:
         if not self._started:
@@ -86,34 +125,12 @@ class ZLibStreamCompressor:
             return self._drain()
         self._adler.update(chunk)
         self._total_in += len(chunk)
+        self._since_sync += len(chunk)
 
-        # Re-run the matcher over history + chunk, then keep only the
-        # tokens that start inside the new chunk. Token boundaries from
-        # the previous run are preserved because the previous chunk was
-        # emitted to the stream already; the history serves only as
-        # match source material (the dictionary ring's contents).
-        base = len(self._history)
-        data = self._history + chunk
-        result = self._lzss.compress(data)
-        tokens = TokenArray()
-        pos = 0
-        for length, value in zip(
-            result.tokens.lengths, result.tokens.values
-        ):
-            step = length if length else 1
-            if pos >= base:
-                tokens.lengths.append(length)
-                tokens.values.append(value)
-            elif pos + step > base:
-                # A match straddling the boundary: re-emit the part in
-                # the new chunk as literals (boundary tokens cannot be
-                # split into valid shorter matches safely).
-                for q in range(max(pos, base), pos + step):
-                    tokens.append_literal(data[q])
-            pos += step
+        tokens = tokenize_chunk(self._lzss, self._history, chunk)
         self._emit_block(tokens, final=False)
         keep = self.window_size + MIN_LOOKAHEAD
-        self._history = data[-keep:]
+        self._history = (self._history + chunk)[-keep:]
         return self._drain()
 
     def flush_sync(self) -> bytes:
@@ -122,10 +139,20 @@ class ZLibStreamCompressor:
         Everything emitted so far becomes independently decodable (up
         to this point) by any inflater fed the bytes so far plus this
         marker.
+
+        Calling this when nothing was compressed since the previous
+        sync point (or since the start of the stream) emits no marker:
+        the stream is already byte-aligned there, so the empty stored
+        block would be pure overhead. This is the empty-final-shard
+        case — a chunked writer whose input ends exactly on a shard
+        boundary flushes once more before finishing.
         """
         if self._finished:
             raise ConfigError("stream already finished")
         self._header_once()
+        if self._since_sync == 0:
+            return self._drain()
+        self._since_sync = 0
         write_block_header(self._writer, 0b00, final=False)
         self._writer.align_to_byte()
         self._writer.write_bits(0, 16)

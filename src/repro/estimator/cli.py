@@ -6,6 +6,7 @@ Subcommands::
     lzss-estimator run --file input.bin --window 8192 --hash-bits 13
     lzss-estimator sweep --axis window_size --values 1024,2048,4096
     lzss-estimator resources --preset max-ratio
+    lzss-estimator pcompress input.bin --workers 4 --shard-kb 1024
     lzss-estimator verify --total-mb 4
     lzss-estimator presets
 
@@ -176,6 +177,32 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pcompress(args: argparse.Namespace) -> int:
+    from repro.parallel import ShardedCompressor
+
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    params = _build_params(args)
+    engine = ShardedCompressor(
+        params=params,
+        workers=args.workers,
+        shard_size=args.shard_kb * 1024,
+        carry_window=args.carry_window,
+    )
+    result = engine.compress(data)
+    output = args.output or args.input + ".lzz"
+    with open(output, "wb") as handle:
+        handle.write(result.data)
+    print(f"{args.input}: {len(data)} -> {len(result.data)} bytes "
+          f"(ratio {result.ratio:.3f}) -> {output}")
+    print(f"{result.stats.shard_count} shards x {engine.shard_size} bytes "
+          f"on {engine.workers} workers: "
+          f"{result.stats.throughput_mbps:.2f} MB/s")
+    if args.stats:
+        print(result.stats.format(per_shard=True))
+    return 0
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
     from repro.deflate.zlib_container import decompress as zd
 
@@ -312,6 +339,31 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument("--hash-bits", type=int)
     compress_parser.add_argument("--gen-bits", type=int)
     compress_parser.set_defaults(func=_cmd_compress)
+
+    pcompress_parser = sub.add_parser(
+        "pcompress",
+        help="compress a file with the sharded parallel engine "
+        "(pigz-style, single ZLib stream output)",
+    )
+    pcompress_parser.add_argument("input")
+    pcompress_parser.add_argument("-o", "--output")
+    pcompress_parser.add_argument("--workers", type=int, default=None,
+                                  help="process count (default: CPUs)")
+    pcompress_parser.add_argument("--shard-kb", type=int, default=1024,
+                                  help="shard size in KiB")
+    pcompress_parser.add_argument(
+        "--carry-window", action="store_true",
+        help="prime each shard with the preceding window "
+        "(better ratio, shards stay parallel)",
+    )
+    pcompress_parser.add_argument("--stats", action="store_true",
+                                  help="print per-shard statistics")
+    pcompress_parser.add_argument("--preset",
+                                  choices=sorted(ESTIMATION_PRESETS))
+    pcompress_parser.add_argument("--window", type=int)
+    pcompress_parser.add_argument("--hash-bits", type=int)
+    pcompress_parser.add_argument("--gen-bits", type=int)
+    pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(
         "decompress", help="decompress a .lzz / ZLib stream file"

@@ -1,0 +1,35 @@
+"""repro.parallel — sharded parallel compression into single ZLib streams.
+
+The scaling axis the paper's single pipelined core lacks: cut the input
+into fixed-size shards, compress them concurrently on a process pool,
+stitch the fragments with sync-flush joins and a combined Adler-32 so
+the result is one stream every standard inflater accepts.
+
+* :func:`compress_parallel` / :class:`ShardedCompressor` — one-shot API;
+* :class:`ParallelDeflateWriter` — streaming writer with bounded
+  in-flight shards (backpressure);
+* :class:`ParallelStats` — per-shard wall time, queue depth, MB/s.
+"""
+
+from repro.parallel.engine import (
+    DEFAULT_SHARD_SIZE,
+    MIN_SHARD_SIZE,
+    ParallelCompressionResult,
+    ShardedCompressor,
+    compress_parallel,
+    compress_shard_body,
+)
+from repro.parallel.stats import ParallelStats, ShardStat
+from repro.parallel.writer import ParallelDeflateWriter
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MIN_SHARD_SIZE",
+    "ParallelCompressionResult",
+    "ParallelDeflateWriter",
+    "ParallelStats",
+    "ShardStat",
+    "ShardedCompressor",
+    "compress_parallel",
+    "compress_shard_body",
+]

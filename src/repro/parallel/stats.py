@@ -1,0 +1,115 @@
+"""Instrumentation for the sharded compression engine.
+
+Every shard job reports its own wall time and sizes; the engine and the
+streaming writer fold them into a :class:`ParallelStats` that answers
+the operational questions — aggregate MB/s, per-shard latency spread,
+and how deep the in-flight queue ran (the writer bounds it, the
+one-shot engine saturates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class ShardStat:
+    """One shard's compression record."""
+
+    index: int
+    input_bytes: int
+    output_bytes: int
+    wall_s: float
+    worker: int  # pid of the process that compressed it
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.input_bytes / self.wall_s / 1e6
+
+
+@dataclass
+class ParallelStats:
+    """Aggregate outcome of one sharded compression."""
+
+    workers: int
+    shard_size: int
+    shards: List[ShardStat] = field(default_factory=list)
+    wall_s: float = 0.0
+    peak_inflight: int = 0
+
+    def add_shard(self, stat: ShardStat) -> None:
+        self.shards.append(stat)
+
+    def note_inflight(self, depth: int) -> None:
+        """Record the current in-flight shard count (queue depth)."""
+        if depth > self.peak_inflight:
+            self.peak_inflight = depth
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(s.input_bytes for s in self.shards)
+
+    @property
+    def bytes_out(self) -> int:
+        """Compressed shard bytes (excludes the ~8 bytes of framing)."""
+        return sum(s.output_bytes for s in self.shards)
+
+    @property
+    def throughput_mbps(self) -> float:
+        """End-to-end speed: input bytes over total wall time."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.bytes_in / self.wall_s / 1e6
+
+    @property
+    def ratio(self) -> float:
+        if self.bytes_out == 0:
+            return 0.0
+        return self.bytes_in / self.bytes_out
+
+    @property
+    def worker_seconds(self) -> float:
+        """Summed per-shard wall time (the work the pool absorbed)."""
+        return sum(s.wall_s for s in self.shards)
+
+    @property
+    def mean_shard_s(self) -> float:
+        if not self.shards:
+            return 0.0
+        return self.worker_seconds / len(self.shards)
+
+    @property
+    def max_shard_s(self) -> float:
+        if not self.shards:
+            return 0.0
+        return max(s.wall_s for s in self.shards)
+
+    def format(self, per_shard: bool = False) -> str:
+        """Render a plain-text report (the CLI's ``--stats`` output)."""
+        lines = [
+            f"shards          : {self.shard_count} "
+            f"x {self.shard_size} bytes (workers={self.workers})",
+            f"input           : {self.bytes_in} bytes",
+            f"output          : {self.bytes_out} bytes "
+            f"(ratio {self.ratio:.3f})",
+            f"wall time       : {self.wall_s:.3f} s "
+            f"({self.throughput_mbps:.2f} MB/s)",
+            f"shard wall time : mean {self.mean_shard_s:.3f} s, "
+            f"max {self.max_shard_s:.3f} s",
+            f"peak queue depth: {self.peak_inflight}",
+        ]
+        if per_shard:
+            for s in self.shards:
+                lines.append(
+                    f"  shard {s.index:>4d}: {s.input_bytes:>8d} -> "
+                    f"{s.output_bytes:>8d} B  {s.wall_s:.3f} s  "
+                    f"{s.throughput_mbps:.2f} MB/s  pid {s.worker}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Streaming front-end for the sharded engine with bounded memory.
+
+:class:`ShardedCompressor` submits every shard at once — fine for
+in-memory one-shots, wrong for an unbounded stream. The writer accepts
+``write()`` calls of any size, cuts full shards off its buffer, keeps at
+most ``max_inflight`` shards in the pool (further ``write()`` calls
+block on the oldest result — backpressure), and emits compressed
+fragments to the sink strictly in shard order, so the sink receives a
+valid ZLib stream incrementally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.checksums.adler32 import adler32_combine
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.zlib_container import make_header
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.lzss.tokens import MIN_LOOKAHEAD
+from repro.parallel import engine
+from repro.parallel.engine import (
+    DEFAULT_SHARD_SIZE,
+    MIN_SHARD_SIZE,
+    ShardTask,
+    close_stream,
+    pool_context,
+)
+from repro.parallel.stats import ParallelStats, ShardStat
+
+
+class ParallelDeflateWriter:
+    """File-like writer compressing shards concurrently, in order.
+
+    Usage::
+
+        with ParallelDeflateWriter(sink, workers=4) as writer:
+            for chunk in source:
+                writer.write(chunk)
+
+    ``sink`` needs only a ``write(bytes)`` method. The ZLib header is
+    written immediately; shard fragments follow as they complete (always
+    in submission order); the closing block and Adler-32 trailer are
+    written by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        sink,
+        params: Optional[HardwareParams] = None,
+        workers: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        max_inflight: Optional[int] = None,
+        carry_window: bool = False,
+        strategy: BlockStrategy = BlockStrategy.FIXED,
+    ) -> None:
+        if shard_size < MIN_SHARD_SIZE:
+            raise ConfigError(
+                f"shard_size must be >= {MIN_SHARD_SIZE}: {shard_size}"
+            )
+        if strategy is BlockStrategy.STORED:
+            raise ConfigError("STORED shards would not compress anything")
+        self._sink = sink
+        self.params = params or HardwareParams()
+        self.workers = workers or os.cpu_count() or 1
+        self.shard_size = shard_size
+        self.carry_window = carry_window
+        self.strategy = strategy
+        # Two in-flight shards per worker keeps the pool fed while the
+        # parent stitches; the floor of 2 lets even workers=1 overlap
+        # buffering with compression.
+        self.max_inflight = max_inflight or max(2 * self.workers, 2)
+        if self.max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1: {self.max_inflight}"
+            )
+        self._buffer = bytearray()
+        self._tail = b""  # carried window material (plaintext)
+        self._pending = deque()
+        self._pool = None
+        self._adler = 1
+        self._next_index = 0
+        self._total_in = 0
+        self._closed = False
+        self._started = time.perf_counter()
+        self.stats = ParallelStats(workers=self.workers,
+                                   shard_size=shard_size)
+        self._sink.write(make_header(self.params.window_size))
+
+    # -- pipeline ----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=pool_context()
+            )
+        return self._pool
+
+    def _submit(self, shard: bytes) -> None:
+        if len(self._pending) >= self.max_inflight:
+            self._drain_one()  # backpressure: block on the oldest shard
+        task = ShardTask(
+            index=self._next_index,
+            data=shard,
+            history=self._tail if self.carry_window else b"",
+            window_size=self.params.window_size,
+            hash_spec=self.params.hash_spec,
+            policy=self.params.policy,
+            strategy=self.strategy,
+        )
+        self._next_index += 1
+        self._total_in += len(shard)
+        keep = self.params.window_size + MIN_LOOKAHEAD
+        if self.carry_window:
+            self._tail = (self._tail + shard)[-keep:]
+        if self.workers == 1:
+            self._pending.append(engine._compress_shard(task))
+        else:
+            self._pending.append(self._ensure_pool().submit(
+                engine._compress_shard, task))
+        self.stats.note_inflight(len(self._pending))
+
+    def _drain_one(self) -> None:
+        item = self._pending.popleft()
+        result = item.result() if hasattr(item, "result") else item
+        self._sink.write(result.body)
+        self._adler = adler32_combine(self._adler, result.adler,
+                                      result.input_bytes)
+        self.stats.add_shard(
+            ShardStat(
+                index=result.index,
+                input_bytes=result.input_bytes,
+                output_bytes=len(result.body),
+                wall_s=result.wall_s,
+                worker=result.worker,
+            )
+        )
+
+    # -- public API --------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Buffer ``data``; submit every full shard it completes.
+
+        Blocks (on the oldest in-flight shard) whenever the in-flight
+        bound is reached, so memory stays at
+        ``O(max_inflight * shard_size)`` regardless of input size.
+        """
+        if self._closed:
+            raise ConfigError("writer already closed")
+        self._buffer += data
+        while len(self._buffer) >= self.shard_size:
+            shard = bytes(self._buffer[:self.shard_size])
+            del self._buffer[:self.shard_size]
+            self._submit(shard)
+        return len(data)
+
+    @property
+    def total_in(self) -> int:
+        """Bytes accepted so far (buffered or submitted)."""
+        return self._total_in + len(self._buffer)
+
+    def close(self) -> None:
+        """Flush the partial tail shard, drain the pool, finish the stream.
+
+        An input ending exactly on a shard boundary leaves an empty tail
+        — no empty shard is submitted for it (see the sync-flush
+        emission rule in :mod:`repro.deflate.stream`).
+        """
+        if self._closed:
+            return
+        try:
+            if self._buffer:
+                shard = bytes(self._buffer)
+                self._buffer.clear()
+                self._submit(shard)
+            while self._pending:
+                self._drain_one()
+            self._sink.write(close_stream(self._adler))
+            self.stats.wall_s = time.perf_counter() - self._started
+        finally:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def __enter__(self) -> "ParallelDeflateWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Abandon the stream on error: shut the pool down without
+            # writing a (corrupt) trailer.
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None

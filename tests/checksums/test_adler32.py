@@ -4,7 +4,7 @@ import zlib
 
 import pytest
 
-from repro.checksums.adler32 import Adler32, adler32
+from repro.checksums.adler32 import Adler32, adler32, adler32_combine
 
 
 class TestAgainstOracle:
@@ -53,6 +53,53 @@ class TestAccumulator:
     def test_digest_is_big_endian(self):
         acc = Adler32(b"hello")
         assert acc.digest() == acc.value.to_bytes(4, "big")
+
+
+class TestCombine:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            (b"", b""),
+            (b"", b"right only"),
+            (b"left only", b""),
+            (b"a", b"b"),
+            (b"Wiki", b"pedia"),
+            (b"\x00" * 5000, b"\xff" * 7000),
+            (bytes(range(256)) * 300, b"tail"),
+        ],
+    )
+    def test_matches_whole_checksum(self, left, right):
+        combined = adler32_combine(
+            adler32(left), adler32(right), len(right)
+        )
+        assert combined == adler32(left + right)
+
+    def test_folds_many_shards(self, corpus_variety):
+        # The stitcher's exact usage: fold per-shard checksums in order.
+        for name, data in corpus_variety.items():
+            shards = [data[i:i + 997] for i in range(0, len(data), 997)]
+            value = 1
+            for shard in shards:
+                value = adler32_combine(value, adler32(shard), len(shard))
+            assert value == adler32(data), name
+
+    def test_len2_longer_than_modulus(self):
+        right = b"z" * 70000  # len2 > 65521 exercises the reduction
+        combined = adler32_combine(
+            adler32(b"prefix"), adler32(right), len(right)
+        )
+        assert combined == adler32(b"prefix" + right)
+
+    def test_matches_zlib_oracle(self):
+        left, right = b"alpha " * 999, b"beta " * 1234
+        combined = adler32_combine(
+            zlib.adler32(left), zlib.adler32(right), len(right)
+        )
+        assert combined == zlib.adler32(left + right)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            adler32_combine(1, 1, -1)
 
 
 class TestModularArithmetic:

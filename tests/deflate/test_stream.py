@@ -10,7 +10,7 @@ from repro.deflate.stream import (
     compress_chunks,
     decompress_prefix,
 )
-from repro.deflate.zlib_container import decompress
+from repro.deflate.zlib_container import decompress, make_header
 from repro.errors import ConfigError
 
 
@@ -113,3 +113,60 @@ class TestFlushSemantics:
             chunked(x2e_small, 2048), sync_every_chunk=True
         )
         assert zlib.decompress(stream) == x2e_small
+
+
+class TestEmptyShardSyncFlush:
+    """Regression: no redundant sync markers for empty (final) shards.
+
+    A sync marker's only job is byte-aligning what was written since the
+    last boundary; when nothing was written, emitting another empty
+    stored block is 5 bytes of pure overhead per flush. A sharded writer
+    hits this whenever the input ends exactly on a shard boundary (the
+    empty-final-shard case), and a keepalive-style caller hits it on
+    every idle flush.
+    """
+
+    def test_double_flush_emits_one_marker(self):
+        stream = ZLibStreamCompressor()
+        out = stream.compress(b"payload " * 40)
+        first = stream.flush_sync()
+        second = stream.flush_sync()
+        assert first  # real marker for real data
+        assert second == b""  # nothing new to align
+        out += first + second + stream.finish()
+        assert zlib.decompress(out) == b"payload " * 40
+
+    def test_flush_on_virgin_stream_emits_header_only(self):
+        stream = ZLibStreamCompressor()
+        out = stream.flush_sync()
+        assert out == make_header(stream.window_size)  # no stored block
+        out += stream.finish()
+        assert zlib.decompress(out) == b""
+
+    def test_empty_final_shard_adds_no_bytes(self):
+        chunks = [b"shard one! " * 100, b"shard two! " * 100]
+        with_tail = compress_chunks(
+            chunks + [b""], sync_every_chunk=True
+        )
+        without_tail = compress_chunks(chunks, sync_every_chunk=True)
+        assert with_tail == without_tail
+        assert zlib.decompress(with_tail) == b"".join(chunks)
+
+    def test_flush_after_empty_chunk_is_noop(self):
+        stream = ZLibStreamCompressor()
+        out = stream.compress(b"data")
+        out += stream.flush_sync()
+        marked = len(out)
+        out += stream.compress(b"")
+        out += stream.flush_sync()
+        assert len(out) == marked  # no second marker
+        out += stream.finish()
+        assert zlib.decompress(out) == b"data"
+
+    def test_prefix_recovery_still_holds(self):
+        first = b"before the crash " * 30
+        stream = ZLibStreamCompressor()
+        out = stream.compress(first)
+        out += stream.flush_sync()
+        out += stream.flush_sync()  # suppressed duplicate
+        assert decompress_prefix(out) == first

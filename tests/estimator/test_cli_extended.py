@@ -1,4 +1,6 @@
-"""Tests for the compare/pareto/verify CLI subcommands."""
+"""Tests for the compare/pareto/verify/pcompress CLI subcommands."""
+
+import zlib
 
 from repro.estimator.cli import main
 
@@ -34,6 +36,36 @@ class TestPareto:
         content = target.read_text()
         assert content.startswith("label,")
         assert len(content.splitlines()) == 21  # 5 windows x 4 hashes + 1
+
+
+class TestPCompress:
+    def test_parallel_compress_roundtrips(self, tmp_path, capsys):
+        source = tmp_path / "input.bin"
+        payload = b"parallel cli payload " * 500
+        source.write_bytes(payload)
+        target = tmp_path / "out.lzz"
+        code = main([
+            "pcompress", str(source), "-o", str(target),
+            "--workers", "1", "--shard-kb", "4", "--stats",
+        ])
+        assert code == 0
+        assert zlib.decompress(target.read_bytes()) == payload
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "MB/s" in out
+        assert "peak queue depth" in out
+
+    def test_carry_window_flag(self, tmp_path, capsys):
+        source = tmp_path / "input.bin"
+        payload = b"window carried payload " * 800
+        source.write_bytes(payload)
+        code = main([
+            "pcompress", str(source), "--workers", "1",
+            "--shard-kb", "4", "--carry-window",
+        ])
+        assert code == 0
+        produced = source.parent / (source.name + ".lzz")
+        assert zlib.decompress(produced.read_bytes()) == payload
 
 
 class TestVerify:

@@ -39,4 +39,5 @@ def test_expected_example_set():
         "zlib_interop",
         "streaming_crash_safe_log",
         "seekable_archive",
+        "parallel_pipeline",
     } <= names

@@ -1,0 +1,236 @@
+"""Concurrency unit tests: shard boundaries, crashes, backpressure."""
+
+import io
+import zlib
+
+import pytest
+
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.zlib_container import decompress as own_decompress
+from repro.errors import ConfigError
+from repro.hw.params import HardwareParams
+from repro.parallel import (
+    MIN_SHARD_SIZE,
+    ParallelDeflateWriter,
+    ShardedCompressor,
+    compress_parallel,
+)
+from repro.parallel import engine as engine_module
+
+SHARD = MIN_SHARD_SIZE  # smallest legal shard keeps tests fast
+
+
+class TestShardBoundaries:
+    def test_empty_input(self):
+        stream = compress_parallel(b"", workers=1, shard_size=SHARD)
+        assert zlib.decompress(stream) == b""
+        assert own_decompress(stream) == b""
+
+    def test_input_smaller_than_one_shard(self):
+        payload = b"tiny payload"
+        stream = compress_parallel(payload, workers=1, shard_size=SHARD)
+        assert zlib.decompress(stream) == payload
+
+    def test_exact_shard_multiple(self, wiki_small):
+        payload = wiki_small[: 4 * SHARD]
+        assert len(payload) == 4 * SHARD
+        engine = ShardedCompressor(workers=1, shard_size=SHARD)
+        assert len(engine.plan(payload)) == 4
+        stream = engine.compress(payload).data
+        assert zlib.decompress(stream) == payload
+
+    def test_one_byte_over_shard_multiple(self, wiki_small):
+        payload = wiki_small[: 2 * SHARD + 1]
+        engine = ShardedCompressor(workers=1, shard_size=SHARD)
+        tasks = engine.plan(payload)
+        assert [len(t.data) for t in tasks] == [SHARD, SHARD, 1]
+        assert zlib.decompress(engine.compress(payload).data) == payload
+
+    def test_plan_carries_window_history(self, wiki_small):
+        payload = wiki_small[: 3 * SHARD]
+        engine = ShardedCompressor(
+            workers=1, shard_size=SHARD, carry_window=True
+        )
+        tasks = engine.plan(payload)
+        assert tasks[0].history == b""
+        for task in tasks[1:]:
+            assert task.history  # primed with the preceding window
+            assert payload[
+                task.index * SHARD - len(task.history):
+                task.index * SHARD
+            ] == task.history
+
+    def test_carry_window_improves_ratio(self, wiki_small):
+        isolated = compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD
+        )
+        carried = compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD, carry_window=True
+        )
+        assert zlib.decompress(carried) == wiki_small
+        assert len(carried) < len(isolated)
+
+    def test_pool_output_identical_to_serial(self, x2e_small):
+        serial = compress_parallel(x2e_small, workers=1, shard_size=SHARD)
+        pooled = compress_parallel(x2e_small, workers=3, shard_size=SHARD)
+        assert pooled == serial
+
+    def test_dynamic_strategy(self, x2e_small):
+        stream = compress_parallel(
+            x2e_small[: 4 * SHARD],
+            workers=1,
+            shard_size=SHARD,
+            strategy=BlockStrategy.DYNAMIC,
+        )
+        assert zlib.decompress(stream) == x2e_small[: 4 * SHARD]
+
+    def test_custom_params_roundtrip(self, wiki_small):
+        params = HardwareParams(window_size=1024, hash_bits=9)
+        stream = compress_parallel(
+            wiki_small[: 2 * SHARD + 100],
+            params=params,
+            workers=1,
+            shard_size=SHARD,
+        )
+        assert zlib.decompress(stream) == wiki_small[: 2 * SHARD + 100]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ShardedCompressor(shard_size=MIN_SHARD_SIZE - 1)
+        with pytest.raises(ConfigError):
+            ShardedCompressor(workers=0)
+        with pytest.raises(ConfigError):
+            ShardedCompressor(strategy=BlockStrategy.STORED)
+        with pytest.raises(ConfigError):
+            ParallelDeflateWriter(io.BytesIO(), shard_size=512)
+
+    def test_stats_accounting(self, wiki_small):
+        payload = wiki_small[: 3 * SHARD + 7]
+        result = ShardedCompressor(
+            workers=1, shard_size=SHARD
+        ).compress(payload)
+        stats = result.stats
+        assert stats.shard_count == 4
+        assert stats.bytes_in == len(payload)
+        assert stats.bytes_out == sum(
+            s.output_bytes for s in stats.shards
+        )
+        # Framing: 2-byte header + 2-byte final block + 4-byte Adler.
+        assert len(result.data) == stats.bytes_out + 8
+        assert stats.wall_s > 0
+        assert stats.throughput_mbps > 0
+        assert "peak queue depth" in stats.format()
+
+
+def _boom(task):
+    raise RuntimeError(f"shard {task.index} exploded")
+
+
+class TestWorkerCrashPropagation:
+    def test_serial_path_propagates(self, monkeypatch, wiki_small):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        engine = ShardedCompressor(workers=1, shard_size=SHARD)
+        with pytest.raises(RuntimeError, match="shard 0 exploded"):
+            engine.compress(wiki_small[: 2 * SHARD])
+
+    def test_pool_path_propagates(self, monkeypatch, wiki_small):
+        # The fork context inherits the patched module, so the crash
+        # happens inside a real worker process and must surface here.
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        engine = ShardedCompressor(workers=2, shard_size=SHARD)
+        with pytest.raises(RuntimeError, match="exploded"):
+            engine.compress(wiki_small[: 2 * SHARD])
+
+    def test_writer_propagates_and_abandons_stream(
+        self, monkeypatch, wiki_small
+    ):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        sink = io.BytesIO()
+        with pytest.raises(RuntimeError):
+            with ParallelDeflateWriter(
+                sink, workers=1, shard_size=SHARD, max_inflight=1
+            ) as writer:
+                writer.write(wiki_small[: 2 * SHARD])
+        # No trailer was written after the failure.
+        assert len(sink.getvalue()) == 2  # just the ZLib header
+
+
+class TestWriterBackpressure:
+    def test_roundtrip_matches_one_shot(self, wiki_small):
+        sink = io.BytesIO()
+        with ParallelDeflateWriter(
+            sink, workers=2, shard_size=SHARD, max_inflight=2
+        ) as writer:
+            for start in range(0, len(wiki_small), 777):
+                writer.write(wiki_small[start:start + 777])
+        blob = sink.getvalue()
+        assert zlib.decompress(blob) == wiki_small
+        assert blob == compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD
+        )
+
+    @pytest.mark.parametrize("bound", [1, 2, 4])
+    def test_inflight_never_exceeds_bound(self, wiki_small, bound):
+        sink = io.BytesIO()
+        with ParallelDeflateWriter(
+            sink, workers=2, shard_size=SHARD, max_inflight=bound
+        ) as writer:
+            writer.write(wiki_small)
+        assert 0 < writer.stats.peak_inflight <= bound
+        assert zlib.decompress(sink.getvalue()) == wiki_small
+
+    def test_empty_stream(self):
+        sink = io.BytesIO()
+        with ParallelDeflateWriter(sink, workers=1, shard_size=SHARD):
+            pass
+        assert zlib.decompress(sink.getvalue()) == b""
+
+    def test_input_on_exact_shard_boundary_adds_no_empty_shard(
+        self, wiki_small
+    ):
+        payload = wiki_small[: 2 * SHARD]
+        sink = io.BytesIO()
+        with ParallelDeflateWriter(
+            sink, workers=1, shard_size=SHARD
+        ) as writer:
+            writer.write(payload)
+        assert writer.stats.shard_count == 2
+        assert zlib.decompress(sink.getvalue()) == payload
+
+    def test_carry_window_streaming(self, wiki_small):
+        sink = io.BytesIO()
+        with ParallelDeflateWriter(
+            sink, workers=1, shard_size=SHARD, carry_window=True
+        ) as writer:
+            for start in range(0, len(wiki_small), 333):
+                writer.write(wiki_small[start:start + 333])
+        blob = sink.getvalue()
+        assert zlib.decompress(blob) == wiki_small
+        assert blob == compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD, carry_window=True
+        )
+
+    def test_write_after_close_rejected(self):
+        writer = ParallelDeflateWriter(
+            io.BytesIO(), workers=1, shard_size=SHARD
+        )
+        writer.close()
+        with pytest.raises(ConfigError):
+            writer.write(b"late")
+
+    def test_close_idempotent(self):
+        sink = io.BytesIO()
+        writer = ParallelDeflateWriter(sink, workers=1, shard_size=SHARD)
+        writer.write(b"abc")
+        writer.close()
+        size = len(sink.getvalue())
+        writer.close()
+        assert len(sink.getvalue()) == size
+
+    def test_total_in_tracks_buffered_and_submitted(self, wiki_small):
+        writer = ParallelDeflateWriter(
+            io.BytesIO(), workers=1, shard_size=SHARD
+        )
+        writer.write(wiki_small[: SHARD + 100])
+        assert writer.total_in == SHARD + 100
+        writer.close()

@@ -54,6 +54,10 @@ class TestSubpackageImports:
             "repro.workloads.logs",
             "repro.estimator",
             "repro.estimator.parallel",
+            "repro.parallel",
+            "repro.parallel.engine",
+            "repro.parallel.writer",
+            "repro.parallel.stats",
             "repro.testbench",
             "repro.testbench.cpu_load",
             "repro.analysis",
