@@ -2,7 +2,9 @@
 
 Runs the same wiki input through :class:`repro.parallel.ShardedCompressor`
 at 1/2/4/8 workers, verifies every output against CPython's zlib, and
-records MB/s per worker count to ``benchmarks/results/``. The speedup
+records MB/s per worker count to ``benchmarks/results/`` (rendered) and
+``BENCH_parallel.json`` at the repo root (machine-readable, uploaded as
+a CI artifact alongside ``BENCH_tokenizer.json``). The speedup
 assertion is gated on the CPUs actually schedulable in this environment:
 on an N-core box worker counts beyond N cannot scale, so only the
 counts the hardware can honour are required to beat the serial path.
@@ -17,11 +19,18 @@ or in full (8 MiB input, workers 1/2/4/8) without ``--quick``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import pathlib
+import platform
 import sys
 import time
 import zlib
 from typing import List, Optional, Tuple
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_parallel.json"
+)
 
 
 def available_cpus() -> int:
@@ -102,6 +111,34 @@ def check_scaling(rows: List[Tuple[int, float, int]]) -> None:
             )
 
 
+def save_json(
+    rows: List[Tuple[int, float, int]],
+    size_bytes: int,
+    shard_size: int,
+    path: pathlib.Path = JSON_PATH,
+) -> None:
+    """Write the machine-readable scaling report next to the repo root."""
+    serial = rows[0][1]
+    report = {
+        "benchmark": "parallel_scaling",
+        "python": platform.python_version(),
+        "cpus": available_cpus(),
+        "input_bytes": size_bytes,
+        "shard_bytes": shard_size,
+        "rows": [
+            {
+                "workers": workers,
+                "mbps": round(mbps, 3),
+                "speedup": round(mbps / serial, 3),
+                "output_bytes": out_bytes,
+            }
+            for workers, mbps, out_bytes in rows
+        ],
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -129,6 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from benchmarks.conftest import save_exhibit
 
     save_exhibit("parallel_scaling", text)
+    save_json(rows, size, shard)
     check_scaling(rows)
     print("all outputs verified against zlib; scaling checks passed")
     return 0

@@ -1,0 +1,231 @@
+"""Throughput of the trace-free fast path vs the instrumented tokenizer.
+
+Times the same inputs through ``trace=True`` (the instrumented
+reproduction path feeding the cycle models) and ``trace=False`` (the
+production path: :mod:`repro.lzss.fast` + fused Huffman emission), for
+greedy and lazy parsing on a synthetic mixed workload and syslog text.
+Two end-to-end one-shot paths ride along: :func:`compress_parallel` and
+:class:`ZLibStreamCompressor` on 1 MiB of synthetic data.
+
+Every fast output is verified bit-identical to its traced twin before a
+number is reported. Results go to ``benchmarks/results/`` (rendered) and
+``BENCH_tokenizer.json`` at the repo root (machine-readable, consumed by
+the CI perf-smoke job, which fails the build when the fast path drops
+below ``--min-speedup`` — 1.5x by default).
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_tokenizer_fast.py --quick
+
+or in full (1 MiB end-to-end, the acceptance configuration) without
+``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+import zlib
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_tokenizer.json"
+
+
+def _best_mbps(fn: Callable[[], object], nbytes: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return nbytes / best / 1e6
+
+
+def tokenizer_workloads(size_bytes: int) -> Dict[str, bytes]:
+    from repro.workloads.logs import syslog_text
+    from repro.workloads.synthetic import mixed
+
+    return {
+        "synthetic_mixed": mixed(size_bytes, seed=7),
+        "syslog": syslog_text(size_bytes, seed=7),
+    }
+
+
+def measure_tokenizers(size_bytes: int, repeats: int) -> List[dict]:
+    """Traced vs fast tokenization, greedy and lazy, per workload."""
+    from repro.lzss.compressor import compress_tokens
+    from repro.lzss.policy import ZLIB_LEVELS
+
+    parsers = [("greedy", ZLIB_LEVELS[1]), ("lazy", ZLIB_LEVELS[6])]
+    rows: List[dict] = []
+    for workload, data in sorted(tokenizer_workloads(size_bytes).items()):
+        for parser, policy in parsers:
+            traced = compress_tokens(data, 32768, policy=policy, trace=True)
+            fast = compress_tokens(data, 32768, policy=policy, trace=False)
+            if (
+                fast.tokens.lengths != traced.tokens.lengths
+                or fast.tokens.values != traced.tokens.values
+            ):
+                raise AssertionError(
+                    f"fast tokens diverge from traced: {workload}/{parser}"
+                )
+            traced_mbps = _best_mbps(
+                lambda: compress_tokens(data, 32768, policy=policy,
+                                        trace=True),
+                len(data), repeats,
+            )
+            fast_mbps = _best_mbps(
+                lambda: compress_tokens(data, 32768, policy=policy,
+                                        trace=False),
+                len(data), repeats,
+            )
+            rows.append({
+                "workload": workload,
+                "parser": parser,
+                "traced_mbps": round(traced_mbps, 3),
+                "fast_mbps": round(fast_mbps, 3),
+                "speedup": round(fast_mbps / traced_mbps, 3),
+                "tokens": len(fast.tokens),
+            })
+    return rows
+
+
+def measure_end_to_end(size_bytes: int, repeats: int) -> List[dict]:
+    """One-shot parallel engine and stream compressor, traced vs fast."""
+    from repro.deflate.stream import ZLibStreamCompressor
+    from repro.parallel import compress_parallel
+    from repro.workloads.synthetic import mixed
+
+    data = mixed(size_bytes, seed=7)
+
+    def stream_once(traced: bool) -> bytes:
+        stream = ZLibStreamCompressor(window_size=32768, traced=traced)
+        return stream.compress(data) + stream.finish()
+
+    def parallel_once(traced: bool) -> bytes:
+        return compress_parallel(data, workers=1, traced=traced)
+
+    rows: List[dict] = []
+    for path, run in (("parallel", parallel_once), ("stream", stream_once)):
+        fast_out = run(False)
+        if run(True) != fast_out:
+            raise AssertionError(f"{path}: fast output != traced output")
+        if zlib.decompress(fast_out) != data:
+            raise AssertionError(f"{path}: round-trip failed")
+        traced_mbps = _best_mbps(lambda: run(True), len(data), repeats)
+        fast_mbps = _best_mbps(lambda: run(False), len(data), repeats)
+        rows.append({
+            "path": path,
+            "traced_mbps": round(traced_mbps, 3),
+            "fast_mbps": round(fast_mbps, 3),
+            "speedup": round(fast_mbps / traced_mbps, 3),
+            "output_bytes": len(fast_out),
+        })
+    return rows
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"fast-path tokenizer vs traced "
+        f"({report['tokenizer_bytes']} B/workload, "
+        f"{report['end_to_end_bytes']} B end-to-end)",
+        f"{'workload':>16s} {'parser':>7s} {'traced':>9s} {'fast':>9s} "
+        f"{'speedup':>8s}",
+    ]
+    for row in report["tokenizer"]:
+        lines.append(
+            f"{row['workload']:>16s} {row['parser']:>7s} "
+            f"{row['traced_mbps']:>7.2f}MB {row['fast_mbps']:>7.2f}MB "
+            f"{row['speedup']:>7.2f}x"
+        )
+    lines.append(f"{'end-to-end':>16s}")
+    for row in report["end_to_end"]:
+        lines.append(
+            f"{row['path']:>16s} {'':>7s} "
+            f"{row['traced_mbps']:>7.2f}MB {row['fast_mbps']:>7.2f}MB "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_speedup(report: dict, min_speedup: float) -> None:
+    """The fast path must actually be fast — everywhere it is offered."""
+    for row in report["tokenizer"] + report["end_to_end"]:
+        name = row.get("path") or f"{row['workload']}/{row['parser']}"
+        assert row["speedup"] >= min_speedup, (
+            f"{name}: fast path only {row['speedup']:.2f}x over traced "
+            f"(required >= {min_speedup:.1f}x)"
+        )
+
+
+def build_report(tokenizer_bytes: int, end_to_end_bytes: int,
+                 repeats: int) -> dict:
+    return {
+        "benchmark": "tokenizer_fast",
+        "python": platform.python_version(),
+        "tokenizer_bytes": tokenizer_bytes,
+        "end_to_end_bytes": end_to_end_bytes,
+        "repeats": repeats,
+        "tokenizer": measure_tokenizers(tokenizer_bytes, repeats),
+        "end_to_end": measure_end_to_end(end_to_end_bytes, repeats),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 128 KiB workloads, two repeats",
+    )
+    parser.add_argument("--size-kb", type=int, default=256,
+                        help="tokenizer workload size in KiB (full mode)")
+    parser.add_argument("--e2e-kb", type=int, default=1024,
+                        help="end-to-end input size in KiB (full mode)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail if any fast path is below this")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help="machine-readable output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        tokenizer_bytes, e2e_bytes, repeats = 192 * 1024, 256 * 1024, 2
+    else:
+        tokenizer_bytes = args.size_kb * 1024
+        e2e_bytes = args.e2e_kb * 1024
+        repeats = args.repeats
+
+    report = build_report(tokenizer_bytes, e2e_bytes, repeats)
+    report["min_speedup"] = args.min_speedup
+
+    from benchmarks.conftest import save_exhibit
+
+    save_exhibit("tokenizer_fast", render(report))
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    check_speedup(report, args.min_speedup)
+    print("all fast outputs bit-identical to traced; speedup checks passed")
+    return 0
+
+
+def test_tokenizer_fast_smoke(benchmark, sample_bytes):
+    """pytest-benchmark entry: quick sweep on the bench sample size."""
+    from benchmarks.conftest import run_once, save_exhibit
+
+    report = run_once(
+        benchmark,
+        lambda: build_report(sample_bytes // 2, sample_bytes // 2, 1),
+    )
+    save_exhibit("tokenizer_fast", render(report))
+    check_speedup(report, 1.2)  # single-repeat smoke: looser bound
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(
+        __file__))))
+    sys.exit(main())

@@ -59,6 +59,42 @@ class BitWriter:
             self._bitbuf >>= 8
             self._bitcount -= 8
 
+    def write_bits_unchecked(self, value: int, nbits: int) -> None:
+        """Append bits without range validation.
+
+        For trusted callers only (the fused emission tables, whose
+        entries are validated once at construction). A ``value`` with
+        stray bits above ``nbits`` would corrupt the stream silently —
+        that is the contract the validation in :meth:`write_bits` exists
+        to enforce for everyone else.
+        """
+        self._bitbuf |= value << self._bitcount
+        self._bitcount += nbits
+        while self._bitcount >= 8:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+
+    def extend_fused(self, bitbuf: int, bitcount: int) -> None:
+        """Merge an externally accumulated LSB-first bit run, batched.
+
+        ``bitbuf`` holds ``bitcount`` bits in the same orientation as
+        the internal buffer (new bits above old). The whole run is
+        spliced above the pending bits and every complete byte is
+        flushed in one ``int.to_bytes`` call instead of byte-at-a-time —
+        the batched flush the fused block emitters rely on.
+        """
+        bitbuf = (bitbuf << self._bitcount) | self._bitbuf
+        bitcount += self._bitcount
+        nbytes = bitcount >> 3
+        if nbytes:
+            self._out += (
+                bitbuf & ((1 << (nbytes << 3)) - 1)
+            ).to_bytes(nbytes, "little")
+            bitbuf >>= nbytes << 3
+        self._bitbuf = bitbuf
+        self._bitcount = bitcount & 7
+
     def write_huffman_code(self, code: int, nbits: int) -> None:
         """Append a Huffman code of ``nbits`` bits.
 

@@ -16,6 +16,7 @@ from repro.deflate.block_writer import (
     write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.fused import FusedTables, fuse_encoders
 from repro.deflate.inflate import inflate
 from repro.deflate.zlib_container import (
     ZLibCompressor,
@@ -55,6 +56,8 @@ __all__ = [
     "write_fixed_block",
     "write_stored_block",
     "write_dynamic_block",
+    "FusedTables",
+    "fuse_encoders",
     "inflate",
     "ZLibCompressor",
     "zlib_compress",

@@ -5,6 +5,11 @@ fixed-table Huffman encoder: literal and length/distance symbols are
 coded with the static RFC 1951 tables, so no table transmission or
 construction is needed — the property that lets the hardware encoder run
 with "no additional clock cycles or memories" (§IV).
+
+:class:`~repro.lzss.tokens.TokenArray` input is emitted through the
+fused lookup tables of :mod:`repro.deflate.fused` by default; pass
+``fused=False`` for the validating symbol-at-a-time reference path
+(byte-identical output, parity-tested).
 """
 
 from __future__ import annotations
@@ -41,11 +46,22 @@ def write_fixed_block(
     writer: BitWriter,
     tokens: Union[TokenArray, Iterable[Token]],
     final: bool = True,
+    fused: bool = True,
 ) -> None:
-    """Encode ``tokens`` as one fixed-Huffman block (BTYPE=01)."""
+    """Encode ``tokens`` as one fixed-Huffman block (BTYPE=01).
+
+    ``fused=True`` (default) sends :class:`TokenArray` input through the
+    precomputed fused tables; generic iterables and ``fused=False`` use
+    the symbol-at-a-time reference emitter.
+    """
+    write_block_header(writer, 0b01, final)
+    if fused and isinstance(tokens, TokenArray):
+        from repro.deflate.fused import FIXED_FUSED, write_symbols_fused
+
+        write_symbols_fused(writer, tokens, FIXED_FUSED)
+        return
     litlen = fixed_litlen_encoder()
     dist = fixed_dist_encoder()
-    write_block_header(writer, 0b01, final)
     _write_symbols(writer, tokens, litlen, dist)
     litlen.encode(writer, END_OF_BLOCK)
 

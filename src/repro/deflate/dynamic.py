@@ -92,8 +92,14 @@ def write_dynamic_block(
     writer: BitWriter,
     tokens,
     final: bool = True,
+    fused: bool = True,
 ) -> None:
-    """Encode ``tokens`` as one dynamic-Huffman block (BTYPE=10)."""
+    """Encode ``tokens`` as one dynamic-Huffman block (BTYPE=10).
+
+    ``fused=True`` (default) emits :class:`TokenArray` symbols through
+    per-block fused tables (:func:`repro.deflate.fused.fuse_encoders`);
+    ``fused=False`` is the symbol-at-a-time reference path.
+    """
     litlen_hist, dist_hist = _token_histograms(tokens)
     litlen_lengths = build_code_lengths(litlen_hist.counts, MAX_CODE_BITS)
     dist_lengths = build_code_lengths(dist_hist.counts, MAX_CODE_BITS)
@@ -145,6 +151,18 @@ def write_dynamic_block(
         dist_encoder = HuffmanEncoder(dist_lengths)
     else:
         dist_encoder = None
+    if fused and isinstance(tokens, TokenArray):
+        from repro.deflate.fused import fuse_encoders, write_symbols_fused
+
+        if dist_encoder is None and any(tokens.lengths):
+            raise DeflateError(
+                "token stream contains matches but the distance "
+                "histogram was empty"
+            )
+        write_symbols_fused(
+            writer, tokens, fuse_encoders(litlen_encoder, dist_encoder)
+        )
+        return
     _write_symbols(writer, tokens, litlen_encoder, _DistGuard(dist_encoder))
     litlen_encoder.encode(writer, END_OF_BLOCK)
 

@@ -1,0 +1,171 @@
+"""Fused Huffman emission tables (the production block-emit hot path).
+
+The symbol-at-a-time emitters in :mod:`repro.deflate.block_writer` pay,
+per token: a length→symbol split, one or two validated
+``HuffmanEncoder.encode`` calls, and one or two validated
+``BitWriter.write_bits`` calls for the extra bits. This module collapses
+all of that into table lookups prepared once per table set:
+
+* every literal byte maps to a single pre-reversed ``(bits, nbits)``
+  pair;
+* every match *length* (3..258) maps to one pair with the length
+  symbol's code pre-reversed **and its extra bits pre-concatenated**;
+* every distance *symbol* carries its pre-reversed code, code width,
+  base distance and total width, so a distance value fuses with two
+  adds and a shift at run time (a value-indexed table would be 32 K
+  entries per dynamic block — too expensive to rebuild per block).
+
+The emit loop accumulates into a local int and splices it into the
+:class:`~repro.bitio.BitWriter` with :meth:`BitWriter.extend_fused`
+(one ``int.to_bytes`` per ~4 Kbit instead of one append per byte).
+Output is byte-for-byte identical to the reference emitters —
+``tests/deflate/test_fused_emission.py`` holds that line.
+
+:data:`FIXED_FUSED` is the RFC 1951 fixed-table instance, built eagerly
+at import (thread-safe by the same argument as the eager encoders in
+:mod:`repro.huffman.fixed`); dynamic blocks build a per-block instance
+with :func:`fuse_encoders`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.constants import (
+    _DISTANCE_LOOKUP,
+    _LENGTH_LOOKUP,
+    DISTANCE_TABLE,
+    END_OF_BLOCK,
+    LENGTH_TABLE,
+)
+from repro.huffman.encoder import HuffmanEncoder
+from repro.huffman.fixed import fixed_dist_encoder, fixed_litlen_encoder
+from repro.lzss.tokens import TokenArray
+
+#: Flush the local bit accumulator to the writer once it holds this
+#: many bits. Every token-emit shifts over the whole accumulator, so a
+#: small bound keeps those big-int ops in a few machine words; 256 bits
+#: still amortises the flush to one ``to_bytes`` per ~32 output bytes
+#: (measured fastest among 256..16384 on the synthetic workload).
+_FLUSH_BITS = 256
+
+
+class FusedTables:
+    """Precomputed ``(bits, nbits)`` emission tables for one table set."""
+
+    __slots__ = (
+        "lit_bits",
+        "lit_nbits",
+        "len_bits",
+        "len_nbits",
+        "dist_code_bits",
+        "dist_code_nbits",
+        "dist_base",
+        "dist_nbits",
+        "eob_bits",
+        "eob_nbits",
+        "has_dist",
+    )
+
+    def __init__(
+        self,
+        litlen: HuffmanEncoder,
+        dist: Optional[HuffmanEncoder],
+    ) -> None:
+        rcodes = litlen.reversed_codes
+        nbits = litlen.lengths
+        self.lit_bits = array("L", rcodes[:256])
+        self.lit_nbits = array("B", nbits[:256])
+
+        # Match length -> fully fused litlen symbol: reversed code with
+        # the extra-bits value concatenated above it. Indexed directly
+        # by length (entries 0..2 unused).
+        len_bits = array("L", [0]) * 259
+        len_nbits = array("B", [0]) * 259
+        for length in range(3, 259):
+            offset = _LENGTH_LOOKUP[length]
+            base, extra = LENGTH_TABLE[offset]
+            symbol = 257 + offset
+            code_nbits = nbits[symbol]
+            len_bits[length] = rcodes[symbol] | (length - base) << code_nbits
+            len_nbits[length] = code_nbits + extra
+        self.len_bits = len_bits
+        self.len_nbits = len_nbits
+
+        # Distance symbols keep code and extra separate: the extra value
+        # depends on the concrete distance, so it is fused at run time
+        # (two adds and a shift) against these per-symbol entries.
+        self.has_dist = dist is not None
+        nsyms = len(DISTANCE_TABLE)
+        self.dist_code_bits = array("L", [0]) * nsyms
+        self.dist_code_nbits = array("B", [0]) * nsyms
+        self.dist_base = array("L", [0]) * nsyms
+        self.dist_nbits = array("B", [0]) * nsyms
+        if dist is not None:
+            for symbol, (base, extra) in enumerate(DISTANCE_TABLE):
+                code_nbits = dist.lengths[symbol]
+                self.dist_code_bits[symbol] = dist.reversed_codes[symbol]
+                self.dist_code_nbits[symbol] = code_nbits
+                self.dist_base[symbol] = base
+                self.dist_nbits[symbol] = code_nbits + extra
+
+        self.eob_bits = rcodes[END_OF_BLOCK]
+        self.eob_nbits = nbits[END_OF_BLOCK]
+
+
+def fuse_encoders(
+    litlen: HuffmanEncoder, dist: Optional[HuffmanEncoder]
+) -> FusedTables:
+    """Build fused tables for one (litlen, dist) encoder pair."""
+    return FusedTables(litlen, dist)
+
+
+#: Fused RFC 1951 fixed tables (eager: immutable and import-published,
+#: so concurrent first use is race-free).
+FIXED_FUSED = FusedTables(fixed_litlen_encoder(), fixed_dist_encoder())
+
+
+def write_symbols_fused(
+    writer: BitWriter, tokens: TokenArray, tables: FusedTables
+) -> None:
+    """Emit a token stream plus end-of-block through fused tables.
+
+    The caller guarantees every symbol that occurs has a code in
+    ``tables`` (true by construction when the tables were built from
+    this stream's histogram, and always for the fixed tables).
+    """
+    lit_bits = tables.lit_bits
+    lit_nbits = tables.lit_nbits
+    len_bits = tables.len_bits
+    len_nbits = tables.len_nbits
+    dist_code_bits = tables.dist_code_bits
+    dist_code_nbits = tables.dist_code_nbits
+    dist_base = tables.dist_base
+    dist_nbits = tables.dist_nbits
+    dlookup = _DISTANCE_LOOKUP
+    extend = writer.extend_fused
+
+    bitbuf = 0
+    bitcount = 0
+    for length, value in zip(tokens.lengths, tokens.values):
+        if length:
+            bitbuf |= len_bits[length] << bitcount
+            bitcount += len_nbits[length]
+            d = dlookup[value]
+            bitbuf |= (
+                dist_code_bits[d]
+                | (value - dist_base[d]) << dist_code_nbits[d]
+            ) << bitcount
+            bitcount += dist_nbits[d]
+        else:
+            bitbuf |= lit_bits[value] << bitcount
+            bitcount += lit_nbits[value]
+        if bitcount >= _FLUSH_BITS:
+            extend(bitbuf, bitcount)
+            bitbuf = 0
+            bitcount = 0
+    bitbuf |= tables.eob_bits << bitcount
+    bitcount += tables.eob_nbits
+    extend(bitbuf, bitcount)

@@ -46,23 +46,50 @@ def tokenize_chunk(
     A match straddling the boundary is re-emitted as literals (boundary
     tokens cannot be split into valid shorter matches safely).
 
+    ``history`` longer than the matcher can reach is capped here — the
+    one place — so call sites never need to pre-trim; anything beyond
+    ``window_size + MIN_LOOKAHEAD`` bytes back is unreachable by
+    construction (ZLib's MAX_DIST).
+
+    The split point is found by skip-scanning only the history-prefix
+    tokens with a running position; the chunk's tokens — the bulk on any
+    real chunk size — transfer in two C-level ``array.extend`` calls
+    instead of a Python-level append per token.
+
     Shared by :class:`ZLibStreamCompressor` (chunked streaming) and
     :mod:`repro.parallel` (carried-window shard compression).
     """
+    keep = lzss.window_size + MIN_LOOKAHEAD
+    assert keep > 0
+    if len(history) > keep:
+        history = history[-keep:]
     base = len(history)
     data = history + chunk
     result = lzss.compress(data)
+    src_lengths = result.tokens.lengths
+    src_values = result.tokens.values
+    if base == 0:
+        return result.tokens
     tokens = TokenArray()
+    # Skip tokens fully inside the history: O(tokens in history), which
+    # is bounded by `keep` bytes regardless of chunk size.
+    index = 0
+    count = len(src_lengths)
     pos = 0
-    for length, value in zip(result.tokens.lengths, result.tokens.values):
-        step = length if length else 1
-        if pos >= base:
-            tokens.lengths.append(length)
-            tokens.values.append(value)
-        elif pos + step > base:
-            for q in range(max(pos, base), pos + step):
-                tokens.append_literal(data[q])
+    while index < count:
+        step = src_lengths[index] or 1
+        if pos + step > base:
+            break
         pos += step
+        index += 1
+    if index < count and pos < base:
+        # A match straddling the boundary: its chunk-side bytes become
+        # literals (it cannot be split into valid shorter matches).
+        for q in range(base, pos + (src_lengths[index] or 1)):
+            tokens.append_literal(data[q])
+        index += 1
+    tokens.lengths.extend(src_lengths[index:])
+    tokens.values.extend(src_values[index:])
     return tokens
 
 
@@ -87,6 +114,7 @@ class ZLibStreamCompressor:
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
         strategy: BlockStrategy = BlockStrategy.FIXED,
+        traced: bool = False,
     ) -> None:
         if strategy is BlockStrategy.STORED:
             raise ConfigError(
@@ -94,7 +122,11 @@ class ZLibStreamCompressor:
             )
         self.window_size = window_size
         self.strategy = strategy
-        self._lzss = LZSSCompressor(window_size, hash_spec, policy)
+        # Streams default to the trace-free production tokenizer; pass
+        # traced=True only when the per-token search record is needed.
+        self._lzss = LZSSCompressor(
+            window_size, hash_spec, policy, trace=traced
+        )
         self._writer = BitWriter()
         self._adler = Adler32()
         # History kept so matches can reach back across chunk borders.

@@ -77,7 +77,12 @@ class ZLibResult:
 
 
 class ZLibCompressor:
-    """LZSS + Huffman + ZLib framing with the paper's parameter set."""
+    """LZSS + Huffman + ZLib framing with the paper's parameter set.
+
+    ``trace=True`` (default) keeps the instrumented reproduction path so
+    ``ZLibResult.lzss.trace`` feeds the cost models; ``trace=False``
+    selects the trace-free fast tokenizer (identical output bytes).
+    """
 
     def __init__(
         self,
@@ -85,8 +90,10 @@ class ZLibCompressor:
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
         strategy: BlockStrategy = BlockStrategy.FIXED,
+        trace: bool = True,
     ) -> None:
-        self._lzss = LZSSCompressor(window_size, hash_spec, policy)
+        self._lzss = LZSSCompressor(window_size, hash_spec, policy,
+                                    trace=trace)
         self.strategy = strategy
         self.window_size = window_size
 
@@ -108,6 +115,7 @@ def compress(
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
     strategy: BlockStrategy = BlockStrategy.FIXED,
+    trace: bool = True,
 ) -> bytes:
     """One-shot ZLib-compatible compression (paper datapath defaults).
 
@@ -118,9 +126,9 @@ def compress(
     >>> decompress(stream) == b"snowy snow" * 100
     True
     """
-    return ZLibCompressor(window_size, hash_spec, policy, strategy).compress(
-        data
-    ).data
+    return ZLibCompressor(
+        window_size, hash_spec, policy, strategy, trace=trace
+    ).compress(data).data
 
 
 def decompress(data: bytes, max_output: Optional[int] = None) -> bytes:

@@ -51,6 +51,25 @@ def _build_params(args: argparse.Namespace) -> HardwareParams:
     return params
 
 
+def _add_path_flags(parser: argparse.ArgumentParser) -> None:
+    """--fast / --traced: which tokenizer path the compressor runs.
+
+    Fast (the default) is the trace-free production hot path; traced is
+    the instrumented reproduction path the cost models consume. Output
+    bytes are identical — see docs/PERFORMANCE.md.
+    """
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--fast", dest="traced", action="store_false",
+        help="trace-free production tokenizer (default)",
+    )
+    group.add_argument(
+        "--traced", dest="traced", action="store_true",
+        help="instrumented reproduction tokenizer (slower, same bytes)",
+    )
+    parser.set_defaults(traced=False)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--file", help="compress this file instead of a "
                         "generated workload")
@@ -167,6 +186,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     stream = zc(
         data, window_size=params.window_size,
         hash_spec=params.hash_spec, policy=params.policy,
+        trace=args.traced,
     )
     output = args.output or args.input + ".lzz"
     with open(output, "wb") as handle:
@@ -188,6 +208,7 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_size=args.shard_kb * 1024,
         carry_window=args.carry_window,
+        traced=args.traced,
     )
     result = engine.compress(data)
     output = args.output or args.input + ".lzz"
@@ -338,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument("--window", type=int)
     compress_parser.add_argument("--hash-bits", type=int)
     compress_parser.add_argument("--gen-bits", type=int)
+    _add_path_flags(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
 
     pcompress_parser = sub.add_parser(
@@ -363,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcompress_parser.add_argument("--window", type=int)
     pcompress_parser.add_argument("--hash-bits", type=int)
     pcompress_parser.add_argument("--gen-bits", type=int)
+    _add_path_flags(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.bitio.writer import BitWriter
+from repro.bitio.writer import BitWriter, reverse_bits
 from repro.errors import HuffmanError
 from repro.huffman.canonical import canonical_codes
 
@@ -21,6 +21,13 @@ class HuffmanEncoder:
     def __init__(self, lengths: Sequence[int]) -> None:
         self.lengths = list(lengths)
         self.codes = canonical_codes(self.lengths)
+        # Deflate emits Huffman codes MSB-first into an LSB-first
+        # stream; reversing each code once here keeps the per-symbol
+        # write a plain LSB-first append.
+        self.reversed_codes = [
+            reverse_bits(code, nbits) if nbits else 0
+            for code, nbits in zip(self.codes, self.lengths)
+        ]
 
     @property
     def alphabet_size(self) -> int:
@@ -30,7 +37,7 @@ class HuffmanEncoder:
     def encode(self, writer: BitWriter, symbol: int) -> None:
         """Write ``symbol``'s code to ``writer``."""
         nbits = self._length_of(symbol)
-        writer.write_huffman_code(self.codes[symbol], nbits)
+        writer.write_bits(self.reversed_codes[symbol], nbits)
 
     def cost_bits(self, symbol: int) -> int:
         """Number of bits ``symbol`` would occupy."""

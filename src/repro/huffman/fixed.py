@@ -27,21 +27,20 @@ FIXED_LITLEN_LENGTHS: List[int] = _fixed_litlen_lengths()
 #: code complete. The decoder rejects them if they appear.
 FIXED_DIST_LENGTHS: List[int] = [5] * 32
 
-_LITLEN_ENCODER: HuffmanEncoder | None = None
-_DIST_ENCODER: HuffmanEncoder | None = None
+# Eager module-level construction: the encoders are immutable after
+# __init__, and building them here (instead of lazily on first call)
+# means the shared instances are published by the import machinery —
+# no check-then-assign race when ParallelDeflateWriter threads hit the
+# first fixed block concurrently.
+_LITLEN_ENCODER: HuffmanEncoder = HuffmanEncoder(FIXED_LITLEN_LENGTHS)
+_DIST_ENCODER: HuffmanEncoder = HuffmanEncoder(FIXED_DIST_LENGTHS)
 
 
 def fixed_litlen_encoder() -> HuffmanEncoder:
     """Shared encoder for the fixed literal/length alphabet."""
-    global _LITLEN_ENCODER
-    if _LITLEN_ENCODER is None:
-        _LITLEN_ENCODER = HuffmanEncoder(FIXED_LITLEN_LENGTHS)
     return _LITLEN_ENCODER
 
 
 def fixed_dist_encoder() -> HuffmanEncoder:
     """Shared encoder for the fixed distance alphabet."""
-    global _DIST_ENCODER
-    if _DIST_ENCODER is None:
-        _DIST_ENCODER = HuffmanEncoder(FIXED_DIST_LENGTHS)
     return _DIST_ENCODER

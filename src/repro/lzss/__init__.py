@@ -8,7 +8,9 @@ the structure the paper's hardware implements in block RAMs.
 Key entry points:
 
 * :class:`LZSSCompressor` / :func:`compress_tokens` — token stream
-  production with selectable :class:`MatchPolicy` (greedy or lazy).
+  production with selectable :class:`MatchPolicy` (greedy or lazy);
+  ``trace=False`` selects the trace-free fast path
+  (:mod:`repro.lzss.fast`) with bit-identical output.
 * :func:`decompress_tokens` — token stream back to bytes.
 * :class:`TokenArray` — compact token storage.
 * :class:`MatchTrace` — per-token search cost record consumed by the
@@ -28,6 +30,7 @@ from repro.lzss.tokens import (
 from repro.lzss.policy import MatchPolicy, ZLIB_LEVELS, policy_for_level
 from repro.lzss.compressor import LZSSCompressor, CompressResult, compress_tokens
 from repro.lzss.decompressor import decompress_tokens
+from repro.lzss.fast import compress_fast
 from repro.lzss.trace import MatchTrace
 
 __all__ = [
@@ -43,6 +46,7 @@ __all__ = [
     "LZSSCompressor",
     "CompressResult",
     "compress_tokens",
+    "compress_fast",
     "decompress_tokens",
     "MatchTrace",
 ]

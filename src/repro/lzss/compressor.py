@@ -12,6 +12,12 @@ greedy parser the trace has exactly one row per emitted token, which is
 what the hardware cycle model consumes; for the lazy parser rows are per
 *search* (lazy evaluation searches at every input position), which is
 what the software cost model consumes.
+
+Callers that only want tokens out (the production compressors in
+:mod:`repro.deflate` and :mod:`repro.parallel`) pass ``trace=False`` to
+skip all of that accounting: compression dispatches to the trace-free
+tokenizers in :mod:`repro.lzss.fast`, whose output is bit-identical,
+and ``CompressResult.trace`` is ``None``.
 """
 
 from __future__ import annotations
@@ -38,10 +44,14 @@ TOO_FAR = 4096
 
 @dataclass
 class CompressResult:
-    """Output of one LZSS compression pass."""
+    """Output of one LZSS compression pass.
+
+    ``trace`` is ``None`` when the pass ran on the trace-free fast path
+    (``trace=False``); the cost models require a traced pass.
+    """
 
     tokens: TokenArray
-    trace: MatchTrace
+    trace: Optional[MatchTrace]
     window_size: int
     policy: MatchPolicy
     hash_spec: HashSpec
@@ -64,6 +74,10 @@ class LZSSCompressor:
         Hash function configuration (bit count / shift).
     policy:
         Match search policy (chain limits, greedy/lazy, insert limit).
+    trace:
+        ``True`` (default) records a :class:`MatchTrace` for the cost
+        models; ``False`` selects the trace-free fast tokenizer in
+        :mod:`repro.lzss.fast` (identical token output, no trace).
     """
 
     def __init__(
@@ -71,6 +85,7 @@ class LZSSCompressor:
         window_size: int = 4096,
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
+        trace: bool = True,
     ) -> None:
         if window_size & (window_size - 1) or not 256 <= window_size <= 32768:
             raise ConfigError(
@@ -80,6 +95,7 @@ class LZSSCompressor:
         self.window_size = window_size
         self.hash_spec = hash_spec or HashSpec()
         self.policy = policy or MatchPolicy()
+        self.trace = trace
         # ZLib's MAX_DIST: never match farther back than this, which also
         # makes chain-table aliasing unreachable (see ChainTables).
         self.max_dist = window_size - MIN_LOOKAHEAD
@@ -89,17 +105,38 @@ class LZSSCompressor:
                 f"(MIN_LOOKAHEAD={MIN_LOOKAHEAD})"
             )
 
-    def compress(self, data: bytes) -> CompressResult:
-        """Produce the token stream and search trace for ``data``."""
+    def compress(
+        self, data: bytes, trace: Optional[bool] = None
+    ) -> CompressResult:
+        """Produce the token stream (and, unless disabled, the trace).
+
+        ``trace`` overrides the compressor-level setting for this call;
+        ``None`` keeps it.
+        """
         data = bytes(data)
+        traced = self.trace if trace is None else trace
+        if not traced:
+            from repro.lzss.fast import compress_fast
+
+            tokens = compress_fast(
+                data, self.window_size, self.hash_spec, self.policy
+            )
+            return CompressResult(
+                tokens=tokens,
+                trace=None,
+                window_size=self.window_size,
+                policy=self.policy,
+                hash_spec=self.hash_spec,
+                input_size=len(data),
+            )
         if self.policy.lazy:
-            tokens, trace = self._compress_lazy(data)
+            tokens, trace_rec = self._compress_lazy(data)
         else:
-            tokens, trace = self._compress_greedy(data)
-        trace.input_size = len(data)
+            tokens, trace_rec = self._compress_greedy(data)
+        trace_rec.input_size = len(data)
         return CompressResult(
             tokens=tokens,
-            trace=trace,
+            trace=trace_rec,
             window_size=self.window_size,
             policy=self.policy,
             hash_spec=self.hash_spec,
@@ -264,6 +301,9 @@ def compress_tokens(
     window_size: int = 4096,
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
+    trace: bool = True,
 ) -> CompressResult:
     """One-shot convenience wrapper around :class:`LZSSCompressor`."""
-    return LZSSCompressor(window_size, hash_spec, policy).compress(data)
+    return LZSSCompressor(
+        window_size, hash_spec, policy, trace=trace
+    ).compress(data)

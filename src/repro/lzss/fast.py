@@ -1,0 +1,286 @@
+"""Trace-free fast-path tokenizers (the production hot loop).
+
+:mod:`repro.lzss.compressor` is the *instrumented reproduction* path: it
+records a :class:`~repro.lzss.trace.MatchTrace` row per token and prices
+every candidate compare in hardware comparator cycles, because the cycle
+models feed on that record. Callers that only want bytes out pay for all
+of that bookkeeping with every ``compress()``.
+
+This module is the *production* path: the same greedy (deflate_fast) and
+lazy (deflate_slow) parsers with every piece of accounting removed —
+
+* no ``MatchTrace.record`` calls and no ``cycles_w4``/``cycles_w1``
+  arithmetic inside the chain walk;
+* the prefix compare runs 32-byte :class:`memoryview` chunks before
+  falling back to the byte loop (the software analogue of the paper's
+  wide-bus comparator reading 4 bytes per cycle);
+* head/prev chain tables live in ``array('l')`` instead of Python lists
+  (8 bytes per entry instead of a PyObject pointer per entry);
+* bound methods and table references are hoisted out of the loop.
+
+Token output is **bit-identical** to the traced path for every window
+size and policy — ``tests/properties/test_fast_differential.py`` holds
+that line with Hypothesis. Select it with ``trace=False`` on
+:class:`~repro.lzss.compressor.LZSSCompressor` /
+:func:`~repro.lzss.compressor.compress_tokens`.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.lzss.hashchain import hash_all_array
+from repro.lzss.tokens import (
+    MAX_MATCH,
+    MIN_LOOKAHEAD,
+    MIN_MATCH,
+    TokenArray,
+)
+
+#: Compare ladder widths: one 8-byte probe first (most candidates on
+#: short-match workloads die there, and a small slice is cheap), then
+#: 32-byte chunks to amortise slice overhead over long matches.
+_FIRST = 8
+_CHUNK = 32
+
+#: Same constant as the lazy parser in compressor.py (ZLib's TOO_FAR).
+_TOO_FAR = 4096
+
+
+def compress_fast(data: bytes, window_size, hash_spec, policy) -> TokenArray:
+    """Tokenise ``data`` without producing a trace.
+
+    Dispatches on ``policy.lazy`` exactly like
+    :meth:`LZSSCompressor.compress`; the caller has already validated
+    the configuration.
+    """
+    if policy.lazy:
+        return _compress_lazy_fast(data, window_size, hash_spec, policy)
+    return _compress_greedy_fast(data, window_size, hash_spec, policy)
+
+
+def _make_tables(hash_spec, window_size):
+    """head/prev chain tables as flat C arrays (no per-entry boxing).
+
+    ``array('l')`` has no fill constructor; multiplying a one-element
+    array is the fastest pure-Python initialiser.
+    """
+    head = array("l", [-1]) * hash_spec.table_size
+    prev = array("l", [-1]) * window_size
+    return head, prev
+
+
+def _match_length_fast(mv, data, cand, pos, limit):
+    """Common-prefix length via the chunked compare ladder + byte tail.
+
+    Semantically identical to :func:`repro.lzss.matcher.match_length`
+    (overlap-safe: both sides index the same fixed buffer).
+    """
+    k = 0
+    if _FIRST <= limit and mv[cand:cand + _FIRST] == mv[pos:pos + _FIRST]:
+        k = _FIRST
+        while (
+            k + _CHUNK <= limit
+            and mv[cand + k:cand + k + _CHUNK] == mv[pos + k:pos + k + _CHUNK]
+        ):
+            k += _CHUNK
+    while k < limit and data[cand + k] == data[pos + k]:
+        k += 1
+    return k
+
+
+def _compress_greedy_fast(data, window_size, hash_spec, policy):
+    tokens = TokenArray()
+    n = len(data)
+    if n == 0:
+        return tokens
+    mv = memoryview(data)
+    hashes = hash_all_array(data, hash_spec)
+    head, prev = _make_tables(hash_spec, window_size)
+    wmask = window_size - 1
+    max_dist = window_size - MIN_LOOKAHEAD
+    hash_limit = n - MIN_MATCH
+    max_chain = policy.max_chain
+    good_length = policy.good_length
+    nice_length = policy.nice_length
+    max_insert = policy.max_insert_length
+    # Plain-list appends beat array('i') appends by ~30%; one bulk
+    # array() conversion at the end recovers the compact storage.
+    out_lengths = []
+    out_values = []
+    lengths_append = out_lengths.append
+    values_append = out_values.append
+    first = _FIRST
+    chunk = _CHUNK
+
+    pos = 0
+    while pos < n:
+        if pos > hash_limit:
+            lengths_append(0)
+            values_append(data[pos])
+            pos += 1
+            continue
+        h = hashes[pos]
+        cand = head[h]
+        prev[pos & wmask] = cand
+        head[h] = pos
+
+        limit = MAX_MATCH if n - pos > MAX_MATCH else n - pos
+        # Inline longest_match, minus the cycle accounting. The
+        # quick-reject peek at data[cand + best_len] (zlib's trick)
+        # cannot change the outcome: a candidate failing it can only
+        # reach k <= best_len, which neither updates the best match nor
+        # triggers the nice/good heuristics — and once best_len reaches
+        # the limit no candidate can improve at all, so the remaining
+        # walk is observably a no-op and may stop.
+        best_len = MIN_MATCH - 1
+        best_dist = 0
+        chain = max_chain
+        min_pos = pos - max_dist
+        while cand >= min_pos and cand >= 0 and chain > 0:
+            chain -= 1
+            if best_len >= limit:
+                break
+            if data[cand + best_len] != data[pos + best_len]:
+                cand = prev[cand & wmask]
+                continue
+            k = 0
+            if first <= limit and mv[cand:cand + first] == mv[pos:pos + first]:
+                k = first
+                while (
+                    k + chunk <= limit
+                    and mv[cand + k:cand + k + chunk]
+                    == mv[pos + k:pos + k + chunk]
+                ):
+                    k += chunk
+            while k < limit and data[cand + k] == data[pos + k]:
+                k += 1
+            if k > best_len:
+                best_len = k
+                best_dist = pos - cand
+                if k >= nice_length or k >= limit:
+                    break
+                if k >= good_length:
+                    chain >>= 2
+            cand = prev[cand & wmask]
+
+        if best_len >= MIN_MATCH:
+            lengths_append(best_len)
+            values_append(best_dist)
+            if best_len <= max_insert:
+                stop = pos + best_len
+                if stop > hash_limit + 1:
+                    stop = hash_limit + 1
+                for q in range(pos + 1, stop):
+                    hq = hashes[q]
+                    prev[q & wmask] = head[hq]
+                    head[hq] = q
+            pos += best_len
+        else:
+            lengths_append(0)
+            values_append(data[pos])
+            pos += 1
+    tokens.lengths = array("i", out_lengths)
+    tokens.values = array("i", out_values)
+    return tokens
+
+
+def _compress_lazy_fast(data, window_size, hash_spec, policy):
+    tokens = TokenArray()
+    n = len(data)
+    if n == 0:
+        return tokens
+    mv = memoryview(data)
+    hashes = hash_all_array(data, hash_spec)
+    head, prev = _make_tables(hash_spec, window_size)
+    wmask = window_size - 1
+    max_dist = window_size - MIN_LOOKAHEAD
+    hash_limit = n - MIN_MATCH
+    max_chain = policy.max_chain
+    good_length = policy.good_length
+    nice_length = policy.nice_length
+    max_lazy = policy.max_lazy
+    out_lengths = []
+    out_values = []
+    lengths_append = out_lengths.append
+    values_append = out_values.append
+    first = _FIRST
+    chunk = _CHUNK
+
+    pos = 0
+    prev_len = MIN_MATCH - 1
+    prev_dist = 0
+    have_prev = False
+    while pos < n:
+        cur_len = MIN_MATCH - 1
+        cur_dist = 0
+        if pos <= hash_limit:
+            h = hashes[pos]
+            cand = head[h]
+            prev[pos & wmask] = cand
+            head[h] = pos
+            if prev_len < max_lazy:
+                limit = MAX_MATCH if n - pos > MAX_MATCH else n - pos
+                chain = max_chain
+                if prev_len >= good_length:
+                    chain >>= 2
+                min_pos = pos - max_dist
+                # Same quick-reject argument as the greedy walk above.
+                while cand >= min_pos and cand >= 0 and chain > 0:
+                    chain -= 1
+                    if cur_len >= limit:
+                        break
+                    if data[cand + cur_len] != data[pos + cur_len]:
+                        cand = prev[cand & wmask]
+                        continue
+                    k = 0
+                    if (first <= limit
+                            and mv[cand:cand + first] == mv[pos:pos + first]):
+                        k = first
+                        while (
+                            k + chunk <= limit
+                            and mv[cand + k:cand + k + chunk]
+                            == mv[pos + k:pos + k + chunk]
+                        ):
+                            k += chunk
+                    while k < limit and data[cand + k] == data[pos + k]:
+                        k += 1
+                    if k > cur_len:
+                        cur_len = k
+                        cur_dist = pos - cand
+                        if k >= nice_length or k >= limit:
+                            break
+                        if k >= good_length:
+                            chain >>= 2
+                    cand = prev[cand & wmask]
+                if cur_len == MIN_MATCH and cur_dist > _TOO_FAR:
+                    cur_len = MIN_MATCH - 1
+
+        if have_prev and prev_len >= MIN_MATCH and prev_len >= cur_len:
+            lengths_append(prev_len)
+            values_append(prev_dist)
+            stop = pos - 1 + prev_len
+            if stop > hash_limit + 1:
+                stop = hash_limit + 1
+            for q in range(pos + 1, stop):
+                hq = hashes[q]
+                prev[q & wmask] = head[hq]
+                head[hq] = q
+            pos = pos - 1 + prev_len
+            have_prev = False
+            prev_len = MIN_MATCH - 1
+            prev_dist = 0
+        else:
+            if have_prev:
+                lengths_append(0)
+                values_append(data[pos - 1])
+            have_prev = True
+            prev_len = cur_len
+            prev_dist = cur_dist
+            pos += 1
+    if have_prev:
+        lengths_append(0)
+        values_append(data[n - 1])
+    tokens.lengths = array("i", out_lengths)
+    tokens.values = array("i", out_values)
+    return tokens

@@ -89,6 +89,31 @@ def hash_all(data: bytes, spec: HashSpec) -> List[int]:
     return h.tolist()
 
 
+def hash_all_array(data: bytes, spec: HashSpec):
+    """:func:`hash_all` as a flat ``array('i')`` instead of a list.
+
+    ``tolist()`` boxes every hash up front; the greedy parser only ever
+    reads the positions it visits (one per token start plus the insert
+    runs), so a buffer-level copy into ``array('i')`` is cheaper even
+    though each read then boxes on access. Used by the trace-free fast
+    path (:mod:`repro.lzss.fast`).
+    """
+    from array import array
+
+    n = len(data)
+    out = array("i")
+    if n < MIN_MATCH:
+        return out
+    buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    s = np.uint32(spec.shift)
+    m = np.uint32(spec.mask)
+    h = buf[:-2] & m
+    h = ((h << s) ^ buf[1:-1]) & m
+    h = ((h << s) ^ buf[2:]) & m
+    out.frombytes(h.astype(np.int32).tobytes())
+    return out
+
+
 class ChainTables:
     """Head/next tables over absolute positions.
 

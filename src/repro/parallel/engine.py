@@ -71,6 +71,7 @@ class ShardTask:
     hash_spec: object
     policy: object
     strategy: BlockStrategy
+    traced: bool = False
 
 
 @dataclass(frozen=True)
@@ -92,17 +93,19 @@ def compress_shard_body(
     hash_spec=None,
     policy=None,
     strategy: BlockStrategy = BlockStrategy.FIXED,
+    traced: bool = False,
 ) -> bytes:
     """Compress one shard into a byte-aligned raw Deflate fragment.
 
     The fragment is a non-final block run followed by a sync marker
     (empty stored block), so fragments from consecutive shards can be
     concatenated directly. ``history`` primes the matcher without being
-    re-emitted (the carried-window mode).
+    re-emitted (the carried-window mode). Shards run the trace-free
+    fast tokenizer unless ``traced=True``.
     """
     writer = BitWriter()
     if data:
-        lzss = LZSSCompressor(window_size, hash_spec, policy)
+        lzss = LZSSCompressor(window_size, hash_spec, policy, trace=traced)
         tokens = tokenize_chunk(lzss, history, data)
         if strategy is BlockStrategy.FIXED or len(tokens) == 0:
             write_fixed_block(writer, tokens, final=False)
@@ -132,6 +135,7 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         hash_spec=task.hash_spec,
         policy=task.policy,
         strategy=task.strategy,
+        traced=task.traced,
     )
     return ShardResult(
         index=task.index,
@@ -190,6 +194,7 @@ class ShardedCompressor:
         shard_size: int = DEFAULT_SHARD_SIZE,
         carry_window: bool = False,
         strategy: BlockStrategy = BlockStrategy.FIXED,
+        traced: bool = False,
     ) -> None:
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
@@ -204,6 +209,7 @@ class ShardedCompressor:
         self.shard_size = shard_size
         self.carry_window = carry_window
         self.strategy = strategy
+        self.traced = traced
 
     def plan(self, data: bytes) -> List[ShardTask]:
         """Cut ``data`` into shard tasks (empty input -> no shards)."""
@@ -222,6 +228,7 @@ class ShardedCompressor:
                     hash_spec=self.params.hash_spec,
                     policy=self.params.policy,
                     strategy=self.strategy,
+                    traced=self.traced,
                 )
             )
         return tasks
@@ -272,6 +279,7 @@ def compress_parallel(
     shard_size: int = DEFAULT_SHARD_SIZE,
     carry_window: bool = False,
     strategy: BlockStrategy = BlockStrategy.FIXED,
+    traced: bool = False,
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
 
@@ -287,4 +295,5 @@ def compress_parallel(
         shard_size=shard_size,
         carry_window=carry_window,
         strategy=strategy,
+        traced=traced,
     ).compress(data).data

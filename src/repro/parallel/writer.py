@@ -58,6 +58,7 @@ class ParallelDeflateWriter:
         max_inflight: Optional[int] = None,
         carry_window: bool = False,
         strategy: BlockStrategy = BlockStrategy.FIXED,
+        traced: bool = False,
     ) -> None:
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
@@ -71,6 +72,7 @@ class ParallelDeflateWriter:
         self.shard_size = shard_size
         self.carry_window = carry_window
         self.strategy = strategy
+        self.traced = traced
         # Two in-flight shards per worker keeps the pool fed while the
         # parent stitches; the floor of 2 lets even workers=1 overlap
         # buffering with compression.
@@ -112,6 +114,7 @@ class ParallelDeflateWriter:
             hash_spec=self.params.hash_spec,
             policy=self.params.policy,
             strategy=self.strategy,
+            traced=self.traced,
         )
         self._next_index += 1
         self._total_in += len(shard)

@@ -97,3 +97,56 @@ class TestHuffmanCodes:
     def test_reverse_bits_rejects_overflow(self):
         with pytest.raises(BitstreamError):
             reverse_bits(8, 3)
+
+
+class TestUncheckedAndFused:
+    """The fast-path entry points skip validation but not semantics."""
+
+    def test_unchecked_matches_checked(self):
+        import random
+
+        rng = random.Random(11)
+        checked, unchecked = BitWriter(), BitWriter()
+        for _ in range(500):
+            nbits = rng.randrange(1, 25)
+            value = rng.getrandbits(nbits)
+            checked.write_bits(value, nbits)
+            unchecked.write_bits_unchecked(value, nbits)
+        assert unchecked.flush() == checked.flush()
+
+    def test_extend_fused_matches_sequential_writes(self):
+        import random
+
+        rng = random.Random(12)
+        for trial in range(20):
+            pieces = [
+                (rng.getrandbits(n), n)
+                for n in (rng.randrange(1, 30) for _ in range(64))
+            ]
+            ref = BitWriter()
+            fused = BitWriter()
+            # Desynchronise the writer's bit phase before splicing.
+            phase = trial % 8
+            if phase:
+                ref.write_bits((1 << phase) - 1, phase)
+                fused.write_bits((1 << phase) - 1, phase)
+            bitbuf = 0
+            bitcount = 0
+            for value, nbits in pieces:
+                ref.write_bits(value, nbits)
+                bitbuf |= value << bitcount
+                bitcount += nbits
+            fused.extend_fused(bitbuf, bitcount)
+            assert fused.flush() == ref.flush()
+
+    def test_extend_fused_leaves_partial_byte_pending(self):
+        w = BitWriter()
+        w.extend_fused(0b101, 3)
+        assert w.bit_length == 3
+        w.write_bits(0b11111, 5)
+        assert w.flush() == b"\xfd"  # 0b101 then 0b11111 LSB-first
+
+    def test_extend_fused_empty_is_noop(self):
+        w = BitWriter()
+        w.extend_fused(0, 0)
+        assert w.bit_length == 0

@@ -1,0 +1,157 @@
+"""Parity tests: fused block emission vs the symbol-at-a-time emitters.
+
+:mod:`repro.deflate.fused` precomputes per-symbol ``(bits, nbits)``
+pairs (codes pre-reversed, length extra bits pre-concatenated) and
+splices a local big-int accumulator into the writer. All of that is an
+encoding of the *same* RFC 1951 stream the validated reference emitters
+produce — so every block written fused must match the reference output
+**byte for byte**, for both fixed and dynamic tables, and must still
+round-trip through zlib's inflate.
+"""
+
+import zlib
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import write_fixed_block
+from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.fused import FIXED_FUSED, fuse_encoders, write_symbols_fused
+from repro.huffman.fixed import fixed_dist_encoder, fixed_litlen_encoder
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.policy import ZLIB_LEVELS
+from repro.lzss.tokens import TokenArray
+
+
+def fixed_block(tokens, fused):
+    w = BitWriter()
+    write_fixed_block(w, tokens, final=True, fused=fused)
+    return w.flush()
+
+
+def dynamic_block(tokens, fused):
+    w = BitWriter()
+    write_dynamic_block(w, tokens, final=True, fused=fused)
+    return w.flush()
+
+
+def edge_streams():
+    """Token streams exercising the emission corners."""
+    empty = TokenArray()
+
+    all_literals = TokenArray()
+    for b in range(256):
+        all_literals.append_literal(b)
+
+    # Every match length (3..258) at distance 1 — walks the whole fused
+    # length table including the extra-bits boundaries.
+    all_lengths = TokenArray()
+    all_lengths.append_literal(0)
+    for length in range(3, 259):
+        all_lengths.append_match(length, 1)
+
+    # Every distance symbol's base and top value (1..32768). Emission
+    # never validates distances against history, so the streams need not
+    # be decompressible — only byte-identical across both emitters.
+    all_dists = TokenArray()
+    from repro.deflate.constants import DISTANCE_TABLE
+
+    for base, extra in DISTANCE_TABLE:
+        all_dists.append_match(3, base)
+        all_dists.append_match(258, base + (1 << extra) - 1)
+    return {
+        "empty": empty,
+        "all_literals": all_literals,
+        "all_lengths": all_lengths,
+        "all_dists": all_dists,
+    }
+
+
+class TestFixedFusedParity:
+    def test_edge_streams_byte_identical(self):
+        for name, tokens in edge_streams().items():
+            assert fixed_block(tokens, True) == fixed_block(tokens, False), name
+
+    def test_corpus_byte_identical_and_decodable(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            tokens = compress_tokens(data, trace=False).tokens
+            fused = fixed_block(tokens, True)
+            assert fused == fixed_block(tokens, False), name
+            assert zlib.decompress(fused, wbits=-15) == data, name
+
+    def test_full_distance_range(self, wiki_small):
+        # A 32 KiB window reaches the far distance symbols.
+        tokens = compress_tokens(
+            wiki_small, window_size=32768, policy=ZLIB_LEVELS[9],
+            trace=False,
+        ).tokens
+        assert fixed_block(tokens, True) == fixed_block(tokens, False)
+
+    def test_non_token_array_uses_reference_path(self):
+        # Generic token iterables can't be fused; output must still agree.
+        arr = TokenArray()
+        arr.append_literal(7)
+        arr.append_match(5, 1)
+        assert fixed_block(list(arr), True) == fixed_block(arr, False)
+
+
+class TestDynamicFusedParity:
+    def test_corpus_byte_identical_and_decodable(self, corpus_variety):
+        for name, data in corpus_variety.items():
+            tokens = compress_tokens(data, trace=False).tokens
+            fused = dynamic_block(tokens, True)
+            assert fused == dynamic_block(tokens, False), name
+            assert zlib.decompress(fused, wbits=-15) == data, name
+
+    def test_literal_only_stream_has_no_distance_codes(self):
+        # dist_encoder is None here, so the fused tables carry
+        # has_dist=False; the fused and reference paths must still agree.
+        arr = TokenArray()
+        for b in b"no matches here!":
+            arr.append_literal(b)
+        fused = dynamic_block(arr, True)
+        assert fused == dynamic_block(arr, False)
+        assert zlib.decompress(fused, wbits=-15) == b"no matches here!"
+
+    def test_edge_streams_byte_identical(self):
+        for name, tokens in edge_streams().items():
+            assert dynamic_block(tokens, True) == dynamic_block(
+                tokens, False
+            ), name
+
+
+class TestFusedTablesShape:
+    def test_fixed_tables_cover_every_symbol(self):
+        t = FIXED_FUSED
+        assert len(t.lit_bits) == 256
+        assert len(t.len_bits) == 259
+        assert all(t.len_nbits[length] for length in range(3, 259))
+        assert t.has_dist
+        assert t.eob_nbits == 7  # fixed EOB code is 7 bits
+
+    def test_fuse_encoders_matches_manual_emit(self):
+        # One token through the fused loop equals encode()+write_bits.
+        tables = fuse_encoders(fixed_litlen_encoder(), fixed_dist_encoder())
+        arr = TokenArray()
+        arr.append_literal(ord("A"))
+        arr.append_match(10, 100)
+        w = BitWriter()
+        write_symbols_fused(w, arr, tables)
+        fused = w.flush()
+
+        ref = BitWriter()
+        litlen = fixed_litlen_encoder()
+        dist = fixed_dist_encoder()
+        from repro.deflate.constants import (
+            END_OF_BLOCK,
+            distance_symbol,
+            length_symbol,
+        )
+
+        litlen.encode(ref, ord("A"))
+        ls, extra, extra_value = length_symbol(10)
+        litlen.encode(ref, ls)
+        ref.write_bits(extra_value, extra)
+        ds, dextra, dextra_value = distance_symbol(100)
+        dist.encode(ref, ds)
+        ref.write_bits(dextra_value, dextra)
+        litlen.encode(ref, END_OF_BLOCK)
+        assert fused == ref.flush()
