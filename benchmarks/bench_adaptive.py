@@ -1,0 +1,250 @@
+"""Single-pass adaptive splitter vs the pre-PR scratch-encode pricer.
+
+The old splitter priced every block's dynamic coding by *encoding it
+into a scratch BitWriter* and throwing the bits away, then encoded the
+winner a second time for real — every dynamic block was Huffman-coded
+twice, and every stored/fixed block still paid one full dynamic encode
+just to be priced. The replacement prices all three codings from one
+histogram pass (zlib's ``opt_len``/``static_len`` bookkeeping) and
+reuses the pricing plan for emission, so each block is tokenised,
+priced, and emitted exactly once.
+
+This benchmark reconstructs the old flow (from git history, inlined
+below so the comparison survives the old code's deletion) and times
+both on the same pre-tokenised inputs; only the block-splitting and
+entropy-coding stage is measured. Every output is verified to decode
+back to the input before a number is reported.
+
+Results go to ``benchmarks/results/`` (rendered) and
+``BENCH_adaptive.json`` at the repo root (machine-readable, consumed by
+the CI perf-smoke job, which fails the build when the single-pass
+splitter drops below ``--min-speedup`` — 1.5x by default).
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --quick
+
+or in full (1 MiB workloads, the acceptance configuration) without
+``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+import zlib
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_adaptive.json"
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------
+# Pre-PR baseline, inlined from git history (scratch-encode pricing).
+# --------------------------------------------------------------------
+
+def _old_deflate_adaptive(tokens, original: bytes,
+                          tokens_per_block: int = 16384) -> bytes:
+    """The splitter as it stood before single-pass pricing landed."""
+    from repro.bitio.writer import BitWriter
+    from repro.deflate.block_writer import (
+        BlockStrategy,
+        fixed_block_cost_bits,
+        write_fixed_block,
+        write_stored_block,
+    )
+    from repro.deflate.dynamic import write_dynamic_block
+    from repro.lzss.tokens import TokenArray
+
+    def slice_tokens(start, stop):
+        out = TokenArray()
+        out.lengths = tokens.lengths[start:stop]
+        out.values = tokens.values[start:stop]
+        return out
+
+    writer = BitWriter()
+    n = len(tokens)
+    block_starts = list(range(0, n, tokens_per_block)) or [0]
+    consumed = 0
+    for index, start in enumerate(block_starts):
+        block = slice_tokens(start, min(start + tokens_per_block, n))
+        raw_len = block.uncompressed_size()
+        final = index == len(block_starts) - 1
+        fixed_bits = fixed_block_cost_bits(block)
+        if len(block):
+            scratch = BitWriter()  # priced by encoding, bits discarded
+            write_dynamic_block(scratch, block, final=False)
+            dynamic_bits = scratch.bit_length
+        else:
+            dynamic_bits = fixed_bits
+        stored_bits = 3 + 7 + 32 + 8 * raw_len  # single-chunk mispricing
+        best = min(
+            (fixed_bits, BlockStrategy.FIXED),
+            (dynamic_bits, BlockStrategy.DYNAMIC),
+            (stored_bits, BlockStrategy.STORED),
+            key=lambda pair: pair[0],
+        )[1]
+        if best is BlockStrategy.FIXED:
+            write_fixed_block(writer, block, final=final)
+        elif best is BlockStrategy.DYNAMIC:
+            write_dynamic_block(writer, block, final=final)  # 2nd encode
+        else:
+            write_stored_block(
+                writer, original[consumed:consumed + raw_len], final=final
+            )
+        consumed += raw_len
+    return writer.flush()
+
+
+def splitter_workloads(size_bytes: int) -> Dict[str, bytes]:
+    from repro.workloads.logs import syslog_text
+    from repro.workloads.synthetic import incompressible, mixed
+
+    return {
+        "synthetic_mixed": mixed(size_bytes, seed=7),
+        "syslog": syslog_text(size_bytes, seed=7),
+        # Stored-heavy: the old pricer still paid a full dynamic encode
+        # per block before choosing STORED.
+        "incompressible": incompressible(size_bytes, seed=7),
+    }
+
+
+def measure_splitter(size_bytes: int, repeats: int) -> List[dict]:
+    """Old scratch-encode flow vs single-pass pricing, per workload."""
+    from repro.deflate.splitter import deflate_adaptive
+    from repro.lzss.compressor import compress_tokens
+
+    rows: List[dict] = []
+    for workload, data in sorted(splitter_workloads(size_bytes).items()):
+        tokens = compress_tokens(data, 32768, trace=False).tokens
+        old_body = _old_deflate_adaptive(tokens, data)
+        new = deflate_adaptive(tokens, data)
+        if zlib.decompress(old_body, -15) != data:
+            raise AssertionError(f"{workload}: baseline round-trip failed")
+        if zlib.decompress(new.body, -15) != data:
+            raise AssertionError(f"{workload}: single-pass round-trip failed")
+        old_s = _best_seconds(
+            lambda: _old_deflate_adaptive(tokens, data), repeats
+        )
+        new_s = _best_seconds(
+            lambda: deflate_adaptive(tokens, data), repeats
+        )
+        rows.append({
+            "workload": workload,
+            "old_mbps": round(len(data) / old_s / 1e6, 3),
+            "new_mbps": round(len(data) / new_s / 1e6, 3),
+            "speedup": round(old_s / new_s, 3),
+            "old_bytes": len(old_body),
+            "output_bytes": len(new.body),
+            "strategies": {
+                s.value: c for s, c in sorted(
+                    new.strategy_counts().items(), key=lambda kv: kv[0].value
+                )
+            },
+        })
+    return rows
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"single-pass adaptive splitter vs scratch-encode pricer "
+        f"({report['size_bytes']} B/workload)",
+        f"{'workload':>16s} {'old':>10s} {'new':>10s} {'speedup':>8s} "
+        f"{'old B':>8s} {'new B':>8s}",
+    ]
+    for row in report["splitter"]:
+        lines.append(
+            f"{row['workload']:>16s} {row['old_mbps']:>8.2f}MB "
+            f"{row['new_mbps']:>8.2f}MB {row['speedup']:>7.2f}x "
+            f"{row['old_bytes']:>8d} {row['output_bytes']:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def check_speedup(report: dict, min_speedup: float) -> None:
+    """Pricing once must beat pricing-by-encoding-twice, everywhere."""
+    for row in report["splitter"]:
+        assert row["speedup"] >= min_speedup, (
+            f"{row['workload']}: single-pass splitter only "
+            f"{row['speedup']:.2f}x over scratch-encode pricing "
+            f"(required >= {min_speedup:.1f}x)"
+        )
+        # The new exact stored/dynamic pricing must never compress worse.
+        assert row["output_bytes"] <= row["old_bytes"], (
+            f"{row['workload']}: single-pass output grew "
+            f"({row['old_bytes']} -> {row['output_bytes']} B)"
+        )
+
+
+def build_report(size_bytes: int, repeats: int) -> dict:
+    return {
+        "benchmark": "adaptive_splitter",
+        "python": platform.python_version(),
+        "size_bytes": size_bytes,
+        "repeats": repeats,
+        "splitter": measure_splitter(size_bytes, repeats),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 192 KiB workloads, two repeats",
+    )
+    parser.add_argument("--size-kb", type=int, default=1024,
+                        help="workload size in KiB (full mode)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail if any workload is below this")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help="machine-readable output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        size_bytes, repeats = 192 * 1024, 2
+    else:
+        size_bytes, repeats = args.size_kb * 1024, args.repeats
+
+    report = build_report(size_bytes, repeats)
+    report["min_speedup"] = args.min_speedup
+
+    from benchmarks.conftest import save_exhibit
+
+    save_exhibit("adaptive_splitter", render(report))
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    check_speedup(report, args.min_speedup)
+    print("all outputs round-trip; speedup and size checks passed")
+    return 0
+
+
+def test_adaptive_splitter_smoke(benchmark, sample_bytes):
+    """pytest-benchmark entry: quick sweep on the bench sample size."""
+    from benchmarks.conftest import run_once, save_exhibit
+
+    report = run_once(
+        benchmark, lambda: build_report(sample_bytes // 2, 1)
+    )
+    save_exhibit("adaptive_splitter", render(report))
+    check_speedup(report, 1.2)  # single-repeat smoke: looser bound
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(
+        __file__))))
+    sys.exit(main())

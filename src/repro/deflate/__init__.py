@@ -12,11 +12,22 @@ for all three block types, and :mod:`repro.deflate.zlib_container` /
 from repro.deflate.block_writer import (
     BlockStrategy,
     deflate_tokens,
+    stored_block_cost_bits,
     write_fixed_block,
     write_stored_block,
 )
-from repro.deflate.dynamic import write_dynamic_block
-from repro.deflate.fused import FusedTables, fuse_encoders
+from repro.deflate.dynamic import (
+    DynamicPlan,
+    plan_dynamic_block,
+    write_dynamic_block,
+)
+from repro.deflate.fused import (
+    FusedTables,
+    fuse_encoders,
+    fused_cache_clear,
+    fused_cache_info,
+    fused_tables_for,
+)
 from repro.deflate.inflate import inflate
 from repro.deflate.zlib_container import (
     ZLibCompressor,
@@ -33,7 +44,10 @@ from repro.deflate.stream import (
     decompress_prefix,
 )
 from repro.deflate.splitter import (
+    BlockChoice,
     deflate_adaptive,
+    evaluate_block,
+    write_adaptive_blocks,
     zlib_compress_adaptive,
 )
 from repro.deflate.preset_dict import (
@@ -46,18 +60,27 @@ __all__ = [
     "ZLibStreamCompressor",
     "compress_chunks",
     "decompress_prefix",
+    "BlockChoice",
     "deflate_adaptive",
+    "evaluate_block",
+    "write_adaptive_blocks",
     "zlib_compress_adaptive",
     "compress_with_dict",
     "decompress_with_dict",
     "train_dictionary",
     "BlockStrategy",
     "deflate_tokens",
+    "stored_block_cost_bits",
     "write_fixed_block",
     "write_stored_block",
+    "DynamicPlan",
+    "plan_dynamic_block",
     "write_dynamic_block",
     "FusedTables",
     "fuse_encoders",
+    "fused_cache_clear",
+    "fused_cache_info",
+    "fused_tables_for",
     "inflate",
     "ZLibCompressor",
     "zlib_compress",

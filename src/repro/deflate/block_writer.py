@@ -31,9 +31,10 @@ from repro.lzss.tokens import Literal, Match, Token, TokenArray
 class BlockStrategy(enum.Enum):
     """How token streams are entropy-coded into Deflate blocks."""
 
-    FIXED = "fixed"      # the paper's hardware path
-    DYNAMIC = "dynamic"  # per-block optimal tables (extension)
-    STORED = "stored"    # no compression
+    FIXED = "fixed"        # the paper's hardware path
+    DYNAMIC = "dynamic"    # per-block optimal tables (extension)
+    STORED = "stored"      # no compression
+    ADAPTIVE = "adaptive"  # per-block cheapest of the three (zlib-style)
 
 
 def write_block_header(writer: BitWriter, btype: int, final: bool) -> None:
@@ -94,22 +95,50 @@ def _write_match(writer, length, distance, litlen, dist) -> None:
         writer.write_bits(extra_value, extra_bits)
 
 
+#: A stored chunk's LEN field is 16 bits, so one block holds <= 65535 B.
+STORED_CHUNK_MAX = 0xFFFF
+
+
 def write_stored_block(
-    writer: BitWriter, data: bytes, final: bool = True
+    writer: BitWriter, data, final: bool = True
 ) -> None:
-    """Emit ``data`` as stored (BTYPE=00) blocks, splitting past 65535 B."""
-    max_len = 0xFFFF
-    chunks = [data[i:i + max_len] for i in range(0, len(data), max_len)]
-    if not chunks:
-        chunks = [b""]
-    for index, chunk in enumerate(chunks):
-        last = final and index == len(chunks) - 1
-        write_block_header(writer, 0b00, last)
+    """Emit ``data`` as stored (BTYPE=00) blocks, splitting past 65535 B.
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview`` and emits each
+    chunk as a zero-copy slice — a STORED shard's payload goes straight
+    from the input buffer into the writer.
+    """
+    view = memoryview(data)
+    starts = range(0, len(view), STORED_CHUNK_MAX) if len(view) else (0,)
+    last_start = starts[-1]
+    for start in starts:
+        chunk = view[start:start + STORED_CHUNK_MAX]
+        write_block_header(writer, 0b00, final and start == last_start)
         writer.align_to_byte()
         writer.write_bits(len(chunk), 16)
         writer.write_bits(len(chunk) ^ 0xFFFF, 16)
         writer.align_to_byte()
-        writer.write_bytes(bytes(chunk))
+        writer.write_bytes(chunk)
+
+
+def stored_block_cost_bits(n: int, bit_offset: int = 0) -> int:
+    """Exact bit cost of storing ``n`` bytes from ``bit_offset`` (0-7).
+
+    :func:`write_stored_block` splits past 65535 B, so the price charges
+    every chunk's 3-bit header, byte-alignment padding and 32-bit
+    LEN/NLEN — ``ceil(n / 65535)`` times, not once. The first chunk's
+    padding depends on where in a byte the block starts (``bit_offset``,
+    the writer's pending bit count); later chunks always start
+    byte-aligned and pad their 3-bit header with exactly 5 bits.
+
+    The old single-chunk formula underpriced a >64 KiB block by 35+ bits,
+    letting STORED win on an underestimate it could not deliver.
+    """
+    chunks = max(1, -(-n // STORED_CHUNK_MAX))
+    bits = 8 * n + 35 * chunks  # per chunk: 3-bit header + LEN/NLEN
+    bits += -(bit_offset + 3) % 8  # first chunk's alignment padding
+    bits += 5 * (chunks - 1)       # later chunks: 3-bit header, 5-bit pad
+    return bits
 
 
 def deflate_tokens(
@@ -128,6 +157,18 @@ def deflate_tokens(
         from repro.lzss.decompressor import decompress_tokens
 
         write_stored_block(writer, decompress_tokens(tokens), final=True)
+    elif strategy is BlockStrategy.ADAPTIVE:
+        from repro.deflate.splitter import write_adaptive_blocks
+        from repro.lzss.decompressor import decompress_tokens
+
+        if not isinstance(tokens, TokenArray):
+            materialised = TokenArray()
+            for token in tokens:
+                materialised.append_token(token)
+            tokens = materialised
+        write_adaptive_blocks(
+            writer, tokens, decompress_tokens(tokens), final=True
+        )
     else:
         raise DeflateError(f"unknown strategy: {strategy!r}")
     return writer.flush()
@@ -158,4 +199,30 @@ def fixed_block_cost_bits(tokens: Union[TokenArray, Iterable[Token]]) -> int:
             symbol, extra_bits, _ = distance_symbol(value)
             bits += dist.cost_bits(symbol) + extra_bits
     bits += litlen.cost_bits(END_OF_BLOCK)
+    return bits
+
+
+def fixed_cost_from_histograms(litlen_hist, dist_hist) -> int:
+    """Exact fixed-block bit cost from symbol histograms.
+
+    ``litlen_hist``/``dist_hist`` are the per-block histograms of
+    :func:`repro.deflate.dynamic.token_histograms` (END_OF_BLOCK
+    included). Extra bits are a function of the symbol alone, so
+    Σ count × (code_len + extra) equals :func:`fixed_block_cost_bits`
+    without revisiting the tokens — the adaptive splitter prices fixed
+    and dynamic codings from the same single histogram pass.
+    """
+    from repro.deflate.constants import DIST_EXTRA_BITS, LITLEN_EXTRA_BITS
+
+    litlen_lengths = fixed_litlen_encoder().lengths
+    dist_lengths = fixed_dist_encoder().lengths
+    bits = 3  # header
+    for symbol, count in enumerate(litlen_hist.counts):
+        if count:
+            bits += count * (
+                litlen_lengths[symbol] + LITLEN_EXTRA_BITS[symbol]
+            )
+    for symbol, count in enumerate(dist_hist.counts):
+        if count:
+            bits += count * (dist_lengths[symbol] + DIST_EXTRA_BITS[symbol])
     return bits

@@ -80,6 +80,18 @@ def _build_distance_lookup() -> array:
 _LENGTH_LOOKUP = _build_length_lookup()
 _DISTANCE_LOOKUP = _build_distance_lookup()
 
+#: Extra (verbatim) bits carried by each litlen symbol: zero for the
+#: 256 literals and END_OF_BLOCK, the spec's per-range counts for the
+#: length symbols 257..285, zero for the reserved 286/287. Indexed by
+#: symbol, so a symbol histogram prices a block's extra bits exactly
+#: without revisiting the token values.
+LITLEN_EXTRA_BITS = array(
+    "B", [0] * 257 + [extra for _, extra in LENGTH_TABLE] + [0, 0]
+)
+
+#: Extra bits per distance symbol 0..29 (same role as above).
+DIST_EXTRA_BITS = array("B", [extra for _, extra in DISTANCE_TABLE])
+
 
 def length_symbol(length: int) -> Tuple[int, int, int]:
     """Map a match length to ``(symbol, extra_bits, extra_value)``."""

@@ -5,19 +5,31 @@ the extension that quantifies what that choice costs. A dynamic block
 transmits per-block optimal code lengths, themselves run-length coded
 (symbols 16/17/18) and Huffman coded with the 19-symbol code-length
 alphabet.
+
+Table construction is separated from emission: :func:`plan_dynamic_block`
+turns one pair of symbol histograms into a :class:`DynamicPlan` holding
+the code lengths, the RLE'd table transmission and the **exact** bit
+cost of the block — ZLib's ``opt_len`` counter, computed without a
+scratch encode. :func:`write_dynamic_block` accepts a ready-made plan so
+the adaptive splitter (:mod:`repro.deflate.splitter`) prices and emits
+each block from a single histogram pass.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bitio.writer import BitWriter
 from repro.deflate.constants import (
     CODE_LENGTH_ORDER,
+    DIST_EXTRA_BITS,
     END_OF_BLOCK,
+    LITLEN_EXTRA_BITS,
     MAX_CODE_BITS,
     MAX_DIST_SYMBOLS,
     MAX_LITLEN_SYMBOLS,
+    _DISTANCE_LOOKUP,
+    _LENGTH_LOOKUP,
     distance_symbol,
     length_symbol,
 )
@@ -28,25 +40,43 @@ from repro.huffman.encoder import HuffmanEncoder
 from repro.huffman.histogram import SymbolHistogram
 from repro.lzss.tokens import Literal, TokenArray
 
+#: Extra bits transmitted after code-length symbols 16/17/18 (§3.2.7).
+_CL_EXTRA_BITS = {16: 2, 17: 3, 18: 7}
 
-def _token_histograms(tokens) -> Tuple[SymbolHistogram, SymbolHistogram]:
+
+def token_histograms(tokens) -> Tuple[SymbolHistogram, SymbolHistogram]:
+    """Count litlen/distance symbol occurrences for one block.
+
+    The END_OF_BLOCK symbol is included (every block emits it), so the
+    returned histograms price a block exactly. This is the single pass
+    the adaptive splitter makes over each block's tokens.
+    """
     litlen = SymbolHistogram(MAX_LITLEN_SYMBOLS)
     dist = SymbolHistogram(MAX_DIST_SYMBOLS)
+    lit_counts = litlen.counts
+    dist_counts = dist.counts
     if isinstance(tokens, TokenArray):
-        items = zip(tokens.lengths, tokens.values)
+        llookup = _LENGTH_LOOKUP
+        dlookup = _DISTANCE_LOOKUP
+        for length, value in zip(tokens.lengths, tokens.values):
+            if length == 0:
+                lit_counts[value] += 1
+            else:
+                lit_counts[257 + llookup[length]] += 1
+                dist_counts[dlookup[value]] += 1
     else:
-        items = (
-            (0, t.value) if isinstance(t, Literal) else (t.length, t.distance)
-            for t in tokens
-        )
-    for length, value in items:
-        if length == 0:
-            litlen.add(value)
-        else:
-            litlen.add(length_symbol(length)[0])
-            dist.add(distance_symbol(value)[0])
-    litlen.add(END_OF_BLOCK)
+        for token in tokens:
+            if isinstance(token, Literal):
+                lit_counts[token.value] += 1
+            else:
+                lit_counts[length_symbol(token.length)[0]] += 1
+                dist_counts[distance_symbol(token.distance)[0]] += 1
+    lit_counts[END_OF_BLOCK] += 1
     return litlen, dist
+
+
+# Backwards-compatible private alias (pre-refactor name).
+_token_histograms = token_histograms
 
 
 def rle_code_lengths(lengths: List[int]) -> List[Tuple[int, int]]:
@@ -88,19 +118,61 @@ def rle_code_lengths(lengths: List[int]) -> List[Tuple[int, int]]:
     return out
 
 
-def write_dynamic_block(
-    writer: BitWriter,
-    tokens,
-    final: bool = True,
-    fused: bool = True,
-) -> None:
-    """Encode ``tokens`` as one dynamic-Huffman block (BTYPE=10).
+class DynamicPlan:
+    """Everything needed to price *and* emit one dynamic block.
 
-    ``fused=True`` (default) emits :class:`TokenArray` symbols through
-    per-block fused tables (:func:`repro.deflate.fused.fuse_encoders`);
-    ``fused=False`` is the symbol-at-a-time reference path.
+    Built by :func:`plan_dynamic_block` from the block's histograms;
+    carried from the splitter's pricing step into
+    :func:`write_dynamic_block` so the chosen block never recomputes its
+    tables. The code-length tuples are immutable and double as the key
+    of the fused-table cache (:func:`repro.deflate.fused.fused_tables_for`).
     """
-    litlen_hist, dist_hist = _token_histograms(tokens)
+
+    __slots__ = (
+        "litlen_lengths",
+        "dist_lengths",
+        "hlit",
+        "hdist",
+        "hclen",
+        "rle",
+        "cl_lengths",
+        "has_dist",
+        "cost_bits",
+    )
+
+    def __init__(
+        self,
+        litlen_lengths: Tuple[int, ...],
+        dist_lengths: Tuple[int, ...],
+        hlit: int,
+        hdist: int,
+        hclen: int,
+        rle: List[Tuple[int, int]],
+        cl_lengths: Tuple[int, ...],
+        cost_bits: int,
+    ) -> None:
+        self.litlen_lengths = litlen_lengths
+        self.dist_lengths = dist_lengths
+        self.hlit = hlit
+        self.hdist = hdist
+        self.hclen = hclen
+        self.rle = rle
+        self.cl_lengths = cl_lengths
+        self.has_dist = any(dist_lengths)
+        self.cost_bits = cost_bits
+
+
+def plan_dynamic_block(
+    litlen_hist: SymbolHistogram, dist_hist: SymbolHistogram
+) -> DynamicPlan:
+    """Build per-block tables and their exact bit cost from histograms.
+
+    ``cost_bits`` is the complete block cost — 3-bit header, HLIT/HDIST/
+    HCLEN fields, RLE'd code-length transmission, every symbol's code and
+    extra bits, and END_OF_BLOCK — identical to what a scratch encode of
+    the block would measure (property-tested in
+    ``tests/deflate/test_adaptive_pricing.py``).
+    """
     litlen_lengths = build_code_lengths(litlen_hist.counts, MAX_CODE_BITS)
     dist_lengths = build_code_lengths(dist_hist.counts, MAX_CODE_BITS)
 
@@ -129,15 +201,50 @@ def write_dynamic_block(
     while hclen > 4 and cl_lengths[CODE_LENGTH_ORDER[hclen - 1]] == 0:
         hclen -= 1
 
-    write_block_header(writer, 0b10, final)
-    writer.write_bits(hlit - 257, 5)
-    writer.write_bits(hdist - 1, 5)
-    writer.write_bits(hclen - 4, 4)
-    for index in range(hclen):
-        writer.write_bits(cl_lengths[CODE_LENGTH_ORDER[index]], 3)
+    # Exact cost, zlib's opt_len accounting: header fields, then the
+    # code-length transmission, then Σ count × (code_len + extra_bits).
+    bits = 3 + 5 + 5 + 4 + 3 * hclen
+    for symbol, _ in rle:
+        bits += cl_lengths[symbol] + _CL_EXTRA_BITS.get(symbol, 0)
+    for symbol, count in enumerate(litlen_hist.counts):
+        if count:
+            bits += count * (
+                litlen_lengths[symbol] + LITLEN_EXTRA_BITS[symbol]
+            )
+    for symbol, count in enumerate(dist_hist.counts):
+        if count:
+            bits += count * (dist_lengths[symbol] + DIST_EXTRA_BITS[symbol])
 
-    cl_encoder = HuffmanEncoder(cl_lengths)
-    for symbol, extra in rle:
+    return DynamicPlan(
+        litlen_lengths=tuple(litlen_lengths),
+        dist_lengths=tuple(dist_lengths),
+        hlit=hlit,
+        hdist=hdist,
+        hclen=hclen,
+        rle=rle,
+        cl_lengths=tuple(cl_lengths),
+        cost_bits=bits,
+    )
+
+
+def plan_for_tokens(tokens) -> DynamicPlan:
+    """Convenience: histogram one token stream and plan its block."""
+    litlen_hist, dist_hist = token_histograms(tokens)
+    return plan_dynamic_block(litlen_hist, dist_hist)
+
+
+def _write_table_transmission(
+    writer: BitWriter, plan: DynamicPlan, final: bool
+) -> None:
+    """Emit the block header and the RLE'd code-length tables."""
+    write_block_header(writer, 0b10, final)
+    writer.write_bits(plan.hlit - 257, 5)
+    writer.write_bits(plan.hdist - 1, 5)
+    writer.write_bits(plan.hclen - 4, 4)
+    for index in range(plan.hclen):
+        writer.write_bits(plan.cl_lengths[CODE_LENGTH_ORDER[index]], 3)
+    cl_encoder = HuffmanEncoder(plan.cl_lengths)
+    for symbol, extra in plan.rle:
         cl_encoder.encode(writer, symbol)
         if symbol == 16:
             writer.write_bits(extra, 2)
@@ -146,23 +253,48 @@ def write_dynamic_block(
         elif symbol == 18:
             writer.write_bits(extra, 7)
 
-    litlen_encoder = HuffmanEncoder(litlen_lengths)
-    if any(dist_lengths):
-        dist_encoder = HuffmanEncoder(dist_lengths)
-    else:
-        dist_encoder = None
-    if fused and isinstance(tokens, TokenArray):
-        from repro.deflate.fused import fuse_encoders, write_symbols_fused
 
-        if dist_encoder is None and any(tokens.lengths):
+def write_dynamic_block(
+    writer: BitWriter,
+    tokens,
+    final: bool = True,
+    fused: bool = True,
+    plan: Optional[DynamicPlan] = None,
+) -> None:
+    """Encode ``tokens`` as one dynamic-Huffman block (BTYPE=10).
+
+    ``fused=True`` (default) emits :class:`TokenArray` symbols through
+    fused tables cached on the plan's code-length tuples
+    (:func:`repro.deflate.fused.fused_tables_for`); ``fused=False`` is
+    the symbol-at-a-time reference path. ``plan`` supplies precomputed
+    tables (from :func:`plan_dynamic_block`) so a caller that already
+    priced the block — the adaptive splitter — emits without rebuilding
+    histograms or code lengths; it must have been built from *these*
+    tokens' histograms.
+    """
+    if plan is None:
+        plan = plan_for_tokens(tokens)
+    _write_table_transmission(writer, plan, final)
+
+    if fused and isinstance(tokens, TokenArray):
+        from repro.deflate.fused import fused_tables_for, write_symbols_fused
+
+        if not plan.has_dist and any(tokens.lengths):
             raise DeflateError(
                 "token stream contains matches but the distance "
                 "histogram was empty"
             )
         write_symbols_fused(
-            writer, tokens, fuse_encoders(litlen_encoder, dist_encoder)
+            writer,
+            tokens,
+            fused_tables_for(plan.litlen_lengths, plan.dist_lengths),
         )
         return
+    litlen_encoder = HuffmanEncoder(plan.litlen_lengths)
+    if plan.has_dist:
+        dist_encoder = HuffmanEncoder(plan.dist_lengths)
+    else:
+        dist_encoder = None
     _write_symbols(writer, tokens, litlen_encoder, _DistGuard(dist_encoder))
     litlen_encoder.encode(writer, END_OF_BLOCK)
 

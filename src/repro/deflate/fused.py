@@ -29,8 +29,10 @@ with :func:`fuse_encoders`.
 
 from __future__ import annotations
 
+import threading
 from array import array
-from typing import Optional
+from collections import OrderedDict
+from typing import NamedTuple, Optional, Sequence, Tuple
 
 from repro.bitio.writer import BitWriter
 from repro.deflate.constants import (
@@ -125,6 +127,97 @@ def fuse_encoders(
 #: Fused RFC 1951 fixed tables (eager: immutable and import-published,
 #: so concurrent first use is race-free).
 FIXED_FUSED = FusedTables(fixed_litlen_encoder(), fixed_dist_encoder())
+
+
+class FusedCacheInfo(NamedTuple):
+    """Snapshot of the fused-table cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class _FusedTableCache:
+    """Small LRU cache keying :class:`FusedTables` on code-length tuples.
+
+    A table set is fully determined by its ``(litlen_lengths,
+    dist_lengths)`` tuples — both immutable once built — so dynamic
+    blocks with identical histogram shapes (common when the adaptive
+    splitter cuts a homogeneous input into many blocks) share one
+    ``FusedTables`` instead of rebuilding ~600 array entries per block.
+    Guarded by a lock: building a table set twice under a race would be
+    wasteful but the bookkeeping (LRU eviction) must stay consistent.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = maxsize
+        self._store: "OrderedDict[tuple, FusedTables]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(
+        self,
+        litlen_lengths: Tuple[int, ...],
+        dist_lengths: Tuple[int, ...],
+    ) -> FusedTables:
+        key = (litlen_lengths, dist_lengths)
+        with self._lock:
+            tables = self._store.get(key)
+            if tables is not None:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return tables
+            self._misses += 1
+        litlen = HuffmanEncoder(litlen_lengths)
+        dist = HuffmanEncoder(dist_lengths) if any(dist_lengths) else None
+        tables = FusedTables(litlen, dist)
+        with self._lock:
+            self._store[key] = tables
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+        return tables
+
+    def info(self) -> FusedCacheInfo:
+        with self._lock:
+            return FusedCacheInfo(
+                self._hits, self._misses, len(self._store), self.maxsize
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_CACHE = _FusedTableCache()
+
+
+def fused_tables_for(
+    litlen_lengths: Sequence[int], dist_lengths: Sequence[int] = ()
+) -> FusedTables:
+    """Fused tables for one code-length pair, via the process-wide LRU.
+
+    ``dist_lengths`` with no non-zero entry (or empty) builds a
+    literal-only table set, mirroring the ``dist=None`` convention of
+    :func:`fuse_encoders`. Both the splitter and
+    :func:`repro.deflate.dynamic.write_dynamic_block` fetch through
+    here, so repeated blocks with the same table shape pay for
+    construction once.
+    """
+    return _CACHE.get(tuple(litlen_lengths), tuple(dist_lengths))
+
+
+def fused_cache_info() -> FusedCacheInfo:
+    """Hit/miss/size counters of the fused-table cache."""
+    return _CACHE.info()
+
+
+def fused_cache_clear() -> None:
+    """Empty the fused-table cache and reset its counters (tests)."""
+    _CACHE.clear()
 
 
 def write_symbols_fused(

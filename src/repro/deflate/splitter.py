@@ -6,33 +6,55 @@ emits the cheapest. This module implements that opportunistic choice so
 the estimator can quantify exactly what the hardware's commitment costs
 on a given workload (the "can be also compensated by increasing LZSS
 compression level" discussion of §IV).
+
+Pricing is single-pass, zlib-style: one histogram pass over the block's
+tokens yields both the fixed cost (Σ count × (code_len + extra)) and,
+via :func:`repro.deflate.dynamic.plan_dynamic_block`, the exact dynamic
+cost including the RLE'd table transmission — no scratch encode. The
+winning block is then emitted exactly once, and a DYNAMIC winner reuses
+the tables already built during pricing (the ``opt_len``/``static_len``
+accounting of ZLib's ``deflate.c``, with the emission fused through
+:mod:`repro.deflate.fused` and its code-length-keyed table cache).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.bitio.writer import BitWriter
 from repro.deflate.block_writer import (
     BlockStrategy,
-    fixed_block_cost_bits,
+    fixed_cost_from_histograms,
+    stored_block_cost_bits,
     write_fixed_block,
     write_stored_block,
 )
-from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.dynamic import (
+    DynamicPlan,
+    plan_dynamic_block,
+    token_histograms,
+    write_dynamic_block,
+)
 from repro.errors import ConfigError
 from repro.lzss.tokens import TokenArray
 
 
 @dataclass
 class BlockChoice:
-    """One block's evaluated coding options."""
+    """One block's evaluated coding options.
+
+    ``plan`` carries the dynamic tables built while pricing, so a
+    DYNAMIC winner is emitted without recomputing histograms or code
+    lengths (``None`` for empty blocks, which never choose DYNAMIC).
+    """
 
     strategy: BlockStrategy
     fixed_bits: int
     dynamic_bits: int
     stored_bits: int
+    plan: Optional[DynamicPlan] = field(default=None, repr=False,
+                                        compare=False)
 
     @property
     def chosen_bits(self) -> int:
@@ -43,22 +65,25 @@ class BlockChoice:
         }[self.strategy]
 
 
-def _dynamic_cost_bits(tokens: TokenArray) -> int:
-    """Exact dynamic-block cost, measured by encoding into a scratch
-    writer (table transmission included)."""
-    writer = BitWriter()
-    write_dynamic_block(writer, tokens, final=False)
-    return writer.bit_length
-
-
 def evaluate_block(
-    tokens: TokenArray, uncompressed_size: int
+    tokens: TokenArray, uncompressed_size: int, bit_offset: int = 0
 ) -> BlockChoice:
-    """Price one block under all three codings and pick the cheapest."""
-    fixed_bits = fixed_block_cost_bits(tokens)
-    dynamic_bits = _dynamic_cost_bits(tokens) if len(tokens) else fixed_bits
-    # Stored: header + alignment (worst case 7 bits) + LEN/NLEN + bytes.
-    stored_bits = 3 + 7 + 32 + 8 * uncompressed_size
+    """Price one block under all three codings and pick the cheapest.
+
+    All three prices are exact: fixed and dynamic from one histogram
+    pass over ``tokens``, stored from the multi-chunk formula of
+    :func:`stored_block_cost_bits` (``bit_offset`` — the writer's
+    pending bit count — pins the first chunk's alignment padding).
+    """
+    litlen_hist, dist_hist = token_histograms(tokens)
+    fixed_bits = fixed_cost_from_histograms(litlen_hist, dist_hist)
+    if len(tokens):
+        plan = plan_dynamic_block(litlen_hist, dist_hist)
+        dynamic_bits = plan.cost_bits
+    else:
+        plan = None
+        dynamic_bits = fixed_bits
+    stored_bits = stored_block_cost_bits(uncompressed_size, bit_offset)
     best = min(
         (fixed_bits, BlockStrategy.FIXED),
         (dynamic_bits, BlockStrategy.DYNAMIC),
@@ -70,6 +95,7 @@ def evaluate_block(
         fixed_bits=fixed_bits,
         dynamic_bits=dynamic_bits,
         stored_bits=stored_bits,
+        plan=plan,
     )
 
 
@@ -94,22 +120,31 @@ class SplitResult:
         return counts
 
 
-def deflate_adaptive(
+def write_adaptive_blocks(
+    writer: BitWriter,
     tokens: TokenArray,
-    original: bytes,
+    original,
     tokens_per_block: int = 16384,
-) -> SplitResult:
-    """Encode a token stream with per-block best-strategy choice.
+    final: bool = True,
+) -> List[BlockChoice]:
+    """Emit ``tokens`` into ``writer`` with per-block strategy choice.
 
-    ``original`` supplies the raw bytes for stored blocks. Blocks are
+    ``original`` supplies the raw bytes for stored blocks (``bytes`` or
+    ``memoryview``; stored payloads are sliced zero-copy). Blocks are
     cut every ``tokens_per_block`` tokens (ZLib cuts on symbol-buffer
-    fill, which is the same mechanism).
+    fill, which is the same mechanism). With ``final=False`` every block
+    is non-final, so the run can sit inside a larger stream — the shard
+    bodies of :mod:`repro.parallel` and the chunk emission of
+    :class:`repro.deflate.stream.ZLibStreamCompressor`.
+
+    Each block is tokenised, priced and emitted exactly once; the
+    returned choices record the per-block prices actually paid.
     """
     if tokens_per_block < 1:
         raise ConfigError(
             f"tokens_per_block must be >= 1: {tokens_per_block}"
         )
-    writer = BitWriter()
+    view = memoryview(original)
     choices: List[BlockChoice] = []
     n = len(tokens)
     block_starts = list(range(0, n, tokens_per_block)) or [0]
@@ -118,18 +153,33 @@ def deflate_adaptive(
         stop = min(start + tokens_per_block, n)
         block = _slice_tokens(tokens, start, stop)
         raw_len = block.uncompressed_size()
-        final = index == len(block_starts) - 1
-        choice = evaluate_block(block, raw_len)
+        last = final and index == len(block_starts) - 1
+        choice = evaluate_block(
+            block, raw_len, bit_offset=writer.bit_length & 7
+        )
         choices.append(choice)
         if choice.strategy is BlockStrategy.FIXED:
-            write_fixed_block(writer, block, final=final)
+            write_fixed_block(writer, block, final=last)
         elif choice.strategy is BlockStrategy.DYNAMIC:
-            write_dynamic_block(writer, block, final=final)
+            write_dynamic_block(writer, block, final=last, plan=choice.plan)
         else:
             write_stored_block(
-                writer, original[consumed:consumed + raw_len], final=final
+                writer, view[consumed:consumed + raw_len], final=last
             )
         consumed += raw_len
+    return choices
+
+
+def deflate_adaptive(
+    tokens: TokenArray,
+    original,
+    tokens_per_block: int = 16384,
+) -> SplitResult:
+    """Encode a token stream with per-block best-strategy choice."""
+    writer = BitWriter()
+    choices = write_adaptive_blocks(
+        writer, tokens, original, tokens_per_block, final=True
+    )
     return SplitResult(body=writer.flush(), choices=choices)
 
 
@@ -139,13 +189,20 @@ def zlib_compress_adaptive(
     hash_spec=None,
     policy=None,
     tokens_per_block: int = 16384,
+    traced: bool = False,
 ) -> bytes:
-    """Full ZLib stream with per-block strategy choice."""
+    """Full ZLib stream with per-block strategy choice.
+
+    Runs the trace-free fast tokenizer by default (``traced=True``
+    selects the instrumented path; the token stream is identical).
+    """
     from repro.checksums.adler32 import adler32
     from repro.deflate.zlib_container import make_header
     from repro.lzss.compressor import LZSSCompressor
 
-    result = LZSSCompressor(window_size, hash_spec, policy).compress(data)
+    compressor = LZSSCompressor(window_size, hash_spec, policy,
+                                trace=traced)
+    result = compressor.compress(data)
     split = deflate_adaptive(result.tokens, data, tokens_per_block)
     return (
         make_header(window_size)

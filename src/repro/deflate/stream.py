@@ -26,6 +26,7 @@ from repro.deflate.block_writer import (
     write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.splitter import write_adaptive_blocks
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.lzss.compressor import LZSSCompressor
@@ -160,7 +161,7 @@ class ZLibStreamCompressor:
         self._since_sync += len(chunk)
 
         tokens = tokenize_chunk(self._lzss, self._history, chunk)
-        self._emit_block(tokens, final=False)
+        self._emit_block(tokens, final=False, raw=chunk)
         keep = self.window_size + MIN_LOOKAHEAD
         self._history = (self._history + chunk)[-keep:]
         return self._drain()
@@ -208,9 +209,14 @@ class ZLibStreamCompressor:
         """Bytes consumed so far."""
         return self._total_in
 
-    def _emit_block(self, tokens: TokenArray, final: bool) -> None:
+    def _emit_block(
+        self, tokens: TokenArray, final: bool, raw: bytes = b""
+    ) -> None:
         if self.strategy is BlockStrategy.FIXED or len(tokens) == 0:
             write_fixed_block(self._writer, tokens, final=final)
+        elif self.strategy is BlockStrategy.ADAPTIVE:
+            # Per-chunk best-of-three; ``raw`` feeds stored blocks.
+            write_adaptive_blocks(self._writer, tokens, raw, final=final)
         else:
             write_dynamic_block(self._writer, tokens, final=final)
 

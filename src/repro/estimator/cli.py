@@ -70,6 +70,27 @@ def _add_path_flags(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(traced=False)
 
 
+def _add_strategy_flag(parser: argparse.ArgumentParser) -> None:
+    """--strategy: how blocks are entropy-coded.
+
+    ``fixed`` is the paper's hardware path (default), ``dynamic``
+    transmits per-block optimal tables, ``adaptive`` prices every block
+    under fixed/dynamic/stored and emits the cheapest (ZLib's choice).
+    """
+    parser.add_argument(
+        "--strategy", default="fixed",
+        choices=["fixed", "dynamic", "adaptive"],
+        help="block entropy coding: fixed tables (paper hardware), "
+        "per-block dynamic tables, or adaptive best-of-three",
+    )
+
+
+def _block_strategy(args: argparse.Namespace):
+    from repro.deflate.block_writer import BlockStrategy
+
+    return BlockStrategy(args.strategy)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--file", help="compress this file instead of a "
                         "generated workload")
@@ -178,16 +199,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.deflate.block_writer import BlockStrategy
+    from repro.deflate.splitter import zlib_compress_adaptive
     from repro.deflate.zlib_container import compress as zc
 
     with open(args.input, "rb") as handle:
         data = handle.read()
     params = _build_params(args)
-    stream = zc(
-        data, window_size=params.window_size,
-        hash_spec=params.hash_spec, policy=params.policy,
-        trace=args.traced,
-    )
+    strategy = _block_strategy(args)
+    if strategy is BlockStrategy.ADAPTIVE:
+        stream = zlib_compress_adaptive(
+            data, window_size=params.window_size,
+            hash_spec=params.hash_spec, policy=params.policy,
+            traced=args.traced,
+        )
+    else:
+        stream = zc(
+            data, window_size=params.window_size,
+            hash_spec=params.hash_spec, policy=params.policy,
+            strategy=strategy, trace=args.traced,
+        )
     output = args.output or args.input + ".lzz"
     with open(output, "wb") as handle:
         handle.write(stream)
@@ -208,6 +239,7 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_size=args.shard_kb * 1024,
         carry_window=args.carry_window,
+        strategy=_block_strategy(args),
         traced=args.traced,
     )
     result = engine.compress(data)
@@ -360,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument("--hash-bits", type=int)
     compress_parser.add_argument("--gen-bits", type=int)
     _add_path_flags(compress_parser)
+    _add_strategy_flag(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
 
     pcompress_parser = sub.add_parser(
@@ -386,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcompress_parser.add_argument("--hash-bits", type=int)
     pcompress_parser.add_argument("--gen-bits", type=int)
     _add_path_flags(pcompress_parser)
+    _add_strategy_flag(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(

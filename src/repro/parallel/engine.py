@@ -43,6 +43,7 @@ from repro.deflate.block_writer import (
     write_fixed_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
+from repro.deflate.splitter import write_adaptive_blocks
 from repro.deflate.stream import tokenize_chunk
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
@@ -101,13 +102,17 @@ def compress_shard_body(
     (empty stored block), so fragments from consecutive shards can be
     concatenated directly. ``history`` primes the matcher without being
     re-emitted (the carried-window mode). Shards run the trace-free
-    fast tokenizer unless ``traced=True``.
+    fast tokenizer unless ``traced=True``. ``ADAPTIVE`` prices every
+    block of the shard under all three codings and emits the cheapest
+    (stored payloads slice the shard's own bytes, zero-copy).
     """
     writer = BitWriter()
     if data:
         lzss = LZSSCompressor(window_size, hash_spec, policy, trace=traced)
         tokens = tokenize_chunk(lzss, history, data)
-        if strategy is BlockStrategy.FIXED or len(tokens) == 0:
+        if strategy is BlockStrategy.ADAPTIVE and len(tokens):
+            write_adaptive_blocks(writer, tokens, data, final=False)
+        elif strategy is BlockStrategy.FIXED or len(tokens) == 0:
             write_fixed_block(writer, tokens, final=False)
         else:
             write_dynamic_block(writer, tokens, final=False)

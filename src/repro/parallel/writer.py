@@ -89,6 +89,11 @@ class ParallelDeflateWriter:
         self._next_index = 0
         self._total_in = 0
         self._closed = False
+        # Set when a shard worker (or the sink) raised: the sink then
+        # holds a header-only or truncated stream with no trailer, and
+        # that must stay observable — close() re-raises instead of
+        # pretending the stream completed.
+        self._failed = False
         self._started = time.perf_counter()
         self.stats = ParallelStats(workers=self.workers,
                                    shard_size=shard_size)
@@ -153,6 +158,10 @@ class ParallelDeflateWriter:
         bound is reached, so memory stays at
         ``O(max_inflight * shard_size)`` regardless of input size.
         """
+        if self._failed:
+            raise ConfigError(
+                "writer failed: the output stream is truncated"
+            )
         if self._closed:
             raise ConfigError("writer already closed")
         self._buffer += data
@@ -167,13 +176,32 @@ class ParallelDeflateWriter:
         """Bytes accepted so far (buffered or submitted)."""
         return self._total_in + len(self._buffer)
 
+    @property
+    def failed(self) -> bool:
+        """True once a shard worker or sink write raised.
+
+        A failed writer's sink holds a truncated stream (no trailer);
+        further :meth:`write`/:meth:`close` calls raise rather than
+        silently returning an unfinished stream as complete.
+        """
+        return self._failed
+
     def close(self) -> None:
         """Flush the partial tail shard, drain the pool, finish the stream.
 
         An input ending exactly on a shard boundary leaves an empty tail
         — no empty shard is submitted for it (see the sync-flush
         emission rule in :mod:`repro.deflate.stream`).
+
+        If a shard worker raised, the exception propagates, the writer
+        enters the ``failed`` state and the pool is shut down; a repeat
+        ``close()`` raises again instead of returning silently — the
+        sink's stream is truncated and must not pass for a finished one.
         """
+        if self._failed:
+            raise ConfigError(
+                "writer failed: the output stream is truncated"
+            )
         if self._closed:
             return
         try:
@@ -185,8 +213,11 @@ class ParallelDeflateWriter:
                 self._drain_one()
             self._sink.write(close_stream(self._adler))
             self.stats.wall_s = time.perf_counter() - self._started
-        finally:
             self._closed = True
+        except BaseException:
+            self._failed = True
+            raise
+        finally:
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
@@ -199,8 +230,9 @@ class ParallelDeflateWriter:
             self.close()
         else:
             # Abandon the stream on error: shut the pool down without
-            # writing a (corrupt) trailer.
-            self._closed = True
+            # writing a (corrupt) trailer. The failed state keeps the
+            # truncation observable if close() is called later anyway.
+            self._failed = True
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None

@@ -4,7 +4,13 @@ import zlib
 
 import pytest
 
-from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    deflate_tokens,
+    stored_block_cost_bits,
+    write_stored_block,
+)
 from repro.deflate.splitter import (
     deflate_adaptive,
     evaluate_block,
@@ -40,6 +46,59 @@ class TestEvaluateBlock:
         assert choice.chosen_bits == min(
             choice.fixed_bits, choice.dynamic_bits, choice.stored_bits
         )
+
+    def test_dynamic_winner_carries_emission_plan(self):
+        data = bytes([3, 7] * 3000)
+        tokens = compress_tokens(data).tokens
+        choice = evaluate_block(tokens, len(data))
+        assert choice.strategy == BlockStrategy.DYNAMIC
+        assert choice.plan is not None
+        assert choice.plan.cost_bits == choice.dynamic_bits
+
+
+class TestStoredPricing:
+    """Regression: >64 KiB blocks must charge every stored chunk."""
+
+    def test_multi_chunk_price_matches_emitted_bits(self):
+        # ~70 KiB incompressible: STORED wins, and splits into two
+        # chunks at 65535 B — the old single-chunk formula underpriced
+        # this by 40 bits.
+        data = incompressible(70 * 1024, seed=7)
+        tokens = compress_tokens(data).tokens
+        choice = evaluate_block(tokens, len(data))
+        assert choice.strategy == BlockStrategy.STORED
+        writer = BitWriter()
+        write_stored_block(writer, data, final=False)
+        assert writer.bit_length == choice.chosen_bits
+
+    def test_single_chunk_price_matches_emitted_bits(self):
+        data = incompressible(4096, seed=8)
+        writer = BitWriter()
+        write_stored_block(writer, data, final=False)
+        assert writer.bit_length == stored_block_cost_bits(len(data))
+
+    def test_chunk_count_steps_at_65535(self):
+        one = stored_block_cost_bits(65535)
+        two = stored_block_cost_bits(65536)
+        # One more chunk: 3-bit header + 5-bit pad + 32-bit LEN/NLEN.
+        assert two - one == 8 + 40
+
+    def test_bit_offset_changes_first_chunk_padding(self):
+        aligned = stored_block_cost_bits(100, bit_offset=0)  # 5-bit pad
+        assert stored_block_cost_bits(100, bit_offset=5) == aligned - 5
+        # Offset 5: the 3-bit header fills the byte exactly — no pad.
+        assert stored_block_cost_bits(100, bit_offset=5) == 3 + 32 + 800
+
+    def test_offset_price_matches_emission_mid_stream(self):
+        data = incompressible(300, seed=9)
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)  # mis-align the stream
+        expected = stored_block_cost_bits(
+            len(data), bit_offset=writer.bit_length & 7
+        )
+        before = writer.bit_length
+        write_stored_block(writer, data, final=False)
+        assert writer.bit_length - before == expected
 
 
 class TestAdaptiveEncoding:

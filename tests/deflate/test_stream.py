@@ -60,6 +60,28 @@ class TestChunkedRoundtrip:
         with pytest.raises(ConfigError):
             ZLibStreamCompressor(strategy=BlockStrategy.STORED)
 
+    def test_adaptive_strategy(self, wiki_small):
+        from repro.workloads.synthetic import incompressible
+
+        # Compressible text then random bytes: each chunk's blocks are
+        # re-priced, so the random tail flips to stored blocks.
+        data = wiki_small + incompressible(16 * 1024, seed=3)
+        adaptive = compress_chunks(
+            chunked(data, 5000), strategy=BlockStrategy.ADAPTIVE
+        )
+        fixed = compress_chunks(chunked(data, 5000))
+        assert zlib.decompress(adaptive) == data
+        assert decompress(adaptive) == data
+        assert len(adaptive) < len(fixed)
+
+    def test_adaptive_flush_sync_boundaries(self, x2e_small):
+        stream = ZLibStreamCompressor(strategy=BlockStrategy.ADAPTIVE)
+        prefix = stream.compress(x2e_small[:9000]) + stream.flush_sync()
+        out = prefix + stream.compress(x2e_small[9000:]) + stream.finish()
+        assert zlib.decompress(out) == x2e_small
+        # A sync point stays a decodable prefix boundary under ADAPTIVE.
+        assert decompress_prefix(prefix) == x2e_small[:9000]
+
 
 class TestFlushSemantics:
     def test_sync_flush_keeps_stream_valid(self, wiki_small):

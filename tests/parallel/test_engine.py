@@ -84,6 +84,36 @@ class TestShardBoundaries:
         )
         assert zlib.decompress(stream) == x2e_small[: 4 * SHARD]
 
+    def test_adaptive_strategy_roundtrip(self, wiki_small):
+        from repro.workloads.synthetic import incompressible
+
+        # Compressible text followed by random bytes: adaptive shards
+        # must pick dynamic/fixed for the former and stored for the
+        # latter, and still stitch into one valid stream.
+        payload = wiki_small[: 2 * SHARD] + incompressible(
+            2 * SHARD, seed=6
+        )
+        adaptive = compress_parallel(
+            payload, workers=1, shard_size=SHARD,
+            strategy=BlockStrategy.ADAPTIVE,
+        )
+        fixed = compress_parallel(payload, workers=1, shard_size=SHARD)
+        assert zlib.decompress(adaptive) == payload
+        assert len(adaptive) < len(fixed)
+
+    def test_adaptive_pool_output_identical_to_serial(self, wiki_small):
+        payload = wiki_small[: 3 * SHARD]
+        serial = compress_parallel(
+            payload, workers=1, shard_size=SHARD,
+            strategy=BlockStrategy.ADAPTIVE,
+        )
+        pooled = compress_parallel(
+            payload, workers=3, shard_size=SHARD,
+            strategy=BlockStrategy.ADAPTIVE,
+        )
+        assert pooled == serial
+        assert zlib.decompress(serial) == payload
+
     def test_custom_params_roundtrip(self, wiki_small):
         params = HardwareParams(window_size=1024, hash_bits=9)
         stream = compress_parallel(

@@ -1,0 +1,100 @@
+"""A failed shard must stay observable — no silent truncated streams.
+
+Regression for the close() bug where ``_closed = True`` was set in a
+``finally`` even when a shard worker raised: a retry ``close()`` then
+returned silently while the sink held a header-only stream with no
+trailer and ``stats.wall_s`` unset.
+"""
+
+import io
+import multiprocessing
+import zlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import MIN_SHARD_SIZE, ParallelDeflateWriter
+from repro.parallel import engine as engine_module
+
+SHARD = MIN_SHARD_SIZE
+
+
+def _boom(task):
+    raise RuntimeError(f"shard {task.index} exploded")
+
+
+class TestCloseFailureObservable:
+    def test_failed_close_raises_again_not_silently(
+        self, monkeypatch, wiki_small
+    ):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        sink = io.BytesIO()
+        writer = ParallelDeflateWriter(sink, workers=1, shard_size=SHARD)
+        # Less than one shard: the failure fires when close() submits
+        # the tail — the exact path the old code swallowed on retry.
+        writer.write(wiki_small[: SHARD // 2])
+        with pytest.raises(RuntimeError, match="exploded"):
+            writer.close()
+        assert writer.failed
+        # The retry must NOT pretend the stream completed.
+        with pytest.raises(ConfigError, match="truncated"):
+            writer.close()
+        # Only the ZLib header reached the sink — no trailer.
+        assert len(sink.getvalue()) == 2
+        assert writer.stats.wall_s == 0.0
+
+    def test_write_after_failure_rejected(self, monkeypatch, wiki_small):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        writer = ParallelDeflateWriter(
+            io.BytesIO(), workers=1, shard_size=SHARD
+        )
+        writer.write(wiki_small[: SHARD // 2])
+        with pytest.raises(RuntimeError):
+            writer.close()
+        with pytest.raises(ConfigError, match="truncated"):
+            writer.write(b"more")
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="pool test relies on fork inheriting the patched worker",
+    )
+    def test_pool_worker_failure_marks_writer_failed(
+        self, monkeypatch, wiki_small
+    ):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        sink = io.BytesIO()
+        writer = ParallelDeflateWriter(
+            sink, workers=2, shard_size=SHARD, max_inflight=4
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            writer.write(wiki_small[: 2 * SHARD])
+            writer.close()
+        assert writer.failed
+        with pytest.raises(ConfigError, match="truncated"):
+            writer.close()
+        assert len(sink.getvalue()) == 2
+
+    def test_context_exit_on_error_keeps_failure_observable(
+        self, wiki_small
+    ):
+        sink = io.BytesIO()
+        with pytest.raises(ValueError, match="user error"):
+            with ParallelDeflateWriter(
+                sink, workers=1, shard_size=SHARD
+            ) as writer:
+                writer.write(wiki_small[:100])
+                raise ValueError("user error")
+        with pytest.raises(ConfigError, match="truncated"):
+            writer.close()
+
+    def test_successful_close_still_idempotent(self, wiki_small):
+        sink = io.BytesIO()
+        writer = ParallelDeflateWriter(sink, workers=1, shard_size=SHARD)
+        writer.write(wiki_small[: SHARD + 10])
+        writer.close()
+        size = len(sink.getvalue())
+        writer.close()  # no-op, no error, no extra bytes
+        assert len(sink.getvalue()) == size
+        assert not writer.failed
+        assert writer.stats.wall_s > 0
+        assert zlib.decompress(sink.getvalue()) == wiki_small[: SHARD + 10]
