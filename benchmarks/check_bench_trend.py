@@ -28,6 +28,14 @@ mode. A baseline file that does not exist yet at ``--ref`` is skipped
 with a warning rather than failed — a brand-new benchmark has no trend
 to break.
 
+Beyond the JSON exhibits, the rendered text exhibits under
+``benchmarks/results/`` are structure-diffed against the same ``--ref``:
+every numeric token is normalised out (timings and sizes vary run to
+run) and the remaining skeleton — table titles, column headers, row
+labels, units — must match the committed baseline exactly. A workload
+row silently vanishing from a report fails the build even when every
+surviving number is within tolerance.
+
 Usage (after regenerating the fresh files)::
 
     PYTHONPATH=src python benchmarks/check_bench_trend.py [--ref HEAD]
@@ -38,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 from typing import Iterator, List, Optional, Tuple
@@ -62,6 +71,9 @@ CONFIG_KEYS = (
 
 # Deterministic per-row metrics: same input -> same value, tight band.
 SIZE_KEYS = ("output_bytes", "old_bytes", "tokens")
+
+# Rendered (human-readable) exhibits, structure-diffed against --ref.
+EXHIBIT_DIR = "benchmarks/results"
 
 
 def load_baseline(name: str, ref: str) -> Optional[dict]:
@@ -128,6 +140,55 @@ def compare_report(name: str, fresh: dict, baseline: dict,
     return problems
 
 
+def normalise_exhibit(text: str) -> str:
+    """The structural skeleton of a rendered exhibit.
+
+    Numbers are measurements and vary run to run; the fixed-width
+    padding around them varies with their digit count. Both are
+    collapsed so only titles, headers, row labels, and units remain.
+    """
+    lines = []
+    for line in text.splitlines():
+        line = re.sub(r"\d+(?:\.\d+)?", "#", line)
+        line = re.sub(r"[ \t]+", " ", line).strip()
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def compare_exhibits(ref: str) -> List[str]:
+    """Structure-diff every rendered exhibit against ``ref``."""
+    problems: List[str] = []
+    results_dir = REPO_ROOT / EXHIBIT_DIR
+    if not results_dir.is_dir():
+        return problems
+    for path in sorted(results_dir.glob("*.txt")):
+        rel = f"{EXHIBIT_DIR}/{path.name}"
+        proc = subprocess.run(
+            ["git", "show", f"{ref}:{rel}"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            print(f"  ~ {rel}: no baseline at {ref}, skipping "
+                  f"(first render of a new exhibit)")
+            continue
+        fresh = normalise_exhibit(path.read_text())
+        base = normalise_exhibit(proc.stdout)
+        if fresh == base:
+            print(f"  {rel}: ok")
+            continue
+        print(f"  {rel}: FAIL")
+        fresh_lines = fresh.splitlines()
+        base_lines = base.splitlines()
+        detail = next(
+            (f"line {i + 1}: {b!r} -> {f!r}"
+             for i, (b, f) in enumerate(zip(base_lines, fresh_lines))
+             if b != f),
+            f"line count {len(base_lines)} -> {len(fresh_lines)}",
+        )
+        problems.append(f"{rel}: rendered structure drifted ({detail})")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ref", default="HEAD",
@@ -158,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         status = "FAIL" if found else "ok"
         print(f"  {name}: {status}")
         problems.extend(found)
+
+    problems.extend(compare_exhibits(args.ref))
 
     if problems:
         print("\nbenchmark trend violations:", file=sys.stderr)

@@ -79,6 +79,44 @@ def token_histograms(tokens) -> Tuple[SymbolHistogram, SymbolHistogram]:
 _token_histograms = token_histograms
 
 
+def segment_histograms(
+    tokens: TokenArray, start: int, stop: int
+) -> Tuple[SymbolHistogram, SymbolHistogram, int]:
+    """Histogram one candidate segment ``tokens[start:stop]``, mergeable.
+
+    Unlike :func:`token_histograms` the END_OF_BLOCK symbol is **not**
+    counted: a segment is not a block, it is a unit the cut-point search
+    (:mod:`repro.deflate.splitter`) concatenates into blocks. Because
+    histograms add, ``merge()``-ing two segment histograms gives exactly
+    the histogram of the combined segment — the property that lets the
+    search price every "cut here vs merge with the next candidate"
+    decision without a second pass over the tokens (EOB is added once,
+    at pricing time, per *block*).
+
+    Returns ``(litlen_hist, dist_hist, raw_len)`` where ``raw_len`` is
+    the number of source bytes the segment reconstructs — the stored
+    price and the block's slice of the raw buffer both need it, and the
+    loop is already walking the token lengths.
+    """
+    litlen = SymbolHistogram(MAX_LITLEN_SYMBOLS)
+    dist = SymbolHistogram(MAX_DIST_SYMBOLS)
+    lit_counts = litlen.counts
+    dist_counts = dist.counts
+    llookup = _LENGTH_LOOKUP
+    dlookup = _DISTANCE_LOOKUP
+    raw_len = 0
+    for length, value in zip(tokens.lengths[start:stop],
+                             tokens.values[start:stop]):
+        if length == 0:
+            lit_counts[value] += 1
+            raw_len += 1
+        else:
+            lit_counts[257 + llookup[length]] += 1
+            dist_counts[dlookup[value]] += 1
+            raw_len += length
+    return litlen, dist, raw_len
+
+
 def rle_code_lengths(lengths: List[int]) -> List[Tuple[int, int]]:
     """Run-length code a length sequence per §3.2.7.
 

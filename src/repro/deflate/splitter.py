@@ -1,4 +1,4 @@
-"""Per-block entropy-coding strategy selection.
+"""Per-block entropy-coding strategy selection with cut-point search.
 
 The paper's hardware commits to the fixed tables for speed; ZLib's
 software encoder instead prices each block under all three codings and
@@ -15,10 +15,23 @@ winning block is then emitted exactly once, and a DYNAMIC winner reuses
 the tables already built during pricing (the ``opt_len``/``static_len``
 accounting of ZLib's ``deflate.c``, with the emission fused through
 :mod:`repro.deflate.fused` and its code-length-keyed table cache).
+
+Block boundaries are no longer a blind cadence. With ``cut_search``
+(the default) the splitter accumulates mergeable segment histograms
+over candidate boundaries every :data:`DEFAULT_CUT_EVERY` tokens and
+prices each boundary: *cut here* (two blocks, two table transmissions)
+against *merge with the next candidate* (one block, one combined
+table). A boundary survives only when the two separate blocks price
+cheaper than the combined one, so homogeneous runs coalesce into a
+single table transmission while texture changes — text abutting binary
+in a heterogeneous shard — still get their own tables. ``cut_search=
+False`` restores the fixed cadence (cut every ``tokens_per_block``
+tokens, ZLib's symbol-buffer-fill behaviour).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -30,14 +43,29 @@ from repro.deflate.block_writer import (
     write_fixed_block,
     write_stored_block,
 )
+from repro.deflate.constants import (
+    DIST_EXTRA_BITS,
+    END_OF_BLOCK,
+    LITLEN_EXTRA_BITS,
+)
 from repro.deflate.dynamic import (
     DynamicPlan,
     plan_dynamic_block,
+    segment_histograms,
     token_histograms,
     write_dynamic_block,
 )
 from repro.errors import ConfigError
 from repro.lzss.tokens import TokenArray
+
+#: Default fixed-cadence block length, in tokens (ZLib's symbol-buffer
+#: size); also the ceiling for the candidate spacing of the cut search.
+DEFAULT_TOKENS_PER_BLOCK = 16384
+
+#: Default candidate-boundary spacing for the cut-point search, in
+#: tokens. Finer spacing isolates texture changes more precisely but
+#: prices more boundaries (two :func:`plan_dynamic_block` calls each).
+DEFAULT_CUT_EVERY = 4096
 
 
 @dataclass
@@ -74,26 +102,35 @@ def evaluate_block(
     pass over ``tokens``, stored from the multi-chunk formula of
     :func:`stored_block_cost_bits` (``bit_offset`` — the writer's
     pending bit count — pins the first chunk's alignment padding).
+
+    An empty block chooses FIXED explicitly: it has no symbols to
+    re-code, DYNAMIC could never be cheaper and has no plan to emit
+    with (``plan=None`` would crash the dynamic writer), and STORED
+    still pays 35+ framing bits against FIXED's 10. The choice used to
+    fall out of ``min()``'s first-wins tie ordering alone.
     """
     litlen_hist, dist_hist = token_histograms(tokens)
     fixed_bits = fixed_cost_from_histograms(litlen_hist, dist_hist)
-    if len(tokens):
-        plan = plan_dynamic_block(litlen_hist, dist_hist)
-        dynamic_bits = plan.cost_bits
-    else:
-        plan = None
-        dynamic_bits = fixed_bits
     stored_bits = stored_block_cost_bits(uncompressed_size, bit_offset)
+    if not len(tokens):
+        return BlockChoice(
+            strategy=BlockStrategy.FIXED,
+            fixed_bits=fixed_bits,
+            dynamic_bits=fixed_bits,
+            stored_bits=stored_bits,
+            plan=None,
+        )
+    plan = plan_dynamic_block(litlen_hist, dist_hist)
     best = min(
         (fixed_bits, BlockStrategy.FIXED),
-        (dynamic_bits, BlockStrategy.DYNAMIC),
+        (plan.cost_bits, BlockStrategy.DYNAMIC),
         (stored_bits, BlockStrategy.STORED),
         key=lambda pair: pair[0],
     )
     return BlockChoice(
         strategy=best[1],
         fixed_bits=fixed_bits,
-        dynamic_bits=dynamic_bits,
+        dynamic_bits=plan.cost_bits,
         stored_bits=stored_bits,
         plan=plan,
     )
@@ -104,6 +141,216 @@ def _slice_tokens(tokens: TokenArray, start: int, stop: int) -> TokenArray:
     out.lengths = tokens.lengths[start:stop]
     out.values = tokens.values[start:stop]
     return out
+
+
+class _SearchedBlock:
+    """One cut-search block: token range plus its already-built pricing.
+
+    ``plan`` is ``None`` when the entropy lower bound proved STORED
+    wins outright (``dynamic_bits`` then records the bound, which the
+    margin in :func:`_price_block_histograms` guarantees can never win
+    at emission either).
+    """
+
+    __slots__ = ("start", "stop", "raw_len", "fixed_bits", "dynamic_bits",
+                 "plan", "search_bits")
+
+    def __init__(self, start, stop, raw_len, fixed_bits, dynamic_bits,
+                 plan, search_bits):
+        self.start = start
+        self.stop = stop
+        self.raw_len = raw_len
+        self.fixed_bits = fixed_bits
+        self.dynamic_bits = dynamic_bits
+        self.plan = plan
+        self.search_bits = search_bits
+
+
+def _huffman_payload_bits(weights: List[int]) -> int:
+    """Σ count × length of an *unbounded* Huffman code over ``weights``.
+
+    The classic sum-of-internal-nodes identity via a heap — no lengths
+    are ever materialized. Because the 15-bit limit only ever adds
+    constraints, this is a true floor on the length-limited payload the
+    plan would pay, and it is exact (not Shannon) — crucially it does
+    not suffer the plug-in entropy's ~(K−1)/(2·ln2) ≈ 184-bit sampling
+    deficit on near-uniform histograms, which is larger than the stored
+    framing the shortcut needs to resolve.
+    """
+    if len(weights) == 1:
+        return weights[0]
+    heap = list(weights)
+    heapq.heapify(heap)
+    total = 0
+    while len(heap) > 1:
+        merged = heapq.heappop(heap) + heapq.heappop(heap)
+        total += merged
+        heapq.heappush(heap, merged)
+    return total
+
+
+def _dynamic_lower_bound_bits(litlen_hist, dist_hist) -> int:
+    """A floor on any dynamic block's exact cost, without a plan.
+
+    Three certain components: the unbounded-Huffman payload plus extra
+    bits (:func:`_huffman_payload_bits` — the 15-bit limit can only
+    cost more); 29 header bits (3-bit block header, HLIT/HDIST/HCLEN,
+    four mandatory code-length slots); and half a bit of table
+    transmission per used symbol (every used symbol's length reaches
+    the decoder through the RLE'd code-length stream, whose cheapest
+    emission — a 1-bit REP_6 symbol plus its 2 extra bits — covers at
+    most six lengths). The search uses the floor to skip package-merge
+    entirely when STORED already wins (every segment of an
+    incompressible shard) and to reject merges whose floor exceeds the
+    split price.
+    """
+    bits = 29
+    used = 0
+    for hist, extra in (
+        (litlen_hist, LITLEN_EXTRA_BITS),
+        (dist_hist, DIST_EXTRA_BITS),
+    ):
+        weights = []
+        for symbol, count in enumerate(hist.counts):
+            if count:
+                weights.append(count)
+                bits += count * extra[symbol]
+        if weights:
+            used += len(weights)
+            bits += _huffman_payload_bits(weights)
+    return bits + (used >> 1)
+
+
+def _price_block_histograms(litlen_hist, dist_hist, raw_len: int,
+                            budget: Optional[int] = None):
+    """Exact three-way price of a block built from segment histograms.
+
+    Segment histograms exclude END_OF_BLOCK (they are mergeable units,
+    not blocks); it is counted in transiently here, once per *block*
+    being priced. The stored price uses bit offset 0 — a search-time
+    estimate within 7 bits of any emission offset; emission re-prices
+    stored at the writer's true offset.
+
+    Returns ``(fixed_bits, dynamic_bits, plan, chosen_bits)``. When the
+    entropy floor shows STORED beating both other codings with more
+    than a byte to spare (so no emission offset can flip the choice),
+    the plan is never built and ``dynamic_bits`` is the floor.
+
+    ``budget`` is the split price a merged block must beat: when even
+    the floor ``min(fixed, stored, entropy bound)`` exceeds it the
+    answer is already "cut", and ``None`` comes back without the
+    package-merge tables ever being built. The two shortcuts between
+    them keep the search's exact pricing off the expensive path for
+    the two *obvious* decisions — incompressible segments (stored
+    wins) and texture boundaries (cut wins) — leaving full plan
+    construction only where the choice is genuinely close.
+    """
+    counts = litlen_hist.counts
+    counts[END_OF_BLOCK] += 1
+    try:
+        fixed_bits = fixed_cost_from_histograms(litlen_hist, dist_hist)
+        stored_bits = stored_block_cost_bits(raw_len)
+        cheap_floor = min(fixed_bits, stored_bits)
+        stored_won = stored_bits + 8 <= fixed_bits
+        if stored_won or (budget is not None and cheap_floor > budget):
+            floor = _dynamic_lower_bound_bits(litlen_hist, dist_hist)
+            if stored_won and stored_bits + 8 <= floor:
+                if budget is not None and stored_bits > budget:
+                    return None
+                return fixed_bits, floor, None, stored_bits
+            if budget is not None and min(cheap_floor, floor) > budget:
+                return None
+        plan = plan_dynamic_block(litlen_hist, dist_hist)
+    finally:
+        counts[END_OF_BLOCK] -= 1
+    chosen = min(fixed_bits, plan.cost_bits, stored_bits)
+    if budget is not None and chosen > budget:
+        return None
+    return fixed_bits, plan.cost_bits, plan, chosen
+
+
+def search_cut_points(
+    tokens: TokenArray,
+    cut_every: int = DEFAULT_CUT_EVERY,
+    cut_every_max: Optional[int] = None,
+) -> List[_SearchedBlock]:
+    """Greedy cost-driven block boundaries over candidate cut points.
+
+    Walks candidate boundaries, keeping an accumulated block whose
+    histograms are extended by merging each next segment's histograms
+    into it. At every candidate the exact prices decide: merge when
+    ``cost(acc + seg) <= cost(acc) + cost(seg)`` — one combined table
+    transmission beats two — else cut. Histogram merging makes each
+    decision O(alphabet), never a re-walk of the tokens; the winning
+    block's :class:`~repro.deflate.dynamic.DynamicPlan` is carried to
+    emission so nothing is priced twice.
+
+    Candidate spacing starts at ``cut_every`` and doubles after every
+    accepted merge, up to ``cut_every_max`` (default ``16 *
+    cut_every``); a cut resets it. Stable runs therefore cost
+    O(log) pricing decisions instead of one per ``cut_every`` tokens,
+    while the tokens right after a texture change — where boundary
+    resolution actually buys ratio — are still examined at the fine
+    spacing. With ``cut_every_max=cut_every`` the spacing is constant
+    and every merged block provably prices no cheaper than the
+    equal-cadence split it replaced (the monotonicity property of
+    ``tests/deflate/test_cut_search.py``).
+    """
+    n = len(tokens)
+    if cut_every_max is None:
+        cut_every_max = 16 * cut_every
+    blocks: List[_SearchedBlock] = []
+    acc_lit = acc_dist = None
+    acc_start = acc_stop = acc_raw = 0
+    acc_fixed = acc_dynamic = acc_plan = acc_price = None
+    spacing = cut_every
+    seg_start = 0
+    while seg_start < n:
+        seg_stop = min(seg_start + spacing, n)
+        lit, dist, raw = segment_histograms(tokens, seg_start, seg_stop)
+        fixed_bits, dynamic_bits, plan, price = _price_block_histograms(
+            lit, dist, raw
+        )
+        if acc_lit is None:
+            acc_lit, acc_dist, acc_raw = lit, dist, raw
+            acc_start, acc_stop = seg_start, seg_stop
+            acc_fixed, acc_dynamic, acc_plan, acc_price = (
+                fixed_bits, dynamic_bits, plan, price
+            )
+            seg_start = seg_stop
+            continue
+        merged_lit = acc_lit.copy()
+        merged_lit.merge(lit)
+        merged_dist = acc_dist.copy()
+        merged_dist.merge(dist)
+        merged_raw = acc_raw + raw
+        merged = _price_block_histograms(
+            merged_lit, merged_dist, merged_raw,
+            budget=acc_price + price,
+        )
+        if merged is not None:
+            acc_lit, acc_dist, acc_raw = merged_lit, merged_dist, merged_raw
+            acc_stop = seg_stop
+            acc_fixed, acc_dynamic, acc_plan, acc_price = merged
+            spacing = min(2 * spacing, cut_every_max)
+        else:
+            blocks.append(_SearchedBlock(
+                acc_start, acc_stop, acc_raw, acc_fixed,
+                acc_dynamic, acc_plan, acc_price,
+            ))
+            acc_lit, acc_dist, acc_raw = lit, dist, raw
+            acc_start, acc_stop = seg_start, seg_stop
+            acc_fixed, acc_dynamic, acc_plan, acc_price = (
+                fixed_bits, dynamic_bits, plan, price
+            )
+            spacing = cut_every
+        seg_start = seg_stop
+    if acc_lit is not None:
+        blocks.append(_SearchedBlock(
+            acc_start, acc_stop, acc_raw, acc_fixed,
+            acc_dynamic, acc_plan, acc_price,
+        ))
+    return blocks
 
 
 @dataclass
@@ -124,18 +371,30 @@ def write_adaptive_blocks(
     writer: BitWriter,
     tokens: TokenArray,
     original,
-    tokens_per_block: int = 16384,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
     final: bool = True,
+    cut_search: bool = True,
+    cut_every: Optional[int] = None,
+    cut_every_max: Optional[int] = None,
 ) -> List[BlockChoice]:
     """Emit ``tokens`` into ``writer`` with per-block strategy choice.
 
     ``original`` supplies the raw bytes for stored blocks (``bytes`` or
-    ``memoryview``; stored payloads are sliced zero-copy). Blocks are
-    cut every ``tokens_per_block`` tokens (ZLib cuts on symbol-buffer
-    fill, which is the same mechanism). With ``final=False`` every block
-    is non-final, so the run can sit inside a larger stream — the shard
-    bodies of :mod:`repro.parallel` and the chunk emission of
-    :class:`repro.deflate.stream.ZLibStreamCompressor`.
+    ``memoryview``; stored payloads are sliced zero-copy) and must be
+    exactly the buffer the tokens reconstruct — a shorter buffer would
+    fail deep inside memoryview slicing on the first STORED block, a
+    longer one would silently drop its tail into a corrupt stream, so
+    the length is validated up front.
+
+    With ``cut_search`` (default) block boundaries come from
+    :func:`search_cut_points`: candidates every ``cut_every`` tokens
+    (default ``min(DEFAULT_CUT_EVERY, tokens_per_block)``), kept only
+    when two separate blocks price cheaper than one merged block.
+    ``cut_search=False`` cuts blindly every ``tokens_per_block`` tokens
+    (ZLib cuts on symbol-buffer fill, the same mechanism). With
+    ``final=False`` every block is non-final, so the run can sit inside
+    a larger stream — the shard bodies of :mod:`repro.parallel` and the
+    chunk emission of :class:`repro.deflate.stream.ZLibStreamCompressor`.
 
     Each block is tokenised, priced and emitted exactly once; the
     returned choices record the per-block prices actually paid.
@@ -144,9 +403,22 @@ def write_adaptive_blocks(
         raise ConfigError(
             f"tokens_per_block must be >= 1: {tokens_per_block}"
         )
+    if cut_every is None:
+        cut_every = min(DEFAULT_CUT_EVERY, tokens_per_block)
+    if cut_every < 1:
+        raise ConfigError(f"cut_every must be >= 1: {cut_every}")
     view = memoryview(original)
-    choices: List[BlockChoice] = []
+    expected = tokens.uncompressed_size()
+    if len(view) != expected:
+        raise ConfigError(
+            f"original buffer is {len(view)} bytes but the token stream "
+            f"reconstructs {expected}"
+        )
     n = len(tokens)
+    if cut_search and n:
+        return _emit_searched_blocks(writer, tokens, view, final,
+                                     cut_every, cut_every_max)
+    choices: List[BlockChoice] = []
     block_starts = list(range(0, n, tokens_per_block)) or [0]
     consumed = 0
     for index, start in enumerate(block_starts):
@@ -158,27 +430,78 @@ def write_adaptive_blocks(
             block, raw_len, bit_offset=writer.bit_length & 7
         )
         choices.append(choice)
-        if choice.strategy is BlockStrategy.FIXED:
-            write_fixed_block(writer, block, final=last)
-        elif choice.strategy is BlockStrategy.DYNAMIC:
-            write_dynamic_block(writer, block, final=last, plan=choice.plan)
-        else:
-            write_stored_block(
-                writer, view[consumed:consumed + raw_len], final=last
-            )
+        _emit_block(writer, choice, block,
+                    view[consumed:consumed + raw_len], last)
         consumed += raw_len
     return choices
+
+
+def _emit_searched_blocks(
+    writer: BitWriter,
+    tokens: TokenArray,
+    view: memoryview,
+    final: bool,
+    cut_every: int,
+    cut_every_max: Optional[int] = None,
+) -> List[BlockChoice]:
+    """Emit the blocks the cut-point search decided on.
+
+    Fixed and dynamic prices (and the dynamic plan) were already built
+    during the search; only the stored price is refreshed here, at the
+    writer's true bit offset.
+    """
+    blocks = search_cut_points(tokens, cut_every, cut_every_max)
+    choices: List[BlockChoice] = []
+    consumed = 0
+    for index, searched in enumerate(blocks):
+        stored_bits = stored_block_cost_bits(
+            searched.raw_len, writer.bit_length & 7
+        )
+        best = min(
+            (searched.fixed_bits, BlockStrategy.FIXED),
+            (searched.dynamic_bits, BlockStrategy.DYNAMIC),
+            (stored_bits, BlockStrategy.STORED),
+            key=lambda pair: pair[0],
+        )
+        choice = BlockChoice(
+            strategy=best[1],
+            fixed_bits=searched.fixed_bits,
+            dynamic_bits=searched.dynamic_bits,
+            stored_bits=stored_bits,
+            plan=searched.plan,
+        )
+        choices.append(choice)
+        block = _slice_tokens(tokens, searched.start, searched.stop)
+        last = final and index == len(blocks) - 1
+        _emit_block(writer, choice, block,
+                    view[consumed:consumed + searched.raw_len], last)
+        consumed += searched.raw_len
+    return choices
+
+
+def _emit_block(writer, choice, block, raw_view, last) -> None:
+    if choice.strategy is BlockStrategy.FIXED:
+        write_fixed_block(writer, block, final=last)
+    elif choice.strategy is BlockStrategy.DYNAMIC:
+        write_dynamic_block(writer, block, final=last, plan=choice.plan)
+    else:
+        write_stored_block(writer, raw_view, final=last)
 
 
 def deflate_adaptive(
     tokens: TokenArray,
     original,
-    tokens_per_block: int = 16384,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+    cut_search: bool = True,
+    cut_every: Optional[int] = None,
+    cut_every_max: Optional[int] = None,
 ) -> SplitResult:
     """Encode a token stream with per-block best-strategy choice."""
     writer = BitWriter()
     choices = write_adaptive_blocks(
-        writer, tokens, original, tokens_per_block, final=True
+        writer, tokens, original, tokens_per_block, final=True,
+        cut_search=cut_search, cut_every=cut_every,
+        cut_every_max=cut_every_max,
     )
     return SplitResult(body=writer.flush(), choices=choices)
 
@@ -188,24 +511,40 @@ def zlib_compress_adaptive(
     window_size: int = 4096,
     hash_spec=None,
     policy=None,
-    tokens_per_block: int = 16384,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
     traced: bool = False,
+    cut_search: bool = True,
+    cut_every: Optional[int] = None,
+    sniff: bool = True,
 ) -> bytes:
     """Full ZLib stream with per-block strategy choice.
 
     Runs the trace-free fast tokenizer by default (``traced=True``
     selects the instrumented path; the token stream is identical).
+    ``sniff`` short-circuits data the entropy sniff
+    (:func:`repro.deflate.sniff.looks_incompressible`) deems
+    incompressible straight into multi-chunk stored blocks, skipping
+    tokenization entirely.
     """
     from repro.checksums.adler32 import adler32
+    from repro.deflate.sniff import looks_incompressible
     from repro.deflate.zlib_container import make_header
     from repro.lzss.compressor import LZSSCompressor
 
-    compressor = LZSSCompressor(window_size, hash_spec, policy,
-                                trace=traced)
-    result = compressor.compress(data)
-    split = deflate_adaptive(result.tokens, data, tokens_per_block)
+    if sniff and looks_incompressible(data):
+        writer = BitWriter()
+        write_stored_block(writer, data, final=True)
+        body = writer.flush()
+    else:
+        compressor = LZSSCompressor(window_size, hash_spec, policy,
+                                    trace=traced)
+        result = compressor.compress(data)
+        split = deflate_adaptive(result.tokens, data, tokens_per_block,
+                                 cut_search=cut_search,
+                                 cut_every=cut_every)
+        body = split.body
     return (
         make_header(window_size)
-        + split.body
+        + body
         + adler32(data).to_bytes(4, "big")
     )

@@ -26,7 +26,11 @@ from repro.deflate.block_writer import (
     write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
-from repro.deflate.splitter import write_adaptive_blocks
+from repro.deflate.sniff import looks_incompressible
+from repro.deflate.splitter import (
+    DEFAULT_TOKENS_PER_BLOCK,
+    write_adaptive_blocks,
+)
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.lzss.compressor import LZSSCompressor
@@ -116,6 +120,9 @@ class ZLibStreamCompressor:
         policy: Optional[MatchPolicy] = None,
         strategy: BlockStrategy = BlockStrategy.FIXED,
         traced: bool = False,
+        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+        cut_search: bool = True,
+        sniff: bool = True,
     ) -> None:
         if strategy is BlockStrategy.STORED:
             raise ConfigError(
@@ -123,6 +130,9 @@ class ZLibStreamCompressor:
             )
         self.window_size = window_size
         self.strategy = strategy
+        self.tokens_per_block = tokens_per_block
+        self.cut_search = cut_search
+        self.sniff = sniff
         # Streams default to the trace-free production tokenizer; pass
         # traced=True only when the per-token search record is needed.
         self._lzss = LZSSCompressor(
@@ -160,8 +170,16 @@ class ZLibStreamCompressor:
         self._total_in += len(chunk)
         self._since_sync += len(chunk)
 
-        tokens = tokenize_chunk(self._lzss, self._history, chunk)
-        self._emit_block(tokens, final=False, raw=chunk)
+        if (self.strategy is BlockStrategy.ADAPTIVE and self.sniff
+                and looks_incompressible(chunk)):
+            # Incompressible chunk: straight to stored blocks, no
+            # tokenization. The bytes still enter the history — the
+            # inflater's window holds them, so the next chunk's
+            # matches may reach back into this one as usual.
+            write_stored_block(self._writer, chunk, final=False)
+        else:
+            tokens = tokenize_chunk(self._lzss, self._history, chunk)
+            self._emit_block(tokens, final=False, raw=chunk)
         keep = self.window_size + MIN_LOOKAHEAD
         self._history = (self._history + chunk)[-keep:]
         return self._drain()
@@ -216,7 +234,11 @@ class ZLibStreamCompressor:
             write_fixed_block(self._writer, tokens, final=final)
         elif self.strategy is BlockStrategy.ADAPTIVE:
             # Per-chunk best-of-three; ``raw`` feeds stored blocks.
-            write_adaptive_blocks(self._writer, tokens, raw, final=final)
+            write_adaptive_blocks(
+                self._writer, tokens, raw, final=final,
+                tokens_per_block=self.tokens_per_block,
+                cut_search=self.cut_search,
+            )
         else:
             write_dynamic_block(self._writer, tokens, final=final)
 

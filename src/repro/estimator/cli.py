@@ -85,6 +85,35 @@ def _add_strategy_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_block_flags(parser: argparse.ArgumentParser) -> None:
+    """Adaptive-splitter knobs shared by ``compress`` and ``pcompress``.
+
+    ``--tokens-per-block`` was previously hard-coded to the library
+    default; both block-emitting subcommands now accept it. The cut
+    search and the incompressibility sniff default on and are
+    switchable for A/B runs (``--no-cut-search`` restores the blind
+    cadence, ``--no-sniff`` always tokenizes).
+    """
+    from repro.deflate.splitter import DEFAULT_TOKENS_PER_BLOCK
+
+    parser.add_argument(
+        "--tokens-per-block", type=int, default=DEFAULT_TOKENS_PER_BLOCK,
+        help="fixed-cadence block length / cut-search spacing ceiling "
+        f"(default {DEFAULT_TOKENS_PER_BLOCK})",
+    )
+    parser.add_argument(
+        "--cut-search", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cost-driven block cut-point search (adaptive strategy; "
+        "--no-cut-search restores the blind cadence)",
+    )
+    parser.add_argument(
+        "--sniff", action=argparse.BooleanOptionalAction, default=True,
+        help="entropy-sniff incompressible input straight to stored "
+        "blocks, skipping tokenization (adaptive strategy)",
+    )
+
+
 def _block_strategy(args: argparse.Namespace):
     from repro.deflate.block_writer import BlockStrategy
 
@@ -212,6 +241,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             data, window_size=params.window_size,
             hash_spec=params.hash_spec, policy=params.policy,
             traced=args.traced,
+            tokens_per_block=args.tokens_per_block,
+            cut_search=args.cut_search,
+            sniff=args.sniff,
         )
     else:
         stream = zc(
@@ -241,6 +273,9 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         carry_window=args.carry_window,
         strategy=_block_strategy(args),
         traced=args.traced,
+        tokens_per_block=args.tokens_per_block,
+        cut_search=args.cut_search,
+        sniff=args.sniff,
     )
     result = engine.compress(data)
     output = args.output or args.input + ".lzz"
@@ -393,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument("--gen-bits", type=int)
     _add_path_flags(compress_parser)
     _add_strategy_flag(compress_parser)
+    _add_block_flags(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
 
     pcompress_parser = sub.add_parser(
@@ -420,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcompress_parser.add_argument("--gen-bits", type=int)
     _add_path_flags(pcompress_parser)
     _add_strategy_flag(pcompress_parser)
+    _add_block_flags(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(

@@ -15,6 +15,7 @@ Two independent pieces:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Sequence
 
 from repro.errors import HuffmanError
@@ -106,32 +107,79 @@ def build_code_lengths(
             f"{n} symbols cannot be coded within {max_bits} bits"
         )
 
-    # Package-merge. Items are (weight, {symbol: count}) where the dict
-    # tracks how many times each original leaf participates; a leaf chosen
-    # in k merge levels ends up with code length k.
+    # Package-merge, two-pass leaf-counting form. A leaf chosen in k
+    # merge levels ends up with code length k; rather than carrying a
+    # per-package {symbol: count} dict through every merge (quadratic
+    # dict churn — this is the adaptive splitter's pricing hot path),
+    # the forward pass keeps only package *weights* plus, per level, a
+    # prefix count of how many of the cheapest items are leaves. The
+    # backward pass then recovers exactly which leaves each level
+    # selected: packages are pairwise sums of a sorted list, so the P
+    # selected packages of a level are its first P, built from the
+    # first 2P items of the level below — and the selected leaves are
+    # always a prefix of the frequency-sorted leaf list.
     leaves = sorted((freqs[s], s) for s in symbols)
 
-    def leaf_items() -> List[tuple]:
-        return [(w, {s: 1}) for w, s in leaves]
-
-    packages: List[tuple] = []
+    # Forward: per level, merge the sorted leaves with the (sorted)
+    # package weights and form the next level's pairwise packages.
+    # Items are ``weight << 1 | is_package``: the C-level sort on these
+    # ints reproduces the stable leaves-before-packages tie order of
+    # the reference formulation (equal weights sort leaf first), and
+    # the low bit lets the backward pass count leaves without a
+    # per-item Python structure. Pairwise sums of tagged weights stay
+    # correctly ordered because the sum's low bits never influence a
+    # comparison the true weights would not also decide — packages are
+    # re-tagged explicitly each level.
+    leaf_tagged = [w << 1 for w, _ in leaves]
+    levels: List[List[int]] = []
+    packages: List[int] = []
     for _ in range(max_bits):
-        merged = leaf_items() + packages
-        merged.sort(key=lambda item: item[0])
-        packages = []
-        for i in range(0, len(merged) - 1, 2):
-            w1, c1 = merged[i]
-            w2, c2 = merged[i + 1]
-            counts = dict(c1)
-            for s, k in c2.items():
-                counts[s] = counts.get(s, 0) + k
-            packages.append((w1 + w2, counts))
+        merged = leaf_tagged + packages
+        merged.sort()
+        levels.append(merged)
+        packages = [
+            (((merged[i] >> 1) + (merged[i + 1] >> 1)) << 1) | 1
+            for i in range(0, len(merged) - 1, 2)
+        ]
 
-    # Take the 2n-2 cheapest items from the final merge level.
+    # Backward: the final selection is the n-1 cheapest top-level
+    # packages, i.e. the first 2n-2 items of the top merged list. At
+    # each level the selected leaves — always a prefix of the
+    # frequency-sorted leaf list — gain one bit; the selected packages
+    # (always that level's first packages) expand into twice as many
+    # items of the level below.
+    taken_per_level = []
+    take = 2 * (n - 1)
+    for merged in reversed(levels):
+        take = min(take, len(merged))
+        if take == 0:
+            taken_per_level.append(0)
+            continue
+        # Count leaves among the first ``take`` items by parity of the
+        # boundary item: leaf tags are even, package tags odd, so equal
+        # tagged values are always the same kind and two bisects settle
+        # the boundary ties exactly.
+        boundary = merged[take - 1]
+        if boundary & 1:
+            taken_leaves = bisect_right(leaf_tagged, boundary)
+        else:
+            taken_leaves = bisect_left(leaf_tagged, boundary) + (
+                take - bisect_left(merged, boundary)
+            )
+        taken_per_level.append(taken_leaves)
+        take = 2 * (take - taken_leaves)
+
+    # A leaf selected at k levels has code length k; selections are
+    # always prefixes of the sorted leaf list, so one bucket/suffix-sum
+    # pass recovers every length.
+    bucket = [0] * (n + 1)
+    for taken_leaves in taken_per_level:
+        bucket[taken_leaves] += 1
     lengths = [0] * len(freqs)
-    for _, counts in packages[: n - 1]:
-        for s, k in counts.items():
-            lengths[s] += k
+    remaining = 0
+    for index in range(n, 0, -1):
+        remaining += bucket[index]
+        lengths[leaves[index - 1][1]] = remaining
     for length in (lengths[s] for s in symbols):
         if not 1 <= length <= max_bits:
             raise HuffmanError("package-merge produced invalid lengths")

@@ -20,6 +20,51 @@ class SymbolHistogram:
         for symbol in symbols:
             self.counts[symbol] += 1
 
+    def copy(self) -> "SymbolHistogram":
+        """An independent histogram with the same counts."""
+        out = SymbolHistogram(len(self.counts))
+        out.counts[:] = self.counts
+        return out
+
+    def merge(self, other: "SymbolHistogram") -> None:
+        """Add ``other``'s counts in place (same alphabet size required).
+
+        Merging two block histograms yields exactly the histogram of the
+        concatenated blocks, which is what lets the adaptive splitter's
+        cut-point search price "merge these candidates" without
+        revisiting any token.
+        """
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"alphabet mismatch: {len(self.counts)} vs "
+                f"{len(other.counts)}"
+            )
+        counts = self.counts
+        for symbol, count in enumerate(other.counts):
+            if count:
+                counts[symbol] += count
+
+    def subtract(self, other: "SymbolHistogram") -> None:
+        """Remove ``other``'s counts in place (inverse of :meth:`merge`).
+
+        Raises ``ValueError`` if ``other`` was never merged in (a count
+        would go negative) — subtracting an unrelated histogram is a bug.
+        """
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"alphabet mismatch: {len(self.counts)} vs "
+                f"{len(other.counts)}"
+            )
+        counts = self.counts
+        for symbol, count in enumerate(other.counts):
+            if count:
+                if counts[symbol] < count:
+                    raise ValueError(
+                        f"subtract would drive symbol {symbol} negative "
+                        f"({counts[symbol]} - {count})"
+                    )
+                counts[symbol] -= count
+
     @property
     def total(self) -> int:
         """Total number of recorded occurrences."""

@@ -41,9 +41,14 @@ from repro.deflate.block_writer import (
     BlockStrategy,
     write_block_header,
     write_fixed_block,
+    write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
-from repro.deflate.splitter import write_adaptive_blocks
+from repro.deflate.sniff import looks_incompressible
+from repro.deflate.splitter import (
+    DEFAULT_TOKENS_PER_BLOCK,
+    write_adaptive_blocks,
+)
 from repro.deflate.stream import tokenize_chunk
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
@@ -73,6 +78,9 @@ class ShardTask:
     policy: object
     strategy: BlockStrategy
     traced: bool = False
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK
+    cut_search: bool = True
+    sniff: bool = True
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,9 @@ def compress_shard_body(
     policy=None,
     strategy: BlockStrategy = BlockStrategy.FIXED,
     traced: bool = False,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+    cut_search: bool = True,
+    sniff: bool = True,
 ) -> bytes:
     """Compress one shard into a byte-aligned raw Deflate fragment.
 
@@ -104,14 +115,34 @@ def compress_shard_body(
     re-emitted (the carried-window mode). Shards run the trace-free
     fast tokenizer unless ``traced=True``. ``ADAPTIVE`` prices every
     block of the shard under all three codings and emits the cheapest
-    (stored payloads slice the shard's own bytes, zero-copy).
+    (stored payloads slice the shard's own bytes, zero-copy); its block
+    boundaries come from the cost-driven cut search unless
+    ``cut_search=False`` restores the blind ``tokens_per_block``
+    cadence.
+
+    With ``sniff`` (ADAPTIVE only) a shard the entropy sniff deems
+    incompressible skips tokenization — the pipeline's most expensive
+    stage — and is emitted directly as multi-chunk stored blocks. The
+    bypass never consults ``history`` (stored blocks reference
+    nothing), and the *next* shard's carried window is plaintext either
+    way, so the decision is purely local to this shard.
     """
     writer = BitWriter()
     if data:
+        if (strategy is BlockStrategy.ADAPTIVE and sniff
+                and looks_incompressible(data)):
+            write_stored_block(writer, data, final=False)
+            write_block_header(writer, 0b00, final=False)
+            writer.align_to_byte()
+            writer.write_bits(0, 16)
+            writer.write_bits(0xFFFF, 16)
+            return writer.flush()
         lzss = LZSSCompressor(window_size, hash_spec, policy, trace=traced)
         tokens = tokenize_chunk(lzss, history, data)
         if strategy is BlockStrategy.ADAPTIVE and len(tokens):
-            write_adaptive_blocks(writer, tokens, data, final=False)
+            write_adaptive_blocks(writer, tokens, data, final=False,
+                                  tokens_per_block=tokens_per_block,
+                                  cut_search=cut_search)
         elif strategy is BlockStrategy.FIXED or len(tokens) == 0:
             write_fixed_block(writer, tokens, final=False)
         else:
@@ -141,6 +172,9 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         policy=task.policy,
         strategy=task.strategy,
         traced=task.traced,
+        tokens_per_block=task.tokens_per_block,
+        cut_search=task.cut_search,
+        sniff=task.sniff,
     )
     return ShardResult(
         index=task.index,
@@ -200,6 +234,9 @@ class ShardedCompressor:
         carry_window: bool = False,
         strategy: BlockStrategy = BlockStrategy.FIXED,
         traced: bool = False,
+        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+        cut_search: bool = True,
+        sniff: bool = True,
     ) -> None:
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
@@ -215,6 +252,9 @@ class ShardedCompressor:
         self.carry_window = carry_window
         self.strategy = strategy
         self.traced = traced
+        self.tokens_per_block = tokens_per_block
+        self.cut_search = cut_search
+        self.sniff = sniff
 
     def plan(self, data: bytes) -> List[ShardTask]:
         """Cut ``data`` into shard tasks (empty input -> no shards)."""
@@ -234,6 +274,9 @@ class ShardedCompressor:
                     policy=self.params.policy,
                     strategy=self.strategy,
                     traced=self.traced,
+                    tokens_per_block=self.tokens_per_block,
+                    cut_search=self.cut_search,
+                    sniff=self.sniff,
                 )
             )
         return tasks
@@ -285,6 +328,9 @@ def compress_parallel(
     carry_window: bool = False,
     strategy: BlockStrategy = BlockStrategy.FIXED,
     traced: bool = False,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+    cut_search: bool = True,
+    sniff: bool = True,
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
 
@@ -301,4 +347,7 @@ def compress_parallel(
         carry_window=carry_window,
         strategy=strategy,
         traced=traced,
+        tokens_per_block=tokens_per_block,
+        cut_search=cut_search,
+        sniff=sniff,
     ).compress(data).data

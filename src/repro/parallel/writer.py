@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.checksums.adler32 import adler32_combine
 from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.splitter import DEFAULT_TOKENS_PER_BLOCK
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.hw.params import HardwareParams
@@ -59,6 +60,9 @@ class ParallelDeflateWriter:
         carry_window: bool = False,
         strategy: BlockStrategy = BlockStrategy.FIXED,
         traced: bool = False,
+        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+        cut_search: bool = True,
+        sniff: bool = True,
     ) -> None:
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
@@ -73,6 +77,9 @@ class ParallelDeflateWriter:
         self.carry_window = carry_window
         self.strategy = strategy
         self.traced = traced
+        self.tokens_per_block = tokens_per_block
+        self.cut_search = cut_search
+        self.sniff = sniff
         # Two in-flight shards per worker keeps the pool fed while the
         # parent stitches; the floor of 2 lets even workers=1 overlap
         # buffering with compression.
@@ -120,6 +127,9 @@ class ParallelDeflateWriter:
             policy=self.params.policy,
             strategy=self.strategy,
             traced=self.traced,
+            tokens_per_block=self.tokens_per_block,
+            cut_search=self.cut_search,
+            sniff=self.sniff,
         )
         self._next_index += 1
         self._total_in += len(shard)

@@ -124,7 +124,11 @@ class TestFusedTableCache:
         fused_cache_clear()
         data = b"ababab cdcdcd " * 4000
         tokens = compress_tokens(data).tokens
-        split = deflate_adaptive(tokens, data, tokens_per_block=48)
+        # Fixed cadence on purpose: the cut search would (correctly)
+        # merge this homogeneous input into one block, leaving nothing
+        # for the cache to hit.
+        split = deflate_adaptive(tokens, data, tokens_per_block=48,
+                                 cut_search=False)
         dynamic_blocks = sum(
             1 for c in split.choices
             if c.strategy is BlockStrategy.DYNAMIC

@@ -1,0 +1,221 @@
+"""Cost-driven cut-point search and stored-bypass sniff tests.
+
+Three properties anchor the cut search:
+
+* every output inflates bit-exactly (Hypothesis round-trip across the
+  compressibility spectrum);
+* price monotonicity — with constant candidate spacing the searched
+  stream never costs more than the fixed-cadence split it replaced,
+  beyond the per-block stored-alignment slack (the greedy rule only
+  merges when the merged block prices no worse than the split);
+* the incompressible-shard bypass emits streams any inflater accepts,
+  identical in content to the tokenized path's.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.deflate.block_writer import BlockStrategy
+from repro.deflate.sniff import (
+    looks_incompressible,
+    sampled_entropy_bits,
+    trigram_repeat_fraction,
+)
+from repro.deflate.splitter import (
+    deflate_adaptive,
+    evaluate_block,
+    search_cut_points,
+    zlib_compress_adaptive,
+)
+from repro.deflate.stream import ZLibStreamCompressor
+from repro.errors import ConfigError
+from repro.lzss.compressor import compress_tokens
+from repro.lzss.tokens import TokenArray
+from repro.parallel.engine import compress_parallel, compress_shard_body
+from repro.workloads.logs import syslog_text
+from repro.workloads.synthetic import incompressible, mixed, ramp, zeros
+
+_data = st.one_of(
+    st.binary(min_size=0, max_size=6000),
+    st.binary(min_size=1, max_size=3000).map(
+        lambda b: bytes(v & 0x0F for v in b)
+    ),
+    st.integers(1, 2000).map(lambda n: b"entropy " * n),
+    st.integers(1000, 6000).map(lambda n: incompressible(n, seed=n)),
+)
+
+
+class TestCutSearchRoundTrip:
+    @given(data=_data, cut_every=st.sampled_from([64, 256, 1024]))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_inflates_bit_exactly(self, data, cut_every):
+        tokens = compress_tokens(data).tokens
+        split = deflate_adaptive(tokens, data, cut_search=True,
+                                 cut_every=cut_every)
+        assert zlib.decompress(split.body, wbits=-15) == data
+
+    def test_heterogeneous_input_cuts_at_texture_changes(self):
+        data = syslog_text(64 << 10, seed=1) + incompressible(
+            64 << 10, seed=2) + syslog_text(64 << 10, seed=3)
+        tokens = compress_tokens(data).tokens
+        split = deflate_adaptive(tokens, data, cut_search=True)
+        assert zlib.decompress(split.body, wbits=-15) == data
+        strategies = {c.strategy for c in split.choices}
+        # The noise run prices STORED, the text runs DYNAMIC — the
+        # search must keep them in separate blocks to see both.
+        assert BlockStrategy.STORED in strategies
+        assert BlockStrategy.DYNAMIC in strategies
+
+    def test_homogeneous_input_merges_to_one_block(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 2000
+        tokens = compress_tokens(data).tokens
+        split = deflate_adaptive(tokens, data, cut_search=True)
+        assert len(split.choices) == 1
+        assert zlib.decompress(split.body, wbits=-15) == data
+
+
+class TestPriceMonotonicity:
+    @given(data=_data, block=st.sampled_from([128, 512, 2048]))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_never_worse_than_equal_cadence_split(self, data, block):
+        """Greedy merge-only-when-cheaper, at the cadence's boundaries.
+
+        With ``cut_every == tokens_per_block`` and backoff disabled
+        (``cut_every_max == cut_every``) the search evaluates exactly
+        the cadence's candidate boundaries, so each merge it accepts
+        priced no worse than the blocks it fused. Emission re-prices
+        stored blocks at their true bit offsets, which can differ
+        between the two streams by up to 7 padding bits per block.
+        """
+        tokens = compress_tokens(data).tokens
+        cadence = deflate_adaptive(tokens, data, tokens_per_block=block,
+                                   cut_search=False)
+        searched = deflate_adaptive(tokens, data, tokens_per_block=block,
+                                    cut_search=True, cut_every=block,
+                                    cut_every_max=block)
+        slack = len(cadence.choices)  # ≤ 7 bits ≈ 1 byte per block
+        assert len(searched.body) <= len(cadence.body) + slack
+
+    def test_searched_blocks_partition_the_tokens(self):
+        data = mixed(50000, seed=21)
+        tokens = compress_tokens(data).tokens
+        blocks = search_cut_points(tokens, cut_every=512)
+        assert blocks[0].start == 0
+        assert blocks[-1].stop == len(tokens)
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.stop == cur.start
+        assert sum(b.raw_len for b in blocks) == len(data)
+
+    def test_carried_plan_matches_emission(self):
+        """A DYNAMIC winner's cached plan prices its exact emission."""
+        data = syslog_text(100_000, seed=5)
+        tokens = compress_tokens(data).tokens
+        split = deflate_adaptive(tokens, data, cut_search=True)
+        for choice in split.choices:
+            if choice.strategy is BlockStrategy.DYNAMIC:
+                assert choice.plan is not None
+                assert choice.plan.cost_bits == choice.dynamic_bits
+
+
+class TestStoredBypass:
+    @staticmethod
+    def _inflate_fragment(body: bytes) -> bytes:
+        # Shard bodies are non-final block runs ending at a sync
+        # marker; a plain decompress() would report truncation.
+        return zlib.decompressobj(wbits=-15).decompress(body)
+
+    def test_shard_bypass_inflate_parity(self):
+        data = incompressible(1 << 20, seed=31)
+        sniffed = compress_shard_body(
+            data, strategy=BlockStrategy.ADAPTIVE, sniff=True)
+        tokenized = compress_shard_body(
+            data, strategy=BlockStrategy.ADAPTIVE, sniff=False)
+        assert self._inflate_fragment(sniffed) == data
+        assert self._inflate_fragment(tokenized) == data
+        # The tokenized path also ends at multi-chunk stored blocks, so
+        # the bypass costs nothing beyond skipping the work.
+        assert len(sniffed) == len(tokenized)
+
+    def test_parallel_stream_with_bypassed_shards(self):
+        data = incompressible(300_000, seed=33) + syslog_text(
+            100_000, seed=34)
+        stream = compress_parallel(data, workers=1, shard_size=100_000,
+                                   strategy=BlockStrategy.ADAPTIVE)
+        assert zlib.decompress(stream) == data
+
+    def test_stream_compressor_bypasses_incompressible_chunks(self):
+        noise = incompressible(64 << 10, seed=35)
+        text = syslog_text(64 << 10, seed=36)
+        stream = ZLibStreamCompressor(strategy=BlockStrategy.ADAPTIVE)
+        out = stream.compress(noise)
+        out += stream.compress(text)
+        out += stream.finish()
+        assert zlib.decompress(out) == noise + text
+
+    def test_compressible_data_never_bypasses(self):
+        assert not looks_incompressible(syslog_text(64 << 10))
+        assert not looks_incompressible(zeros(64 << 10))
+        # Maximal byte entropy but full of LZ structure: the trigram
+        # probe must veto the bypass where order-0 entropy cannot.
+        assert not looks_incompressible(ramp(64 << 10))
+        assert not looks_incompressible(b"x" * 100)  # below size floor
+
+    def test_random_data_bypasses(self):
+        noise = incompressible(1 << 20, seed=37)
+        assert looks_incompressible(noise)
+        assert sampled_entropy_bits(noise) > 7.9
+        assert trigram_repeat_fraction(noise) < 0.02
+
+
+class TestSplitterEdgeCases:
+    def test_empty_block_chooses_fixed_without_plan(self):
+        """Regression: the empty-block FIXED choice is explicit.
+
+        It used to fall out of ``min()``'s tuple ordering with
+        ``plan=None`` — an accidental invariant; a DYNAMIC pick here
+        would crash the emitter.
+        """
+        choice = evaluate_block(TokenArray(), 0)
+        assert choice.strategy is BlockStrategy.FIXED
+        assert choice.plan is None
+        assert choice.dynamic_bits == choice.fixed_bits
+
+    def test_original_length_mismatch_raises(self):
+        """Regression: a wrong ``original`` buffer fails up front."""
+        data = b"validation buffer " * 500
+        tokens = compress_tokens(data).tokens
+        with pytest.raises(ConfigError):
+            deflate_adaptive(tokens, data[:-1])
+        with pytest.raises(ConfigError):
+            deflate_adaptive(tokens, data + b"tail")
+
+    def test_matching_length_accepts_memoryview(self):
+        data = b"validation buffer " * 500
+        tokens = compress_tokens(data).tokens
+        split = deflate_adaptive(tokens, memoryview(data))
+        assert zlib.decompress(split.body, wbits=-15) == data
+
+
+class TestKnobPlumbing:
+    def test_zlib_compress_adaptive_cut_search_off(self):
+        data = mixed(40000, seed=41)
+        on = zlib_compress_adaptive(data, cut_search=True)
+        off = zlib_compress_adaptive(data, cut_search=False)
+        assert zlib.decompress(on) == data
+        assert zlib.decompress(off) == data
+
+    def test_cli_exposes_block_knobs(self):
+        from repro.estimator.cli import build_parser
+
+        parser = build_parser()
+        for command in ("compress", "pcompress"):
+            args = parser.parse_args(
+                [command, "input.bin", "--tokens-per-block", "2048",
+                 "--no-cut-search", "--no-sniff"])
+            assert args.tokens_per_block == 2048
+            assert args.cut_search is False
+            assert args.sniff is False
