@@ -173,7 +173,7 @@ def measure_cut_search(size_bytes: int, repeats: int) -> List[dict]:
 
     rows: List[dict] = []
     for workload, data in sorted(cut_search_workloads(size_bytes).items()):
-        tokens = compress_tokens(data, 32768, trace=False).tokens
+        tokens = compress_tokens(data, 32768, backend="fast").tokens
         cadence = deflate_adaptive(tokens, data, cut_search=False)
         searched = deflate_adaptive(tokens, data, cut_search=True)
         for label, split in (("cadence", cadence), ("cut", searched)):
@@ -247,7 +247,7 @@ def measure_splitter(size_bytes: int, repeats: int) -> List[dict]:
 
     rows: List[dict] = []
     for workload, data in sorted(splitter_workloads(size_bytes).items()):
-        tokens = compress_tokens(data, 32768, trace=False).tokens
+        tokens = compress_tokens(data, 32768, backend="fast").tokens
         old_body = _old_deflate_adaptive(tokens, data)
         new = deflate_adaptive(tokens, data)
         if zlib.decompress(old_body, -15) != data:

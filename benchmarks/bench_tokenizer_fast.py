@@ -1,7 +1,7 @@
 """Throughput of the trace-free fast path vs the instrumented tokenizer.
 
-Times the same inputs through ``trace=True`` (the instrumented
-reproduction path feeding the cycle models) and ``trace=False`` (the
+Times the same inputs through ``backend="traced"`` (the instrumented
+reproduction path feeding the cycle models) and ``backend="fast"`` (the
 production path: :mod:`repro.lzss.fast` + fused Huffman emission), for
 greedy and lazy parsing on a synthetic mixed workload and syslog text.
 Two end-to-end one-shot paths ride along: :func:`compress_parallel` and
@@ -65,8 +65,10 @@ def measure_tokenizers(size_bytes: int, repeats: int) -> List[dict]:
     rows: List[dict] = []
     for workload, data in sorted(tokenizer_workloads(size_bytes).items()):
         for parser, policy in parsers:
-            traced = compress_tokens(data, 32768, policy=policy, trace=True)
-            fast = compress_tokens(data, 32768, policy=policy, trace=False)
+            traced = compress_tokens(data, 32768, policy=policy,
+                                     backend="traced")
+            fast = compress_tokens(data, 32768, policy=policy,
+                                   backend="fast")
             if (
                 fast.tokens.lengths != traced.tokens.lengths
                 or fast.tokens.values != traced.tokens.values
@@ -76,12 +78,12 @@ def measure_tokenizers(size_bytes: int, repeats: int) -> List[dict]:
                 )
             traced_mbps = _best_mbps(
                 lambda: compress_tokens(data, 32768, policy=policy,
-                                        trace=True),
+                                        backend="traced"),
                 len(data), repeats,
             )
             fast_mbps = _best_mbps(
                 lambda: compress_tokens(data, 32768, policy=policy,
-                                        trace=False),
+                                        backend="fast"),
                 len(data), repeats,
             )
             rows.append({
@@ -103,22 +105,22 @@ def measure_end_to_end(size_bytes: int, repeats: int) -> List[dict]:
 
     data = mixed(size_bytes, seed=7)
 
-    def stream_once(traced: bool) -> bytes:
-        stream = ZLibStreamCompressor(window_size=32768, traced=traced)
+    def stream_once(backend: str) -> bytes:
+        stream = ZLibStreamCompressor(window_size=32768, backend=backend)
         return stream.compress(data) + stream.finish()
 
-    def parallel_once(traced: bool) -> bytes:
-        return compress_parallel(data, workers=1, traced=traced)
+    def parallel_once(backend: str) -> bytes:
+        return compress_parallel(data, workers=1, backend=backend)
 
     rows: List[dict] = []
     for path, run in (("parallel", parallel_once), ("stream", stream_once)):
-        fast_out = run(False)
-        if run(True) != fast_out:
+        fast_out = run("fast")
+        if run("traced") != fast_out:
             raise AssertionError(f"{path}: fast output != traced output")
         if zlib.decompress(fast_out) != data:
             raise AssertionError(f"{path}: round-trip failed")
-        traced_mbps = _best_mbps(lambda: run(True), len(data), repeats)
-        fast_mbps = _best_mbps(lambda: run(False), len(data), repeats)
+        traced_mbps = _best_mbps(lambda: run("traced"), len(data), repeats)
+        fast_mbps = _best_mbps(lambda: run("fast"), len(data), repeats)
         rows.append({
             "path": path,
             "traced_mbps": round(traced_mbps, 3),

@@ -2,7 +2,8 @@
 
 The perf-smoke CI job regenerates the machine-readable benchmark
 exhibits (``BENCH_parallel.json``, ``BENCH_tokenizer.json``,
-``BENCH_adaptive.json``). This checker diffs each fresh file against the
+``BENCH_adaptive.json``, ``BENCH_matcher.json``). This checker diffs
+each fresh file against the
 baseline committed at ``--ref`` (default ``HEAD``, read via ``git
 show``) so a PR that quietly bloats the compressed output or erodes a
 fast-path speedup fails the build instead of shipping.
@@ -57,6 +58,7 @@ BENCH_FILES = (
     "BENCH_parallel.json",
     "BENCH_tokenizer.json",
     "BENCH_adaptive.json",
+    "BENCH_matcher.json",
 )
 
 # Row fields that identify a row (used for matching, never compared).

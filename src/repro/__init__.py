@@ -46,11 +46,13 @@ from repro.lzss import (
 )
 from repro.lzss.hashchain import HashSpec
 from repro.parallel import ParallelDeflateWriter, compress_parallel
+from repro.profile import CompressionProfile
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlockStrategy",
+    "CompressionProfile",
     "HashSpec",
     "ParallelDeflateWriter",
     "compress_parallel",

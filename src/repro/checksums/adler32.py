@@ -19,10 +19,31 @@ blocks which is comfortably safe and cache-friendly).
 
 from __future__ import annotations
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 _MOD = 65521
 _BLOCK = 1 << 20
+
+#: zlib's NMAX: the longest run of 0xFF bytes the scalar recurrence can
+#: absorb before ``b`` must be reduced to avoid unbounded growth.
+_NMAX = 5552
+
+
+def _adler32_scalar(data: bytes, value: int) -> int:
+    """Pure-Python fallback used when numpy is unavailable."""
+    a = value & 0xFFFF
+    b = (value >> 16) & 0xFFFF
+    view = memoryview(bytes(data))
+    for start in range(0, len(view), _NMAX):
+        for byte in view[start:start + _NMAX]:
+            a += byte
+            b += a
+        a %= _MOD
+        b %= _MOD
+    return (b << 16) | a
 
 
 def adler32(data: bytes, value: int = 1) -> int:
@@ -36,6 +57,8 @@ def adler32(data: bytes, value: int = 1) -> int:
     >>> adler32(b"pedia", adler32(b"Wiki")) == adler32(b"Wikipedia")
     True
     """
+    if np is None:
+        return _adler32_scalar(data, value)
     a = value & 0xFFFF
     b = (value >> 16) & 0xFFFF
     buf = np.frombuffer(bytes(data), dtype=np.uint8)

@@ -8,20 +8,31 @@ loop works on a pre-converted ``memoryview`` for speed.
 
 from __future__ import annotations
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 _POLY = 0xEDB88320
 
 
-def _build_table() -> np.ndarray:
-    crc = np.arange(256, dtype=np.uint32)
-    for _ in range(8):
-        crc = np.where(crc & 1, (crc >> 1) ^ _POLY, crc >> 1).astype(np.uint32)
-    return crc
+def _build_table_list() -> list:
+    if np is not None:
+        crc = np.arange(256, dtype=np.uint32)
+        for _ in range(8):
+            crc = np.where(
+                crc & 1, (crc >> 1) ^ _POLY, crc >> 1
+            ).astype(np.uint32)
+        return [int(x) for x in crc]  # plain ints: faster scalar indexing
+    table = []
+    for value in range(256):
+        for _ in range(8):
+            value = (value >> 1) ^ _POLY if value & 1 else value >> 1
+        table.append(value)
+    return table
 
 
-_TABLE = _build_table()
-_TABLE_LIST = [int(x) for x in _TABLE]  # plain ints: faster scalar indexing
+_TABLE_LIST = _build_table_list()
 
 
 def crc32(data: bytes, value: int = 0) -> int:

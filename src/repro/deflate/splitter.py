@@ -512,16 +512,19 @@ def zlib_compress_adaptive(
     hash_spec=None,
     policy=None,
     tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-    traced: bool = False,
+    traced: Optional[bool] = None,
     cut_search: bool = True,
     cut_every: Optional[int] = None,
     sniff: bool = True,
+    backend: Optional[str] = None,
 ) -> bytes:
     """Full ZLib stream with per-block strategy choice.
 
-    Runs the trace-free fast tokenizer by default (``traced=True``
-    selects the instrumented path; the token stream is identical).
-    ``sniff`` short-circuits data the entropy sniff
+    Runs the trace-free fast tokenizer by default (``backend=`` selects
+    another registered tokenizer, ``"traced"`` the instrumented path;
+    the token stream is identical — see :mod:`repro.lzss.backends`).
+    ``traced=`` is the deprecated boolean equivalent. ``sniff``
+    short-circuits data the entropy sniff
     (:func:`repro.deflate.sniff.looks_incompressible`) deems
     incompressible straight into multi-chunk stored blocks, skipping
     tokenization entirely.
@@ -529,15 +532,19 @@ def zlib_compress_adaptive(
     from repro.checksums.adler32 import adler32
     from repro.deflate.sniff import looks_incompressible
     from repro.deflate.zlib_container import make_header
+    from repro.lzss.backends import backend_from_legacy
     from repro.lzss.compressor import LZSSCompressor
 
+    backend = backend_from_legacy(
+        backend, traced, param="traced", default="fast"
+    )
     if sniff and looks_incompressible(data):
         writer = BitWriter()
         write_stored_block(writer, data, final=True)
         body = writer.flush()
     else:
         compressor = LZSSCompressor(window_size, hash_spec, policy,
-                                    trace=traced)
+                                    backend=backend)
         result = compressor.compress(data)
         split = deflate_adaptive(result.tokens, data, tokens_per_block,
                                  cut_search=cut_search,

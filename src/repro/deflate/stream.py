@@ -33,10 +33,12 @@ from repro.deflate.splitter import (
 )
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
+from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.hashchain import HashSpec
 from repro.lzss.policy import MatchPolicy
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
+from repro.profile import as_profile
 
 
 def tokenize_chunk(
@@ -115,28 +117,43 @@ class ZLibStreamCompressor:
 
     def __init__(
         self,
-        window_size: int = 4096,
+        window_size: Optional[int] = None,
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
-        strategy: BlockStrategy = BlockStrategy.FIXED,
-        traced: bool = False,
-        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-        cut_search: bool = True,
-        sniff: bool = True,
+        strategy: Optional[BlockStrategy] = None,
+        traced: Optional[bool] = None,
+        tokens_per_block: Optional[int] = None,
+        cut_search: Optional[bool] = None,
+        sniff: Optional[bool] = None,
+        backend: Optional[str] = None,
+        profile=None,
     ) -> None:
+        if traced is not None:
+            backend = backend_from_legacy(
+                backend, traced, param="traced", default="fast"
+            )
+        prof = as_profile(profile)
+        window_size = prof.pick("window_size", window_size, 4096)
+        hash_spec = prof.pick("hash_spec", hash_spec, None)
+        policy = prof.pick("policy", policy, None)
+        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
+        backend = prof.pick("backend", backend, "fast")
         if strategy is BlockStrategy.STORED:
             raise ConfigError(
                 "use write_stored_block directly for stored streams"
             )
         self.window_size = window_size
         self.strategy = strategy
-        self.tokens_per_block = tokens_per_block
-        self.cut_search = cut_search
-        self.sniff = sniff
+        self.tokens_per_block = prof.pick(
+            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
+        )
+        self.cut_search = prof.pick("cut_search", cut_search, True)
+        self.sniff = prof.pick("sniff", sniff, True)
+        self.backend = backend
         # Streams default to the trace-free production tokenizer; pass
-        # traced=True only when the per-token search record is needed.
+        # backend="traced" only when the per-token record is needed.
         self._lzss = LZSSCompressor(
-            window_size, hash_spec, policy, trace=traced
+            window_size, hash_spec, policy, backend=backend
         )
         self._writer = BitWriter()
         self._adler = Adler32()

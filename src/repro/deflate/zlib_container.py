@@ -17,6 +17,7 @@ from repro.checksums.adler32 import adler32
 from repro.deflate.block_writer import BlockStrategy, deflate_tokens
 from repro.deflate.inflate import inflate_with_tail
 from repro.errors import ZLibContainerError
+from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import CompressResult, LZSSCompressor
 from repro.lzss.hashchain import HashSpec
 from repro.lzss.policy import MatchPolicy
@@ -79,9 +80,11 @@ class ZLibResult:
 class ZLibCompressor:
     """LZSS + Huffman + ZLib framing with the paper's parameter set.
 
-    ``trace=True`` (default) keeps the instrumented reproduction path so
-    ``ZLibResult.lzss.trace`` feeds the cost models; ``trace=False``
-    selects the trace-free fast tokenizer (identical output bytes).
+    ``backend="traced"`` (default) keeps the instrumented reproduction
+    path so ``ZLibResult.lzss.trace`` feeds the cost models; ``"fast"``
+    and ``"vector"`` are the trace-free production tokenizers
+    (identical output bytes). ``trace=`` is the deprecated boolean
+    equivalent.
     """
 
     def __init__(
@@ -90,10 +93,14 @@ class ZLibCompressor:
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
         strategy: BlockStrategy = BlockStrategy.FIXED,
-        trace: bool = True,
+        trace: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        backend = backend_from_legacy(
+            backend, trace, param="trace", default="traced"
+        )
         self._lzss = LZSSCompressor(window_size, hash_spec, policy,
-                                    trace=trace)
+                                    backend=backend)
         self.strategy = strategy
         self.window_size = window_size
 
@@ -115,7 +122,8 @@ def compress(
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
     strategy: BlockStrategy = BlockStrategy.FIXED,
-    trace: bool = True,
+    trace: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> bytes:
     """One-shot ZLib-compatible compression (paper datapath defaults).
 
@@ -126,8 +134,11 @@ def compress(
     >>> decompress(stream) == b"snowy snow" * 100
     True
     """
+    backend = backend_from_legacy(
+        backend, trace, param="trace", default="traced"
+    )
     return ZLibCompressor(
-        window_size, hash_spec, policy, strategy, trace=trace
+        window_size, hash_spec, policy, strategy, backend=backend
     ).compress(data).data
 
 

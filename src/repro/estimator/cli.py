@@ -52,22 +52,22 @@ def _build_params(args: argparse.Namespace) -> HardwareParams:
 
 
 def _add_path_flags(parser: argparse.ArgumentParser) -> None:
-    """--fast / --traced: which tokenizer path the compressor runs.
+    """--backend: which tokenizer the compressor runs.
 
-    Fast (the default) is the trace-free production hot path; traced is
-    the instrumented reproduction path the cost models consume. Output
-    bytes are identical — see docs/PERFORMANCE.md.
+    ``fast`` (the default) is the trace-free pure-Python production hot
+    path; ``vector`` is the numpy batch kernel; ``auto`` picks the
+    fastest available for the policy; ``traced`` is the instrumented
+    reproduction path the cost models consume. Output bytes are
+    identical on every backend — see docs/PERFORMANCE.md. Replaces the
+    old ``--fast``/``--traced`` flag pair.
     """
-    group = parser.add_mutually_exclusive_group()
-    group.add_argument(
-        "--fast", dest="traced", action="store_false",
-        help="trace-free production tokenizer (default)",
+    parser.add_argument(
+        "--backend", default=None,
+        choices=["traced", "fast", "vector", "auto"],
+        help="tokenizer backend: trace-free pure-Python (fast, default), "
+        "numpy batch kernel (vector), best available (auto), or the "
+        "instrumented reproduction path (traced); same output bytes",
     )
-    group.add_argument(
-        "--traced", dest="traced", action="store_true",
-        help="instrumented reproduction tokenizer (slower, same bytes)",
-    )
-    parser.set_defaults(traced=False)
 
 
 def _add_strategy_flag(parser: argparse.ArgumentParser) -> None:
@@ -78,10 +78,10 @@ def _add_strategy_flag(parser: argparse.ArgumentParser) -> None:
     under fixed/dynamic/stored and emits the cheapest (ZLib's choice).
     """
     parser.add_argument(
-        "--strategy", default="fixed",
+        "--strategy", default=None,
         choices=["fixed", "dynamic", "adaptive"],
-        help="block entropy coding: fixed tables (paper hardware), "
-        "per-block dynamic tables, or adaptive best-of-three",
+        help="block entropy coding: fixed tables (paper hardware, "
+        "default), per-block dynamic tables, or adaptive best-of-three",
     )
 
 
@@ -97,26 +97,30 @@ def _add_block_flags(parser: argparse.ArgumentParser) -> None:
     from repro.deflate.splitter import DEFAULT_TOKENS_PER_BLOCK
 
     parser.add_argument(
-        "--tokens-per-block", type=int, default=DEFAULT_TOKENS_PER_BLOCK,
+        "--tokens-per-block", type=int, default=None,
         help="fixed-cadence block length / cut-search spacing ceiling "
         f"(default {DEFAULT_TOKENS_PER_BLOCK})",
     )
     parser.add_argument(
         "--cut-search", action=argparse.BooleanOptionalAction,
-        default=True,
-        help="cost-driven block cut-point search (adaptive strategy; "
-        "--no-cut-search restores the blind cadence)",
+        default=None,
+        help="cost-driven block cut-point search (adaptive strategy, "
+        "default on; --no-cut-search restores the blind cadence)",
     )
     parser.add_argument(
-        "--sniff", action=argparse.BooleanOptionalAction, default=True,
+        "--sniff", action=argparse.BooleanOptionalAction, default=None,
         help="entropy-sniff incompressible input straight to stored "
-        "blocks, skipping tokenization (adaptive strategy)",
+        "blocks, skipping tokenization (adaptive strategy, default on)",
     )
 
 
 def _block_strategy(args: argparse.Namespace):
+    """The requested BlockStrategy, or None when --strategy was not given
+    (the library default / the profile's choice applies)."""
     from repro.deflate.block_writer import BlockStrategy
 
+    if args.strategy is None:
+        return None
     return BlockStrategy(args.strategy)
 
 
@@ -229,27 +233,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     from repro.deflate.block_writer import BlockStrategy
-    from repro.deflate.splitter import zlib_compress_adaptive
+    from repro.deflate.splitter import (
+        DEFAULT_TOKENS_PER_BLOCK,
+        zlib_compress_adaptive,
+    )
     from repro.deflate.zlib_container import compress as zc
 
     with open(args.input, "rb") as handle:
         data = handle.read()
     params = _build_params(args)
-    strategy = _block_strategy(args)
+    strategy = _block_strategy(args) or BlockStrategy.FIXED
+    backend = args.backend or "fast"
     if strategy is BlockStrategy.ADAPTIVE:
         stream = zlib_compress_adaptive(
             data, window_size=params.window_size,
             hash_spec=params.hash_spec, policy=params.policy,
-            traced=args.traced,
-            tokens_per_block=args.tokens_per_block,
-            cut_search=args.cut_search,
-            sniff=args.sniff,
+            backend=backend,
+            tokens_per_block=(args.tokens_per_block
+                              if args.tokens_per_block is not None
+                              else DEFAULT_TOKENS_PER_BLOCK),
+            cut_search=(args.cut_search
+                        if args.cut_search is not None else True),
+            sniff=args.sniff if args.sniff is not None else True,
         )
     else:
         stream = zc(
             data, window_size=params.window_size,
             hash_spec=params.hash_spec, policy=params.policy,
-            strategy=strategy, trace=args.traced,
+            strategy=strategy, backend=backend,
         )
     output = args.output or args.input + ".lzz"
     with open(output, "wb") as handle:
@@ -265,17 +276,23 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
 
     with open(args.input, "rb") as handle:
         data = handle.read()
-    params = _build_params(args)
+    # Explicit hardware flags build a HardwareParams that wins over the
+    # profile; with none given, params=None lets profile fields apply.
+    explicit_hw = bool(
+        args.preset or args.window is not None
+        or args.hash_bits is not None or args.gen_bits is not None
+    )
     engine = ShardedCompressor(
-        params=params,
+        params=_build_params(args) if explicit_hw else None,
         workers=args.workers,
         shard_size=args.shard_kb * 1024,
         carry_window=args.carry_window,
         strategy=_block_strategy(args),
-        traced=args.traced,
+        backend=args.backend,
         tokens_per_block=args.tokens_per_block,
         cut_search=args.cut_search,
         sniff=args.sniff,
+        profile=args.profile,
     )
     result = engine.compress(data)
     output = args.output or args.input + ".lzz"
@@ -449,6 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pcompress_parser.add_argument("--stats", action="store_true",
                                   help="print per-shard statistics")
+    from repro.profile import preset_names
+
+    pcompress_parser.add_argument(
+        "--profile", default=None, choices=list(preset_names()),
+        help="named CompressionProfile preset (policy, strategy, window, "
+        "backend in one flag); explicit flags win over profile fields",
+    )
     pcompress_parser.add_argument("--preset",
                                   choices=sorted(ESTIMATION_PRESETS))
     pcompress_parser.add_argument("--window", type=int)

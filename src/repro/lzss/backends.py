@@ -1,0 +1,163 @@
+"""Tokenizer backend registry: ``traced`` / ``fast`` / ``vector``.
+
+The library grew three longest-match tokenizers that produce
+bit-identical token streams:
+
+* ``traced`` — the instrumented reproduction path
+  (:class:`repro.lzss.compressor.LZSSCompressor`'s in-class parsers),
+  recording the per-token :class:`~repro.lzss.trace.MatchTrace` the
+  hardware and software cost models consume;
+* ``fast`` — the trace-free pure-Python production path
+  (:func:`repro.lzss.fast.compress_fast`);
+* ``vector`` — the numpy batch kernel
+  (:func:`repro.lzss.vector.compress_vector`), the software analogue of
+  the paper's widened compare datapath.
+
+This module is the single place that names them. Every ``backend=``
+parameter in the library accepts one of :data:`BACKEND_NAMES` plus
+``"auto"``, and resolves it here. Resolution is *total*: asking for
+``"vector"`` on a machine without a usable numpy, or with a policy the
+vector kernel does not support, silently degrades to ``"fast"`` — the
+output bytes are identical by the differential-test contract, so the
+fallback is unobservable except in speed. An unknown name raises
+:class:`~repro.errors.ConfigError`.
+
+The numpy probe runs per call (no caching): test suites block numpy via
+``sys.modules`` monkeypatching to exercise the fallback path, and a
+cached probe would leak state between tests.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Concrete backend names, in oracle-to-fastest order. ``"auto"`` is
+#: accepted by :func:`resolve` but is never a concrete backend.
+BACKEND_NAMES: Tuple[str, ...] = ("traced", "fast", "vector")
+
+#: Oldest numpy the vector kernel is tested against (needs stable
+#: ``np.frombuffer``/``sliding-window`` semantics and uint64 sorts).
+MIN_NUMPY = (1, 20)
+
+
+def _numpy_usable() -> bool:
+    """Import probe: is a new-enough numpy importable right now?"""
+    try:
+        import numpy
+    except Exception:
+        return False
+    try:
+        parts = numpy.__version__.split(".")
+        version = (int(parts[0]), int(parts[1]))
+    except (AttributeError, IndexError, ValueError):
+        return False
+    return version >= MIN_NUMPY
+
+
+def available() -> Tuple[str, ...]:
+    """The backends usable on this machine, probe evaluated per call.
+
+    ``traced`` and ``fast`` are pure Python and always present;
+    ``vector`` appears only when the numpy probe passes.
+    """
+    if _numpy_usable():
+        return BACKEND_NAMES
+    return ("traced", "fast")
+
+
+def resolve(backend: str, policy=None) -> str:
+    """Map a requested backend (or ``"auto"``) to a concrete one.
+
+    ``auto`` picks the fastest backend for the given policy: the vector
+    kernel for greedy insert-all policies (the configuration the batch
+    kernel is built for — see :func:`repro.lzss.vector.supports`),
+    ``fast`` otherwise. ``vector`` degrades silently to ``fast`` when
+    numpy is unusable or the policy is unsupported; the token output is
+    identical either way.
+    """
+    if backend == "auto":
+        if _numpy_usable() and policy is not None and not policy.lazy:
+            from repro.lzss.vector import supports
+
+            if supports(policy):
+                return "vector"
+        return "fast"
+    if backend not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown backend {backend!r}: expected one of "
+            f"{', '.join(BACKEND_NAMES)} or 'auto'"
+        )
+    if backend == "vector":
+        if not _numpy_usable():
+            return "fast"
+        if policy is not None:
+            from repro.lzss.vector import supports
+
+            if not supports(policy):
+                return "fast"
+    return backend
+
+
+def registry() -> Dict[str, Callable]:
+    """Name -> tokenizer callable for the trace-free backends.
+
+    Every callable has the signature
+    ``fn(data, window_size, hash_spec, policy) -> TokenArray``. The
+    ``traced`` backend is not listed: it returns a trace alongside the
+    tokens and lives inside :class:`~repro.lzss.compressor.LZSSCompressor`;
+    callers that resolve to ``"traced"`` dispatch there instead.
+    """
+    from repro.lzss.fast import compress_fast
+
+    table: Dict[str, Callable] = {"fast": compress_fast}
+    if _numpy_usable():
+        from repro.lzss.vector import compress_vector
+
+        table["vector"] = compress_vector
+    return table
+
+
+def tokenizer(backend: str, policy=None) -> Tuple[str, Optional[Callable]]:
+    """Resolve ``backend`` and return ``(concrete_name, callable)``.
+
+    The callable is ``None`` for ``"traced"`` — the instrumented path
+    needs the compressor object, not a bare tokenizer function.
+    """
+    name = resolve(backend, policy)
+    if name == "traced":
+        return name, None
+    return name, registry()[name]
+
+
+def backend_from_legacy(
+    backend: Optional[str],
+    legacy: Optional[bool],
+    *,
+    param: str,
+    default: str,
+) -> str:
+    """Shared deprecation shim for the old ``trace=``/``traced=`` booleans.
+
+    ``legacy=True`` means the caller wanted the instrumented path,
+    ``legacy=False`` the trace-free one; ``None`` (the new default
+    everywhere) means the boolean was not passed. Passing the boolean
+    warns and forwards onto the equivalent backend name; passing both
+    the boolean and ``backend=`` is a contradiction and raises.
+    """
+    if legacy is not None:
+        warnings.warn(
+            f"{param}= is deprecated; use backend='traced' or "
+            f"backend='fast' (or 'vector'/'auto') instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if backend is not None:
+            raise ConfigError(
+                f"cannot pass both {param}= and backend=: "
+                f"got {param}={legacy!r} and backend={backend!r}"
+            )
+        return "traced" if legacy else "fast"
+    return backend if backend is not None else default

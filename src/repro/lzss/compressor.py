@@ -14,10 +14,13 @@ what the hardware cycle model consumes; for the lazy parser rows are per
 what the software cost model consumes.
 
 Callers that only want tokens out (the production compressors in
-:mod:`repro.deflate` and :mod:`repro.parallel`) pass ``trace=False`` to
-skip all of that accounting: compression dispatches to the trace-free
-tokenizers in :mod:`repro.lzss.fast`, whose output is bit-identical,
-and ``CompressResult.trace`` is ``None``.
+:mod:`repro.deflate` and :mod:`repro.parallel`) select a trace-free
+backend (``backend="fast"`` or ``backend="vector"``, see
+:mod:`repro.lzss.backends`): compression dispatches to the registered
+tokenizer, whose output is bit-identical, and ``CompressResult.trace``
+is ``None``. The old ``trace=`` boolean is kept as a deprecation shim
+(``trace=True`` -> ``backend="traced"``, ``trace=False`` ->
+``backend="fast"``).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.lzss.backends import backend_from_legacy, tokenizer
 from repro.lzss.hashchain import ChainTables, HashSpec, hash_all
 from repro.lzss.matcher import longest_match
 from repro.lzss.policy import MatchPolicy
@@ -46,8 +50,10 @@ TOO_FAR = 4096
 class CompressResult:
     """Output of one LZSS compression pass.
 
-    ``trace`` is ``None`` when the pass ran on the trace-free fast path
-    (``trace=False``); the cost models require a traced pass.
+    ``trace`` is ``None`` when the pass ran on a trace-free backend;
+    the cost models require a traced pass. ``backend`` records the
+    concrete backend that actually ran (after ``auto`` resolution and
+    any silent vector -> fast fallback).
     """
 
     tokens: TokenArray
@@ -56,6 +62,7 @@ class CompressResult:
     policy: MatchPolicy
     hash_spec: HashSpec
     input_size: int = 0
+    backend: str = "traced"
 
     @property
     def token_count(self) -> int:
@@ -74,10 +81,15 @@ class LZSSCompressor:
         Hash function configuration (bit count / shift).
     policy:
         Match search policy (chain limits, greedy/lazy, insert limit).
+    backend:
+        Which tokenizer runs (see :mod:`repro.lzss.backends`):
+        ``"traced"`` (default) records a :class:`MatchTrace` for the
+        cost models; ``"fast"`` and ``"vector"`` are the trace-free
+        production paths (identical token output, no trace); ``"auto"``
+        picks the fastest available for the policy.
     trace:
-        ``True`` (default) records a :class:`MatchTrace` for the cost
-        models; ``False`` selects the trace-free fast tokenizer in
-        :mod:`repro.lzss.fast` (identical token output, no trace).
+        Deprecated boolean equivalent of ``backend`` (``True`` ->
+        ``"traced"``, ``False`` -> ``"fast"``); warns and forwards.
     """
 
     def __init__(
@@ -85,7 +97,8 @@ class LZSSCompressor:
         window_size: int = 4096,
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
-        trace: bool = True,
+        trace: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if window_size & (window_size - 1) or not 256 <= window_size <= 32768:
             raise ConfigError(
@@ -95,7 +108,9 @@ class LZSSCompressor:
         self.window_size = window_size
         self.hash_spec = hash_spec or HashSpec()
         self.policy = policy or MatchPolicy()
-        self.trace = trace
+        self.backend = backend_from_legacy(
+            backend, trace, param="trace", default="traced"
+        )
         # ZLib's MAX_DIST: never match farther back than this, which also
         # makes chain-table aliasing unreachable (see ChainTables).
         self.max_dist = window_size - MIN_LOOKAHEAD
@@ -105,22 +120,30 @@ class LZSSCompressor:
                 f"(MIN_LOOKAHEAD={MIN_LOOKAHEAD})"
             )
 
-    def compress(
-        self, data: bytes, trace: Optional[bool] = None
-    ) -> CompressResult:
-        """Produce the token stream (and, unless disabled, the trace).
+    @property
+    def trace(self) -> bool:
+        """Whether this compressor runs the instrumented traced path."""
+        return self.backend == "traced"
 
-        ``trace`` overrides the compressor-level setting for this call;
-        ``None`` keeps it.
+    def compress(
+        self,
+        data: bytes,
+        trace: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> CompressResult:
+        """Produce the token stream (and, on ``traced``, the trace).
+
+        ``backend`` overrides the compressor-level setting for this
+        call; ``None`` keeps it. ``trace`` is the deprecated boolean
+        equivalent.
         """
         data = bytes(data)
-        traced = self.trace if trace is None else trace
-        if not traced:
-            from repro.lzss.fast import compress_fast
-
-            tokens = compress_fast(
-                data, self.window_size, self.hash_spec, self.policy
-            )
+        requested = backend_from_legacy(
+            backend, trace, param="trace", default=self.backend
+        )
+        name, fn = tokenizer(requested, self.policy)
+        if fn is not None:
+            tokens = fn(data, self.window_size, self.hash_spec, self.policy)
             return CompressResult(
                 tokens=tokens,
                 trace=None,
@@ -128,6 +151,7 @@ class LZSSCompressor:
                 policy=self.policy,
                 hash_spec=self.hash_spec,
                 input_size=len(data),
+                backend=name,
             )
         if self.policy.lazy:
             tokens, trace_rec = self._compress_lazy(data)
@@ -141,6 +165,7 @@ class LZSSCompressor:
             policy=self.policy,
             hash_spec=self.hash_spec,
             input_size=len(data),
+            backend=name,
         )
 
     # ------------------------------------------------------------------
@@ -301,9 +326,13 @@ def compress_tokens(
     window_size: int = 4096,
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
-    trace: bool = True,
+    trace: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> CompressResult:
     """One-shot convenience wrapper around :class:`LZSSCompressor`."""
+    resolved = backend_from_legacy(
+        backend, trace, param="trace", default="traced"
+    )
     return LZSSCompressor(
-        window_size, hash_spec, policy, trace=trace
+        window_size, hash_spec, policy, backend=resolved
     ).compress(data)

@@ -20,7 +20,7 @@ lazy (deflate_slow) parsers with every piece of accounting removed —
 
 Token output is **bit-identical** to the traced path for every window
 size and policy — ``tests/properties/test_fast_differential.py`` holds
-that line with Hypothesis. Select it with ``trace=False`` on
+that line with Hypothesis. Select it with ``backend="fast"`` on
 :class:`~repro.lzss.compressor.LZSSCompressor` /
 :func:`~repro.lzss.compressor.compress_tokens`.
 """

@@ -22,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.errors import ConfigError
 from repro.lzss.tokens import MIN_MATCH
@@ -80,6 +83,8 @@ def hash_all(data: bytes, spec: HashSpec) -> List[int]:
     n = len(data)
     if n < MIN_MATCH:
         return []
+    if np is None:
+        return _hash_all_scalar(data, spec)
     buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
     s = np.uint32(spec.shift)
     m = np.uint32(spec.mask)
@@ -87,6 +92,24 @@ def hash_all(data: bytes, spec: HashSpec) -> List[int]:
     h = ((h << s) ^ buf[1:-1]) & m
     h = ((h << s) ^ buf[2:]) & m
     return h.tolist()
+
+
+def _hash_all_scalar(data: bytes, spec: HashSpec) -> List[int]:
+    """Pure-Python :func:`hash_all` for numpy-less installs.
+
+    Rolling evaluation: each position's hash extends the previous one
+    by a single shift-XOR step, zlib's UPDATE_HASH, so the loop does
+    one multiply-free update per byte instead of three.
+    """
+    s, m = spec.shift, spec.mask
+    view = memoryview(data)
+    h = ((view[0] << s) ^ view[1]) & m
+    out = []
+    append = out.append
+    for byte in view[2:]:
+        h = ((h << s) ^ byte) & m
+        append(h)
+    return out
 
 
 def hash_all_array(data: bytes, spec: HashSpec):
@@ -103,6 +126,9 @@ def hash_all_array(data: bytes, spec: HashSpec):
     n = len(data)
     out = array("i")
     if n < MIN_MATCH:
+        return out
+    if np is None:
+        out.extend(_hash_all_scalar(data, spec))
         return out
     buf = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
     s = np.uint32(spec.shift)

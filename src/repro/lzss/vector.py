@@ -1,0 +1,685 @@
+"""NumPy-vectorised longest-match tokenizer (the ``vector`` backend).
+
+:mod:`repro.lzss.fast` removes the trace bookkeeping but still walks
+hash chains one candidate at a time in Python bytecode. This module
+widens the datapath instead — the software analogue of the paper's
+32-bit data buses ("1 to 4 bytes during the first clock cycle and
+exactly 4 bytes during each following one", §IV) — by scoring *many*
+chain candidates per NumPy operation:
+
+1. **Batched hash computation.** Every position's 3-byte shift-XOR hash
+   is computed in one whole-array pass (the paper's hash cache).
+2. **Wholesale chain construction.** For insert-all configurations
+   (every position enters the hash table: all lazy policies, and greedy
+   with ``max_insert_length >= MAX_MATCH``) the chain predecessor of a
+   position is simply the previous position with the same hash. One
+   stable argsort of the hash array yields the entire ``prev`` table —
+   no incremental head/next updates during parsing at all.
+3. **Batched candidate scoring.** The chain walk runs with the *chain
+   step* as the outer loop and all still-searching positions as the
+   inner (vectorised) axis: each round gathers one candidate per active
+   position, screens it with a single 4-byte word compare, extends the
+   survivors in 4-byte strides (cumulative-equality first-mismatch),
+   and applies ZLib's ``good_length``/``nice_length``/budget heuristics
+   as array updates. Positions leave the active set exactly when the
+   scalar walk would have broken out of its loop.
+4. **Sequential replay.** A lean Python loop turns the per-position
+   best matches into the greedy or lazy token stream; with the chains
+   precomputed there is no per-byte insertion work left here.
+
+Token output is **bit-identical** to the traced oracle and the fast
+path for every supported configuration —
+``tests/properties/test_fast_differential.py`` holds the three-way line
+with Hypothesis. Greedy policies with ``max_insert_length < MAX_MATCH``
+(ZLib levels 1-3, the hardware-speed preset) skip hash insertion for
+long matches, so their chain topology depends on parse decisions and
+cannot be precomputed; :func:`supports` reports ``False`` and
+:func:`compress_vector` transparently delegates those to the scalar
+fast kernel.
+
+This module must import without NumPy present —
+:mod:`repro.lzss.backends` probes availability at runtime and resolves
+``"vector"`` to ``"fast"`` when the probe fails.
+"""
+
+from __future__ import annotations
+
+try:  # probe-gated: repro.lzss.backends decides whether we are used
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+from array import array
+
+from repro.lzss.tokens import (
+    MAX_MATCH,
+    MIN_LOOKAHEAD,
+    MIN_MATCH,
+    TokenArray,
+)
+
+#: Same constant as the scalar lazy parsers (ZLib's TOO_FAR).
+_TOO_FAR = 4096
+
+
+def supports(policy) -> bool:
+    """Whether the vectorised kernel applies to ``policy``.
+
+    Lazy parsing inserts every scanned position into the hash table, so
+    the chain topology is parse-independent and precomputable. Greedy
+    parsing only qualifies when ``max_insert_length`` cannot exclude any
+    match from insertion.
+    """
+    return bool(policy.lazy) or policy.max_insert_length >= MAX_MATCH
+
+
+def compress_vector(data, window_size, hash_spec, policy) -> TokenArray:
+    """Tokenise ``data`` with the vectorised matcher.
+
+    Bit-identical to :func:`repro.lzss.fast.compress_fast` (and hence to
+    the traced oracle) for every configuration; unsupported greedy
+    configurations and a missing NumPy delegate to the scalar kernel.
+    """
+    if np is None or not supports(policy):
+        from repro.lzss.fast import compress_fast
+
+        return compress_fast(data, window_size, hash_spec, policy)
+    tokens = TokenArray()
+    n = len(data)
+    if n == 0:
+        return tokens
+    if n < MIN_MATCH + 1:
+        # Too short for any match: all literals, skip the array setup.
+        for byte in data:
+            tokens.append_literal(byte)
+        return tokens
+
+    buf = np.frombuffer(data, dtype=np.uint8)
+    hashes = _hash_all_np(buf, hash_spec)
+    prev_all, rank = _prev_occurrence(hashes)
+    words4 = _words4(buf)
+    max_dist = window_size - MIN_LOOKAHEAD
+    cache = {}  # sub-chain tables, shared between the two lazy passes
+
+    if policy.lazy:
+        full_len, full_dist = _batch_matches(
+            buf, words4, prev_all, rank, n, max_dist,
+            policy.max_chain, policy.good_length, policy.nice_length,
+            cache,
+        )
+        # A good previous match quarters the chain budget *before* the
+        # search (deflate_slow); that variant is only consulted when
+        # prev_len can be in [good_length, max_lazy).
+        quart_chain = policy.max_chain >> 2
+        need_quart = quart_chain > 0 and policy.good_length < policy.max_lazy
+        if need_quart:
+            quart_len, quart_dist = _batch_matches(
+                buf, words4, prev_all, rank, n, max_dist,
+                quart_chain, policy.good_length, policy.nice_length,
+                cache,
+            )
+        else:
+            quart_len = quart_dist = None
+        return _replay_lazy(
+            data, n, policy,
+            full_len, full_dist, quart_len, quart_dist,
+        )
+
+    best_len, best_dist = _batch_matches(
+        buf, words4, prev_all, rank, n, max_dist,
+        policy.max_chain, policy.good_length, policy.nice_length,
+        cache,
+    )
+    return _replay_greedy(data, n, best_len, best_dist)
+
+
+# ----------------------------------------------------------------------
+# whole-buffer precomputation
+# ----------------------------------------------------------------------
+
+
+def _hash_all_np(buf, spec):
+    """3-byte shift-XOR hash of every position, one whole-array pass.
+
+    Same recurrence as :func:`repro.lzss.hashchain.hash_all`, kept as a
+    NumPy array (the argsort below consumes it directly — no boxing).
+    """
+    b = buf.astype(np.uint32)
+    s = np.uint32(spec.shift)
+    m = np.uint32(spec.mask)
+    h = b[:-2] & m
+    h = ((h << s) ^ b[1:-1]) & m
+    h = ((h << s) ^ b[2:]) & m
+    return h
+
+
+def _prev_occurrence(hashes):
+    """``prev[p]`` = nearest ``q < p`` with ``hashes[q] == hashes[p]``.
+
+    For insert-all configurations this *is* the hash chain: the head
+    table entry a position sees in its PREPARE step is exactly the
+    previous occurrence of its own hash, and following ``prev``
+    repeatedly reproduces the incremental head/next walk (ring aliasing
+    is unreachable within the distance limit, the same argument
+    :class:`repro.lzss.hashchain.ChainTables` makes).
+
+    Sorting ``(hash << 42) | position`` packed keys groups equal hashes
+    while preserving position order (a counting-sort-stable grouping at
+    plain ``np.sort`` speed — measurably faster than a stable argsort);
+    the predecessor within each group is then a shifted view.
+
+    Also returns ``rank`` — each position's index in the hash-sorted
+    order. Within one bucket the rank difference between two members is
+    exactly the number of chain links between them, which is what lets
+    the sub-chain walks account chain budget without stepping every
+    link.
+    """
+    keys = (hashes.astype(np.uint64) << np.uint64(42)) | np.arange(
+        hashes.size, dtype=np.uint64
+    )
+    keys.sort()
+    order = (keys & np.uint64((1 << 42) - 1)).astype(np.int64)
+    prev_sorted = np.empty_like(order)
+    if order.size:
+        prev_sorted[0] = -1
+        same = (keys[1:] >> np.uint64(42)) == (keys[:-1] >> np.uint64(42))
+        prev_sorted[1:] = np.where(same, order[:-1], np.int64(-1))
+    prev_all = np.empty_like(order)
+    prev_all[order] = prev_sorted
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size, dtype=np.int64)
+    return prev_all, rank
+
+
+def _words4(buf):
+    """Little-endian 4-byte word starting at every position (n-3 of them).
+
+    The batched compare ladder screens candidates with one gathered
+    word-equality test — the software rendition of the paper's 32-bit
+    compare bus reading 4 bytes per cycle.
+    """
+    if buf.size < 4:
+        return np.empty(0, dtype=np.uint32)
+    b = buf.astype(np.uint32)
+    return (
+        b[:-3]
+        | (b[1:-2] << np.uint32(8))
+        | (b[2:-1] << np.uint32(16))
+        | (b[3:] << np.uint32(24))
+    )
+
+
+def _words8(words4):
+    """Little-endian 8-byte word starting at every position (n-7)."""
+    if words4.size < 5:
+        return np.empty(0, dtype=np.uint64)
+    w = words4.astype(np.uint64)
+    return w[:-4] | (w[4:] << np.uint64(32))
+
+
+def _sub_prev(keys):
+    """Previous same-key occurrence for arbitrary keys (sub-chains)."""
+    prev = np.full(keys.size, -1, dtype=np.int64)
+    if keys.size < 2:
+        return prev
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    prev_sorted = np.empty_like(order)
+    prev_sorted[0] = -1
+    same = keys[order[1:]] == keys[order[:-1]]
+    prev_sorted[1:] = np.where(same, order[:-1], np.int64(-1))
+    prev[order] = prev_sorted
+    return prev
+
+
+def _sub_chain(cache, words4, width):
+    """Chain over positions sharing their first ``width`` bytes.
+
+    ``width == 8`` groups by the exact 8-byte word; wider levels group
+    by a mixed hash of the constituent words — a collision links two
+    positions that are not truly prefix-equal, which the walk detects with
+    its word verification and skips, so collisions cost a wasted step,
+    never a wrong token.
+    """
+    key = ("prev", width)
+    if key not in cache:
+        if "w8" not in cache:
+            cache["w8"] = _words8(words4)
+        w8 = cache["w8"]
+        span = width - 8
+        if w8.size <= span:
+            keys = np.empty(0, dtype=np.uint64)
+        elif width == 8:
+            keys = w8
+        else:
+            mix = np.uint64(0x9E3779B97F4A7C15)
+            keys = w8[: w8.size - span].copy()
+            for off in range(8, width, 8):
+                keys *= mix
+                keys += w8[off : w8.size - span + off]
+        cache[key] = _sub_prev(keys)
+    return cache["w8"], cache[key]
+
+
+# ----------------------------------------------------------------------
+# batched longest-match
+# ----------------------------------------------------------------------
+
+
+def _pair_lengths(buf, words4, cand, pos, lim, k0=0):
+    """Match length for each (candidate, position) pair, vectorised.
+
+    Extends in 4-byte word strides while both sides agree, then resolves
+    the final 0-3 bytes with gathered byte compares. Overlap-safe like
+    :func:`repro.lzss.matcher.match_length` (both sides index the same
+    buffer). ``k0`` seeds the extension when the caller has already
+    proven a common prefix (the W8 sub-chain guarantees 8 bytes).
+    """
+    k = np.full(cand.size, k0, dtype=np.int64)
+    live = np.arange(cand.size)
+    while live.size:
+        can4 = k[live] + 4 <= lim[live]
+        wordy = live[can4]
+        equal = words4[cand[wordy] + k[wordy]] == words4[pos[wordy] + k[wordy]]
+        advanced = wordy[equal]
+        k[advanced] += 4
+        # Pairs whose word compare mismatched, or with < 4 bytes of
+        # budget left, finish with at most 3 byte probes.
+        tail = np.concatenate((live[~can4], wordy[~equal]))
+        for _ in range(3):
+            tail = tail[k[tail] < lim[tail]]
+            if not tail.size:
+                break
+            more = buf[cand[tail] + k[tail]] == buf[pos[tail] + k[tail]]
+            tail = tail[more]
+            k[tail] += 1
+        live = advanced
+    return k
+
+
+#: Best-length threshold for moving a lane from the bucket chain onto
+#: the first sub-chain: once best_len >= 7, an improvement needs an
+#: 8-byte common prefix, so only W8-equal candidates matter.
+_SWITCH_BL = 7
+
+#: Widest sub-chain level; lanes with best_len >= 31 walk 32-byte-prefix
+#: chains and stay there (matches cap at 258).
+_MAX_WIDTH = 32
+
+
+def _batch_matches(buf, words4, prev_all, rank, n, max_dist,
+                   max_chain, good_length, nice_length, cache):
+    """Best (length, distance) for *every* hashable position.
+
+    Runs ZLib's ``longest_match`` for all positions at once, with the
+    chain step as the outer loop. Candidate order per position is
+    identical to the incremental walk, so first-best tie handling, the
+    ``good_length`` budget quartering and the ``nice_length`` early
+    exit reproduce the scalar semantics exactly; a position leaves the
+    active set precisely when the scalar loop would have terminated.
+
+    Lanes whose best length reaches :data:`_SWITCH_BL` leave the
+    bucket-chain walk for the sub-chain cascade (:func:`_sub_walk`):
+    an improving candidate must share the position's first 8 (then 16,
+    then 32) bytes, so only same-prefix chain members need visiting;
+    the skipped bucket links in between are charged against the chain
+    budget via rank arithmetic, keeping the outcome bit-identical.
+    """
+    count = prev_all.size  # positions 0 .. n - MIN_MATCH
+    out_len = np.full(count, MIN_MATCH - 1, dtype=np.int64)
+    out_dist = np.zeros(count, dtype=np.int64)
+
+    # Dense per-active-position state. Every round operates on compact
+    # arrays — boolean compressions and whole-array arithmetic — rather
+    # than fancy-indexed gathers/scatters into n-sized globals; a
+    # position's results are scattered out exactly once, when it dies.
+    pos = np.arange(count, dtype=np.int64)
+    cand = prev_all.copy()
+    start = (cand >= 0) & (cand >= pos - np.int64(max_dist))
+    pos = pos[start]
+    cand = cand[start]
+    lim = np.minimum(np.int64(MAX_MATCH), np.int64(n) - pos)
+    min_cand = pos - np.int64(max_dist)
+    bl = np.full(pos.size, MIN_MATCH - 1, dtype=np.int64)
+    bd = np.zeros(pos.size, dtype=np.int64)
+    budget = np.full(pos.size, max_chain, dtype=np.int64)
+    switched = []
+
+    while pos.size:
+        budget -= 1
+        # Quick-reject screen (zlib's peek): a candidate whose byte at
+        # offset best_len differs cannot improve on best_len, so the
+        # full extension is skipped. Outcome-preserving: such a
+        # candidate reaches k <= best_len, which never updates the best
+        # match nor triggers the good/nice heuristics.
+        screen = buf[cand + bl] == buf[pos + bl]
+        spots = np.flatnonzero(screen)
+        if spots.size:
+            k = _pair_lengths(
+                buf, words4, cand[spots], pos[spots], lim[spots]
+            )
+            improved = k > bl[spots]
+            winners = spots[improved]
+            won_len = k[improved]
+            bl[winners] = won_len
+            bd[winners] = pos[winners] - cand[winners]
+            # ZLib heuristics, improvement-gated exactly like the
+            # scalar walk: nice/limit stops beat the good quartering.
+            stop = (won_len >= nice_length) | (won_len >= lim[winners])
+            budget[winners[stop]] = 0
+            quarter = winners[(~stop) & (won_len >= good_length)]
+            budget[quarter] >>= 2
+        # Advance every active position one chain link and re-filter.
+        cand = prev_all[cand]
+        alive = (
+            (budget > 0)
+            & (cand >= 0)
+            & (cand >= min_cand)
+            & (bl < lim)
+        )
+        dead = ~alive
+        dp = pos[dead]
+        out_len[dp] = bl[dead]
+        out_dist[dp] = bd[dead]
+        pos = pos[alive]
+        cand = cand[alive]
+        lim = lim[alive]
+        min_cand = min_cand[alive]
+        bl = bl[alive]
+        bd = bd[alive]
+        budget = budget[alive]
+        if pos.size:
+            sw = bl >= _SWITCH_BL
+            if sw.any():
+                # The checkpoint rank is one past the next unexamined
+                # candidate: reaching a sub-chain member at rank r then
+                # costs (checkpoint - r) bucket links of budget.
+                switched.append((
+                    pos[sw], bl[sw], bd[sw], lim[sw], min_cand[sw],
+                    budget[sw], rank[cand[sw]] + 1,
+                ))
+                keep = ~sw
+                pos = pos[keep]
+                cand = cand[keep]
+                lim = lim[keep]
+                min_cand = min_cand[keep]
+                bl = bl[keep]
+                bd = bd[keep]
+                budget = budget[keep]
+
+    if switched:
+        state = tuple(
+            np.concatenate(parts) for parts in zip(*switched)
+        )
+        width = 8
+        while state is not None:
+            w8, prev_sub = _sub_chain(cache, words4, width)
+            last = width >= _MAX_WIDTH
+            state = _sub_walk(
+                buf, words4, w8, prev_sub, rank,
+                good_length, nice_length, out_len, out_dist,
+                state, width, None if last else 2 * width - 1,
+            )
+            width *= 2
+    return out_len, out_dist
+
+
+def _sub_walk(buf, words4, w8, prev_sub, rank, good_length, nice_length,
+              out_len, out_dist, state, width, migrate_bl):
+    """Walk ``width``-byte-prefix sub-chains for switched lanes.
+
+    Each round visits one sub-chain member per lane. A member at bucket
+    rank ``r`` costs ``checkpoint - r`` budget (the bucket links the
+    scalar walk would have stepped through and rejected — none of them
+    can improve a best length >= width-1, so skipping them is
+    outcome-preserving). Hash-collision members (wider levels use mixed
+    keys) fail the word verification and are stepped over for free,
+    exactly like any other non-improving candidate outside the budget
+    accounting window. Lanes whose best length reaches ``migrate_bl``
+    are handed back for the next-wider level; the rest die in place and
+    scatter their result.
+    """
+    pos, bl, bd, lim, mc, m, ck = state
+    cand = prev_sub[pos]
+    mig = []
+    nwords = width // 8
+    while pos.size:
+        ok = (cand >= 0) & (cand >= mc)
+        if not ok.all():
+            done = ~ok
+            dp = pos[done]
+            out_len[dp] = bl[done]
+            out_dist[dp] = bd[done]
+            pos = pos[ok]
+            cand = cand[ok]
+            bl = bl[ok]
+            bd = bd[ok]
+            lim = lim[ok]
+            mc = mc[ok]
+            m = m[ok]
+            ck = ck[ok]
+            if not pos.size:
+                break
+        member = w8[cand] == w8[pos]
+        for off in range(8, width, 8):
+            member &= w8[cand + off] == w8[pos + off]
+        rc = rank[cand]
+        spent = ck - rc
+        over = member & (spent > m)
+        if over.any():
+            dp = pos[over]
+            out_len[dp] = bl[over]
+            out_dist[dp] = bd[over]
+            keep = ~over
+            pos = pos[keep]
+            cand = cand[keep]
+            bl = bl[keep]
+            bd = bd[keep]
+            lim = lim[keep]
+            mc = mc[keep]
+            m = m[keep]
+            ck = ck[keep]
+            member = member[keep]
+            rc = rc[keep]
+            spent = spent[keep]
+            if not pos.size:
+                break
+        # Members at or above the checkpoint were examined before the
+        # switch (and cannot improve) — step over them without charge.
+        ex = np.flatnonzero(member & (spent >= 1))
+        if ex.size:
+            m[ex] -= spent[ex]
+            ck[ex] = rc[ex]
+            screen = (
+                w8[cand[ex] + (bl[ex] - 7)] == w8[pos[ex] + (bl[ex] - 7)]
+            )
+            spots = ex[screen]
+            if spots.size:
+                k = _pair_lengths(
+                    buf, words4, cand[spots], pos[spots], lim[spots],
+                    k0=8 * nwords,
+                )
+                improved = k > bl[spots]
+                winners = spots[improved]
+                won = k[improved]
+                bl[winners] = won
+                bd[winners] = pos[winners] - cand[winners]
+                stop = (won >= nice_length) | (won >= lim[winners])
+                m[winners[stop]] = 0
+                quarter = winners[(~stop) & (won >= good_length)]
+                m[quarter] >>= 2
+        cand = prev_sub[cand]
+        alive = m > 0
+        if not alive.all():
+            dead = ~alive
+            dp = pos[dead]
+            out_len[dp] = bl[dead]
+            out_dist[dp] = bd[dead]
+            pos = pos[alive]
+            cand = cand[alive]
+            bl = bl[alive]
+            bd = bd[alive]
+            lim = lim[alive]
+            mc = mc[alive]
+            m = m[alive]
+            ck = ck[alive]
+        if migrate_bl is not None and pos.size:
+            mg = bl >= migrate_bl
+            if mg.any():
+                mig.append((
+                    pos[mg], bl[mg], bd[mg], lim[mg], mc[mg], m[mg],
+                    ck[mg],
+                ))
+                keep = ~mg
+                pos = pos[keep]
+                cand = cand[keep]
+                bl = bl[keep]
+                bd = bd[keep]
+                lim = lim[keep]
+                mc = mc[keep]
+                m = m[keep]
+                ck = ck[keep]
+    if not mig:
+        return None
+    return tuple(np.concatenate(parts) for parts in zip(*mig))
+
+
+# ----------------------------------------------------------------------
+# sequential replay
+# ----------------------------------------------------------------------
+
+
+def _replay_greedy(data, n, best_len, best_dist):
+    """Greedy parse from precomputed per-position matches.
+
+    Insert-all means there is no table bookkeeping left, and the parse
+    takes the first match-bearing position at or after the current one
+    — so the Python loop runs once per *match*, with the literal runs
+    in between transferred as C-level bulk extends.
+    """
+    tokens = TokenArray()
+    out_lengths = array("i")
+    out_values = array("i")
+    match_at = np.flatnonzero(best_len >= MIN_MATCH)
+    mpos = match_at.tolist()
+    mlen = best_len[match_at].tolist()
+    mdist = best_dist[match_at].tolist()
+    pos = 0
+    for q, length, dist in zip(mpos, mlen, mdist):
+        if q < pos:  # inside the previous match: never visited
+            continue
+        if q > pos:
+            out_lengths.extend(bytes(q - pos))  # zero length = literal
+            out_values.extend(data[pos:q])
+        out_lengths.append(length)
+        out_values.append(dist)
+        pos = q + length
+    if pos < n:
+        out_lengths.extend(bytes(n - pos))
+        out_values.extend(data[pos:n])
+    tokens.lengths = out_lengths
+    tokens.values = out_values
+    return tokens
+
+
+def _replay_lazy(data, n, policy, full_len, full_dist,
+                 quart_len, quart_dist):
+    """deflate_slow's one-token deferral over precomputed matches.
+
+    ``quart_*`` hold the search results under the quartered chain
+    budget ZLib applies when the pending match is already good; ``None``
+    means that variant is never consulted (budget quarters to zero, or
+    ``good_length >= max_lazy`` makes the branch unreachable).
+
+    Positions where neither track found a match can only emit literals
+    (``cur_len`` stays below MIN_MATCH no matter which track the state
+    machine consults), so the Python state machine runs only at the
+    match-bearing *event* positions and bulk-copies the all-literal
+    stretches in between.
+    """
+    tokens = TokenArray()
+    out_lengths = array("i")
+    out_values = array("i")
+    hash_limit = n - MIN_MATCH
+    good_length = policy.good_length
+    max_lazy = policy.max_lazy
+
+    interesting = full_len >= MIN_MATCH
+    if quart_len is not None:
+        interesting = interesting | (quart_len >= MIN_MATCH)
+    event_at = np.flatnonzero(interesting)
+    events = event_at.tolist()
+    fle = full_len[event_at].tolist()
+    fde = full_dist[event_at].tolist()
+    if quart_len is not None:
+        qle = quart_len[event_at].tolist()
+        qde = quart_dist[event_at].tolist()
+    ne = len(events)
+
+    index = 0
+    pos = 0
+    prev_len = MIN_MATCH - 1
+    prev_dist = 0
+    have_prev = False
+    while pos < n:
+        while index < ne and events[index] < pos:
+            index += 1
+        nxt = events[index] if index < ne else n
+        if pos < nxt:
+            # No match can start in [pos, nxt): cur_len is 2 at every
+            # step, so the state machine's behaviour collapses to one
+            # of three bulk shapes.
+            if not have_prev:
+                # First step after a match only primes the deferral.
+                have_prev = True
+                prev_len = MIN_MATCH - 1
+                prev_dist = 0
+                pos += 1
+            elif prev_len >= MIN_MATCH:
+                # Pending match beats cur_len == 2: emit it now.
+                out_lengths.append(prev_len)
+                out_values.append(prev_dist)
+                pos = pos - 1 + prev_len
+                have_prev = False
+                prev_len = MIN_MATCH - 1
+                prev_dist = 0
+            else:
+                # Literal conveyor: each step emits the previous byte.
+                out_lengths.extend(bytes(nxt - pos))
+                out_values.extend(data[pos - 1:nxt - 1])
+                pos = nxt
+            continue
+        # pos == nxt: a position where a track holds a real match.
+        cur_len = MIN_MATCH - 1
+        cur_dist = 0
+        if pos <= hash_limit and prev_len < max_lazy:
+            if prev_len >= good_length:
+                if quart_len is not None:
+                    cur_len = qle[index]
+                    cur_dist = qde[index]
+            else:
+                cur_len = fle[index]
+                cur_dist = fde[index]
+            if cur_len == MIN_MATCH and cur_dist > _TOO_FAR:
+                cur_len = MIN_MATCH - 1
+
+        if have_prev and prev_len >= MIN_MATCH and prev_len >= cur_len:
+            out_lengths.append(prev_len)
+            out_values.append(prev_dist)
+            pos = pos - 1 + prev_len
+            have_prev = False
+            prev_len = MIN_MATCH - 1
+            prev_dist = 0
+        else:
+            if have_prev:
+                out_lengths.append(0)
+                out_values.append(data[pos - 1])
+            have_prev = True
+            prev_len = cur_len
+            prev_dist = cur_dist
+            pos += 1
+    if have_prev:
+        out_lengths.append(0)
+        out_values.append(data[n - 1])
+    tokens.lengths = out_lengths
+    tokens.values = out_values
+    return tokens

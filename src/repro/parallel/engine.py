@@ -53,9 +53,11 @@ from repro.deflate.stream import tokenize_chunk
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.hw.params import HardwareParams
+from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
 from repro.parallel.stats import ParallelStats, ShardStat
+from repro.profile import as_profile
 
 #: Default shard size: 1 MiB, large enough that the sync-marker framing
 #: and the cold dictionary window are noise (<1% ratio penalty on text).
@@ -68,7 +70,13 @@ MIN_SHARD_SIZE = 1024
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One shard's job description (picklable for the process pool)."""
+    """One shard's job description (picklable for the process pool).
+
+    ``backend`` names the tokenizer this shard runs (see
+    :mod:`repro.lzss.backends`); per-shard overrides let a sampled
+    subset run ``traced`` for live telemetry while the rest stay on a
+    production backend.
+    """
 
     index: int
     data: bytes
@@ -77,7 +85,7 @@ class ShardTask:
     hash_spec: object
     policy: object
     strategy: BlockStrategy
-    traced: bool = False
+    backend: str = "fast"
     tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK
     cut_search: bool = True
     sniff: bool = True
@@ -102,10 +110,11 @@ def compress_shard_body(
     hash_spec=None,
     policy=None,
     strategy: BlockStrategy = BlockStrategy.FIXED,
-    traced: bool = False,
+    traced: Optional[bool] = None,
     tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
     cut_search: bool = True,
     sniff: bool = True,
+    backend: Optional[str] = None,
 ) -> bytes:
     """Compress one shard into a byte-aligned raw Deflate fragment.
 
@@ -113,7 +122,9 @@ def compress_shard_body(
     (empty stored block), so fragments from consecutive shards can be
     concatenated directly. ``history`` primes the matcher without being
     re-emitted (the carried-window mode). Shards run the trace-free
-    fast tokenizer unless ``traced=True``. ``ADAPTIVE`` prices every
+    fast tokenizer unless ``backend=`` selects another registered
+    tokenizer (``traced=`` is the deprecated boolean equivalent; output
+    bytes are identical on every backend). ``ADAPTIVE`` prices every
     block of the shard under all three codings and emits the cheapest
     (stored payloads slice the shard's own bytes, zero-copy); its block
     boundaries come from the cost-driven cut search unless
@@ -127,6 +138,9 @@ def compress_shard_body(
     nothing), and the *next* shard's carried window is plaintext either
     way, so the decision is purely local to this shard.
     """
+    backend = backend_from_legacy(
+        backend, traced, param="traced", default="fast"
+    )
     writer = BitWriter()
     if data:
         if (strategy is BlockStrategy.ADAPTIVE and sniff
@@ -137,7 +151,8 @@ def compress_shard_body(
             writer.write_bits(0, 16)
             writer.write_bits(0xFFFF, 16)
             return writer.flush()
-        lzss = LZSSCompressor(window_size, hash_spec, policy, trace=traced)
+        lzss = LZSSCompressor(window_size, hash_spec, policy,
+                              backend=backend)
         tokens = tokenize_chunk(lzss, history, data)
         if strategy is BlockStrategy.ADAPTIVE and len(tokens):
             write_adaptive_blocks(writer, tokens, data, final=False,
@@ -171,7 +186,7 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         hash_spec=task.hash_spec,
         policy=task.policy,
         strategy=task.strategy,
-        traced=task.traced,
+        backend=task.backend,
         tokens_per_block=task.tokens_per_block,
         cut_search=task.cut_search,
         sniff=task.sniff,
@@ -224,42 +239,91 @@ class ShardedCompressor:
     bytes are identical at every worker count: sharding is deterministic
     and the stitcher reassembles in shard order, so parallelism is a
     pure wall-clock win.
+
+    ``backend`` names the tokenizer every shard runs;
+    ``shard_backends`` (a ``{shard_index: backend_name}`` mapping)
+    overrides it per shard — the seam for tracing a sampled subset of
+    shards while the rest stay on a production backend. Output bytes
+    are backend-independent by the differential-test contract, so mixed
+    runs still stitch into byte-identical streams. ``profile=`` accepts
+    a :class:`repro.profile.CompressionProfile` (or preset name);
+    explicit kwargs win over profile fields.
     """
 
     def __init__(
         self,
         params: Optional[HardwareParams] = None,
         workers: Optional[int] = None,
-        shard_size: int = DEFAULT_SHARD_SIZE,
+        shard_size: Optional[int] = None,
         carry_window: bool = False,
-        strategy: BlockStrategy = BlockStrategy.FIXED,
-        traced: bool = False,
-        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-        cut_search: bool = True,
-        sniff: bool = True,
+        strategy: Optional[BlockStrategy] = None,
+        traced: Optional[bool] = None,
+        tokens_per_block: Optional[int] = None,
+        cut_search: Optional[bool] = None,
+        sniff: Optional[bool] = None,
+        backend: Optional[str] = None,
+        shard_backends=None,
+        profile=None,
     ) -> None:
+        if traced is not None:
+            backend = backend_from_legacy(
+                backend, traced, param="traced", default="fast"
+            )
+        prof = as_profile(profile)
+        shard_size = (DEFAULT_SHARD_SIZE if shard_size is None
+                      else shard_size)
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
                 f"shard_size must be >= {MIN_SHARD_SIZE}: {shard_size}"
             )
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1: {workers}")
+        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
         if strategy is BlockStrategy.STORED:
             raise ConfigError("STORED shards would not compress anything")
+        # Profile fields fill in for the paper-default HardwareParams
+        # only when no explicit params were given (kwarg > profile).
+        # They deliberately do not construct a HardwareParams — the
+        # hardware model is greedy-only, while software shards may run
+        # any policy (e.g. the lazy presets).
         self.params = params or HardwareParams()
+        if params is None:
+            self.window_size = prof.pick(
+                "window_size", None, self.params.window_size
+            )
+            self.hash_spec = prof.pick(
+                "hash_spec", None, self.params.hash_spec
+            )
+            self.policy = prof.pick("policy", None, self.params.policy)
+        else:
+            self.window_size = params.window_size
+            self.hash_spec = params.hash_spec
+            self.policy = params.policy
         self.workers = workers or os.cpu_count() or 1
         self.shard_size = shard_size
         self.carry_window = carry_window
         self.strategy = strategy
-        self.traced = traced
-        self.tokens_per_block = tokens_per_block
-        self.cut_search = cut_search
-        self.sniff = sniff
+        self.tokens_per_block = prof.pick(
+            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
+        )
+        self.cut_search = prof.pick("cut_search", cut_search, True)
+        self.sniff = prof.pick("sniff", sniff, True)
+        self.backend = prof.pick("backend", backend, "fast")
+        self.shard_backends = dict(shard_backends or {})
+
+    @property
+    def traced(self) -> bool:
+        """Whether every shard runs the instrumented traced backend."""
+        return self.backend == "traced"
 
     def plan(self, data: bytes) -> List[ShardTask]:
-        """Cut ``data`` into shard tasks (empty input -> no shards)."""
+        """Cut ``data`` into shard tasks (empty input -> no shards).
+
+        Each task carries the engine-level ``backend`` unless
+        ``shard_backends`` overrides that shard's index.
+        """
         tasks: List[ShardTask] = []
-        keep = self.params.window_size + MIN_LOOKAHEAD
+        keep = self.window_size + MIN_LOOKAHEAD
         for index, start in enumerate(range(0, len(data), self.shard_size)):
             history = b""
             if self.carry_window and start:
@@ -269,11 +333,11 @@ class ShardedCompressor:
                     index=index,
                     data=data[start:start + self.shard_size],
                     history=history,
-                    window_size=self.params.window_size,
-                    hash_spec=self.params.hash_spec,
-                    policy=self.params.policy,
+                    window_size=self.window_size,
+                    hash_spec=self.hash_spec,
+                    policy=self.policy,
                     strategy=self.strategy,
-                    traced=self.traced,
+                    backend=self.shard_backends.get(index, self.backend),
                     tokens_per_block=self.tokens_per_block,
                     cut_search=self.cut_search,
                     sniff=self.sniff,
@@ -300,7 +364,7 @@ class ShardedCompressor:
                 max_workers=self.workers, mp_context=pool_context()
             ) as pool:
                 results = list(pool.map(_compress_shard, tasks))
-        out = bytearray(make_header(self.params.window_size))
+        out = bytearray(make_header(self.window_size))
         adler = 1
         for result in results:
             out += result.body
@@ -324,15 +388,24 @@ def compress_parallel(
     data: bytes,
     params: Optional[HardwareParams] = None,
     workers: Optional[int] = None,
-    shard_size: int = DEFAULT_SHARD_SIZE,
+    shard_size: Optional[int] = None,
     carry_window: bool = False,
-    strategy: BlockStrategy = BlockStrategy.FIXED,
-    traced: bool = False,
-    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-    cut_search: bool = True,
-    sniff: bool = True,
+    strategy: Optional[BlockStrategy] = None,
+    traced: Optional[bool] = None,
+    tokens_per_block: Optional[int] = None,
+    cut_search: Optional[bool] = None,
+    sniff: Optional[bool] = None,
+    backend: Optional[str] = None,
+    shard_backends=None,
+    profile=None,
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
+
+    ``backend`` selects the tokenizer for every shard and
+    ``shard_backends`` overrides it per shard index (the traced-sample
+    seam); ``profile`` accepts a
+    :class:`repro.profile.CompressionProfile` or preset name, with
+    explicit kwargs winning over profile fields.
 
     >>> import zlib
     >>> payload = b"parallel snow " * 2000
@@ -350,4 +423,7 @@ def compress_parallel(
         tokens_per_block=tokens_per_block,
         cut_search=cut_search,
         sniff=sniff,
+        backend=backend,
+        shard_backends=shard_backends,
+        profile=profile,
     ).compress(data).data

@@ -23,8 +23,10 @@ from repro.deflate.splitter import DEFAULT_TOKENS_PER_BLOCK
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.hw.params import HardwareParams
+from repro.lzss.backends import backend_from_legacy
 from repro.lzss.tokens import MIN_LOOKAHEAD
 from repro.parallel import engine
+from repro.profile import as_profile
 from repro.parallel.engine import (
     DEFAULT_SHARD_SIZE,
     MIN_SHARD_SIZE,
@@ -55,31 +57,55 @@ class ParallelDeflateWriter:
         sink,
         params: Optional[HardwareParams] = None,
         workers: Optional[int] = None,
-        shard_size: int = DEFAULT_SHARD_SIZE,
+        shard_size: Optional[int] = None,
         max_inflight: Optional[int] = None,
         carry_window: bool = False,
-        strategy: BlockStrategy = BlockStrategy.FIXED,
-        traced: bool = False,
-        tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-        cut_search: bool = True,
-        sniff: bool = True,
+        strategy: Optional[BlockStrategy] = None,
+        traced: Optional[bool] = None,
+        tokens_per_block: Optional[int] = None,
+        cut_search: Optional[bool] = None,
+        sniff: Optional[bool] = None,
+        backend: Optional[str] = None,
+        profile=None,
     ) -> None:
+        if traced is not None:
+            backend = backend_from_legacy(
+                backend, traced, param="traced", default="fast"
+            )
+        prof = as_profile(profile)
+        shard_size = (DEFAULT_SHARD_SIZE if shard_size is None
+                      else shard_size)
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
                 f"shard_size must be >= {MIN_SHARD_SIZE}: {shard_size}"
             )
+        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
         if strategy is BlockStrategy.STORED:
             raise ConfigError("STORED shards would not compress anything")
         self._sink = sink
         self.params = params or HardwareParams()
+        if params is None:
+            self.window_size = prof.pick(
+                "window_size", None, self.params.window_size
+            )
+            self.hash_spec = prof.pick(
+                "hash_spec", None, self.params.hash_spec
+            )
+            self.policy = prof.pick("policy", None, self.params.policy)
+        else:
+            self.window_size = params.window_size
+            self.hash_spec = params.hash_spec
+            self.policy = params.policy
         self.workers = workers or os.cpu_count() or 1
         self.shard_size = shard_size
         self.carry_window = carry_window
         self.strategy = strategy
-        self.traced = traced
-        self.tokens_per_block = tokens_per_block
-        self.cut_search = cut_search
-        self.sniff = sniff
+        self.tokens_per_block = prof.pick(
+            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
+        )
+        self.cut_search = prof.pick("cut_search", cut_search, True)
+        self.sniff = prof.pick("sniff", sniff, True)
+        self.backend = prof.pick("backend", backend, "fast")
         # Two in-flight shards per worker keeps the pool fed while the
         # parent stitches; the floor of 2 lets even workers=1 overlap
         # buffering with compression.
@@ -104,7 +130,7 @@ class ParallelDeflateWriter:
         self._started = time.perf_counter()
         self.stats = ParallelStats(workers=self.workers,
                                    shard_size=shard_size)
-        self._sink.write(make_header(self.params.window_size))
+        self._sink.write(make_header(self.window_size))
 
     # -- pipeline ----------------------------------------------------
 
@@ -122,18 +148,18 @@ class ParallelDeflateWriter:
             index=self._next_index,
             data=shard,
             history=self._tail if self.carry_window else b"",
-            window_size=self.params.window_size,
-            hash_spec=self.params.hash_spec,
-            policy=self.params.policy,
+            window_size=self.window_size,
+            hash_spec=self.hash_spec,
+            policy=self.policy,
             strategy=self.strategy,
-            traced=self.traced,
+            backend=self.backend,
             tokens_per_block=self.tokens_per_block,
             cut_search=self.cut_search,
             sniff=self.sniff,
         )
         self._next_index += 1
         self._total_in += len(shard)
-        keep = self.params.window_size + MIN_LOOKAHEAD
+        keep = self.window_size + MIN_LOOKAHEAD
         if self.carry_window:
             self._tail = (self._tail + shard)[-keep:]
         if self.workers == 1:

@@ -72,7 +72,7 @@ class TestFixedFusedParity:
 
     def test_corpus_byte_identical_and_decodable(self, corpus_variety):
         for name, data in corpus_variety.items():
-            tokens = compress_tokens(data, trace=False).tokens
+            tokens = compress_tokens(data, backend="fast").tokens
             fused = fixed_block(tokens, True)
             assert fused == fixed_block(tokens, False), name
             assert zlib.decompress(fused, wbits=-15) == data, name
@@ -81,7 +81,7 @@ class TestFixedFusedParity:
         # A 32 KiB window reaches the far distance symbols.
         tokens = compress_tokens(
             wiki_small, window_size=32768, policy=ZLIB_LEVELS[9],
-            trace=False,
+            backend="fast",
         ).tokens
         assert fixed_block(tokens, True) == fixed_block(tokens, False)
 
@@ -96,7 +96,7 @@ class TestFixedFusedParity:
 class TestDynamicFusedParity:
     def test_corpus_byte_identical_and_decodable(self, corpus_variety):
         for name, data in corpus_variety.items():
-            tokens = compress_tokens(data, trace=False).tokens
+            tokens = compress_tokens(data, backend="fast").tokens
             fused = dynamic_block(tokens, True)
             assert fused == dynamic_block(tokens, False), name
             assert zlib.decompress(fused, wbits=-15) == data, name

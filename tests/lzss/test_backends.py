@@ -1,0 +1,136 @@
+"""Backend registry: resolution, numpy fallback, deprecation shims."""
+
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lzss import backends
+from repro.lzss.compressor import LZSSCompressor, compress_tokens
+from repro.lzss.policy import HW_MAX_POLICY, HW_SPEED_POLICY, ZLIB_LEVELS
+
+SAMPLE = b"abracadabra, abracadabra! " * 40
+
+
+def block_numpy(monkeypatch):
+    """Make ``import numpy`` fail for code probing availability."""
+    monkeypatch.setitem(sys.modules, "numpy", None)
+
+
+class TestAvailability:
+    def test_pure_python_backends_always_present(self):
+        names = backends.available()
+        assert "traced" in names
+        assert "fast" in names
+
+    def test_vector_present_with_numpy(self):
+        # The dev/CI image ships numpy; the registry must surface it.
+        pytest.importorskip("numpy")
+        assert "vector" in backends.available()
+        assert "vector" in backends.registry()
+
+    def test_without_numpy_vector_disappears(self, monkeypatch):
+        block_numpy(monkeypatch)
+        assert backends.available() == ("traced", "fast")
+        assert set(backends.registry()) == {"fast"}
+
+    def test_probe_is_not_cached(self, monkeypatch):
+        pytest.importorskip("numpy")
+        assert "vector" in backends.available()
+        block_numpy(monkeypatch)
+        assert "vector" not in backends.available()
+        monkeypatch.undo()
+        assert "vector" in backends.available()
+
+
+class TestResolve:
+    def test_concrete_names_pass_through(self):
+        assert backends.resolve("traced") == "traced"
+        assert backends.resolve("fast") == "fast"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            backends.resolve("turbo")
+        with pytest.raises(ConfigError):
+            backends.resolve("Fast")  # names are case-sensitive
+
+    def test_vector_without_numpy_degrades_to_fast(self, monkeypatch):
+        block_numpy(monkeypatch)
+        assert backends.resolve("vector", HW_MAX_POLICY) == "fast"
+        assert backends.resolve("auto", HW_MAX_POLICY) == "fast"
+
+    def test_vector_unsupported_policy_degrades_to_fast(self):
+        pytest.importorskip("numpy")
+        # Greedy with partial inserts (max_insert_length=4) is the one
+        # shape the batch kernel cannot replay exactly.
+        assert not HW_SPEED_POLICY.lazy
+        assert backends.resolve("vector", HW_SPEED_POLICY) == "fast"
+
+    def test_vector_supported_shapes(self):
+        pytest.importorskip("numpy")
+        assert backends.resolve("vector", HW_MAX_POLICY) == "vector"
+        assert backends.resolve("vector", ZLIB_LEVELS[6]) == "vector"
+
+    def test_auto_prefers_vector_only_for_greedy_insert_all(self):
+        pytest.importorskip("numpy")
+        assert backends.resolve("auto", HW_MAX_POLICY) == "vector"
+        # Lazy parses are faster on the scalar path; auto must not
+        # pessimise them.
+        assert backends.resolve("auto", ZLIB_LEVELS[6]) == "fast"
+        assert backends.resolve("auto", None) == "fast"
+
+    def test_fallback_output_identical(self, monkeypatch):
+        want = compress_tokens(SAMPLE, backend="fast").tokens
+        block_numpy(monkeypatch)
+        got = compress_tokens(SAMPLE, backend="vector")
+        assert got.backend == "fast"
+        assert list(got.tokens.lengths) == list(want.lengths)
+        assert list(got.tokens.values) == list(want.values)
+
+    def test_tokenizer_traced_has_no_callable(self):
+        name, fn = backends.tokenizer("traced")
+        assert name == "traced" and fn is None
+        name, fn = backends.tokenizer("fast")
+        assert name == "fast" and callable(fn)
+
+
+class TestDeprecationShims:
+    def test_trace_kwarg_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="backend="):
+            old = compress_tokens(SAMPLE, trace=False)
+        new = compress_tokens(SAMPLE, backend="fast")
+        assert old.trace is None
+        assert list(old.tokens.lengths) == list(new.tokens.lengths)
+        assert list(old.tokens.values) == list(new.tokens.values)
+
+    def test_trace_true_maps_to_traced(self):
+        with pytest.warns(DeprecationWarning):
+            result = compress_tokens(SAMPLE, trace=True)
+        assert result.backend == "traced"
+        assert result.trace is not None
+
+    def test_constructor_shim(self):
+        with pytest.warns(DeprecationWarning):
+            comp = LZSSCompressor(trace=False)
+        assert comp.backend == "fast"
+        assert comp.trace is False
+
+    def test_both_boolean_and_backend_is_an_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="both"):
+                compress_tokens(SAMPLE, trace=False, backend="fast")
+
+    def test_streaming_traced_shim(self):
+        from repro.deflate.stream import ZLibStreamCompressor
+
+        with pytest.warns(DeprecationWarning):
+            stream = ZLibStreamCompressor(traced=True)
+        assert stream.backend == "traced"
+
+    def test_engine_traced_shim(self):
+        from repro.parallel.engine import ShardedCompressor
+
+        with pytest.warns(DeprecationWarning):
+            engine = ShardedCompressor(traced=True)
+        assert engine.backend == "traced"
+        assert engine.traced is True

@@ -1,20 +1,29 @@
-"""Differential fuzzing of the trace-free fast path against the traced one.
+"""Differential fuzzing of every trace-free backend against the traced one.
 
 The fast tokenizer (:mod:`repro.lzss.fast`) re-implements the greedy and
 lazy parsers without any trace bookkeeping and with a different compare
-kernel (32-byte memoryview chunks, zlib's quick-reject peek). None of
-that may change the output: ``trace=False`` must be **bit-identical** to
-``trace=True`` for every window size and policy, or the production path
-stops being a witness for the instrumented reproduction path.
+kernel (32-byte memoryview chunks, zlib's quick-reject peek); the vector
+tokenizer (:mod:`repro.lzss.vector`) re-implements them again as batched
+numpy kernels (whole-buffer hash/prev tables, many-candidate screening,
+word-stride extension). None of that may change the output: every
+backend must be **bit-identical** to ``traced`` for every window size
+and policy, or the production paths stop being witnesses for the
+instrumented reproduction path.
 
 Hypothesis drives the payloads across the compressibility spectrum;
 window sizes and policies sweep the hardware-relevant corners (512 is
 the smallest window with a usable distance given MIN_LOOKAHEAD=262,
-32768 is Deflate's ceiling).
+32768 is Deflate's ceiling). The three-way harness asks for the
+``vector`` backend unconditionally: where the kernel does not support a
+policy (greedy with partial inserts) or numpy is missing, the registry
+falls back to ``fast`` — itself verified against ``traced`` here — so
+the assertion holds either way and the fallback path gets exercised by
+the same corpus.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.lzss.backends import available, resolve
 from repro.lzss.compressor import compress_tokens
 from repro.lzss.decompressor import decompress_tokens
 from repro.lzss.policy import (
@@ -36,6 +45,8 @@ payloads = st.one_of(
 window_sizes = st.sampled_from([512, 1024, 4096, 32768])
 
 #: Greedy and lazy, hardware-shaped and zlib-shaped, cheap and thorough.
+#: HW_MAX and the lazy levels run the true vector kernel; the partial-
+#: insert greedy policies exercise the registry's silent fast fallback.
 policies = st.sampled_from([
     MatchPolicy(),
     HW_SPEED_POLICY,
@@ -57,41 +68,64 @@ def token_columns(tokens):
     return list(tokens.lengths), list(tokens.values)
 
 
-class TestFastPathBitIdentical:
+class TestBackendsBitIdentical:
     @given(data=payloads, window=window_sizes, policy=policies)
     @relaxed
     def test_tokens_identical_across_policies(self, data, window, policy):
-        traced = compress_tokens(data, window, policy=policy, trace=True)
-        fast = compress_tokens(data, window, policy=policy, trace=False)
-        assert token_columns(fast.tokens) == token_columns(traced.tokens)
-        assert fast.trace is None
+        traced = compress_tokens(data, window, policy=policy,
+                                 backend="traced")
+        fast = compress_tokens(data, window, policy=policy, backend="fast")
+        vector = compress_tokens(data, window, policy=policy,
+                                 backend="vector")
+        oracle = token_columns(traced.tokens)
+        assert token_columns(fast.tokens) == oracle
+        assert token_columns(vector.tokens) == oracle
         assert traced.trace is not None
+        assert fast.trace is None
+        assert vector.trace is None
+        assert vector.backend == resolve("vector", policy)
 
     @given(data=payloads, window=window_sizes, policy=policies)
     @relaxed
     def test_fast_tokens_roundtrip(self, data, window, policy):
-        fast = compress_tokens(data, window, policy=policy, trace=False)
+        fast = compress_tokens(data, window, policy=policy, backend="fast")
         assert decompress_tokens(fast.tokens) == data
 
+    @given(data=payloads, window=window_sizes, policy=policies)
+    @relaxed
+    def test_vector_tokens_roundtrip(self, data, window, policy):
+        vector = compress_tokens(data, window, policy=policy,
+                                 backend="vector")
+        assert decompress_tokens(vector.tokens) == data
 
-class TestFastPathOnCorpus:
+
+class TestBackendsOnCorpus:
     """One deterministic sweep over the named corpus (no shrinking)."""
 
     def test_corpus_identical_greedy_and_lazy(self, corpus_variety):
+        backends = [
+            name for name in available() if name != "traced"
+        ] or ["fast"]
         for name, data in corpus_variety.items():
-            for policy in (HW_SPEED_POLICY, ZLIB_LEVELS[6], ZLIB_LEVELS[9]):
-                traced = compress_tokens(data, policy=policy, trace=True)
-                fast = compress_tokens(data, policy=policy, trace=False)
-                assert token_columns(fast.tokens) == token_columns(
-                    traced.tokens
-                ), (name, policy)
+            for policy in (HW_SPEED_POLICY, HW_MAX_POLICY,
+                           ZLIB_LEVELS[6], ZLIB_LEVELS[9]):
+                traced = compress_tokens(data, policy=policy,
+                                         backend="traced")
+                oracle = token_columns(traced.tokens)
+                for backend in backends:
+                    got = compress_tokens(data, policy=policy,
+                                          backend=backend)
+                    assert token_columns(got.tokens) == oracle, (
+                        name, backend, policy,
+                    )
 
     def test_compressor_default_honoured(self, corpus_variety):
         from repro.lzss.compressor import LZSSCompressor
 
-        comp = LZSSCompressor(trace=False)
+        comp = LZSSCompressor(backend="fast")
         for name, data in corpus_variety.items():
             result = comp.compress(data)
             assert result.trace is None, name
             # Per-call override wins over the constructor default.
-            assert comp.compress(data, trace=True).trace is not None, name
+            assert comp.compress(data, backend="traced").trace \
+                is not None, name

@@ -39,7 +39,10 @@ class TestSubpackageImports:
             "repro.checksums",
             "repro.huffman",
             "repro.lzss",
+            "repro.lzss.backends",
             "repro.lzss.classic",
+            "repro.lzss.vector",
+            "repro.profile",
             "repro.deflate",
             "repro.deflate.stream",
             "repro.deflate.splitter",
