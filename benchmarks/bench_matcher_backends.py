@@ -14,11 +14,20 @@ kernel modelled on the paper's widened compare datapath) against
   iteration per match instead of per byte), so the vector margin
   shrinks and can invert; see docs/PERFORMANCE.md.
 
-Every vector output is verified bit-identical to the fast path before a
-number is reported (the fast path is itself differentially tested
-against the traced oracle). Results go to ``benchmarks/results/``
-(rendered) and ``BENCH_matcher.json`` at the repo root, consumed by the
-CI perf-smoke job via ``check_bench_trend.py``.
+A second table times the per-shard router end to end: probe-routed
+``backend="auto"`` (probe cost included) against static ``fast`` on the
+same workloads, gated both ways — the router must keep the vector win
+on the headline row *and* stay within tolerance of ``fast`` on the
+match-rich rows it routes away from the kernel. The per-shard routing
+decisions (probe signals and outcomes, including an alternating
+noise/log sequence) are published as the ``matcher_routing`` exhibit.
+
+Every vector and routed output is verified bit-identical to the fast
+path before a number is reported (the fast path is itself
+differentially tested against the traced oracle). Results go to
+``benchmarks/results/`` (rendered) and ``BENCH_matcher.json`` at the
+repo root, consumed by the CI perf-smoke job via
+``check_bench_trend.py``.
 
 Runs standalone (the acceptance configuration, 1 MiB per workload)::
 
@@ -45,6 +54,28 @@ JSON_PATH = REPO_ROOT / "BENCH_matcher.json"
 
 #: The gated configuration: greedy insert-all on incompressible input.
 HEADLINE = ("incompressible", "hw_max")
+
+#: Probe-routed ``auto`` vs static ``fast``, gated per workload (full
+#: mode): the router must keep ~all of the vector win on the headline
+#: workload while costing at most the probe (a few ms/MiB) on the
+#: match-rich rows the scalar path wins.
+ROUTED_GATES = {
+    "incompressible": 1.8,
+    "synthetic_mixed": 0.95,
+    "syslog": 0.95,
+}
+
+#: Sub-MiB single-repeat smoke bounds (timer noise dominates there).
+ROUTED_GATES_QUICK = {
+    "incompressible": 1.5,
+    "synthetic_mixed": 0.75,
+    "syslog": 0.75,
+}
+
+#: Per-shard decision artifact: every workload is cut into this many
+#: shards (count, not size, so the artifact's structure is identical in
+#: quick and full modes).
+DECISION_SHARDS = 4
 
 
 def _best_mbps(fn: Callable[[], object], nbytes: int, repeats: int) -> float:
@@ -119,6 +150,103 @@ def measure_backends(size_bytes: int, repeats: int) -> List[dict]:
     return rows
 
 
+def measure_routing(size_bytes: int, repeats: int) -> List[dict]:
+    """Probe-routed ``auto`` vs static ``fast``, per workload.
+
+    The routed timing is honest end-to-end: it includes the probe
+    (entropy + density windows) *and* the tokenization on whatever
+    backend the probe picked, so the reported speedup is what a
+    ``--route probe`` user actually gets over ``--backend fast``.
+    """
+    from repro.lzss.compressor import compress_tokens
+    from repro.lzss.policy import HW_MAX_POLICY
+    from repro.lzss.router import RouterConfig, route_shard
+
+    config = RouterConfig(route="probe")
+    rows: List[dict] = []
+    for workload, data in sorted(matcher_workloads(size_bytes).items()):
+        decision = route_shard(data, backend="auto",
+                               policy=HW_MAX_POLICY, config=config)
+        fast = compress_tokens(data, 32768, policy=HW_MAX_POLICY,
+                               backend="fast")
+        routed = compress_tokens(data, 32768, policy=HW_MAX_POLICY,
+                                 backend=decision.backend)
+        if (
+            routed.tokens.lengths != fast.tokens.lengths
+            or routed.tokens.values != fast.tokens.values
+        ):
+            raise AssertionError(
+                f"routed tokens diverge from fast: {workload}"
+            )
+
+        def routed_once(data=data):
+            picked = route_shard(data, backend="auto",
+                                 policy=HW_MAX_POLICY, config=config)
+            compress_tokens(data, 32768, policy=HW_MAX_POLICY,
+                            backend=picked.backend)
+
+        fast_mbps = _best_mbps(
+            lambda data=data: compress_tokens(
+                data, 32768, policy=HW_MAX_POLICY, backend="fast"
+            ),
+            len(data), repeats,
+        )
+        routed_mbps = _best_mbps(routed_once, len(data), repeats)
+        rows.append({
+            "workload": workload,
+            "parser": "hw_max",
+            "path": "routed",
+            "fast_mbps": round(fast_mbps, 3),
+            "routed_mbps": round(routed_mbps, 3),
+            "speedup": round(routed_mbps / fast_mbps, 3),
+            "backend": decision.backend,
+            "reason": decision.reason,
+        })
+    return rows
+
+
+def routing_decisions(size_bytes: int) -> dict:
+    """The per-shard decision artifact (published by the CI bench job).
+
+    Each workload — plus an alternating noise/log sequence, the case
+    static resolution cannot serve — is cut into
+    :data:`DECISION_SHARDS` shards and every shard's probe signals and
+    routing outcome are recorded.
+    """
+    from repro.lzss.policy import HW_MAX_POLICY
+    from repro.lzss.router import RouterConfig, route_shard
+
+    config = RouterConfig(route="probe")
+    workloads = matcher_workloads(size_bytes)
+    noise, logs = workloads["incompressible"], workloads["syslog"]
+    shard = max(1, size_bytes // DECISION_SHARDS)
+    workloads["mixed_sequence"] = b"".join(
+        (noise if i % 2 == 0 else logs)[:shard]
+        for i in range(DECISION_SHARDS)
+    )
+    decisions: List[dict] = []
+    for workload, data in sorted(workloads.items()):
+        for index in range(DECISION_SHARDS):
+            piece = data[index * shard:(index + 1) * shard]
+            decision = route_shard(piece, backend="auto",
+                                   policy=HW_MAX_POLICY, config=config,
+                                   index=index)
+            probe = decision.probe
+            decisions.append({
+                "workload": workload,
+                "shard": index,
+                "backend": decision.backend,
+                "reason": decision.reason,
+                "entropy_bits": round(probe.entropy_bits, 3),
+                "match_density": round(probe.match_density, 4),
+            })
+    return {
+        "shard_bytes_each": shard,
+        "shards_per_workload": DECISION_SHARDS,
+        "decisions": decisions,
+    }
+
+
 def render(report: dict) -> str:
     lines = [
         f"vector matcher backend vs scalar fast path "
@@ -135,6 +263,53 @@ def render(report: dict) -> str:
         )
     lines.append("(* = CI-gated headline row; others informational)")
     return "\n".join(lines)
+
+
+def render_routing(report: dict) -> str:
+    lines = [
+        f"probe-routed auto vs static fast "
+        f"({report['size_bytes']} B/workload, hw_max parser)",
+        f"{'workload':>16s} {'fast':>9s} {'routed':>9s} {'speedup':>8s} "
+        f"{'picked':>7s} reason",
+    ]
+    for row in report["routing"]:
+        lines.append(
+            f"{row['workload']:>16s} {row['fast_mbps']:>7.2f}MB "
+            f"{row['routed_mbps']:>7.2f}MB {row['speedup']:>6.2f}x "
+            f"{row['backend']:>7s} {row['reason']}"
+        )
+    artifact = report["routing_artifact"]
+    lines.append(
+        f"per-shard decisions ({artifact['shards_per_workload']} shards "
+        f"x {artifact['shard_bytes_each']} B):"
+    )
+    for d in artifact["decisions"]:
+        lines.append(
+            f"{d['workload']:>16s} shard {d['shard']}: "
+            f"{d['backend']:>7s} [{d['reason']}]  "
+            f"H={d['entropy_bits']:.2f} bits  "
+            f"density={d['match_density']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def check_routing(report: dict, gates: Dict[str, float]) -> None:
+    """Gate probe-routed auto against static fast, per workload.
+
+    The router exists to capture the vector win on match-poor data
+    without giving back the scalar win on match-rich data; both sides
+    are enforced (``gates`` maps workload -> minimum routed/fast
+    speedup).
+    """
+    rows = {row["workload"]: row for row in report["routing"]}
+    for workload, floor in gates.items():
+        row = rows.get(workload)
+        assert row is not None, f"routing row missing: {workload}"
+        assert row["speedup"] >= floor, (
+            f"{workload}: probe-routed auto only {row['speedup']:.2f}x "
+            f"of static fast (required >= {floor:.2f}x, "
+            f"picked {row['backend']} [{row['reason']}])"
+        )
 
 
 def check_speedup(report: dict, min_speedup: float) -> None:
@@ -166,6 +341,8 @@ def build_report(size_bytes: int, repeats: int) -> dict:
         "size_bytes": size_bytes,
         "repeats": repeats,
         "backends": measure_backends(size_bytes, repeats),
+        "routing": measure_routing(size_bytes, repeats),
+        "routing_artifact": routing_decisions(size_bytes),
     }
 
 
@@ -203,11 +380,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from benchmarks.conftest import save_exhibit
 
     save_exhibit("matcher_backends", render(report))
+    save_exhibit("matcher_routing", render_routing(report))
     args.json.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.json}")
     check_speedup(report, args.min_speedup)
-    print("all vector outputs bit-identical to fast; "
-          "headline speedup check passed")
+    check_routing(report,
+                  ROUTED_GATES_QUICK if args.quick else ROUTED_GATES)
+    print("all vector and routed outputs bit-identical to fast; "
+          "headline and routing speedup checks passed")
     return 0
 
 
@@ -221,7 +401,9 @@ def test_matcher_backends_smoke(benchmark, sample_bytes):
 
     report = run_once(benchmark, lambda: build_report(sample_bytes, 1))
     save_exhibit("matcher_backends", render(report))
+    save_exhibit("matcher_routing", render_routing(report))
     check_speedup(report, 1.5)  # sub-MiB single-repeat smoke: looser bound
+    check_routing(report, ROUTED_GATES_QUICK)
 
 
 if __name__ == "__main__":

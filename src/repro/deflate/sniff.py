@@ -115,6 +115,25 @@ def trigram_repeat_fraction(data, probe_bytes: int = SNIFF_PROBE_BYTES
     return worst
 
 
+def incompressible_from_signals(
+    input_bytes: int, entropy_bits: float, trigram_repeat: float
+) -> bool:
+    """The stored-bypass verdict from already-computed signals.
+
+    Split out so a caller that measured the signals once (the per-shard
+    router probe, :func:`repro.lzss.router.probe_shard`) can reuse them
+    for the bypass decision instead of sniffing the shard a second
+    time. Must stay the single source of the thresholds:
+    :func:`looks_incompressible` and the router probe agree by
+    construction because both call here.
+    """
+    if input_bytes < MIN_SNIFF_BYTES:
+        return False
+    if entropy_bits < ENTROPY_BYPASS_BITS:
+        return False
+    return trigram_repeat < TRIGRAM_REPEAT_LIMIT
+
+
 def looks_incompressible(data) -> bool:
     """True when ``data`` should skip tokenization and go STORED.
 
@@ -124,6 +143,10 @@ def looks_incompressible(data) -> bool:
     """
     if len(data) < MIN_SNIFF_BYTES:
         return False
-    if sampled_entropy_bits(data) < ENTROPY_BYPASS_BITS:
+    entropy = sampled_entropy_bits(data)
+    if entropy < ENTROPY_BYPASS_BITS:
+        # Cheap short-circuit: no need for the trigram pass.
         return False
-    return trigram_repeat_fraction(data) < TRIGRAM_REPEAT_LIMIT
+    return incompressible_from_signals(
+        len(data), entropy, trigram_repeat_fraction(data)
+    )

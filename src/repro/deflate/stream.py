@@ -15,6 +15,7 @@ larger than one-shot output (block framing + flush markers).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.bitio.writer import BitWriter
@@ -26,24 +27,33 @@ from repro.deflate.block_writer import (
     write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
-from repro.deflate.sniff import looks_incompressible
 from repro.deflate.splitter import (
     DEFAULT_TOKENS_PER_BLOCK,
     write_adaptive_blocks,
 )
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
+from repro.estimator.calibration import CalibrationLog, point_from_trace
 from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.hashchain import HashSpec
 from repro.lzss.policy import MatchPolicy
+from repro.lzss.router import (
+    RoutingDecision,
+    config_from_profile,
+    probe_shard,
+    route_shard,
+)
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
 from repro.profile import as_profile
 
 
-def tokenize_chunk(
-    lzss: LZSSCompressor, history: bytes, chunk: bytes
-) -> TokenArray:
+def tokenize_chunk_with_result(
+    lzss: LZSSCompressor,
+    history: bytes,
+    chunk: bytes,
+    backend: Optional[str] = None,
+):
     """Tokenise ``chunk`` with ``history`` as match source material.
 
     Re-runs the matcher over ``history + chunk`` and keeps only the
@@ -63,8 +73,15 @@ def tokenize_chunk(
     real chunk size — transfer in two C-level ``array.extend`` calls
     instead of a Python-level append per token.
 
+    Returns ``(tokens, result)`` — the chunk's tokens plus the full
+    :class:`~repro.lzss.compressor.CompressResult` of the underlying
+    pass, whose ``trace`` (on the ``traced`` backend) feeds the
+    traced-sampling telemetry. ``backend`` overrides the compressor's
+    configured backend for this call only (the per-shard routing seam).
+
     Shared by :class:`ZLibStreamCompressor` (chunked streaming) and
-    :mod:`repro.parallel` (carried-window shard compression).
+    :mod:`repro.parallel` (carried-window shard compression); most
+    callers want the :func:`tokenize_chunk` wrapper.
     """
     keep = lzss.window_size + MIN_LOOKAHEAD
     assert keep > 0
@@ -72,11 +89,11 @@ def tokenize_chunk(
         history = history[-keep:]
     base = len(history)
     data = history + chunk
-    result = lzss.compress(data)
+    result = lzss.compress(data, backend=backend)
     src_lengths = result.tokens.lengths
     src_values = result.tokens.values
     if base == 0:
-        return result.tokens
+        return result.tokens, result
     tokens = TokenArray()
     # Skip tokens fully inside the history: O(tokens in history), which
     # is bounded by `keep` bytes regardless of chunk size.
@@ -97,7 +114,21 @@ def tokenize_chunk(
         index += 1
     tokens.lengths.extend(src_lengths[index:])
     tokens.values.extend(src_values[index:])
-    return tokens
+    return tokens, result
+
+
+def tokenize_chunk(
+    lzss: LZSSCompressor,
+    history: bytes,
+    chunk: bytes,
+    backend: Optional[str] = None,
+) -> TokenArray:
+    """Tokenise ``chunk`` against ``history`` (tokens only).
+
+    See :func:`tokenize_chunk_with_result` for the semantics; this
+    wrapper drops the underlying :class:`CompressResult`.
+    """
+    return tokenize_chunk_with_result(lzss, history, chunk, backend)[0]
 
 
 class ZLibStreamCompressor:
@@ -126,6 +157,12 @@ class ZLibStreamCompressor:
         cut_search: Optional[bool] = None,
         sniff: Optional[bool] = None,
         backend: Optional[str] = None,
+        route: Optional[str] = None,
+        probe_entropy_bits: Optional[float] = None,
+        probe_match_density: Optional[float] = None,
+        trace_fraction: Optional[float] = None,
+        trace_seed: Optional[int] = None,
+        router=None,
         profile=None,
     ) -> None:
         if traced is not None:
@@ -150,11 +187,29 @@ class ZLibStreamCompressor:
         self.cut_search = prof.pick("cut_search", cut_search, True)
         self.sniff = prof.pick("sniff", sniff, True)
         self.backend = backend
+        # Chunks are this stream's routing unit: with route="probe" an
+        # "auto" backend is re-decided per chunk from the probe, and the
+        # sampling policy may divert chunks through "traced" for
+        # telemetry. Bytes are identical either way.
+        self.router = config_from_profile(
+            prof,
+            route=route,
+            probe_entropy_bits=probe_entropy_bits,
+            probe_match_density=probe_match_density,
+            trace_fraction=trace_fraction,
+            trace_seed=trace_seed,
+            router=router,
+        )
+        #: One RoutingDecision per compressed chunk, in order.
+        self.routing = []
+        #: Traced-sample telemetry points (see repro.estimator.calibration).
+        self.calibration = CalibrationLog()
         # Streams default to the trace-free production tokenizer; pass
         # backend="traced" only when the per-token record is needed.
         self._lzss = LZSSCompressor(
             window_size, hash_spec, policy, backend=backend
         )
+        self._chunk_index = 0
         self._writer = BitWriter()
         self._adler = Adler32()
         # History kept so matches can reach back across chunk borders.
@@ -187,15 +242,43 @@ class ZLibStreamCompressor:
         self._total_in += len(chunk)
         self._since_sync += len(chunk)
 
-        if (self.strategy is BlockStrategy.ADAPTIVE and self.sniff
-                and looks_incompressible(chunk)):
+        index = self._chunk_index
+        self._chunk_index += 1
+        config = self.router
+        need_sniff = self.strategy is BlockStrategy.ADAPTIVE and self.sniff
+        need_probe = config.route == "probe" and self.backend == "auto"
+        probe = None
+        if need_sniff or need_probe:
+            # One probe per chunk, shared by the stored bypass and the
+            # router — the chunk is never sniffed twice.
+            probe = probe_shard(chunk, match_density=need_probe)
+        if need_sniff and probe.incompressible:
             # Incompressible chunk: straight to stored blocks, no
             # tokenization. The bytes still enter the history — the
             # inflater's window holds them, so the next chunk's
             # matches may reach back into this one as usual.
             write_stored_block(self._writer, chunk, final=False)
+            self.routing.append(RoutingDecision(
+                backend="stored", requested=self.backend,
+                route=config.route, reason="stored-bypass", probe=probe,
+            ))
         else:
-            tokens = tokenize_chunk(self._lzss, self._history, chunk)
+            decision = route_shard(
+                chunk, backend=self.backend, policy=self._lzss.policy,
+                config=config, index=index, probe=probe,
+            )
+            self.routing.append(decision)
+            started = time.perf_counter()
+            tokens, result = tokenize_chunk_with_result(
+                self._lzss, self._history, chunk,
+                backend=decision.backend,
+            )
+            if decision.traced_sample and result.trace is not None:
+                self.calibration.add(point_from_trace(
+                    index, result.trace,
+                    time.perf_counter() - started,
+                    policy=self._lzss.policy,
+                ))
             self._emit_block(tokens, final=False, raw=chunk)
         keep = self.window_size + MIN_LOOKAHEAD
         self._history = (self._history + chunk)[-keep:]

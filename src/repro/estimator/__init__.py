@@ -17,6 +17,11 @@ over a range, :mod:`repro.estimator.report` renders the results, and
 (``lzss-estimator``).
 """
 
+from repro.estimator.calibration import (
+    CalibrationLog,
+    CalibrationPoint,
+    point_from_trace,
+)
 from repro.estimator.presets import ESTIMATION_PRESETS, estimation_preset
 from repro.estimator.report import EstimationRow, SweepReport
 from repro.estimator.sweep import ParameterSweep, grid_sweep, run_configuration
@@ -24,6 +29,9 @@ from repro.estimator.pareto import pareto_front, to_csv
 from repro.estimator.workload_report import compare_workloads
 
 __all__ = [
+    "CalibrationLog",
+    "CalibrationPoint",
+    "point_from_trace",
     "ESTIMATION_PRESETS",
     "estimation_preset",
     "EstimationRow",

@@ -1,0 +1,188 @@
+"""Live calibration of the cycle model from traced-sample telemetry.
+
+The estimator's cycle model (:mod:`repro.hw.cycle_model`) is analytic:
+it charges cycles per the paper's state walk over a recorded
+:class:`~repro.lzss.trace.MatchTrace`. Historically those traces came
+from offline estimation runs on reference workloads. The per-shard
+router (:mod:`repro.lzss.router`) adds a production source: a
+deterministic sampling policy diverts a small fraction of shards
+through the instrumented ``traced`` backend at compression time, and
+each sampled shard's trace — plus its *measured* software wall time —
+lands here as one :class:`CalibrationPoint`.
+
+That pairing is the calibration: the modelled hardware throughput
+(cycles from the analytic model at the configured clock) next to the
+measured software throughput for the *same bytes under the same
+policy*, accumulated over live traffic instead of canned corpora. The
+:class:`CalibrationLog` aggregates the points and answers the question
+the estimator's reports need — how far apart model and software are on
+the traffic actually being served, per shard and in aggregate.
+
+The hardware model only prices greedy traces (one row per emitted
+token, the FSM's walk); a lazy-policy trace records per-*search* rows,
+so for lazy shards the point carries the search-cost aggregates but no
+modelled cycles (``modelled_cycles == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One traced-sample shard's telemetry (frozen, picklable).
+
+    Search-cost aggregates mirror the :class:`~repro.lzss.trace.MatchTrace`
+    columns the cost models consume; ``modelled_cycles``/
+    ``modelled_mbps`` come from running the hardware cycle model over
+    the trace (0 for lazy policies, which the FSM model does not
+    price).
+    """
+
+    shard_index: int
+    input_bytes: int
+    token_count: int
+    wall_s: float
+    chain_iters: int
+    compare_cycles_w4: int
+    compare_cycles_w1: int
+    inserted: int
+    modelled_cycles: int = 0
+    modelled_mbps: float = 0.0
+
+    @property
+    def measured_mbps(self) -> float:
+        """Measured software tokenization throughput for this shard."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.input_bytes / self.wall_s / 1e6
+
+    @property
+    def modelled(self) -> bool:
+        """Whether the hardware cycle model priced this shard."""
+        return self.modelled_cycles > 0
+
+    @property
+    def hw_speedup(self) -> float:
+        """Modelled hardware MB/s over measured software MB/s."""
+        measured = self.measured_mbps
+        if not self.modelled or measured <= 0.0:
+            return 0.0
+        return self.modelled_mbps / measured
+
+
+def point_from_trace(
+    shard_index: int,
+    trace,
+    wall_s: float,
+    params=None,
+    policy=None,
+) -> CalibrationPoint:
+    """Fold one sampled shard's trace into a :class:`CalibrationPoint`.
+
+    ``params`` configures the hardware model (paper defaults when
+    ``None``); ``policy`` gates it — lazy traces are per-search, not
+    per-token, so they keep their aggregates but are not priced.
+    """
+    modelled_cycles = 0
+    modelled_mbps = 0.0
+    if policy is None or not policy.lazy:
+        from repro.hw.cycle_model import CycleModel
+        from repro.hw.params import HardwareParams
+
+        stats = CycleModel(params or HardwareParams()).run(trace)
+        modelled_cycles = stats.total_cycles
+        modelled_mbps = stats.throughput_mbps
+    return CalibrationPoint(
+        shard_index=shard_index,
+        input_bytes=trace.input_size,
+        token_count=len(trace),
+        wall_s=wall_s,
+        chain_iters=sum(trace.chain_iters),
+        compare_cycles_w4=sum(trace.compare_cycles_w4),
+        compare_cycles_w1=sum(trace.compare_cycles_w1),
+        inserted=sum(trace.inserted),
+        modelled_cycles=modelled_cycles,
+        modelled_mbps=modelled_mbps,
+    )
+
+
+@dataclass
+class CalibrationLog:
+    """Accumulated calibration points from one compression run."""
+
+    points: List[CalibrationPoint] = field(default_factory=list)
+
+    def add(self, point: CalibrationPoint) -> None:
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def sampled_bytes(self) -> int:
+        return sum(p.input_bytes for p in self.points)
+
+    @property
+    def measured_mbps(self) -> float:
+        """Aggregate measured software throughput over sampled shards."""
+        wall = sum(p.wall_s for p in self.points)
+        if wall <= 0.0:
+            return 0.0
+        return self.sampled_bytes / wall / 1e6
+
+    @property
+    def modelled_mbps(self) -> float:
+        """Aggregate modelled hardware throughput (priced points only)."""
+        priced = [p for p in self.points if p.modelled]
+        if not priced:
+            return 0.0
+        cycles = sum(p.modelled_cycles for p in priced)
+        nbytes = sum(p.input_bytes for p in priced)
+        if cycles <= 0:
+            return 0.0
+        # cycles/byte at the model's clock; all points share the params
+        # an engine run was configured with, so the per-point clock is
+        # uniform and recoverable from any priced point.
+        clock_mhz = (priced[0].modelled_mbps
+                     * priced[0].modelled_cycles / priced[0].input_bytes)
+        return clock_mhz / (cycles / nbytes)
+
+    @property
+    def hw_speedup(self) -> float:
+        """Aggregate modelled-hardware over measured-software speed."""
+        measured = self.measured_mbps
+        modelled = self.modelled_mbps
+        if measured <= 0.0 or modelled <= 0.0:
+            return 0.0
+        return modelled / measured
+
+    def format_table(self) -> str:
+        """Plain-text calibration report (the CLI's ``--stats`` block)."""
+        lines = [
+            f"calibration     : {len(self.points)} sampled shards, "
+            f"{self.sampled_bytes} bytes",
+        ]
+        if self.points:
+            lines.append(
+                f"  measured (sw) : {self.measured_mbps:.2f} MB/s"
+            )
+            if any(p.modelled for p in self.points):
+                lines.append(
+                    f"  modelled (hw) : {self.modelled_mbps:.2f} MB/s "
+                    f"({self.hw_speedup:.1f}x the sampled software path)"
+                )
+            for p in self.points:
+                modelled = (f"{p.modelled_mbps:8.2f} MB/s hw"
+                            if p.modelled else "   (lazy, unpriced)")
+                lines.append(
+                    f"  shard {p.shard_index:>4d}: {p.input_bytes:>8d} B  "
+                    f"{p.token_count:>7d} tok  "
+                    f"{p.measured_mbps:6.2f} MB/s sw  {modelled}"
+                )
+        return "\n".join(lines)

@@ -114,6 +114,54 @@ def _add_block_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_route_flags(parser: argparse.ArgumentParser,
+                     sampling: bool = False) -> None:
+    """Per-shard routing knobs (see :mod:`repro.lzss.router`).
+
+    ``--route static`` (default) resolves ``--backend`` once for the
+    whole run; ``--route probe`` decides ``auto`` per shard from a
+    cheap statistical probe (entropy + sampled match density), sending
+    match-poor shards to the vector kernel and match-rich shards to the
+    scalar path. The thresholds are exposed for A/B runs. ``sampling``
+    additionally adds the traced-sampling policy flags (pcompress only
+    — the serial command has a single shard, so ``--backend traced``
+    covers it).
+    """
+    from repro.lzss.router import (
+        ROUTE_ENTROPY_BITS,
+        ROUTE_MATCH_DENSITY,
+        ROUTE_MODES,
+    )
+
+    parser.add_argument(
+        "--route", default=None, choices=list(ROUTE_MODES),
+        help="backend routing: resolve --backend once (static, default) "
+        "or probe each shard and pick vector/fast per shard (probe; "
+        "only meaningful with --backend auto)",
+    )
+    parser.add_argument(
+        "--probe-entropy-bits", type=float, default=None,
+        help="probe threshold: route to vector only when sampled "
+        f"entropy >= this many bits/byte (default {ROUTE_ENTROPY_BITS})",
+    )
+    parser.add_argument(
+        "--probe-match-density", type=float, default=None,
+        help="probe threshold: route to vector only when sampled match "
+        f"density <= this fraction (default {ROUTE_MATCH_DENSITY})",
+    )
+    if sampling:
+        parser.add_argument(
+            "--trace-fraction", type=float, default=None,
+            help="route this fraction of shards through the traced "
+            "backend for live cycle-model calibration (default 0.0)",
+        )
+        parser.add_argument(
+            "--trace-seed", type=int, default=None,
+            help="seed for the deterministic traced-sampling policy "
+            "(default 0; same seed + fraction -> same shards sampled)",
+        )
+
+
 def _block_strategy(args: argparse.Namespace):
     """The requested BlockStrategy, or None when --strategy was not given
     (the library default / the profile's choice applies)."""
@@ -244,6 +292,24 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     params = _build_params(args)
     strategy = _block_strategy(args) or BlockStrategy.FIXED
     backend = args.backend or "fast"
+    if args.route == "probe":
+        # The serial command compresses one buffer, so probe routing
+        # degenerates to a single whole-input decision (index 0).
+        from repro.lzss.router import RouterConfig, route_shard
+
+        config = RouterConfig(
+            route="probe",
+            entropy_bits=(args.probe_entropy_bits
+                          if args.probe_entropy_bits is not None
+                          else RouterConfig().entropy_bits),
+            match_density=(args.probe_match_density
+                           if args.probe_match_density is not None
+                           else RouterConfig().match_density),
+        )
+        decision = route_shard(data, backend=backend,
+                               policy=params.policy, config=config)
+        backend = decision.backend
+        print(f"route: {backend} [{decision.reason}]")
     if strategy is BlockStrategy.ADAPTIVE:
         stream = zlib_compress_adaptive(
             data, window_size=params.window_size,
@@ -293,6 +359,11 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         cut_search=args.cut_search,
         sniff=args.sniff,
         profile=args.profile,
+        route=args.route,
+        probe_entropy_bits=args.probe_entropy_bits,
+        probe_match_density=args.probe_match_density,
+        trace_fraction=args.trace_fraction,
+        trace_seed=args.trace_seed,
     )
     result = engine.compress(data)
     output = args.output or args.input + ".lzz"
@@ -446,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_path_flags(compress_parser)
     _add_strategy_flag(compress_parser)
     _add_block_flags(compress_parser)
+    _add_route_flags(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
 
     pcompress_parser = sub.add_parser(
@@ -481,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_path_flags(pcompress_parser)
     _add_strategy_flag(pcompress_parser)
     _add_block_flags(pcompress_parser)
+    _add_route_flags(pcompress_parser, sampling=True)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(

@@ -1,0 +1,377 @@
+"""Workload-adaptive per-shard backend routing (the ``auto`` decision).
+
+``BENCH_matcher.json`` tells a two-sided story: the numpy vector kernel
+is ~2.2x faster than the scalar ``fast`` path on incompressible input
+(the paper's worst case, where per-position overhead dominates) but
+4-6x *slower* on match-rich data (long matches amortise the scalar loop
+to one iteration per match, while the batched kernel still pays its
+per-position array passes). A ``backend="auto"`` that resolves
+statically therefore wins one workload and loses the other — the exact
+mispricing the paper's fixed-function datapath avoids by construction
+(its compare width is sized for the worst case and the data cannot
+change it). Software can do better: *measure* each shard and route it.
+
+This module is that decision point:
+
+* :func:`probe_shard` — a cheap statistical probe (O(sample), not
+  O(shard)): the stored-bypass entropy/trigram sniff of
+  :mod:`repro.deflate.sniff`, extended with a sampled-match-density
+  estimate over strided probe windows. One probe serves both consumers
+  — the stored bypass *and* the router — so the shard is never sniffed
+  twice.
+* :func:`route_shard` — maps one shard to a concrete backend. In
+  ``probe`` mode an ``auto`` shard goes to ``vector`` only when the
+  probe says "match-poor" (high entropy, almost no recurring trigrams);
+  everything else runs ``fast``. Shards the vector kernel cannot serve
+  (no usable numpy, unsupported policy) route to ``fast`` unconditionally,
+  which is why the probe is safe to leave on in the no-numpy CI job.
+* :func:`should_trace` — a deterministic, seedable sampling policy that
+  diverts a configurable fraction of shards through the instrumented
+  ``traced`` backend. Sampled shards produce the
+  :class:`~repro.lzss.trace.MatchTrace` the hardware cycle model
+  consumes, which the parallel engine folds into
+  :mod:`repro.estimator.calibration` as live calibration points.
+
+Routing never changes output bytes: every backend is bit-identical by
+the differential-test contract (``tests/lzss/test_router.py`` holds the
+line per decision), so the router moves only wall-clock, exactly like
+the stored bypass before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.deflate.sniff import (
+    SNIFF_SAMPLE_BYTES,
+    incompressible_from_signals,
+    sampled_entropy_bits,
+    trigram_repeat_fraction,
+)
+from repro.errors import ConfigError
+
+#: Routing modes: ``static`` resolves the backend once per stream (the
+#: pre-router behaviour), ``probe`` decides per shard from the probe.
+ROUTE_MODES = ("static", "probe")
+
+#: Probe mode sends an ``auto`` shard to ``vector`` only above this
+#: order-0 entropy (bits/byte). Incompressible data measures ~7.99;
+#: the match-rich workloads the scalar loop wins sit at 4-7.
+ROUTE_ENTROPY_BITS = 7.4
+
+#: ... and only below this sampled match density (fraction of probe
+#: trigrams that recur). Random data measures ~0.004; text, logs and
+#: even half-noise mixtures measure 0.2+.
+ROUTE_MATCH_DENSITY = 0.10
+
+#: Length of each match-density probe window.
+DENSITY_PROBE_BYTES = 2048
+
+#: Number of strided match-density probe windows.
+DENSITY_PROBE_WINDOWS = 3
+
+
+def sampled_match_density(
+    data,
+    probe_bytes: int = DENSITY_PROBE_BYTES,
+    windows: int = DENSITY_PROBE_WINDOWS,
+) -> float:
+    """Mean recurring-trigram fraction over strided probe windows.
+
+    Unlike :func:`~repro.deflate.sniff.trigram_repeat_fraction` (which
+    returns the *worst* window, the right shape for a veto), this is a
+    *density* estimate: the mean over ``windows`` short windows strided
+    across the shard. A recurring trigram is exactly what seeds an LZSS
+    match, so the mean approximates the fraction of positions the
+    tokenizer will resolve as match extensions — the quantity that
+    decides whether the scalar loop (few long matches) or the batched
+    kernel (no matches at all) wins.
+
+    >>> sampled_match_density(b"abcabcabcabcabc") > 0.5
+    True
+    >>> sampled_match_density(bytes(range(256))) == 0.0
+    True
+    """
+    data = bytes(data)
+    n = len(data)
+    if n < 3:
+        return 0.0
+    span = max(1, windows - 1)
+    starts = sorted({
+        min(max(0, (n - probe_bytes) * k // span), max(0, n - probe_bytes))
+        for k in range(windows)
+    })
+    total_positions = 0
+    total_repeats = 0
+    for start in starts:
+        window = data[start:start + probe_bytes]
+        positions = len(window) - 2
+        if positions <= 0:
+            continue
+        seen = set()
+        repeats = 0
+        for i in range(positions):
+            trigram = window[i:i + 3]
+            if trigram in seen:
+                repeats += 1
+            else:
+                seen.add(trigram)
+        total_positions += positions
+        total_repeats += repeats
+    if total_positions == 0:
+        return 0.0
+    return total_repeats / total_positions
+
+
+@dataclass(frozen=True)
+class ShardProbe:
+    """One shard's probe signals, computed once and shared.
+
+    ``match_density`` is ``None`` when the probe was taken for the
+    stored bypass only (static routing needs no density estimate);
+    :meth:`with_density` fills it in lazily if the router later needs
+    it.
+    """
+
+    input_bytes: int
+    entropy_bits: float
+    trigram_repeat: float
+    match_density: Optional[float] = None
+
+    @property
+    def incompressible(self) -> bool:
+        """The stored-bypass verdict, from the shared signals."""
+        return incompressible_from_signals(
+            self.input_bytes, self.entropy_bits, self.trigram_repeat
+        )
+
+    def with_density(self, data) -> "ShardProbe":
+        """This probe with ``match_density`` computed (idempotent)."""
+        if self.match_density is not None:
+            return self
+        return replace(self, match_density=sampled_match_density(data))
+
+
+def probe_shard(data, match_density: bool = True) -> ShardProbe:
+    """Probe one shard: entropy, trigram repeats, match density.
+
+    O(sample) regardless of shard size (strided entropy sample plus a
+    handful of short contiguous windows); on a 1 MiB shard the whole
+    probe costs single-digit milliseconds against a tokenization in the
+    hundreds. ``match_density=False`` skips the density windows when
+    only the stored-bypass signals are needed.
+    """
+    view = memoryview(data)
+    probe = ShardProbe(
+        input_bytes=len(view),
+        entropy_bits=sampled_entropy_bits(view, SNIFF_SAMPLE_BYTES),
+        trigram_repeat=trigram_repeat_fraction(view),
+    )
+    if match_density:
+        probe = probe.with_density(view)
+    return probe
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Per-shard routing and traced-sampling policy (frozen, picklable).
+
+    ``route`` selects the mode; the two thresholds gate the probe
+    decision; ``trace_fraction``/``trace_seed`` drive the deterministic
+    traced-sampling policy (see :func:`should_trace`).
+
+    >>> RouterConfig(route="probe").route
+    'probe'
+    >>> RouterConfig(route="adaptive")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: unknown route 'adaptive': expected one of static, probe
+    """
+
+    route: str = "static"
+    entropy_bits: float = ROUTE_ENTROPY_BITS
+    match_density: float = ROUTE_MATCH_DENSITY
+    trace_fraction: float = 0.0
+    trace_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.route not in ROUTE_MODES:
+            raise ConfigError(
+                f"unknown route {self.route!r}: expected one of "
+                f"{', '.join(ROUTE_MODES)}"
+            )
+        if not 0.0 <= self.trace_fraction <= 1.0:
+            raise ConfigError(
+                f"trace_fraction must be in [0, 1]: {self.trace_fraction}"
+            )
+        if not 0.0 <= self.entropy_bits <= 8.0:
+            raise ConfigError(
+                f"entropy_bits must be in [0, 8]: {self.entropy_bits}"
+            )
+        if not 0.0 <= self.match_density <= 1.0:
+            raise ConfigError(
+                f"match_density must be in [0, 1]: {self.match_density}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any per-shard decision differs from plain ``static``."""
+        return self.route != "static" or self.trace_fraction > 0.0
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One shard's routing outcome, surfaced in shard stats.
+
+    ``backend`` is the concrete backend the shard ran (``"stored"``
+    when the stored bypass skipped tokenization entirely);
+    ``requested`` is what the caller configured; ``reason`` is a short
+    machine-greppable tag explaining the choice.
+    """
+
+    backend: str
+    requested: str
+    route: str
+    reason: str
+    traced_sample: bool = False
+    probe: Optional[ShardProbe] = None
+
+
+def should_trace(index: int, fraction: float, seed: int = 0) -> bool:
+    """Deterministic, seedable shard-sampling predicate.
+
+    Each shard index hashes (with the seed) to a point on [0, 1); the
+    shard is sampled when that point falls below ``fraction``. The
+    selection is therefore reproducible run to run and independent of
+    worker scheduling, and the two degenerate fractions behave exactly
+    as expected:
+
+    >>> [should_trace(i, 0.0) for i in range(4)]
+    [False, False, False, False]
+    >>> [should_trace(i, 1.0) for i in range(4)]
+    [True, True, True, True]
+    >>> should_trace(5, 0.25, seed=1) == should_trace(5, 0.25, seed=1)
+    True
+    """
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    digest = hashlib.blake2b(
+        f"{seed}:{index}".encode(), digest_size=8
+    ).digest()
+    point = int.from_bytes(digest, "big") / float(1 << 64)
+    return point < fraction
+
+
+def route_shard(
+    data,
+    backend: str = "auto",
+    policy=None,
+    config: Optional[RouterConfig] = None,
+    index: int = 0,
+    probe: Optional[ShardProbe] = None,
+) -> RoutingDecision:
+    """Decide which concrete backend one shard runs.
+
+    Precedence:
+
+    1. the traced-sampling policy (a sampled shard runs ``traced``
+       regardless of the probe — telemetry wins, bytes are identical);
+    2. in ``probe`` mode, an ``auto`` shard follows the probe: ``vector``
+       only when the shard looks match-poor *and* the vector kernel is
+       actually usable for ``policy`` (otherwise ``fast``, which is why
+       a numpy-less machine probe-routes everything to ``fast``);
+    3. otherwise the static registry resolution of
+       :func:`repro.lzss.backends.resolve`.
+
+    A ``probe`` taken earlier (e.g. by the stored bypass) is reused;
+    ``route_shard`` never probes the same shard twice.
+
+    >>> from repro.lzss.policy import MatchPolicy
+    >>> route_shard(b"x" * 100, backend="fast",
+    ...             policy=MatchPolicy()).backend
+    'fast'
+    """
+    from repro.lzss.backends import resolve
+
+    config = config or RouterConfig()
+    if should_trace(index, config.trace_fraction, config.trace_seed):
+        return RoutingDecision(
+            backend="traced",
+            requested=backend,
+            route=config.route,
+            reason="trace-sample",
+            traced_sample=True,
+            probe=probe,
+        )
+    if config.route == "probe" and backend == "auto":
+        if resolve("vector", policy) != "vector":
+            return RoutingDecision(
+                backend="fast",
+                requested=backend,
+                route=config.route,
+                reason="vector-unavailable",
+                probe=probe,
+            )
+        if probe is None:
+            probe = probe_shard(data)
+        else:
+            probe = probe.with_density(data)
+        if (probe.entropy_bits >= config.entropy_bits
+                and probe.match_density is not None
+                and probe.match_density <= config.match_density):
+            return RoutingDecision(
+                backend="vector",
+                requested=backend,
+                route=config.route,
+                reason="probe-match-poor",
+                probe=probe,
+            )
+        return RoutingDecision(
+            backend="fast",
+            requested=backend,
+            route=config.route,
+            reason="probe-match-rich",
+            probe=probe,
+        )
+    return RoutingDecision(
+        backend=resolve(backend, policy),
+        requested=backend,
+        route=config.route,
+        reason="static",
+        probe=probe,
+    )
+
+
+def config_from_profile(
+    prof,
+    route: Optional[str] = None,
+    probe_entropy_bits: Optional[float] = None,
+    probe_match_density: Optional[float] = None,
+    trace_fraction: Optional[float] = None,
+    trace_seed: Optional[int] = None,
+    router: Optional[RouterConfig] = None,
+) -> RouterConfig:
+    """Build the effective :class:`RouterConfig` for an entry point.
+
+    A whole ``router`` object wins outright; otherwise each knob
+    resolves with the library-wide precedence (explicit kwarg > profile
+    field > default). ``prof`` is a
+    :class:`repro.profile.CompressionProfile`.
+    """
+    if router is not None:
+        return router
+    return RouterConfig(
+        route=prof.pick("route", route, "static"),
+        entropy_bits=prof.pick(
+            "probe_entropy_bits", probe_entropy_bits, ROUTE_ENTROPY_BITS
+        ),
+        match_density=prof.pick(
+            "probe_match_density", probe_match_density, ROUTE_MATCH_DENSITY
+        ),
+        trace_fraction=prof.pick("trace_fraction", trace_fraction, 0.0),
+        trace_seed=prof.pick("trace_seed", trace_seed, 0),
+    )

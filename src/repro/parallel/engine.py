@@ -44,17 +44,25 @@ from repro.deflate.block_writer import (
     write_stored_block,
 )
 from repro.deflate.dynamic import write_dynamic_block
-from repro.deflate.sniff import looks_incompressible
 from repro.deflate.splitter import (
     DEFAULT_TOKENS_PER_BLOCK,
     write_adaptive_blocks,
 )
-from repro.deflate.stream import tokenize_chunk
+from repro.deflate.stream import tokenize_chunk_with_result
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
+from repro.estimator.calibration import CalibrationPoint, point_from_trace
 from repro.hw.params import HardwareParams
 from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
+from repro.lzss.router import (
+    RouterConfig,
+    RoutingDecision,
+    ShardProbe,
+    config_from_profile,
+    probe_shard,
+    route_shard,
+)
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
 from repro.parallel.stats import ParallelStats, ShardStat
 from repro.profile import as_profile
@@ -89,11 +97,19 @@ class ShardTask:
     tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK
     cut_search: bool = True
     sniff: bool = True
+    #: Per-shard routing / traced-sampling policy (None = static).
+    router: Optional[RouterConfig] = None
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """One shard's compressed fragment plus its bookkeeping."""
+    """One shard's compressed fragment plus its bookkeeping.
+
+    ``backend``/``route_reason``/``traced_sample`` record the routing
+    outcome (see :mod:`repro.lzss.router`); ``telemetry`` is the
+    traced-sample calibration point for sampled shards, ``None``
+    otherwise.
+    """
 
     index: int
     body: bytes
@@ -101,6 +117,84 @@ class ShardResult:
     input_bytes: int
     wall_s: float
     worker: int
+    backend: str = ""
+    route_reason: str = ""
+    traced_sample: bool = False
+    telemetry: Optional[CalibrationPoint] = None
+
+
+def _compress_shard_parts(
+    data: bytes,
+    history: bytes = b"",
+    window_size: int = 4096,
+    hash_spec=None,
+    policy=None,
+    strategy: BlockStrategy = BlockStrategy.FIXED,
+    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+    cut_search: bool = True,
+    sniff: bool = True,
+    backend: str = "fast",
+    router: Optional[RouterConfig] = None,
+    shard_index: int = 0,
+    probe: Optional[ShardProbe] = None,
+):
+    """Route and compress one shard; return (body, decision, telemetry).
+
+    The statistical probe runs **at most once** per shard: the stored
+    bypass and the backend router both consume the same
+    :class:`~repro.lzss.router.ShardProbe` (or the caller's precomputed
+    ``probe``), fixing the historical double-sniff. ``telemetry`` is a
+    :class:`~repro.estimator.calibration.CalibrationPoint` for
+    traced-sample shards, ``None`` otherwise; ``decision`` is ``None``
+    only for empty shards.
+    """
+    config = router or RouterConfig()
+    writer = BitWriter()
+    decision = None
+    telemetry = None
+    if data:
+        need_sniff = strategy is BlockStrategy.ADAPTIVE and sniff
+        need_probe = config.route == "probe" and backend == "auto"
+        if probe is None and (need_sniff or need_probe):
+            probe = probe_shard(data, match_density=need_probe)
+        if need_sniff and probe.incompressible:
+            decision = RoutingDecision(
+                backend="stored", requested=backend, route=config.route,
+                reason="stored-bypass", probe=probe,
+            )
+            write_stored_block(writer, data, final=False)
+            write_block_header(writer, 0b00, final=False)
+            writer.align_to_byte()
+            writer.write_bits(0, 16)
+            writer.write_bits(0xFFFF, 16)
+            return writer.flush(), decision, telemetry
+        decision = route_shard(
+            data, backend=backend, policy=policy, config=config,
+            index=shard_index, probe=probe,
+        )
+        lzss = LZSSCompressor(window_size, hash_spec, policy,
+                              backend=decision.backend)
+        started = time.perf_counter()
+        tokens, result = tokenize_chunk_with_result(lzss, history, data)
+        if decision.traced_sample and result.trace is not None:
+            telemetry = point_from_trace(
+                shard_index, result.trace,
+                time.perf_counter() - started,
+                policy=lzss.policy,
+            )
+        if strategy is BlockStrategy.ADAPTIVE and len(tokens):
+            write_adaptive_blocks(writer, tokens, data, final=False,
+                                  tokens_per_block=tokens_per_block,
+                                  cut_search=cut_search)
+        elif strategy is BlockStrategy.FIXED or len(tokens) == 0:
+            write_fixed_block(writer, tokens, final=False)
+        else:
+            write_dynamic_block(writer, tokens, final=False)
+    write_block_header(writer, 0b00, final=False)
+    writer.align_to_byte()
+    writer.write_bits(0, 16)
+    writer.write_bits(0xFFFF, 16)
+    return writer.flush(), decision, telemetry
 
 
 def compress_shard_body(
@@ -115,6 +209,9 @@ def compress_shard_body(
     cut_search: bool = True,
     sniff: bool = True,
     backend: Optional[str] = None,
+    router: Optional[RouterConfig] = None,
+    shard_index: int = 0,
+    probe: Optional[ShardProbe] = None,
 ) -> bytes:
     """Compress one shard into a byte-aligned raw Deflate fragment.
 
@@ -137,36 +234,32 @@ def compress_shard_body(
     bypass never consults ``history`` (stored blocks reference
     nothing), and the *next* shard's carried window is plaintext either
     way, so the decision is purely local to this shard.
+
+    ``router`` activates per-shard routing and traced sampling
+    (:mod:`repro.lzss.router`); ``shard_index`` keys the deterministic
+    sampling policy; a precomputed ``probe`` is reused so the shard is
+    sniffed at most once. Routing never changes the output bytes —
+    every backend is bit-identical by contract.
     """
     backend = backend_from_legacy(
         backend, traced, param="traced", default="fast"
     )
-    writer = BitWriter()
-    if data:
-        if (strategy is BlockStrategy.ADAPTIVE and sniff
-                and looks_incompressible(data)):
-            write_stored_block(writer, data, final=False)
-            write_block_header(writer, 0b00, final=False)
-            writer.align_to_byte()
-            writer.write_bits(0, 16)
-            writer.write_bits(0xFFFF, 16)
-            return writer.flush()
-        lzss = LZSSCompressor(window_size, hash_spec, policy,
-                              backend=backend)
-        tokens = tokenize_chunk(lzss, history, data)
-        if strategy is BlockStrategy.ADAPTIVE and len(tokens):
-            write_adaptive_blocks(writer, tokens, data, final=False,
-                                  tokens_per_block=tokens_per_block,
-                                  cut_search=cut_search)
-        elif strategy is BlockStrategy.FIXED or len(tokens) == 0:
-            write_fixed_block(writer, tokens, final=False)
-        else:
-            write_dynamic_block(writer, tokens, final=False)
-    write_block_header(writer, 0b00, final=False)
-    writer.align_to_byte()
-    writer.write_bits(0, 16)
-    writer.write_bits(0xFFFF, 16)
-    return writer.flush()
+    body, _, _ = _compress_shard_parts(
+        data,
+        history=history,
+        window_size=window_size,
+        hash_spec=hash_spec,
+        policy=policy,
+        strategy=strategy,
+        tokens_per_block=tokens_per_block,
+        cut_search=cut_search,
+        sniff=sniff,
+        backend=backend,
+        router=router,
+        shard_index=shard_index,
+        probe=probe,
+    )
+    return body
 
 
 def close_stream(adler: int) -> bytes:
@@ -179,7 +272,7 @@ def close_stream(adler: int) -> bytes:
 def _compress_shard(task: ShardTask) -> ShardResult:
     """Top-level pool worker: compress one shard, report timing."""
     start = time.perf_counter()
-    body = compress_shard_body(
+    body, decision, telemetry = _compress_shard_parts(
         task.data,
         history=task.history,
         window_size=task.window_size,
@@ -190,6 +283,8 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         tokens_per_block=task.tokens_per_block,
         cut_search=task.cut_search,
         sniff=task.sniff,
+        router=task.router,
+        shard_index=task.index,
     )
     return ShardResult(
         index=task.index,
@@ -198,6 +293,10 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         input_bytes=len(task.data),
         wall_s=time.perf_counter() - start,
         worker=os.getpid(),
+        backend=decision.backend if decision else "",
+        route_reason=decision.reason if decision else "",
+        traced_sample=decision.traced_sample if decision else False,
+        telemetry=telemetry,
     )
 
 
@@ -264,6 +363,12 @@ class ShardedCompressor:
         backend: Optional[str] = None,
         shard_backends=None,
         profile=None,
+        route: Optional[str] = None,
+        probe_entropy_bits: Optional[float] = None,
+        probe_match_density: Optional[float] = None,
+        trace_fraction: Optional[float] = None,
+        trace_seed: Optional[int] = None,
+        router: Optional[RouterConfig] = None,
     ) -> None:
         if traced is not None:
             backend = backend_from_legacy(
@@ -310,6 +415,15 @@ class ShardedCompressor:
         self.sniff = prof.pick("sniff", sniff, True)
         self.backend = prof.pick("backend", backend, "fast")
         self.shard_backends = dict(shard_backends or {})
+        self.router = config_from_profile(
+            prof,
+            route=route,
+            probe_entropy_bits=probe_entropy_bits,
+            probe_match_density=probe_match_density,
+            trace_fraction=trace_fraction,
+            trace_seed=trace_seed,
+            router=router,
+        )
 
     @property
     def traced(self) -> bool:
@@ -341,6 +455,7 @@ class ShardedCompressor:
                     tokens_per_block=self.tokens_per_block,
                     cut_search=self.cut_search,
                     sniff=self.sniff,
+                    router=self.router,
                 )
             )
         return tasks
@@ -377,8 +492,13 @@ class ShardedCompressor:
                     output_bytes=len(result.body),
                     wall_s=result.wall_s,
                     worker=result.worker,
+                    backend=result.backend,
+                    route_reason=result.route_reason,
+                    traced_sample=result.traced_sample,
                 )
             )
+            if result.telemetry is not None:
+                stats.calibration.add(result.telemetry)
         out += close_stream(adler)
         stats.wall_s = time.perf_counter() - start
         return ParallelCompressionResult(data=bytes(out), stats=stats)
@@ -398,12 +518,20 @@ def compress_parallel(
     backend: Optional[str] = None,
     shard_backends=None,
     profile=None,
+    route: Optional[str] = None,
+    probe_entropy_bits: Optional[float] = None,
+    probe_match_density: Optional[float] = None,
+    trace_fraction: Optional[float] = None,
+    trace_seed: Optional[int] = None,
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
 
     ``backend`` selects the tokenizer for every shard and
     ``shard_backends`` overrides it per shard index (the traced-sample
-    seam); ``profile`` accepts a
+    seam); ``route="probe"`` instead decides ``auto`` per shard from a
+    statistical probe, and ``trace_fraction``/``trace_seed`` divert a
+    deterministic sample of shards through the instrumented backend
+    (see :mod:`repro.lzss.router`); ``profile`` accepts a
     :class:`repro.profile.CompressionProfile` or preset name, with
     explicit kwargs winning over profile fields.
 
@@ -426,4 +554,9 @@ def compress_parallel(
         backend=backend,
         shard_backends=shard_backends,
         profile=profile,
+        route=route,
+        probe_entropy_bits=probe_entropy_bits,
+        probe_match_density=probe_match_density,
+        trace_fraction=trace_fraction,
+        trace_seed=trace_seed,
     ).compress(data).data

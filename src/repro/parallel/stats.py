@@ -12,16 +12,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.estimator.calibration import CalibrationLog
+
 
 @dataclass(frozen=True)
 class ShardStat:
-    """One shard's compression record."""
+    """One shard's compression record.
+
+    ``backend`` is the concrete tokenizer the shard ran after routing
+    (``"stored"`` when the incompressibility bypass skipped
+    tokenization); ``route_reason`` is the router's machine-greppable
+    tag (``static``, ``probe-match-poor``, ``probe-match-rich``,
+    ``trace-sample``, ``stored-bypass``, ``vector-unavailable``);
+    ``traced_sample`` marks shards the sampling policy diverted through
+    the instrumented backend. Empty strings mean the shard predates the
+    router (or was built by hand in a test).
+    """
 
     index: int
     input_bytes: int
     output_bytes: int
     wall_s: float
     worker: int  # pid of the process that compressed it
+    backend: str = ""
+    route_reason: str = ""
+    traced_sample: bool = False
 
     @property
     def throughput_mbps(self) -> float:
@@ -39,6 +54,9 @@ class ParallelStats:
     shards: List[ShardStat] = field(default_factory=list)
     wall_s: float = 0.0
     peak_inflight: int = 0
+    #: Traced-sample telemetry (one point per sampled shard), the live
+    #: calibration feed for the estimator's cycle model.
+    calibration: CalibrationLog = field(default_factory=CalibrationLog)
 
     def add_shard(self, stat: ShardStat) -> None:
         self.shards.append(stat)
@@ -51,6 +69,20 @@ class ParallelStats:
     @property
     def shard_count(self) -> int:
         return len(self.shards)
+
+    @property
+    def backend_counts(self) -> dict:
+        """Concrete backend -> shard count (routing outcome summary)."""
+        counts: dict = {}
+        for stat in self.shards:
+            if stat.backend:
+                counts[stat.backend] = counts.get(stat.backend, 0) + 1
+        return counts
+
+    @property
+    def traced_samples(self) -> int:
+        """Shards the sampling policy diverted through ``traced``."""
+        return sum(1 for s in self.shards if s.traced_sample)
 
     @property
     def bytes_in(self) -> int:
@@ -105,11 +137,25 @@ class ParallelStats:
             f"max {self.max_shard_s:.3f} s",
             f"peak queue depth: {self.peak_inflight}",
         ]
+        counts = self.backend_counts
+        if counts:
+            summary = " ".join(
+                f"{name}={count}" for name, count in sorted(counts.items())
+            )
+            sampled = (f", {self.traced_samples} traced sample(s)"
+                       if self.traced_samples else "")
+            lines.append(f"backends        : {summary}{sampled}")
         if per_shard:
             for s in self.shards:
+                routing = ""
+                if s.backend:
+                    routing = f"  {s.backend} [{s.route_reason}]"
                 lines.append(
                     f"  shard {s.index:>4d}: {s.input_bytes:>8d} -> "
                     f"{s.output_bytes:>8d} B  {s.wall_s:.3f} s  "
                     f"{s.throughput_mbps:.2f} MB/s  pid {s.worker}"
+                    f"{routing}"
                 )
+        if len(self.calibration):
+            lines.append(self.calibration.format_table())
         return "\n".join(lines)

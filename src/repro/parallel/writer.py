@@ -24,6 +24,7 @@ from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.hw.params import HardwareParams
 from repro.lzss.backends import backend_from_legacy
+from repro.lzss.router import RouterConfig, config_from_profile
 from repro.lzss.tokens import MIN_LOOKAHEAD
 from repro.parallel import engine
 from repro.profile import as_profile
@@ -67,6 +68,12 @@ class ParallelDeflateWriter:
         sniff: Optional[bool] = None,
         backend: Optional[str] = None,
         profile=None,
+        route: Optional[str] = None,
+        probe_entropy_bits: Optional[float] = None,
+        probe_match_density: Optional[float] = None,
+        trace_fraction: Optional[float] = None,
+        trace_seed: Optional[int] = None,
+        router: Optional[RouterConfig] = None,
     ) -> None:
         if traced is not None:
             backend = backend_from_legacy(
@@ -106,6 +113,15 @@ class ParallelDeflateWriter:
         self.cut_search = prof.pick("cut_search", cut_search, True)
         self.sniff = prof.pick("sniff", sniff, True)
         self.backend = prof.pick("backend", backend, "fast")
+        self.router = config_from_profile(
+            prof,
+            route=route,
+            probe_entropy_bits=probe_entropy_bits,
+            probe_match_density=probe_match_density,
+            trace_fraction=trace_fraction,
+            trace_seed=trace_seed,
+            router=router,
+        )
         # Two in-flight shards per worker keeps the pool fed while the
         # parent stitches; the floor of 2 lets even workers=1 overlap
         # buffering with compression.
@@ -156,6 +172,7 @@ class ParallelDeflateWriter:
             tokens_per_block=self.tokens_per_block,
             cut_search=self.cut_search,
             sniff=self.sniff,
+            router=self.router,
         )
         self._next_index += 1
         self._total_in += len(shard)
@@ -182,8 +199,13 @@ class ParallelDeflateWriter:
                 output_bytes=len(result.body),
                 wall_s=result.wall_s,
                 worker=result.worker,
+                backend=result.backend,
+                route_reason=result.route_reason,
+                traced_sample=result.traced_sample,
             )
         )
+        if result.telemetry is not None:
+            self.stats.calibration.add(result.telemetry)
 
     # -- public API --------------------------------------------------
 

@@ -54,6 +54,15 @@ class CompressionProfile:
     cut_search: Optional[bool] = None
     sniff: Optional[bool] = None
     backend: Optional[str] = None
+    # Per-shard routing (repro.lzss.router): "static" resolves the
+    # backend once per stream, "probe" decides per shard; the two
+    # probe thresholds gate the vector choice; trace_fraction/seed
+    # drive the deterministic traced-sampling telemetry policy.
+    route: Optional[str] = None
+    probe_entropy_bits: Optional[float] = None
+    probe_match_density: Optional[float] = None
+    trace_fraction: Optional[float] = None
+    trace_seed: Optional[int] = None
 
     def merged(self, **overrides) -> "CompressionProfile":
         """A copy with every non-``None`` override applied."""

@@ -129,3 +129,43 @@ class TestBackendsOnCorpus:
             # Per-call override wins over the constructor default.
             assert comp.compress(data, backend="traced").trace \
                 is not None, name
+
+
+class TestRoutedDecisionsIdentical:
+    """The router may pick any backend — the tokens must not move.
+
+    Property-level version of ``tests/lzss/test_router.py``: for every
+    payload/window/policy Hypothesis draws, whatever concrete backend
+    :func:`repro.lzss.router.route_shard` decides on (probe mode, any
+    threshold the draw picks) produces the same token columns as the
+    traced oracle. This pins the routing layer itself into the
+    differential contract, not just the backends underneath it.
+    """
+
+    @given(
+        data=payloads,
+        window=window_sizes,
+        policy=policies,
+        entropy_bits=st.floats(0.0, 8.0, allow_nan=False),
+        density=st.floats(0.0, 1.0, allow_nan=False),
+        trace_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+        index=st.integers(0, 64),
+    )
+    @relaxed
+    def test_routed_backend_matches_oracle(self, data, window, policy,
+                                           entropy_bits, density,
+                                           trace_fraction, index):
+        from repro.lzss.router import RouterConfig, route_shard
+
+        config = RouterConfig(route="probe", entropy_bits=entropy_bits,
+                              match_density=density,
+                              trace_fraction=trace_fraction)
+        decision = route_shard(data, backend="auto", policy=policy,
+                               config=config, index=index)
+        assert decision.backend in ("traced", "fast", "vector")
+        routed = compress_tokens(data, window, policy=policy,
+                                 backend=decision.backend)
+        oracle = compress_tokens(data, window, policy=policy,
+                                 backend="traced")
+        assert token_columns(routed.tokens) == token_columns(oracle.tokens)
+        assert decompress_tokens(routed.tokens) == data
