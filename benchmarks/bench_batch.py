@@ -1,0 +1,256 @@
+"""Throughput of the batched small-message engine vs per-payload loops.
+
+Real high-traffic workloads are millions of *small* (0.5-16 KiB)
+similar payloads — templated JSON API responses, HTML fragments — where
+per-call setup (hash tables, Huffman planning, framing) swamps the
+actual matching work. ``repro.batch.compress_batch`` amortises that
+setup: one packed tokenization pass over all payloads and one pooled
+dynamic Huffman plan shared by every payload that prices cheaper under
+it (see docs/PERFORMANCE.md).
+
+This bench times three ways of compressing the same message corpus:
+
+* ``loop`` — the baseline a user writes today: per-payload
+  ``repro.zlib_compress(p)`` with library defaults. The CI gate
+  applies to the **4 KiB templated-JSON row** only: the batch engine
+  must deliver ``--min-speedup`` (3x by default) the payloads/sec of
+  this loop at equal-or-better total compressed size.
+* ``fast_loop`` — the same loop pinned to the fast backend and the
+  batch greedy policy, reported so the batch win is not mistaken for
+  a traced-vs-fast artefact.
+* ``batch`` — one ``compress_batch(payloads)`` call (auto routing,
+  shared plans on).
+
+CPython ``zlib.compress(p, 6)`` is reported per row as an honest
+external reference (a C library; never gated).
+
+Every batched stream is verified against CPython ``zlib.decompress``
+before any number is reported. Results go to ``benchmarks/results/``
+(rendered) and ``BENCH_batch.json`` at the repo root, consumed by the
+CI perf-smoke job via ``check_bench_trend.py``.
+
+Runs standalone (the acceptance configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py
+
+or quickly (smaller corpora, two repeats) with ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_batch.json"
+
+#: The gated configuration: 4 KiB templated-JSON messages.
+HEADLINE = ("json", 4096)
+
+#: Payload sizes from the ISSUE's small-message band.
+PAYLOAD_SIZES = (512, 2048, 4096, 16384)
+
+#: Bytes of messages per row (payload count = budget // size, floored
+#: at 16 so the smallest rows still amortise batch setup).
+FULL_BUDGET = 512 * 1024
+QUICK_BUDGET = 128 * 1024
+
+
+def _best_pps(fn: Callable[[], object], payloads: int,
+              repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return payloads / best
+
+
+def batch_corpora(budget: int) -> List[Tuple[str, int, List[bytes]]]:
+    from repro.workloads.messages import messages
+
+    corpora = []
+    for kind in ("json", "html"):
+        for size in PAYLOAD_SIZES:
+            count = max(16, budget // size)
+            corpora.append((kind, size, messages(kind, count, size)))
+    return corpora
+
+
+def measure_row(kind: str, size: int, payloads: List[bytes],
+                repeats: int) -> dict:
+    from repro.batch import compress_batch
+    from repro.deflate.zlib_container import compress as zlib_compress
+    from repro.lzss.batch import BATCH_GREEDY_POLICY
+
+    result = compress_batch(payloads)
+    for original, stream in zip(payloads, result.streams):
+        if zlib.decompress(stream) != original:
+            raise AssertionError(
+                f"batched stream does not round-trip: {kind}/{size}"
+            )
+    loop_streams = [zlib_compress(p) for p in payloads]
+    for original, stream in zip(payloads, loop_streams):
+        if zlib.decompress(stream) != original:
+            raise AssertionError(
+                f"loop stream does not round-trip: {kind}/{size}"
+            )
+
+    count = len(payloads)
+    loop_pps = _best_pps(
+        lambda: [zlib_compress(p) for p in payloads], count, repeats
+    )
+    fast_loop_pps = _best_pps(
+        lambda: [
+            zlib_compress(p, backend="fast", policy=BATCH_GREEDY_POLICY)
+            for p in payloads
+        ],
+        count, repeats,
+    )
+    batch_pps = _best_pps(
+        lambda: compress_batch(payloads), count, repeats
+    )
+    zlib_pps = _best_pps(
+        lambda: [zlib.compress(p, 6) for p in payloads], count, repeats
+    )
+
+    input_bytes = sum(len(p) for p in payloads)
+    loop_bytes = sum(len(s) for s in loop_streams)
+    zlib_bytes = sum(len(zlib.compress(p, 6)) for p in payloads)
+    return {
+        "workload": f"{kind}-{size}",
+        "payloads": count,
+        "payload_bytes": size,
+        "loop_pps": round(loop_pps, 1),
+        "fast_loop_pps": round(fast_loop_pps, 1),
+        "batch_pps": round(batch_pps, 1),
+        "zlib_pps": round(zlib_pps, 1),
+        "speedup": round(batch_pps / loop_pps, 3),
+        "input_bytes": input_bytes,
+        "output_bytes": result.stats.output_bytes,
+        "loop_bytes": loop_bytes,
+        "zlib_bytes": zlib_bytes,
+        "ratio": round(result.stats.output_bytes / input_bytes, 4),
+        "loop_ratio": round(loop_bytes / input_bytes, 4),
+        "backend": result.routing.backend,
+        "reason": result.routing.reason,
+        "choices": dict(sorted(result.stats.choice_counts.items())),
+    }
+
+
+def build_report(budget: int, repeats: int) -> dict:
+    rows = [
+        measure_row(kind, size, payloads, repeats)
+        for kind, size, payloads in batch_corpora(budget)
+    ]
+    report = {
+        "benchmark": "batch_messages",
+        "python": platform.python_version(),
+        "size_bytes": budget,
+        "repeats": repeats,
+        "rows": rows,
+    }
+    try:
+        import numpy
+        report["numpy"] = numpy.__version__
+    except ImportError:
+        report["numpy"] = None
+    return report
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"batched small-message engine vs per-payload loops "
+        f"(~{report['size_bytes'] // 1024} KiB/row)",
+        f"{'workload':>12s} {'n':>5s} {'loop':>8s} {'fast-loop':>9s} "
+        f"{'batch':>8s} {'zlib-C':>8s} {'speedup':>8s} "
+        f"{'ratio':>6s} {'loop-ratio':>10s}",
+    ]
+    for row in report["rows"]:
+        kind, size = row["workload"].rsplit("-", 1)
+        gated = "*" if (kind, int(size)) == HEADLINE else " "
+        lines.append(
+            f"{row['workload']:>12s} {row['payloads']:>5d} "
+            f"{row['loop_pps']:>7.0f}/s {row['fast_loop_pps']:>8.0f}/s "
+            f"{row['batch_pps']:>7.0f}/s {row['zlib_pps']:>7.0f}/s "
+            f"{row['speedup']:>7.2f}x{gated} "
+            f"{row['ratio']:>6.3f} {row['loop_ratio']:>10.3f}"
+        )
+    lines.append("(* = CI-gated headline row; zlib-C is CPython's C "
+                 "library, reported for scale, never gated)")
+    return "\n".join(lines)
+
+
+def check_headline(report: dict, min_speedup: float) -> None:
+    """Gate the 4 KiB templated-JSON row: speedup AND size.
+
+    The batch engine's claim is *free* throughput — same API surface,
+    strictly better output (shared plans only win when they price
+    cheaper than fixed tables), so the gate holds both.
+    """
+    kind, size = HEADLINE
+    for row in report["rows"]:
+        if row["workload"] != f"{kind}-{size}":
+            continue
+        assert row["speedup"] >= min_speedup, (
+            f"{row['workload']}: batch only {row['speedup']:.2f}x the "
+            f"per-payload loop (required >= {min_speedup:.1f}x)"
+        )
+        assert row["output_bytes"] <= row["loop_bytes"], (
+            f"{row['workload']}: batch output {row['output_bytes']} B "
+            f"exceeds the per-payload loop's {row['loop_bytes']} B"
+        )
+        return
+    raise AssertionError("headline row missing from report")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 128 KiB per row, two repeats",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail if the headline row is below this")
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help="machine-readable output path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        budget, repeats = QUICK_BUDGET, 2
+    else:
+        budget, repeats = FULL_BUDGET, args.repeats
+
+    report = build_report(budget, repeats)
+    report["min_speedup"] = args.min_speedup
+
+    from benchmarks.conftest import save_exhibit
+
+    save_exhibit("batch_messages", render(report))
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    check_headline(report, args.min_speedup)
+    print("all batched streams verified against CPython zlib; "
+          "headline speedup and size checks passed")
+    return 0
+
+
+def test_batch_messages_smoke(benchmark):
+    """pytest-benchmark entry: quick sweep, looser single-repeat bound."""
+    from benchmarks.conftest import run_once, save_exhibit
+
+    report = run_once(benchmark, lambda: build_report(QUICK_BUDGET, 1))
+    save_exhibit("batch_messages", render(report))
+    check_headline(report, 2.0)  # single-repeat smoke: looser bound
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT))
+    sys.exit(main())

@@ -4,57 +4,135 @@ When a logger compresses records *individually* (random access per
 record, no shared stream state — the seekable-container regime taken to
 its extreme), the sliding window never warms up and ratios collapse. A
 trained preset dictionary (RFC 1950 FDICT) restores most of the loss.
+
+Runs standalone (writes ``BENCH_preset_dict.json`` for the CI trend
+checker)::
+
+    PYTHONPATH=src python benchmarks/bench_preset_dict.py
+
+or as a pytest-benchmark case. The JSON row's ``speedup`` field is the
+*size* factor ``plain / primed`` — how many times smaller the trained
+dictionary makes the per-record output — so a dictionary whose value
+collapses fails ``check_bench_trend.py`` exactly like an eroded fast
+path would.
 """
 
-from benchmarks.conftest import run_once, save_exhibit
-from repro.deflate.preset_dict import compress_with_dict, train_dictionary
-from repro.deflate.zlib_container import compress
-from repro.workloads.corpus import sample
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+from typing import List, Optional
 
 RECORD = 512
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_preset_dict.json"
 
-def test_preset_dictionary_value(benchmark, sample_bytes):
-    def build():
-        rows = []
-        for name in ("x2e", "syslog", "telemetry"):
-            data = sample(name, sample_bytes)
-            half = len(data) // 2
-            train = [
-                data[i:i + RECORD] for i in range(0, half, RECORD)
-            ]
-            dictionary = train_dictionary(train, size=2048)
-            test_records = [
-                data[i:i + RECORD]
-                for i in range(half, min(half + 50 * RECORD, len(data)),
-                               RECORD)
-            ]
-            bulk = len(compress(data))
-            plain = sum(len(compress(r)) for r in test_records)
-            primed = sum(
-                len(compress_with_dict(r, dictionary))
-                for r in test_records
-            ) if dictionary else plain
-            raw = sum(len(r) for r in test_records)
-            rows.append((name, raw, plain, primed, bulk, len(data)))
-        return rows
+FULL_BYTES = 256 * 1024
+QUICK_BYTES = 64 * 1024
 
-    rows = run_once(benchmark, build)
+
+def build_report(sample_bytes: int) -> dict:
+    from repro.deflate.preset_dict import (
+        compress_with_dict,
+        train_dictionary,
+    )
+    from repro.deflate.zlib_container import compress
+    from repro.workloads.corpus import sample
+
+    rows = []
+    for name in ("x2e", "syslog", "telemetry"):
+        data = sample(name, sample_bytes)
+        half = len(data) // 2
+        train = [data[i:i + RECORD] for i in range(0, half, RECORD)]
+        dictionary = train_dictionary(train, size=2048)
+        test_records = [
+            data[i:i + RECORD]
+            for i in range(half, min(half + 50 * RECORD, len(data)),
+                           RECORD)
+        ]
+        bulk = len(compress(data))
+        plain = sum(len(compress(r)) for r in test_records)
+        primed = sum(
+            len(compress_with_dict(r, dictionary))
+            for r in test_records
+        ) if dictionary else plain
+        raw = sum(len(r) for r in test_records)
+        rows.append({
+            "workload": name,
+            "raw_bytes": raw,
+            "old_bytes": plain,
+            "output_bytes": primed,
+            "bulk_bytes": bulk,
+            "total_bytes": len(data),
+            "speedup": round(plain / primed, 3) if primed else 1.0,
+        })
+    return {
+        "benchmark": "preset_dict",
+        "python": platform.python_version(),
+        "size_bytes": sample_bytes,
+        "record_bytes": RECORD,
+        "rows": rows,
+    }
+
+
+def render(report: dict) -> str:
     lines = [
         "EXTENSION — PRESET DICTIONARIES (per-record compression, "
         f"{RECORD} B records)",
         f"{'set':<10s} {'raw':>8s} {'no dict':>8s} {'trained':>8s} "
         f"{'bulk-ratio':>10s}",
     ]
-    for name, raw, plain, primed, bulk, total in rows:
+    for row in report["rows"]:
         lines.append(
-            f"{name:<10s} {raw:>8d} {plain:>8d} {primed:>8d} "
-            f"{total / bulk:>10.2f}"
+            f"{row['workload']:<10s} {row['raw_bytes']:>8d} "
+            f"{row['old_bytes']:>8d} {row['output_bytes']:>8d} "
+            f"{row['total_bytes'] / row['bulk_bytes']:>10.2f}"
         )
-    save_exhibit("extension_preset_dict", "\n".join(lines))
+    return "\n".join(lines)
 
-    for name, raw, plain, primed, bulk, total in rows:
+
+def check(report: dict) -> None:
+    for row in report["rows"]:
         # Per-record compression without a dictionary is much worse
         # than bulk; the trained dictionary claws a chunk back.
-        assert primed <= plain, name
-        assert primed < raw, name
+        assert row["output_bytes"] <= row["old_bytes"], row["workload"]
+        assert row["output_bytes"] < row["raw_bytes"], row["workload"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: {QUICK_BYTES // 1024} KiB per corpus",
+    )
+    parser.add_argument("--json", type=pathlib.Path, default=JSON_PATH,
+                        help="machine-readable output path")
+    args = parser.parse_args(argv)
+
+    report = build_report(QUICK_BYTES if args.quick else FULL_BYTES)
+
+    from benchmarks.conftest import save_exhibit
+
+    save_exhibit("extension_preset_dict", render(report))
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    check(report)
+    print("trained dictionary beats plain per-record on every corpus")
+    return 0
+
+
+def test_preset_dictionary_value(benchmark, sample_bytes):
+    from benchmarks.conftest import run_once, save_exhibit
+
+    report = run_once(benchmark, lambda: build_report(sample_bytes))
+    save_exhibit("extension_preset_dict", render(report))
+    check(report)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT))
+    sys.exit(main())

@@ -2,7 +2,8 @@
 
 The perf-smoke CI job regenerates the machine-readable benchmark
 exhibits (``BENCH_parallel.json``, ``BENCH_tokenizer.json``,
-``BENCH_adaptive.json``, ``BENCH_matcher.json``). This checker diffs
+``BENCH_adaptive.json``, ``BENCH_matcher.json``, ``BENCH_batch.json``,
+``BENCH_preset_dict.json``). This checker diffs
 each fresh file against the
 baseline committed at ``--ref`` (default ``HEAD``, read via ``git
 show``) so a PR that quietly bloats the compressed output or erodes a
@@ -59,6 +60,8 @@ BENCH_FILES = (
     "BENCH_tokenizer.json",
     "BENCH_adaptive.json",
     "BENCH_matcher.json",
+    "BENCH_batch.json",
+    "BENCH_preset_dict.json",
 )
 
 # Row fields that identify a row (used for matching, never compared).

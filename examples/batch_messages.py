@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Batched small-message compression: the high-traffic-service regime.
+
+A service compressing millions of small, similar payloads (templated
+JSON responses, log records) pays the per-call fixed costs — hash
+tables, Huffman planning, framing — over and over for a few KiB of
+actual matching work. ``repro.compress_batch`` amortises them:
+
+1. one vectorised tokenization pass over all payloads packed together
+   (matches never cross payload boundaries);
+2. one pooled dynamic Huffman plan, priced per payload against fixed
+   and stored coding so the batch is never larger than the loop;
+3. each payload still emerges as its own independent zlib stream any
+   standard inflater accepts.
+
+Also shown: priming the batch with a trained preset dictionary
+(RFC 1950 FDICT), which pays off most on sub-KiB records where the
+window never warms up.
+"""
+
+import time
+import zlib
+
+from repro import compress_batch, zlib_compress
+from repro.deflate.preset_dict import train_dictionary
+from repro.lzss.batch import effective_dictionary
+from repro.workloads.messages import messages
+
+
+def main() -> None:
+    payloads = messages("json", 200, 2048, seed="example")
+
+    print("1) one batched pass vs the per-payload loop")
+    start = time.perf_counter()
+    loop_streams = [zlib_compress(p) for p in payloads]
+    loop_s = time.perf_counter() - start
+    start = time.perf_counter()
+    result = compress_batch(payloads)
+    batch_s = time.perf_counter() - start
+    loop_bytes = sum(len(s) for s in loop_streams)
+    batch_bytes = sum(len(s) for s in result.streams)
+    print(f"   loop : {len(payloads) / loop_s:7.0f} payloads/s, "
+          f"{loop_bytes} bytes")
+    print(f"   batch: {len(payloads) / batch_s:7.0f} payloads/s, "
+          f"{batch_bytes} bytes "
+          f"({loop_s / batch_s:.1f}x faster, "
+          f"{loop_bytes - batch_bytes} bytes smaller)")
+
+    print("2) every stream stays independently zlib-decodable")
+    for original, stream in zip(payloads, result.streams):
+        assert zlib.decompress(stream) == original
+    choices = dict(sorted(result.stats.choice_counts.items()))
+    print(f"   {len(result.streams)} streams verified; "
+          f"block choices: {choices}")
+    print(f"   routing: {result.routing.backend} "
+          f"[{result.routing.reason}]")
+
+    print("3) a trained preset dictionary squeezes small records more")
+    zdict = train_dictionary(payloads[:50], size=2048)
+    primed = compress_batch(payloads, zdict=zdict)
+    primed_bytes = sum(len(s) for s in primed.streams)
+    effective = effective_dictionary(zdict, 4096)
+    for original, stream in zip(payloads, primed.streams):
+        decoder = zlib.decompressobj(zdict=effective)
+        assert decoder.decompress(stream) + decoder.flush() == original
+    print(f"   plain batch : {batch_bytes} bytes")
+    print(f"   FDICT batch : {primed_bytes} bytes "
+          f"({100 * (batch_bytes - primed_bytes) / batch_bytes:.1f}% "
+          "smaller, all streams verified with zlib.decompressobj)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ Quickstart::
     assert zlib.decompress(stream) == b"snowy snow" * 100
 """
 
+from repro.batch import BatchResult, compress_batch
 from repro.deflate import (
     BlockStrategy,
     gzip_compress,
@@ -51,8 +52,10 @@ from repro.profile import CompressionProfile
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "BlockStrategy",
     "CompressionProfile",
+    "compress_batch",
     "HashSpec",
     "ParallelDeflateWriter",
     "compress_parallel",

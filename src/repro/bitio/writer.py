@@ -124,6 +124,15 @@ class BitWriter:
         """Return the complete bytes emitted so far (excludes partial byte)."""
         return bytes(self._out)
 
+    def pending(self) -> "tuple[int, int]":
+        """The partial byte in flight, as ``(bits, nbits)`` with nbits 0-7.
+
+        Lets a caller snapshot a bit stream mid-byte — the batch emitter
+        renders a shared table transmission once, then splices its
+        completed bytes *and* this tail into every payload's stream.
+        """
+        return self._bitbuf, self._bitcount
+
     def take_bytes(self) -> bytes:
         """Return *and remove* the completed bytes, keeping pending bits.
 

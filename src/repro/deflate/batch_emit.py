@@ -1,0 +1,545 @@
+"""Shared-plan pricing and emission for the batched message engine.
+
+A batch of N small payloads would normally pay N× the entropy-side
+setup: N histogram passes, N ``plan_dynamic_block`` calls (package-merge
+twice each), N fused-table builds. For similar payloads those N plans
+are near-identical, and for *small* payloads the per-stream table
+transmission (~50-100 bytes) often costs more than an individual
+optimal table saves. This module pools instead:
+
+* one histogram pass over **all** payloads' tokens (vectorised to a
+  pair of ``np.bincount`` calls when numpy is present, a
+  ``SymbolHistogram.merge`` fold otherwise);
+* one :func:`~repro.deflate.dynamic.plan_dynamic_block` over the pooled
+  histogram — the **shared plan** — and therefore one fused-table build
+  per batch (the :func:`~repro.deflate.fused.fused_tables_for` LRU
+  turns every payload's emission into a cache hit);
+* an exact per-payload three-way price — shared-plan dynamic vs fixed
+  vs stored, in bits, from the same histograms — so an outlier payload
+  (incompressible blob in a batch of JSON) keeps the encoding that is
+  actually smallest for *it*. The shared table is charged per stream
+  (``DynamicPlan.table_bits``): each payload is an independent ZLib
+  stream and must carry its own copy of the tables it decodes with.
+
+Every payload still becomes a self-contained, final Deflate body;
+:func:`repro.batch.compress_batch` adds the ZLib framing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bitio.writer import BitWriter
+from repro.deflate.block_writer import (
+    BlockStrategy,
+    deflate_tokens,
+    fixed_cost_from_histograms,
+    stored_block_cost_bits,
+    write_stored_block,
+)
+from repro.deflate.constants import (
+    DIST_EXTRA_BITS,
+    END_OF_BLOCK,
+    LITLEN_EXTRA_BITS,
+    MAX_DIST_SYMBOLS,
+    MAX_LITLEN_SYMBOLS,
+    _DISTANCE_LOOKUP,
+    _LENGTH_LOOKUP,
+)
+from repro.deflate.dynamic import (
+    DynamicPlan,
+    _write_table_transmission,
+    plan_dynamic_block,
+    token_histograms,
+    write_dynamic_block,
+)
+from repro.deflate.fused import FIXED_FUSED, fused_tables_for
+from repro.huffman.fixed import FIXED_DIST_LENGTHS, FIXED_LITLEN_LENGTHS
+from repro.huffman.histogram import SymbolHistogram
+from repro.lzss.tokens import TokenArray
+
+#: Per-payload encoding choices, in the order price ties are broken:
+#: stored wins only when strictly cheaper, fixed beats shared on a tie
+#: (no table to transmit, same bytes as the serial FIXED path).
+CHOICE_SHARED = "shared"
+CHOICE_FIXED = "fixed"
+CHOICE_STORED = "stored"
+
+
+def _numpy():
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - no-numpy CI job
+        return None
+    return np
+
+
+def _concat_tokens(tokens_list: Sequence[TokenArray], np):
+    """All payloads' token columns concatenated, plus per-payload counts.
+
+    The zero-copy ``np.frombuffer`` view over each ``TokenArray``'s
+    backing buffers makes this the one place the batch pays for moving
+    tokens into numpy; histograms and the stream packer both run off
+    the same concatenation.
+    """
+    count = len(tokens_list)
+    lengths = [np.frombuffer(ta.lengths, dtype=np.int32)
+               for ta in tokens_list]
+    values = [np.frombuffer(ta.values, dtype=np.int32)
+              for ta in tokens_list]
+    ntok = np.fromiter((a.size for a in lengths), dtype=np.int64,
+                       count=count)
+    if int(ntok.sum()) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, ntok
+    tlen = np.concatenate(lengths).astype(np.int64)
+    tval = np.concatenate(values).astype(np.int64)
+    return tlen, tval, ntok
+
+
+def _hist_rows(tlen, tval, ntok, np):
+    """Dense per-payload histogram matrices from concatenated tokens."""
+    count = ntok.size
+    if tlen.size == 0:
+        lit = np.zeros((count, MAX_LITLEN_SYMBOLS), dtype=np.int64)
+        lit[:, END_OF_BLOCK] = 1
+        return lit, np.zeros((count, MAX_DIST_SYMBOLS), dtype=np.int64)
+    seg = np.repeat(np.arange(count, dtype=np.int64), ntok)
+    llookup = np.frombuffer(_LENGTH_LOOKUP, dtype=np.uint8)
+    dlookup = np.frombuffer(_DISTANCE_LOOKUP, dtype=np.uint8)
+    is_match = tlen > 0
+    litsym = np.where(
+        is_match, 257 + llookup[tlen].astype(np.int64), tval
+    )
+    lit = np.bincount(
+        seg * MAX_LITLEN_SYMBOLS + litsym,
+        minlength=count * MAX_LITLEN_SYMBOLS,
+    ).reshape(count, MAX_LITLEN_SYMBOLS)
+    lit[:, END_OF_BLOCK] += 1
+
+    mseg = seg[is_match]
+    mval = tval[is_match]
+    dist = np.bincount(
+        mseg * MAX_DIST_SYMBOLS + dlookup[mval].astype(np.int64),
+        minlength=count * MAX_DIST_SYMBOLS,
+    ).reshape(count, MAX_DIST_SYMBOLS)
+    return lit, dist
+
+
+def batch_histograms_np(tokens_list: Sequence[TokenArray], np):
+    """Per-payload litlen/dist histograms as two dense count matrices.
+
+    Returns ``(lit, dist)`` with shapes ``(N, 288)`` / ``(N, 30)``; the
+    END_OF_BLOCK column already counts 1 per payload, so each row prices
+    that payload's block exactly (same contract as
+    :func:`repro.deflate.dynamic.token_histograms`).
+    """
+    tlen, tval, ntok = _concat_tokens(tokens_list, np)
+    return _hist_rows(tlen, tval, ntok, np)
+
+
+def _histogram_from_row(row, size: int) -> SymbolHistogram:
+    hist = SymbolHistogram(size)
+    hist.counts[:] = [int(c) for c in row]
+    return hist
+
+
+def plan_shared(lit_rows, dist_rows) -> DynamicPlan:
+    """One dynamic plan over the pooled (summed) batch histograms."""
+    pooled_lit = _histogram_from_row(lit_rows.sum(axis=0),
+                                     MAX_LITLEN_SYMBOLS)
+    pooled_dist = _histogram_from_row(dist_rows.sum(axis=0),
+                                      MAX_DIST_SYMBOLS)
+    return plan_dynamic_block(pooled_lit, pooled_dist)
+
+
+def price_payloads_np(lit_rows, dist_rows, raw_sizes, plan, np):
+    """Exact per-payload bit prices for shared / fixed / stored.
+
+    All three are full-block costs (3-bit header included); ``shared``
+    additionally charges the plan's table transmission per payload,
+    because every stream in the batch carries its own copy.
+    """
+    shared_lit = (
+        np.asarray(plan.litlen_lengths, dtype=np.int64)
+        + np.frombuffer(LITLEN_EXTRA_BITS, dtype=np.uint8)
+    )
+    shared_dist = (
+        np.asarray(plan.dist_lengths, dtype=np.int64)
+        + np.frombuffer(DIST_EXTRA_BITS, dtype=np.uint8)
+    )
+    fixed_lit = (
+        np.asarray(FIXED_LITLEN_LENGTHS, dtype=np.int64)
+        + np.frombuffer(LITLEN_EXTRA_BITS, dtype=np.uint8)
+    )
+    # The fixed distance table has 32 code-space entries; only the 30
+    # real symbols can occur in a histogram.
+    fixed_dist = (
+        np.asarray(FIXED_DIST_LENGTHS[:MAX_DIST_SYMBOLS], dtype=np.int64)
+        + np.frombuffer(DIST_EXTRA_BITS, dtype=np.uint8)
+    )
+    shared_bits = (
+        plan.table_bits
+        + lit_rows @ shared_lit
+        + dist_rows @ shared_dist
+    )
+    fixed_bits = 3 + lit_rows @ fixed_lit + dist_rows @ fixed_dist
+    stored_bits = np.fromiter(
+        (stored_block_cost_bits(n) for n in raw_sizes),
+        dtype=np.int64,
+        count=len(raw_sizes),
+    )
+    return shared_bits, fixed_bits, stored_bits
+
+
+def _choose(shared: int, fixed: int, stored: int) -> str:
+    token_best = fixed if fixed <= shared else shared
+    if stored < token_best:
+        return CHOICE_STORED
+    return CHOICE_FIXED if fixed <= shared else CHOICE_SHARED
+
+
+def _emit_one(tokens: TokenArray, payload: bytes, choice: str,
+              plan: Optional[DynamicPlan]) -> bytes:
+    if choice == CHOICE_STORED:
+        writer = BitWriter()
+        write_stored_block(writer, payload, final=True)
+        return writer.flush()
+    if choice == CHOICE_SHARED:
+        writer = BitWriter()
+        write_dynamic_block(writer, tokens, final=True, plan=plan)
+        return writer.flush()
+    return deflate_tokens(tokens, BlockStrategy.FIXED)
+
+
+def _table_prefix_items(plan: DynamicPlan, np):
+    """Render the shared table transmission once, as packable items.
+
+    The transmission is identical for every payload that adopts the
+    shared plan (always a final block), so it is emitted through a real
+    :class:`BitWriter` exactly once and chopped into 32-bit
+    ``(bits, nbits)`` items — completed bytes as little-endian words,
+    then the writer's pending partial byte.
+    """
+    writer = BitWriter()
+    _write_table_transmission(writer, plan, final=True)
+    body = writer.getvalue()
+    pend_bits, pend_n = writer.pending()
+    bits = []
+    nbits = []
+    whole = len(body) // 4 * 4
+    if whole:
+        for word in np.frombuffer(body[:whole], dtype="<u4").tolist():
+            bits.append(word)
+            nbits.append(32)
+    tail = body[whole:]
+    if tail:
+        bits.append(int.from_bytes(tail, "little"))
+        nbits.append(8 * len(tail))
+    if pend_n:
+        bits.append(pend_bits)
+        nbits.append(pend_n)
+    return (np.array(bits, dtype=np.uint64),
+            np.array(nbits, dtype=np.int64))
+
+
+def _emit_streams_np(tlen, tval, ntok, choices, plan, np):
+    """Pack every fixed/shared payload body in one vectorised pass.
+
+    Each payload's stream is a sequence of *items* — a ``(bits, nbits)``
+    pair per block header, table-prefix chunk, literal, match half and
+    EOB — gathered from the fused tables
+    (:data:`~repro.deflate.fused.FIXED_FUSED` and the shared plan's
+    cached set). A segmented exclusive cumsum of the item widths places
+    every item at an absolute bit offset inside a word-aligned arena
+    (64-bit word base per payload), and two OR-scatters assemble the
+    little-endian words — LSB-first uint64 words are exactly the
+    :class:`BitWriter` byte order, so slicing the arena per payload
+    reproduces the scalar writers byte for byte.
+
+    Returns ``(bodies, bits_used)``; stored payloads get ``None`` and 0
+    (the caller emits them from the raw bytes).
+    """
+    count = ntok.size
+    sel = np.fromiter((1 if c == CHOICE_SHARED else 0 for c in choices),
+                      dtype=np.int64, count=count)
+    keep = np.fromiter((c != CHOICE_STORED for c in choices),
+                       dtype=np.bool_, count=count)
+    seg = np.repeat(np.arange(count, dtype=np.int64), ntok)
+    if not keep.all():
+        tok_keep = keep[seg]
+        tlen = tlen[tok_keep]
+        tval = tval[tok_keep]
+        seg = seg[tok_keep]
+
+    shared_t = FIXED_FUSED
+    if plan is not None:
+        shared_t = fused_tables_for(plan.litlen_lengths,
+                                    plan.dist_lengths)
+
+    def _u64(arr):
+        return np.frombuffer(arr, dtype=f"u{arr.itemsize}").astype(
+            np.uint64
+        )
+
+    def _i64(arr):
+        return np.frombuffer(arr, dtype=np.uint8).astype(np.int64)
+
+    # Fixed-table row first, shared-plan row second, concatenated flat:
+    # gathers index ``sel * row_len + symbol``, which beats 2D advanced
+    # indexing by a measurable margin at token scale.
+    lit_bits = np.concatenate((_u64(FIXED_FUSED.lit_bits),
+                               _u64(shared_t.lit_bits)))
+    lit_nb = np.concatenate((_i64(FIXED_FUSED.lit_nbits),
+                             _i64(shared_t.lit_nbits)))
+    len_bits = np.concatenate((_u64(FIXED_FUSED.len_bits),
+                               _u64(shared_t.len_bits)))
+    len_nb = np.concatenate((_i64(FIXED_FUSED.len_nbits),
+                             _i64(shared_t.len_nbits)))
+    dco_bits = np.concatenate((_u64(FIXED_FUSED.dist_code_bits),
+                               _u64(shared_t.dist_code_bits)))
+    dco_nb = np.concatenate((_u64(FIXED_FUSED.dist_code_nbits),
+                             _u64(shared_t.dist_code_nbits)))
+    d_nb = np.concatenate((_i64(FIXED_FUSED.dist_nbits),
+                           _i64(shared_t.dist_nbits)))
+    nlit = lit_bits.size >> 1
+    nlen = len_bits.size >> 1
+    nd = d_nb.size >> 1
+    d_base = _u64(FIXED_FUSED.dist_base)  # spec constants, plan-free
+    dlookup = np.frombuffer(_DISTANCE_LOOKUP, dtype=np.uint8)
+
+    if plan is not None and bool(np.any(keep & (sel == 1))):
+        pb_bits, pb_nb = _table_prefix_items(plan, np)
+    else:
+        pb_bits = np.empty(0, dtype=np.uint64)
+        pb_nb = np.empty(0, dtype=np.int64)
+
+    nprefix = pb_bits.size
+    prefix_len = np.where(sel == 1, nprefix, 1) * keep
+    # One item per token: a match's length and distance halves are
+    # packed into a single (bits, nbits) pair below — at most
+    # 20 + 28 bits, comfortably inside a 64-bit item.
+    seg_items = ntok * keep
+    total_per = prefix_len + seg_items + keep.astype(np.int64)
+    base = np.cumsum(total_per) - total_per
+    total_items = int(total_per.sum())
+    if total_items == 0:
+        return [None] * count, np.zeros(count, dtype=np.int64)
+    items_bits = np.zeros(total_items, dtype=np.uint64)
+    items_nb = np.zeros(total_items, dtype=np.int64)
+    items_seg = np.repeat(np.arange(count, dtype=np.int64), total_per)
+
+    if tlen.size:
+        seg_tok_excl = np.cumsum(seg_items) - seg_items
+        posn = (base[seg] + prefix_len[seg]
+                + np.arange(tlen.size, dtype=np.int64)
+                - seg_tok_excl[seg])
+        s_tok = sel[seg]
+        is_m = tlen > 0
+        not_m = ~is_m
+        lp = posn[not_m]
+        li = s_tok[not_m] * nlit + tval[not_m]
+        items_bits[lp] = lit_bits[li]
+        items_nb[lp] = lit_nb[li]
+        mp = posn[is_m]
+        ms = s_tok[is_m]
+        mi = ms * nlen + tlen[is_m]
+        mval = tval[is_m]
+        d = dlookup[mval].astype(np.int64)
+        di = ms * nd + d
+        dist_half = dco_bits[di] | (
+            (mval.astype(np.uint64) - d_base[d]) << dco_nb[di]
+        )
+        lnb = len_nb[mi]
+        # LSB-first packing: the length half occupies the low bits, the
+        # distance half rides above it — the exact BitWriter order.
+        items_bits[mp] = len_bits[mi] | (dist_half << lnb.astype(
+            np.uint64))
+        items_nb[mp] = lnb + d_nb[di]
+
+    fix_idx = np.flatnonzero(keep & (sel == 0))
+    items_bits[base[fix_idx]] = 0b011  # BFINAL=1, BTYPE=01, LSB-first
+    items_nb[base[fix_idx]] = 3
+    sh_idx = np.flatnonzero(keep & (sel == 1))
+    if sh_idx.size and nprefix:
+        ppos = (base[sh_idx][:, None]
+                + np.arange(nprefix, dtype=np.int64)).ravel()
+        items_bits[ppos] = np.tile(pb_bits, sh_idx.size)
+        items_nb[ppos] = np.tile(pb_nb, sh_idx.size)
+    kp_idx = np.flatnonzero(keep)
+    eob_bits = np.array([FIXED_FUSED.eob_bits, shared_t.eob_bits],
+                        dtype=np.uint64)
+    eob_nb = np.array([FIXED_FUSED.eob_nbits, shared_t.eob_nbits],
+                      dtype=np.int64)
+    epos = base[kp_idx] + total_per[kp_idx] - 1
+    items_bits[epos] = eob_bits[sel[kp_idx]]
+    items_nb[epos] = eob_nb[sel[kp_idx]]
+
+    nb_cum = np.concatenate(([0], np.cumsum(items_nb)))
+    bits_used = np.diff(nb_cum[np.cumsum(total_per)], prepend=0)
+    words = (bits_used + 63) >> 6
+    word_base = np.cumsum(words) - words
+    nb_excl = nb_cum[:-1]
+    seg_bit0 = np.zeros(count, dtype=np.int64)
+    seg_bit0[kp_idx] = nb_excl[base[kp_idx]]
+    abs_bit = (word_base[items_seg] << 6) + (nb_excl
+                                             - seg_bit0[items_seg])
+    word = abs_bit >> 6
+    shift = (abs_bit & 63).astype(np.uint64)
+    low = items_bits << shift
+    # The spill into the next word; >>1 twice avoids an undefined
+    # 64-bit shift when the item sits entirely in one word (shift 0).
+    high = (items_bits >> np.uint64(1)) >> (np.uint64(63) - shift)
+    total_words = int(words.sum())
+    arena = np.zeros(total_words + 1, dtype=np.uint64)
+    # `word` is non-decreasing (offsets grow within a payload, arenas
+    # grow across payloads), so each word's items form one run:
+    # OR-reduce per run instead of an unbuffered bitwise_or.at scatter.
+    starts = np.flatnonzero(np.diff(word, prepend=-1))
+    arena[word[starts]] = np.bitwise_or.reduceat(low, starts)
+    word_hi = word + 1
+    starts_hi = np.flatnonzero(np.diff(word_hi, prepend=-1))
+    arena[word_hi[starts_hi]] |= np.bitwise_or.reduceat(high, starts_hi)
+
+    arena_bytes = arena[:total_words].astype("<u8").tobytes()
+    nbytes = (bits_used + 7) >> 3
+    bodies: List[Optional[bytes]] = [None] * count
+    for index in kp_idx.tolist():
+        start = int(word_base[index]) << 3
+        bodies[index] = arena_bytes[start:start + int(nbytes[index])]
+    return bodies, bits_used
+
+
+class BatchEmission:
+    """Per-payload Deflate bodies plus the pricing that produced them."""
+
+    __slots__ = ("bodies", "choices", "plan", "priced_bits")
+
+    def __init__(self, bodies: List[bytes], choices: List[str],
+                 plan: Optional[DynamicPlan],
+                 priced_bits: List[int]) -> None:
+        self.bodies = bodies
+        self.choices = choices
+        self.plan = plan
+        self.priced_bits = priced_bits
+
+
+def emit_batch(
+    tokens_list: Sequence[TokenArray],
+    payloads: Sequence[bytes],
+    shared_plan: bool = True,
+) -> BatchEmission:
+    """Emit every payload's final Deflate body, shared-plan priced.
+
+    ``shared_plan=False`` emits every payload as a fixed-Huffman block —
+    byte-identical to the serial ``ZLibCompressor`` FIXED path, the
+    anchor the differential suite compares against. ``shared_plan=True``
+    builds one pooled plan and picks shared/fixed/stored per payload by
+    exact bit price.
+
+    The emitted body length is asserted against the priced bit cost —
+    pricing and emission disagreeing is a bug worth failing loudly on.
+    """
+    if len(tokens_list) != len(payloads):
+        raise ValueError(
+            f"{len(tokens_list)} token streams for {len(payloads)} "
+            "payloads"
+        )
+    if not tokens_list:
+        return BatchEmission([], [], None, [])
+    if not shared_plan:
+        bodies = [deflate_tokens(ta, BlockStrategy.FIXED)
+                  for ta in tokens_list]
+        return BatchEmission(bodies, [CHOICE_FIXED] * len(bodies), None,
+                             [len(b) * 8 for b in bodies])
+
+    np = _numpy()
+    raw_sizes = [len(p) for p in payloads]
+    if np is not None:
+        tlen, tval, ntok = _concat_tokens(tokens_list, np)
+        lit_rows, dist_rows = _hist_rows(tlen, tval, ntok, np)
+        plan = plan_shared(lit_rows, dist_rows)
+        shared_bits, fixed_bits, stored_bits = price_payloads_np(
+            lit_rows, dist_rows, raw_sizes, plan, np
+        )
+        shared_bits = shared_bits.tolist()
+        fixed_bits = fixed_bits.tolist()
+        stored_bits = stored_bits.tolist()
+        choices = [
+            _choose(shared_bits[i], fixed_bits[i], stored_bits[i])
+            for i in range(len(tokens_list))
+        ]
+        bodies_np, bits_used = _emit_streams_np(
+            tlen, tval, ntok, choices, plan, np
+        )
+        bodies = []
+        priced = []
+        for i, choice in enumerate(choices):
+            bits = {
+                CHOICE_SHARED: shared_bits[i],
+                CHOICE_FIXED: fixed_bits[i],
+                CHOICE_STORED: stored_bits[i],
+            }[choice]
+            if choice == CHOICE_STORED:
+                body = _emit_one(tokens_list[i], bytes(payloads[i]),
+                                 choice, plan)
+                actual = len(body) * 8
+            else:
+                body = bodies_np[i]
+                actual = int(bits_used[i])
+            if actual != bits:
+                raise AssertionError(
+                    f"payload {i}: priced {bits} bits but emitted "
+                    f"{actual} as {choice}"
+                )
+            bodies.append(body)
+            priced.append(bits)
+        return BatchEmission(bodies, choices, plan, priced)
+
+    # Scalar fallback: same pricing arithmetic, one payload at a time.
+    hists = [token_histograms(ta) for ta in tokens_list]
+    pooled_lit = SymbolHistogram(MAX_LITLEN_SYMBOLS)
+    pooled_dist = SymbolHistogram(MAX_DIST_SYMBOLS)
+    for lit_hist, dist_hist in hists:
+        pooled_lit.merge(lit_hist)
+        pooled_dist.merge(dist_hist)
+    plan = plan_dynamic_block(pooled_lit, pooled_dist)
+    shared_bits = []
+    fixed_bits = []
+    stored_bits = []
+    for (lit_hist, dist_hist), size in zip(hists, raw_sizes):
+        bits = plan.table_bits
+        for symbol, count in enumerate(lit_hist.counts):
+            if count:
+                bits += count * (plan.litlen_lengths[symbol]
+                                 + LITLEN_EXTRA_BITS[symbol])
+        for symbol, count in enumerate(dist_hist.counts):
+            if count:
+                bits += count * (plan.dist_lengths[symbol]
+                                 + DIST_EXTRA_BITS[symbol])
+        shared_bits.append(bits)
+        fixed_bits.append(fixed_cost_from_histograms(lit_hist,
+                                                     dist_hist))
+        stored_bits.append(stored_block_cost_bits(size))
+
+    bodies: List[bytes] = []
+    choices: List[str] = []
+    priced: List[int] = []
+    for i, (tokens, payload) in enumerate(zip(tokens_list, payloads)):
+        choice = _choose(shared_bits[i], fixed_bits[i], stored_bits[i])
+        body = _emit_one(tokens, bytes(payload), choice, plan)
+        bits = {
+            CHOICE_SHARED: shared_bits[i],
+            CHOICE_FIXED: fixed_bits[i],
+            CHOICE_STORED: stored_bits[i],
+        }[choice]
+        if len(body) != (bits + 7) // 8:
+            raise AssertionError(
+                f"payload {i}: priced {bits} bits "
+                f"({(bits + 7) // 8} B) but emitted {len(body)} B "
+                f"as {choice}"
+            )
+        bodies.append(body)
+        choices.append(choice)
+        priced.append(bits)
+    return BatchEmission(bodies, choices, plan, priced)

@@ -176,6 +176,7 @@ class DynamicPlan:
         "cl_lengths",
         "has_dist",
         "cost_bits",
+        "table_bits",
     )
 
     def __init__(
@@ -188,6 +189,7 @@ class DynamicPlan:
         rle: List[Tuple[int, int]],
         cl_lengths: Tuple[int, ...],
         cost_bits: int,
+        table_bits: int = 0,
     ) -> None:
         self.litlen_lengths = litlen_lengths
         self.dist_lengths = dist_lengths
@@ -198,6 +200,7 @@ class DynamicPlan:
         self.cl_lengths = cl_lengths
         self.has_dist = any(dist_lengths)
         self.cost_bits = cost_bits
+        self.table_bits = table_bits
 
 
 def plan_dynamic_block(
@@ -244,6 +247,11 @@ def plan_dynamic_block(
     bits = 3 + 5 + 5 + 4 + 3 * hclen
     for symbol, _ in rle:
         bits += cl_lengths[symbol] + _CL_EXTRA_BITS.get(symbol, 0)
+    # The table-transmission part alone (header fields + RLE'd code
+    # lengths): what a *shared* plan costs each payload that carries it
+    # (repro.deflate.batch_emit prices table_bits once per stream, then
+    # adds that stream's symbol bits).
+    table_bits = bits
     for symbol, count in enumerate(litlen_hist.counts):
         if count:
             bits += count * (
@@ -262,6 +270,7 @@ def plan_dynamic_block(
         rle=rle,
         cl_lengths=tuple(cl_lengths),
         cost_bits=bits,
+        table_bits=table_bits,
     )
 
 

@@ -40,6 +40,21 @@ def _make_fdict_header(window_size: int, dictionary: bytes) -> bytes:
     return bytes([cmf, flg]) + adler32(dictionary).to_bytes(4, "big")
 
 
+def fdict_header(window_size: int, dictionary: bytes) -> bytes:
+    """Public FDICT framing hook (header + DICTID) for batch callers.
+
+    The batched engine (:mod:`repro.batch`) primes N payloads with one
+    shared dictionary and frames each as an independent FDICT stream;
+    it builds the 6-byte prefix once through this hook. ``dictionary``
+    must already be trimmed to the referenceable window tail
+    (:func:`repro.lzss.batch.effective_dictionary`) — the DICTID is the
+    Adler-32 of exactly the bytes the decompressor must preload.
+    """
+    if not dictionary:
+        raise ConfigError("FDICT framing requires a non-empty dictionary")
+    return _make_fdict_header(window_size, dictionary)
+
+
 def compress_with_dict(
     data: bytes,
     dictionary: bytes,

@@ -162,6 +162,31 @@ def _add_route_flags(parser: argparse.ArgumentParser,
         )
 
 
+def _add_zdict_flag(parser: argparse.ArgumentParser) -> None:
+    """--zdict: preset-dictionary file (RFC 1950 FDICT framing).
+
+    Wires :mod:`repro.deflate.preset_dict` end-to-end from the command
+    line: the file's bytes prime the compressor's window and the output
+    stream carries the DICTID, so ``zlib.decompressobj(zdict=...)`` (or
+    ``decompress --zdict``) is required — and sufficient — to decode.
+    """
+    parser.add_argument(
+        "--zdict", metavar="FILE", default=None,
+        help="preset dictionary file: primes the window and emits an "
+        "FDICT stream (decode with --zdict / zlib decompressobj(zdict=))",
+    )
+
+
+def _read_zdict(args: argparse.Namespace) -> bytes:
+    if not getattr(args, "zdict", None):
+        return b""
+    with open(args.zdict, "rb") as handle:
+        data = handle.read()
+    if not data:
+        raise SystemExit(f"--zdict {args.zdict}: dictionary file is empty")
+    return data
+
+
 def _block_strategy(args: argparse.Namespace):
     """The requested BlockStrategy, or None when --strategy was not given
     (the library default / the profile's choice applies)."""
@@ -292,6 +317,26 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     params = _build_params(args)
     strategy = _block_strategy(args) or BlockStrategy.FIXED
     backend = args.backend or "fast"
+    zdict = _read_zdict(args)
+    if zdict:
+        from repro.deflate.preset_dict import compress_with_dict
+
+        if args.strategy is not None and strategy is not BlockStrategy.FIXED:
+            raise SystemExit(
+                "--zdict currently implies --strategy fixed "
+                "(the preset-dictionary path emits fixed-Huffman blocks)"
+            )
+        stream = compress_with_dict(
+            data, zdict, window_size=params.window_size,
+            hash_spec=params.hash_spec, policy=params.policy,
+        )
+        output = args.output or args.input + ".lzz"
+        with open(output, "wb") as handle:
+            handle.write(stream)
+        ratio = len(data) / len(stream) if stream else 0.0
+        print(f"{args.input}: {len(data)} -> {len(stream)} bytes "
+              f"(ratio {ratio:.3f}, FDICT) -> {output}")
+        return 0
     if args.route == "probe":
         # The serial command compresses one buffer, so probe routing
         # degenerates to a single whole-input decision (index 0).
@@ -364,6 +409,7 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         probe_match_density=args.probe_match_density,
         trace_fraction=args.trace_fraction,
         trace_seed=args.trace_seed,
+        zdict=_read_zdict(args),
     )
     result = engine.compress(data)
     output = args.output or args.input + ".lzz"
@@ -384,7 +430,13 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
     with open(args.input, "rb") as handle:
         stream = handle.read()
-    data = zd(stream)
+    zdict = _read_zdict(args)
+    if zdict:
+        from repro.deflate.preset_dict import decompress_with_dict
+
+        data = decompress_with_dict(stream, zdict)
+    else:
+        data = zd(stream)
     output = args.output or (
         args.input[:-4] if args.input.endswith(".lzz")
         else args.input + ".out"
@@ -392,6 +444,71 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(output, "wb") as handle:
         handle.write(data)
     print(f"{args.input}: {len(stream)} -> {len(data)} bytes -> {output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    paths: List[str] = list(args.inputs)
+    if args.manifest:
+        base = os.path.dirname(os.path.abspath(args.manifest))
+        with open(args.manifest, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                paths.append(line if os.path.isabs(line)
+                             else os.path.join(base, line))
+    if not paths:
+        raise SystemExit("batch: no payloads (give FILES or --manifest)")
+    payloads = []
+    for path in paths:
+        with open(path, "rb") as handle:
+            payloads.append(handle.read())
+
+    kwargs = dict(
+        profile=args.profile,
+        zdict=_read_zdict(args),
+        window_size=args.window,
+        backend=args.backend,
+        shared_plan=args.shared_plan,
+    )
+    if args.workers is not None and args.workers != 1:
+        from repro.parallel import compress_batch_parallel
+
+        result = compress_batch_parallel(
+            payloads, workers=args.workers,
+            chunk_payloads=args.chunk_payloads, **kwargs,
+        )
+    else:
+        from repro.batch import compress_batch
+
+        result = compress_batch(payloads, **kwargs)
+
+    out_dir = args.out_dir
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    for path, stream in zip(paths, result.streams):
+        name = os.path.basename(path) + args.suffix
+        target = (os.path.join(out_dir, name) if out_dir
+                  else path + args.suffix)
+        with open(target, "wb") as handle:
+            handle.write(stream)
+
+    stats = result.stats
+    ratio = (stats.input_bytes / stats.output_bytes
+             if stats.output_bytes else 0.0)
+    choice_text = ", ".join(
+        f"{name}: {count}"
+        for name, count in sorted(stats.choice_counts.items())
+    )
+    print(f"{stats.payload_count} payloads: {stats.input_bytes} -> "
+          f"{stats.output_bytes} bytes (ratio {ratio:.3f})")
+    print(f"route: {result.routing.backend} [{result.routing.reason}]; "
+          f"block choices: {choice_text or 'none'}")
+    print(f"streams written to "
+          f"{out_dir or 'alongside inputs'} (*{args.suffix})")
     return 0
 
 
@@ -518,7 +635,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_flag(compress_parser)
     _add_block_flags(compress_parser)
     _add_route_flags(compress_parser)
+    _add_zdict_flag(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
+
+    from repro.profile import preset_names
+
+    batch_parser = sub.add_parser(
+        "batch",
+        help="compress many small files in one batched pass "
+        "(shared Huffman plans, one vectorised match sweep)",
+    )
+    batch_parser.add_argument(
+        "inputs", nargs="*", metavar="FILE",
+        help="payload files (each becomes one independent ZLib stream)",
+    )
+    batch_parser.add_argument(
+        "--manifest", metavar="FILE",
+        help="file listing payload paths, one per line (relative paths "
+        "resolve against the manifest's directory; # comments allowed)",
+    )
+    batch_parser.add_argument(
+        "--out-dir", metavar="DIR",
+        help="write streams here (default: next to each input)",
+    )
+    batch_parser.add_argument(
+        "--suffix", default=".lzz",
+        help="output filename suffix (default .lzz)",
+    )
+    batch_parser.add_argument(
+        "--profile", default=None, choices=list(preset_names()),
+        help="named CompressionProfile preset; explicit flags win",
+    )
+    batch_parser.add_argument("--window", type=int,
+                              help="dictionary window size in bytes")
+    batch_parser.add_argument(
+        "--shared-plan", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="pool per-payload histograms into one shared dynamic "
+        "Huffman plan (default on; --no-shared-plan pins every payload "
+        "to fixed tables)",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan chunks of the batch out across processes "
+        "(default: serial single pass)",
+    )
+    from repro.parallel.batch import DEFAULT_CHUNK_PAYLOADS
+
+    batch_parser.add_argument(
+        "--chunk-payloads", type=int, default=DEFAULT_CHUNK_PAYLOADS,
+        help="payloads per parallel chunk "
+        f"(default {DEFAULT_CHUNK_PAYLOADS}; each chunk builds its own "
+        "shared plan)",
+    )
+    _add_path_flags(batch_parser)
+    _add_zdict_flag(batch_parser)
+    batch_parser.set_defaults(func=_cmd_batch)
 
     pcompress_parser = sub.add_parser(
         "pcompress",
@@ -554,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_strategy_flag(pcompress_parser)
     _add_block_flags(pcompress_parser)
     _add_route_flags(pcompress_parser, sampling=True)
+    _add_zdict_flag(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     decompress_parser = sub.add_parser(
@@ -561,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decompress_parser.add_argument("input")
     decompress_parser.add_argument("-o", "--output")
+    _add_zdict_flag(decompress_parser)
     decompress_parser.set_defaults(func=_cmd_decompress)
 
     recommend_parser = sub.add_parser(

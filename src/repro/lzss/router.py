@@ -66,6 +66,15 @@ ROUTE_ENTROPY_BITS = 7.4
 #: even half-noise mixtures measure 0.2+.
 ROUTE_MATCH_DENSITY = 0.10
 
+#: Shards shorter than this skip the probe entirely and run ``fast``.
+#: The probe's fixed cost (entropy sample + trigram windows) is priced
+#: against a *large* shard's tokenization; on a sub-4 KiB payload it is
+#: a double-digit fraction of the whole job, and the vector kernel has
+#: nothing to win there anyway — its per-call setup dominates exactly
+#: like the probe does. (The batched engine in :mod:`repro.batch` is
+#: the right tool below the floor: it probes the packed batch once.)
+PROBE_MIN_BYTES = 4096
+
 #: Length of each match-density probe window.
 DENSITY_PROBE_BYTES = 2048
 
@@ -195,12 +204,17 @@ class RouterConfig:
     match_density: float = ROUTE_MATCH_DENSITY
     trace_fraction: float = 0.0
     trace_seed: int = 0
+    probe_min_bytes: int = PROBE_MIN_BYTES
 
     def __post_init__(self) -> None:
         if self.route not in ROUTE_MODES:
             raise ConfigError(
                 f"unknown route {self.route!r}: expected one of "
                 f"{', '.join(ROUTE_MODES)}"
+            )
+        if self.probe_min_bytes < 0:
+            raise ConfigError(
+                f"probe_min_bytes must be >= 0: {self.probe_min_bytes}"
             )
         if not 0.0 <= self.trace_fraction <= 1.0:
             raise ConfigError(
@@ -316,6 +330,16 @@ def route_shard(
                 reason="vector-unavailable",
                 probe=probe,
             )
+        if len(data) < config.probe_min_bytes:
+            # Probe cost dominates on small shards, and so does the
+            # vector kernel's per-call setup: route straight to fast.
+            return RoutingDecision(
+                backend="fast",
+                requested=backend,
+                route=config.route,
+                reason="below-probe-floor",
+                probe=probe,
+            )
         if probe is None:
             probe = probe_shard(data)
         else:
@@ -346,6 +370,68 @@ def route_shard(
     )
 
 
+def route_batch(
+    packed,
+    backend: str = "auto",
+    policy=None,
+    config: Optional[RouterConfig] = None,
+    probe: Optional[ShardProbe] = None,
+) -> RoutingDecision:
+    """One routing decision for a whole packed batch of small payloads.
+
+    The batched engine concatenates N payloads before tokenizing, so the
+    probe economics invert relative to :func:`route_shard`: a single
+    probe over the *packed* buffer is amortised across every payload,
+    and the vector kernel's per-call setup is paid once instead of N
+    times. Hence ``auto`` prefers ``vector`` whenever it is usable —
+    the probe only exists to catch the pathological all-incompressible
+    batch, which routes to ``"stored"`` (the caller skips tokenization
+    and stores every payload verbatim).
+
+    ``packed`` is the concatenated payload bytes (a sample is fine; the
+    probe subsamples anyway). Match density is *not* probed: its sliding
+    windows would straddle payload seams and mis-measure.
+    """
+    from repro.lzss.backends import resolve
+
+    config = config or RouterConfig()
+    if config.route == "probe":
+        if probe is None:
+            probe = probe_shard(packed, match_density=False)
+        if probe.incompressible:
+            return RoutingDecision(
+                backend="stored",
+                requested=backend,
+                route=config.route,
+                reason="batch-incompressible",
+                probe=probe,
+            )
+    if backend in ("auto", "vector"):
+        if resolve("vector", policy) == "vector":
+            return RoutingDecision(
+                backend="vector",
+                requested=backend,
+                route=config.route,
+                reason="batch-vector",
+                probe=probe,
+            )
+        if backend == "auto":
+            return RoutingDecision(
+                backend="fast",
+                requested=backend,
+                route=config.route,
+                reason="vector-unavailable",
+                probe=probe,
+            )
+    return RoutingDecision(
+        backend=resolve(backend, policy),
+        requested=backend,
+        route=config.route,
+        reason="static",
+        probe=probe,
+    )
+
+
 def config_from_profile(
     prof,
     route: Optional[str] = None,
@@ -353,6 +439,7 @@ def config_from_profile(
     probe_match_density: Optional[float] = None,
     trace_fraction: Optional[float] = None,
     trace_seed: Optional[int] = None,
+    probe_min_bytes: Optional[int] = None,
     router: Optional[RouterConfig] = None,
 ) -> RouterConfig:
     """Build the effective :class:`RouterConfig` for an entry point.
@@ -374,4 +461,7 @@ def config_from_profile(
         ),
         trace_fraction=prof.pick("trace_fraction", trace_fraction, 0.0),
         trace_seed=prof.pick("trace_seed", trace_seed, 0),
+        probe_min_bytes=prof.pick(
+            "probe_min_bytes", probe_min_bytes, PROBE_MIN_BYTES
+        ),
     )

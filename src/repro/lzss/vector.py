@@ -125,11 +125,16 @@ def compress_vector(data, window_size, hash_spec, policy) -> TokenArray:
             full_len, full_dist, quart_len, quart_dist,
         )
 
-    best_len, best_dist = _batch_matches(
-        buf, words4, prev_all, rank, n, max_dist,
-        policy.max_chain, policy.good_length, policy.nice_length,
-        cache,
-    )
+    if policy.max_chain == 1:
+        best_len, best_dist = _single_chain_matches(
+            _padded_words8(buf), prev_all, n, max_dist
+        )
+    else:
+        best_len, best_dist = _batch_matches(
+            buf, words4, prev_all, rank, n, max_dist,
+            policy.max_chain, policy.good_length, policy.nice_length,
+            cache,
+        )
     return _replay_greedy(data, n, best_len, best_dist)
 
 
@@ -153,6 +158,36 @@ def _hash_all_np(buf, spec):
     return h
 
 
+def _prev_from_keys(keys, pos_bits, want_rank=True):
+    """prev/rank tables from packed ``(bucket << pos_bits) | pos`` keys.
+
+    Sorting the packed keys groups equal buckets while preserving
+    position order (a counting-sort-stable grouping at plain
+    ``np.sort`` speed — measurably faster than a stable argsort); the
+    predecessor within each group is then a shifted view.
+
+    ``rank`` is consumed only by the sub-chain budget arithmetic, so
+    single-candidate callers pass ``want_rank=False`` to skip its
+    scatter and get ``None`` back.
+    """
+    keys.sort()
+    mask = np.uint64((1 << pos_bits) - 1)
+    shift = np.uint64(pos_bits)
+    order = (keys & mask).astype(np.int64)
+    prev_sorted = np.empty_like(order)
+    if order.size:
+        prev_sorted[0] = -1
+        same = (keys[1:] >> shift) == (keys[:-1] >> shift)
+        prev_sorted[1:] = np.where(same, order[:-1], np.int64(-1))
+    prev_all = np.empty_like(order)
+    prev_all[order] = prev_sorted
+    if not want_rank:
+        return prev_all, None
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size, dtype=np.int64)
+    return prev_all, rank
+
+
 def _prev_occurrence(hashes):
     """``prev[p]`` = nearest ``q < p`` with ``hashes[q] == hashes[p]``.
 
@@ -163,11 +198,6 @@ def _prev_occurrence(hashes):
     is unreachable within the distance limit, the same argument
     :class:`repro.lzss.hashchain.ChainTables` makes).
 
-    Sorting ``(hash << 42) | position`` packed keys groups equal hashes
-    while preserving position order (a counting-sort-stable grouping at
-    plain ``np.sort`` speed — measurably faster than a stable argsort);
-    the predecessor within each group is then a shifted view.
-
     Also returns ``rank`` — each position's index in the hash-sorted
     order. Within one bucket the rank difference between two members is
     exactly the number of chain links between them, which is what lets
@@ -177,18 +207,42 @@ def _prev_occurrence(hashes):
     keys = (hashes.astype(np.uint64) << np.uint64(42)) | np.arange(
         hashes.size, dtype=np.uint64
     )
-    keys.sort()
-    order = (keys & np.uint64((1 << 42) - 1)).astype(np.int64)
-    prev_sorted = np.empty_like(order)
-    if order.size:
-        prev_sorted[0] = -1
-        same = (keys[1:] >> np.uint64(42)) == (keys[:-1] >> np.uint64(42))
-        prev_sorted[1:] = np.where(same, order[:-1], np.int64(-1))
-    prev_all = np.empty_like(order)
-    prev_all[order] = prev_sorted
-    rank = np.empty_like(order)
-    rank[order] = np.arange(order.size, dtype=np.int64)
-    return prev_all, rank
+    return _prev_from_keys(keys, 42)
+
+
+def _prev_occurrence_batch(hashes, seg_pos, seam, table_size,
+                           want_rank=True):
+    """Segment-masked hash chains over a packed multi-payload buffer.
+
+    ``seg_pos[p]`` is the segment id owning byte ``p`` and ``seam``
+    marks positions whose 3-byte hash window crosses their segment end.
+    Chains are built per ``(segment, hash)`` bucket, so no chain ever
+    links across a payload seam; seam positions get a private bucket
+    each (chain-less, match-less — exactly the positions the scalar
+    per-payload parser never hashes).
+    """
+    count = hashes.size
+    if count == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    bucket = (
+        seg_pos[:count].astype(np.uint64) * np.uint64(table_size)
+        + hashes.astype(np.uint64)
+    )
+    sentinel_base = np.uint64((int(seg_pos[count - 1]) + 1) * table_size)
+    seam_at = np.flatnonzero(seam[:count])
+    bucket[seam_at] = sentinel_base + seam_at.astype(np.uint64)
+    pos_bits = max(1, int(count - 1).bit_length())
+    max_bucket = int(sentinel_base) + count
+    if max_bucket.bit_length() + pos_bits > 64:
+        raise OverflowError(
+            "packed batch too large for 64-bit chain keys; "
+            "chunk the batch (repro.parallel.batch)"
+        )
+    keys = (bucket << np.uint64(pos_bits)) | np.arange(
+        count, dtype=np.uint64
+    )
+    return _prev_from_keys(keys, pos_bits, want_rank=want_rank)
 
 
 def _words4(buf):
@@ -296,6 +350,118 @@ def _pair_lengths(buf, words4, cand, pos, lim, k0=0):
     return k
 
 
+def _padded_words8(buf):
+    """8-byte little-endian words over ``buf`` + an 8-byte zero tail.
+
+    Sized ``n + 1`` so a gather at ``pos + k`` stays in bounds for every
+    ``pos + k <= n``; the zero padding never leaks into results because
+    callers cap the counted extension at the data limit.
+    """
+    padded = np.zeros(buf.size + 8, dtype=np.uint8)
+    padded[:buf.size] = buf
+    b = padded.astype(np.uint32)
+    w4 = (
+        b[:-3]
+        | (b[1:-2] << np.uint32(8))
+        | (b[2:-1] << np.uint32(16))
+        | (b[3:] << np.uint32(24))
+    )
+    return w4[:-4].astype(np.uint64) | (
+        w4[4:].astype(np.uint64) << np.uint64(32)
+    )
+
+
+def _mismatch_bytes(xd):
+    """Byte offset of the first set bit in each XOR word (8 if zero).
+
+    ``bitwise_count`` (NumPy >= 2.0) counts the trailing zeros of the
+    isolated lowest bit directly — ``popcount(lowbit - 1)``; a zero word
+    wraps to all-ones and counts 64, i.e. byte 8, exactly the
+    whole-word-equal answer. Older NumPy falls back to an exact float64
+    log2 of the isolated bit (a power of two, always representable).
+    """
+    low = xd & (~xd + np.uint64(1))
+    if _BITWISE_COUNT is not None:
+        return (
+            _BITWISE_COUNT(low - np.uint64(1)).astype(np.int64) >> 3
+        )
+    tz = np.full(xd.size, 8, dtype=np.int64)
+    nz = xd != 0
+    tz[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64) >> 3
+    return tz
+
+
+_BITWISE_COUNT = getattr(np, "bitwise_count", None) if np else None
+
+
+def _pair_lengths8(w8p, cand, pos, lim, k0=0):
+    """Match length per (candidate, position) pair, 8 bytes per stride.
+
+    Same contract as :func:`_pair_lengths`, twice the stride: one XOR of
+    gathered 8-byte words either advances a pair by 8 or pinpoints its
+    first mismatching byte (:func:`_mismatch_bytes`), so short pairs
+    resolve in a single round with no byte-probe tail. State is kept
+    compact — surviving lanes are filtered, not re-gathered. Every live
+    lane scatters its provisional length each round; a lane that
+    advances is overwritten by a later round, so its settling round's
+    write is the one that sticks and no done-side compaction is needed.
+    Requires the padded word array from :func:`_padded_words8`.
+    """
+    c = cand + np.int64(k0)
+    p = pos + np.int64(k0)
+    room = lim - np.int64(k0)
+    x = w8p[c] ^ w8p[p]
+    # Round 0 covers every pair, so its scatter is a direct assignment.
+    k_out = np.int64(k0) + np.minimum(_mismatch_bytes(x), room)
+    idx = np.flatnonzero((x == 0) & (room > 8))
+    c = c[idx] + 8
+    p = p[idx] + 8
+    room = room[idx] - 8
+    k = np.int64(k0 + 8)
+    while idx.size:
+        x = w8p[c] ^ w8p[p]
+        k_out[idx] = k + np.minimum(_mismatch_bytes(x), room)
+        full = (x == 0) & (room > 8)
+        idx = idx[full]
+        c = c[full] + 8
+        p = p[full] + 8
+        k = k + np.int64(8)
+        room = room[full] - 8
+    return k_out
+
+
+def _single_chain_matches(w8p, prev_all, n, max_dist, end_all=None):
+    """Best matches when the chain budget is a single candidate.
+
+    ``max_chain == 1`` (the batch engine's default greedy policy) visits
+    only the nearest previous same-hash occurrence, so the budget /
+    good_length / nice_length machinery of :func:`_batch_matches` — and
+    its byte-probe screen — collapses to one screen-free extension per
+    position. The XOR stride kernel settles most pairs in its first
+    gather, which roughly halves the match-pass cost on small-message
+    batches.
+    """
+    count = prev_all.size
+    out_len = np.full(count, MIN_MATCH - 1, dtype=np.int64)
+    out_dist = np.zeros(count, dtype=np.int64)
+    pos = np.flatnonzero(prev_all >= 0)
+    cand = prev_all[pos]
+    near = pos - cand <= max_dist
+    pos = pos[near]
+    cand = cand[near]
+    if end_all is None:
+        lim = np.minimum(np.int64(MAX_MATCH), np.int64(n) - pos)
+    else:
+        lim = np.minimum(np.int64(MAX_MATCH), end_all[pos] - pos)
+    k = _pair_lengths8(w8p, cand, pos, lim)
+    # Sub-MIN_MATCH lengths land as-is: every consumer treats
+    # ``len < MIN_MATCH`` as "no match", so the hit filter would only
+    # buy back bytes at the price of three more compactions.
+    out_len[pos] = k
+    out_dist[pos] = pos - cand
+    return out_len, out_dist
+
+
 #: Best-length threshold for moving a lane from the bucket chain onto
 #: the first sub-chain: once best_len >= 7, an improvement needs an
 #: 8-byte common prefix, so only W8-equal candidates matter.
@@ -307,7 +473,8 @@ _MAX_WIDTH = 32
 
 
 def _batch_matches(buf, words4, prev_all, rank, n, max_dist,
-                   max_chain, good_length, nice_length, cache):
+                   max_chain, good_length, nice_length, cache,
+                   end_all=None, seg=None):
     """Best (length, distance) for *every* hashable position.
 
     Runs ZLib's ``longest_match`` for all positions at once, with the
@@ -323,6 +490,15 @@ def _batch_matches(buf, words4, prev_all, rank, n, max_dist,
     then 32) bytes, so only same-prefix chain members need visiting;
     the skipped bucket links in between are charged against the chain
     budget via rank arithmetic, keeping the outcome bit-identical.
+
+    ``end_all``/``seg`` generalise the pass to packed multi-payload
+    buffers (:mod:`repro.lzss.batch`): ``end_all[p]`` is the exclusive
+    data limit for position ``p`` (its segment's end), so no extension
+    ever reads across a payload seam, and ``seg`` (per-byte segment
+    ids) confines the content-keyed sub-chains to same-segment
+    candidates. With segment-masked chains every bucket candidate is
+    same-segment and closer than ``lim`` bytes from its own segment
+    end, so all word/byte gathers stay inside the candidate's payload.
     """
     count = prev_all.size  # positions 0 .. n - MIN_MATCH
     out_len = np.full(count, MIN_MATCH - 1, dtype=np.int64)
@@ -337,7 +513,10 @@ def _batch_matches(buf, words4, prev_all, rank, n, max_dist,
     start = (cand >= 0) & (cand >= pos - np.int64(max_dist))
     pos = pos[start]
     cand = cand[start]
-    lim = np.minimum(np.int64(MAX_MATCH), np.int64(n) - pos)
+    if end_all is None:
+        lim = np.minimum(np.int64(MAX_MATCH), np.int64(n) - pos)
+    else:
+        lim = np.minimum(np.int64(MAX_MATCH), end_all[pos] - pos)
     min_cand = pos - np.int64(max_dist)
     bl = np.full(pos.size, MIN_MATCH - 1, dtype=np.int64)
     bd = np.zeros(pos.size, dtype=np.int64)
@@ -418,13 +597,14 @@ def _batch_matches(buf, words4, prev_all, rank, n, max_dist,
                 buf, words4, w8, prev_sub, rank,
                 good_length, nice_length, out_len, out_dist,
                 state, width, None if last else 2 * width - 1,
+                seg,
             )
             width *= 2
     return out_len, out_dist
 
 
 def _sub_walk(buf, words4, w8, prev_sub, rank, good_length, nice_length,
-              out_len, out_dist, state, width, migrate_bl):
+              out_len, out_dist, state, width, migrate_bl, seg=None):
     """Walk ``width``-byte-prefix sub-chains for switched lanes.
 
     Each round visits one sub-chain member per lane. A member at bucket
@@ -437,6 +617,12 @@ def _sub_walk(buf, words4, w8, prev_sub, rank, good_length, nice_length,
     accounting window. Lanes whose best length reaches ``migrate_bl``
     are handed back for the next-wider level; the rest die in place and
     scatter their result.
+
+    ``seg`` (packed multi-payload mode) adds a segment-equality term to
+    the membership test: the content-keyed sub-chains span the whole
+    packed buffer, so a prefix-equal candidate from *another* payload
+    must be stepped over for free — mirroring "not in this segment's
+    chain at all" — or it would donate a cross-seam distance.
     """
     pos, bl, bd, lim, mc, m, ck = state
     cand = prev_sub[pos]
@@ -460,6 +646,8 @@ def _sub_walk(buf, words4, w8, prev_sub, rank, good_length, nice_length,
             if not pos.size:
                 break
         member = w8[cand] == w8[pos]
+        if seg is not None:
+            member &= seg[cand] == seg[pos]
         for off in range(8, width, 8):
             member &= w8[cand + off] == w8[pos + off]
         rc = rank[cand]
@@ -683,3 +871,167 @@ def _replay_lazy(data, n, policy, full_len, full_dist,
     tokens.lengths = out_lengths
     tokens.values = out_values
     return tokens
+
+
+# ----------------------------------------------------------------------
+# packed multi-payload batch mode (repro.lzss.batch)
+# ----------------------------------------------------------------------
+
+
+def batch_match_arrays(buf, seg_of, end_of, seam, window_size, hash_spec,
+                       policy):
+    """Per-position best matches for a packed multi-segment buffer.
+
+    One hash pass, one chain sort and one (or two, for lazy policies)
+    :func:`_batch_matches` sweep cover *every* payload in the batch —
+    the GPULZ-style amortisation the batch engine is built on. Returns
+    ``(full_len, full_dist, quart_len, quart_dist)``; the quartered
+    track is ``None`` for greedy policies or when the lazy policy never
+    consults it.
+
+    ``seg_of`` maps each byte to its segment id, ``end_of`` each byte
+    to its segment's exclusive end and ``seam`` marks positions whose
+    3-byte hash window crosses a segment end. Matches never cross
+    seams: chains are bucketed per ``(segment, hash)``, extension
+    limits stop at the segment end, and the sub-chain walk is
+    segment-guarded.
+    """
+    n = buf.size
+    hashes = _hash_all_np(buf, hash_spec)
+    single_chain = not policy.lazy and policy.max_chain == 1
+    prev_all, rank = _prev_occurrence_batch(
+        hashes, seg_of, seam, hash_spec.table_size,
+        want_rank=not single_chain,
+    )
+    max_dist = window_size - MIN_LOOKAHEAD
+    if single_chain:
+        # The batch default (BATCH_GREEDY_POLICY): one candidate per
+        # position, no budget bookkeeping worth vectorising.
+        full = _single_chain_matches(
+            _padded_words8(buf), prev_all, n, max_dist, end_all=end_of
+        )
+        return full[0], full[1], None, None
+    words4 = _words4(buf)
+    cache = {}
+    full = _batch_matches(
+        buf, words4, prev_all, rank, n, max_dist,
+        policy.max_chain, policy.good_length, policy.nice_length,
+        cache, end_all=end_of, seg=seg_of,
+    )
+    quart = (None, None)
+    if policy.lazy:
+        quart_chain = policy.max_chain >> 2
+        if quart_chain > 0 and policy.good_length < policy.max_lazy:
+            quart = _batch_matches(
+                buf, words4, prev_all, rank, n, max_dist,
+                quart_chain, policy.good_length, policy.nice_length,
+                cache, end_all=end_of, seg=seg_of,
+            )
+    return full[0], full[1], quart[0], quart[1]
+
+
+def replay_greedy_lockstep(buf, seg_starts, seg_ends, best_len, best_dist):
+    """Greedy replay of every segment at once, round-synchronised.
+
+    The scalar :func:`_replay_greedy` loop runs once per match; over a
+    batch of small payloads that is still thousands of Python
+    iterations. This version advances *all* segments together: each
+    round jumps every active segment to its next match through a
+    precomputed next-match suffix array (one gather, no per-round
+    search), records (literal-run, match) pairs as arrays, and only
+    loops as many times as the match-richest segment has matches.
+    Token materialisation is a pure array expansion at the end.
+
+    Returns ``(tok_len, tok_val, counts)``: int32 token columns in
+    segment-major order (literals have ``tok_len == 0`` and the byte in
+    ``tok_val``; matches carry length/distance) plus the per-segment
+    token counts.
+    """
+    nseg = seg_starts.size
+    ends = seg_ends.astype(np.int64)
+    limit = int(ends[-1]) if nseg else 0
+    match_at = np.flatnonzero(best_len >= MIN_MATCH)
+    # nxt[p] = smallest match position >= p, or `limit` past the last
+    # match — a reversed running minimum, so each round resolves every
+    # lane's next stop with a single gather.
+    nxt = np.full(limit + 1, limit, dtype=np.int64)
+    nxt[match_at] = match_at
+    nxt = np.minimum.accumulate(nxt[::-1])[::-1]
+    c = seg_starts.astype(np.int64)
+    e = ends
+    active = np.arange(nseg, dtype=np.int64)
+    keep = e > c
+    if not keep.all():
+        active, c, e = active[keep], c[keep], e[keep]
+    rec_seg, rec_lit_start, rec_lit_len = [], [], []
+    rec_mlen, rec_mdist = [], []
+    # Lane state (segment id / cursor / end) rides along compacted, so
+    # a round touches no full-width array: one `nxt` gather plus a
+    # handful of lane-width ops, and the compaction only happens on the
+    # (rare) rounds where some lane drains or lands exactly on its end.
+    while active.size:
+        q = nxt[c]
+        has = q < e
+        if not has.all():
+            drained = active[~has]
+            rec_seg.append(drained)
+            rec_lit_start.append(c[~has])
+            rec_lit_len.append(e[~has] - c[~has])
+            zero = np.zeros(drained.size, dtype=np.int64)
+            rec_mlen.append(zero)
+            rec_mdist.append(zero)
+            active, c, e, q = active[has], c[has], e[has], q[has]
+            if not active.size:
+                break
+        rec_seg.append(active)
+        rec_lit_start.append(c)
+        rec_lit_len.append(q - c)
+        mlen = best_len[q]
+        rec_mlen.append(mlen)
+        rec_mdist.append(best_dist[q])
+        c = q + mlen
+        keep = c < e
+        if not keep.all():
+            active, c, e = active[keep], c[keep], e[keep]
+
+    if not rec_seg:
+        return (
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            np.zeros(nseg, dtype=np.int64),
+        )
+    seg_all = np.concatenate(rec_seg)
+    lit_start = np.concatenate(rec_lit_start)
+    lit_len = np.concatenate(rec_lit_len)
+    mlen = np.concatenate(rec_mlen)
+    mdist = np.concatenate(rec_mdist)
+    # Rounds were appended in replay order, so a stable sort on the
+    # segment id alone yields each segment's records in stream order.
+    order = np.argsort(seg_all, kind="stable")
+    seg_all = seg_all[order]
+    lit_start = lit_start[order]
+    lit_len = lit_len[order]
+    mlen = mlen[order]
+    mdist = mdist[order]
+
+    has_match = (mlen > 0).astype(np.int64)
+    per_rec = lit_len + has_match
+    base = np.concatenate(([0], np.cumsum(per_rec)[:-1]))
+    total = int(per_rec.sum())
+    tok_len = np.zeros(total, dtype=np.int32)
+    tok_val = np.empty(total, dtype=np.int32)
+    lit_total = int(lit_len.sum())
+    if lit_total:
+        rep = np.repeat(np.arange(seg_all.size), lit_len)
+        excl = np.concatenate(([0], np.cumsum(lit_len)[:-1]))
+        offs = np.arange(lit_total, dtype=np.int64) - excl[rep]
+        tok_val[base[rep] + offs] = buf[lit_start[rep] + offs]
+    mrec = np.flatnonzero(has_match)
+    if mrec.size:
+        slot = base[mrec] + lit_len[mrec]
+        tok_len[slot] = mlen[mrec]
+        tok_val[slot] = mdist[mrec]
+    counts = np.bincount(
+        seg_all, weights=per_rec, minlength=nseg
+    ).astype(np.int64)
+    return tok_len, tok_val, counts

@@ -6,11 +6,17 @@ stitch the fragments with sync-flush joins and a combined Adler-32 so
 the result is one stream every standard inflater accepts.
 
 * :func:`compress_parallel` / :class:`ShardedCompressor` — one-shot API;
+* :func:`compress_batch_parallel` — chunked fan-out for very large
+  small-message batches (independent streams, not one stitched stream);
 * :class:`ParallelDeflateWriter` — streaming writer with bounded
   in-flight shards (backpressure);
 * :class:`ParallelStats` — per-shard wall time, queue depth, MB/s.
 """
 
+from repro.parallel.batch import (
+    DEFAULT_CHUNK_PAYLOADS,
+    compress_batch_parallel,
+)
 from repro.parallel.engine import (
     DEFAULT_SHARD_SIZE,
     MIN_SHARD_SIZE,
@@ -23,6 +29,7 @@ from repro.parallel.stats import ParallelStats, ShardStat
 from repro.parallel.writer import ParallelDeflateWriter
 
 __all__ = [
+    "DEFAULT_CHUNK_PAYLOADS",
     "DEFAULT_SHARD_SIZE",
     "MIN_SHARD_SIZE",
     "ParallelCompressionResult",
@@ -30,6 +37,7 @@ __all__ = [
     "ParallelStats",
     "ShardStat",
     "ShardedCompressor",
+    "compress_batch_parallel",
     "compress_parallel",
     "compress_shard_body",
 ]

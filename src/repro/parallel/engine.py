@@ -369,6 +369,7 @@ class ShardedCompressor:
         trace_fraction: Optional[float] = None,
         trace_seed: Optional[int] = None,
         router: Optional[RouterConfig] = None,
+        zdict: bytes = b"",
     ) -> None:
         if traced is not None:
             backend = backend_from_legacy(
@@ -415,6 +416,20 @@ class ShardedCompressor:
         self.sniff = prof.pick("sniff", sniff, True)
         self.backend = prof.pick("backend", backend, "fast")
         self.shard_backends = dict(shard_backends or {})
+        # A preset dictionary primes shard 0's matcher and switches the
+        # stitched stream to FDICT framing; decode with
+        # zlib.decompressobj(zdict=<the trimmed dictionary>). Later
+        # shards are primed by carry_window (or stay cold) — only the
+        # stream head lacks history the dictionary can supply.
+        self.zdict = bytes(zdict)
+        if self.zdict:
+            from repro.lzss.batch import effective_dictionary
+
+            self._dictionary = effective_dictionary(
+                self.zdict, self.window_size
+            )
+        else:
+            self._dictionary = b""
         self.router = config_from_profile(
             prof,
             route=route,
@@ -442,6 +457,8 @@ class ShardedCompressor:
             history = b""
             if self.carry_window and start:
                 history = data[max(0, start - keep):start]
+            elif index == 0 and self._dictionary:
+                history = self._dictionary
             tasks.append(
                 ShardTask(
                     index=index,
@@ -479,7 +496,13 @@ class ShardedCompressor:
                 max_workers=self.workers, mp_context=pool_context()
             ) as pool:
                 results = list(pool.map(_compress_shard, tasks))
-        out = bytearray(make_header(self.window_size))
+        if self._dictionary:
+            from repro.deflate.preset_dict import fdict_header
+
+            out = bytearray(fdict_header(self.window_size,
+                                         self._dictionary))
+        else:
+            out = bytearray(make_header(self.window_size))
         adler = 1
         for result in results:
             out += result.body
@@ -523,6 +546,7 @@ def compress_parallel(
     probe_match_density: Optional[float] = None,
     trace_fraction: Optional[float] = None,
     trace_seed: Optional[int] = None,
+    zdict: bytes = b"",
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
 
@@ -559,4 +583,5 @@ def compress_parallel(
         probe_match_density=probe_match_density,
         trace_fraction=trace_fraction,
         trace_seed=trace_seed,
+        zdict=zdict,
     ).compress(data).data

@@ -63,6 +63,11 @@ class CompressionProfile:
     probe_match_density: Optional[float] = None
     trace_fraction: Optional[float] = None
     trace_seed: Optional[int] = None
+    # Shards shorter than probe_min_bytes skip the probe (fast path);
+    # batch_shared_plan toggles the pooled dynamic Huffman plan in
+    # repro.batch.compress_batch (False pins every payload to FIXED).
+    probe_min_bytes: Optional[int] = None
+    batch_shared_plan: Optional[bool] = None
 
     def merged(self, **overrides) -> "CompressionProfile":
         """A copy with every non-``None`` override applied."""

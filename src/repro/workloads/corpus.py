@@ -28,6 +28,8 @@ WORKLOADS: Dict[str, Callable[[int], bytes]] = {
     "mixed": lambda n: synthetic.mixed(n, seed=7),
     "syslog": lambda n: _logs().syslog_text(n, seed=2012),
     "telemetry": lambda n: _logs().json_telemetry(n, seed=2012),
+    "json-msg": lambda n: _messages().packed_messages("json", n, seed=2012),
+    "html-msg": lambda n: _messages().packed_messages("html", n, seed=2012),
 }
 
 
@@ -35,6 +37,12 @@ def _logs():
     from repro.workloads import logs
 
     return logs
+
+
+def _messages():
+    from repro.workloads import messages
+
+    return messages
 
 _cache: Dict[Tuple[str, int], bytes] = {}
 

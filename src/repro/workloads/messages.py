@@ -1,0 +1,131 @@
+"""Templated small-message corpora for the batched engine.
+
+The batched small-message engine targets workloads the big-buffer
+corpora in this package do not model: *many independent* payloads of a
+few hundred bytes to a few KiB, all generated from the same template —
+JSON API responses and HTML fragments. Every message shares field
+names, tag structure and punctuation with its siblings but carries its
+own identifiers and values, which is exactly the regime where a pooled
+Huffman plan (and optionally a shared preset dictionary) wins over
+per-message fixed tables.
+
+Generators return a *list of messages* (the unit the batch API
+consumes); :func:`packed_messages` joins them for the byte-oriented
+:mod:`repro.workloads.corpus` registry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ConfigError
+
+_USERS = ["amara", "bjorn", "chen", "dara", "elif", "farid", "gita",
+          "hana", "ivan", "jun"]
+_EVENTS = ["login", "logout", "purchase", "view", "click", "search",
+           "update", "delete", "share", "export"]
+_WORDS = ["sensor", "window", "stream", "packet", "buffer", "match",
+          "token", "block", "shard", "cycle", "queue", "frame"]
+
+
+def _json_record(rng: random.Random) -> bytes:
+    """One templated JSON record (~90-220 bytes)."""
+    items = ",".join(str(rng.randrange(1000))
+                     for _ in range(rng.randrange(2, 12)))
+    tags = ",".join('"%s"' % rng.choice(_WORDS)
+                    for _ in range(rng.randrange(1, 4)))
+    return (
+        '{"user":"%s%04d","event":"%s","ts":%d,"session":"%08x",'
+        '"items":[%s],"tags":[%s],"ok":%s}'
+        % (
+            rng.choice(_USERS), rng.randrange(10000),
+            rng.choice(_EVENTS), 1700000000 + rng.randrange(10**7),
+            rng.getrandbits(32), items, tags,
+            "true" if rng.random() < 0.8 else "false",
+        )
+    ).encode("ascii")
+
+
+def _html_record(rng: random.Random) -> bytes:
+    """One templated HTML fragment (~150-300 bytes)."""
+    ident = rng.randrange(100000)
+    title = " ".join(rng.choice(_WORDS)
+                     for _ in range(rng.randrange(2, 5)))
+    body = " ".join(rng.choice(_WORDS)
+                    for _ in range(rng.randrange(8, 24)))
+    return (
+        '<div class="card" id="c%d" data-rank="%d">'
+        '<h2 class="title">%s</h2><p class="body">%s</p>'
+        '<a class="more" href="/item/%d">read more</a></div>'
+        % (ident, rng.randrange(100), title, body, ident)
+    ).encode("ascii")
+
+
+_RECORD_MAKERS = {"json": _json_record, "html": _html_record}
+_SEPARATORS = {"json": b",", "html": b"\n"}
+
+#: The message template kinds, for CLI choices and registry names.
+MESSAGE_KINDS = tuple(sorted(_RECORD_MAKERS))
+
+
+def _one_message(kind: str, size: int, rng: random.Random) -> bytes:
+    make = _RECORD_MAKERS[kind]
+    sep = _SEPARATORS[kind]
+    parts: List[bytes] = []
+    total = 0
+    while total < size:
+        record = make(rng)
+        parts.append(record)
+        total += len(record) + len(sep)
+    return sep.join(parts)[:size]
+
+
+def messages(kind: str, count: int, size: int,
+             seed: int = 2012) -> List[bytes]:
+    """``count`` independent templated messages of ``size`` bytes each.
+
+    Deterministic in ``seed``; every message is built from fresh random
+    values over the shared template, so cross-message redundancy lives
+    in the structure (field names, tags) — the shape the shared-plan
+    and preset-dictionary machinery exploits.
+    """
+    if kind not in _RECORD_MAKERS:
+        raise ConfigError(
+            f"unknown message kind {kind!r}: expected one of "
+            f"{', '.join(MESSAGE_KINDS)}"
+        )
+    if count < 0 or size < 0:
+        raise ConfigError(
+            f"count and size must be non-negative: {count}, {size}"
+        )
+    # String seeds hash via SHA-512 inside Random, so this derivation is
+    # stable across processes (tuple hashing would not be: str hashes
+    # are salted per interpreter).
+    rng = random.Random(f"{seed}:{kind}:{count}:{size}")
+    return [_one_message(kind, size, rng) for _ in range(count)]
+
+
+def json_messages(count: int, size: int, seed: int = 2012) -> List[bytes]:
+    """Templated JSON API-response messages."""
+    return messages("json", count, size, seed=seed)
+
+
+def html_messages(count: int, size: int, seed: int = 2012) -> List[bytes]:
+    """Templated HTML fragment messages."""
+    return messages("html", count, size, seed=seed)
+
+
+def packed_messages(kind: str, size_bytes: int, *, message_size: int = 2048,
+                    seed: int = 2012) -> bytes:
+    """``size_bytes`` of newline-joined messages (corpus registry shim).
+
+    The byte-oriented workload registry wants one buffer; the batch
+    benchmarks want the list form — both views come from the same
+    deterministic generator so results are comparable.
+    """
+    if message_size <= 0:
+        raise ConfigError(f"message_size must be positive: {message_size}")
+    count = max(1, -(-size_bytes // (message_size + 1)))
+    joined = b"\n".join(messages(kind, count, message_size, seed=seed))
+    return joined[:size_bytes]

@@ -1,0 +1,108 @@
+"""Shared-plan batch emission: pricing, parity, packer correctness.
+
+``emit_batch`` prices every payload under the pooled shared plan, fixed
+tables and stored blocks, then emits the cheapest — with the non-stored
+bodies produced by a vectorised bit packer that must be byte-identical
+to the scalar BitWriter paths it replaces. The numpy and scalar
+implementations must also agree with each other, which is what lets the
+no-numpy CI run the same suite.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.deflate import batch_emit
+from repro.deflate.batch_emit import (
+    CHOICE_FIXED,
+    CHOICE_SHARED,
+    CHOICE_STORED,
+    emit_batch,
+)
+from repro.deflate.block_writer import BlockStrategy, deflate_tokens
+from repro.lzss.batch import BATCH_GREEDY_POLICY, tokenize_batch
+
+
+def _messages(count=12, size=900):
+    from repro.workloads.messages import json_messages
+
+    return json_messages(count, size, seed=5)
+
+
+def _inflate_raw(body: bytes) -> bytes:
+    return zlib.decompressobj(-15).decompress(body)
+
+
+class TestPricing:
+    def test_mixed_corpus_choices(self):
+        rng = random.Random(9)
+        payloads = _messages() + [
+            b"",                                     # header-only: fixed
+            b"q",                                    # tiny: fixed
+            bytes(rng.randrange(256) for _ in range(2000)),  # noise: stored
+        ]
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        emission = emit_batch(tokens, payloads)
+        assert emission.choices[-1] == CHOICE_STORED
+        assert emission.choices[-2] == CHOICE_FIXED
+        assert emission.choices[-3] == CHOICE_FIXED
+        # The templated messages share structure: the pooled plan wins.
+        assert all(c == CHOICE_SHARED for c in emission.choices[:12])
+        assert emission.plan is not None
+
+    def test_every_choice_decodes(self):
+        rng = random.Random(3)
+        payloads = _messages(6) + [
+            bytes(rng.randrange(256) for _ in range(1500)), b"", b"ab"
+        ]
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        emission = emit_batch(tokens, payloads)
+        for payload, body in zip(payloads, emission.bodies):
+            assert _inflate_raw(body) == payload
+
+    def test_priced_bits_match_emitted_length(self):
+        payloads = _messages(8)
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        emission = emit_batch(tokens, payloads)
+        for bits, body, choice in zip(emission.priced_bits,
+                                      emission.bodies, emission.choices):
+            assert len(body) == (bits + 7) // 8, choice
+
+    def test_shared_plan_beats_fixed_on_templated_corpus(self):
+        payloads = _messages(16)
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        shared = emit_batch(tokens, payloads, shared_plan=True)
+        fixed = emit_batch(tokens, payloads, shared_plan=False)
+        assert (sum(len(b) for b in shared.bodies)
+                < sum(len(b) for b in fixed.bodies))
+
+
+class TestParity:
+    def test_shared_plan_off_is_serial_fixed_path(self):
+        payloads = _messages(6) + [b"", b"z", b"abc" * 50]
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        emission = emit_batch(tokens, payloads, shared_plan=False)
+        assert emission.plan is None
+        for toks, body in zip(tokens, emission.bodies):
+            assert body == deflate_tokens(toks, BlockStrategy.FIXED)
+
+    def test_scalar_fallback_matches_numpy(self, monkeypatch):
+        if batch_emit._numpy() is None:
+            pytest.skip("numpy missing: scalar path is the only path")
+        rng = random.Random(7)
+        payloads = _messages(8) + [
+            b"", b"y", bytes(rng.randrange(256) for _ in range(1200))
+        ]
+        tokens = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY)
+        vectorised = emit_batch(tokens, payloads)
+        monkeypatch.setattr(batch_emit, "_numpy", lambda: None)
+        scalar = emit_batch(tokens, payloads)
+        assert scalar.choices == vectorised.choices
+        assert scalar.bodies == vectorised.bodies
+        assert scalar.priced_bits == vectorised.priced_bits
+
+    def test_empty_batch(self):
+        emission = emit_batch([], [])
+        assert emission.bodies == []
+        assert emission.choices == []

@@ -1,0 +1,119 @@
+"""Packed batch tokenization: scalar parity, seam safety, dict trim.
+
+The packing contract (:mod:`repro.lzss.batch`) promises that batching
+moves only wall-clock: every payload's token stream is identical to
+what the scalar per-payload tokenizer produces, no match crosses a
+payload seam, and a preset dictionary primes each payload exactly like
+``compress_with_dict`` does. These tests hold that line for greedy
+insert-all policies (the true packed kernel), lazy policies (packed
+matches + per-segment replay) and partial-insert policies (the scalar
+fallback) alike — with or without numpy.
+"""
+
+import random
+
+import pytest
+
+from repro.lzss.batch import (
+    BATCH_GREEDY_POLICY,
+    effective_dictionary,
+    tokenize_batch,
+    tokenize_scalar,
+)
+from repro.lzss.decompressor import decompress_tokens
+from repro.lzss.hashchain import HashSpec
+from repro.lzss.policy import HW_MAX_POLICY, ZLIB_LEVELS
+from repro.lzss.tokens import MIN_MATCH
+
+
+def _corpus():
+    rng = random.Random(11)
+    text = (b"the batch engine packs many small payloads into one "
+            b"buffer and matches them in a single pass ") * 6
+    return [
+        b"",
+        b"x",
+        b"ab",
+        b"abc" * 2,
+        text,
+        text[:301],
+        bytes(rng.randrange(256) for _ in range(512)),
+        b"a" * 700,
+        b'{"user":"u1","items":[1,2,3]}' * 20,
+        text,  # repeated payload: identical segments must not share
+    ]
+
+
+POLICIES = [
+    BATCH_GREEDY_POLICY,
+    HW_MAX_POLICY,
+    ZLIB_LEVELS[6],   # lazy: packed matches, per-segment replay
+    ZLIB_LEVELS[1],   # partial-insert greedy: scalar fallback
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("window_size", [1024, 4096])
+def test_batch_matches_scalar_per_payload(policy, window_size):
+    payloads = _corpus()
+    batched = tokenize_batch(payloads, window_size=window_size,
+                             policy=policy)
+    assert len(batched) == len(payloads)
+    for payload, tokens in zip(payloads, batched):
+        oracle = tokenize_scalar(payload, b"", window_size, HashSpec(),
+                                 policy, backend="fast")
+        assert list(tokens.lengths) == list(oracle.lengths)
+        assert list(tokens.values) == list(oracle.values)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_every_payload_decodes_independently(policy):
+    """No token may reference bytes before its own payload's start."""
+    # Identical neighbours maximise the temptation to match across the
+    # seam; decompress_tokens has no access to neighbouring payloads,
+    # so a cross-seam distance could not reproduce the bytes.
+    block = b"abcdefgh" * 64
+    payloads = [block, block, block[:100], block]
+    for payload, tokens in zip(
+        payloads, tokenize_batch(payloads, policy=policy)
+    ):
+        assert decompress_tokens(tokens) == payload
+
+
+def test_dictionary_parity_with_scalar_trim():
+    zdict = b'{"user":"u1","items":[]}' * 8
+    payloads = [b'{"user":"u7","items":[4,5]}' * 12, b"", zdict[:40]]
+    dictionary = effective_dictionary(zdict, 4096)
+    batched = tokenize_batch(payloads, policy=BATCH_GREEDY_POLICY,
+                             dictionary=dictionary)
+    for payload, tokens in zip(payloads, batched):
+        oracle = tokenize_scalar(payload, dictionary, 4096, HashSpec(),
+                                 BATCH_GREEDY_POLICY, backend="fast")
+        assert list(tokens.lengths) == list(oracle.lengths)
+        assert list(tokens.values) == list(oracle.values)
+
+
+def test_dictionary_lets_first_bytes_match():
+    """A primed payload may match into the dictionary immediately."""
+    # All-unique dictionary bytes: no dictionary self-match can straddle
+    # the boundary (straddlers are re-emitted as literals by the trim
+    # rule), so the payload's match into the dictionary survives.
+    zdict = bytes(range(32, 96))
+    payloads = [zdict[:32]]
+    (tokens,) = tokenize_batch(payloads, dictionary=zdict)
+    # The whole payload should be covered by matches into the dict,
+    # i.e. far fewer tokens than a literal-per-byte cold start.
+    assert len(tokens.lengths) < len(payloads[0])
+    assert any(length >= MIN_MATCH for length in tokens.lengths)
+
+
+def test_effective_dictionary_trims_to_window_tail():
+    zdict = bytes(range(256)) * 32  # 8192 bytes
+    trimmed = effective_dictionary(zdict, 4096)
+    assert len(trimmed) == 4096 - 262
+    assert trimmed == zdict[-(4096 - 262):]
+    assert effective_dictionary(b"abc", 4096) == b"abc"
+
+
+def test_empty_batch():
+    assert tokenize_batch([]) == []

@@ -1,0 +1,125 @@
+"""The probe size floor and the batch routing decision.
+
+Small shards must not pay for a probe whose cost rivals their whole
+compression job: below ``probe_min_bytes`` the probe branch routes
+straight to ``fast``. The batch router inverts the economics — one
+probe amortised over N payloads — so it prefers the vector kernel
+outright and probes only for the all-incompressible stored bypass.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lzss.backends import resolve
+from repro.lzss.policy import HW_MAX_POLICY
+from repro.lzss.router import (
+    PROBE_MIN_BYTES,
+    RouterConfig,
+    config_from_profile,
+    route_batch,
+    route_shard,
+)
+from repro.profile import CompressionProfile
+
+vector_available = resolve("vector", HW_MAX_POLICY) == "vector"
+needs_vector = pytest.mark.skipif(
+    not vector_available, reason="vector backend unavailable (no numpy)"
+)
+
+TEXT = (b"probe floor regression text, wordy enough to be worth "
+        b"compressing either way ") * 200
+
+
+class TestProbeFloor:
+    @needs_vector
+    def test_below_floor_routes_fast_without_probing(self):
+        config = RouterConfig(route="probe")
+        decision = route_shard(TEXT[:PROBE_MIN_BYTES - 1],
+                               backend="auto", policy=HW_MAX_POLICY,
+                               config=config)
+        assert decision.backend == "fast"
+        assert decision.reason == "below-probe-floor"
+        assert decision.probe is None  # the probe never ran
+
+    @needs_vector
+    def test_at_floor_probes_normally(self):
+        config = RouterConfig(route="probe")
+        decision = route_shard(TEXT[:PROBE_MIN_BYTES], backend="auto",
+                               policy=HW_MAX_POLICY, config=config)
+        assert decision.reason in ("probe-match-poor",
+                                   "probe-match-rich")
+        assert decision.probe is not None
+
+    @needs_vector
+    def test_zero_floor_probes_tiny_shards(self):
+        config = RouterConfig(route="probe", probe_min_bytes=0)
+        decision = route_shard(TEXT[:64], backend="auto",
+                               policy=HW_MAX_POLICY, config=config)
+        assert decision.reason != "below-probe-floor"
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(probe_min_bytes=-1)
+
+    def test_default_floor_value(self):
+        assert RouterConfig().probe_min_bytes == PROBE_MIN_BYTES == 4096
+
+    def test_floor_flows_from_profile(self):
+        prof = CompressionProfile(probe_min_bytes=1 << 16)
+        assert config_from_profile(prof).probe_min_bytes == 1 << 16
+        # Explicit kwarg wins over the profile field.
+        assert config_from_profile(
+            prof, probe_min_bytes=128
+        ).probe_min_bytes == 128
+
+    def test_floor_does_not_apply_in_static_mode(self):
+        decision = route_shard(TEXT[:100], backend="fast",
+                               config=RouterConfig())
+        assert decision.reason == "static"
+
+
+class TestRouteBatch:
+    @needs_vector
+    def test_static_batch_prefers_vector(self):
+        decision = route_batch(TEXT, backend="auto",
+                               policy=HW_MAX_POLICY)
+        assert decision.backend == "vector"
+        assert decision.reason == "batch-vector"
+        assert decision.probe is None  # static mode never probes
+
+    @needs_vector
+    def test_probe_mode_stores_incompressible_batches(self):
+        rng = random.Random(6)
+        noise = bytes(rng.randrange(256) for _ in range(8192))
+        decision = route_batch(noise, backend="auto",
+                               policy=HW_MAX_POLICY,
+                               config=RouterConfig(route="probe"))
+        assert decision.backend == "stored"
+        assert decision.reason == "batch-incompressible"
+        assert decision.probe is not None
+
+    @needs_vector
+    def test_probe_mode_keeps_compressible_batches(self):
+        decision = route_batch(TEXT, backend="auto",
+                               policy=HW_MAX_POLICY,
+                               config=RouterConfig(route="probe"))
+        assert decision.backend == "vector"
+
+    def test_explicit_backend_resolves_statically(self):
+        decision = route_batch(TEXT, backend="fast",
+                               policy=HW_MAX_POLICY)
+        assert decision.backend == "fast"
+        assert decision.reason == "static"
+
+    def test_auto_degrades_without_vector(self, monkeypatch):
+        from repro.lzss import router as router_mod
+
+        monkeypatch.setattr(
+            "repro.lzss.backends._numpy_usable", lambda: False
+        )
+        decision = router_mod.route_batch(TEXT, backend="auto",
+                                          policy=HW_MAX_POLICY)
+        assert decision.backend == "fast"
+        assert decision.reason == "vector-unavailable"

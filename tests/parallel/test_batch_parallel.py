@@ -1,0 +1,70 @@
+"""Chunked batch fan-out: determinism, merging, validation."""
+
+import zlib
+
+import pytest
+
+from repro.batch import compress_batch
+from repro.errors import ConfigError
+from repro.parallel import compress_batch_parallel
+from repro.workloads.messages import json_messages
+
+
+def _chunked_serial(payloads, chunk):
+    streams = []
+    for start in range(0, len(payloads), chunk):
+        streams.extend(compress_batch(payloads[start:start + chunk])
+                       .streams)
+    return streams
+
+
+class TestBatchParallel:
+    def test_matches_chunked_serial_and_decodes(self):
+        payloads = json_messages(30, 600)
+        result = compress_batch_parallel(payloads, workers=2,
+                                         chunk_payloads=8)
+        assert result.streams == _chunked_serial(payloads, 8)
+        for original, stream in zip(payloads, result.streams):
+            assert zlib.decompress(stream) == original
+
+    def test_single_worker_short_circuits(self):
+        payloads = json_messages(10, 400)
+        serial = compress_batch_parallel(payloads, workers=1,
+                                         chunk_payloads=4)
+        assert serial.streams == _chunked_serial(payloads, 4)
+
+    def test_stats_merge_across_chunks(self):
+        payloads = json_messages(12, 500) + [b"", b"x"]
+        result = compress_batch_parallel(payloads, workers=1,
+                                         chunk_payloads=5)
+        assert result.stats.payload_count == len(payloads)
+        assert result.stats.input_bytes == sum(len(p) for p in payloads)
+        assert result.stats.output_bytes == sum(
+            len(s) for s in result.streams
+        )
+        assert sum(result.stats.choice_counts.values()) == len(payloads)
+        assert len(result.choices) == len(payloads)
+        assert result.plan is None  # plans are per chunk
+
+    def test_empty_batch(self):
+        result = compress_batch_parallel([], workers=2)
+        assert result.streams == []
+
+    def test_zdict_forwarded_to_chunks(self):
+        from repro.lzss.batch import effective_dictionary
+
+        payloads = json_messages(6, 500)
+        zdict = payloads[0]
+        result = compress_batch_parallel(payloads, workers=1,
+                                         chunk_payloads=3, zdict=zdict)
+        effective = effective_dictionary(zdict, 4096)
+        for original, stream in zip(payloads, result.streams):
+            decoder = zlib.decompressobj(zdict=effective)
+            assert decoder.decompress(stream) + decoder.flush() \
+                == original
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compress_batch_parallel([b"x"], chunk_payloads=0)
+        with pytest.raises(ConfigError):
+            compress_batch_parallel([b"x"], workers=0)

@@ -1,0 +1,61 @@
+"""The templated small-message corpora (JSON / HTML)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.corpus import sample
+from repro.workloads.messages import (
+    MESSAGE_KINDS,
+    html_messages,
+    json_messages,
+    messages,
+    packed_messages,
+)
+
+
+class TestMessages:
+    def test_count_and_size(self):
+        msgs = json_messages(17, 768)
+        assert len(msgs) == 17
+        assert all(len(m) == 768 for m in msgs)
+
+    def test_deterministic_in_seed(self):
+        assert json_messages(5, 512) == json_messages(5, 512)
+        assert html_messages(5, 512, seed=1) != html_messages(
+            5, 512, seed=2
+        )
+
+    def test_messages_are_independent(self):
+        msgs = json_messages(8, 1024)
+        assert len(set(msgs)) == 8
+
+    def test_templated_structure(self):
+        assert json_messages(1, 400)[0].startswith(b'{"user":"')
+        assert html_messages(1, 400)[0].startswith(b'<div class="card"')
+
+    def test_kinds(self):
+        assert set(MESSAGE_KINDS) == {"json", "html"}
+        with pytest.raises(ConfigError):
+            messages("xml", 1, 100)
+        with pytest.raises(ConfigError):
+            messages("json", -1, 100)
+
+    def test_zero_edge_cases(self):
+        assert messages("json", 0, 100) == []
+        assert messages("json", 2, 0) == [b"", b""]
+
+
+class TestPackedAndRegistry:
+    def test_packed_length_and_determinism(self):
+        packed = packed_messages("json", 10000)
+        assert len(packed) == 10000
+        assert packed == packed_messages("json", 10000)
+
+    def test_registry_names(self):
+        for name in ("json-msg", "html-msg"):
+            data = sample(name, 8192)
+            assert len(data) == 8192
+
+    def test_packed_validates_message_size(self):
+        with pytest.raises(ConfigError):
+            packed_messages("json", 1000, message_size=0)
