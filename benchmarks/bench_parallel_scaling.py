@@ -45,13 +45,19 @@ def measure_scaling(
     size_bytes: int,
     worker_counts: List[int],
     shard_size: int,
-    repeats: int = 1,
+    repeats: int = 2,
 ) -> List[Tuple[int, float, int]]:
     """Compress a wiki sample at each worker count.
 
     Returns ``(workers, best_mbps, compressed_size)`` rows; every output
     is required to round-trip through zlib and to be bit-identical to
     the serial output (sharding is deterministic).
+
+    ``repeats`` defaults to 2 so the *warm* pool is what gets measured:
+    the first repeat at each worker count pays the one-time worker fork
+    (the persistent pool keeps it for every later repeat and count), and
+    best-of-N reports the steady-state throughput a long-lived caller
+    actually sees.
     """
     from repro.parallel import ShardedCompressor
     from repro.workloads.wiki import wiki_text
@@ -95,16 +101,27 @@ def render(rows: List[Tuple[int, float, int]], size_bytes: int) -> str:
 
 
 def check_scaling(rows: List[Tuple[int, float, int]]) -> None:
-    """Require parallel speedup where the hardware can deliver it."""
+    """Require parallel speedup where the hardware can deliver it.
+
+    A worker count the box cannot schedule (``workers >
+    available_cpus()``) is *recorded* but never *gated*: asserting
+    speedup there would test the scheduler, not the code. The skip is
+    printed so a CI log shows exactly which gates applied — and the
+    JSON rows carry the same ``gated`` flag for the trend checker.
+    """
     cpus = available_cpus()
     serial = rows[0][1]
     for workers, mbps, _ in rows[1:]:
-        if workers == 4 and cpus >= 4:
+        if workers > cpus:
+            print(f"  ~ workers={workers}: speedup gate skipped "
+                  f"(only {cpus} CPU(s) schedulable)")
+            continue
+        if workers >= 4:
             assert mbps >= 2.0 * serial, (
-                f"4 workers gave {mbps / serial:.2f}x over serial "
+                f"{workers} workers gave {mbps / serial:.2f}x over serial "
                 f"(expected >= 2x on {cpus} CPUs)"
             )
-        elif workers <= cpus:
+        else:
             assert mbps >= 1.2 * serial, (
                 f"{workers} workers gave {mbps / serial:.2f}x over serial "
                 f"(expected >= 1.2x on {cpus} CPUs)"
@@ -119,10 +136,14 @@ def save_json(
 ) -> None:
     """Write the machine-readable scaling report next to the repo root."""
     serial = rows[0][1]
+    cpus = available_cpus()
+    # gated=False marks rows this box could not schedule (workers >
+    # CPUs): their speedup is a fact about the recording machine, not
+    # the code, so the trend checker must not hold future runs to it.
     report = {
         "benchmark": "parallel_scaling",
         "python": platform.python_version(),
-        "cpus": available_cpus(),
+        "cpus": cpus,
         "input_bytes": size_bytes,
         "shard_bytes": shard_size,
         "rows": [
@@ -130,6 +151,7 @@ def save_json(
                 "workers": workers,
                 "mbps": round(mbps, 3),
                 "speedup": round(mbps / serial, 3),
+                "gated": workers <= cpus,
                 "output_bytes": out_bytes,
             }
             for workers, mbps, out_bytes in rows

@@ -1,0 +1,129 @@
+"""Load-generator benchmark for the compression service (BENCH_serve).
+
+Hosts a :class:`repro.serve.CompressionService` on an ephemeral port,
+sweeps concurrent client streams against it, and records aggregate
+throughput plus per-stream p50/p99 wall time to ``benchmarks/results/``
+(rendered) and ``BENCH_serve.json`` at the repo root (machine-readable,
+uploaded as a CI artifact). Every stream's response is verified:
+decodable back to the payload and — in zlib format — byte-identical to
+the single-threaded :class:`~repro.deflate.stream.ZLibStreamCompressor`
+reference. The whole sweep runs on **one** warm pool; ``pool_spawns``
+in the JSON pins the workers-start-once contract.
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py --quick
+
+or in full (8 concurrent streams, 256 KiB payloads) without ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+from typing import List, Optional
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_serve.json"
+)
+
+
+def run_sweep(
+    streams_list: List[int],
+    payload_bytes: int,
+    chunk_bytes: int,
+    shard_bytes: int,
+    workers: Optional[int],
+) -> dict:
+    from repro.serve import run_loadgen
+
+    return run_loadgen(
+        streams_list=streams_list,
+        payload_bytes=payload_bytes,
+        chunk_bytes=chunk_bytes,
+        shard_size=shard_bytes,
+        workers=workers,
+    )
+
+
+def save_json(report: dict, path: pathlib.Path = JSON_PATH) -> None:
+    report = dict(report)
+    report["python"] = platform.python_version()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 64 KiB payloads, 1/2/4 streams",
+    )
+    parser.add_argument("--streams", default="1,2,4,8",
+                        help="comma-separated concurrency sweep")
+    parser.add_argument("--payload-kb", type=int, default=256,
+                        help="payload per stream in KiB (full mode)")
+    parser.add_argument("--chunk-kb", type=int, default=64,
+                        help="client chunk size in KiB")
+    parser.add_argument("--shard-kb", type=int, default=64,
+                        help="service shard size in KiB")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool workers (default: CPUs)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        streams_list = [1, 2, 4]
+        payload = 64 * 1024
+        chunk = 16 * 1024
+        shard = 16 * 1024
+    else:
+        streams_list = [int(v) for v in args.streams.split(",")]
+        payload = args.payload_kb * 1024
+        chunk = args.chunk_kb * 1024
+        shard = args.shard_kb * 1024
+
+    report = run_sweep(streams_list, payload, chunk, shard, args.workers)
+
+    from benchmarks.conftest import save_exhibit
+    from repro.serve import format_report
+
+    text = format_report(report)
+    print(text)
+    save_exhibit("serve_load", text)
+    save_json(report)
+
+    if not report["all_verified"]:
+        print("FAIL: a served stream was not byte-identical to the "
+              "reference (or did not round-trip)", file=sys.stderr)
+        return 1
+    if report["pool_spawns"] != 1:
+        print(f"FAIL: pool spawned {report['pool_spawns']} times across "
+              f"the sweep (warm-pool contract is exactly once)",
+              file=sys.stderr)
+        return 1
+    print("all streams verified; one pool spawn across the sweep")
+    return 0
+
+
+def test_serve_load_smoke(benchmark):
+    """pytest-benchmark entry: small sweep, verified responses."""
+    from benchmarks.conftest import run_once, save_exhibit
+    from repro.serve import format_report
+
+    report = run_once(
+        benchmark,
+        lambda: run_sweep([1, 2], 48 * 1024, 16 * 1024, 16 * 1024, 2),
+    )
+    save_exhibit("serve_load", format_report(report))
+    assert report["all_verified"]
+    assert report["pool_spawns"] == 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(
+        __file__))))
+    sys.exit(main())

@@ -3,7 +3,7 @@
 The perf-smoke CI job regenerates the machine-readable benchmark
 exhibits (``BENCH_parallel.json``, ``BENCH_tokenizer.json``,
 ``BENCH_adaptive.json``, ``BENCH_matcher.json``, ``BENCH_batch.json``,
-``BENCH_preset_dict.json``). This checker diffs
+``BENCH_preset_dict.json``, ``BENCH_serve.json``). This checker diffs
 each fresh file against the
 baseline committed at ``--ref`` (default ``HEAD``, read via ``git
 show``) so a PR that quietly bloats the compressed output or erodes a
@@ -62,16 +62,18 @@ BENCH_FILES = (
     "BENCH_matcher.json",
     "BENCH_batch.json",
     "BENCH_preset_dict.json",
+    "BENCH_serve.json",
 )
 
 # Row fields that identify a row (used for matching, never compared).
-IDENTITY_KEYS = ("workload", "parser", "path", "workers")
+IDENTITY_KEYS = ("workload", "parser", "path", "workers", "streams")
 
 # Top-level fields describing the run configuration: when these differ,
 # the two runs are not comparable and the file is skipped.
 CONFIG_KEYS = (
     "input_bytes", "shard_bytes", "tokenizer_bytes",
-    "end_to_end_bytes", "size_bytes",
+    "end_to_end_bytes", "size_bytes", "payload_bytes", "chunk_bytes",
+    "workers",
 )
 
 # Deterministic per-row metrics: same input -> same value, tight band.
@@ -120,6 +122,11 @@ def compare_report(name: str, fresh: dict, baseline: dict,
     base_rows = dict(iter_rows(baseline))
     problems: List[str] = []
     for ident, row in iter_rows(fresh):
+        if row.get("verified") is False:
+            problems.append(
+                f"{name} {ident}: response verification failed "
+                f"(output not byte-identical to the reference)"
+            )
         base = base_rows.get(ident)
         if base is None:
             print(f"  ~ {name} {ident}: new row, no baseline")
@@ -134,6 +141,11 @@ def compare_report(name: str, fresh: dict, baseline: dict,
                     f"({base[key]} -> {row[key]}, "
                     f"tolerance {size_tol:.0%})"
                 )
+        if row.get("gated") is False:
+            # The recording box could not schedule this worker count
+            # (workers > CPUs): its speedup measures the machine, not
+            # the code. Recorded for the curious, never enforced.
+            continue
         if "speedup" in row and base.get("speedup"):
             floor = base["speedup"] * (1 - speedup_tol)
             if row["speedup"] < floor:

@@ -48,6 +48,73 @@ def crc32(data: bytes, value: int = 0) -> int:
     return crc ^ 0xFFFFFFFF
 
 
+def _gf2_matrix_times(mat: list, vec: int) -> int:
+    total = 0
+    index = 0
+    while vec:
+        if vec & 1:
+            total ^= mat[index]
+        vec >>= 1
+        index += 1
+    return total
+
+
+def _gf2_matrix_square(square: list, mat: list) -> None:
+    for n in range(32):
+        square[n] = _gf2_matrix_times(mat, mat[n])
+
+
+def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
+    """Combine two CRC-32s of concatenated sequences (zlib-style).
+
+    Given ``crc1 = crc32(seq1)`` and ``crc2 = crc32(seq2)`` with
+    ``len2 = len(seq2)``, returns ``crc32(seq1 + seq2)`` without
+    touching the data. CRC is linear over GF(2): appending ``len2``
+    bytes multiplies ``crc1``'s state by the 32×32 zero-byte operator
+    matrix raised to ``len2`` (computed by repeated squaring —
+    O(log len2) matrix products), after which seq2's own CRC XORs in.
+
+    This is to gzip framing what
+    :func:`repro.checksums.adler32.adler32_combine` is to ZLib framing:
+    the primitive that lets independently compressed shards stitch into
+    one member whose trailer checksums the whole input.
+
+    >>> left, right = b"shard one|", b"shard two"
+    >>> crc32_combine(crc32(left), crc32(right), len(right)) == \\
+    ...     crc32(left + right)
+    True
+    """
+    if len2 < 0:
+        raise ValueError(f"len2 must be non-negative: {len2}")
+    if len2 == 0:
+        return crc1
+    even = [0] * 32  # operator for 2^(2k) zero bits
+    odd = [0] * 32   # operator for 2^(2k+1) zero bits
+    # One zero *bit*: the CRC shift-register step.
+    odd[0] = _POLY
+    row = 1
+    for n in range(1, 32):
+        odd[n] = row
+        row <<= 1
+    _gf2_matrix_square(even, odd)   # 2 zero bits
+    _gf2_matrix_square(odd, even)   # 4 zero bits = half a zero byte
+    # Square up to one zero byte, then apply len2's binary expansion.
+    while True:
+        _gf2_matrix_square(even, odd)
+        if len2 & 1:
+            crc1 = _gf2_matrix_times(even, crc1)
+        len2 >>= 1
+        if len2 == 0:
+            break
+        _gf2_matrix_square(odd, even)
+        if len2 & 1:
+            crc1 = _gf2_matrix_times(odd, crc1)
+        len2 >>= 1
+        if len2 == 0:
+            break
+    return crc1 ^ crc2
+
+
 class CRC32:
     """Incremental CRC-32 accumulator."""
 

@@ -23,6 +23,29 @@ _CM_DEFLATE = 8
 _OS_UNKNOWN = 255
 
 
+def member_header() -> bytes:
+    """The fixed 10-byte gzip member header (MTIME pinned to 0).
+
+    Shared by the one-shot :func:`compress` and the serving layer's
+    stitched gzip streams (:mod:`repro.serve`), whose Deflate body is
+    assembled from parallel shard fragments.
+    """
+    return _MAGIC + bytes([
+        _CM_DEFLATE,
+        0,              # FLG: no extra fields
+        0, 0, 0, 0,     # MTIME = 0 for determinism
+        4,              # XFL: fastest algorithm
+        _OS_UNKNOWN,
+    ])
+
+
+def member_trailer(crc: int, size: int) -> bytes:
+    """The 8-byte gzip trailer: CRC-32 + ISIZE, little-endian."""
+    return crc.to_bytes(4, "little") + (
+        (size & 0xFFFFFFFF).to_bytes(4, "little")
+    )
+
+
 def compress(
     data: bytes,
     window_size: int = 4096,
@@ -33,17 +56,7 @@ def compress(
     """Compress ``data`` into a gzip member."""
     result = LZSSCompressor(window_size, hash_spec, policy).compress(data)
     body = deflate_tokens(result.tokens, strategy)
-    header = _MAGIC + bytes([
-        _CM_DEFLATE,
-        0,              # FLG: no extra fields
-        0, 0, 0, 0,     # MTIME = 0 for determinism
-        4,              # XFL: fastest algorithm
-        _OS_UNKNOWN,
-    ])
-    trailer = crc32(data).to_bytes(4, "little") + (
-        (len(data) & 0xFFFFFFFF).to_bytes(4, "little")
-    )
-    return header + body + trailer
+    return member_header() + body + member_trailer(crc32(data), len(data))
 
 
 def decompress(data: bytes, max_output: Optional[int] = None) -> bytes:

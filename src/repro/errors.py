@@ -45,5 +45,9 @@ class LZSSError(FormatError):
     """Invalid LZSS token stream (e.g. a copy reaching before the start)."""
 
 
+class ServeProtocolError(FormatError):
+    """A compression-service client violated the wire protocol."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """The hardware simulation reached an inconsistent internal state."""

@@ -425,6 +425,52 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compression service (or its self-test load sweep).
+
+    ``--self-test`` hosts the service on an ephemeral port, drives the
+    load generator against it, verifies every response byte-for-byte,
+    and exits non-zero on any mismatch — the CI smoke path.
+    """
+    import asyncio
+
+    from repro.serve import format_report, run_loadgen, serve
+
+    config = dict(
+        workers=args.workers,
+        shard_size=args.shard_kb * 1024,
+        max_inflight=args.max_inflight,
+        carry_window=args.carry_window,
+        strategy=_block_strategy(args),
+        backend=args.backend,
+        profile=args.profile,
+    )
+    if args.self_test:
+        streams = tuple(
+            int(part) for part in args.streams.split(",") if part
+        )
+        report = run_loadgen(
+            streams_list=streams,
+            payload_bytes=args.payload_kb * 1024,
+            chunk_bytes=args.chunk_kb * 1024,
+            fmt=args.format,
+            **config,
+        )
+        print(format_report(report))
+        if not report["all_verified"]:
+            print("self-test FAILED: response mismatch", file=sys.stderr)
+            return 1
+        return 0
+    print(f"compression service on {args.host}:{args.port} "
+          f"(workers={args.workers or 'auto'}, "
+          f"shard {args.shard_kb} KiB) — Ctrl-C to stop")
+    try:
+        asyncio.run(serve(host=args.host, port=args.port, **config))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
     from repro.deflate.zlib_container import decompress as zd
 
@@ -728,6 +774,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_route_flags(pcompress_parser, sampling=True)
     _add_zdict_flag(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the asyncio compression service: zlib/gzip offload "
+        "over one shared warm worker pool (LZR1 protocol)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=9123)
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="pool workers (default: CPUs)")
+    serve_parser.add_argument("--shard-kb", type=int, default=256,
+                              help="shard size in KiB")
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="in-flight shard bound per connection "
+        "(default: 2 per worker)",
+    )
+    serve_parser.add_argument(
+        "--carry-window", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="prime each shard with the preceding window (default on: "
+        "a served stream is one document)",
+    )
+    serve_parser.add_argument(
+        "--profile", default=None, choices=list(preset_names()),
+        help="named CompressionProfile preset for every stream",
+    )
+    serve_parser.add_argument(
+        "--self-test", action="store_true",
+        help="host on an ephemeral port, run the load generator, "
+        "verify every response byte-for-byte, exit non-zero on "
+        "mismatch (CI smoke)",
+    )
+    serve_parser.add_argument("--streams", default="1,2,4",
+                              help="self-test concurrency sweep "
+                              "(comma-separated)")
+    serve_parser.add_argument("--payload-kb", type=int, default=128,
+                              help="self-test payload per stream (KiB)")
+    serve_parser.add_argument("--chunk-kb", type=int, default=32,
+                              help="self-test client chunk size (KiB)")
+    serve_parser.add_argument("--format", default="zlib",
+                              choices=["zlib", "gzip"],
+                              help="self-test stream format")
+    _add_path_flags(serve_parser)
+    _add_strategy_flag(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     decompress_parser = sub.add_parser(
         "decompress", help="decompress a .lzz / ZLib stream file"

@@ -10,6 +10,9 @@ the result is one stream every standard inflater accepts.
   small-message batches (independent streams, not one stitched stream);
 * :class:`ParallelDeflateWriter` — streaming writer with bounded
   in-flight shards (backpressure);
+* :class:`WarmPool` / :func:`get_default_pool` — the persistent worker
+  pool every entry point shares (workers fork once; shard payloads
+  ride shared memory, not pickles);
 * :class:`ParallelStats` — per-shard wall time, queue depth, MB/s.
 """
 
@@ -25,6 +28,11 @@ from repro.parallel.engine import (
     compress_parallel,
     compress_shard_body,
 )
+from repro.parallel.pool import (
+    WarmPool,
+    get_default_pool,
+    shutdown_default_pools,
+)
 from repro.parallel.stats import ParallelStats, ShardStat
 from repro.parallel.writer import ParallelDeflateWriter
 
@@ -37,7 +45,10 @@ __all__ = [
     "ParallelStats",
     "ShardStat",
     "ShardedCompressor",
+    "WarmPool",
     "compress_batch_parallel",
     "compress_parallel",
     "compress_shard_body",
+    "get_default_pool",
+    "shutdown_default_pools",
 ]

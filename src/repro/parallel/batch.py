@@ -19,12 +19,11 @@ chunk keeps the per-chunk numpy pass comfortably past its fixed cost.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 from repro.batch import BatchResult, BatchStats, compress_batch
 from repro.errors import ConfigError
-from repro.parallel.engine import pool_context
+from repro.parallel.pool import get_default_pool
 
 #: Default payloads per chunk: large enough that one vectorised pass
 #: dominates its setup, small enough that a few thousand messages still
@@ -51,6 +50,7 @@ def compress_batch_parallel(
     backend: Optional[str] = None,
     shared_plan: Optional[bool] = None,
     router=None,
+    pool=None,
 ) -> BatchResult:
     """Batch-compress ``payloads`` across a process pool, chunk-wise.
 
@@ -61,6 +61,12 @@ def compress_batch_parallel(
     keeps per-payload ``streams``/``choices`` in input order; ``routing``
     is the first chunk's decision (chunks of one batch route alike on
     one machine) and ``plan`` is ``None`` — plans are per chunk.
+
+    Chunks run on the persistent warm pool (:mod:`repro.parallel.pool`)
+    — the same workers the sharded engine keeps warm — so a service
+    alternating between large-buffer and many-message traffic never
+    pays pool startup twice. ``pool=`` injects a caller-owned
+    :class:`~repro.parallel.pool.WarmPool`.
     """
     if chunk_payloads < 1:
         raise ConfigError(
@@ -85,14 +91,10 @@ def compress_batch_parallel(
     if workers == 1 or len(chunks) == 1:
         results = [_compress_chunk((chunk, kwargs)) for chunk in chunks]
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            mp_context=pool_context(),
-        ) as pool:
-            results = list(
-                pool.map(_compress_chunk,
-                         [(chunk, kwargs) for chunk in chunks])
-            )
+        warm = pool or get_default_pool(workers)
+        results = warm.run(
+            _compress_chunk, [(chunk, kwargs) for chunk in chunks]
+        )
 
     streams: List[bytes] = []
     choices: List[str] = []

@@ -24,6 +24,13 @@ with the preceding input bytes, clawing back most of the cold-window
 ratio penalty — the same trade :mod:`repro.deflate.seekable` makes with
 preset dictionaries — while staying parallel, because the history is
 plaintext already in hand, not a compression result.
+
+Shard jobs run on the **persistent warm pool**
+(:mod:`repro.parallel.pool`): workers fork once per process and are
+reused by every later call, and shard payloads are handed off through
+``multiprocessing.shared_memory`` segments instead of being pickled
+through the executor pipe — the fix for the pool-per-call
+pessimisation ``BENCH_parallel.json`` recorded.
 """
 
 from __future__ import annotations
@@ -31,7 +38,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -99,6 +105,9 @@ class ShardTask:
     sniff: bool = True
     #: Per-shard routing / traced-sampling policy (None = static).
     router: Optional[RouterConfig] = None
+    #: Also compute the shard's CRC-32 (gzip framing stitches CRCs the
+    #: way ZLib framing stitches Adlers; see repro.serve).
+    want_crc: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,6 +130,8 @@ class ShardResult:
     route_reason: str = ""
     traced_sample: bool = False
     telemetry: Optional[CalibrationPoint] = None
+    #: CRC-32 of the shard's input (only when the task asked for it).
+    crc: int = 0
 
 
 def _compress_shard_parts(
@@ -270,7 +281,7 @@ def close_stream(adler: int) -> bytes:
 
 
 def _compress_shard(task: ShardTask) -> ShardResult:
-    """Top-level pool worker: compress one shard, report timing."""
+    """Compress one shard, report timing (runs in a pool worker)."""
     start = time.perf_counter()
     body, decision, telemetry = _compress_shard_parts(
         task.data,
@@ -286,6 +297,11 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         router=task.router,
         shard_index=task.index,
     )
+    crc = 0
+    if task.want_crc:
+        from repro.checksums.crc32 import crc32
+
+        crc = crc32(task.data)
     return ShardResult(
         index=task.index,
         body=body,
@@ -297,6 +313,7 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         route_reason=decision.reason if decision else "",
         traced_sample=decision.traced_sample if decision else False,
         telemetry=telemetry,
+        crc=crc,
     )
 
 
@@ -347,6 +364,14 @@ class ShardedCompressor:
     runs still stitch into byte-identical streams. ``profile=`` accepts
     a :class:`repro.profile.CompressionProfile` (or preset name);
     explicit kwargs win over profile fields.
+
+    ``pool=`` injects a caller-owned :class:`repro.parallel.pool.WarmPool`
+    (the serving layer shares one pool across every connection); with
+    ``pool=None`` the compressor borrows the lazy process-wide default
+    pool for its worker count. Either way the pool outlives the call —
+    consecutive ``compress()`` calls never pay worker startup again,
+    and shard payloads ride shared memory instead of being pickled
+    through the executor pipe.
     """
 
     def __init__(
@@ -370,6 +395,7 @@ class ShardedCompressor:
         trace_seed: Optional[int] = None,
         router: Optional[RouterConfig] = None,
         zdict: bytes = b"",
+        pool=None,
     ) -> None:
         if traced is not None:
             backend = backend_from_legacy(
@@ -406,6 +432,7 @@ class ShardedCompressor:
             self.hash_spec = params.hash_spec
             self.policy = params.policy
         self.workers = workers or os.cpu_count() or 1
+        self.pool = pool
         self.shard_size = shard_size
         self.carry_window = carry_window
         self.strategy = strategy
@@ -490,12 +517,13 @@ class ShardedCompressor:
         else:
             # One-shot mode submits everything: the pool is the only
             # backpressure. Streams that must bound memory use
-            # ParallelDeflateWriter instead.
+            # ParallelDeflateWriter instead. The pool is warm and
+            # persistent — never spun up (or torn down) per call.
+            from repro.parallel.pool import get_default_pool
+
             stats.note_inflight(len(tasks))
-            with ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=pool_context()
-            ) as pool:
-                results = list(pool.map(_compress_shard, tasks))
+            pool = self.pool or get_default_pool(self.workers)
+            results = pool.map_shards(tasks)
         if self._dictionary:
             from repro.deflate.preset_dict import fdict_header
 
@@ -547,6 +575,7 @@ def compress_parallel(
     trace_fraction: Optional[float] = None,
     trace_seed: Optional[int] = None,
     zdict: bytes = b"",
+    pool=None,
 ) -> bytes:
     """One-shot sharded compression; returns the stitched ZLib stream.
 
@@ -558,6 +587,13 @@ def compress_parallel(
     (see :mod:`repro.lzss.router`); ``profile`` accepts a
     :class:`repro.profile.CompressionProfile` or preset name, with
     explicit kwargs winning over profile fields.
+
+    Shards run on a **persistent warm pool**: the first multi-worker
+    call forks the workers, every later call reuses them, and shard
+    bytes are handed off through shared memory rather than pickled
+    (see :mod:`repro.parallel.pool`). Pass ``pool=`` to supply your own
+    :class:`~repro.parallel.pool.WarmPool`; the default pool is shut
+    down automatically at interpreter exit.
 
     >>> import zlib
     >>> payload = b"parallel snow " * 2000
@@ -584,4 +620,5 @@ def compress_parallel(
         trace_fraction=trace_fraction,
         trace_seed=trace_seed,
         zdict=zdict,
+        pool=pool,
     ).compress(data).data

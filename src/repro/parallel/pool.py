@@ -1,0 +1,406 @@
+"""Persistent warm worker pool with shared-memory shard handoff.
+
+``BENCH_parallel.json`` exposed the PR-1 fan-out as a net
+*pessimisation*: every :func:`repro.parallel.compress_parallel` call
+spun up a fresh ``ProcessPoolExecutor`` and pickled whole shard buffers
+through the executor's pipe, so pool startup and serialisation swamped
+the compute the parallel datapath was meant to expose. This module is
+the fix — the same amortise-the-fixed-costs move that made the batched
+small-message engine pay off:
+
+* **Workers start once.** A :class:`WarmPool` owns one long-lived
+  executor; consecutive ``compress_parallel`` / writer / batch calls
+  reuse it. The module-level default pools (:func:`get_default_pool`)
+  are created lazily, keyed by worker count, and shut down ``atexit``.
+
+* **Shard bytes travel through shared memory, not pickles.** The
+  parent leases a slice of a :class:`SegmentArena`
+  (:mod:`multiprocessing.shared_memory` segments), copies the shard in
+  once, and submits only ``(name, offset, length)``. The worker maps
+  the segment (cached per name per process) and reads the shard through
+  a ``memoryview`` slice — no per-call byte pickling, no pipe transfer
+  of payload data in either the fork or spawn start method.
+
+* **Worker crashes surface as :class:`~repro.errors.ConfigError`, not
+  hangs.** A dead worker breaks the executor; the pool converts the
+  ``BrokenProcessPool`` into a ``ConfigError``, discards the broken
+  executor, and respawns on next use, so a long-lived server survives
+  a crashed shard while the caller's failure latch (PR 3) keeps the
+  truncated stream observable.
+
+Fork-safety: default pools are keyed to the PID that created them. A
+forked child inheriting the parent's registry sees a PID mismatch and
+starts its own pools instead of submitting into executors whose worker
+processes belong to the parent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from multiprocessing import shared_memory
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Granularity segments are rounded up to: small enough that tiny tail
+#: shards do not hoard memory, large enough that a 1 MiB default shard
+#: needs exactly 16 slots worth of pages.
+SEGMENT_ROUND = 64 * 1024
+
+#: Free segments kept mapped for reuse; beyond this, released segments
+#: are unlinked immediately (the ring stays bounded under load spikes).
+MAX_FREE_SEGMENTS = 32
+
+#: Segment attachments each worker process keeps mapped.
+_WORKER_CACHE_LIMIT = 64
+
+
+class SegmentArena:
+    """A ring of shared-memory segments leased shard-by-shard.
+
+    The parent copies each shard into a leased segment exactly once;
+    the worker maps the same segment by name and slices it with a
+    ``memoryview`` — the bytes never cross the executor's pipe. A
+    released segment returns to the free ring for the next shard of a
+    matching size class, so a steady stream of equal-size shards
+    recycles the same few mappings indefinitely.
+    """
+
+    def __init__(self) -> None:
+        self._free: List[shared_memory.SharedMemory] = []
+        self._leased: dict = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def lease(self, data) -> tuple:
+        """Copy ``data`` into a segment; returns ``(name, length)``.
+
+        Reuses the smallest free segment that fits; allocates (rounded
+        up to :data:`SEGMENT_ROUND`) when none does.
+        """
+        size = len(data)
+        capacity = max(
+            SEGMENT_ROUND,
+            (size + SEGMENT_ROUND - 1) // SEGMENT_ROUND * SEGMENT_ROUND,
+        )
+        with self._lock:
+            if self._closed:
+                raise ConfigError("arena is closed")
+            best = None
+            for seg in self._free:
+                if seg.size >= size and (
+                    best is None or seg.size < best.size
+                ):
+                    best = seg
+            if best is not None:
+                self._free.remove(best)
+            else:
+                best = shared_memory.SharedMemory(
+                    create=True, size=capacity
+                )
+            self._leased[best.name] = best
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(data)
+        best.buf[:size] = data
+        return best.name, size
+
+    def release(self, name: str) -> None:
+        """Return a leased segment to the free ring (or unlink it)."""
+        with self._lock:
+            seg = self._leased.pop(name, None)
+            if seg is None:
+                return
+            if self._closed or len(self._free) >= MAX_FREE_SEGMENTS:
+                seg.close()
+                seg.unlink()
+            else:
+                self._free.append(seg)
+
+    @property
+    def live_segments(self) -> int:
+        """Mapped segments (leased + free) — bounded-memory invariant."""
+        with self._lock:
+            return len(self._free) + len(self._leased)
+
+    def close(self) -> None:
+        """Unlink every segment. Leased segments are reclaimed too —
+        only call once no worker can still be reading them."""
+        with self._lock:
+            self._closed = True
+            for seg in self._free + list(self._leased.values()):
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+            self._free.clear()
+            self._leased.clear()
+
+
+# -- worker side -----------------------------------------------------
+
+#: Per-process cache of mapped segments, keyed by segment name. Workers
+#: are long-lived, so re-mapping per shard would waste the warm pool's
+#: whole point; names are never reused after unlink, so entries cannot
+#: go stale — only unused (evicted FIFO past the cache limit).
+_worker_segments: dict = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    seg = _worker_segments.get(name)
+    if seg is None:
+        seg = shared_memory.SharedMemory(name=name)
+        if len(_worker_segments) >= _WORKER_CACHE_LIMIT:
+            oldest = next(iter(_worker_segments))
+            _worker_segments.pop(oldest).close()
+        _worker_segments[name] = seg
+    return seg
+
+
+def _run_shard(meta, name: str, length: int):
+    """Top-level pool worker: reconstruct the shard from shared memory.
+
+    ``meta`` is a :class:`~repro.parallel.engine.ShardTask` whose
+    ``data`` was stripped before pickling; the payload is read back
+    through a ``memoryview`` slice of the mapped segment. The worker
+    materialises its private copy from the mapping (one in-process
+    memcpy — the bytes never travelled through the executor pipe) so
+    every downstream stage sees the exact ``bytes`` object contract the
+    in-process path has.
+
+    Looked up late (``engine._compress_shard``) so monkeypatched crash
+    tests and instrumentation apply inside forked workers too.
+    """
+    from repro.parallel import engine
+
+    seg = _attach_segment(name)
+    with memoryview(seg.buf) as whole:
+        with whole[:length] as view:
+            task = replace(meta, data=view.tobytes())
+    return engine._compress_shard(task)
+
+
+# -- parent side -----------------------------------------------------
+
+
+class WarmPool:
+    """A persistent process pool for shard compression jobs.
+
+    Created once and reused across any number of
+    :func:`~repro.parallel.compress_parallel` calls,
+    :class:`~repro.parallel.ParallelDeflateWriter` streams, batch
+    fan-outs and server connections. The executor is spawned lazily on
+    first submit (``spawn_count`` counts how often — the regression
+    hook for the one-pool-per-process contract) and respawned after a
+    worker crash.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *, context=None):
+        from repro.parallel.engine import pool_context
+
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1: {workers}")
+        self.workers = workers or os.cpu_count() or 1
+        self._context = context if context is not None else pool_context()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._arena = SegmentArena()
+        self._lock = threading.Lock()
+        self.spawn_count = 0
+        self.shards_submitted = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise ConfigError("pool is shut down")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._context
+                )
+                self.spawn_count += 1
+            return self._executor
+
+    def _discard_broken(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop the workers and unlink every shared-memory segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._arena.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def live_segments(self) -> int:
+        """Shared-memory segments currently mapped by the parent."""
+        return self._arena.live_segments
+
+    # -- shard jobs --------------------------------------------------
+
+    def submit_shard(self, task):
+        """Submit one ShardTask; payload rides shared memory.
+
+        Returns a ``concurrent.futures.Future`` resolving to the
+        :class:`~repro.parallel.engine.ShardResult`. Collect it through
+        :meth:`shard_result` so a dead worker surfaces as
+        :class:`~repro.errors.ConfigError` instead of the raw
+        ``BrokenProcessPool`` (or a hang).
+        """
+        executor = self._ensure_executor()
+        name, length = self._arena.lease(task.data)
+        meta = replace(task, data=b"")
+        try:
+            future = executor.submit(_run_shard, meta, name, length)
+        except BrokenProcessPool as exc:
+            # Workers can die while a batch is still being submitted;
+            # the break then surfaces at submit, not at result time.
+            self._arena.release(name)
+            self._discard_broken()
+            raise ConfigError(
+                "shard worker died before returning a result "
+                "(pool respawns on next use)"
+            ) from exc
+        except BaseException:
+            self._arena.release(name)
+            raise
+        self.shards_submitted += 1
+        future.add_done_callback(
+            lambda _f, _name=name: self._arena.release(_name)
+        )
+        return future
+
+    def shard_result(self, future):
+        """Await one shard future, translating pool breakage.
+
+        A worker that died mid-shard (OOM-kill, segfault, ``os._exit``)
+        breaks the executor; every pending future raises
+        ``BrokenProcessPool``. The pool discards the broken executor
+        (the next submit respawns workers — a warm server survives) and
+        raises :class:`~repro.errors.ConfigError` so callers' failure
+        latches treat it exactly like an in-worker exception.
+        """
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            self._discard_broken()
+            raise ConfigError(
+                "shard worker died before returning a result "
+                "(pool respawns on next use)"
+            ) from exc
+
+    def map_shards(self, tasks: Sequence) -> List:
+        """Submit every task, collect results in task order."""
+        futures = [self.submit_shard(task) for task in tasks]
+        return [self.shard_result(future) for future in futures]
+
+    # -- generic jobs (batch chunks) ---------------------------------
+
+    def run(self, fn: Callable, jobs: Iterable) -> List:
+        """Run ``fn`` over ``jobs`` on the warm workers, in order.
+
+        The generic (pickling) path for work that is not a shard —
+        batch chunks fan out here so they reuse the warm workers too.
+        """
+        executor = self._ensure_executor()
+        try:
+            futures = [executor.submit(fn, job) for job in jobs]
+        except BrokenProcessPool as exc:
+            self._discard_broken()
+            raise ConfigError(
+                "pool worker died before returning a result "
+                "(pool respawns on next use)"
+            ) from exc
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                self._discard_broken()
+                raise ConfigError(
+                    "pool worker died before returning a result "
+                    "(pool respawns on next use)"
+                ) from exc
+        return results
+
+
+# -- lazy module default ---------------------------------------------
+
+_default_pools: dict = {}
+_default_lock = threading.Lock()
+_owner_pid: Optional[int] = None
+_atexit_registered = False
+
+
+def get_default_pool(workers: Optional[int] = None) -> WarmPool:
+    """The process-wide warm pool for ``workers`` (created lazily).
+
+    One pool per requested worker count: a 2-worker benchmark run and a
+    4-worker benchmark run each keep their own warm pool, and repeated
+    calls at the same count reuse the same workers — the fix for the
+    pool-per-call pessimisation. All default pools are shut down at
+    interpreter exit.
+
+    Fork-safe: the registry remembers the PID that populated it; a
+    forked child starts fresh pools rather than submitting into the
+    parent's workers. Works under both ``fork`` and ``spawn`` start
+    methods (the shared-memory handoff never relies on inherited
+    memory).
+    """
+    global _owner_pid, _atexit_registered
+    if workers is not None and workers < 1:
+        raise ConfigError(f"workers must be >= 1: {workers}")
+    count = workers or os.cpu_count() or 1
+    with _default_lock:
+        if _owner_pid != os.getpid():
+            # Inherited from a parent process: the executors (if any)
+            # belong to the parent; just drop the references.
+            _default_pools.clear()
+            _owner_pid = os.getpid()
+        pool = _default_pools.get(count)
+        if pool is None or pool.closed:
+            pool = WarmPool(count)
+            _default_pools[count] = pool
+        if not _atexit_registered:
+            atexit.register(shutdown_default_pools)
+            _atexit_registered = True
+        return pool
+
+
+def shutdown_default_pools() -> None:
+    """Shut down every default pool this process created (atexit hook).
+
+    Also callable explicitly — tests use it to force the next
+    compression to start from a cold pool.
+    """
+    with _default_lock:
+        if _owner_pid is not None and _owner_pid != os.getpid():
+            _default_pools.clear()
+            return
+        pools = list(_default_pools.values())
+        _default_pools.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+def default_pool_count() -> int:
+    """How many default pools are currently alive (introspection)."""
+    with _default_lock:
+        return sum(1 for p in _default_pools.values() if not p.closed)

@@ -61,6 +61,21 @@ class ParallelStats:
     def add_shard(self, stat: ShardStat) -> None:
         self.shards.append(stat)
 
+    def merge(self, other: "ParallelStats") -> None:
+        """Fold another run's shards into this aggregate.
+
+        The serving layer keeps one :class:`ParallelStats` per
+        connection and folds each finished connection into a
+        server-wide aggregate: shard records concatenate, wall time
+        accumulates (summed stream time, not elapsed server time), and
+        the peak queue depth is the maximum either side saw.
+        """
+        self.shards.extend(other.shards)
+        self.wall_s += other.wall_s
+        self.peak_inflight = max(self.peak_inflight, other.peak_inflight)
+        for point in other.calibration.points:
+            self.calibration.add(point)
+
     def note_inflight(self, depth: int) -> None:
         """Record the current in-flight shard count (queue depth)."""
         if depth > self.peak_inflight:

@@ -14,7 +14,6 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
 from repro.checksums.adler32 import adler32_combine
@@ -33,8 +32,8 @@ from repro.parallel.engine import (
     MIN_SHARD_SIZE,
     ShardTask,
     close_stream,
-    pool_context,
 )
+from repro.parallel.pool import get_default_pool
 from repro.parallel.stats import ParallelStats, ShardStat
 
 
@@ -51,6 +50,14 @@ class ParallelDeflateWriter:
     written immediately; shard fragments follow as they complete (always
     in submission order); the closing block and Adler-32 trailer are
     written by :meth:`close`.
+
+    Shards run on the persistent warm pool (:mod:`repro.parallel.pool`):
+    ``pool=`` injects a caller-owned :class:`~repro.parallel.pool.WarmPool`
+    (one pool shared by many writers is the serving-layer shape), and
+    with ``pool=None`` the writer borrows the process-wide default pool
+    for its worker count. The pool survives :meth:`close` — writers
+    never pay worker startup after the first stream, and shard payloads
+    ride shared memory instead of the executor pipe.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class ParallelDeflateWriter:
         trace_fraction: Optional[float] = None,
         trace_seed: Optional[int] = None,
         router: Optional[RouterConfig] = None,
+        pool=None,
     ) -> None:
         if traced is not None:
             backend = backend_from_legacy(
@@ -133,7 +141,10 @@ class ParallelDeflateWriter:
         self._buffer = bytearray()
         self._tail = b""  # carried window material (plaintext)
         self._pending = deque()
-        self._pool = None
+        # Caller-owned warm pool, or None to borrow the process-wide
+        # default lazily on first submit. Never shut down by close():
+        # warm pools outlive streams by design.
+        self._pool = pool
         self._adler = 1
         self._next_index = 0
         self._total_in = 0
@@ -152,9 +163,7 @@ class ParallelDeflateWriter:
 
     def _ensure_pool(self):
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=pool_context()
-            )
+            self._pool = get_default_pool(self.workers)
         return self._pool
 
     def _submit(self, shard: bytes) -> None:
@@ -182,13 +191,16 @@ class ParallelDeflateWriter:
         if self.workers == 1:
             self._pending.append(engine._compress_shard(task))
         else:
-            self._pending.append(self._ensure_pool().submit(
-                engine._compress_shard, task))
+            self._pending.append(self._ensure_pool().submit_shard(task))
         self.stats.note_inflight(len(self._pending))
 
     def _drain_one(self) -> None:
         item = self._pending.popleft()
-        result = item.result() if hasattr(item, "result") else item
+        # Pool futures resolve through shard_result so a dead worker
+        # raises ConfigError (feeding the failure latch) instead of
+        # hanging or leaking BrokenProcessPool.
+        result = (self._pool.shard_result(item)
+                  if hasattr(item, "result") else item)
         self._sink.write(result.body)
         self._adler = adler32_combine(self._adler, result.adler,
                                       result.input_bytes)
@@ -274,11 +286,20 @@ class ParallelDeflateWriter:
             self._closed = True
         except BaseException:
             self._failed = True
+            self._abandon_pending()
             raise
-        finally:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False, cancel_futures=True)
-                self._pool = None
+
+    def _abandon_pending(self) -> None:
+        """Drop in-flight shards after a failure.
+
+        The warm pool itself stays up (it is shared with other streams
+        and future calls); only this stream's outstanding futures are
+        cancelled or left to complete into the void.
+        """
+        while self._pending:
+            item = self._pending.popleft()
+            if hasattr(item, "cancel"):
+                item.cancel()
 
     def __enter__(self) -> "ParallelDeflateWriter":
         return self
@@ -287,10 +308,9 @@ class ParallelDeflateWriter:
         if exc_type is None:
             self.close()
         else:
-            # Abandon the stream on error: shut the pool down without
-            # writing a (corrupt) trailer. The failed state keeps the
-            # truncation observable if close() is called later anyway.
+            # Abandon the stream on error: no (corrupt) trailer is
+            # written. The failed state keeps the truncation observable
+            # if close() is called later anyway; the warm pool survives
+            # for the next stream.
             self._failed = True
-            if self._pool is not None:
-                self._pool.shutdown(wait=False, cancel_futures=True)
-                self._pool = None
+            self._abandon_pending()

@@ -1,0 +1,43 @@
+"""repro.serve — compression-as-a-service over the warm shard pool.
+
+The serving layer the persistent :class:`~repro.parallel.pool.WarmPool`
+was built for: an asyncio server offers zlib/gzip content-encoding
+offload, every connection carries one compression stream, and all
+connections share one pool of long-lived workers (shard payloads ride
+shared memory, results stitch through the sync-flush +
+checksum-combine path).
+
+* :class:`CompressionService` / :func:`serve` — the server;
+* :class:`StreamSession` — one stream's async shard pipeline
+  (per-connection backpressure latch);
+* :func:`compress_stream` / :func:`compress_bytes` — the client;
+* :class:`ServeStats` — connection-level stats riding
+  :class:`~repro.parallel.stats.ParallelStats`;
+* :func:`run_loadgen` — the self-hosting load generator behind
+  ``BENCH_serve.json``.
+"""
+
+from repro.serve.client import compress_bytes, compress_stream
+from repro.serve.loadgen import format_report, make_payload, run_loadgen
+from repro.serve.pipeline import StreamSession
+from repro.serve.protocol import FORMATS
+from repro.serve.server import (
+    DEFAULT_SERVE_SHARD_SIZE,
+    CompressionService,
+    serve,
+)
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "DEFAULT_SERVE_SHARD_SIZE",
+    "FORMATS",
+    "CompressionService",
+    "ServeStats",
+    "StreamSession",
+    "compress_bytes",
+    "compress_stream",
+    "format_report",
+    "make_payload",
+    "run_loadgen",
+    "serve",
+]

@@ -1,0 +1,91 @@
+"""Minimal LZR1 client: stream chunks up, collect the compressed stream.
+
+Sender and receiver run concurrently on purpose — the server emits
+compressed frames *while* input is still arriving (that is the whole
+point of the streaming pipeline), so a client that wrote everything
+before reading anything would deadlock both sides' flow control on
+large streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Tuple
+
+from repro.errors import ServeProtocolError
+from repro.serve.protocol import (
+    END_FRAME,
+    encode_frame,
+    read_frame,
+    stream_header,
+)
+
+
+async def compress_stream(
+    host: str,
+    port: int,
+    chunks: Iterable[bytes],
+    fmt: str = "zlib",
+) -> Tuple[bytes, int]:
+    """Send ``chunks`` to the service; returns ``(compressed, total_in)``.
+
+    ``total_in`` is the byte count the *server* reports having consumed
+    (the trailer of the response) — callers compare it against what
+    they sent as an end-to-end sanity check. A server-side failure
+    shows up as a truncated response (no end frame) and raises
+    :class:`~repro.errors.ServeProtocolError`.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        async def sender() -> None:
+            writer.write(stream_header(fmt))
+            for chunk in chunks:
+                if chunk:
+                    writer.write(encode_frame(bytes(chunk)))
+                    await writer.drain()
+            writer.write(END_FRAME)
+            await writer.drain()
+
+        async def receiver() -> Tuple[bytes, int]:
+            parts = []
+            while True:
+                frame = await read_frame(reader)
+                if frame == b"":
+                    break
+                parts.append(frame)
+            try:
+                trailer = await reader.readexactly(8)
+            except asyncio.IncompleteReadError as exc:
+                raise ServeProtocolError(
+                    "response ended without the byte-count trailer"
+                ) from exc
+            return b"".join(parts), int.from_bytes(trailer, "big")
+
+        _, received = await asyncio.gather(sender(), receiver())
+        return received
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def compress_bytes(
+    host: str,
+    port: int,
+    data: bytes,
+    chunk_size: int = 64 * 1024,
+    fmt: str = "zlib",
+) -> bytes:
+    """Synchronous convenience: compress one buffer via the service."""
+    chunks = [data[i:i + chunk_size]
+              for i in range(0, len(data), chunk_size)]
+    compressed, total_in = asyncio.run(
+        compress_stream(host, port, chunks, fmt=fmt)
+    )
+    if total_in != len(data):
+        raise ServeProtocolError(
+            f"server consumed {total_in} bytes, sent {len(data)}"
+        )
+    return compressed

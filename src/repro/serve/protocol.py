@@ -1,0 +1,111 @@
+"""The LZR1 wire protocol: length-prefixed frames over one connection.
+
+The compression service speaks a deliberately tiny binary protocol —
+one compression stream per connection, so concurrency maps 1:1 onto
+connections and the server needs no multiplexing state:
+
+* the client opens with an 8-byte stream header: magic ``LZR1``, a
+  version byte, a format byte (0 = zlib, 1 = gzip) and two reserved
+  zero bytes;
+* input then flows as frames — a 4-byte big-endian length followed by
+  that many payload bytes; a zero-length frame marks end-of-input;
+* the server answers with the same framing carrying compressed bytes
+  (emitted incrementally, shard by shard), ends with a zero-length
+  frame, and appends an 8-byte big-endian count of input bytes it
+  consumed (a cheap end-to-end sanity check for clients).
+
+Frame payloads are capped at :data:`MAX_FRAME` so a corrupt or hostile
+length prefix cannot make the server buffer gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ServeProtocolError
+
+MAGIC = b"LZR1"
+VERSION = 1
+
+FORMAT_ZLIB = 0
+FORMAT_GZIP = 1
+
+#: Wire format byte by name — the public spelling used by the CLI.
+FORMATS = {"zlib": FORMAT_ZLIB, "gzip": FORMAT_GZIP}
+FORMAT_NAMES = {code: name for name, code in FORMATS.items()}
+
+#: Stream header: MAGIC + version + format + 2 reserved bytes.
+STREAM_HEADER_SIZE = 8
+
+#: Largest accepted frame payload (16 MiB).
+MAX_FRAME = 1 << 24
+
+#: The zero-length frame closing either direction of a stream.
+END_FRAME = (0).to_bytes(4, "big")
+
+
+def stream_header(fmt: str) -> bytes:
+    """Encode the 8-byte stream opener for ``fmt`` (zlib/gzip)."""
+    if fmt not in FORMATS:
+        raise ServeProtocolError(
+            f"unknown stream format {fmt!r} (want one of "
+            f"{sorted(FORMATS)})"
+        )
+    return MAGIC + bytes([VERSION, FORMATS[fmt], 0, 0])
+
+
+def parse_stream_header(header: bytes) -> str:
+    """Decode a stream opener; returns the format name."""
+    if len(header) != STREAM_HEADER_SIZE or header[:4] != MAGIC:
+        raise ServeProtocolError("missing LZR1 stream magic")
+    if header[4] != VERSION:
+        raise ServeProtocolError(
+            f"unsupported protocol version {header[4]}"
+        )
+    fmt = FORMAT_NAMES.get(header[5])
+    if fmt is None:
+        raise ServeProtocolError(f"unknown format byte {header[5]}")
+    return fmt
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame ``payload`` with its 4-byte big-endian length prefix."""
+    if len(payload) > MAX_FRAME:
+        raise ServeProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return len(payload).to_bytes(4, "big") + payload
+
+
+async def read_stream_header(reader: asyncio.StreamReader) -> str:
+    """Read and decode the stream opener from ``reader``."""
+    try:
+        header = await reader.readexactly(STREAM_HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeProtocolError(
+            "connection closed before the stream header"
+        ) from exc
+    return parse_stream_header(header)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame; returns ``b""`` for the end-of-stream frame."""
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeProtocolError(
+            "connection closed mid-stream (no end frame)"
+        ) from exc
+    length = int.from_bytes(prefix, "big")
+    if length == 0:
+        return b""
+    if length > MAX_FRAME:
+        raise ServeProtocolError(
+            f"frame of {length} bytes exceeds MAX_FRAME"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeProtocolError(
+            "connection closed inside a frame payload"
+        ) from exc

@@ -1,0 +1,103 @@
+"""Server-side instrumentation riding the parallel engine's stats.
+
+Each connection carries exactly one compression stream, whose shard
+records already live in a :class:`~repro.parallel.stats.ParallelStats`.
+The server keeps one :class:`ServeStats` and folds every finished
+stream into it via :meth:`ParallelStats.merge`, adding the
+connection-level view the engine cannot see: concurrent connections,
+per-stream wall-time quantiles (the p99 the load generator reports),
+and protocol/worker failure counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.parallel.stats import ParallelStats
+
+#: Per-stream wall times kept for quantiles. A long-lived server caps
+#: the list by dropping the oldest half — quantiles then describe
+#: recent traffic, which is what an operator polls for anyway.
+MAX_STREAM_SAMPLES = 4096
+
+
+def quantile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (nearest-rank) of ``samples``; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, int(q * len(ordered) + 0.999999))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class ServeStats:
+    """Aggregate view of a compression service's lifetime."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    peak_connections: int = 0
+    streams_completed: int = 0
+    protocol_errors: int = 0
+    worker_failures: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    stream_wall_s: List[float] = field(default_factory=list)
+    #: Shard-level aggregate across every completed stream.
+    parallel: ParallelStats = field(
+        default_factory=lambda: ParallelStats(workers=0, shard_size=0)
+    )
+
+    def note_open(self) -> None:
+        self.connections_total += 1
+        self.connections_active += 1
+        if self.connections_active > self.peak_connections:
+            self.peak_connections = self.connections_active
+
+    def note_close(self) -> None:
+        self.connections_active -= 1
+
+    def note_stream(self, stats: ParallelStats, wall_s: float,
+                    bytes_in: int, bytes_out: int) -> None:
+        """Fold one completed stream into the server aggregate."""
+        self.streams_completed += 1
+        self.bytes_in += bytes_in
+        self.bytes_out += bytes_out
+        self.stream_wall_s.append(wall_s)
+        if len(self.stream_wall_s) > MAX_STREAM_SAMPLES:
+            del self.stream_wall_s[:MAX_STREAM_SAMPLES // 2]
+        self.parallel.merge(stats)
+
+    @property
+    def p50_s(self) -> float:
+        """Median per-stream wall time (recent streams)."""
+        return quantile(self.stream_wall_s, 0.50)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile per-stream wall time (recent streams)."""
+        return quantile(self.stream_wall_s, 0.99)
+
+    @property
+    def ratio(self) -> float:
+        if self.bytes_out == 0:
+            return 0.0
+        return self.bytes_in / self.bytes_out
+
+    def format(self) -> str:
+        """Render the operator report (the CLI's shutdown summary)."""
+        lines = [
+            f"connections     : {self.connections_total} total, "
+            f"peak {self.peak_connections} concurrent",
+            f"streams         : {self.streams_completed} completed, "
+            f"{self.protocol_errors} protocol error(s), "
+            f"{self.worker_failures} worker failure(s)",
+            f"bytes           : {self.bytes_in} in -> "
+            f"{self.bytes_out} out (ratio {self.ratio:.3f})",
+            f"stream wall time: p50 {self.p50_s:.3f} s, "
+            f"p99 {self.p99_s:.3f} s",
+            f"shards          : {self.parallel.shard_count} "
+            f"(peak queue depth {self.parallel.peak_inflight})",
+        ]
+        return "\n".join(lines)

@@ -1,10 +1,11 @@
 """CRC-32 tests, validated against CPython's zlib as the oracle."""
 
+import random
 import zlib
 
 import pytest
 
-from repro.checksums.crc32 import CRC32, crc32
+from repro.checksums.crc32 import CRC32, crc32, crc32_combine
 
 
 class TestAgainstOracle:
@@ -47,3 +48,48 @@ class TestAccumulator:
     def test_digest_le_matches_gzip_layout(self):
         acc = CRC32(b"123456789")
         assert acc.digest_le() == (0xCBF43926).to_bytes(4, "little")
+
+
+class TestCombine:
+    """crc32_combine is the gzip-framing analogue of adler32_combine:
+    the stitched serve stream's trailer depends on it being exact."""
+
+    def test_matches_concatenation(self):
+        left, right = b"shard one|", b"shard two"
+        assert crc32_combine(
+            crc32(left), crc32(right), len(right)
+        ) == crc32(left + right)
+
+    def test_matches_zlib_combine_randomised(self):
+        rng = random.Random(20260807)
+        for _ in range(40):
+            left = rng.randbytes(rng.randrange(0, 3000))
+            right = rng.randbytes(rng.randrange(0, 3000))
+            expected = zlib.crc32_combine(
+                zlib.crc32(left), zlib.crc32(right), len(right)
+            ) if hasattr(zlib, "crc32_combine") else zlib.crc32(
+                left + right
+            )
+            assert crc32_combine(
+                zlib.crc32(left), zlib.crc32(right), len(right)
+            ) == expected
+
+    def test_empty_right_is_identity(self):
+        assert crc32_combine(0x12345678, 0xDEADBEEF, 0) == 0x12345678
+
+    def test_empty_left(self):
+        data = b"only the second sequence"
+        assert crc32_combine(0, crc32(data), len(data)) == crc32(data)
+
+    def test_many_way_fold_matches_one_shot(self):
+        data = bytes((i * 37 + 11) & 0xFF for i in range(40000))
+        shard = 4096
+        value = 0
+        for i in range(0, len(data), shard):
+            piece = data[i:i + shard]
+            value = crc32_combine(value, crc32(piece), len(piece))
+        assert value == crc32(data)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            crc32_combine(1, 2, -1)

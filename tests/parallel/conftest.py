@@ -1,0 +1,21 @@
+"""Per-test warm-pool isolation for the parallel suite.
+
+The warm pool is deliberately persistent in production: workers fork
+once per process and every later call reuses them. Tests, however,
+monkeypatch worker-side functions (``engine._compress_shard``) and rely
+on the fork context inheriting the patch — which only holds if the pool
+forks *after* the patch is applied. Resetting the default pools around
+every test keeps each test's first parallel call on a freshly forked
+pool, and stops crashed-worker tests from poisoning their neighbours.
+"""
+
+import pytest
+
+from repro.parallel.pool import shutdown_default_pools
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_pools():
+    shutdown_default_pools()
+    yield
+    shutdown_default_pools()

@@ -1,0 +1,265 @@
+"""The persistent warm pool: lifecycle, shared memory, crash recovery.
+
+Regression suite for the pool-per-call pessimisation: PR-1's engine
+created a ``ProcessPoolExecutor`` inside every ``compress_parallel``
+call and pickled whole shard buffers through its pipe, which
+``BENCH_parallel.json`` recorded as a net slowdown. The contract now:
+workers start **once** per process (per worker count), consecutive
+calls reuse them, and shard payloads ride ``multiprocessing.shared_memory``
+— with crashes surfacing as :class:`ConfigError` and the pool
+respawning rather than hanging.
+"""
+
+import multiprocessing
+import os
+import zlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import (
+    MIN_SHARD_SIZE,
+    WarmPool,
+    compress_parallel,
+    get_default_pool,
+    shutdown_default_pools,
+)
+from repro.parallel import engine as engine_module
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import (
+    MAX_FREE_SEGMENTS,
+    SegmentArena,
+    default_pool_count,
+)
+
+SHARD = MIN_SHARD_SIZE
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool test relies on fork inheriting the patched worker",
+)
+
+
+def _boom(task):
+    raise RuntimeError(f"shard {task.index} exploded")
+
+
+def _die(task):
+    os._exit(17)  # simulate OOM-kill / segfault: no exception, no result
+
+
+class _CountingExecutor(pool_module.ProcessPoolExecutor):
+    """Counts real executor construction — the one-pool-spawn probe."""
+
+    created = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).created += 1
+        super().__init__(*args, **kwargs)
+
+
+class TestOnePoolAcrossCalls:
+    @fork_only
+    def test_n_consecutive_calls_spawn_one_executor(
+        self, monkeypatch, wiki_small
+    ):
+        """The headline regression: N calls, exactly one pool spawn."""
+        monkeypatch.setattr(_CountingExecutor, "created", 0)
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", _CountingExecutor
+        )
+        serial = compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD
+        )
+        for _ in range(3):
+            stream = compress_parallel(
+                wiki_small, workers=2, shard_size=SHARD
+            )
+            assert stream == serial
+        assert _CountingExecutor.created == 1
+        assert get_default_pool(2).spawn_count == 1
+
+    @fork_only
+    def test_writer_streams_share_the_default_pool(self, wiki_small):
+        import io
+
+        from repro.parallel import ParallelDeflateWriter
+
+        for _ in range(2):
+            sink = io.BytesIO()
+            with ParallelDeflateWriter(
+                sink, workers=2, shard_size=SHARD
+            ) as writer:
+                writer.write(wiki_small)
+            assert zlib.decompress(sink.getvalue()) == wiki_small
+        assert get_default_pool(2).spawn_count == 1
+
+    @fork_only
+    def test_injected_pool_wins_over_default(self, wiki_small):
+        pool = WarmPool(workers=2)
+        try:
+            stream = compress_parallel(
+                wiki_small, workers=2, shard_size=SHARD, pool=pool
+            )
+            assert zlib.decompress(stream) == wiki_small
+            assert pool.spawn_count == 1
+            assert default_pool_count() == 0
+        finally:
+            pool.shutdown()
+
+    def test_default_pools_keyed_by_worker_count(self):
+        assert get_default_pool(2) is get_default_pool(2)
+        assert get_default_pool(2) is not get_default_pool(3)
+        assert default_pool_count() == 2
+
+    def test_shutdown_default_pools_resets(self):
+        pool = get_default_pool(2)
+        shutdown_default_pools()
+        assert pool.closed
+        assert default_pool_count() == 0
+        # Next request gets a fresh pool, not the closed one.
+        assert get_default_pool(2) is not pool
+
+    def test_atexit_hook_registered_on_first_use(self, monkeypatch):
+        registered = []
+        monkeypatch.setattr(pool_module, "_atexit_registered", False)
+        monkeypatch.setattr(
+            pool_module.atexit, "register",
+            lambda fn: registered.append(fn),
+        )
+        get_default_pool(2)
+        assert registered == [shutdown_default_pools]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WarmPool(workers=0)
+        with pytest.raises(ConfigError):
+            get_default_pool(0)
+
+
+class TestSharedMemoryHandoff:
+    @fork_only
+    def test_pool_output_byte_identical_to_in_process(self, wiki_small):
+        """The no-pickling path must not change a single byte."""
+        serial = compress_parallel(
+            wiki_small, workers=1, shard_size=SHARD
+        )
+        pooled = compress_parallel(
+            wiki_small, workers=2, shard_size=SHARD
+        )
+        assert pooled == serial
+        assert zlib.decompress(pooled) == wiki_small
+
+    @fork_only
+    def test_carry_window_and_binary_payloads(self, x2e_small):
+        serial = compress_parallel(
+            x2e_small, workers=1, shard_size=SHARD, carry_window=True
+        )
+        pooled = compress_parallel(
+            x2e_small, workers=2, shard_size=SHARD, carry_window=True
+        )
+        assert pooled == serial
+
+    @fork_only
+    def test_segments_are_recycled_not_hoarded(self, wiki_small):
+        pool = get_default_pool(2)
+        for _ in range(3):
+            compress_parallel(wiki_small, workers=2, shard_size=SHARD)
+        # Every submitted shard leased a segment; after the futures
+        # resolved they all returned to the bounded free ring.
+        assert pool.shards_submitted >= 3
+        assert 0 < pool.live_segments <= MAX_FREE_SEGMENTS
+
+    def test_arena_reuses_released_segment(self):
+        arena = SegmentArena()
+        try:
+            name1, _ = arena.lease(b"x" * 100)
+            arena.release(name1)
+            name2, length = arena.lease(b"y" * 50)
+            assert name2 == name1  # same mapping, recycled
+            assert length == 50
+        finally:
+            arena.close()
+
+    def test_arena_rejects_after_close(self):
+        arena = SegmentArena()
+        arena.close()
+        with pytest.raises(ConfigError):
+            arena.lease(b"data")
+
+
+class TestCrashRecovery:
+    @fork_only
+    def test_worker_exception_propagates(self, monkeypatch, wiki_small):
+        monkeypatch.setattr(engine_module, "_compress_shard", _boom)
+        with pytest.raises(RuntimeError, match="exploded"):
+            compress_parallel(wiki_small, workers=2, shard_size=SHARD)
+
+    @fork_only
+    def test_dead_worker_raises_configerror_not_hang(
+        self, monkeypatch, wiki_small
+    ):
+        """os._exit in a worker = BrokenProcessPool -> ConfigError."""
+        monkeypatch.setattr(engine_module, "_compress_shard", _die)
+        with pytest.raises(ConfigError, match="worker died"):
+            compress_parallel(wiki_small, workers=2, shard_size=SHARD)
+
+    @fork_only
+    def test_pool_respawns_after_crash(self, monkeypatch, wiki_small):
+        """A warm server must survive a crashed shard worker."""
+        pool = get_default_pool(2)
+        monkeypatch.setattr(engine_module, "_compress_shard", _die)
+        with pytest.raises(ConfigError):
+            compress_parallel(wiki_small, workers=2, shard_size=SHARD)
+        monkeypatch.undo()
+        stream = compress_parallel(
+            wiki_small, workers=2, shard_size=SHARD
+        )
+        assert zlib.decompress(stream) == wiki_small
+        assert get_default_pool(2) is pool
+        assert pool.spawn_count == 2  # original + respawn
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WarmPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(ConfigError, match="shut down"):
+            pool.run(len, [b"x"])
+
+
+class TestForkAndSpawnSafety:
+    def test_forked_child_gets_fresh_pools(self, monkeypatch):
+        parent_pool = get_default_pool(2)
+        real_getpid = os.getpid
+        monkeypatch.setattr(os, "getpid", lambda: real_getpid() + 1)
+        child_pool = get_default_pool(2)
+        assert child_pool is not parent_pool
+        # The parent's pool was not shut down — its workers belong to
+        # the parent; the child merely dropped the references.
+        assert not parent_pool.closed
+        monkeypatch.undo()
+        parent_pool.shutdown()
+
+    def test_spawn_context_round_trips(self, wiki_small):
+        """shm handoff never relies on fork-inherited memory."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        pool = WarmPool(
+            workers=2, context=multiprocessing.get_context("spawn")
+        )
+        try:
+            data = wiki_small[: 4 * SHARD]
+            stream = compress_parallel(
+                data, workers=2, shard_size=SHARD, pool=pool
+            )
+            serial = compress_parallel(data, workers=1, shard_size=SHARD)
+            assert stream == serial
+            assert zlib.decompress(stream) == data
+        finally:
+            pool.shutdown()
+
+
+class TestGenericJobs:
+    @fork_only
+    def test_run_preserves_order(self):
+        pool = get_default_pool(2)
+        assert pool.run(len, [b"a", b"bb", b"ccc"]) == [1, 2, 3]

@@ -1,0 +1,18 @@
+"""Per-test warm-pool isolation for the serve suite.
+
+Same rationale as ``tests/parallel/conftest.py``: crash tests
+monkeypatch worker-side functions and rely on the fork context
+inheriting the patch, which requires each test's first submission to
+fork a fresh pool.
+"""
+
+import pytest
+
+from repro.parallel.pool import shutdown_default_pools
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_pools():
+    shutdown_default_pools()
+    yield
+    shutdown_default_pools()

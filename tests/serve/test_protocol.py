@@ -1,0 +1,98 @@
+"""LZR1 framing: pure encode/decode, no sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeProtocolError
+from repro.serve.protocol import (
+    END_FRAME,
+    MAX_FRAME,
+    encode_frame,
+    parse_stream_header,
+    read_frame,
+    read_stream_header,
+    stream_header,
+)
+
+
+def feed_reader(payload: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+class TestStreamHeader:
+    @pytest.mark.parametrize("fmt", ["zlib", "gzip"])
+    def test_round_trip(self, fmt):
+        assert parse_stream_header(stream_header(fmt)) == fmt
+
+    def test_unknown_format_name_rejected(self):
+        with pytest.raises(ServeProtocolError, match="unknown stream"):
+            stream_header("brotli")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ServeProtocolError, match="magic"):
+            parse_stream_header(b"HTTP/1.1")
+
+    def test_bad_version_rejected(self):
+        header = bytearray(stream_header("zlib"))
+        header[4] = 99
+        with pytest.raises(ServeProtocolError, match="version"):
+            parse_stream_header(bytes(header))
+
+    def test_bad_format_byte_rejected(self):
+        header = bytearray(stream_header("zlib"))
+        header[5] = 7
+        with pytest.raises(ServeProtocolError, match="format byte"):
+            parse_stream_header(bytes(header))
+
+    def test_truncated_header_on_wire(self):
+        async def scenario():
+            return await read_stream_header(feed_reader(b"LZR1"))
+
+        with pytest.raises(ServeProtocolError, match="closed before"):
+            asyncio.run(scenario())
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        wire = encode_frame(b"hello") + END_FRAME
+
+        async def scenario():
+            reader = feed_reader(wire)
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            return first, second
+
+        assert asyncio.run(scenario()) == (b"hello", b"")
+
+    def test_oversize_frame_rejected_on_encode(self):
+        with pytest.raises(ServeProtocolError, match="MAX_FRAME"):
+            encode_frame(b"\x00" * (MAX_FRAME + 1))
+
+    def test_oversize_length_prefix_rejected_on_read(self):
+        wire = (MAX_FRAME + 1).to_bytes(4, "big")
+
+        async def scenario():
+            return await read_frame(feed_reader(wire))
+
+        with pytest.raises(ServeProtocolError, match="MAX_FRAME"):
+            asyncio.run(scenario())
+
+    def test_truncated_payload_rejected(self):
+        wire = encode_frame(b"hello")[:-2]
+
+        async def scenario():
+            return await read_frame(feed_reader(wire))
+
+        with pytest.raises(ServeProtocolError, match="inside a frame"):
+            asyncio.run(scenario())
+
+    def test_eof_instead_of_end_frame_rejected(self):
+        async def scenario():
+            return await read_frame(feed_reader(b""))
+
+        with pytest.raises(ServeProtocolError, match="no end frame"):
+            asyncio.run(scenario())
