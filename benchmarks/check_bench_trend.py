@@ -3,7 +3,8 @@
 The perf-smoke CI job regenerates the machine-readable benchmark
 exhibits (``BENCH_parallel.json``, ``BENCH_tokenizer.json``,
 ``BENCH_adaptive.json``, ``BENCH_matcher.json``, ``BENCH_batch.json``,
-``BENCH_preset_dict.json``, ``BENCH_serve.json``). This checker diffs
+``BENCH_preset_dict.json``, ``BENCH_serve.json``,
+``BENCH_inflate.json``). This checker diffs
 each fresh file against the
 baseline committed at ``--ref`` (default ``HEAD``, read via ``git
 show``) so a PR that quietly bloats the compressed output or erodes a
@@ -63,6 +64,7 @@ BENCH_FILES = (
     "BENCH_batch.json",
     "BENCH_preset_dict.json",
     "BENCH_serve.json",
+    "BENCH_inflate.json",
 )
 
 # Row fields that identify a row (used for matching, never compared).
@@ -77,7 +79,7 @@ CONFIG_KEYS = (
 )
 
 # Deterministic per-row metrics: same input -> same value, tight band.
-SIZE_KEYS = ("output_bytes", "old_bytes", "tokens")
+SIZE_KEYS = ("output_bytes", "old_bytes", "tokens", "stream_bytes")
 
 # Rendered (human-readable) exhibits, structure-diffed against --ref.
 EXHIBIT_DIR = "benchmarks/results"

@@ -52,11 +52,48 @@ class BitReader:
         with zero bits — this is how table-driven inflate decoders peek a
         full window near the end of the stream.
         """
-        while self._bitcount < nbits and self._pos < len(self._data):
-            self._bitbuf |= self._data[self._pos] << self._bitcount
-            self._pos += 1
-            self._bitcount += 8
+        if self._bitcount < nbits:
+            self.refill(nbits)
         return self._bitbuf & ((1 << nbits) - 1)
+
+    def refill(self, nbits: int) -> None:
+        """Top up the bit buffer to at least ``nbits`` available bits.
+
+        Loads the input a 64-bit *word* at a time instead of byte by
+        byte — the software analogue of the paper's 32-bit stream
+        interface, and the refill strategy the fast inflate loop relies
+        on (one ``int.from_bytes`` per iteration instead of up to eight
+        byte loads). Stops silently at end of input: like
+        :meth:`peek_bits`, the caller observes zero-padding and detects
+        overrun from its own bit accounting.
+        """
+        data, pos = self._data, self._pos
+        while self._bitcount < nbits:
+            chunk = data[pos:pos + 8]
+            if not chunk:
+                break
+            self._bitbuf |= int.from_bytes(chunk, "little") << self._bitcount
+            pos += len(chunk)
+            self._bitcount += len(chunk) << 3
+        self._pos = pos
+
+    def load_state(self):
+        """Expose ``(data, pos, bitbuf, bitcount)`` for an inlined loop.
+
+        The fast inflate path hoists the reader state into function
+        locals (the classic zlib ``LOAD``/``RESTORE`` macro pair);
+        :meth:`save_state` writes the locals back before control leaves
+        the loop (end of block, stored-block handoff).
+        """
+        return self._data, self._pos, self._bitbuf, self._bitcount
+
+    def save_state(self, pos: int, bitbuf: int, bitcount: int) -> None:
+        """Inverse of :meth:`load_state` (see there)."""
+        if bitcount < 0:
+            raise BitstreamError("unexpected end of bitstream")
+        self._pos = pos
+        self._bitbuf = bitbuf
+        self._bitcount = bitcount
 
     def skip_bits(self, nbits: int) -> None:
         """Consume ``nbits`` bits previously seen via :meth:`peek_bits`."""

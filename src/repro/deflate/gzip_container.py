@@ -60,40 +60,14 @@ def compress(
 
 
 def decompress(data: bytes, max_output: Optional[int] = None) -> bytes:
-    """Decode one gzip member; verifies CRC-32 and ISIZE."""
-    if len(data) < 10 or data[:2] != _MAGIC:
-        raise GzipContainerError("missing gzip magic bytes")
-    if data[2] != _CM_DEFLATE:
-        raise GzipContainerError(f"unsupported compression method {data[2]}")
-    flg = data[3]
-    offset = 10
-    if flg & 0x04:  # FEXTRA
-        if len(data) < offset + 2:
-            raise GzipContainerError("truncated FEXTRA length")
-        xlen = int.from_bytes(data[offset:offset + 2], "little")
-        offset += 2 + xlen
-    if flg & 0x08:  # FNAME
-        offset = _skip_zero_terminated(data, offset)
-    if flg & 0x10:  # FCOMMENT
-        offset = _skip_zero_terminated(data, offset)
-    if flg & 0x02:  # FHCRC
-        offset += 2
-    if offset > len(data):
-        raise GzipContainerError("truncated gzip header")
-    payload, consumed = inflate_with_tail(data[offset:])
-    if max_output is not None and len(payload) > max_output:
-        raise GzipContainerError(
-            f"output exceeds max_output={max_output} bytes"
-        )
-    trailer = data[offset + consumed:offset + consumed + 8]
-    if len(trailer) < 8:
-        raise GzipContainerError("stream truncated before CRC32/ISIZE")
-    expected_crc = int.from_bytes(trailer[:4], "little")
-    expected_size = int.from_bytes(trailer[4:], "little")
-    if crc32(payload) != expected_crc:
-        raise GzipContainerError("CRC-32 mismatch")
-    if len(payload) & 0xFFFFFFFF != expected_size:
-        raise GzipContainerError("ISIZE mismatch")
+    """Decode one gzip member; verifies CRC-32 and ISIZE.
+
+    ``max_output`` is enforced inside the Deflate decoder (the bomb
+    guard aborts mid-stream, before the trailer is ever reached).
+    Trailing bytes after the member are ignored; use
+    :func:`decompress_multi` for concatenated members.
+    """
+    payload, _ = _decompress_member(data, max_output)
     return payload
 
 
@@ -117,12 +91,10 @@ def decompress_multi(data: bytes, max_output: Optional[int] = None) -> bytes:
         raise GzipContainerError("empty input")
     while offset < len(data):
         member = data[offset:]
-        payload, consumed = _decompress_member(member, max_output)
+        # Later members only get the budget earlier ones left over.
+        budget = None if max_output is None else max_output - len(out)
+        payload, consumed = _decompress_member(member, budget)
         out += payload
-        if max_output is not None and len(out) > max_output:
-            raise GzipContainerError(
-                f"output exceeds max_output={max_output} bytes"
-            )
         offset += consumed
     return bytes(out)
 
@@ -148,11 +120,8 @@ def _decompress_member(data: bytes, max_output: Optional[int]) -> tuple:
         offset += 2
     if offset > len(data):
         raise GzipContainerError("truncated gzip header")
-    payload, consumed = inflate_with_tail(data[offset:])
-    if max_output is not None and len(payload) > max_output:
-        raise GzipContainerError(
-            f"output exceeds max_output={max_output} bytes"
-        )
+    payload, consumed = inflate_with_tail(data[offset:],
+                                          max_output=max_output)
     trailer = data[offset + consumed:offset + consumed + 8]
     if len(trailer) < 8:
         raise GzipContainerError("stream truncated before CRC32/ISIZE")

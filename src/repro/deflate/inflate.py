@@ -2,101 +2,156 @@
 
 Independent of CPython's :mod:`zlib`; the test suite cross-validates it
 in both directions (our inflate on zlib's output, zlib's inflate on
-ours). The decoder enforces the structural rules a hardware decompressor
-would: LEN/NLEN complement check, complete Huffman code sets (with the
-single-code exceptions the spec allows), and in-range back-references.
+ours) and a differential fuzz suite feeds both decoders the same
+malformed streams. The decoder enforces the structural rules a hardware
+decompressor would: LEN/NLEN complement check, complete Huffman code
+sets (with the single-code exceptions the spec allows), and in-range
+back-references.
+
+The compressed-block hot path is vectorised in spirit even where it is
+scalar in code: the :class:`~repro.huffman.decoder.HuffmanDecoder`
+tables resolve literal *runs* and fused length+extra records per
+lookup, the bit buffer refills a 64-bit word at a time (one
+``int.from_bytes`` per token instead of per byte), and back-reference
+copies are slice/period-trick bulk operations. With numpy installed an
+alternative engine decodes each block to token arrays and materialises
+the output with a GPULZ-style gather (log-rounds pointer doubling
+instead of a per-match Python loop); ``engine="auto"`` keeps the scalar
+path, which benchmarks faster at typical block sizes — see
+docs/PERFORMANCE.md for the measured crossover.
+
+``max_output`` bounds are enforced *mid-stream*: stored blocks check
+before extending, compressed blocks after each token, and the numpy
+engine before materialising a block — a decompression bomb aborts
+after at most one token (≤ 258 bytes) of overshoot, never after
+inflating the whole stream.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from array import array
+from typing import Optional, Tuple
+
+try:  # numpy accelerates back-reference materialisation; never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 from repro.bitio.reader import BitReader
-from repro.deflate.constants import (
-    CODE_LENGTH_ORDER,
-    END_OF_BLOCK,
-    distance_from_symbol,
-    length_from_symbol,
-    DISTANCE_TABLE,
-    LENGTH_TABLE,
-)
+from repro.deflate.constants import CODE_LENGTH_ORDER, END_OF_BLOCK
 from repro.errors import DeflateError
-from repro.huffman.decoder import HuffmanDecoder
+from repro.huffman.decoder import LITLEN_FAST_BITS, HuffmanDecoder
 from repro.huffman.fixed import FIXED_DIST_LENGTHS, FIXED_LITLEN_LENGTHS
 
-_FIXED_LITLEN_DECODER: Optional[HuffmanDecoder] = None
-_FIXED_DIST_DECODER: Optional[HuffmanDecoder] = None
+_FIXED_DECODERS: Optional[tuple] = None
 
 
 def _fixed_decoders():
-    global _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
-    if _FIXED_LITLEN_DECODER is None:
-        _FIXED_LITLEN_DECODER = HuffmanDecoder(FIXED_LITLEN_LENGTHS)
-        _FIXED_DIST_DECODER = HuffmanDecoder(FIXED_DIST_LENGTHS)
-    return _FIXED_LITLEN_DECODER, _FIXED_DIST_DECODER
+    global _FIXED_DECODERS
+    if _FIXED_DECODERS is None:
+        _FIXED_DECODERS = (
+            HuffmanDecoder(FIXED_LITLEN_LENGTHS, role="litlen",
+                           fast_bits=LITLEN_FAST_BITS),
+            HuffmanDecoder(FIXED_DIST_LENGTHS, role="dist"),
+        )
+    return _FIXED_DECODERS
 
 
-def inflate(data: bytes, max_output: Optional[int] = None) -> bytes:
+def inflate(
+    data: bytes,
+    max_output: Optional[int] = None,
+    zdict: bytes = b"",
+    engine: str = "auto",
+) -> bytes:
     """Decode a complete Deflate stream to bytes.
 
     ``max_output`` guards against decompression bombs in callers that
-    feed untrusted input; ``None`` means unlimited.
+    feed untrusted input (``None`` means unlimited); decoding aborts
+    mid-stream, before the output can grow unboundedly. ``zdict``
+    primes the back-reference history, as a preset dictionary (RFC 1950
+    FDICT) does — the dictionary bytes are referenceable but not part
+    of the returned payload. ``engine`` selects the block decoder:
+    ``"scalar"``, ``"numpy"`` (gather-based materialisation, requires
+    numpy) or ``"auto"``.
     """
-    reader = BitReader(data)
-    out = bytearray()
-    while True:
-        final = reader.read_bits(1)
-        btype = reader.read_bits(2)
-        if btype == 0b00:
-            _inflate_stored(reader, out)
-        elif btype == 0b01:
-            litlen, dist = _fixed_decoders()
-            _inflate_compressed(reader, out, litlen, dist, max_output)
-        elif btype == 0b10:
-            litlen, dist = _read_dynamic_tables(reader)
-            _inflate_compressed(reader, out, litlen, dist, max_output)
-        else:
-            raise DeflateError("reserved block type 11")
-        if max_output is not None and len(out) > max_output:
-            raise DeflateError(
-                f"output exceeds max_output={max_output} bytes"
-            )
-        if final:
-            return bytes(out)
+    payload, _ = _decode_stream(data, max_output, zdict, engine)
+    return payload
 
 
-def inflate_with_tail(data: bytes) -> tuple:
+def inflate_with_tail(
+    data: bytes,
+    max_output: Optional[int] = None,
+    zdict: bytes = b"",
+    engine: str = "auto",
+) -> Tuple[bytes, int]:
     """Like :func:`inflate` but also return the consumed byte count.
 
-    Containers need this to locate their trailing checksum.
+    Containers need this to locate their trailing checksum; they thread
+    ``max_output`` through so the bomb guard holds *before* the
+    checksum is ever reached.
     """
+    return _decode_stream(data, max_output, zdict, engine)
+
+
+def _decode_stream(
+    data: bytes,
+    max_output: Optional[int],
+    zdict: bytes,
+    engine: str = "auto",
+) -> Tuple[bytes, int]:
+    """The shared block loop behind :func:`inflate` and
+    :func:`inflate_with_tail` (one implementation, two return shapes)."""
+    if engine not in ("auto", "scalar", "numpy"):
+        raise DeflateError(f"unknown inflate engine: {engine!r}")
+    if engine == "numpy" and _np is None:
+        raise DeflateError("inflate engine 'numpy' requires numpy")
+    # "auto" resolves to the scalar path: slice-based copies beat the
+    # gather rounds at zlib block sizes (docs/PERFORMANCE.md).
+    compressed = (
+        _inflate_compressed_np if engine == "numpy" else _inflate_compressed
+    )
     reader = BitReader(data)
-    out = bytearray()
+    out = bytearray(zdict)
+    base = len(out)
+    limit = None if max_output is None else base + max_output
     while True:
         final = reader.read_bits(1)
         btype = reader.read_bits(2)
         if btype == 0b00:
-            _inflate_stored(reader, out)
+            _inflate_stored(reader, out, limit)
         elif btype == 0b01:
             litlen, dist = _fixed_decoders()
-            _inflate_compressed(reader, out, litlen, dist, None)
+            compressed(reader, out, litlen, dist, limit)
         elif btype == 0b10:
             litlen, dist = _read_dynamic_tables(reader)
-            _inflate_compressed(reader, out, litlen, dist, None)
+            compressed(reader, out, litlen, dist, limit)
         else:
             raise DeflateError("reserved block type 11")
         if final:
-            consumed = (reader.bits_consumed + 7) // 8
-            return bytes(out), consumed
+            break
+    consumed = (reader.bits_consumed + 7) // 8
+    if base:
+        del out[:base]
+    return bytes(out), consumed
 
 
-def _inflate_stored(reader: BitReader, out: bytearray) -> None:
+def _inflate_stored(
+    reader: BitReader,
+    out: bytearray,
+    limit: Optional[int] = None,
+) -> None:
     reader.align_to_byte()
     length = reader.read_bits(16)
     nlen = reader.read_bits(16)
     if length ^ nlen != 0xFFFF:
         raise DeflateError(
             f"stored block LEN/NLEN mismatch: {length:#06x}/{nlen:#06x}"
+        )
+    # Checked *before* the copy: a stored bomb must not be able to
+    # overshoot the guard by up to 64 KiB per block.
+    if limit is not None and len(out) + length > limit:
+        raise DeflateError(
+            f"stored block of {length} bytes exceeds max_output"
         )
     out.extend(reader.read_bytes(length))
 
@@ -137,11 +192,13 @@ def _read_dynamic_tables(reader: BitReader):
     dist_lengths = lengths[hlit:]
     if litlen_lengths[END_OF_BLOCK] == 0:
         raise DeflateError("end-of-block symbol has no code")
-    litlen = HuffmanDecoder(litlen_lengths)
+    litlen = HuffmanDecoder(litlen_lengths, role="litlen",
+                            fast_bits=LITLEN_FAST_BITS)
     if any(dist_lengths):
         # A single distance code may legally be incomplete (one code of
         # one bit); used for e.g. whole-file RLE streams.
-        dist = HuffmanDecoder(dist_lengths, allow_incomplete=True)
+        dist = HuffmanDecoder(dist_lengths, allow_incomplete=True,
+                              role="dist")
     else:
         dist = None
     return litlen, dist
@@ -152,28 +209,112 @@ def _inflate_compressed(
     out: bytearray,
     litlen: HuffmanDecoder,
     dist: Optional[HuffmanDecoder],
-    max_output: Optional[int],
+    limit: Optional[int],
 ) -> None:
-    while True:
-        symbol = litlen.decode(reader)
-        if symbol < 256:
-            out.append(symbol)
-        elif symbol == END_OF_BLOCK:
-            return
-        else:
-            if symbol > 285:
-                raise DeflateError(f"invalid length symbol {symbol}")
-            extra = LENGTH_TABLE[symbol - 257][1]
-            length = length_from_symbol(symbol, reader.read_bits(extra))
-            if dist is None:
-                raise DeflateError(
-                    "length/distance pair in a block with no distance codes"
-                )
-            dsymbol = dist.decode(reader)
-            if dsymbol > 29:
-                raise DeflateError(f"invalid distance symbol {dsymbol}")
-            dextra = DISTANCE_TABLE[dsymbol][1]
-            distance = distance_from_symbol(dsymbol, reader.read_bits(dextra))
+    """Decode one compressed block's symbols into ``out`` (scalar path).
+
+    The reader state is hoisted into locals for the duration of the
+    block (zlib's LOAD/RESTORE discipline); every iteration refills the
+    bit buffer to >= 48 bits with at most one 64-bit word load — enough
+    for the longest possible token (15+5 length bits, 15+13 distance
+    bits). Table entries resolve literal runs and fused length /
+    distance values; see :mod:`repro.huffman.decoder` for the layout.
+
+    End-of-input is detected lazily: the refill branch raises once the
+    buffer runs dry (every entry consumes >= 1 bit, so a truncated
+    stream reaches ``bitcount <= 0`` after at most a few tokens of
+    zero-padding garbage) instead of the loop body paying a bounds
+    check per token. Callers discard ``out`` when the decoder raises,
+    so the short-lived garbage never escapes.
+
+    Unbounded decodes (``limit is None`` — the common trusted-input
+    case, and the benchmarked one) dispatch to
+    :func:`_inflate_compressed_uncapped`, which drops the per-token
+    ``max_output`` accounting entirely; this loop is the guarded
+    variant that pays the check on every token.
+    """
+    if limit is None:
+        _inflate_compressed_uncapped(reader, out, litlen, dist)
+        return
+    data, pos, bitbuf, bitcount = reader.load_state()
+    ltable = litlen._table
+    lmask = litlen.fast_mask
+    lbits = litlen.fast_bits
+    if dist is not None:
+        dtable = dist._table
+        dmask = dist.fast_mask
+        dbits = dist.fast_bits
+    else:
+        # Left unbound on purpose: a length code in a distance-free
+        # block trips the NameError handler below, so the hot loop
+        # never pays a per-match ``dist is None`` test.
+        dmask = 0
+    cap = limit
+    from_bytes = int.from_bytes
+    try:
+        while True:
+            if bitcount < 48:
+                chunk = data[pos:pos + 16]
+                if chunk:
+                    n = len(chunk)
+                    bitbuf |= from_bytes(chunk, "little") << bitcount
+                    pos += n
+                    bitcount += n << 3
+                elif bitcount <= 0:
+                    raise DeflateError("unexpected end of bitstream")
+            kind, nbits, first, a, b = ltable[bitbuf & lmask]
+            if kind == 4:
+                kind, nbits, first, a, b = \
+                    ltable[a + ((bitbuf >> lbits) & b)]
+            # Dispatch in hot-loop frequency order: fused lengths lead
+            # on match-heavy streams, literal runs on literal-heavy
+            # ones, raw base+extra records and end-of-block trail.
+            if kind == 1:
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 0:
+                bitbuf >>= nbits
+                bitcount -= nbits
+                out += a
+                if len(out) > cap:
+                    raise DeflateError("output exceeds max_output")
+                continue
+            elif kind == 3:
+                a += (bitbuf >> first) & b
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 2:
+                bitcount -= nbits
+                if bitcount < 0:
+                    raise DeflateError("unexpected end of bitstream")
+                reader.save_state(pos, bitbuf >> nbits, bitcount)
+                return
+            else:
+                raise DeflateError("undecodable literal/length code")
+            kind, nbits, first, distance, b = dtable[bitbuf & dmask]
+            if kind == 3:
+                distance += (bitbuf >> first) & b
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 1:
+                bitbuf >>= nbits
+                bitcount -= nbits
+            else:
+                if kind != 4:
+                    raise DeflateError(
+                        "undecodable or invalid distance code"
+                    )
+                kind, nbits, first, distance, b = \
+                    dtable[distance + ((bitbuf >> dbits) & b)]
+                if kind == 3:
+                    distance += (bitbuf >> first) & b
+                elif kind != 1:
+                    raise DeflateError(
+                        "undecodable or invalid distance code"
+                    )
+                bitbuf >>= nbits
+                bitcount -= nbits
+            length = a
             start = len(out) - distance
             if start < 0:
                 raise DeflateError(
@@ -181,11 +322,327 @@ def _inflate_compressed(
                     f"start ({len(out)} bytes emitted)"
                 )
             if distance >= length:
-                out.extend(out[start:start + length])
+                out += out[start:start + length]
+            elif distance == 1:
+                out += out[start:] * length
             else:
-                for i in range(length):
-                    out.append(out[start + i])
-        if max_output is not None and len(out) > max_output:
+                # Overlapping copy: tile the period, not a byte loop.
+                segment = bytes(out[start:])
+                out += (segment * (length // distance + 1))[:length]
+            if len(out) > cap:
+                raise DeflateError("output exceeds max_output")
+    except NameError:
+        raise DeflateError(
+            "length/distance pair in a block with no distance codes"
+        ) from None
+
+
+def _inflate_compressed_uncapped(
+    reader: BitReader,
+    out: bytearray,
+    litlen: HuffmanDecoder,
+    dist: Optional[HuffmanDecoder],
+) -> None:
+    """The ``max_output=None`` specialisation of the scalar hot loop.
+
+    Identical decode semantics to :func:`_inflate_compressed`, minus
+    the per-token output-budget accounting (roughly one ``len`` call
+    and compare per token), plus a literal-burst inner loop: once a
+    literal-run entry hits, consecutive literal entries are drained
+    without re-entering the outer dispatch. The burst only looks ahead
+    while >= 24 buffered bits remain — more than any litlen entry
+    consumes — so a rejected lookahead entry is simply re-decoded by
+    the outer loop with identical state.
+    """
+    data, pos, bitbuf, bitcount = reader.load_state()
+    ltable = litlen._table
+    lmask = litlen.fast_mask
+    lbits = litlen.fast_bits
+    if dist is not None:
+        dtable = dist._table
+        dmask = dist.fast_mask
+        dbits = dist.fast_bits
+    else:
+        # Unbound on purpose — see _inflate_compressed.
+        dmask = 0
+    from_bytes = int.from_bytes
+    try:
+        while True:
+            if bitcount < 48:
+                chunk = data[pos:pos + 16]
+                if chunk:
+                    n = len(chunk)
+                    bitbuf |= from_bytes(chunk, "little") << bitcount
+                    pos += n
+                    bitcount += n << 3
+                elif bitcount <= 0:
+                    raise DeflateError("unexpected end of bitstream")
+            kind, nbits, first, a, b = ltable[bitbuf & lmask]
+            # The fused-length branch leads: on match-heavy streams it
+            # takes nearly every iteration, and the rare long codes
+            # (subtable links) re-dispatch inside the cold tail branch
+            # so the hot branches never pay for them.
+            if kind == 1:
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 0:
+                # Literal burst: drain consecutive literal-run entries
+                # without re-entering the outer dispatch. Lookahead
+                # only proceeds with >= 24 buffered bits — more than
+                # any root entry consumes — so a rejected entry is
+                # re-decoded by the outer loop with identical state.
+                while True:
+                    bitbuf >>= nbits
+                    bitcount -= nbits
+                    out += a
+                    if bitcount < 24:
+                        break
+                    kind, nbits, first, a, b = ltable[bitbuf & lmask]
+                    if kind:
+                        break
+                continue
+            elif kind == 3:
+                a += (bitbuf >> first) & b
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 2:
+                bitcount -= nbits
+                if bitcount < 0:
+                    raise DeflateError("unexpected end of bitstream")
+                reader.save_state(pos, bitbuf >> nbits, bitcount)
+                return
+            else:
+                if kind != 4:
+                    raise DeflateError("undecodable literal/length code")
+                kind, nbits, first, a, b = \
+                    ltable[a + ((bitbuf >> lbits) & b)]
+                if kind == 1:
+                    bitbuf >>= nbits
+                    bitcount -= nbits
+                elif kind == 0:
+                    bitbuf >>= nbits
+                    bitcount -= nbits
+                    out += a
+                    continue
+                elif kind == 3:
+                    a += (bitbuf >> first) & b
+                    bitbuf >>= nbits
+                    bitcount -= nbits
+                elif kind == 2:
+                    bitcount -= nbits
+                    if bitcount < 0:
+                        raise DeflateError("unexpected end of bitstream")
+                    reader.save_state(pos, bitbuf >> nbits, bitcount)
+                    return
+                else:
+                    raise DeflateError("undecodable literal/length code")
+            kind, nbits, first, distance, b = dtable[bitbuf & dmask]
+            if kind == 3:
+                distance += (bitbuf >> first) & b
+                bitbuf >>= nbits
+                bitcount -= nbits
+            elif kind == 1:
+                bitbuf >>= nbits
+                bitcount -= nbits
+            else:
+                if kind != 4:
+                    raise DeflateError(
+                        "undecodable or invalid distance code"
+                    )
+                kind, nbits, first, distance, b = \
+                    dtable[distance + ((bitbuf >> dbits) & b)]
+                if kind == 3:
+                    distance += (bitbuf >> first) & b
+                elif kind != 1:
+                    raise DeflateError(
+                        "undecodable or invalid distance code"
+                    )
+                bitbuf >>= nbits
+                bitcount -= nbits
+            start = len(out) - distance
+            if start < 0:
+                raise DeflateError(
+                    f"back-reference distance {distance} precedes output "
+                    f"start ({len(out)} bytes emitted)"
+                )
+            if distance >= a:
+                out += out[start:start + a]
+            elif distance == 1:
+                out += out[start:] * a
+            else:
+                # Overlapping copy: tile the period, not a byte loop.
+                segment = bytes(out[start:])
+                out += (segment * (a // distance + 1))[:a]
+    except NameError:
+        raise DeflateError(
+            "length/distance pair in a block with no distance codes"
+        ) from None
+
+
+def _inflate_compressed_np(
+    reader: BitReader,
+    out: bytearray,
+    litlen: HuffmanDecoder,
+    dist: Optional[HuffmanDecoder],
+    limit: Optional[int],
+) -> None:
+    """Numpy engine: decode to token arrays, then gather-materialise.
+
+    Phase 1 runs the same table-driven bit loop as the scalar path but
+    emits (literal bytes, per-match literal-run lengths, match lengths,
+    match distances) instead of touching ``out``. Phase 2 resolves
+    every back-reference with vectorised pointer doubling — the
+    software shape of GPULZ's parallel decode — so no per-match Python
+    loop runs at all. The bomb guard is enforced on the running token
+    totals, before any output is allocated.
+    """
+    data, pos, bitbuf, bitcount = reader.load_state()
+    ltable = litlen._table
+    lmask = litlen.fast_mask
+    lbits = litlen.fast_bits
+    if dist is not None:
+        dtable = dist._table
+        dmask = dist.fast_mask
+        dbits = dist.fast_bits
+    cap = (1 << 63) if limit is None else limit
+    history = len(out)
+    produced = history  # running output size, for distance/limit checks
+
+    lits = bytearray()
+    runs = array("l")       # literals preceding each match
+    lens = array("l")
+    dists = array("l")
+    run = 0                 # literals since the last match
+
+    while True:
+        if bitcount < 48:
+            chunk = data[pos:pos + 16]
+            if chunk:
+                n = len(chunk)
+                bitbuf |= int.from_bytes(chunk, "little") << bitcount
+                pos += n
+                bitcount += n << 3
+            elif bitcount <= 0:
+                raise DeflateError("unexpected end of bitstream")
+        kind, nbits, first, a, b = ltable[bitbuf & lmask]
+        if kind == 4:
+            kind, nbits, first, a, b = ltable[a + ((bitbuf >> lbits) & b)]
+        if kind == 3:
+            # Extra bits sit right after the code: read them from the
+            # unconsumed buffer, then one shift covers code + extras.
+            length = a + ((bitbuf >> first) & b)
+            bitbuf >>= nbits
+            bitcount -= nbits
+        else:
+            bitbuf >>= nbits
+            bitcount -= nbits
+            if kind == 0:
+                lits += a
+                run += b
+                produced += b
+                if produced > cap:
+                    raise DeflateError("output exceeds max_output")
+                continue
+            if kind == 1:
+                length = a
+            elif kind == 2:
+                if bitcount < 0:
+                    raise DeflateError("unexpected end of bitstream")
+                reader.save_state(pos, bitbuf, bitcount)
+                _materialize_np(out, lits, runs, lens, dists)
+                return
+            else:
+                raise DeflateError("undecodable literal/length code")
+        if dist is None:
             raise DeflateError(
-                f"output exceeds max_output={max_output} bytes"
+                "length/distance pair in a block with no distance codes"
             )
+        kind, nbits, first, a, b = dtable[bitbuf & dmask]
+        if kind == 4:
+            kind, nbits, first, a, b = dtable[a + ((bitbuf >> dbits) & b)]
+        if kind == 3:
+            distance = a + ((bitbuf >> first) & b)
+        elif kind == 1:
+            distance = a
+        else:
+            raise DeflateError("undecodable or invalid distance code")
+        bitbuf >>= nbits
+        bitcount -= nbits
+        if distance > produced:
+            raise DeflateError(
+                f"back-reference distance {distance} precedes output "
+                f"start ({produced} bytes emitted)"
+            )
+        runs.append(run)
+        run = 0
+        lens.append(length)
+        dists.append(distance)
+        produced += length
+        if produced > cap:
+            raise DeflateError("output exceeds max_output")
+
+
+def _grouped_arange(counts):
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated (numpy)."""
+    np = _np
+    total = int(counts.sum())
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=counts.dtype) - np.repeat(
+        ends - counts, counts
+    )
+
+
+def _materialize_np(out, lits, runs, lens, dists) -> None:
+    """Append one decoded block to ``out`` by vectorised gather.
+
+    Every output byte's ultimate source is a literal (or history) byte:
+    back-references form chains that pointer doubling collapses in
+    O(log depth) full-array gathers. Overlapping matches
+    (distance < length) are folded first — byte ``k`` of such a match
+    reads ``source + (k mod distance)`` — so no chain ever points
+    *inside* its own match.
+    """
+    np = _np
+    history = len(out)
+    if not lens:
+        out += lits
+        return
+    dtype = np.int64 if history + len(lits) > 0x7FFF0000 else np.int32
+    ctype = np.dtype("l")  # matches array("l") item width on this platform
+    runs_a = np.frombuffer(runs, dtype=ctype).astype(dtype, copy=False)
+    lens_a = np.frombuffer(lens, dtype=ctype).astype(dtype, copy=False)
+    dists_a = np.frombuffer(dists, dtype=ctype).astype(dtype, copy=False)
+    total = len(lits) + int(lens_a.sum())
+
+    buf = np.empty(history + total, np.uint8)
+    if history:
+        buf[:history] = np.frombuffer(out, np.uint8)
+
+    # Literal destinations: run i sits between match i-1 and match i,
+    # plus the trailing run after the last match.
+    tail = len(lits) - int(runs_a.sum())
+    all_runs = np.concatenate([runs_a, np.asarray([tail], dtype)])
+    steps = np.concatenate([runs_a + lens_a, np.asarray([tail], dtype)])
+    run_starts = history + np.cumsum(steps) - steps
+    lit_dst = (np.repeat(run_starts, all_runs)
+               + _grouped_arange(all_runs))
+    buf[lit_dst] = np.frombuffer(lits, np.uint8)
+
+    # Match byte destinations and (overlap-folded) sources.
+    match_starts = run_starts[:-1] + runs_a
+    offsets = _grouped_arange(lens_a) % np.repeat(dists_a, lens_a)
+    match_dst = (np.repeat(match_starts, lens_a)
+                 + _grouped_arange(lens_a))
+    match_src = np.repeat(match_starts - dists_a, lens_a) + offsets
+
+    # Pointer doubling: F maps every byte to its source; literals and
+    # history map to themselves, so chains shrink geometrically until
+    # every position resolves to a self-mapped one.
+    source = np.arange(history + total, dtype=dtype)
+    source[match_dst] = match_src
+    while True:
+        folded = source[source]
+        if np.array_equal(folded, source):
+            break
+        source = folded
+    out += buf[source][history:].tobytes()

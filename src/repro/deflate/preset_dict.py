@@ -18,7 +18,8 @@ from typing import Iterable, Optional
 
 from repro.checksums.adler32 import adler32
 from repro.deflate.block_writer import BlockStrategy, deflate_tokens
-from repro.deflate.zlib_container import make_header
+from repro.deflate.inflate import inflate_with_tail
+from repro.deflate.zlib_container import effective_dict, make_header
 from repro.errors import ConfigError, ZLibContainerError
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.hashchain import HashSpec
@@ -69,10 +70,8 @@ def compress_with_dict(
     """
     if not dictionary:
         raise ConfigError("dictionary must be non-empty (use compress())")
-    max_dict = window_size - 262
-    if len(dictionary) > max_dict:
-        # Only the last window's worth can ever be referenced.
-        dictionary = dictionary[-max_dict:]
+    # Only the last window's worth can ever be referenced.
+    dictionary = effective_dict(dictionary, window_size)
 
     # Prime by compressing dictionary+data and keeping only the tokens
     # that start inside `data` (matches may reach back into the
@@ -124,20 +123,17 @@ def decompress_with_dict(
         )
     dictid = int.from_bytes(stream[2:6], "big")
     window_size = 1 << ((cmf >> 4) + 8)
-    max_dict = window_size - 262
-    effective = dictionary[-max_dict:] if len(dictionary) > max_dict \
-        else dictionary
+    effective = effective_dict(dictionary, window_size)
     if adler32(effective) != dictid and adler32(dictionary) != dictid:
         raise ZLibContainerError(
             f"DICTID {dictid:#010x} does not match the supplied dictionary"
         )
 
-    # Decode with the dictionary pre-loaded, then strip it.
-    payload, consumed = _inflate_primed(stream[6:], effective)
-    if max_output is not None and len(payload) > max_output:
-        raise ZLibContainerError(
-            f"output exceeds max_output={max_output} bytes"
-        )
+    # Decode with the history primed by the dictionary; ``max_output``
+    # is enforced inside the decoder, aborting bombs mid-stream.
+    payload, consumed = inflate_with_tail(
+        stream[6:], max_output=max_output, zdict=effective
+    )
     trailer = stream[6 + consumed:6 + consumed + 4]
     if len(trailer) < 4:
         raise ZLibContainerError("stream truncated before Adler-32 trailer")
@@ -145,36 +141,6 @@ def decompress_with_dict(
     if adler32(payload) != expected:
         raise ZLibContainerError("Adler-32 mismatch")
     return payload
-
-
-def _inflate_primed(body: bytes, dictionary: bytes):
-    """Inflate with the output buffer primed by ``dictionary``."""
-    from repro.bitio.reader import BitReader
-    from repro.deflate.inflate import (
-        _fixed_decoders,
-        _inflate_compressed,
-        _inflate_stored,
-        _read_dynamic_tables,
-    )
-
-    reader = BitReader(body)
-    out = bytearray(dictionary)
-    while True:
-        final = reader.read_bits(1)
-        btype = reader.read_bits(2)
-        if btype == 0b00:
-            _inflate_stored(reader, out)
-        elif btype == 0b01:
-            litlen, dist = _fixed_decoders()
-            _inflate_compressed(reader, out, litlen, dist, None)
-        elif btype == 0b10:
-            litlen, dist = _read_dynamic_tables(reader)
-            _inflate_compressed(reader, out, litlen, dist, None)
-        else:
-            raise ZLibContainerError("reserved block type in FDICT stream")
-        if final:
-            consumed = (reader.bits_consumed + 7) // 8
-            return bytes(out[len(dictionary):]), consumed
 
 
 def train_dictionary(

@@ -362,11 +362,11 @@ def decompress_prefix(data: bytes) -> bytes:
         _inflate_stored,
         _read_dynamic_tables,
     )
-    from repro.deflate.zlib_container import parse_header
+    from repro.deflate.zlib_container import parse_header_info
     from repro.errors import FormatError
 
-    parse_header(data)
-    reader = BitReader(data[2:])
+    header = parse_header_info(data)
+    reader = BitReader(data[header.size:])
     out = bytearray()
     good = 0
     try:

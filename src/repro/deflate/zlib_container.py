@@ -44,8 +44,22 @@ def make_header(window_size: int) -> bytes:
     return bytes([cmf, flg])
 
 
-def parse_header(data: bytes) -> int:
-    """Validate the CMF/FLG header; return the advertised window size."""
+@dataclass(frozen=True)
+class ZLibHeader:
+    """Parsed CMF/FLG header (plus DICTID when FDICT is set)."""
+
+    window_size: int
+    fdict: bool
+    dictid: Optional[int]
+    size: int  #: header bytes before the Deflate body (2, or 6 w/ FDICT)
+
+
+def parse_header_info(data: bytes) -> ZLibHeader:
+    """Validate the CMF/FLG header and return its parsed fields.
+
+    FDICT streams (RFC 1950 §2.2) carry the dictionary's Adler-32 in
+    the four bytes after FLG; the Deflate body starts after it.
+    """
     if len(data) < 2:
         raise ZLibContainerError("stream shorter than the 2-byte header")
     cmf, flg = data[0], data[1]
@@ -53,9 +67,32 @@ def parse_header(data: bytes) -> int:
         raise ZLibContainerError(f"unsupported compression method {cmf & 0xF}")
     if (cmf * 256 + flg) % 31:
         raise ZLibContainerError("FCHECK failure in CMF/FLG")
-    if flg & 0x20:
-        raise ZLibContainerError("FDICT preset dictionaries not supported")
-    return 1 << ((cmf >> 4) + 8)
+    window_size = 1 << ((cmf >> 4) + 8)
+    if not flg & 0x20:
+        return ZLibHeader(window_size, False, None, 2)
+    if len(data) < 6:
+        raise ZLibContainerError("FDICT stream shorter than its DICTID")
+    return ZLibHeader(window_size, True,
+                      int.from_bytes(data[2:6], "big"), 6)
+
+
+def parse_header(data: bytes) -> int:
+    """Validate the CMF/FLG header; return the advertised window size."""
+    return parse_header_info(data).window_size
+
+
+def effective_dict(dictionary: bytes, window_size: int) -> bytes:
+    """The referenceable tail of a preset dictionary.
+
+    Matches can reach back at most ``window_size - 262`` bytes (the
+    window minus the lookahead guard band, matching the compressor's
+    clamp in :mod:`repro.deflate.preset_dict`), so only that much of a
+    longer dictionary ever primes the decoder.
+    """
+    max_dict = window_size - 262
+    if len(dictionary) > max_dict:
+        return dictionary[-max_dict:]
+    return dictionary
 
 
 @dataclass
@@ -142,15 +179,39 @@ def compress(
     ).compress(data).data
 
 
-def decompress(data: bytes, max_output: Optional[int] = None) -> bytes:
-    """Decode a ZLib stream with our own inflate; verifies Adler-32."""
-    parse_header(data)
-    payload, consumed = inflate_with_tail(data[2:])
-    if max_output is not None and len(payload) > max_output:
-        raise ZLibContainerError(
-            f"output exceeds max_output={max_output} bytes"
-        )
-    trailer = data[2 + consumed:2 + consumed + 4]
+def decompress(
+    data: bytes,
+    max_output: Optional[int] = None,
+    zdict: Optional[bytes] = None,
+) -> bytes:
+    """Decode a ZLib stream with our own inflate; verifies Adler-32.
+
+    ``max_output`` is enforced *inside* the Deflate decoder — a
+    decompression bomb aborts mid-stream, never after inflating fully.
+    FDICT streams (as :func:`repro.deflate.preset_dict.compress_with_dict`
+    emits) decode when the matching ``zdict`` is supplied: the header's
+    DICTID is checked against ``adler32(zdict)`` and the dictionary
+    primes the back-reference history. A plain stream ignores ``zdict``,
+    mirroring ``zlib.decompressobj``.
+    """
+    header = parse_header_info(data)
+    prime = b""
+    if header.fdict:
+        if zdict is None:
+            raise ZLibContainerError(
+                "stream uses a preset dictionary (FDICT); pass zdict="
+            )
+        prime = effective_dict(zdict, header.window_size)
+        if adler32(prime) != header.dictid \
+                and adler32(zdict) != header.dictid:
+            raise ZLibContainerError(
+                f"DICTID {header.dictid:#010x} does not match the "
+                "supplied dictionary"
+            )
+    payload, consumed = inflate_with_tail(
+        data[header.size:], max_output=max_output, zdict=prime
+    )
+    trailer = data[header.size + consumed:header.size + consumed + 4]
     if len(trailer) < 4:
         raise ZLibContainerError("stream truncated before Adler-32 trailer")
     expected = int.from_bytes(trailer, "big")

@@ -49,5 +49,10 @@ class ServeProtocolError(FormatError):
     """A compression-service client violated the wire protocol."""
 
 
+class TranscodeError(FormatError):
+    """A stream could not be transcoded (unknown container, or the
+    re-encoded candidate failed decode verification)."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """The hardware simulation reached an inconsistent internal state."""

@@ -477,12 +477,26 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         stream = handle.read()
     zdict = _read_zdict(args)
+    max_output = args.max_output * 1024 if args.max_output else None
+    if args.transcode:
+        from repro.transcode import transcode
+
+        result = transcode(stream, window_size=args.window,
+                           zdict=zdict or None, max_output=max_output)
+        output = args.output or args.input + ".tz"
+        with open(output, "wb") as handle:
+            handle.write(result.data)
+        verb = "re-encoded" if result.changed else "kept"
+        print(f"{args.input}: {result.input_size} -> "
+              f"{result.output_size} bytes ({result.container}, "
+              f"{verb}, payload {result.payload_size}) -> {output}")
+        return 0
     if zdict:
         from repro.deflate.preset_dict import decompress_with_dict
 
-        data = decompress_with_dict(stream, zdict)
+        data = decompress_with_dict(stream, zdict, max_output=max_output)
     else:
-        data = zd(stream)
+        data = zd(stream, max_output=max_output)
     output = args.output or (
         args.input[:-4] if args.input.endswith(".lzz")
         else args.input + ".out"
@@ -826,6 +840,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decompress_parser.add_argument("input")
     decompress_parser.add_argument("-o", "--output")
+    decompress_parser.add_argument(
+        "--transcode", action="store_true",
+        help="re-encode through the adaptive splitter instead of "
+        "extracting; writes the smaller verified stream",
+    )
+    decompress_parser.add_argument("--window", type=int, default=4096,
+                                   help="transcode window size")
+    decompress_parser.add_argument(
+        "--max-output", type=int, default=None, metavar="KIB",
+        help="abort if the decoded payload exceeds this many KiB "
+        "(decompression-bomb guard, enforced mid-stream)",
+    )
     _add_zdict_flag(decompress_parser)
     decompress_parser.set_defaults(func=_cmd_decompress)
 

@@ -1,21 +1,97 @@
-"""Table-driven Huffman decoder.
+"""Table-driven Huffman decoder with multi-symbol lookup tables.
 
-Builds a single flat lookup table indexed by ``max_len`` peeked bits
-(bit-reversed, because Deflate streams codes MSB-first inside an
-LSB-first bit stream). Each entry stores ``(symbol, code_length)``; the
-decoder peeks, looks up, then skips exactly ``code_length`` bits. This is
-the one-level variant of zlib's inflate tables — simpler, and fast enough
-in Python because table construction is amortised per block.
+The decoder builds zlib-style *two-level* tables: a root table indexed
+by ``fast_bits`` peeked bits (bit-reversed, because Deflate streams
+codes MSB-first inside an LSB-first bit stream) plus per-prefix
+subtables for the rare codes longer than the root window. Every entry
+is one *pre-unpacked* 5-tuple — a hardware inflate would pack these
+fields into a table word, but in CPython a single ``UNPACK_SEQUENCE``
+is several bytecodes cheaper than the shift-and-mask field extraction
+the packed form needs per token, and bytecode dispatch is the
+bottleneck here:
+
+=========  ======================================================
+field      meaning
+=========  ======================================================
+``kind``   entry kind (see the ``_K*`` constants below)
+``nbits``  total bits the entry consumes (code + fused extras)
+``first``  bits of the first code alone (``_K_BASE_EXTRA``: the
+           extra-bits field starts this many bits into the window)
+``a``      main payload: the literal-run ``bytes``, the fused
+           final value, the base value, the subtable start index
+           or the raw symbol, by kind
+``b``      secondary payload: the extra-bits mask
+           (``_K_BASE_EXTRA``), the subtable index mask
+           (``_K_SUBTABLE``) or the run length (``_K_LITERALS``)
+=========  ======================================================
+
+Root entries go beyond one-symbol lookup in two ways, both borrowed
+from modern inflate implementations and pushed a little further because
+Python bytecode dispatch (not memory latency) is the bottleneck here:
+
+* **literal runs** (``_K_LITERALS``): when a literal's code is shorter
+  than the root window and another literal code fits in the remaining
+  bits, the entry resolves *both* (up to three) — ``a`` holds the
+  prebuilt ``bytes`` run, so the hot loop appends it with one
+  ``out += a``;
+* **fused length records** (``_K_LENGTH``): when a length (or
+  distance) code's extra bits also fit in the window, the entry bakes
+  ``base + extra`` into a final value — the loop never re-reads extra
+  bits for the common short matches. Codes with *no* extra bits emit
+  this kind directly.
+
+Symbols whose extra bits spill past the window fall back to a
+``(base, extra_count)`` record (``_K_BASE_EXTRA``), and codes longer
+than ``fast_bits`` chain through a subtable link (``_K_SUBTABLE``)
+whose entries consume the *full* code length in one skip.
+
+The ``role`` parameter selects the payload dialect: ``"litlen"`` and
+``"dist"`` build the fused record kinds above for the inflate loop;
+the default ``"generic"`` builds plain symbol entries (``_K_SYMBOL``)
+and keeps :meth:`decode` exact for any alphabet (the code-length
+alphabet of dynamic headers, and the unit-test surface).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.bitio.reader import BitReader
+from repro.deflate.constants import (
+    DISTANCE_TABLE,
+    END_OF_BLOCK,
+    LENGTH_TABLE,
+)
 from repro.bitio.writer import reverse_bits
 from repro.errors import HuffmanError
 from repro.huffman.canonical import canonical_codes, validate_code_lengths
+
+#: Default root window. 10 bits covers every code of the fixed tables
+#: and the overwhelming majority of dynamic ones, and keeps the
+#: per-block build at ~2 x 1024 cheap loop iterations.
+DEFAULT_FAST_BITS = 10
+
+#: Root window for the litlen table of the inflate hot loop. Text-like
+#: dynamic codes give most literals 5-7 bit codes, so a 12-bit window
+#: resolves frequent literal *pairs* per lookup; the 4x bigger build
+#: (one pass over 4096 entries) amortises over any non-trivial block.
+LITLEN_FAST_BITS = 12
+
+# Entry kinds.
+_K_LITERALS = 0    # a: run bytes, b: run length
+_K_LENGTH = 1      # a: final match length (extra bits fused in)
+_K_EOB = 2         # end-of-block
+_K_BASE_EXTRA = 3  # a: value base, b: extra-bits mask; nbits covers
+                   # code + extra, first the code alone, so the loop
+                   # reads the extras straight from its buffer and
+                   # consumes everything with one shift
+_K_SUBTABLE = 4    # a: absolute subtable start, b: index mask
+_K_INVALID = 5     # hole of an incomplete code / reserved symbol
+_K_SYMBOL = 6      # a: raw symbol (generic role)
+
+#: The shared hole entry: unpacks like any other so the hot loop never
+#: special-cases it before dispatch.
+_INVALID = (_K_INVALID, 0, 0, 0, 0)
 
 
 class HuffmanDecoder:
@@ -26,35 +102,220 @@ class HuffmanDecoder:
         lengths: Sequence[int],
         max_bits: int = 15,
         allow_incomplete: bool = False,
+        role: str = "generic",
+        fast_bits: int = DEFAULT_FAST_BITS,
     ) -> None:
+        if role not in ("generic", "litlen", "dist"):
+            raise HuffmanError(f"unknown decoder role: {role!r}")
         validate_code_lengths(lengths, max_bits, allow_incomplete)
         self.lengths = list(lengths)
+        self.role = role
         used = [length for length in self.lengths if length]
         if not used:
             raise HuffmanError("no symbols in code")
         self.max_len = max(used)
-        codes = canonical_codes(self.lengths)
-        size = 1 << self.max_len
-        table: List[Tuple[int, int]] = [(-1, 0)] * size
+        # The role tables keep the full window even when every code is
+        # short: fusion reads window bits *beyond* the first code, so
+        # clamping to ``max_len`` would forbid exactly the multi-symbol
+        # entries skewed alphabets profit from most.
+        if role == "generic":
+            fast_bits = min(fast_bits, self.max_len)
+        self.fast_bits = fast_bits
+        self.fast_mask = (1 << self.fast_bits) - 1
+        self._codes = canonical_codes(self.lengths)
+        self._build_table()
+
+    # ------------------------------------------------------------------
+    # table construction
+    # ------------------------------------------------------------------
+
+    def _leaf_entry(self, symbol: int, length: int) -> tuple:
+        """The single-symbol entry for ``symbol``; fusion and subtable
+        chaining are layered on top by the build passes."""
+        role = self.role
+        if role == "litlen":
+            if symbol < 256:
+                return (_K_LITERALS, length, length, bytes((symbol,)), 1)
+            if symbol == END_OF_BLOCK:
+                return (_K_EOB, length, length, 0, 0)
+            if symbol > 285:
+                return _INVALID
+            base, extra = LENGTH_TABLE[symbol - 257]
+            if not extra:
+                return (_K_LENGTH, length, length, base, 0)
+            return (_K_BASE_EXTRA, length + extra, length, base,
+                    (1 << extra) - 1)
+        if role == "dist":
+            if symbol > 29:
+                return _INVALID
+            base, extra = DISTANCE_TABLE[symbol]
+            if not extra:
+                return (_K_LENGTH, length, length, base, 0)
+            return (_K_BASE_EXTRA, length + extra, length, base,
+                    (1 << extra) - 1)
+        return (_K_SYMBOL, length, length, symbol, 0)
+
+    def _build_table(self) -> None:
+        fast_bits = self.fast_bits
+        size = 1 << fast_bits
+        table: List[tuple] = [_INVALID] * size
+
+        # Pass 1 — codes that fit the root window: replicate each leaf
+        # entry across every possible suffix of the peeked bits.
+        long_codes = []
         for symbol, length in enumerate(self.lengths):
             if not length:
                 continue
-            # The code occupies the low `length` bits once reversed; all
-            # possible suffixes in the remaining peeked bits map to it.
-            prefix = reverse_bits(codes[symbol], length)
-            step = 1 << length
-            for index in range(prefix, size, step):
-                table[index] = (symbol, length)
+            if length > fast_bits:
+                long_codes.append((symbol, length))
+                continue
+            entry = self._leaf_entry(symbol, length)
+            prefix = reverse_bits(self._codes[symbol], length)
+            for index in range(prefix, size, 1 << length):
+                table[index] = entry
+
+        # Pass 2 — fuse extra bits into length/distance records where
+        # they fit: the entry resolves a *final* value in one lookup.
+        if self.role == "litlen":
+            self._fuse_extras(table, range(257, 286), LENGTH_TABLE, 257)
+        elif self.role == "dist":
+            self._fuse_extras(table, range(30), DISTANCE_TABLE, 0)
+
+        # Pass 3 — multi-symbol literal runs: if the window still has
+        # room after one literal, resolve the next literal(s) too.
+        if self.role == "litlen":
+            self._fuse_literal_runs(table)
+
+        # Pass 4 — subtables for codes longer than the root window,
+        # grouped by their shared low `fast_bits` bits (zlib's layout).
+        if long_codes:
+            self._build_subtables(table, long_codes)
+
         self._table = table
-        self._mask = size - 1
+
+    def _fuse_extras(self, table, symbols, value_table, first) -> None:
+        fast_bits = self.fast_bits
+        size = 1 << fast_bits
+        lengths = self.lengths
+        nsyms = len(lengths)
+        for symbol in symbols:
+            if symbol >= nsyms:
+                break
+            length = lengths[symbol]
+            if not length or length > fast_bits:
+                continue
+            base, extra = value_table[symbol - first]
+            if not extra or length + extra > fast_bits:
+                continue
+            prefix = reverse_bits(self._codes[symbol], length)
+            step = 1 << (length + extra)
+            for extra_value in range(1 << extra):
+                entry = (_K_LENGTH, length + extra, length,
+                         base + extra_value, 0)
+                start = prefix | (extra_value << length)
+                for index in range(start, size, step):
+                    table[index] = entry
+
+    def _fuse_literal_runs(self, table: List[int]) -> None:
+        # A window whose first code is a short literal may fully
+        # determine the next code as well: the second code's bits are
+        # all inside the window, so the lookup is exact regardless of
+        # the (unknown) bits beyond it. `base` keeps the unfused view so
+        # chained lookups read single-literal entries, not fused ones.
+        fast_bits = self.fast_bits
+        base = list(table)
+        for window in range(1 << fast_bits):
+            entry = base[window]
+            if entry[0] != _K_LITERALS:
+                continue
+            used = entry[1]
+            count = 1
+            run = entry[3]
+            while count < 3:
+                nxt = base[window >> used]
+                if nxt[0] != _K_LITERALS:
+                    break
+                nbits = nxt[1]
+                if used + nbits > fast_bits:
+                    break
+                run = run + nxt[3]
+                used += nbits
+                count += 1
+            if count > 1:
+                table[window] = (_K_LITERALS, used, entry[1], run, count)
+
+    def _build_subtables(self, table, long_codes) -> None:
+        fast_bits = self.fast_bits
+        fast_mask = self.fast_mask
+        groups = {}
+        for symbol, length in long_codes:
+            prefix = reverse_bits(self._codes[symbol], length)
+            groups.setdefault(prefix & fast_mask, []).append(
+                (symbol, length, prefix)
+            )
+        for root_index, members in groups.items():
+            sub_bits = max(length for _, length, _ in members) - fast_bits
+            start = len(table)
+            table.extend([_INVALID] * (1 << sub_bits))
+            if table[root_index] is not _INVALID:
+                # canonical codes cannot share a prefix with a shorter
+                # code; a populated root slot here means the validator
+                # let an over-subscribed set through.
+                raise HuffmanError("subtable collides with a short code")
+            table[root_index] = (_K_SUBTABLE, sub_bits, 0, start,
+                                 (1 << sub_bits) - 1)
+            for symbol, length, prefix in members:
+                # Leaf entries already consume the *full* code length
+                # (plus fused extras) in one skip, so they drop in
+                # unchanged.
+                entry = self._leaf_entry(symbol, length)
+                if entry[0] == _K_INVALID:
+                    continue
+                high = prefix >> fast_bits
+                for index in range(high, 1 << sub_bits,
+                                   1 << (length - fast_bits)):
+                    table[start + index] = entry
+
+    # ------------------------------------------------------------------
+    # symbol-at-a-time API (generic role, dynamic-header parsing, tests)
+    # ------------------------------------------------------------------
 
     def decode(self, reader: BitReader) -> int:
         """Read one symbol from ``reader``."""
         window = reader.peek_bits(self.max_len)
-        symbol, length = self._table[window & self._mask]
-        if symbol < 0:
+        entry = self._table[window & self.fast_mask]
+        if entry[0] == _K_SUBTABLE:
+            sub = (window >> self.fast_bits) & entry[4]
+            entry = self._table[entry[3] + sub]
+        kind, _, first_bits, payload, _ = entry
+        if kind == _K_INVALID:
             raise HuffmanError(
                 f"undecodable bit pattern {window:0{self.max_len}b}"
             )
-        reader.skip_bits(length)
-        return symbol
+        if kind == _K_SYMBOL:
+            reader.skip_bits(first_bits)
+            return payload
+        if kind == _K_LITERALS:
+            # Multi-symbol entries resolve a run; symbol-at-a-time
+            # callers take just the first literal and its own bits.
+            reader.skip_bits(first_bits)
+            return payload[0]
+        if kind == _K_EOB:
+            reader.skip_bits(first_bits)
+            return END_OF_BLOCK
+        # Length/distance records know their value, not their symbol;
+        # recover it from the canonical code directly.
+        return self._decode_slow(reader)
+
+    def _decode_slow(self, reader: BitReader) -> int:
+        """Bit-at-a-time canonical walk (role-specific record kinds)."""
+        code = 0
+        length = 0
+        codes = self._codes
+        for _ in range(self.max_len):
+            code = (code << 1) | reader.read_bits(1)
+            length += 1
+            for symbol, sym_len in enumerate(self.lengths):
+                if sym_len == length and codes[symbol] == code:
+                    return symbol
+        raise HuffmanError(f"undecodable bit pattern {code:b}")

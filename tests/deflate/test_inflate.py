@@ -124,3 +124,55 @@ class TestMalformedStreams:
             w.write_bits(0, 3)
         with pytest.raises((DeflateError, HuffmanError)):
             inflate(w.flush())
+
+
+class TestBombGuard:
+    """``max_output`` must abort *mid-stream*, not after materialising
+    the full payload — the decode-bomb guard for untrusted inputs."""
+
+    def test_inflate_aborts_midstream(self):
+        body = zlib_raw(b"\x00" * (10 << 20), level=9)  # ~10 KiB stream
+        with pytest.raises(DeflateError, match="max_output"):
+            inflate(body, max_output=4096)
+
+    def test_inflate_with_tail_threads_limit(self):
+        body = zlib_raw(b"\x00" * 100_000)
+        with pytest.raises(DeflateError, match="max_output"):
+            inflate_with_tail(body + b"trailer", max_output=1000)
+
+    def test_stored_block_checked_before_copy(self):
+        stored = zlib_raw(b"ab" * 40_000, level=0)
+        with pytest.raises(DeflateError, match="max_output"):
+            inflate(stored, max_output=100)
+
+    def test_exact_budget_succeeds(self):
+        data = b"exactly this many bytes" * 40
+        body = zlib_raw(data)
+        assert inflate(body, max_output=len(data)) == data
+
+    def test_zlib_container_aborts(self):
+        from repro.deflate.zlib_container import decompress
+
+        stream = zlib.compress(b"\x00" * (10 << 20), 9)
+        with pytest.raises(DeflateError, match="max_output"):
+            decompress(stream, max_output=4096)
+
+    def test_gzip_container_aborts(self):
+        import gzip
+
+        from repro.deflate.gzip_container import decompress
+
+        stream = gzip.compress(b"\x00" * (10 << 20), 9)
+        with pytest.raises(DeflateError, match="max_output"):
+            decompress(stream, max_output=4096)
+
+    def test_gzip_multi_member_budget_is_cumulative(self):
+        import gzip
+
+        from repro.deflate.gzip_container import decompress_multi
+
+        member = gzip.compress(b"x" * 600)
+        stream = member + member
+        assert decompress_multi(stream, max_output=1200) == b"x" * 1200
+        with pytest.raises(DeflateError, match="max_output"):
+            decompress_multi(stream, max_output=1199)

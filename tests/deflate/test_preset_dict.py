@@ -108,3 +108,56 @@ class TestTraining:
 
         samples = [random.Random(i).randbytes(100) for i in range(3)]
         assert train_dictionary(samples, ngram=16) == b""
+
+
+class TestPlainDecompressFdict:
+    """The FDICT asymmetry fix: plain ``decompress`` handles FDICT
+    streams once the caller supplies the dictionary."""
+
+    def test_roundtrip_through_plain_decompress(self):
+        from repro.deflate.zlib_container import decompress
+
+        data = b"timestamp=123 id=0x1a0 dlc=8 payload=aabbccdd state=ok"
+        stream = compress_with_dict(data, DICT)
+        assert decompress(stream, zdict=DICT) == data
+
+    def test_zlib_fdict_stream_through_plain_decompress(self):
+        from repro.deflate.zlib_container import decompress
+
+        data = b"timestamp=456 id=0x2b0 dlc=8 payload=00112233 state=ok"
+        comp = zlib.compressobj(6, zlib.DEFLATED, 15, zdict=DICT)
+        stream = comp.compress(data) + comp.flush()
+        assert decompress(stream, zdict=DICT) == data
+
+    def test_missing_zdict_raises_actionable_error(self):
+        from repro.deflate.zlib_container import decompress
+
+        stream = compress_with_dict(b"hello world hello", DICT)
+        with pytest.raises(ZLibContainerError, match="zdict"):
+            decompress(stream)
+
+    def test_wrong_zdict_rejected_by_dictid(self):
+        from repro.deflate.zlib_container import decompress
+
+        stream = compress_with_dict(b"hello world hello", DICT)
+        with pytest.raises(ZLibContainerError):
+            decompress(stream, zdict=b"some other dictionary entirely")
+
+    def test_header_info_reports_dictid(self):
+        from repro.checksums.adler32 import adler32
+        from repro.deflate.zlib_container import parse_header_info
+
+        stream = compress_with_dict(b"payload", DICT)
+        info = parse_header_info(stream)
+        assert info.fdict
+        assert info.dictid == adler32(DICT)
+
+    def test_long_dictionary_clamped_consistently(self):
+        # A dictionary longer than the window is clamped identically on
+        # both sides, so the DICTID check still matches.
+        from repro.deflate.zlib_container import decompress
+
+        big = (DICT * 200)[: 6000]
+        data = b"timestamp=9 id=0x30 dlc=8 payload=cafe state=ok"
+        stream = compress_with_dict(data, big, window_size=4096)
+        assert decompress(stream, zdict=big) == data

@@ -1,0 +1,102 @@
+"""Transcode pipeline tests: decode → re-encode → verify → keep smaller."""
+
+import gzip
+import zlib
+
+import pytest
+
+from repro.deflate import gzip_container
+from repro.deflate.preset_dict import compress_with_dict
+from repro.deflate.zlib_container import compress as zlib_compress
+from repro.errors import TranscodeError, ZLibContainerError
+from repro.transcode import detect_container, transcode
+from repro.workloads.corpus import sample
+
+DICT = b"timestamp=| id=0x| dlc=8 payload=| channel=can0 state=ok "
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return sample("wiki", 60_000)
+
+
+class TestDetect:
+    def test_gzip_magic(self):
+        assert detect_container(gzip.compress(b"abc")) == "gzip"
+
+    def test_zlib_header(self):
+        assert detect_container(zlib.compress(b"abc")) == "zlib"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ZLibContainerError):
+            detect_container(b"\x00\x00 not a stream")
+
+
+class TestZLib:
+    def test_fixed_block_stream_shrinks(self, wiki):
+        fixed = zlib_compress(wiki)  # fixed-Huffman, single block
+        result = transcode(fixed)
+        assert result.changed
+        assert result.output_size < result.input_size
+        assert zlib.decompress(result.data) == wiki
+
+    def test_output_never_larger(self, wiki):
+        well_packed = zlib.compress(wiki, 9)
+        result = transcode(well_packed)
+        assert result.output_size <= result.input_size
+        assert zlib.decompress(result.data) == wiki
+
+    def test_unchanged_keeps_original_bytes(self, wiki):
+        well_packed = zlib.compress(wiki, 9)
+        result = transcode(well_packed)
+        assert not result.changed
+        assert result.data == well_packed
+        assert result.savings == 0.0
+
+    def test_fdict_input_becomes_plain(self):
+        data = b"timestamp=1 id=0x1a0 dlc=8 payload=aabb state=ok " * 4
+        stream = compress_with_dict(data, DICT)
+        result = transcode(stream, zdict=DICT)
+        assert result.changed  # FDICT always re-encoded, even if larger
+        assert zlib.decompress(result.data) == data  # no dict needed
+
+    def test_fdict_without_zdict_raises(self):
+        stream = compress_with_dict(b"hello world hello world", DICT)
+        with pytest.raises(ZLibContainerError, match="zdict"):
+            transcode(stream)
+
+    def test_max_output_guards_the_decode(self):
+        bomb = zlib.compress(b"\x00" * (4 << 20), 9)
+        with pytest.raises(Exception):
+            transcode(bomb, max_output=4096)
+
+
+class TestGzip:
+    def test_fixed_member_shrinks(self, wiki):
+        fixed = gzip_container.compress(wiki)
+        result = transcode(fixed)
+        assert result.changed
+        assert result.container == "gzip"
+        assert result.output_size < result.input_size
+        assert gzip.decompress(result.data) == wiki
+
+    def test_cpython_member_roundtrips(self, wiki):
+        stream = gzip.compress(wiki, 6)
+        result = transcode(stream)
+        assert gzip.decompress(result.data) == wiki
+        assert result.output_size <= result.input_size
+
+
+class TestResultMetadata:
+    def test_sizes_reported(self, wiki):
+        fixed = zlib_compress(wiki)
+        result = transcode(fixed)
+        assert result.payload_size == len(wiki)
+        assert result.input_size == len(fixed)
+        assert result.recompressed_size == result.output_size
+        assert 0.0 < result.savings < 1.0
+
+    def test_transcode_error_is_format_error(self):
+        from repro.errors import FormatError
+
+        assert issubclass(TranscodeError, FormatError)

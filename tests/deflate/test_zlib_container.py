@@ -11,6 +11,7 @@ from repro.deflate.zlib_container import (
     decompress,
     make_header,
     parse_header,
+    parse_header_info,
 )
 from repro.errors import ZLibContainerError
 
@@ -45,14 +46,26 @@ class TestHeader:
         with pytest.raises(ZLibContainerError):
             parse_header(bytes([0x78, 0x02]))
 
-    def test_parse_rejects_fdict(self):
+    def test_parse_reports_fdict(self):
+        cmf = 0x78
+        flg = 0x20
+        rem = (cmf * 256 + flg) % 31
+        if rem:
+            flg += 31 - rem
+        header = bytes([cmf, flg]) + b"\x00\x00\x00\x01"
+        info = parse_header_info(header)
+        assert info.fdict and info.dictid == 1 and info.size == 6
+        # The short form still parses the window through the FDICT bit.
+        assert parse_header(header) == 32768
+
+    def test_parse_rejects_fdict_without_dictid(self):
         cmf = 0x78
         flg = 0x20
         rem = (cmf * 256 + flg) % 31
         if rem:
             flg += 31 - rem
         with pytest.raises(ZLibContainerError):
-            parse_header(bytes([cmf, flg]))
+            parse_header_info(bytes([cmf, flg]))
 
     def test_parse_rejects_short_input(self):
         with pytest.raises(ZLibContainerError):

@@ -86,3 +86,66 @@ class TestDecoder:
     def test_max_len_is_longest_used_code(self):
         dec = HuffmanDecoder([1, 2, 3, 3])
         assert dec.max_len == 3
+
+
+class TestFastTables:
+    """Unit checks for the multi-symbol two-level lookup tables."""
+
+    def _lengths(self, skew=False):
+        freqs = [(1000 >> (s % 9)) + 1 if skew else 1
+                 for s in range(40)]
+        return build_code_lengths(freqs, 15)
+
+    def test_table_covers_every_fast_prefix(self):
+        lengths = self._lengths(skew=True)
+        decoder = HuffmanDecoder(lengths, role="litlen", fast_bits=10)
+        # Subtables for codes longer than fast_bits are appended after
+        # the primary 2**fast_bits entries.
+        assert len(decoder._table) >= 1 << 10
+        assert all(
+            isinstance(entry, tuple) and len(entry) == 5
+            for entry in decoder._table
+        )
+
+    def test_literal_run_entries_carry_run_bytes(self):
+        # role="litlen" fuses adjacent literals: every kind-0 entry
+        # carries its run as a real bytes object whose length matches
+        # the recorded count.
+        lengths = self._lengths(skew=True)
+        decoder = HuffmanDecoder(lengths, role="litlen", fast_bits=10)
+        seen_multi = False
+        for kind, nbits, first, run, count in decoder._table:
+            if kind != 0:
+                continue
+            assert isinstance(run, bytes)
+            assert len(run) == count >= 1
+            assert 1 <= first <= nbits
+            seen_multi |= count > 1
+        assert seen_multi, "no fused literal run in a skewed code"
+
+    def test_decode_agrees_with_slow_path(self):
+        # decode() must return the same symbols whether it hits the
+        # fast table or the subtable/slow path.
+        rng = random.Random(7)
+        lengths = self._lengths(skew=True)
+        encoder = HuffmanEncoder(lengths)
+        symbols = [rng.randrange(40) for _ in range(500)]
+        writer = BitWriter()
+        for sym in symbols:
+            encoder.encode(writer, sym)
+        writer.align_to_byte()
+        fast = HuffmanDecoder(lengths, role="generic", fast_bits=10)
+        tiny = HuffmanDecoder(lengths, role="generic", fast_bits=1)
+        for decoder in (fast, tiny):
+            reader = BitReader(writer.getvalue())
+            assert [decoder.decode(reader) for _ in symbols] == symbols
+
+    def test_invalid_prefix_entry_raises(self):
+        # An incomplete-but-allowed code leaves holes in the table;
+        # hitting one must raise HuffmanError, not decode garbage.
+        decoder = HuffmanDecoder({0: 2, 1: 2}, allow_incomplete=True)
+        writer = BitWriter()
+        writer.write_bits(0b11, 2)  # unassigned prefix
+        writer.align_to_byte()
+        with pytest.raises(HuffmanError):
+            decoder.decode(BitReader(writer.getvalue()))
