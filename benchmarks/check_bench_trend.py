@@ -4,7 +4,7 @@ The perf-smoke CI job regenerates the machine-readable benchmark
 exhibits (``BENCH_parallel.json``, ``BENCH_tokenizer.json``,
 ``BENCH_adaptive.json``, ``BENCH_matcher.json``, ``BENCH_batch.json``,
 ``BENCH_preset_dict.json``, ``BENCH_serve.json``,
-``BENCH_inflate.json``). This checker diffs
+``BENCH_inflate.json``, ``BENCH_sa.json``). This checker diffs
 each fresh file against the
 baseline committed at ``--ref`` (default ``HEAD``, read via ``git
 show``) so a PR that quietly bloats the compressed output or erodes a
@@ -65,6 +65,7 @@ BENCH_FILES = (
     "BENCH_preset_dict.json",
     "BENCH_serve.json",
     "BENCH_inflate.json",
+    "BENCH_sa.json",
 )
 
 # Row fields that identify a row (used for matching, never compared).

@@ -26,6 +26,7 @@ Quickstart::
     assert zlib.decompress(stream) == b"snowy snow" * 100
 """
 
+from repro.api import CompressRequest, compress
 from repro.batch import BatchResult, compress_batch
 from repro.deflate import (
     BlockStrategy,
@@ -55,6 +56,8 @@ __all__ = [
     "BatchResult",
     "BlockStrategy",
     "CompressionProfile",
+    "CompressRequest",
+    "compress",
     "compress_batch",
     "HashSpec",
     "ParallelDeflateWriter",

@@ -53,10 +53,9 @@ from repro.lzss.policy import MatchPolicy
 from repro.lzss.router import (
     RouterConfig,
     RoutingDecision,
-    config_from_profile,
     route_batch,
 )
-from repro.profile import CompressionProfile, as_profile
+from repro.profile import CompressionProfile
 
 
 class BatchStats:
@@ -155,13 +154,29 @@ def compress_batch(
     payloads — the tokens are bit-identical across backends, so this
     only moves which kernel runs (e.g. tracing one payload of a batch).
     """
-    prof = as_profile(profile)
-    window_size = prof.pick("window_size", window_size, 4096)
-    hash_spec = prof.pick("hash_spec", hash_spec, None) or HashSpec()
-    policy = prof.pick("policy", policy, BATCH_GREEDY_POLICY)
-    backend = prof.pick("backend", backend, "auto")
-    shared = prof.pick("batch_shared_plan", shared_plan, True)
-    config = config_from_profile(prof, router=router)
+    from repro.api import CompressRequest
+
+    resolved = CompressRequest(
+        profile=profile,
+        window_size=window_size,
+        hash_spec=hash_spec,
+        policy=policy,
+        backend=backend,
+        batch_shared_plan=shared_plan,
+        zdict=zdict if zdict else None,
+        router=router,
+    ).resolve(
+        backend="auto",
+        hash_spec=HashSpec(),
+        policy=BATCH_GREEDY_POLICY,
+    )
+    window_size = resolved.window_size
+    hash_spec = resolved.hash_spec or HashSpec()
+    policy = resolved.policy
+    backend = resolved.backend
+    shared = resolved.batch_shared_plan
+    zdict = resolved.zdict
+    config = resolved.router
 
     payloads = [bytes(p) for p in payloads]
     overrides = dict(backends or {})
@@ -172,7 +187,6 @@ def compress_batch(
                 f"(batch has {len(payloads)} payloads)"
             )
 
-    zdict = bytes(zdict)
     dictionary = effective_dictionary(zdict, window_size) if zdict else b""
     header = (
         fdict_header(window_size, dictionary) if dictionary

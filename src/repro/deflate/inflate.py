@@ -192,11 +192,13 @@ def _read_dynamic_tables(reader: BitReader):
     dist_lengths = lengths[hlit:]
     if litlen_lengths[END_OF_BLOCK] == 0:
         raise DeflateError("end-of-block symbol has no code")
-    litlen = HuffmanDecoder(litlen_lengths, role="litlen",
-                            fast_bits=LITLEN_FAST_BITS)
+    # Incomplete litlen/dist sets are rejected except zlib's one
+    # tolerated shape — exactly one code of one bit (a lone EOB litlen
+    # code, or the single distance code of an RLE-only stream). The
+    # code-length code above gets no such exemption.
+    litlen = HuffmanDecoder(litlen_lengths, allow_incomplete=True,
+                            role="litlen", fast_bits=LITLEN_FAST_BITS)
     if any(dist_lengths):
-        # A single distance code may legally be incomplete (one code of
-        # one bit); used for e.g. whole-file RLE streams.
         dist = HuffmanDecoder(dist_lengths, allow_incomplete=True,
                               role="dist")
     else:

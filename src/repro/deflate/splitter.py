@@ -27,13 +27,28 @@ single table transmission while texture changes — text abutting binary
 in a heterogeneous shard — still get their own tables. ``cut_search=
 False`` restores the fixed cadence (cut every ``tokens_per_block``
 tokens, ZLib's symbol-buffer-fill behaviour).
+
+On top of the searched boundaries sits the refine loop
+(:func:`refine_searched_blocks`, ``refine=True`` / the ``best``
+profile): the tokenizer chose matches greedily (or one-step lazily)
+with no knowledge of the entropy coder, so inside each settled block
+the parse and the prices can disagree — a length-17 match that looked
+good costs 13 bits under the block's actual dynamic code where two
+length-8 matches would have cost 11. The loop queries the exact
+longest match at every block offset once (suffix array over the
+block plus its reachable history) and then iterates parse → plan a
+couple of times, each forward DP scoring candidate token choices by
+the previous round's code lengths. A block keeps its refined parse
+only when the exact re-price is strictly cheaper, so refinement never
+loses a bit.
 """
 
 from __future__ import annotations
 
 import heapq
+from array import array
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.bitio.writer import BitWriter
 from repro.deflate.block_writer import (
@@ -46,7 +61,10 @@ from repro.deflate.block_writer import (
 from repro.deflate.constants import (
     DIST_EXTRA_BITS,
     END_OF_BLOCK,
+    LENGTH_TABLE,
     LITLEN_EXTRA_BITS,
+    _DISTANCE_LOOKUP,
+    _LENGTH_LOOKUP,
 )
 from repro.deflate.dynamic import (
     DynamicPlan,
@@ -56,7 +74,7 @@ from repro.deflate.dynamic import (
     write_dynamic_block,
 )
 from repro.errors import ConfigError
-from repro.lzss.tokens import TokenArray
+from repro.lzss.tokens import MAX_MATCH, MIN_LOOKAHEAD, MIN_MATCH, TokenArray
 
 #: Default fixed-cadence block length, in tokens (ZLib's symbol-buffer
 #: size); also the ceiling for the candidate spacing of the cut search.
@@ -353,6 +371,283 @@ def search_cut_points(
     return blocks
 
 
+@dataclass(frozen=True)
+class RefineConfig:
+    """Knobs of the iterative block re-tokenisation (the refine loop).
+
+    ``window_size`` must match the tokenizer's (distances the re-parse
+    emits are bounded by ``window_size - MIN_LOOKAHEAD``, like every
+    backend's). ``iterations`` is the number of parse↔price fixed-point
+    rounds; zlib's level-9 refinement converges in 2-3. The two budgets
+    cap work: blocks larger than ``max_block_bytes`` and any bytes past
+    ``max_total_bytes`` per call are left as parsed.
+    """
+
+    window_size: int
+    iterations: int = 2
+    max_block_bytes: int = 1 << 17
+    max_total_bytes: int = 1 << 22
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError(
+                f"refine iterations must be >= 1: {self.iterations}"
+            )
+
+
+#: Smallest block worth re-parsing: below this the table transmission
+#: dominates and the DP cannot move the price.
+_REFINE_MIN_BLOCK = 64
+
+#: DP price of a symbol the current plan assigns no code: the 15-bit
+#: ceiling keeps unseen symbols *expensive but reachable*, so the parse
+#: can introduce them and the next iteration's plan prices them truly.
+_REFINE_UNSEEN_BITS = 15
+
+#: Fixed-point sub-bit resolution of the DP costs. The first iteration
+#: prices by the plan's integer code lengths; later iterations price by
+#: the *fractional* entropy of the emerging histogram (zopfli's squeeze
+#: trick: ``-log2 p`` separates choices that integer Huffman lengths
+#: tie), so every cost is carried in units of ``1/_REFINE_SCALE`` bits.
+_REFINE_SCALE = 32
+
+
+def _candidate_length_table():
+    """For each longest-match length L: the candidate DP lengths.
+
+    One candidate per Deflate length bucket — the bucket's top, clipped
+    to L — plus L itself. Within a bucket every length costs the same
+    bits (same symbol, extra bits are a constant count), so the top
+    reaches furthest at equal price; ~2-17 candidates per position
+    instead of all L-2 lengths keeps the DP near-linear.
+    """
+    table = [()] * (MAX_MATCH + 1)
+    for match_len in range(MIN_MATCH, MAX_MATCH + 1):
+        candidates = set()
+        for base, extra in LENGTH_TABLE:
+            if base > match_len:
+                break
+            candidates.add(min(base + (1 << extra) - 1, match_len))
+        # Length 258 has its own zero-extra symbol (285).
+        if match_len == MAX_MATCH:
+            candidates.add(MAX_MATCH)
+        table[match_len] = tuple(sorted(candidates))
+    return table
+
+
+_REFINE_CANDIDATES = _candidate_length_table()
+
+
+def _refine_costs(litlen_lengths, dist_lengths):
+    """DP costs from integer code lengths, in ``1/_REFINE_SCALE`` bits.
+
+    Used for the first iteration, where the only prices available are
+    the original plan's code lengths.
+    """
+    scale = _REFINE_SCALE
+    unseen = _REFINE_UNSEEN_BITS * scale
+    lit_cost = [
+        (litlen_lengths[b] * scale or unseen) for b in range(256)
+    ]
+    len_cost = [0] * (MAX_MATCH + 1)
+    for match_len in range(MIN_MATCH, MAX_MATCH + 1):
+        symbol = 257 + _LENGTH_LOOKUP[match_len]
+        code = litlen_lengths[symbol] * scale or unseen
+        len_cost[match_len] = code + LITLEN_EXTRA_BITS[symbol] * scale
+    dist_cost = [
+        (dist_lengths[s] * scale or unseen) + DIST_EXTRA_BITS[s] * scale
+        for s in range(len(DIST_EXTRA_BITS))
+    ]
+    return lit_cost, len_cost, dist_cost
+
+
+def _entropy_costs(litlen_hist, dist_hist):
+    """DP costs from histogram entropy, in ``1/_REFINE_SCALE`` bits.
+
+    ``-log2(freq/total)`` per symbol — the fractional cost a perfect
+    entropy coder would charge. Huffman rounds these to integers, and
+    pricing the *unrounded* value lets the DP separate choices the
+    integer code lengths tie (zopfli's squeeze statistics); the exact
+    re-price on acceptance keeps the final comparison honest.
+    """
+    from math import log2
+
+    scale = _REFINE_SCALE
+    unseen = _REFINE_UNSEEN_BITS * scale
+
+    def costs(hist):
+        total = sum(hist)
+        if not total:
+            return [unseen] * len(hist)
+        log_total = log2(total)
+        cap = unseen
+        return [
+            min(cap, round((log_total - log2(f)) * scale)) if f else cap
+            for f in hist
+        ]
+
+    lit_full = costs(litlen_hist.counts)
+    lit_cost = lit_full[:256]
+    len_cost = [0] * (MAX_MATCH + 1)
+    for match_len in range(MIN_MATCH, MAX_MATCH + 1):
+        symbol = 257 + _LENGTH_LOOKUP[match_len]
+        len_cost[match_len] = (
+            lit_full[symbol] + LITLEN_EXTRA_BITS[symbol] * scale
+        )
+    dist_full = costs(dist_hist.counts)
+    dist_cost = [
+        dist_full[s] + DIST_EXTRA_BITS[s] * scale
+        for s in range(len(DIST_EXTRA_BITS))
+    ]
+    return lit_cost, len_cost, dist_cost
+
+
+def _position_candidates(frontier):
+    """DP candidates for one position, from its match frontier.
+
+    Each Pareto pair contributes its bucket-top candidate lengths; when
+    two pairs offer the same candidate length, the closer distance wins
+    (same length symbol, strictly cheaper distance code). The distance
+    symbol is resolved here, once — it is loop-invariant across the
+    refine iterations, only its price changes.
+    """
+    best = {}
+    for match_len, dist in frontier:
+        for length in _REFINE_CANDIDATES[match_len]:
+            prev = best.get(length)
+            if prev is None or dist < prev:
+                best[length] = dist
+    dlookup = _DISTANCE_LOOKUP
+    return tuple(
+        (length, dist, dlookup[dist]) for length, dist in best.items()
+    )
+
+
+def _reparse_block(buf, h0, blen, cands, costs) -> TokenArray:
+    """One price-aware forward DP over a block's bytes.
+
+    ``cands[i]`` holds the ``(length, dist, dist_symbol)`` candidates
+    at block offset ``i`` (empty = literal only), built by
+    :func:`_position_candidates` from the suffix-array match frontier.
+    ``costs`` is the ``(lit, len, dist)`` price triple — the block's
+    *emerging* prices (:func:`_refine_costs` / :func:`_entropy_costs`),
+    not the fixed tables.
+    """
+    lit_cost, len_cost, dist_cost = costs
+    inf = 1 << 60
+    cost = [inf] * (blen + 1)
+    cost[0] = 0
+    back_len = [0] * (blen + 1)
+    back_dist = [0] * (blen + 1)
+    for i in range(blen):
+        ci = cost[i]
+        byte = buf[h0 + i]
+        c = ci + lit_cost[byte]
+        if c < cost[i + 1]:
+            cost[i + 1] = c
+            back_len[i + 1] = 0
+        for length, dist, dsym in cands[i]:
+            c = ci + dist_cost[dsym] + len_cost[length]
+            j = i + length
+            if c < cost[j]:
+                cost[j] = c
+                back_len[j] = length
+                back_dist[j] = dist
+    out_lengths = []
+    out_values = []
+    j = blen
+    while j > 0:
+        length = back_len[j]
+        if length == 0:
+            out_lengths.append(0)
+            out_values.append(buf[h0 + j - 1])
+            j -= 1
+        else:
+            out_lengths.append(length)
+            out_values.append(back_dist[j])
+            j -= length
+    out_lengths.reverse()
+    out_values.reverse()
+    tokens = TokenArray()
+    tokens.lengths = array("i", out_lengths)
+    tokens.values = array("i", out_values)
+    return tokens
+
+
+def refine_searched_blocks(
+    view: memoryview,
+    blocks: List[_SearchedBlock],
+    config: RefineConfig,
+):
+    """Re-tokenise each searched block against its own Huffman prices.
+
+    The cut search fixed the block boundaries from the *original* parse;
+    within each block the match choices were made blind to the block's
+    actual code lengths. This loop closes that gap, zopfli-style:
+    query the match *frontier* at every block offset once (suffix array
+    over history + block; Pareto pairs of length vs distance, so a
+    shorter match at a much closer distance is priceable), then iterate
+    parse -> plan 2-3 times, each DP scoring candidates by the previous
+    round's code lengths.
+    A block keeps its refined parse only when the exact re-price is
+    strictly cheaper — the refine can never make a stream bigger.
+
+    Returns a list aligned with ``blocks``: ``None`` (keep the original
+    parse) or ``(tokens, fixed_bits, dynamic_bits, plan)``.
+    """
+    from repro.lzss.sa import SuffixArrayMatcher
+
+    results: List[Optional[tuple]] = [None] * len(blocks)
+    max_dist = config.window_size - MIN_LOOKAHEAD
+    if max_dist < 1:
+        return results
+    budget = config.max_total_bytes
+    consumed = 0
+    for index, searched in enumerate(blocks):
+        raw_len = searched.raw_len
+        start_byte = consumed
+        consumed += raw_len
+        if (searched.plan is None          # entropy bound: stored wins
+                or raw_len < _REFINE_MIN_BLOCK
+                or raw_len > config.max_block_bytes
+                or raw_len > budget):
+            continue
+        budget -= raw_len
+        hist_start = start_byte - max_dist
+        if hist_start < 0:
+            hist_start = 0
+        buf = bytes(view[hist_start:start_byte + raw_len])
+        h0 = start_byte - hist_start
+        matcher = SuffixArrayMatcher(buf, max_dist)
+        frontier = matcher.match_frontier
+        cands = [()] * raw_len
+        for i in range(raw_len):
+            limit = raw_len - i
+            if limit > MAX_MATCH:
+                limit = MAX_MATCH
+            if limit >= MIN_MATCH:
+                pairs = frontier(h0 + i, limit)
+                if pairs:
+                    cands[i] = _position_candidates(pairs)
+        costs = _refine_costs(
+            searched.plan.litlen_lengths, searched.plan.dist_lengths
+        )
+        best = None
+        for _ in range(config.iterations):
+            tokens = _reparse_block(buf, h0, raw_len, cands, costs)
+            litlen_hist, dist_hist = token_histograms(tokens)
+            fixed_bits = fixed_cost_from_histograms(litlen_hist, dist_hist)
+            plan = plan_dynamic_block(litlen_hist, dist_hist)
+            price = min(fixed_bits, plan.cost_bits)
+            if best is None or price < best[0]:
+                best = (price, tokens, fixed_bits, plan)
+            costs = _entropy_costs(litlen_hist, dist_hist)
+        old_price = min(searched.fixed_bits, searched.dynamic_bits)
+        if best is not None and best[0] < old_price:
+            results[index] = (best[1], best[2], best[3].cost_bits, best[3])
+    return results
+
+
 @dataclass
 class SplitResult:
     """Outcome of an adaptive-strategy encoding."""
@@ -376,6 +671,7 @@ def write_adaptive_blocks(
     cut_search: bool = True,
     cut_every: Optional[int] = None,
     cut_every_max: Optional[int] = None,
+    refine: Optional[RefineConfig] = None,
 ) -> List[BlockChoice]:
     """Emit ``tokens`` into ``writer`` with per-block strategy choice.
 
@@ -395,6 +691,11 @@ def write_adaptive_blocks(
     ``final=False`` every block is non-final, so the run can sit inside
     a larger stream — the shard bodies of :mod:`repro.parallel` and the
     chunk emission of :class:`repro.deflate.stream.ZLibStreamCompressor`.
+
+    A :class:`RefineConfig` turns on the iterative re-tokenisation of
+    each searched block (:func:`refine_searched_blocks`); it is only
+    effective together with ``cut_search`` — blind cuts carry no
+    per-block plan to refine against.
 
     Each block is tokenised, priced and emitted exactly once; the
     returned choices record the per-block prices actually paid.
@@ -417,7 +718,8 @@ def write_adaptive_blocks(
     n = len(tokens)
     if cut_search and n:
         return _emit_searched_blocks(writer, tokens, view, final,
-                                     cut_every, cut_every_max)
+                                     cut_every, cut_every_max,
+                                     refine=refine)
     choices: List[BlockChoice] = []
     block_starts = list(range(0, n, tokens_per_block)) or [0]
     consumed = 0
@@ -443,35 +745,51 @@ def _emit_searched_blocks(
     final: bool,
     cut_every: int,
     cut_every_max: Optional[int] = None,
+    refine: Optional[RefineConfig] = None,
 ) -> List[BlockChoice]:
     """Emit the blocks the cut-point search decided on.
 
     Fixed and dynamic prices (and the dynamic plan) were already built
     during the search; only the stored price is refreshed here, at the
-    writer's true bit offset.
+    writer's true bit offset. With a :class:`RefineConfig` each block
+    is first offered to :func:`refine_searched_blocks`, and a strictly
+    cheaper re-parse replaces the block's tokens and prices.
     """
     blocks = search_cut_points(tokens, cut_every, cut_every_max)
+    refined = (
+        refine_searched_blocks(view, blocks, refine)
+        if refine is not None else [None] * len(blocks)
+    )
     choices: List[BlockChoice] = []
     consumed = 0
     for index, searched in enumerate(blocks):
+        better = refined[index]
+        if better is not None:
+            block, fixed_bits, dynamic_bits, plan = better
+        else:
+            block = None
+            fixed_bits = searched.fixed_bits
+            dynamic_bits = searched.dynamic_bits
+            plan = searched.plan
         stored_bits = stored_block_cost_bits(
             searched.raw_len, writer.bit_length & 7
         )
         best = min(
-            (searched.fixed_bits, BlockStrategy.FIXED),
-            (searched.dynamic_bits, BlockStrategy.DYNAMIC),
+            (fixed_bits, BlockStrategy.FIXED),
+            (dynamic_bits, BlockStrategy.DYNAMIC),
             (stored_bits, BlockStrategy.STORED),
             key=lambda pair: pair[0],
         )
         choice = BlockChoice(
             strategy=best[1],
-            fixed_bits=searched.fixed_bits,
-            dynamic_bits=searched.dynamic_bits,
+            fixed_bits=fixed_bits,
+            dynamic_bits=dynamic_bits,
             stored_bits=stored_bits,
-            plan=searched.plan,
+            plan=plan,
         )
         choices.append(choice)
-        block = _slice_tokens(tokens, searched.start, searched.stop)
+        if block is None:
+            block = _slice_tokens(tokens, searched.start, searched.stop)
         last = final and index == len(blocks) - 1
         _emit_block(writer, choice, block,
                     view[consumed:consumed + searched.raw_len], last)
@@ -495,63 +813,85 @@ def deflate_adaptive(
     cut_search: bool = True,
     cut_every: Optional[int] = None,
     cut_every_max: Optional[int] = None,
+    refine: Optional[RefineConfig] = None,
 ) -> SplitResult:
     """Encode a token stream with per-block best-strategy choice."""
     writer = BitWriter()
     choices = write_adaptive_blocks(
         writer, tokens, original, tokens_per_block, final=True,
         cut_search=cut_search, cut_every=cut_every,
-        cut_every_max=cut_every_max,
+        cut_every_max=cut_every_max, refine=refine,
     )
     return SplitResult(body=writer.flush(), choices=choices)
 
 
 def zlib_compress_adaptive(
     data: bytes,
-    window_size: int = 4096,
+    window_size: Optional[int] = None,
     hash_spec=None,
     policy=None,
-    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
+    tokens_per_block: Optional[int] = None,
     traced: Optional[bool] = None,
-    cut_search: bool = True,
+    cut_search: Optional[bool] = None,
     cut_every: Optional[int] = None,
-    sniff: bool = True,
+    sniff: Optional[bool] = None,
     backend: Optional[str] = None,
+    refine: Optional[bool] = None,
+    profile=None,
 ) -> bytes:
     """Full ZLib stream with per-block strategy choice.
 
     Runs the trace-free fast tokenizer by default (``backend=`` selects
     another registered tokenizer, ``"traced"`` the instrumented path;
-    the token stream is identical — see :mod:`repro.lzss.backends`).
-    ``traced=`` is the deprecated boolean equivalent. ``sniff``
-    short-circuits data the entropy sniff
-    (:func:`repro.deflate.sniff.looks_incompressible`) deems
-    incompressible straight into multi-chunk stored blocks, skipping
-    tokenization entirely.
+    the token streams of the hash-chain backends are identical — see
+    :mod:`repro.lzss.backends`). ``refine=True`` re-parses each
+    searched block against its own emerging Huffman prices
+    (:func:`refine_searched_blocks`). ``sniff`` short-circuits data the
+    entropy sniff (:func:`repro.deflate.sniff.looks_incompressible`)
+    deems incompressible straight into multi-chunk stored blocks,
+    skipping tokenization entirely. The removed ``traced=`` boolean now
+    raises :class:`~repro.errors.ConfigError`.
     """
+    from repro.api import CompressRequest, reject_legacy_trace
     from repro.checksums.adler32 import adler32
     from repro.deflate.sniff import looks_incompressible
     from repro.deflate.zlib_container import make_header
-    from repro.lzss.backends import backend_from_legacy
     from repro.lzss.compressor import LZSSCompressor
 
-    backend = backend_from_legacy(
-        backend, traced, param="traced", default="fast"
+    reject_legacy_trace("traced", traced)
+    resolved = CompressRequest(
+        profile=profile,
+        window_size=window_size,
+        hash_spec=hash_spec,
+        policy=policy,
+        tokens_per_block=tokens_per_block,
+        cut_search=cut_search,
+        sniff=sniff,
+        backend=backend,
+        refine=refine,
+    ).resolve(backend="fast")
+    refine_config = (
+        RefineConfig(window_size=resolved.window_size)
+        if resolved.refine and resolved.cut_search else None
     )
-    if sniff and looks_incompressible(data):
+    if resolved.sniff and looks_incompressible(data):
         writer = BitWriter()
         write_stored_block(writer, data, final=True)
         body = writer.flush()
     else:
-        compressor = LZSSCompressor(window_size, hash_spec, policy,
-                                    backend=backend)
+        compressor = LZSSCompressor(
+            resolved.window_size, resolved.hash_spec, resolved.policy,
+            backend=resolved.backend,
+        )
         result = compressor.compress(data)
-        split = deflate_adaptive(result.tokens, data, tokens_per_block,
-                                 cut_search=cut_search,
-                                 cut_every=cut_every)
+        split = deflate_adaptive(result.tokens, data,
+                                 resolved.tokens_per_block,
+                                 cut_search=resolved.cut_search,
+                                 cut_every=cut_every,
+                                 refine=refine_config)
         body = split.body
     return (
-        make_header(window_size)
+        make_header(resolved.window_size)
         + body
         + adler32(data).to_bytes(4, "big")
     )

@@ -28,24 +28,21 @@ from repro.deflate.block_writer import (
 )
 from repro.deflate.dynamic import write_dynamic_block
 from repro.deflate.splitter import (
-    DEFAULT_TOKENS_PER_BLOCK,
+    RefineConfig,
     write_adaptive_blocks,
 )
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.estimator.calibration import CalibrationLog, point_from_trace
-from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.hashchain import HashSpec
 from repro.lzss.policy import MatchPolicy
 from repro.lzss.router import (
     RoutingDecision,
-    config_from_profile,
     probe_shard,
     route_shard,
 )
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
-from repro.profile import as_profile
 
 
 def tokenize_chunk_with_result(
@@ -157,6 +154,7 @@ class ZLibStreamCompressor:
         cut_search: Optional[bool] = None,
         sniff: Optional[bool] = None,
         backend: Optional[str] = None,
+        refine: Optional[bool] = None,
         route: Optional[str] = None,
         probe_entropy_bits: Optional[float] = None,
         probe_match_density: Optional[float] = None,
@@ -165,41 +163,48 @@ class ZLibStreamCompressor:
         router=None,
         profile=None,
     ) -> None:
-        if traced is not None:
-            backend = backend_from_legacy(
-                backend, traced, param="traced", default="fast"
-            )
-        prof = as_profile(profile)
-        window_size = prof.pick("window_size", window_size, 4096)
-        hash_spec = prof.pick("hash_spec", hash_spec, None)
-        policy = prof.pick("policy", policy, None)
-        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
-        backend = prof.pick("backend", backend, "fast")
-        if strategy is BlockStrategy.STORED:
-            raise ConfigError(
-                "use write_stored_block directly for stored streams"
-            )
-        self.window_size = window_size
-        self.strategy = strategy
-        self.tokens_per_block = prof.pick(
-            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
-        )
-        self.cut_search = prof.pick("cut_search", cut_search, True)
-        self.sniff = prof.pick("sniff", sniff, True)
-        self.backend = backend
-        # Chunks are this stream's routing unit: with route="probe" an
-        # "auto" backend is re-decided per chunk from the probe, and the
-        # sampling policy may divert chunks through "traced" for
-        # telemetry. Bytes are identical either way.
-        self.router = config_from_profile(
-            prof,
+        from repro.api import CompressRequest, reject_legacy_trace
+
+        reject_legacy_trace("traced", traced)
+        resolved = CompressRequest(
+            profile=profile,
+            window_size=window_size,
+            hash_spec=hash_spec,
+            policy=policy,
+            strategy=strategy,
+            tokens_per_block=tokens_per_block,
+            cut_search=cut_search,
+            sniff=sniff,
+            backend=backend,
+            refine=refine,
             route=route,
             probe_entropy_bits=probe_entropy_bits,
             probe_match_density=probe_match_density,
             trace_fraction=trace_fraction,
             trace_seed=trace_seed,
             router=router,
+        ).resolve(backend="fast")
+        if resolved.strategy is BlockStrategy.STORED:
+            raise ConfigError(
+                "use write_stored_block directly for stored streams"
+            )
+        self.window_size = resolved.window_size
+        self.strategy = resolved.strategy
+        self.tokens_per_block = resolved.tokens_per_block
+        self.cut_search = resolved.cut_search
+        self.sniff = resolved.sniff
+        self.backend = resolved.backend
+        # Refine applies per chunk, inside the adaptive emission, and
+        # only when the cut search carries per-block plans to refine.
+        self.refine = (
+            RefineConfig(window_size=resolved.window_size)
+            if resolved.refine and resolved.cut_search else None
         )
+        # Chunks are this stream's routing unit: with route="probe" an
+        # "auto" backend is re-decided per chunk from the probe, and the
+        # sampling policy may divert chunks through "traced" for
+        # telemetry. Bytes are identical either way.
+        self.router = resolved.router
         #: One RoutingDecision per compressed chunk, in order.
         self.routing = []
         #: Traced-sample telemetry points (see repro.estimator.calibration).
@@ -207,7 +212,8 @@ class ZLibStreamCompressor:
         # Streams default to the trace-free production tokenizer; pass
         # backend="traced" only when the per-token record is needed.
         self._lzss = LZSSCompressor(
-            window_size, hash_spec, policy, backend=backend
+            resolved.window_size, resolved.hash_spec, resolved.policy,
+            backend=resolved.backend,
         )
         self._chunk_index = 0
         self._writer = BitWriter()
@@ -338,6 +344,7 @@ class ZLibStreamCompressor:
                 self._writer, tokens, raw, final=final,
                 tokens_per_block=self.tokens_per_block,
                 cut_search=self.cut_search,
+                refine=self.refine,
             )
         else:
             write_dynamic_block(self._writer, tokens, final=final)

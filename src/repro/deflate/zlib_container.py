@@ -17,7 +17,6 @@ from repro.checksums.adler32 import adler32
 from repro.deflate.block_writer import BlockStrategy, deflate_tokens
 from repro.deflate.inflate import inflate_with_tail
 from repro.errors import ZLibContainerError
-from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import CompressResult, LZSSCompressor
 from repro.lzss.hashchain import HashSpec
 from repro.lzss.policy import MatchPolicy
@@ -118,28 +117,40 @@ class ZLibCompressor:
     """LZSS + Huffman + ZLib framing with the paper's parameter set.
 
     ``backend="traced"`` (default) keeps the instrumented reproduction
-    path so ``ZLibResult.lzss.trace`` feeds the cost models; ``"fast"``
-    and ``"vector"`` are the trace-free production tokenizers
-    (identical output bytes). ``trace=`` is the deprecated boolean
-    equivalent.
+    path so ``ZLibResult.lzss.trace`` feeds the cost models; ``"fast"``,
+    ``"vector"`` and ``"sa"`` are the trace-free production tokenizers.
+    The removed ``trace=`` boolean raises
+    :class:`~repro.errors.ConfigError`; knob resolution goes through
+    :class:`repro.api.CompressRequest`.
     """
 
     def __init__(
         self,
-        window_size: int = 4096,
+        window_size: Optional[int] = None,
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
-        strategy: BlockStrategy = BlockStrategy.FIXED,
+        strategy: Optional[BlockStrategy] = None,
         trace: Optional[bool] = None,
         backend: Optional[str] = None,
+        profile=None,
     ) -> None:
-        backend = backend_from_legacy(
-            backend, trace, param="trace", default="traced"
+        from repro.api import CompressRequest, reject_legacy_trace
+
+        reject_legacy_trace("trace", trace)
+        resolved = CompressRequest(
+            profile=profile,
+            window_size=window_size,
+            hash_spec=hash_spec,
+            policy=policy,
+            strategy=strategy,
+            backend=backend,
+        ).resolve(backend="traced")
+        self._lzss = LZSSCompressor(
+            resolved.window_size, resolved.hash_spec, resolved.policy,
+            backend=resolved.backend,
         )
-        self._lzss = LZSSCompressor(window_size, hash_spec, policy,
-                                    backend=backend)
-        self.strategy = strategy
-        self.window_size = window_size
+        self.strategy = resolved.strategy
+        self.window_size = resolved.window_size
 
     def compress(self, data: bytes) -> ZLibResult:
         """Compress ``data`` into a complete ZLib stream."""
@@ -155,12 +166,13 @@ class ZLibCompressor:
 
 def compress(
     data: bytes,
-    window_size: int = 4096,
+    window_size: Optional[int] = None,
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
-    strategy: BlockStrategy = BlockStrategy.FIXED,
+    strategy: Optional[BlockStrategy] = None,
     trace: Optional[bool] = None,
     backend: Optional[str] = None,
+    profile=None,
 ) -> bytes:
     """One-shot ZLib-compatible compression (paper datapath defaults).
 
@@ -171,11 +183,12 @@ def compress(
     >>> decompress(stream) == b"snowy snow" * 100
     True
     """
-    backend = backend_from_legacy(
-        backend, trace, param="trace", default="traced"
-    )
+    from repro.api import reject_legacy_trace
+
+    reject_legacy_trace("trace", trace)
     return ZLibCompressor(
-        window_size, hash_spec, policy, strategy, backend=backend
+        window_size, hash_spec, policy, strategy, backend=backend,
+        profile=profile,
     ).compress(data).data
 
 

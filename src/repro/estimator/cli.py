@@ -51,38 +51,84 @@ def _build_params(args: argparse.Namespace) -> HardwareParams:
     return params
 
 
-def _add_path_flags(parser: argparse.ArgumentParser) -> None:
-    """--backend: which tokenizer the compressor runs.
+def add_compression_options(
+    parser: argparse.ArgumentParser,
+    *,
+    strategy: bool = True,
+    route: bool = False,
+    sampling: bool = False,
+    zdict: bool = True,
+    refine: bool = True,
+) -> None:
+    """The shared compression flag set for every compressing subcommand.
 
-    ``fast`` (the default) is the trace-free pure-Python production hot
-    path; ``vector`` is the numpy batch kernel; ``auto`` picks the
-    fastest available for the policy; ``traced`` is the instrumented
-    reproduction path the cost models consume. Output bytes are
-    identical on every backend — see docs/PERFORMANCE.md. Replaces the
-    old ``--fast``/``--traced`` flag pair.
+    ``compress``, ``pcompress``, ``batch`` and ``serve`` all accept the
+    same core knobs — one profile, one backend vocabulary, one routing
+    and preset-dictionary surface — so the flags are defined once here
+    and each command opts out of the few that its engine does not take
+    (batch has no block strategy; sampling flags are pcompress-only).
+
+    --backend: which tokenizer runs. ``fast`` is the trace-free
+    pure-Python hot path; ``vector`` the numpy batch kernel; ``sa`` the
+    suffix-array matcher of the ``best`` profile (decode-identical,
+    ratio >= the hash-chain parse); ``auto`` picks the fastest
+    available; ``traced`` the instrumented reproduction path. All but
+    ``sa`` emit identical bytes — see docs/PERFORMANCE.md.
+
+    --strategy: block entropy coding. ``fixed`` is the paper's hardware
+    path (default), ``dynamic`` transmits per-block optimal tables,
+    ``adaptive`` prices fixed/dynamic/stored per block and emits the
+    cheapest (ZLib's choice).
+
+    --refine: iterative re-tokenisation under the adaptive strategy —
+    re-parse each block scored by its emerging Huffman code lengths
+    (``best`` turns it on; --no-refine switches it off for A/B runs).
+
+    --route / --probe-*: per-shard backend routing
+    (:mod:`repro.lzss.router`); ``sampling`` adds the traced-sampling
+    policy flags (pcompress only — the serial command has one shard, so
+    ``--backend traced`` covers it).
+
+    --zdict: preset-dictionary file (RFC 1950 FDICT framing): the
+    file's bytes prime the window and the stream carries the DICTID, so
+    ``zlib.decompressobj(zdict=...)`` (or ``decompress --zdict``) is
+    required — and sufficient — to decode.
     """
+    from repro.lzss.backends import BACKEND_NAMES
+    from repro.profile import preset_names
+
+    parser.add_argument(
+        "--profile", default=None, choices=list(preset_names()),
+        help="named CompressionProfile preset (policy, strategy, window, "
+        "backend, refine in one flag); explicit flags win over its fields",
+    )
     parser.add_argument(
         "--backend", default=None,
-        choices=["traced", "fast", "vector", "auto"],
+        choices=[*BACKEND_NAMES, "auto"],
         help="tokenizer backend: trace-free pure-Python (fast, default), "
-        "numpy batch kernel (vector), best available (auto), or the "
-        "instrumented reproduction path (traced); same output bytes",
+        "numpy batch kernel (vector), suffix-array matcher (sa; decode-"
+        "identical, best ratio), best available (auto), or the "
+        "instrumented reproduction path (traced)",
     )
-
-
-def _add_strategy_flag(parser: argparse.ArgumentParser) -> None:
-    """--strategy: how blocks are entropy-coded.
-
-    ``fixed`` is the paper's hardware path (default), ``dynamic``
-    transmits per-block optimal tables, ``adaptive`` prices every block
-    under fixed/dynamic/stored and emits the cheapest (ZLib's choice).
-    """
-    parser.add_argument(
-        "--strategy", default=None,
-        choices=["fixed", "dynamic", "adaptive"],
-        help="block entropy coding: fixed tables (paper hardware, "
-        "default), per-block dynamic tables, or adaptive best-of-three",
-    )
+    if strategy:
+        parser.add_argument(
+            "--strategy", default=None,
+            choices=["fixed", "dynamic", "adaptive"],
+            help="block entropy coding: fixed tables (paper hardware, "
+            "default), per-block dynamic tables, or adaptive "
+            "best-of-three",
+        )
+    if refine:
+        parser.add_argument(
+            "--refine", action=argparse.BooleanOptionalAction,
+            default=None,
+            help="re-parse each adaptive block scored by its own Huffman "
+            "code lengths (the best profile's setting; default off)",
+        )
+    if route:
+        _add_route_flags(parser, sampling=sampling)
+    if zdict:
+        _add_zdict_flag(parser)
 
 
 def _add_block_flags(parser: argparse.ArgumentParser) -> None:
@@ -305,30 +351,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.api import CompressRequest
     from repro.deflate.block_writer import BlockStrategy
-    from repro.deflate.splitter import (
-        DEFAULT_TOKENS_PER_BLOCK,
-        zlib_compress_adaptive,
-    )
+    from repro.deflate.splitter import zlib_compress_adaptive
     from repro.deflate.zlib_container import compress as zc
 
     with open(args.input, "rb") as handle:
         data = handle.read()
-    params = _build_params(args)
-    strategy = _block_strategy(args) or BlockStrategy.FIXED
-    backend = args.backend or "fast"
+    # Explicit hardware flags pin the matcher configuration; with none
+    # given, the profile's window/policy fields apply.
+    explicit_hw = bool(
+        args.preset or args.window is not None
+        or args.hash_bits is not None or args.gen_bits is not None
+    )
+    params = _build_params(args) if explicit_hw else None
+    hw = dict(
+        window_size=params.window_size if params else None,
+        hash_spec=params.hash_spec if params else None,
+        policy=params.policy if params else None,
+    )
+    # One resolution pass decides the dispatch (adaptive vs one-shot)
+    # and the probe policy; the engines re-resolve the same request.
+    resolved = CompressRequest(
+        profile=args.profile, strategy=_block_strategy(args),
+        backend=args.backend, refine=args.refine, **hw,
+    ).resolve()
+    # resolved.backend keeps the library/profile default ("fast" with
+    # no flags — the one-shot container alone would default to traced).
+    backend = args.backend if args.backend is not None \
+        else resolved.backend
     zdict = _read_zdict(args)
     if zdict:
         from repro.deflate.preset_dict import compress_with_dict
 
-        if args.strategy is not None and strategy is not BlockStrategy.FIXED:
+        if args.strategy is not None \
+                and resolved.strategy is not BlockStrategy.FIXED:
             raise SystemExit(
                 "--zdict currently implies --strategy fixed "
                 "(the preset-dictionary path emits fixed-Huffman blocks)"
             )
         stream = compress_with_dict(
-            data, zdict, window_size=params.window_size,
-            hash_spec=params.hash_spec, policy=params.policy,
+            data, zdict, window_size=resolved.window_size,
+            hash_spec=resolved.hash_spec, policy=resolved.policy,
         )
         output = args.output or args.input + ".lzz"
         with open(output, "wb") as handle:
@@ -351,27 +415,21 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                            if args.probe_match_density is not None
                            else RouterConfig().match_density),
         )
-        decision = route_shard(data, backend=backend,
-                               policy=params.policy, config=config)
+        decision = route_shard(data, backend=resolved.backend,
+                               policy=resolved.policy, config=config)
         backend = decision.backend
         print(f"route: {backend} [{decision.reason}]")
-    if strategy is BlockStrategy.ADAPTIVE:
+    if resolved.strategy is BlockStrategy.ADAPTIVE:
         stream = zlib_compress_adaptive(
-            data, window_size=params.window_size,
-            hash_spec=params.hash_spec, policy=params.policy,
-            backend=backend,
-            tokens_per_block=(args.tokens_per_block
-                              if args.tokens_per_block is not None
-                              else DEFAULT_TOKENS_PER_BLOCK),
-            cut_search=(args.cut_search
-                        if args.cut_search is not None else True),
-            sniff=args.sniff if args.sniff is not None else True,
+            data, profile=args.profile, backend=backend,
+            tokens_per_block=args.tokens_per_block,
+            cut_search=args.cut_search, sniff=args.sniff,
+            refine=args.refine, **hw,
         )
     else:
         stream = zc(
-            data, window_size=params.window_size,
-            hash_spec=params.hash_spec, policy=params.policy,
-            strategy=strategy, backend=backend,
+            data, strategy=_block_strategy(args), backend=backend,
+            profile=args.profile, **hw,
         )
     output = args.output or args.input + ".lzz"
     with open(output, "wb") as handle:
@@ -403,6 +461,7 @@ def _cmd_pcompress(args: argparse.Namespace) -> int:
         tokens_per_block=args.tokens_per_block,
         cut_search=args.cut_search,
         sniff=args.sniff,
+        refine=args.refine,
         profile=args.profile,
         route=args.route,
         probe_entropy_bits=args.probe_entropy_bits,
@@ -443,7 +502,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         carry_window=args.carry_window,
         strategy=_block_strategy(args),
         backend=args.backend,
+        refine=args.refine,
         profile=args.profile,
+        route=args.route,
+        probe_entropy_bits=args.probe_entropy_bits,
+        probe_match_density=args.probe_match_density,
+        zdict=_read_zdict(args),
     )
     if args.self_test:
         streams = tuple(
@@ -691,14 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
     compress_parser.add_argument("--window", type=int)
     compress_parser.add_argument("--hash-bits", type=int)
     compress_parser.add_argument("--gen-bits", type=int)
-    _add_path_flags(compress_parser)
-    _add_strategy_flag(compress_parser)
+    add_compression_options(compress_parser, route=True)
     _add_block_flags(compress_parser)
-    _add_route_flags(compress_parser)
-    _add_zdict_flag(compress_parser)
     compress_parser.set_defaults(func=_cmd_compress)
-
-    from repro.profile import preset_names
 
     batch_parser = sub.add_parser(
         "batch",
@@ -722,10 +781,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--suffix", default=".lzz",
         help="output filename suffix (default .lzz)",
     )
-    batch_parser.add_argument(
-        "--profile", default=None, choices=list(preset_names()),
-        help="named CompressionProfile preset; explicit flags win",
-    )
     batch_parser.add_argument("--window", type=int,
                               help="dictionary window size in bytes")
     batch_parser.add_argument(
@@ -748,8 +803,10 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {DEFAULT_CHUNK_PAYLOADS}; each chunk builds its own "
         "shared plan)",
     )
-    _add_path_flags(batch_parser)
-    _add_zdict_flag(batch_parser)
+    # The batched engine has no block strategy (its plan choices are
+    # per payload) and no refine loop (payloads are far below the
+    # refine floor), so those flags are opted out.
+    add_compression_options(batch_parser, strategy=False, refine=False)
     batch_parser.set_defaults(func=_cmd_batch)
 
     pcompress_parser = sub.add_parser(
@@ -770,23 +827,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pcompress_parser.add_argument("--stats", action="store_true",
                                   help="print per-shard statistics")
-    from repro.profile import preset_names
-
-    pcompress_parser.add_argument(
-        "--profile", default=None, choices=list(preset_names()),
-        help="named CompressionProfile preset (policy, strategy, window, "
-        "backend in one flag); explicit flags win over profile fields",
-    )
     pcompress_parser.add_argument("--preset",
                                   choices=sorted(ESTIMATION_PRESETS))
     pcompress_parser.add_argument("--window", type=int)
     pcompress_parser.add_argument("--hash-bits", type=int)
     pcompress_parser.add_argument("--gen-bits", type=int)
-    _add_path_flags(pcompress_parser)
-    _add_strategy_flag(pcompress_parser)
+    add_compression_options(pcompress_parser, route=True, sampling=True)
     _add_block_flags(pcompress_parser)
-    _add_route_flags(pcompress_parser, sampling=True)
-    _add_zdict_flag(pcompress_parser)
     pcompress_parser.set_defaults(func=_cmd_pcompress)
 
     serve_parser = sub.add_parser(
@@ -812,10 +859,6 @@ def build_parser() -> argparse.ArgumentParser:
         "a served stream is one document)",
     )
     serve_parser.add_argument(
-        "--profile", default=None, choices=list(preset_names()),
-        help="named CompressionProfile preset for every stream",
-    )
-    serve_parser.add_argument(
         "--self-test", action="store_true",
         help="host on an ephemeral port, run the load generator, "
         "verify every response byte-for-byte, exit non-zero on "
@@ -831,8 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--format", default="zlib",
                               choices=["zlib", "gzip"],
                               help="self-test stream format")
-    _add_path_flags(serve_parser)
-    _add_strategy_flag(serve_parser)
+    add_compression_options(serve_parser, route=True)
     serve_parser.set_defaults(func=_cmd_serve)
 
     decompress_parser = sub.add_parser(

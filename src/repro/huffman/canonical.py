@@ -62,12 +62,18 @@ def validate_code_lengths(
     """Check Kraft's inequality and the length bound.
 
     A *complete* code satisfies ``sum(2**-l) == 1`` over used symbols.
-    Decoders for Deflate must reject over-subscribed sets; incomplete
-    sets are legal only in the special single-distance-code case, which
-    callers opt into via ``allow_incomplete``.
+    Decoders for Deflate must reject over-subscribed sets. Incomplete
+    sets are legal in exactly one shape — a single code of one bit —
+    and only where the caller opts in via ``allow_incomplete`` (zlib's
+    ``inftrees.c`` rule: ``left > 0 && (type == CODES || max != 1)``
+    rejects; the code-length code itself never tolerates a hole, the
+    litlen/dist tables tolerate only the one-code-of-one-bit case).
+    Any other incomplete set leaves undecodable bit patterns, which a
+    strict inflater must treat as a broken stream.
     """
     kraft = 0
     used = 0
+    max_used = 0
     for symbol, length in enumerate(lengths):
         if length == 0:
             continue
@@ -77,10 +83,13 @@ def validate_code_lengths(
             )
         kraft += 1 << (max_bits - length)
         used += 1
+        if length > max_used:
+            max_used = length
     full = 1 << max_bits
     if kraft > full:
         raise HuffmanError("over-subscribed code length set")
-    if kraft < full and used > 1 and not allow_incomplete:
+    if kraft < full and used and not (allow_incomplete and used == 1
+                                      and max_used == 1):
         raise HuffmanError("incomplete code length set")
 
 
@@ -183,7 +192,9 @@ def build_code_lengths(
     for length in (lengths[s] for s in symbols):
         if not 1 <= length <= max_bits:
             raise HuffmanError("package-merge produced invalid lengths")
-    validate_code_lengths(lengths, max_bits)
+    # allow_incomplete: the n == 1 branch above legitimately emits a
+    # single 1-bit code, the only incomplete shape Deflate permits.
+    validate_code_lengths(lengths, max_bits, allow_incomplete=True)
     return lengths
 
 

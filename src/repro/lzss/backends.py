@@ -1,7 +1,6 @@
-"""Tokenizer backend registry: ``traced`` / ``fast`` / ``vector``.
+"""Tokenizer backend registry: ``traced`` / ``fast`` / ``vector`` / ``sa``.
 
-The library grew three longest-match tokenizers that produce
-bit-identical token streams:
+The library grew four longest-match tokenizers:
 
 * ``traced`` — the instrumented reproduction path
   (:class:`repro.lzss.compressor.LZSSCompressor`'s in-class parsers),
@@ -11,7 +10,16 @@ bit-identical token streams:
   (:func:`repro.lzss.fast.compress_fast`);
 * ``vector`` — the numpy batch kernel
   (:func:`repro.lzss.vector.compress_vector`), the software analogue of
-  the paper's widened compare datapath.
+  the paper's widened compare datapath;
+* ``sa`` — the suffix-array exact matcher
+  (:func:`repro.lzss.sa.compress_sa`), the ratio backend the ``best``
+  profile selects.
+
+``traced``/``fast``/``vector`` produce bit-identical token streams.
+``sa`` deliberately does not: it answers longest-match queries exactly
+where hash chains stop at ``max_chain`` candidates, so its contract is
+round-trip identity and no-worse pricing, not token identity (see
+:mod:`repro.lzss.sa`).
 
 This module is the single place that names them. Every ``backend=``
 parameter in the library accepts one of :data:`BACKEND_NAMES` plus
@@ -19,8 +27,10 @@ parameter in the library accepts one of :data:`BACKEND_NAMES` plus
 ``"vector"`` on a machine without a usable numpy, or with a policy the
 vector kernel does not support, silently degrades to ``"fast"`` — the
 output bytes are identical by the differential-test contract, so the
-fallback is unobservable except in speed. An unknown name raises
-:class:`~repro.errors.ConfigError`.
+fallback is unobservable except in speed. ``sa`` never leaves the
+registry: without numpy it runs its pure-Python doubling builder
+(slower, smaller search history, still exact within that history). An
+unknown name raises :class:`~repro.errors.ConfigError`.
 
 The numpy probe runs per call (no caching): test suites block numpy via
 ``sys.modules`` monkeypatching to exercise the fallback path, and a
@@ -29,16 +39,16 @@ cached probe would leak state between tests.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 
-#: Concrete backend names, in oracle-to-fastest order. ``"auto"`` is
-#: accepted by :func:`resolve` but is never a concrete backend.
-BACKEND_NAMES: Tuple[str, ...] = ("traced", "fast", "vector")
+#: Concrete backend names, in oracle-to-fastest-to-strongest order.
+#: ``"auto"`` is accepted by :func:`resolve` but is never a concrete
+#: backend.
+BACKEND_NAMES: Tuple[str, ...] = ("traced", "fast", "vector", "sa")
 
-#: Oldest numpy the vector kernel is tested against (needs stable
+#: Oldest numpy the accelerated kernels are tested against (needs stable
 #: ``np.frombuffer``/``sliding-window`` semantics and uint64 sorts).
 MIN_NUMPY = (1, 20)
 
@@ -60,12 +70,13 @@ def _numpy_usable() -> bool:
 def available() -> Tuple[str, ...]:
     """The backends usable on this machine, probe evaluated per call.
 
-    ``traced`` and ``fast`` are pure Python and always present;
-    ``vector`` appears only when the numpy probe passes.
+    ``traced``, ``fast`` and ``sa`` are always present (``sa`` carries
+    its own pure-Python builder); ``vector`` appears only when the
+    numpy probe passes.
     """
     if _numpy_usable():
         return BACKEND_NAMES
-    return ("traced", "fast")
+    return ("traced", "fast", "sa")
 
 
 def resolve(backend: str, policy=None) -> str:
@@ -74,9 +85,12 @@ def resolve(backend: str, policy=None) -> str:
     ``auto`` picks the fastest backend for the given policy: the vector
     kernel for greedy insert-all policies (the configuration the batch
     kernel is built for — see :func:`repro.lzss.vector.supports`),
-    ``fast`` otherwise. ``vector`` degrades silently to ``fast`` when
-    numpy is unusable or the policy is unsupported; the token output is
-    identical either way.
+    ``fast`` otherwise — never ``sa``, which trades speed for ratio and
+    must be asked for (directly or via the ``best`` profile).
+    ``vector`` degrades silently to ``fast`` when numpy is unusable or
+    the policy is unsupported; the token output is identical either
+    way. ``sa`` supports every policy and both builders, so it always
+    resolves to itself.
     """
     if backend == "auto":
         if _numpy_usable() and policy is not None and not policy.lazy:
@@ -98,6 +112,11 @@ def resolve(backend: str, policy=None) -> str:
 
             if not supports(policy):
                 return "fast"
+    if backend == "sa" and policy is not None:
+        from repro.lzss.sa import supports as sa_supports
+
+        if not sa_supports(policy):
+            return "fast"
     return backend
 
 
@@ -111,8 +130,9 @@ def registry() -> Dict[str, Callable]:
     callers that resolve to ``"traced"`` dispatch there instead.
     """
     from repro.lzss.fast import compress_fast
+    from repro.lzss.sa import compress_sa
 
-    table: Dict[str, Callable] = {"fast": compress_fast}
+    table: Dict[str, Callable] = {"fast": compress_fast, "sa": compress_sa}
     if _numpy_usable():
         from repro.lzss.vector import compress_vector
 
@@ -130,34 +150,3 @@ def tokenizer(backend: str, policy=None) -> Tuple[str, Optional[Callable]]:
     if name == "traced":
         return name, None
     return name, registry()[name]
-
-
-def backend_from_legacy(
-    backend: Optional[str],
-    legacy: Optional[bool],
-    *,
-    param: str,
-    default: str,
-) -> str:
-    """Shared deprecation shim for the old ``trace=``/``traced=`` booleans.
-
-    ``legacy=True`` means the caller wanted the instrumented path,
-    ``legacy=False`` the trace-free one; ``None`` (the new default
-    everywhere) means the boolean was not passed. Passing the boolean
-    warns and forwards onto the equivalent backend name; passing both
-    the boolean and ``backend=`` is a contradiction and raises.
-    """
-    if legacy is not None:
-        warnings.warn(
-            f"{param}= is deprecated; use backend='traced' or "
-            f"backend='fast' (or 'vector'/'auto') instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if backend is not None:
-            raise ConfigError(
-                f"cannot pass both {param}= and backend=: "
-                f"got {param}={legacy!r} and backend={backend!r}"
-            )
-        return "traced" if legacy else "fast"
-    return backend if backend is not None else default

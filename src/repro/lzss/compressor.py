@@ -15,12 +15,14 @@ what the software cost model consumes.
 
 Callers that only want tokens out (the production compressors in
 :mod:`repro.deflate` and :mod:`repro.parallel`) select a trace-free
-backend (``backend="fast"`` or ``backend="vector"``, see
+backend (``backend="fast"``, ``"vector"`` or ``"sa"``, see
 :mod:`repro.lzss.backends`): compression dispatches to the registered
-tokenizer, whose output is bit-identical, and ``CompressResult.trace``
-is ``None``. The old ``trace=`` boolean is kept as a deprecation shim
-(``trace=True`` -> ``backend="traced"``, ``trace=False`` ->
-``backend="fast"``).
+tokenizer and ``CompressResult.trace`` is ``None``. The removed
+``trace=`` boolean now raises :class:`~repro.errors.ConfigError` with
+the exact replacement.
+
+Knob resolution goes through :class:`repro.api.CompressRequest` — the
+single precedence implementation shared by every entry point.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.lzss.backends import backend_from_legacy, tokenizer
+from repro.lzss.backends import tokenizer
 from repro.lzss.hashchain import ChainTables, HashSpec, hash_all
 from repro.lzss.matcher import longest_match
 from repro.lzss.policy import MatchPolicy
@@ -84,33 +86,48 @@ class LZSSCompressor:
     backend:
         Which tokenizer runs (see :mod:`repro.lzss.backends`):
         ``"traced"`` (default) records a :class:`MatchTrace` for the
-        cost models; ``"fast"`` and ``"vector"`` are the trace-free
-        production paths (identical token output, no trace); ``"auto"``
-        picks the fastest available for the policy.
+        cost models; ``"fast"``, ``"vector"`` and ``"sa"`` are the
+        trace-free production paths; ``"auto"`` picks the fastest
+        available for the policy.
+    profile:
+        A preset name or :class:`~repro.profile.CompressionProfile`;
+        explicit keyword arguments win over its fields
+        (:class:`repro.api.CompressRequest` resolution).
     trace:
-        Deprecated boolean equivalent of ``backend`` (``True`` ->
-        ``"traced"``, ``False`` -> ``"fast"``); warns and forwards.
+        Removed boolean equivalent of ``backend``; passing it raises
+        :class:`~repro.errors.ConfigError` naming the replacement.
     """
 
     def __init__(
         self,
-        window_size: int = 4096,
+        window_size: Optional[int] = None,
         hash_spec: Optional[HashSpec] = None,
         policy: Optional[MatchPolicy] = None,
         trace: Optional[bool] = None,
         backend: Optional[str] = None,
+        profile=None,
     ) -> None:
+        from repro.api import CompressRequest, reject_legacy_trace
+
+        reject_legacy_trace("trace", trace)
+        resolved = CompressRequest(
+            profile=profile,
+            window_size=window_size,
+            hash_spec=hash_spec,
+            policy=policy,
+            backend=backend,
+        ).resolve(backend="traced", hash_spec=HashSpec(),
+                  policy=MatchPolicy())
+        window_size = resolved.window_size
         if window_size & (window_size - 1) or not 256 <= window_size <= 32768:
             raise ConfigError(
                 "window_size must be a power of two in [256, 32768]: "
                 f"{window_size}"
             )
         self.window_size = window_size
-        self.hash_spec = hash_spec or HashSpec()
-        self.policy = policy or MatchPolicy()
-        self.backend = backend_from_legacy(
-            backend, trace, param="trace", default="traced"
-        )
+        self.hash_spec = resolved.hash_spec or HashSpec()
+        self.policy = resolved.policy or MatchPolicy()
+        self.backend = resolved.backend
         # ZLib's MAX_DIST: never match farther back than this, which also
         # makes chain-table aliasing unreachable (see ChainTables).
         self.max_dist = window_size - MIN_LOOKAHEAD
@@ -134,13 +151,14 @@ class LZSSCompressor:
         """Produce the token stream (and, on ``traced``, the trace).
 
         ``backend`` overrides the compressor-level setting for this
-        call; ``None`` keeps it. ``trace`` is the deprecated boolean
-        equivalent.
+        call; ``None`` keeps it. The removed ``trace=`` boolean raises
+        :class:`~repro.errors.ConfigError`.
         """
+        from repro.api import reject_legacy_trace
+
+        reject_legacy_trace("trace", trace)
         data = bytes(data)
-        requested = backend_from_legacy(
-            backend, trace, param="trace", default=self.backend
-        )
+        requested = backend if backend is not None else self.backend
         name, fn = tokenizer(requested, self.policy)
         if fn is not None:
             tokens = fn(data, self.window_size, self.hash_spec, self.policy)
@@ -323,16 +341,17 @@ class LZSSCompressor:
 
 def compress_tokens(
     data: bytes,
-    window_size: int = 4096,
+    window_size: Optional[int] = None,
     hash_spec: Optional[HashSpec] = None,
     policy: Optional[MatchPolicy] = None,
     trace: Optional[bool] = None,
     backend: Optional[str] = None,
+    profile=None,
 ) -> CompressResult:
     """One-shot convenience wrapper around :class:`LZSSCompressor`."""
-    resolved = backend_from_legacy(
-        backend, trace, param="trace", default="traced"
-    )
+    from repro.api import reject_legacy_trace
+
+    reject_legacy_trace("trace", trace)
     return LZSSCompressor(
-        window_size, hash_spec, policy, backend=resolved
+        window_size, hash_spec, policy, backend=backend, profile=profile,
     ).compress(data)

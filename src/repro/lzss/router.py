@@ -32,10 +32,14 @@ This module is that decision point:
   consumes, which the parallel engine folds into
   :mod:`repro.estimator.calibration` as live calibration points.
 
-Routing never changes output bytes: every backend is bit-identical by
-the differential-test contract (``tests/lzss/test_router.py`` holds the
+Routing never changes output bytes: every backend it chooses between
+(``traced``/``fast``/``vector``) is bit-identical by the
+differential-test contract (``tests/lzss/test_router.py`` holds the
 line per decision), so the router moves only wall-clock, exactly like
-the stored bypass before it.
+the stored bypass before it. A shard that *requests* ``backend="sa"``
+(the exact suffix-array matcher, which is deliberately not
+bit-identical) always runs ``sa``: it resolves statically and is
+exempt from traced sampling.
 """
 
 from __future__ import annotations
@@ -312,7 +316,12 @@ def route_shard(
     from repro.lzss.backends import resolve
 
     config = config or RouterConfig()
-    if should_trace(index, config.trace_fraction, config.trace_seed):
+    # Never trace-sample a shard that asked for the suffix-array
+    # matcher: sa is not bit-identical to traced (it finds matches hash
+    # chains miss), so diverting it would change output bytes — and its
+    # chain-free search has no MatchTrace for the cycle models anyway.
+    if backend != "sa" and should_trace(
+            index, config.trace_fraction, config.trace_seed):
         return RoutingDecision(
             backend="traced",
             requested=backend,

@@ -52,6 +52,7 @@ from repro.deflate.block_writer import (
 from repro.deflate.dynamic import write_dynamic_block
 from repro.deflate.splitter import (
     DEFAULT_TOKENS_PER_BLOCK,
+    RefineConfig,
     write_adaptive_blocks,
 )
 from repro.deflate.stream import tokenize_chunk_with_result
@@ -59,19 +60,16 @@ from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.estimator.calibration import CalibrationPoint, point_from_trace
 from repro.hw.params import HardwareParams
-from repro.lzss.backends import backend_from_legacy
 from repro.lzss.compressor import LZSSCompressor
 from repro.lzss.router import (
     RouterConfig,
     RoutingDecision,
     ShardProbe,
-    config_from_profile,
     probe_shard,
     route_shard,
 )
 from repro.lzss.tokens import MIN_LOOKAHEAD, TokenArray
 from repro.parallel.stats import ParallelStats, ShardStat
-from repro.profile import as_profile
 
 #: Default shard size: 1 MiB, large enough that the sync-marker framing
 #: and the cold dictionary window are noise (<1% ratio penalty on text).
@@ -103,6 +101,9 @@ class ShardTask:
     tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK
     cut_search: bool = True
     sniff: bool = True
+    #: Re-parse each searched block against its emerging Huffman prices
+    #: (ADAPTIVE + cut_search only; see repro.deflate.splitter).
+    refine: bool = False
     #: Per-shard routing / traced-sampling policy (None = static).
     router: Optional[RouterConfig] = None
     #: Also compute the shard's CRC-32 (gzip framing stitches CRCs the
@@ -145,6 +146,7 @@ def _compress_shard_parts(
     cut_search: bool = True,
     sniff: bool = True,
     backend: str = "fast",
+    refine: bool = False,
     router: Optional[RouterConfig] = None,
     shard_index: int = 0,
     probe: Optional[ShardProbe] = None,
@@ -194,9 +196,14 @@ def _compress_shard_parts(
                 policy=lzss.policy,
             )
         if strategy is BlockStrategy.ADAPTIVE and len(tokens):
+            refine_config = (
+                RefineConfig(window_size=window_size)
+                if refine and cut_search else None
+            )
             write_adaptive_blocks(writer, tokens, data, final=False,
                                   tokens_per_block=tokens_per_block,
-                                  cut_search=cut_search)
+                                  cut_search=cut_search,
+                                  refine=refine_config)
         elif strategy is BlockStrategy.FIXED or len(tokens) == 0:
             write_fixed_block(writer, tokens, final=False)
         else:
@@ -211,18 +218,20 @@ def _compress_shard_parts(
 def compress_shard_body(
     data: bytes,
     history: bytes = b"",
-    window_size: int = 4096,
+    window_size: Optional[int] = None,
     hash_spec=None,
     policy=None,
-    strategy: BlockStrategy = BlockStrategy.FIXED,
+    strategy: Optional[BlockStrategy] = None,
     traced: Optional[bool] = None,
-    tokens_per_block: int = DEFAULT_TOKENS_PER_BLOCK,
-    cut_search: bool = True,
-    sniff: bool = True,
+    tokens_per_block: Optional[int] = None,
+    cut_search: Optional[bool] = None,
+    sniff: Optional[bool] = None,
     backend: Optional[str] = None,
+    refine: Optional[bool] = None,
     router: Optional[RouterConfig] = None,
     shard_index: int = 0,
     probe: Optional[ShardProbe] = None,
+    profile=None,
 ) -> bytes:
     """Compress one shard into a byte-aligned raw Deflate fragment.
 
@@ -231,8 +240,8 @@ def compress_shard_body(
     concatenated directly. ``history`` primes the matcher without being
     re-emitted (the carried-window mode). Shards run the trace-free
     fast tokenizer unless ``backend=`` selects another registered
-    tokenizer (``traced=`` is the deprecated boolean equivalent; output
-    bytes are identical on every backend). ``ADAPTIVE`` prices every
+    tokenizer (the removed ``traced=`` boolean raises
+    :class:`~repro.errors.ConfigError`). ``ADAPTIVE`` prices every
     block of the shard under all three codings and emits the cheapest
     (stored payloads slice the shard's own bytes, zero-copy); its block
     boundaries come from the cost-driven cut search unless
@@ -252,12 +261,11 @@ def compress_shard_body(
     sniffed at most once. Routing never changes the output bytes —
     every backend is bit-identical by contract.
     """
-    backend = backend_from_legacy(
-        backend, traced, param="traced", default="fast"
-    )
-    body, _, _ = _compress_shard_parts(
-        data,
-        history=history,
+    from repro.api import CompressRequest, reject_legacy_trace
+
+    reject_legacy_trace("traced", traced)
+    resolved = CompressRequest(
+        profile=profile,
         window_size=window_size,
         hash_spec=hash_spec,
         policy=policy,
@@ -266,7 +274,22 @@ def compress_shard_body(
         cut_search=cut_search,
         sniff=sniff,
         backend=backend,
+        refine=refine,
         router=router,
+    ).resolve(backend="fast")
+    body, _, _ = _compress_shard_parts(
+        data,
+        history=history,
+        window_size=resolved.window_size,
+        hash_spec=resolved.hash_spec,
+        policy=resolved.policy,
+        strategy=resolved.strategy,
+        tokens_per_block=resolved.tokens_per_block,
+        cut_search=resolved.cut_search,
+        sniff=resolved.sniff,
+        backend=resolved.backend,
+        refine=resolved.refine,
+        router=router if router is not None else resolved.router,
         shard_index=shard_index,
         probe=probe,
     )
@@ -294,6 +317,7 @@ def _compress_shard(task: ShardTask) -> ShardResult:
         tokens_per_block=task.tokens_per_block,
         cut_search=task.cut_search,
         sniff=task.sniff,
+        refine=task.refine,
         router=task.router,
         shard_index=task.index,
     )
@@ -386,6 +410,7 @@ class ShardedCompressor:
         cut_search: Optional[bool] = None,
         sniff: Optional[bool] = None,
         backend: Optional[str] = None,
+        refine: Optional[bool] = None,
         shard_backends=None,
         profile=None,
         route: Optional[str] = None,
@@ -397,11 +422,9 @@ class ShardedCompressor:
         zdict: bytes = b"",
         pool=None,
     ) -> None:
-        if traced is not None:
-            backend = backend_from_legacy(
-                backend, traced, param="traced", default="fast"
-            )
-        prof = as_profile(profile)
+        from repro.api import CompressRequest, reject_legacy_trace
+
+        reject_legacy_trace("traced", traced)
         shard_size = (DEFAULT_SHARD_SIZE if shard_size is None
                       else shard_size)
         if shard_size < MIN_SHARD_SIZE:
@@ -410,23 +433,38 @@ class ShardedCompressor:
             )
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1: {workers}")
-        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
-        if strategy is BlockStrategy.STORED:
-            raise ConfigError("STORED shards would not compress anything")
-        # Profile fields fill in for the paper-default HardwareParams
-        # only when no explicit params were given (kwarg > profile).
-        # They deliberately do not construct a HardwareParams — the
+        # Explicit HardwareParams pin the matcher config outright (the
         # hardware model is greedy-only, while software shards may run
-        # any policy (e.g. the lazy presets).
+        # any policy); without them the profile can fill in for the
+        # paper-default HardwareParams fields.
         self.params = params or HardwareParams()
+        resolved = CompressRequest(
+            profile=profile,
+            strategy=strategy,
+            tokens_per_block=tokens_per_block,
+            cut_search=cut_search,
+            sniff=sniff,
+            backend=backend,
+            refine=refine,
+            zdict=zdict if zdict else None,
+            route=route,
+            probe_entropy_bits=probe_entropy_bits,
+            probe_match_density=probe_match_density,
+            trace_fraction=trace_fraction,
+            trace_seed=trace_seed,
+            router=router,
+        ).resolve(
+            backend="fast",
+            window_size=self.params.window_size,
+            hash_spec=self.params.hash_spec,
+            policy=self.params.policy,
+        )
+        if resolved.strategy is BlockStrategy.STORED:
+            raise ConfigError("STORED shards would not compress anything")
         if params is None:
-            self.window_size = prof.pick(
-                "window_size", None, self.params.window_size
-            )
-            self.hash_spec = prof.pick(
-                "hash_spec", None, self.params.hash_spec
-            )
-            self.policy = prof.pick("policy", None, self.params.policy)
+            self.window_size = resolved.window_size
+            self.hash_spec = resolved.hash_spec
+            self.policy = resolved.policy
         else:
             self.window_size = params.window_size
             self.hash_spec = params.hash_spec
@@ -435,20 +473,19 @@ class ShardedCompressor:
         self.pool = pool
         self.shard_size = shard_size
         self.carry_window = carry_window
-        self.strategy = strategy
-        self.tokens_per_block = prof.pick(
-            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
-        )
-        self.cut_search = prof.pick("cut_search", cut_search, True)
-        self.sniff = prof.pick("sniff", sniff, True)
-        self.backend = prof.pick("backend", backend, "fast")
+        self.strategy = resolved.strategy
+        self.tokens_per_block = resolved.tokens_per_block
+        self.cut_search = resolved.cut_search
+        self.sniff = resolved.sniff
+        self.backend = resolved.backend
+        self.refine = resolved.refine
         self.shard_backends = dict(shard_backends or {})
         # A preset dictionary primes shard 0's matcher and switches the
         # stitched stream to FDICT framing; decode with
         # zlib.decompressobj(zdict=<the trimmed dictionary>). Later
         # shards are primed by carry_window (or stay cold) — only the
         # stream head lacks history the dictionary can supply.
-        self.zdict = bytes(zdict)
+        self.zdict = resolved.zdict
         if self.zdict:
             from repro.lzss.batch import effective_dictionary
 
@@ -457,15 +494,7 @@ class ShardedCompressor:
             )
         else:
             self._dictionary = b""
-        self.router = config_from_profile(
-            prof,
-            route=route,
-            probe_entropy_bits=probe_entropy_bits,
-            probe_match_density=probe_match_density,
-            trace_fraction=trace_fraction,
-            trace_seed=trace_seed,
-            router=router,
-        )
+        self.router = resolved.router
 
     @property
     def traced(self) -> bool:
@@ -499,6 +528,7 @@ class ShardedCompressor:
                     tokens_per_block=self.tokens_per_block,
                     cut_search=self.cut_search,
                     sniff=self.sniff,
+                    refine=self.refine,
                     router=self.router,
                 )
             )
@@ -567,6 +597,7 @@ def compress_parallel(
     cut_search: Optional[bool] = None,
     sniff: Optional[bool] = None,
     backend: Optional[str] = None,
+    refine: Optional[bool] = None,
     shard_backends=None,
     profile=None,
     route: Optional[str] = None,
@@ -612,6 +643,7 @@ def compress_parallel(
         cut_search=cut_search,
         sniff=sniff,
         backend=backend,
+        refine=refine,
         shard_backends=shard_backends,
         profile=profile,
         route=route,

@@ -18,15 +18,12 @@ from typing import Optional
 
 from repro.checksums.adler32 import adler32_combine
 from repro.deflate.block_writer import BlockStrategy
-from repro.deflate.splitter import DEFAULT_TOKENS_PER_BLOCK
 from repro.deflate.zlib_container import make_header
 from repro.errors import ConfigError
 from repro.hw.params import HardwareParams
-from repro.lzss.backends import backend_from_legacy
-from repro.lzss.router import RouterConfig, config_from_profile
+from repro.lzss.router import RouterConfig
 from repro.lzss.tokens import MIN_LOOKAHEAD
 from repro.parallel import engine
-from repro.profile import as_profile
 from repro.parallel.engine import (
     DEFAULT_SHARD_SIZE,
     MIN_SHARD_SIZE,
@@ -74,6 +71,7 @@ class ParallelDeflateWriter:
         cut_search: Optional[bool] = None,
         sniff: Optional[bool] = None,
         backend: Optional[str] = None,
+        refine: Optional[bool] = None,
         profile=None,
         route: Optional[str] = None,
         probe_entropy_bits: Optional[float] = None,
@@ -83,30 +81,45 @@ class ParallelDeflateWriter:
         router: Optional[RouterConfig] = None,
         pool=None,
     ) -> None:
-        if traced is not None:
-            backend = backend_from_legacy(
-                backend, traced, param="traced", default="fast"
-            )
-        prof = as_profile(profile)
+        from repro.api import CompressRequest, reject_legacy_trace
+
+        reject_legacy_trace("traced", traced)
         shard_size = (DEFAULT_SHARD_SIZE if shard_size is None
                       else shard_size)
         if shard_size < MIN_SHARD_SIZE:
             raise ConfigError(
                 f"shard_size must be >= {MIN_SHARD_SIZE}: {shard_size}"
             )
-        strategy = prof.pick("strategy", strategy, BlockStrategy.FIXED)
-        if strategy is BlockStrategy.STORED:
-            raise ConfigError("STORED shards would not compress anything")
         self._sink = sink
+        # Explicit HardwareParams pin the matcher config; otherwise the
+        # profile can fill in for the paper-default fields.
         self.params = params or HardwareParams()
+        resolved = CompressRequest(
+            profile=profile,
+            strategy=strategy,
+            tokens_per_block=tokens_per_block,
+            cut_search=cut_search,
+            sniff=sniff,
+            backend=backend,
+            refine=refine,
+            route=route,
+            probe_entropy_bits=probe_entropy_bits,
+            probe_match_density=probe_match_density,
+            trace_fraction=trace_fraction,
+            trace_seed=trace_seed,
+            router=router,
+        ).resolve(
+            backend="fast",
+            window_size=self.params.window_size,
+            hash_spec=self.params.hash_spec,
+            policy=self.params.policy,
+        )
+        if resolved.strategy is BlockStrategy.STORED:
+            raise ConfigError("STORED shards would not compress anything")
         if params is None:
-            self.window_size = prof.pick(
-                "window_size", None, self.params.window_size
-            )
-            self.hash_spec = prof.pick(
-                "hash_spec", None, self.params.hash_spec
-            )
-            self.policy = prof.pick("policy", None, self.params.policy)
+            self.window_size = resolved.window_size
+            self.hash_spec = resolved.hash_spec
+            self.policy = resolved.policy
         else:
             self.window_size = params.window_size
             self.hash_spec = params.hash_spec
@@ -114,22 +127,13 @@ class ParallelDeflateWriter:
         self.workers = workers or os.cpu_count() or 1
         self.shard_size = shard_size
         self.carry_window = carry_window
-        self.strategy = strategy
-        self.tokens_per_block = prof.pick(
-            "tokens_per_block", tokens_per_block, DEFAULT_TOKENS_PER_BLOCK
-        )
-        self.cut_search = prof.pick("cut_search", cut_search, True)
-        self.sniff = prof.pick("sniff", sniff, True)
-        self.backend = prof.pick("backend", backend, "fast")
-        self.router = config_from_profile(
-            prof,
-            route=route,
-            probe_entropy_bits=probe_entropy_bits,
-            probe_match_density=probe_match_density,
-            trace_fraction=trace_fraction,
-            trace_seed=trace_seed,
-            router=router,
-        )
+        self.strategy = resolved.strategy
+        self.tokens_per_block = resolved.tokens_per_block
+        self.cut_search = resolved.cut_search
+        self.sniff = resolved.sniff
+        self.backend = resolved.backend
+        self.refine = resolved.refine
+        self.router = resolved.router
         # Two in-flight shards per worker keeps the pool fed while the
         # parent stitches; the floor of 2 lets even workers=1 overlap
         # buffering with compression.
@@ -181,6 +185,7 @@ class ParallelDeflateWriter:
             tokens_per_block=self.tokens_per_block,
             cut_search=self.cut_search,
             sniff=self.sniff,
+            refine=self.refine,
             router=self.router,
         )
         self._next_index += 1

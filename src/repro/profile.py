@@ -21,8 +21,10 @@ Presets:
   latency per byte;
 * ``balanced`` — lazy level-6 policy, adaptive best-of-three block
   coding with the cut search and sniff on: the zlib-default trade;
-* ``best`` — lazy level-9 policy, 32 KiB window, everything on:
-  maximum ratio, speed last.
+* ``best`` — lazy level-9 policy, 32 KiB window, the exact
+  suffix-array matcher (``backend="sa"``) plus iterative block
+  re-tokenisation (``refine=True``), everything on: maximum ratio,
+  speed last.
 """
 
 from __future__ import annotations
@@ -54,6 +56,10 @@ class CompressionProfile:
     cut_search: Optional[bool] = None
     sniff: Optional[bool] = None
     backend: Optional[str] = None
+    # Iterative re-tokenisation of searched blocks against their own
+    # emerging Huffman prices (repro.deflate.splitter.refine_blocks) —
+    # a ratio knob, effective only with adaptive strategy + cut search.
+    refine: Optional[bool] = None
     # Per-shard routing (repro.lzss.router): "static" resolves the
     # backend once per stream, "probe" decides per shard; the two
     # probe thresholds gate the vector choice; trace_fraction/seed
@@ -116,7 +122,8 @@ def _presets() -> Dict[str, CompressionProfile]:
             strategy=BlockStrategy.ADAPTIVE,
             cut_search=True,
             sniff=True,
-            backend="fast",
+            backend="sa",
+            refine=True,
         ),
     }
 

@@ -80,11 +80,24 @@ class TestValidate:
         with pytest.raises(HuffmanError):
             validate_code_lengths([1, 2], 15)
 
-    def test_incomplete_allowed_when_requested(self):
-        validate_code_lengths([1, 2], 15, allow_incomplete=True)
+    def test_incomplete_rejected_even_when_allowed(self):
+        # zlib's inftrees rule: allow_incomplete tolerates exactly one
+        # code of one bit, nothing wider.
+        with pytest.raises(HuffmanError):
+            validate_code_lengths([1, 2], 15, allow_incomplete=True)
 
-    def test_single_symbol_incomplete_is_fine(self):
-        validate_code_lengths([1], 15)
+    def test_single_one_bit_code_allowed_when_requested(self):
+        validate_code_lengths([1], 15, allow_incomplete=True)
+        validate_code_lengths([0, 1, 0], 15, allow_incomplete=True)
+
+    def test_single_code_rejected_by_default(self):
+        with pytest.raises(HuffmanError):
+            validate_code_lengths([1], 15)
+
+    def test_single_long_code_rejected(self):
+        # A lone code longer than one bit is not the tolerated shape.
+        with pytest.raises(HuffmanError):
+            validate_code_lengths([2], 15, allow_incomplete=True)
 
     def test_overlong_rejected(self):
         with pytest.raises(HuffmanError):

@@ -60,19 +60,22 @@ class TestDecoder:
         with pytest.raises(HuffmanError):
             HuffmanDecoder([1, 1, 1])
 
-    def test_incomplete_rejected_unless_allowed(self):
+    def test_incomplete_rejected(self):
         with pytest.raises(HuffmanError):
             HuffmanDecoder([2, 2, 2])
-        HuffmanDecoder([2, 2, 2], allow_incomplete=True)
+        # allow_incomplete tolerates only a single 1-bit code (zlib's
+        # inftrees rule), not a general hole.
+        with pytest.raises(HuffmanError):
+            HuffmanDecoder([2, 2, 2], allow_incomplete=True)
 
     def test_empty_code_rejected(self):
         with pytest.raises(HuffmanError):
             HuffmanDecoder([0, 0])
 
     def test_undecodable_pattern_raises(self):
-        dec = HuffmanDecoder([2, 2, 2], allow_incomplete=True)
-        # Codes assigned: 00, 01, 10; pattern 11 is unassigned.
-        r = BitReader(b"\x03")  # bits 1,1 -> reversed peek hits 11
+        # Single 1-bit code 0; the pattern 1 is the incomplete hole.
+        dec = HuffmanDecoder([0, 1, 0], allow_incomplete=True)
+        r = BitReader(b"\x01")
         with pytest.raises(HuffmanError):
             dec.decode(r)
 

@@ -1,4 +1,4 @@
-"""Backend registry: resolution, numpy fallback, deprecation shims."""
+"""Backend registry: resolution, numpy fallback, removed-shim errors."""
 
 import sys
 
@@ -31,8 +31,17 @@ class TestAvailability:
 
     def test_without_numpy_vector_disappears(self, monkeypatch):
         block_numpy(monkeypatch)
-        assert backends.available() == ("traced", "fast")
-        assert set(backends.registry()) == {"fast"}
+        assert backends.available() == ("traced", "fast", "sa")
+        assert set(backends.registry()) == {"fast", "sa"}
+
+    def test_sa_always_listed(self, monkeypatch):
+        # sa carries its own pure-Python builder, so it never leaves
+        # the registry — with or without numpy.
+        assert "sa" in backends.available()
+        assert "sa" in backends.registry()
+        block_numpy(monkeypatch)
+        assert "sa" in backends.available()
+        assert "sa" in backends.registry()
 
     def test_probe_is_not_cached(self, monkeypatch):
         pytest.importorskip("numpy")
@@ -79,6 +88,18 @@ class TestResolve:
         assert backends.resolve("auto", ZLIB_LEVELS[6]) == "fast"
         assert backends.resolve("auto", None) == "fast"
 
+    def test_auto_never_picks_sa(self):
+        # sa trades speed for ratio; it must be asked for explicitly.
+        for policy in (HW_MAX_POLICY, HW_SPEED_POLICY, ZLIB_LEVELS[6],
+                       ZLIB_LEVELS[9], None):
+            assert backends.resolve("auto", policy) != "sa"
+
+    def test_sa_resolves_to_itself(self, monkeypatch):
+        assert backends.resolve("sa", ZLIB_LEVELS[9]) == "sa"
+        assert backends.resolve("sa", HW_MAX_POLICY) == "sa"
+        block_numpy(monkeypatch)
+        assert backends.resolve("sa", ZLIB_LEVELS[9]) == "sa"
+
     def test_fallback_output_identical(self, monkeypatch):
         want = compress_tokens(SAMPLE, backend="fast").tokens
         block_numpy(monkeypatch)
@@ -94,43 +115,49 @@ class TestResolve:
         assert name == "fast" and callable(fn)
 
 
-class TestDeprecationShims:
-    def test_trace_kwarg_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="backend="):
-            old = compress_tokens(SAMPLE, trace=False)
-        new = compress_tokens(SAMPLE, backend="fast")
-        assert old.trace is None
-        assert list(old.tokens.lengths) == list(new.tokens.lengths)
-        assert list(old.tokens.values) == list(new.tokens.values)
+class TestRemovedShims:
+    """The ``trace=``/``traced=`` booleans are gone: hard ConfigError.
 
-    def test_trace_true_maps_to_traced(self):
-        with pytest.warns(DeprecationWarning):
-            result = compress_tokens(SAMPLE, trace=True)
-        assert result.backend == "traced"
-        assert result.trace is not None
+    Every error names the exact replacement so an old call site
+    migrates in one edit.
+    """
 
-    def test_constructor_shim(self):
-        with pytest.warns(DeprecationWarning):
-            comp = LZSSCompressor(trace=False)
-        assert comp.backend == "fast"
-        assert comp.trace is False
+    def test_trace_false_names_fast(self):
+        with pytest.raises(ConfigError, match="backend='fast'"):
+            compress_tokens(SAMPLE, trace=False)
 
-    def test_both_boolean_and_backend_is_an_error(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="both"):
-                compress_tokens(SAMPLE, trace=False, backend="fast")
+    def test_trace_true_names_traced(self):
+        with pytest.raises(ConfigError, match="backend='traced'"):
+            compress_tokens(SAMPLE, trace=True)
 
-    def test_streaming_traced_shim(self):
+    def test_constructor_shim_removed(self):
+        with pytest.raises(ConfigError, match="trace= was removed"):
+            LZSSCompressor(trace=False)
+
+    def test_compress_method_shim_removed(self):
+        comp = LZSSCompressor(backend="fast")
+        with pytest.raises(ConfigError, match="trace= was removed"):
+            comp.compress(SAMPLE, trace=True)
+
+    def test_streaming_traced_shim_removed(self):
         from repro.deflate.stream import ZLibStreamCompressor
 
-        with pytest.warns(DeprecationWarning):
-            stream = ZLibStreamCompressor(traced=True)
-        assert stream.backend == "traced"
+        with pytest.raises(ConfigError, match="traced= was removed"):
+            ZLibStreamCompressor(traced=True)
 
-    def test_engine_traced_shim(self):
+    def test_engine_traced_shim_removed(self):
         from repro.parallel.engine import ShardedCompressor
 
-        with pytest.warns(DeprecationWarning):
-            engine = ShardedCompressor(traced=True)
-        assert engine.backend == "traced"
-        assert engine.traced is True
+        with pytest.raises(ConfigError, match="traced= was removed"):
+            ShardedCompressor(traced=True)
+
+    def test_adaptive_traced_shim_removed(self):
+        from repro.deflate.splitter import zlib_compress_adaptive
+
+        with pytest.raises(ConfigError, match="traced= was removed"):
+            zlib_compress_adaptive(SAMPLE, traced=False)
+
+    def test_none_is_not_an_error(self):
+        # None means "unset" at every layer, never a legacy request.
+        result = compress_tokens(SAMPLE, trace=None)
+        assert result.backend == "traced"

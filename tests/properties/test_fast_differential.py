@@ -103,8 +103,10 @@ class TestBackendsOnCorpus:
     """One deterministic sweep over the named corpus (no shrinking)."""
 
     def test_corpus_identical_greedy_and_lazy(self, corpus_variety):
+        # "sa" is excluded: its contract is decode-identical and
+        # ratio-no-worse, not token-identical (tests/lzss/test_sa_backend).
         backends = [
-            name for name in available() if name != "traced"
+            name for name in available() if name not in ("traced", "sa")
         ] or ["fast"]
         for name, data in corpus_variety.items():
             for policy in (HW_SPEED_POLICY, HW_MAX_POLICY,

@@ -91,7 +91,8 @@ class TestProfilePlumbing:
 
     def test_profile_fills_unset_settings(self):
         engine = ShardedCompressor(profile="best")
-        assert engine.backend == "fast"
+        assert engine.backend == "sa"
+        assert engine.refine is True
         assert engine.window_size == 32768
         assert engine.policy == ZLIB_LEVELS[9]
         assert engine.strategy is BlockStrategy.ADAPTIVE
@@ -119,7 +120,8 @@ class TestProfilePlumbing:
                 strategy=BlockStrategy.ADAPTIVE,
                 cut_search=True,
                 sniff=True,
-                backend="fast",
+                backend="sa",
+                refine=True,
             ),
         )
         assert via_name == via_object
